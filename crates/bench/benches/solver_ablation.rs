@@ -1,0 +1,66 @@
+//! Ablation: the CDCL solver versus the reference DPLL solver, on the
+//! pigeonhole family (hard UNSAT) and satisfiable random 3-SAT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivy_sat::{solve_dpll, Cnf, Var};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_var()).collect())
+        .collect();
+    for row in &p {
+        cnf.add_clause(row.iter().map(|v| v.pos()));
+    }
+    for j in 0..holes {
+        for a in 0..pigeons {
+            for b in (a + 1)..pigeons {
+                cnf.add_clause([p[a][j].neg(), p[b][j].neg()]);
+            }
+        }
+    }
+    cnf
+}
+
+fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Cnf {
+    let mut cnf = Cnf::new();
+    let vs: Vec<Var> = (0..vars).map(|_| cnf.new_var()).collect();
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as usize
+    };
+    for _ in 0..clauses {
+        let lits: Vec<_> = (0..3)
+            .map(|_| vs[next() % vars].lit(next() % 2 == 0))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+fn solver_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_cdcl_vs_dpll");
+    group.sample_size(10);
+    for n in [6usize, 7, 8] {
+        let cnf = pigeonhole(n, n - 1);
+        group.bench_with_input(BenchmarkId::new("cdcl_pigeonhole", n), &cnf, |b, cnf| {
+            b.iter(|| assert!(cnf.solve().is_none()))
+        });
+        if n <= 7 {
+            group.bench_with_input(BenchmarkId::new("dpll_pigeonhole", n), &cnf, |b, cnf| {
+                b.iter(|| assert!(solve_dpll(cnf).is_none()))
+            });
+        }
+    }
+    let sat = random_3sat(60, 200, 42);
+    group.bench_function("cdcl_random3sat_60v", |b| {
+        b.iter(|| assert!(sat.solve().is_some()))
+    });
+    group.bench_function("dpll_random3sat_60v", |b| {
+        b.iter(|| assert!(solve_dpll(&sat).is_some()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solver_ablation);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs a single protocol's Figure 14 oracle session (development aid,
+//! also handy for scripting the table row by row).
+use ivy_bench::{figure14_row, protocols};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let max: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    for entry in protocols() {
+        if !entry.name.to_lowercase().contains(&which.to_lowercase()) {
+            continue;
+        }
+        eprintln!("running {} ...", entry.name);
+        let row = figure14_row(&entry, max);
+        println!(
+            "{}: S={} RF={} C={} I={} G={} verified={} time={:.1?} (paper {:?})",
+            row.name, row.s, row.rf, row.c, row.i, row.g, row.verified, row.elapsed, row.paper
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The `figures` binary (see `src/bin/figures.rs`) prints each table/figure;
+//! the Criterion benches under `benches/` measure solver and procedure
+//! performance and the ablations called out in DESIGN.md.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use ivy_core::{Conjecture, Measure, OracleUser, Session, SessionOutcome, SessionStats};
+use ivy_rml::Program;
+
+/// Everything the Figure 14 table needs about one protocol.
+pub struct ProtocolEntry {
+    /// Row label as in Figure 14.
+    pub name: &'static str,
+    /// The model.
+    pub program: Program,
+    /// A known-correct universal inductive invariant (target for the oracle
+    /// user). The first clauses are the safety properties.
+    pub invariant: Vec<Conjecture>,
+    /// Minimization measures a user of this protocol would pick.
+    pub measures: Vec<Measure>,
+    /// BMC bound the oracle passes to auto-generalization.
+    pub oracle_bound: usize,
+    /// Paper-reported (S, RF, C, I, G) for side-by-side comparison.
+    pub paper: (usize, usize, usize, usize, usize),
+}
+
+/// All six evaluation protocols (Section 5.1), in Figure 14 order.
+pub fn protocols() -> Vec<ProtocolEntry> {
+    use ivy_protocols as p;
+    vec![
+        ProtocolEntry {
+            name: "Leader election in ring",
+            program: p::leader::program(),
+            invariant: p::leader::invariant(),
+            measures: p::leader::measures(),
+            oracle_bound: 3,
+            paper: (2, 5, 3, 12, 3),
+        },
+        ProtocolEntry {
+            name: "Lock server",
+            program: p::lock_server::program(),
+            invariant: p::lock_server::invariant(),
+            measures: p::lock_server::measures(),
+            oracle_bound: 2,
+            paper: (5, 11, 3, 21, 8),
+        },
+        ProtocolEntry {
+            name: "Distributed lock protocol",
+            program: p::distributed_lock::program(),
+            invariant: p::distributed_lock::invariant(),
+            measures: p::distributed_lock::measures(),
+            oracle_bound: 2,
+            paper: (2, 5, 3, 26, 12),
+        },
+        ProtocolEntry {
+            name: "Learning switch",
+            program: p::learning_switch::program(),
+            invariant: p::learning_switch::invariant(),
+            measures: p::learning_switch::measures(),
+            oracle_bound: 1,
+            paper: (2, 5, 11, 18, 3),
+        },
+        ProtocolEntry {
+            name: "Database chain replication",
+            program: p::db_chain::program(),
+            invariant: p::db_chain::invariant(),
+            measures: p::db_chain::measures(),
+            oracle_bound: 1,
+            paper: (4, 13, 11, 35, 7),
+        },
+        ProtocolEntry {
+            name: "Chord ring maintenance",
+            program: p::chord::program(),
+            invariant: p::chord::invariant(),
+            measures: p::chord::measures(),
+            oracle_bound: 2,
+            paper: (1, 13, 35, 46, 4),
+        },
+    ]
+}
+
+/// One measured row of our Figure 14 reproduction.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Number of sorts.
+    pub s: usize,
+    /// Number of relation + function symbols (program variables excluded;
+    /// scratch locals never count).
+    pub rf: usize,
+    /// Literals in the initial conjecture set (the safety properties).
+    pub c: usize,
+    /// Literals in the final inductive invariant the session found.
+    pub i: usize,
+    /// CTI/generalization iterations (the session's CTI count).
+    pub g: usize,
+    /// Whether the found invariant was independently re-verified inductive.
+    pub verified: bool,
+    /// Wall-clock for the whole session.
+    pub elapsed: Duration,
+    /// Paper-reported values.
+    pub paper: (usize, usize, usize, usize, usize),
+}
+
+/// Runs the ideal-user (oracle) session for one protocol and measures the
+/// Figure 14 quantities.
+///
+/// # Panics
+///
+/// Panics if the session errors out or fails to prove within `max_ctis` —
+/// the harness treats that as a reproduction failure worth loud reporting.
+pub fn figure14_row(entry: &ProtocolEntry, max_ctis: usize) -> Fig14Row {
+    let start = Instant::now();
+    let initial: Vec<Conjecture> = entry
+        .program
+        .safety
+        .iter()
+        .map(|(label, f)| Conjecture::new(label.clone(), f.clone()))
+        .collect();
+    let c: usize = initial.iter().map(|x| x.formula.literal_count()).sum();
+    let target: Vec<_> = entry.invariant.iter().map(|x| x.formula.clone()).collect();
+    let mut session = Session::new(&entry.program, initial, entry.measures.clone());
+    let mut user = OracleUser::new(target, entry.oracle_bound);
+    let outcome = session
+        .run(&mut user, max_ctis)
+        .unwrap_or_else(|e| panic!("{}: session error: {e}", entry.name));
+    assert_eq!(
+        outcome,
+        SessionOutcome::Proved,
+        "{}: oracle session did not converge ({:?})",
+        entry.name,
+        session.stats()
+    );
+    let stats: SessionStats = session.stats();
+    let i: usize = session
+        .conjectures()
+        .iter()
+        .map(|x| x.formula.literal_count())
+        .sum();
+    // Independent re-verification of the found invariant.
+    let verifier = ivy_core::Verifier::new(&entry.program);
+    let verified = verifier
+        .check(session.conjectures())
+        .map(|r| r.is_inductive())
+        .unwrap_or(false);
+    Fig14Row {
+        name: entry.name,
+        s: entry.program.sig.sorts().len(),
+        rf: entry.program.sig.symbol_count(),
+        c,
+        i,
+        g: stats.ctis,
+        verified,
+        elapsed: start.elapsed(),
+        paper: entry.paper,
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

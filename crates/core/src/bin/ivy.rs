@@ -1,0 +1,221 @@
+//! `ivy` — the command-line front end of the verifier.
+//!
+//! ```text
+//! ivy check  MODEL.rml                      parse + validate the model
+//! ivy bmc    MODEL.rml -k N                 bounded verification to depth N
+//! ivy kinv   MODEL.rml -k N "FORMULA"       k-invariance of a property
+//! ivy prove  MODEL.rml [INV.inv]            check an inductive invariant
+//! ivy cti    MODEL.rml [INV.inv]            show a (minimal) CTI
+//! ivy dot    MODEL.rml [INV.inv]            render a CTI state as DOT
+//! ivy houdini MODEL.rml [--vars V --lits L] infer an invariant by template
+//! ```
+//!
+//! Invariant files (`.inv`) contain one conjecture per line:
+//! `name: formula` (blank lines and `#` comments ignored). Without an
+//! invariant file, the model's safety properties are used.
+
+use std::process::ExitCode;
+
+use ivy_core::{houdini_with_template, Bmc, Conjecture, Inductiveness, Verifier};
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args]\n\
+         see `crates/core/src/bin/ivy.rs` for details"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(path)?;
+    let program = parse_program(&src)?;
+    let problems = check_program(&program);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("validation: {p}");
+        }
+        return Err(format!("{} validation problem(s)", problems.len()).into());
+    }
+    Ok(program)
+}
+
+fn load_invariant(
+    program: &Program,
+    path: Option<&str>,
+) -> Result<Vec<Conjecture>, Box<dyn std::error::Error>> {
+    match path {
+        None => Ok(program
+            .safety
+            .iter()
+            .map(|(l, f)| Conjecture::new(l.clone(), f.clone()))
+            .collect()),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)?;
+            let mut out = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let (name, formula) = line
+                    .split_once(':')
+                    .ok_or_else(|| format!("line {}: expected `name: formula`", lineno + 1))?;
+                out.push(Conjecture::new(name.trim(), parse_formula(formula)?));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return Ok(usage()),
+    };
+    let Some(model_path) = rest.first() else {
+        return Ok(usage());
+    };
+    let program = load(model_path)?;
+    match cmd {
+        "check" => {
+            println!(
+                "ok: {} sorts, {} symbols, {} actions, {} axioms, {} safety properties",
+                program.sig.sorts().len(),
+                program.sig.symbol_count(),
+                program.actions.len(),
+                program.axioms.len(),
+                program.safety.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "bmc" => {
+            let k: usize = flag_value(rest, "-k").unwrap_or("3").parse()?;
+            let bmc = Bmc::new(&program);
+            match bmc.check_safety(k)? {
+                None => {
+                    println!("safe within {k} loop iterations (any domain size)");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(trace) => {
+                    print!("{}", ivy_core::trace_to_text(&trace));
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "kinv" => {
+            let k: usize = flag_value(rest, "-k").unwrap_or("3").parse()?;
+            let formula_src = rest
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with('-') && flag_value(rest, "-k") != Some(a.as_str()))
+                .ok_or("kinv needs a formula argument")?;
+            let phi = parse_formula(formula_src)?;
+            let bmc = Bmc::new(&program);
+            match bmc.check_k_invariance(&phi, k)? {
+                None => {
+                    println!("{k}-invariant");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(trace) => {
+                    print!("{}", ivy_core::trace_to_text(&trace));
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "prove" => {
+            let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
+            let v = Verifier::new(&program);
+            match v.check(&inv)? {
+                Inductiveness::Inductive => {
+                    println!(
+                        "inductive: the {} conjecture(s) prove safety for any domain size",
+                        inv.len()
+                    );
+                    Ok(ExitCode::SUCCESS)
+                }
+                Inductiveness::Cti(cti) => {
+                    println!("not inductive: {}", cti.violation);
+                    println!("CTI state: {}", cti.state);
+                    if let Some(s) = &cti.successor {
+                        println!("successor: {s}");
+                    }
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "cti" | "dot" => {
+            let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
+            let v = Verifier::new(&program);
+            let measures: Vec<ivy_core::Measure> = program
+                .sig
+                .sorts()
+                .iter()
+                .map(|s| ivy_core::Measure::SortSize(s.clone()))
+                .collect();
+            match v.find_minimal_cti(&inv, &measures)? {
+                None => {
+                    println!("inductive: no CTI");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(cti) => {
+                    if cmd == "dot" {
+                        println!(
+                            "{}",
+                            ivy_core::structure_to_dot(
+                                &cti.state,
+                                &ivy_core::VizOptions::default()
+                            )
+                        );
+                    } else {
+                        println!("{}", cti.violation);
+                        println!("state: {}", cti.state);
+                        if let Some(s) = &cti.successor {
+                            println!("successor: {s}");
+                        }
+                    }
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "houdini" => {
+            let vars: usize = flag_value(rest, "--vars").unwrap_or("2").parse()?;
+            let lits: usize = flag_value(rest, "--lits").unwrap_or("2").parse()?;
+            let result = houdini_with_template(&program, vars, lits, 4_000_000)?;
+            println!(
+                "{} clause(s) survive after {} CTI(s); proves safety: {}",
+                result.invariant.len(),
+                result.iterations,
+                result.proves_safety
+            );
+            for c in &result.invariant {
+                println!("  {c}");
+            }
+            Ok(if result.proves_safety {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        _ => Ok(usage()),
+    }
+}

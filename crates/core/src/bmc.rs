@@ -1,0 +1,321 @@
+//! Bounded verification (Section 4.1 of the paper): `k`-invariance checking
+//! and symbolic trace reconstruction.
+//!
+//! `k`-invariance bounds the number of loop iterations but *not* the state
+//! size (Equation 3): a property found `k`-invariant holds in every state
+//! reachable by at most `k` iterations, over rings/networks of any size.
+
+use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_fol::{Formula, Structure};
+use ivy_rml::{project_state, rename_symbols, unroll, Program, Unrolling};
+
+/// A concrete counterexample trace: the loop-head states of an execution,
+/// labeled with the actions between them.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// States at the loop head, `states[0]` right after `init`.
+    pub states: Vec<Structure>,
+    /// `actions[i]` is the action taken between `states[i]` and
+    /// `states[i+1]` (empty when reconstruction failed to label a step).
+    pub actions: Vec<String>,
+    /// What was violated (a safety label, a conjecture rendering, or
+    /// `"abort"`).
+    pub violated: String,
+}
+
+impl Trace {
+    /// Number of loop iterations the trace executes.
+    pub fn steps(&self) -> usize {
+        self.states.len().saturating_sub(1)
+    }
+}
+
+/// Bounded verification engine for one program.
+#[derive(Clone, Debug)]
+pub struct Bmc<'p> {
+    program: &'p Program,
+    instance_limit: u64,
+}
+
+impl<'p> Bmc<'p> {
+    /// Creates a BMC engine.
+    pub fn new(program: &'p Program) -> Bmc<'p> {
+        Bmc {
+            program,
+            instance_limit: 4_000_000,
+        }
+    }
+
+    /// Caps grounding size per query (see
+    /// [`ivy_epr::EprCheck::set_instance_limit`]).
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// Checks whether `phi` is `k`-invariant: true in every state reachable
+    /// at the loop head within `k` iterations (Equation 3 of the paper).
+    /// Returns `None` when invariant, or a violating trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`] (fragment violations, resource limits).
+    pub fn check_k_invariance(
+        &self,
+        phi: &Formula,
+        k: usize,
+    ) -> Result<Option<Trace>, EprError> {
+        let u = unroll(self.program, k);
+        for j in 0..=k {
+            let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
+            if let Some(model) = self.solve_reach(&u, j, ("violation", bad))? {
+                return Ok(Some(self.extract_trace(
+                    &u,
+                    j,
+                    &model,
+                    format!("~({phi})"),
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Checks all safety properties and abort reachability up to `k`
+    /// iterations. Returns the first violating trace found, scanning depth
+    /// by depth (so the trace is minimal in iteration count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn check_safety(&self, k: usize) -> Result<Option<Trace>, EprError> {
+        let u = unroll(self.program, k);
+        // Aborts during init.
+        if u.init_error != Formula::False {
+            let mut q = self.fresh_query(&u)?;
+            q.assert_labeled("base", &u.base)?;
+            q.assert_labeled("abort", &u.init_error)?;
+            if let EprOutcome::Sat(model) = q.check()? {
+                let mut trace = self.extract_trace(&u, 0, &model.structure, String::new());
+                trace.violated = "abort during init".into();
+                return Ok(Some(trace));
+            }
+        }
+        for j in 0..=k {
+            // Safety properties at state j.
+            for (label, phi) in &self.program.safety {
+                let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
+                if let Some(model) = self.solve_reach(&u, j, ("violation", bad))? {
+                    return Ok(Some(self.extract_trace(&u, j, &model, label.clone())));
+                }
+            }
+            // Aborts inside the body step from state j.
+            if j < u.step_errors.len() {
+                for (action, err) in &u.step_errors[j] {
+                    if err == &Formula::False {
+                        continue;
+                    }
+                    if let Some(model) = self.solve_reach(&u, j, ("abort", err.clone()))? {
+                        return Ok(Some(self.extract_trace(
+                            &u,
+                            j,
+                            &model,
+                            format!("abort in action `{action}`"),
+                        )));
+                    }
+                }
+            }
+            // Aborts in the finalization command from state j.
+            if u.final_errors[j] != Formula::False {
+                let err = u.final_errors[j].clone();
+                if let Some(model) = self.solve_reach(&u, j, ("abort", err))? {
+                    return Ok(Some(self.extract_trace(
+                        &u,
+                        j,
+                        &model,
+                        "abort in final".to_string(),
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn fresh_query(&self, u: &Unrolling) -> Result<EprCheck, EprError> {
+        let mut q = EprCheck::new(&u.sig)?;
+        q.set_instance_limit(self.instance_limit);
+        Ok(q)
+    }
+
+    /// Solves `base ∧ steps[0..j] ∧ extra`; returns the model on SAT.
+    fn solve_reach(
+        &self,
+        u: &Unrolling,
+        j: usize,
+        extra: (&str, Formula),
+    ) -> Result<Option<Structure>, EprError> {
+        let mut q = self.fresh_query(u)?;
+        q.assert_labeled("base", &u.base)?;
+        for (i, step) in u.steps.iter().take(j).enumerate() {
+            q.assert_labeled(format!("step{i}"), step)?;
+        }
+        q.assert_labeled(extra.0, &extra.1)?;
+        match q.check()? {
+            EprOutcome::Sat(model) => Ok(Some(model.structure)),
+            EprOutcome::Unsat(_) => Ok(None),
+        }
+    }
+
+    /// Projects the model onto loop-head states 0..=j and labels steps by
+    /// evaluating each action's path formula in the model.
+    fn extract_trace(
+        &self,
+        u: &Unrolling,
+        j: usize,
+        model: &Structure,
+        violated: String,
+    ) -> Trace {
+        let mut states = Vec::with_capacity(j + 1);
+        for map in u.maps.iter().take(j + 1) {
+            states.push(project_state(model, &self.program.sig, map));
+        }
+        let mut actions = Vec::with_capacity(j);
+        for step in u.step_paths.iter().take(j) {
+            let name = step
+                .iter()
+                .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default();
+            actions.push(name);
+        }
+        Trace {
+            states,
+            actions,
+            violated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::parse_formula;
+    use ivy_rml::{check_program, parse_program};
+
+    /// A counter-ish protocol: tokens spread from a seed; the (wrong)
+    /// property "no two distinct marked nodes" is violated in 2 steps.
+    const SPREAD: &str = r#"
+sort node
+relation marked : node
+variable n : node
+variable seed : node
+
+init {
+  marked(X0) := X0 = seed
+}
+
+action mark_one {
+  havoc n;
+  marked.insert(n)
+}
+"#;
+
+    fn spread() -> Program {
+        let p = parse_program(SPREAD).unwrap();
+        assert!(check_program(&p).is_empty());
+        p
+    }
+
+    #[test]
+    fn invariant_property_reported_invariant() {
+        let p = spread();
+        let bmc = Bmc::new(&p);
+        // "seed is always marked" is invariant at every depth.
+        let phi = parse_formula("marked(seed)").unwrap();
+        assert!(bmc.check_k_invariance(&phi, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn violated_property_yields_trace() {
+        let p = spread();
+        let bmc = Bmc::new(&p);
+        // "at most one marked node" breaks within 1 step (marking a second
+        // node).
+        let phi =
+            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
+        let trace = bmc.check_k_invariance(&phi, 3).unwrap().unwrap();
+        assert!(trace.steps() >= 1 && trace.steps() <= 3);
+        // The final state really violates the property; earlier ones do not.
+        let last = trace.states.last().unwrap();
+        assert!(!last.eval_closed(&phi).unwrap());
+        assert!(trace.states[0].eval_closed(&phi).unwrap());
+        // Steps are labeled with the only action.
+        assert!(trace.actions.iter().all(|a| a == "mark_one"));
+    }
+
+    #[test]
+    fn trace_replays_in_interpreter() {
+        let p = spread();
+        let bmc = Bmc::new(&p);
+        let phi =
+            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
+        let trace = bmc.check_k_invariance(&phi, 2).unwrap().unwrap();
+        // Each consecutive state pair must be reachable via exec_all of the
+        // named action.
+        let axiom = p.axiom();
+        for i in 0..trace.steps() {
+            let action = p.action(&trace.actions[i]).unwrap();
+            let outcomes = ivy_rml::exec_all(&axiom, &action.cmd, &trace.states[i]).unwrap();
+            let reached = outcomes.iter().any(|o| match o {
+                ivy_rml::ExecOutcome::Done(s) => s == &trace.states[i + 1],
+                _ => false,
+            });
+            assert!(reached, "step {i} does not replay concretely");
+        }
+    }
+
+    #[test]
+    fn safety_check_finds_assert_violation() {
+        let src = format!(
+            "{SPREAD}\nsafety at_most_one: forall X:node, Y:node. marked(X) & marked(Y) -> X = Y\n"
+        );
+        let p = parse_program(&src).unwrap();
+        assert!(check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc.check_safety(4).unwrap().unwrap();
+        assert_eq!(trace.violated, "at_most_one");
+        assert_eq!(trace.steps(), 1, "minimal depth reported first");
+    }
+
+    #[test]
+    fn abort_in_action_detected() {
+        let src = r#"
+sort node
+relation marked : node
+variable n : node
+init { marked(X0) := false }
+action mark { havoc n; marked.insert(n) }
+action check { assert forall X:node. ~marked(X) }
+"#;
+        let p = parse_program(src).unwrap();
+        assert!(check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc.check_safety(3).unwrap().unwrap();
+        assert!(trace.violated.contains("check"), "{}", trace.violated);
+    }
+
+    #[test]
+    fn safe_program_passes_bmc() {
+        let src = r#"
+sort node
+relation marked : node
+variable seed : node
+variable n : node
+safety seed_marked: marked(seed)
+init { marked(X0) := X0 = seed }
+action mark { havoc n; marked.insert(n) }
+"#;
+        let p = parse_program(src).unwrap();
+        assert!(check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(4).unwrap().is_none());
+    }
+}

@@ -1,0 +1,408 @@
+//! Interactive generalization from CTIs (Sections 4.4–4.5 of the paper):
+//! the *BMC + Auto Generalize* procedure.
+//!
+//! The user coarsely generalizes a CTI into a partial structure `s_u` (the
+//! *upper bound*), dropping elements and fact polarities they judge
+//! irrelevant. This module then:
+//!
+//! 1. checks that the induced conjecture `ϕ(s_u)` is `k`-invariant — if not,
+//!    the user's generalization excludes a reachable state and a concrete
+//!    counterexample trace is returned;
+//! 2. if it is, computes a ⪯-smallest generalization `s_m ⪯ s_u` whose
+//!    conjecture is still `k`-invariant, seeding from the solver's minimal
+//!    UNSAT core over the diagram's fact literals and finishing with
+//!    deletion-based minimization;
+//! 3. re-verifies `ϕ(s_m)` (dropping facts also drops distinctness of
+//!    newly-inactive elements, which cores alone do not account for).
+
+use std::collections::BTreeMap;
+
+use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_fol::{conjecture, Elem, Fact, Formula, PartialStructure, Signature, Sym, Term};
+use ivy_rml::{rename_symbols, unroll, Program, SymMap, Unrolling};
+
+use crate::bmc::Trace;
+
+/// The result of *BMC + Auto Generalize*.
+#[derive(Clone, Debug)]
+pub enum AutoGen {
+    /// The upper bound's conjecture excludes a reachable state: here is the
+    /// trace. The user should generalize less (or has found a protocol bug).
+    TooStrong(Trace),
+    /// A ⪯-smallest `k`-invariant generalization of the upper bound,
+    /// together with its conjecture.
+    Generalized {
+        /// The generalized partial structure `s_m ⪯ s_u`.
+        partial: PartialStructure,
+        /// `ϕ(s_m)`, the conjecture to add to the invariant.
+        conjecture: Formula,
+    },
+}
+
+/// The *BMC + Auto Generalize* engine for one program.
+#[derive(Clone, Debug)]
+pub struct Generalizer<'p> {
+    program: &'p Program,
+    instance_limit: u64,
+}
+
+impl<'p> Generalizer<'p> {
+    /// Creates a generalizer.
+    pub fn new(program: &'p Program) -> Self {
+        Generalizer {
+            program,
+            instance_limit: 4_000_000,
+        }
+    }
+
+    /// Caps grounding size per query.
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// Runs BMC + Auto Generalize on the upper bound `s_u` with bound `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn auto_generalize(
+        &self,
+        s_u: &PartialStructure,
+        k: usize,
+    ) -> Result<AutoGen, EprError> {
+        let u = unroll(self.program, k);
+        // Check k-invariance of ϕ(s_u) with per-fact labels, collecting the
+        // union of UNSAT cores across depths.
+        let facts: Vec<Fact> = s_u.facts().iter().cloned().collect();
+        let mut core_union: Vec<bool> = vec![false; facts.len()];
+        for j in 0..=k {
+            match self.query_embedding(&u, j, &facts, None)? {
+                QueryResult::Sat(model) => {
+                    // Reachable state contains s_u: report the trace.
+                    let trace = self.trace_from(&u, j, &model);
+                    return Ok(AutoGen::TooStrong(trace));
+                }
+                QueryResult::Unsat(core) => {
+                    for (i, in_core) in core.into_iter().enumerate() {
+                        if in_core {
+                            core_union[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Candidate from the cores.
+        let seeded: Vec<usize> = (0..facts.len()).filter(|&i| core_union[i]).collect();
+        let mut kept: Vec<usize> = if seeded.len() < facts.len()
+            && self.invariant_with(&u, k, &facts, &seeded)?
+        {
+            seeded
+        } else {
+            (0..facts.len()).collect()
+        };
+        // Deletion-based minimization on the remaining facts.
+        let mut i = 0;
+        while i < kept.len() {
+            let mut candidate = kept.clone();
+            candidate.remove(i);
+            if self.invariant_with(&u, k, &facts, &candidate)? {
+                kept = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        let mut partial = s_u.clone();
+        let keep_set: std::collections::BTreeSet<&Fact> =
+            kept.iter().map(|&i| &facts[i]).collect();
+        partial.retain_facts(|f| keep_set.contains(f));
+        // Drop elements no longer mentioned by any fact; they only added
+        // distinctness constraints.
+        let active = partial.active_elements();
+        for e in partial.domain().clone() {
+            if !active.contains(&e) {
+                partial.drop_element(&e);
+            }
+        }
+        let conj = conjecture(&partial);
+        Ok(AutoGen::Generalized {
+            partial,
+            conjecture: conj,
+        })
+    }
+
+    /// Checks whether the conjecture of `s_u` restricted to the given fact
+    /// subset is `k`-invariant.
+    fn invariant_with(
+        &self,
+        u: &Unrolling,
+        k: usize,
+        facts: &[Fact],
+        subset: &[usize],
+    ) -> Result<bool, EprError> {
+        for j in 0..=k {
+            match self.query_embedding(u, j, facts, Some(subset))? {
+                QueryResult::Sat(_) => return Ok(false),
+                QueryResult::Unsat(_) => {}
+            }
+        }
+        Ok(true)
+    }
+
+    /// Solves: "some state reachable in exactly `j` steps embeds the given
+    /// facts of `s_u`". The diagram's existential element variables become
+    /// explicit fresh constants so each fact can be labeled individually
+    /// for UNSAT cores.
+    ///
+    /// With `subset = Some(is)`, only those facts are asserted (plus
+    /// distinctness over *their* active elements); with `None`, all facts
+    /// and full distinctness.
+    fn query_embedding(
+        &self,
+        u: &Unrolling,
+        j: usize,
+        facts: &[Fact],
+        subset: Option<&[usize]>,
+    ) -> Result<QueryResult, EprError> {
+        let selected: Vec<usize> = match subset {
+            Some(is) => is.to_vec(),
+            None => (0..facts.len()).collect(),
+        };
+        // Fresh constants per active element.
+        let mut sig = u.sig.clone();
+        let mut elem_const: BTreeMap<Elem, Sym> = BTreeMap::new();
+        for &i in &selected {
+            for e in facts[i].elements() {
+                if !elem_const.contains_key(e) {
+                    let name = ivy_fol::xform::fresh_constant_name(
+                        &sig,
+                        &format!("emb_{}{}", e.sort, e.idx),
+                    );
+                    sig.add_constant(name.clone(), e.sort.clone())
+                        .expect("fresh name");
+                    elem_const.insert(e.clone(), name);
+                }
+            }
+        }
+        let mut q = EprCheck::new(&sig)?;
+        q.set_instance_limit(self.instance_limit);
+        q.assert_labeled("base", &u.base)?;
+        for (i, step) in u.steps.iter().take(j).enumerate() {
+            q.assert_labeled(format!("step{i}"), step)?;
+        }
+        // Distinctness among same-sort active elements (kept hard: partial
+        // structures identify elements, not the facts about them).
+        let mut distinct_parts = Vec::new();
+        for (a, ca) in &elem_const {
+            for (b, cb) in &elem_const {
+                if a < b && a.sort == b.sort {
+                    distinct_parts.push(Formula::neq(
+                        Term::cst(ca.clone()),
+                        Term::cst(cb.clone()),
+                    ));
+                }
+            }
+        }
+        q.assert_labeled("distinct", &Formula::and(distinct_parts))?;
+        // The facts, each individually labeled, at state j's vocabulary.
+        for &i in &selected {
+            let f = fact_formula(&facts[i], &elem_const, &u.maps[j]);
+            q.assert_labeled(format!("fact{i}"), &f)?;
+        }
+        match q.check()? {
+            EprOutcome::Sat(model) => Ok(QueryResult::Sat(model.structure)),
+            EprOutcome::Unsat(core) => {
+                let mut flags = vec![false; facts.len()];
+                for label in core {
+                    if let Some(i) = label.strip_prefix("fact").and_then(|s| s.parse().ok()) {
+                        let i: usize = i;
+                        if i < facts.len() {
+                            flags[i] = true;
+                        }
+                    }
+                }
+                Ok(QueryResult::Unsat(flags))
+            }
+        }
+    }
+
+    fn trace_from(&self, u: &Unrolling, j: usize, model: &ivy_fol::Structure) -> Trace {
+        let mut states = Vec::with_capacity(j + 1);
+        for map in u.maps.iter().take(j + 1) {
+            states.push(ivy_rml::project_state(model, &self.program.sig, map));
+        }
+        let mut actions = Vec::with_capacity(j);
+        for step in u.step_paths.iter().take(j) {
+            let name = step
+                .iter()
+                .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default();
+            actions.push(name);
+        }
+        Trace {
+            states,
+            actions,
+            violated: "generalization excludes a reachable state".into(),
+        }
+    }
+}
+
+enum QueryResult {
+    Sat(ivy_fol::Structure),
+    Unsat(Vec<bool>),
+}
+
+/// Translates a partial-structure fact into a formula over embedding
+/// constants, renamed to a state vocabulary.
+fn fact_formula(fact: &Fact, elem_const: &BTreeMap<Elem, Sym>, map: &SymMap) -> Formula {
+    let term = |e: &Elem| Term::cst(elem_const[e].clone());
+    let raw = match fact {
+        Fact::Rel { sym, tuple, value } => {
+            let atom = Formula::rel(sym.clone(), tuple.iter().map(term));
+            if *value {
+                atom
+            } else {
+                Formula::not(atom)
+            }
+        }
+        Fact::Fun {
+            sym,
+            args,
+            result,
+            value,
+        } => {
+            let atom = Formula::eq(Term::app(sym.clone(), args.iter().map(term)), term(result));
+            if *value {
+                atom
+            } else {
+                Formula::not(atom)
+            }
+        }
+    };
+    rename_symbols(&raw, map)
+}
+
+/// Convenience check used by oracle users and tests: is `phi` implied by
+/// `hypotheses` together with the program's axioms? (Decidable whenever
+/// `¬phi` is `∃*∀*`, i.e. `phi` universal.)
+///
+/// # Errors
+///
+/// Propagates [`EprError`].
+pub fn implied(
+    sig: &Signature,
+    axioms: &Formula,
+    hypotheses: &[Formula],
+    phi: &Formula,
+) -> Result<bool, EprError> {
+    let mut q = EprCheck::new(sig)?;
+    q.assert_labeled("axioms", axioms)?;
+    for (i, h) in hypotheses.iter().enumerate() {
+        q.assert_labeled(format!("h{i}"), h)?;
+    }
+    q.assert_labeled("neg", &Formula::not(phi.clone()))?;
+    Ok(!q.check()?.is_sat())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vc::{Conjecture, Verifier};
+    use ivy_rml::{check_program, parse_program};
+
+    const SPREAD: &str = r#"
+sort node
+relation marked : node
+relation blue : node
+variable n : node
+variable seed : node
+safety seed_marked: marked(seed)
+init { marked(X0) := X0 = seed; blue(X0) := false }
+action mark { havoc n; marked.insert(n) }
+"#;
+
+    fn spread() -> Program {
+        let p = parse_program(SPREAD).unwrap();
+        assert!(check_program(&p).is_empty());
+        p
+    }
+
+    #[test]
+    fn too_strong_generalization_yields_trace() {
+        let p = spread();
+        let g = Generalizer::new(&p);
+        let v = Verifier::new(&p);
+        // CTI for the bogus conjecture "at most one marked node".
+        let inv = vec![
+            Conjecture::new("C0", ivy_fol::parse_formula("marked(seed)").unwrap()),
+            Conjecture::new(
+                "one",
+                ivy_fol::parse_formula(
+                    "forall X:node, Y:node. marked(X) & marked(Y) -> X = Y",
+                )
+                .unwrap(),
+            ),
+        ];
+        let cti = v.find_minimal_cti(&inv, &[]).unwrap().unwrap();
+        // Upper bound: the full CTI. Its conjecture excludes the CTI state,
+        // which IS reachable (any 1-marked state is): expect TooStrong.
+        let s_u = PartialStructure::from_structure(&cti.state);
+        match g.auto_generalize(&s_u, 2).unwrap() {
+            AutoGen::TooStrong(trace) => {
+                assert!(!trace.states.is_empty());
+            }
+            AutoGen::Generalized { conjecture, .. } => {
+                panic!("reachable configuration accepted: {conjecture}")
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_configuration_generalizes() {
+        let p = spread();
+        let g = Generalizer::new(&p);
+        // Configuration: a blue node. Nothing ever inserts into blue, so it
+        // is unreachable at any depth; the minimal core keeps just that fact.
+        use std::sync::Arc;
+        let mut s = ivy_fol::Structure::new(Arc::new(p.sig.clone()));
+        let a = s.add_element("node");
+        let b = s.add_element("node");
+        s.set_fun("seed", vec![], a.clone());
+        s.set_fun("n", vec![], a.clone());
+        s.set_rel("marked", vec![a.clone()], true);
+        s.set_rel("blue", vec![b.clone()], true);
+        let mut s_u = PartialStructure::empty_over(&s);
+        s_u.define_rel("blue", vec![b.clone()], true);
+        s_u.define_rel("marked", vec![a.clone()], true);
+        match g.auto_generalize(&s_u, 2).unwrap() {
+            AutoGen::Generalized {
+                partial,
+                conjecture,
+            } => {
+                // Auto-generalization drops the irrelevant `marked` fact:
+                // "no blue node anywhere" is the strongest k-invariant
+                // conjecture below s_u.
+                assert_eq!(partial.fact_count(), 1);
+                assert_eq!(
+                    conjecture.to_string(),
+                    "forall NODE1:node. ~blue(NODE1)"
+                );
+            }
+            AutoGen::TooStrong(_) => panic!("blue nodes are unreachable"),
+        }
+    }
+
+    #[test]
+    fn implied_checks_consequence() {
+        let p = spread();
+        let ax = p.axiom();
+        let strong =
+            ivy_fol::parse_formula("forall X:node. ~marked(X)").unwrap();
+        let weak = ivy_fol::parse_formula(
+            "forall X:node, Y:node. marked(X) & marked(Y) -> X = Y",
+        )
+        .unwrap();
+        assert!(implied(&p.sig, &ax, std::slice::from_ref(&strong), &weak).unwrap());
+        assert!(!implied(&p.sig, &ax, &[weak], &strong).unwrap());
+    }
+}

@@ -1,0 +1,27 @@
+//! The Ivy verification engine: interactive safety verification by
+//! generalization from counterexamples to induction (PLDI 2016).
+//!
+//! * [`vc`]: inductiveness checking (Equation 2) producing CTIs.
+//! * [`bmc`]: bounded verification / `k`-invariance (Section 4.1).
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod generalize;
+pub mod houdini;
+pub mod interact;
+pub mod minimize;
+pub mod users;
+pub mod viz;
+pub mod vc;
+
+pub use bmc::{Bmc, Trace};
+pub use generalize::{implied, AutoGen, Generalizer};
+pub use interact::{
+    CtiDecision, Proposal, ProposalDecision, Session, SessionCtx, SessionOutcome, SessionStats,
+    TooStrongDecision, User,
+};
+pub use houdini::{enumerate_candidates, houdini, houdini_with_template, HoudiniResult};
+pub use users::{violation_witness, OracleUser, ScriptedUser};
+pub use viz::{partial_to_dot, structure_to_dot, trace_to_dot, trace_to_text, Projection, VizOptions};
+pub use minimize::Measure;
+pub use vc::{Conjecture, Cti, Inductiveness, Verifier, Violation};

@@ -1,0 +1,581 @@
+//! Inductive-invariant checking (Equation 2 of the paper) and
+//! counterexamples to induction (CTIs).
+//!
+//! A candidate invariant is a set of universally quantified *conjectures*.
+//! Checking is decidable (Theorem 3.3); on failure a finite CTI state is
+//! produced: a state satisfying the axioms and every conjecture that either
+//! violates safety, or steps to a state violating some conjecture.
+
+use std::fmt;
+
+use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_fol::{Formula, Structure};
+use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program};
+
+/// A named conjecture of the candidate invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conjecture {
+    /// Display name (e.g. `C1`).
+    pub name: String,
+    /// The universally quantified formula.
+    pub formula: Formula,
+}
+
+impl Conjecture {
+    /// Creates a conjecture.
+    pub fn new(name: impl Into<String>, formula: Formula) -> Self {
+        Conjecture {
+            name: name.into(),
+            formula,
+        }
+    }
+}
+
+impl fmt::Display for Conjecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.formula)
+    }
+}
+
+/// Which inductiveness condition a CTI violates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An initial state violates the named conjecture.
+    Initiation {
+        /// The conjecture failing initiation.
+        conjecture: String,
+    },
+    /// A state satisfying the invariant violates the named safety property
+    /// (or reaches an abort, named `"abort in ..."`).
+    Safety {
+        /// The failing property.
+        property: String,
+    },
+    /// A state satisfying the invariant steps (via `action`) to a state
+    /// violating the named conjecture.
+    Consecution {
+        /// The conjecture broken in the successor state.
+        conjecture: String,
+        /// The action taken.
+        action: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Initiation { conjecture } => {
+                write!(f, "initiation of `{conjecture}` fails")
+            }
+            Violation::Safety { property } => write!(f, "safety `{property}` fails"),
+            Violation::Consecution { conjecture, action } => write!(
+                f,
+                "consecution of `{conjecture}` fails via action `{action}`"
+            ),
+        }
+    }
+}
+
+/// A counterexample to induction.
+#[derive(Clone, Debug)]
+pub struct Cti {
+    /// The offending state (for initiation: the post-init state).
+    pub state: Structure,
+    /// The successor state, for consecution violations (the paper's `(a2)`
+    /// displays).
+    pub successor: Option<Structure>,
+    /// What failed.
+    pub violation: Violation,
+}
+
+/// Result of an inductiveness check.
+#[derive(Clone, Debug)]
+pub enum Inductiveness {
+    /// All three conditions hold: the conjunction is an inductive invariant
+    /// and the program is safe.
+    Inductive,
+    /// A counterexample to induction.
+    Cti(Box<Cti>),
+}
+
+impl Inductiveness {
+    /// Whether the candidate was proven inductive.
+    pub fn is_inductive(&self) -> bool {
+        matches!(self, Inductiveness::Inductive)
+    }
+}
+
+/// The inductiveness checker for one program.
+#[derive(Clone, Debug)]
+pub struct Verifier<'p> {
+    program: &'p Program,
+    instance_limit: u64,
+}
+
+impl<'p> Verifier<'p> {
+    /// Creates a verifier.
+    pub fn new(program: &'p Program) -> Verifier<'p> {
+        Verifier {
+            program,
+            instance_limit: 4_000_000,
+        }
+    }
+
+    /// The program under verification.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Caps grounding size per query.
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// Checks whether the conjunction of `conjectures` is an inductive
+    /// invariant establishing the program's safety (Equation 2):
+    /// initiation, safety, and consecution — in that order, returning the
+    /// first CTI found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`] (e.g. a conjecture outside `∀*∃*` makes the
+    /// consecution query leave EPR).
+    pub fn check(&self, conjectures: &[Conjecture]) -> Result<Inductiveness, EprError> {
+        if let Some(cti) = self.check_initiation(conjectures)? {
+            return Ok(Inductiveness::Cti(Box::new(cti)));
+        }
+        if let Some(cti) = self.check_safety(conjectures)? {
+            return Ok(Inductiveness::Cti(Box::new(cti)));
+        }
+        if let Some(cti) = self.check_consecution(conjectures)? {
+            return Ok(Inductiveness::Cti(Box::new(cti)));
+        }
+        Ok(Inductiveness::Inductive)
+    }
+
+    /// Checks `A ⇒ wp(C_init, ϕ)` for each conjecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn check_initiation(
+        &self,
+        conjectures: &[Conjecture],
+    ) -> Result<Option<Cti>, EprError> {
+        let u = unroll(self.program, 0);
+        for c in conjectures {
+            let mut q = self.query(&u.sig)?;
+            q.assert_labeled("base", &u.base)?;
+            q.assert_labeled(
+                "violation",
+                &Formula::not(rename_symbols(&c.formula, &u.maps[0])),
+            )?;
+            if let EprOutcome::Sat(model) = q.check()? {
+                return Ok(Some(Cti {
+                    state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                    successor: None,
+                    violation: Violation::Initiation {
+                        conjecture: c.name.clone(),
+                    },
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Checks that invariant states satisfy the safety properties and cannot
+    /// abort (via the body or the finalization command).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn check_safety(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
+        let u = unroll_free(self.program, 1);
+        let state_map = u.maps[0].clone();
+        for (label, bad) in safety_cases(self.program, &u) {
+            if let Some(state) =
+                self.solve_state(&u.sig, &u.base, conjectures, &state_map, bad)?
+            {
+                return Ok(Some(Cti {
+                    state,
+                    successor: None,
+                    violation: Violation::Safety { property: label },
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Checks `A ∧ I ⇒ wp(C_body, ϕ)` for each conjecture `ϕ` of `I`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn check_consecution(
+        &self,
+        conjectures: &[Conjecture],
+    ) -> Result<Option<Cti>, EprError> {
+        let u = unroll_free(self.program, 1);
+        for c in conjectures {
+            let bad = Formula::and([
+                u.steps[0].clone(),
+                Formula::not(rename_symbols(&c.formula, &u.maps[1])),
+            ]);
+            if let Some(model) =
+                self.solve_model(&u.sig, &u.base, conjectures, &u.maps[0], bad)?
+            {
+                let action = u.step_paths[0]
+                    .iter()
+                    .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_default();
+                return Ok(Some(Cti {
+                    state: project_state(&model, &self.program.sig, &u.maps[0]),
+                    successor: Some(project_state(&model, &self.program.sig, &u.maps[1])),
+                    violation: Violation::Consecution {
+                        conjecture: c.name.clone(),
+                        action,
+                    },
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Re-solves a specific violation with extra constraints conjoined at
+    /// the CTI state's vocabulary — the workhorse of minimal-CTI search
+    /// (Algorithm 1). `extra` formulas are over the *base* vocabulary.
+    pub(crate) fn check_violation_constrained(
+        &self,
+        conjectures: &[Conjecture],
+        violation: &Violation,
+        extra: &[Formula],
+        round_limit: Option<usize>,
+    ) -> Result<Option<Cti>, EprError> {
+
+        match violation {
+            Violation::Initiation { conjecture } => {
+                let u = unroll(self.program, 0);
+                let mut bad = vec![Formula::not(rename_symbols(
+                    &find_formula(conjectures, conjecture),
+                    &u.maps[0],
+                ))];
+                bad.extend(extra.iter().map(|e| rename_symbols(e, &u.maps[0])));
+                let mut q = self.query_limited(&u.sig, round_limit)?;
+                q.assert_labeled("base", &u.base)?;
+                q.assert_labeled("violation", &Formula::and(bad))?;
+                match q.check()? {
+                    EprOutcome::Sat(model) => Ok(Some(Cti {
+                        state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                        successor: None,
+                        violation: violation.clone(),
+                    })),
+                    EprOutcome::Unsat(_) => Ok(None),
+                }
+            }
+            Violation::Safety { property } => {
+                let u = unroll_free(self.program, 1);
+                let state_map = u.maps[0].clone();
+                let Some((_, bad)) = safety_cases(self.program, &u)
+                    .into_iter()
+                    .find(|(label, _)| label == property)
+                else {
+                    return Ok(None);
+                };
+                let mut all = vec![bad];
+                all.extend(extra.iter().map(|e| rename_symbols(e, &state_map)));
+                Ok(self
+                    .solve_state_limited(
+                        &u.sig,
+                        &u.base,
+                        conjectures,
+                        &state_map,
+                        Formula::and(all),
+                        round_limit,
+                    )?
+                    .map(|state| Cti {
+                        state,
+                        successor: None,
+                        violation: violation.clone(),
+                    }))
+            }
+            Violation::Consecution { conjecture, .. } => {
+                let u = unroll_free(self.program, 1);
+                let mut bad = vec![
+                    u.steps[0].clone(),
+                    Formula::not(rename_symbols(
+                        &find_formula(conjectures, conjecture),
+                        &u.maps[1],
+                    )),
+                ];
+                bad.extend(extra.iter().map(|e| rename_symbols(e, &u.maps[0])));
+                if let Some(model) = self.solve_model_limited(
+                    &u.sig,
+                    &u.base,
+                    conjectures,
+                    &u.maps[0],
+                    Formula::and(bad),
+                    round_limit,
+                )? {
+                    let action = u.step_paths[0]
+                        .iter()
+                        .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                        .map(|(n, _)| n.clone())
+                        .unwrap_or_default();
+                    return Ok(Some(Cti {
+                        state: project_state(&model, &self.program.sig, &u.maps[0]),
+                        successor: Some(project_state(&model, &self.program.sig, &u.maps[1])),
+                        violation: Violation::Consecution {
+                            conjecture: conjecture.clone(),
+                            action,
+                        },
+                    }));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn query(&self, sig: &ivy_fol::Signature) -> Result<EprCheck, EprError> {
+        self.query_limited(sig, None)
+    }
+
+    fn query_limited(
+        &self,
+        sig: &ivy_fol::Signature,
+        round_limit: Option<usize>,
+    ) -> Result<EprCheck, EprError> {
+        let mut q = EprCheck::new(sig)?;
+        q.set_instance_limit(self.instance_limit);
+        q.set_lazy_round_limit(round_limit);
+        Ok(q)
+    }
+
+    fn solve_state(
+        &self,
+        sig: &ivy_fol::Signature,
+        base: &Formula,
+        conjectures: &[Conjecture],
+        state_map: &ivy_rml::SymMap,
+        bad: Formula,
+    ) -> Result<Option<Structure>, EprError> {
+        self.solve_state_limited(sig, base, conjectures, state_map, bad, None)
+    }
+
+    fn solve_state_limited(
+        &self,
+        sig: &ivy_fol::Signature,
+        base: &Formula,
+        conjectures: &[Conjecture],
+        state_map: &ivy_rml::SymMap,
+        bad: Formula,
+        round_limit: Option<usize>,
+    ) -> Result<Option<Structure>, EprError> {
+        Ok(self
+            .solve_model_limited(sig, base, conjectures, state_map, bad, round_limit)?
+            .map(|m| project_state(&m, &self.program.sig, state_map)))
+    }
+
+    fn solve_model(
+        &self,
+        sig: &ivy_fol::Signature,
+        base: &Formula,
+        conjectures: &[Conjecture],
+        state_map: &ivy_rml::SymMap,
+        bad: Formula,
+    ) -> Result<Option<Structure>, EprError> {
+        self.solve_model_limited(sig, base, conjectures, state_map, bad, None)
+    }
+
+    fn solve_model_limited(
+        &self,
+        sig: &ivy_fol::Signature,
+        base: &Formula,
+        conjectures: &[Conjecture],
+        state_map: &ivy_rml::SymMap,
+        bad: Formula,
+        round_limit: Option<usize>,
+    ) -> Result<Option<Structure>, EprError> {
+        let mut q = self.query_limited(sig, round_limit)?;
+        q.assert_labeled("base", base)?;
+        for c in conjectures {
+            q.assert_labeled(
+                format!("inv:{}", c.name),
+                &rename_symbols(&c.formula, state_map),
+            )?;
+        }
+        q.assert_labeled("violation", &bad)?;
+        match q.check()? {
+            EprOutcome::Sat(model) => Ok(Some(model.structure)),
+            EprOutcome::Unsat(_) => Ok(None),
+        }
+    }
+}
+
+/// The violation cases checked as "safety" at an arbitrary invariant state:
+/// each declared safety property, plus abort reachability through the body
+/// and the finalization command. Returns `(label, bad formula)` pairs over
+/// the vocabulary of `u.maps[0]`.
+fn safety_cases(program: &Program, u: &ivy_rml::Unrolling) -> Vec<(String, Formula)> {
+    let state_map = &u.maps[0];
+    let mut out: Vec<(String, Formula)> = program
+        .safety
+        .iter()
+        .map(|(label, phi)| (label.clone(), Formula::not(rename_symbols(phi, state_map))))
+        .collect();
+    for (action, err) in &u.step_errors[0] {
+        if err != &Formula::False {
+            out.push((format!("abort in action `{action}`"), err.clone()));
+        }
+    }
+    if u.final_errors[0] != Formula::False {
+        out.push(("abort in final".into(), u.final_errors[0].clone()));
+    }
+    out
+}
+
+fn find_formula(conjectures: &[Conjecture], name: &str) -> Formula {
+    conjectures
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.formula.clone())
+        .unwrap_or(Formula::True)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::parse_formula;
+    use ivy_rml::{check_program, parse_program};
+
+    /// Mark-spreading with a seed; "seed stays marked" is inductive,
+    /// "at most one marked" is not.
+    const SPREAD: &str = r#"
+sort node
+relation marked : node
+variable n : node
+variable seed : node
+safety seed_marked: marked(seed)
+init { marked(X0) := X0 = seed }
+action mark { havoc n; marked.insert(n) }
+"#;
+
+    fn spread() -> Program {
+        let p = parse_program(SPREAD).unwrap();
+        assert!(check_program(&p).is_empty(), "{:?}", check_program(&p));
+        p
+    }
+
+    #[test]
+    fn good_invariant_is_inductive() {
+        let p = spread();
+        let v = Verifier::new(&p);
+        let inv = vec![Conjecture::new(
+            "C0",
+            parse_formula("marked(seed)").unwrap(),
+        )];
+        assert!(v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn empty_invariant_fails_safety() {
+        let p = spread();
+        let v = Verifier::new(&p);
+        match v.check(&[]).unwrap() {
+            Inductiveness::Cti(cti) => {
+                assert_eq!(
+                    cti.violation,
+                    Violation::Safety {
+                        property: "seed_marked".into()
+                    }
+                );
+                // The CTI state indeed violates the safety property.
+                let phi = parse_formula("marked(seed)").unwrap();
+                assert!(!cti.state.eval_closed(&phi).unwrap());
+            }
+            Inductiveness::Inductive => panic!("expected CTI"),
+        }
+    }
+
+    #[test]
+    fn non_inductive_conjecture_yields_consecution_cti() {
+        let p = spread();
+        let v = Verifier::new(&p);
+        let inv = vec![
+            Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+            Conjecture::new(
+                "C1",
+                parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y")
+                    .unwrap(),
+            ),
+        ];
+        match v.check(&inv).unwrap() {
+            Inductiveness::Cti(cti) => {
+                let Violation::Consecution { conjecture, action } = &cti.violation else {
+                    panic!("expected consecution, got {}", cti.violation);
+                };
+                assert_eq!(conjecture, "C1");
+                assert_eq!(action, "mark");
+                // Pre-state satisfies all conjectures; successor violates C1.
+                for c in &inv {
+                    assert!(cti.state.eval_closed(&c.formula).unwrap(), "{c}");
+                }
+                let succ = cti.successor.as_ref().unwrap();
+                assert!(!succ.eval_closed(&inv[1].formula).unwrap());
+            }
+            Inductiveness::Inductive => panic!("expected CTI"),
+        }
+    }
+
+    #[test]
+    fn initiation_violation_detected() {
+        let p = spread();
+        let v = Verifier::new(&p);
+        // "nothing is marked" is false right after init.
+        let inv = vec![
+            Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+            Conjecture::new(
+                "Cbad",
+                parse_formula("forall X:node. ~marked(X)").unwrap(),
+            ),
+        ];
+        match v.check(&inv).unwrap() {
+            Inductiveness::Cti(cti) => {
+                assert_eq!(
+                    cti.violation,
+                    Violation::Initiation {
+                        conjecture: "Cbad".into()
+                    }
+                );
+            }
+            Inductiveness::Inductive => panic!("expected CTI"),
+        }
+    }
+
+    #[test]
+    fn abort_reachability_counts_as_safety() {
+        let src = r#"
+sort node
+relation marked : node
+variable n : node
+init { marked(X0) := false }
+action bad { havoc n; assume marked(n); abort }
+"#;
+        let p = parse_program(src).unwrap();
+        assert!(check_program(&p).is_empty());
+        let v = Verifier::new(&p);
+        // Without an invariant, a state with a marked node reaches abort.
+        match v.check(&[]).unwrap() {
+            Inductiveness::Cti(cti) => {
+                assert!(matches!(cti.violation, Violation::Safety { .. }));
+            }
+            Inductiveness::Inductive => panic!("expected CTI"),
+        }
+        // With the invariant "nothing marked", the program is inductive-safe.
+        let inv = vec![Conjecture::new(
+            "none",
+            parse_formula("forall X:node. ~marked(X)").unwrap(),
+        )];
+        assert!(v.check(&inv).unwrap().is_inductive());
+    }
+}

@@ -1,0 +1,365 @@
+//! Graphical display of states, partial structures, and traces
+//! (Section 2.1 of the paper).
+//!
+//! The paper's Ivy renders states in an IPython GUI: vertices per element
+//! (shaped by sort), unary relations as vertex labels, binary relations and
+//! functions as edges, and higher-arity relations through user-chosen
+//! binary *projections* (the `btw` ring is displayed as the derived `next`
+//! edge). This module reproduces those displays as Graphviz DOT documents
+//! and plain-text summaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ivy_fol::{Elem, Formula, PartialStructure, Structure, Sym};
+
+use crate::bmc::Trace;
+
+/// A derived binary relation used to display a higher-arity relation, e.g.
+/// `next(X, Y)` derived from the ternary ring order `btw` in the paper's
+/// figures. The formula has exactly the free variables `X` and `Y`.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    /// Edge label in the rendering.
+    pub name: String,
+    /// Defining formula with free variables `X` and `Y` (same sort).
+    pub formula: Formula,
+    /// The sort of `X` and `Y`.
+    pub sort: ivy_fol::Sort,
+}
+
+/// Rendering options.
+#[derive(Clone, Debug, Default)]
+pub struct VizOptions {
+    /// Symbols to hide (e.g. scratch locals, or a relation replaced by a
+    /// projection).
+    pub hide: Vec<Sym>,
+    /// Derived binary relations to display.
+    pub projections: Vec<Projection>,
+    /// Show negative unary facts (`~leader`) as labels, as in Figure 7.
+    pub show_negative_unary: bool,
+}
+
+impl VizOptions {
+    /// Hides a symbol.
+    pub fn hide(mut self, sym: impl Into<Sym>) -> Self {
+        self.hide.push(sym.into());
+        self
+    }
+
+    /// Adds a projection.
+    pub fn project(mut self, p: Projection) -> Self {
+        self.projections.push(p);
+        self
+    }
+}
+
+const SHAPES: &[&str] = &["ellipse", "box", "diamond", "hexagon", "trapezium"];
+
+fn node_id(e: &Elem) -> String {
+    format!("{}_{}", e.sort, e.idx)
+}
+
+/// Renders a structure as a Graphviz DOT document.
+pub fn structure_to_dot(s: &Structure, opts: &VizOptions) -> String {
+    let mut out = String::from("digraph state {\n  rankdir=LR;\n");
+    let sig = s.signature().clone();
+    // Vertices: one per element, shaped by sort, labeled with the element
+    // name plus its unary relation memberships.
+    for (si, sort) in sig.sorts().iter().enumerate() {
+        for e in s.elements(sort).collect::<Vec<_>>() {
+            let mut labels = vec![format!("{e}")];
+            for (rel, args) in sig.relations() {
+                if opts.hide.contains(rel) || args.len() != 1 || &args[0] != sort {
+                    continue;
+                }
+                if s.rel_holds(rel, std::slice::from_ref(&e)) {
+                    labels.push(rel.to_string());
+                } else if opts.show_negative_unary {
+                    labels.push(format!("~{rel}"));
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {} [shape={}, label=\"{}\"];",
+                node_id(&e),
+                SHAPES[si % SHAPES.len()],
+                labels.join("\\n")
+            );
+        }
+    }
+    // Binary relations as edges.
+    for (rel, args) in sig.relations() {
+        if opts.hide.contains(rel) || args.len() != 2 {
+            continue;
+        }
+        for tuple in s.rel_tuples(rel) {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{rel}\"];",
+                node_id(&tuple[0]),
+                node_id(&tuple[1])
+            );
+        }
+    }
+    // Unary functions as edges; constants as standalone labels.
+    for (fun, decl) in sig.functions() {
+        if opts.hide.contains(fun) {
+            continue;
+        }
+        match decl.arity() {
+            0 => {
+                if let Some(v) = s.fun_app(fun, &[]) {
+                    let _ = writeln!(
+                        out,
+                        "  {fun} [shape=plaintext, label=\"{fun}\"];\n  {fun} -> {} [style=dotted];",
+                        node_id(&v)
+                    );
+                }
+            }
+            1 => {
+                for (args, res) in s.fun_entries(fun) {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"{fun}\", style=dashed];",
+                        node_id(&args[0]),
+                        node_id(res)
+                    );
+                }
+            }
+            _ => {} // displayed via projections or the text summary
+        }
+    }
+    // Projections of higher-arity relations (the paper's `next` for `btw`).
+    for p in &opts.projections {
+        let elems: Vec<Elem> = s.elements(&p.sort).collect();
+        for a in &elems {
+            for b in &elems {
+                if a == b {
+                    continue;
+                }
+                let mut env = BTreeMap::new();
+                env.insert(Sym::new("X"), a.clone());
+                env.insert(Sym::new("Y"), b.clone());
+                if s.eval(&p.formula, &env).unwrap_or(false) {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"{}\", color=gray];",
+                        node_id(a),
+                        node_id(b),
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a partial structure (a generalization) as DOT: only *defined*
+/// facts appear, negative facts dashed-red, exactly like the paper's (b)/(c)
+/// panels.
+pub fn partial_to_dot(p: &PartialStructure, opts: &VizOptions) -> String {
+    let mut out = String::from("digraph generalization {\n  rankdir=LR;\n");
+    let sig = p.signature().clone();
+    let sort_index: BTreeMap<_, _> = sig
+        .sorts()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect();
+    // Labels from unary facts.
+    let mut labels: BTreeMap<Elem, Vec<String>> = BTreeMap::new();
+    for e in p.domain() {
+        labels.insert(e.clone(), vec![format!("{e}")]);
+    }
+    for fact in p.facts() {
+        if let ivy_fol::Fact::Rel { sym, tuple, value } = fact {
+            if tuple.len() == 1 && !opts.hide.contains(sym) {
+                let label = if *value {
+                    sym.to_string()
+                } else {
+                    format!("~{sym}")
+                };
+                labels.entry(tuple[0].clone()).or_default().push(label);
+            }
+        }
+    }
+    for (e, label_parts) in &labels {
+        let _ = writeln!(
+            out,
+            "  {} [shape={}, label=\"{}\"];",
+            node_id(e),
+            SHAPES[sort_index.get(&e.sort).copied().unwrap_or(0) % SHAPES.len()],
+            label_parts.join("\\n")
+        );
+    }
+    for fact in p.facts() {
+        match fact {
+            ivy_fol::Fact::Rel { sym, tuple, value } if tuple.len() == 2 => {
+                if opts.hide.contains(sym) {
+                    continue;
+                }
+                let style = if *value {
+                    "solid"
+                } else {
+                    "dashed, color=red"
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{}{sym}\", style={style}];",
+                    node_id(&tuple[0]),
+                    node_id(&tuple[1]),
+                    if *value { "" } else { "~" },
+                );
+            }
+            ivy_fol::Fact::Fun {
+                sym,
+                args,
+                result,
+                value,
+            } if args.len() == 1 && *value => {
+                if opts.hide.contains(sym) {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{sym}\", style=dashed];",
+                    node_id(&args[0]),
+                    node_id(result)
+                );
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a BMC/CTI trace as a multi-line text document, one state per
+/// step with the action taken in between (the textual form of Figure 4).
+pub fn trace_to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "violation: {}", trace.violated);
+    for (i, state) in trace.states.iter().enumerate() {
+        let _ = writeln!(out, "state {i}: {state}");
+        if i < trace.actions.len() {
+            let action = if trace.actions[i].is_empty() {
+                "?"
+            } else {
+                &trace.actions[i]
+            };
+            let _ = writeln!(out, "  --[{action}]-->");
+        }
+    }
+    out
+}
+
+/// Renders a trace as one DOT document per state, concatenated (callers can
+/// split on `digraph`).
+pub fn trace_to_dot(trace: &Trace, opts: &VizOptions) -> String {
+    let mut out = String::new();
+    for (i, state) in trace.states.iter().enumerate() {
+        let _ = writeln!(out, "// state {i}");
+        out.push_str(&structure_to_dot(state, opts));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::{parse_formula, Signature, Sort};
+    use std::sync::Arc;
+
+    fn ring_state() -> Structure {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_relation("btw", ["node", "node", "node"]).unwrap();
+        sig.add_relation("pnd", ["id", "node"]).unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        let nodes: Vec<_> = (0..3).map(|_| s.add_element("node")).collect();
+        let ids: Vec<_> = (0..3).map(|_| s.add_element("id")).collect();
+        for (n, i) in nodes.iter().zip(&ids) {
+            s.set_fun("idf", vec![n.clone()], i.clone());
+        }
+        s.set_rel("leader", vec![nodes[0].clone()], true);
+        // Ring 0 -> 1 -> 2 -> 0.
+        for (a, b, c) in [(0, 1, 2), (1, 2, 0), (2, 0, 1)] {
+            s.set_rel(
+                "btw",
+                vec![nodes[a].clone(), nodes[b].clone(), nodes[c].clone()],
+                true,
+            );
+        }
+        s
+    }
+
+    fn next_projection() -> Projection {
+        Projection {
+            name: "next".into(),
+            formula: parse_formula("forall Z:node. Z ~= X & Z ~= Y -> btw(X, Y, Z)").unwrap(),
+            sort: Sort::new("node"),
+        }
+    }
+
+    #[test]
+    fn dot_contains_elements_and_edges() {
+        let s = ring_state();
+        let opts = VizOptions::default().hide("btw").project(next_projection());
+        let dot = structure_to_dot(&s, &opts);
+        assert!(dot.contains("node_0"), "{dot}");
+        assert!(dot.contains("leader"));
+        assert!(dot.contains("label=\"idf\""));
+        // btw hidden, next projected: node0 -> node1 via next.
+        assert!(!dot.contains("btw"));
+        assert!(dot.contains("node_0 -> node_1 [label=\"next\""));
+        assert!(dot.contains("node_2 -> node_0 [label=\"next\""));
+    }
+
+    #[test]
+    fn negative_unary_labels_optional() {
+        let s = ring_state();
+        let opts = VizOptions {
+            show_negative_unary: true,
+            ..VizOptions::default()
+        };
+        let dot = structure_to_dot(&s, &opts);
+        assert!(dot.contains("~leader"));
+        let dot2 = structure_to_dot(&s, &VizOptions::default());
+        assert!(!dot2.contains("~leader"));
+    }
+
+    #[test]
+    fn partial_structure_renders_defined_facts_only() {
+        let s = ring_state();
+        let mut p = PartialStructure::empty_over(&s);
+        let n0 = Elem::new("node", 0);
+        let n1 = Elem::new("node", 1);
+        p.define_rel("leader", vec![n0.clone()], true);
+        p.define_rel("leader", vec![n1.clone()], false);
+        let dot = partial_to_dot(&p, &VizOptions::default());
+        assert!(dot.contains("leader"));
+        assert!(dot.contains("~leader"));
+        assert!(!dot.contains("idf"), "undefined facts must not render");
+    }
+
+    #[test]
+    fn trace_text_lists_states_and_actions() {
+        let trace = Trace {
+            states: vec![ring_state(), ring_state()],
+            actions: vec!["send".into()],
+            violated: "at_most_one_leader".into(),
+        };
+        let text = trace_to_text(&trace);
+        assert!(text.contains("state 0"));
+        assert!(text.contains("--[send]-->"));
+        assert!(text.contains("at_most_one_leader"));
+        let dot = trace_to_dot(&trace, &VizOptions::default());
+        assert_eq!(dot.matches("digraph").count(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the interactive session: weakening, stopping,
+//! budget exhaustion, and the too-strong path (Figure 5's branches that the
+//! happy-path protocol sessions do not exercise).
+
+use ivy_core::{
+    Conjecture, CtiDecision, ProposalDecision, ScriptedUser, Session, SessionOutcome,
+    TooStrongDecision, User,
+};
+use ivy_fol::{parse_formula, PartialStructure, Sym};
+use ivy_rml::{check_program, parse_program, Program};
+
+const SPREAD: &str = r#"
+sort node
+relation marked : node
+relation blue : node
+local n : node
+variable seed : node
+safety seed_marked: marked(seed)
+init { marked(X0) := X0 = seed; blue(X0) := false }
+action mark { havoc n; marked.insert(n) }
+"#;
+
+fn spread() -> Program {
+    let p = parse_program(SPREAD).unwrap();
+    assert!(check_program(&p).is_empty());
+    p
+}
+
+#[test]
+fn weakening_removes_bad_conjectures() {
+    let p = spread();
+    // Start with safety plus a conjecture that fails initiation (wrong).
+    let initial = vec![
+        Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+        Conjecture::new("Cbad", parse_formula("forall X:node. ~marked(X)").unwrap()),
+    ];
+    let mut session = Session::new(&p, initial, vec![]);
+    let mut user = ScriptedUser::new();
+    user.push_cti(|_ctx, cti| {
+        // The CTI pinpoints the initiation failure of Cbad: weaken.
+        assert!(matches!(
+            cti.violation,
+            ivy_core::Violation::Initiation { .. }
+        ));
+        CtiDecision::Weaken {
+            remove: vec!["Cbad".into()],
+        }
+    });
+    let outcome = session.run(&mut user, 5).unwrap();
+    assert_eq!(outcome, SessionOutcome::Proved);
+    assert_eq!(session.conjectures().len(), 1);
+    assert_eq!(session.stats().weakened, 1);
+}
+
+#[test]
+fn stop_is_respected() {
+    let p = spread();
+    let initial = vec![
+        Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+        Conjecture::new(
+            "one",
+            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
+        ),
+    ];
+    let mut session = Session::new(&p, initial, vec![]);
+    let mut user = ScriptedUser::new(); // empty script: stops at first CTI
+    assert_eq!(session.run(&mut user, 5).unwrap(), SessionOutcome::Stopped);
+}
+
+#[test]
+fn budget_exhaustion_reported() {
+    struct Stubborn;
+    impl User for Stubborn {
+        fn on_cti(&mut self, _ctx: &ivy_core::SessionCtx<'_>, _cti: &ivy_core::Cti) -> CtiDecision {
+            // A user that dithers: "weakens" nothing, making no progress.
+            // The same CTI comes back every iteration until the budget runs
+            // out.
+            CtiDecision::Weaken { remove: vec![] }
+        }
+        fn on_too_strong(
+            &mut self,
+            _ctx: &ivy_core::SessionCtx<'_>,
+            _attempted: &PartialStructure,
+            _trace: &ivy_core::Trace,
+        ) -> TooStrongDecision {
+            TooStrongDecision::Stop
+        }
+        fn on_proposal(
+            &mut self,
+            _ctx: &ivy_core::SessionCtx<'_>,
+            _proposal: &ivy_core::Proposal,
+        ) -> ProposalDecision {
+            ProposalDecision::AcceptUpperBound
+        }
+    }
+    let p = spread();
+    let initial = vec![
+        Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+        Conjecture::new(
+            "one",
+            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
+        ),
+    ];
+    let mut session = Session::new(&p, initial, vec![]);
+    let outcome = session.run(&mut Stubborn, 3).unwrap();
+    assert_eq!(outcome, SessionOutcome::OutOfBudget);
+    assert_eq!(session.stats().ctis, 4, "budget + 1 detection");
+}
+
+#[test]
+fn too_strong_feedback_reaches_user() {
+    // A user that over-generalizes (empty facts on a reachable pattern)
+    // gets a trace and retries with the full CTI.
+    struct Learner {
+        saw_too_strong: bool,
+    }
+    impl User for Learner {
+        fn on_cti(&mut self, _ctx: &ivy_core::SessionCtx<'_>, cti: &ivy_core::Cti) -> CtiDecision {
+            // Over-generalize: keep only the `marked` positive facts —
+            // excludes ALL states with any marked node, but such states are
+            // reachable (the initial state!), so BMC must object.
+            let mut s_u = PartialStructure::from_structure(&cti.state);
+            s_u.retain_facts(|f| f.symbol() == &Sym::new("marked") && f.value());
+            CtiDecision::Generalize {
+                upper_bound: s_u,
+                bound: 2,
+            }
+        }
+        fn on_too_strong(
+            &mut self,
+            _ctx: &ivy_core::SessionCtx<'_>,
+            _attempted: &PartialStructure,
+            trace: &ivy_core::Trace,
+        ) -> TooStrongDecision {
+            self.saw_too_strong = true;
+            assert!(!trace.states.is_empty());
+            TooStrongDecision::Stop
+        }
+        fn on_proposal(
+            &mut self,
+            _ctx: &ivy_core::SessionCtx<'_>,
+            _proposal: &ivy_core::Proposal,
+        ) -> ProposalDecision {
+            ProposalDecision::Stop
+        }
+    }
+    let p = spread();
+    let initial = vec![
+        Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+        Conjecture::new(
+            "one",
+            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
+        ),
+    ];
+    let mut session = Session::new(&p, initial, vec![]);
+    let mut user = Learner {
+        saw_too_strong: false,
+    };
+    let outcome = session.run(&mut user, 5).unwrap();
+    assert_eq!(outcome, SessionOutcome::Stopped);
+    assert!(user.saw_too_strong, "BMC must reject the over-generalization");
+}

@@ -1,0 +1,715 @@
+//! The EPR satisfiability check: the decision procedure behind every Ivy
+//! query (Theorem 3.3 of the paper).
+//!
+//! Input: a signature with stratified functions and a set of labeled
+//! sentences that are `∃*∀*` after prenexing. Output: a finite model
+//! (structure) or an UNSAT core over the labels.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ivy_fol::xform::Block;
+use ivy_fol::{
+    eliminate_ite, skolemize, Binding, Elem, Formula, SigError, Signature, SkolemError, Sort,
+    SortError, Structure, Sym,
+};
+use ivy_sat::{Lit, SolveResult, Stats};
+
+use crate::encode::{Encoder, EqualityMode};
+
+/// A Skolemized assertion split into miniscoped universal jobs.
+type GroundJob = (Vec<Binding>, Formula);
+use crate::ground::{ensure_inhabited, TermTable};
+
+/// Errors from the EPR check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EprError {
+    /// Signature problem (e.g. not stratified).
+    Sig(SigError),
+    /// An assertion is ill-sorted.
+    Sort(SortError),
+    /// An assertion is outside `∃*∀*` (or open), so Skolemization fails.
+    Skolem(SkolemError),
+    /// Grounding would create more instantiations than the configured limit.
+    TooManyInstances {
+        /// Estimated number of ground instances.
+        estimated: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The lazy equality repair loop exceeded its configured round limit
+    /// (only with [`EprCheck::set_lazy_round_limit`]); the query is
+    /// undecided. Best-effort callers treat this as "give up".
+    RepairLimit {
+        /// Rounds performed before giving up.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for EprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EprError::Sig(e) => write!(f, "signature error: {e}"),
+            EprError::Sort(e) => write!(f, "sort error: {e}"),
+            EprError::Skolem(e) => write!(f, "fragment error: {e}"),
+            EprError::TooManyInstances { estimated, limit } => write!(
+                f,
+                "grounding needs ~{estimated} instances, over the limit of {limit}"
+            ),
+            EprError::RepairLimit { rounds } => write!(
+                f,
+                "lazy equality repair gave up after {rounds} rounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EprError {}
+
+impl From<SigError> for EprError {
+    fn from(e: SigError) -> Self {
+        EprError::Sig(e)
+    }
+}
+
+impl From<SortError> for EprError {
+    fn from(e: SortError) -> Self {
+        EprError::Sort(e)
+    }
+}
+
+impl From<SkolemError> for EprError {
+    fn from(e: SkolemError) -> Self {
+        EprError::Skolem(e)
+    }
+}
+
+/// A finite model of the asserted sentences.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// The model as a finite first-order structure. Its signature is the
+    /// *extended* signature (original symbols plus Skolem constants).
+    pub structure: Structure,
+}
+
+/// Outcome of [`EprCheck::check`].
+#[derive(Clone, Debug)]
+pub enum EprOutcome {
+    /// Satisfiable, with a finite model (the finite-model property of EPR).
+    Sat(Box<Model>),
+    /// Unsatisfiable; the labels of an unsatisfiable subset of assertions.
+    Unsat(Vec<String>),
+}
+
+impl EprOutcome {
+    /// Whether the outcome is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, EprOutcome::Sat(_))
+    }
+}
+
+/// Diagnostics about the last grounding (sizes, for benchmarking).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroundStats {
+    /// Ground terms in the universe.
+    pub universe: usize,
+    /// Universal instantiations performed.
+    pub instances: u64,
+    /// Equality axiom clauses added (eager mode) or added lazily.
+    pub equality_clauses: usize,
+    /// Lazy-equality repair rounds performed (0 in eager mode).
+    pub equality_rounds: usize,
+    /// SAT variables allocated.
+    pub sat_vars: usize,
+    /// SAT solver statistics.
+    pub sat: Stats,
+}
+
+/// An EPR satisfiability query: labeled `∃*∀*` assertions over a signature.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::{parse_formula, Signature};
+/// use ivy_epr::EprCheck;
+///
+/// let mut sig = Signature::new();
+/// sig.add_sort("s")?;
+/// sig.add_relation("r", ["s", "s"])?;
+/// let mut q = EprCheck::new(&sig)?;
+/// q.assert_labeled("total", &parse_formula("forall X:s, Y:s. r(X, Y) | r(Y, X)")?)?;
+/// q.assert_labeled("gap", &parse_formula("exists X:s, Y:s. ~r(X, Y) & ~r(Y, X)")?)?;
+/// assert!(!q.check()?.is_sat());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EprCheck {
+    sig: Signature,
+    assertions: Vec<(String, Formula)>,
+    instance_limit: u64,
+    equality_mode: EqualityMode,
+    lazy_round_limit: Option<usize>,
+    stats: GroundStats,
+}
+
+impl EprCheck {
+    /// Creates a query over `sig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EprError::Sig`] if the signature's functions are not
+    /// stratified — the decidability precondition of Section 3.3.
+    pub fn new(sig: &Signature) -> Result<EprCheck, EprError> {
+        sig.stratification()?;
+        Ok(EprCheck {
+            sig: sig.clone(),
+            assertions: Vec::new(),
+            instance_limit: 4_000_000,
+            equality_mode: EqualityMode::default(),
+            lazy_round_limit: None,
+            stats: GroundStats::default(),
+        })
+    }
+
+    /// Bounds the lazy equality repair loop; exceeding it yields
+    /// [`EprError::RepairLimit`]. `None` (the default) never gives up.
+    pub fn set_lazy_round_limit(&mut self, limit: Option<usize>) {
+        self.lazy_round_limit = limit;
+    }
+
+    /// Selects eager or lazy equality axiom generation (default: lazy).
+    pub fn set_equality_mode(&mut self, mode: EqualityMode) {
+        self.equality_mode = mode;
+    }
+
+    /// Caps the number of universal instantiations grounding may perform.
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// Adds a labeled assertion. The formula must be closed and well-sorted;
+    /// its quantifier structure is validated at [`EprCheck::check`] time
+    /// (after Skolemization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EprError::Sort`] for ill-sorted formulas.
+    pub fn assert_labeled(
+        &mut self,
+        label: impl Into<String>,
+        f: &Formula,
+    ) -> Result<(), EprError> {
+        f.well_sorted(&self.sig, &BTreeMap::new())?;
+        self.assertions.push((label.into(), f.clone()));
+        Ok(())
+    }
+
+    /// Grounding and solving statistics of the last `check` call.
+    pub fn stats(&self) -> GroundStats {
+        self.stats
+    }
+
+    /// Decides satisfiability of the conjunction of all assertions.
+    ///
+    /// # Errors
+    ///
+    /// [`EprError::Skolem`] when an assertion leaves `∃*∀*`;
+    /// [`EprError::TooManyInstances`] when grounding exceeds the limit.
+    pub fn check(&mut self) -> Result<EprOutcome, EprError> {
+        let mut work_sig = self.sig.clone();
+        // Split, then Skolemize every assertion, extending the working
+        // signature. Splitting (relational Tseitin with fresh nullary guard
+        // relations) keeps disjunctions of universally-defined transition
+        // paths from merging all their quantifiers into one huge block —
+        // without it a BMC step over p paths with v variables each would
+        // ground over (p·v) variables at once.
+        let mut guard_counter = 0usize;
+        let mut ground_jobs: Vec<(String, Vec<GroundJob>)> = Vec::new();
+        for (label, f) in &self.assertions {
+            let f = eliminate_ite(f);
+            let mut pieces = Vec::new();
+            split_for_grounding(
+                &ivy_fol::nnf(&f),
+                Vec::new(),
+                &mut work_sig,
+                &mut guard_counter,
+                &mut pieces,
+            );
+            let mut jobs = Vec::new();
+            for piece in pieces {
+                let sk = skolemize(&piece, &mut work_sig)?;
+                let bindings: Vec<Binding> = sk
+                    .universal
+                    .prefix
+                    .iter()
+                    .flat_map(|b| match b {
+                        Block::Forall(bs) => bs.clone(),
+                        Block::Exists(_) => unreachable!("skolemize leaves only universals"),
+                    })
+                    .collect();
+                // Miniscope: instantiate each top-level conjunct only over
+                // the variables it actually uses.
+                for conjunct in sk.universal.matrix.conjuncts() {
+                    let fv = conjunct.free_vars();
+                    let needed: Vec<Binding> = bindings
+                        .iter()
+                        .filter(|b| fv.contains(&b.var))
+                        .cloned()
+                        .collect();
+                    jobs.push((needed, conjunct.clone()));
+                }
+            }
+            ground_jobs.push((label.clone(), jobs));
+        }
+        ensure_inhabited(&mut work_sig);
+        let table = TermTable::build(&work_sig);
+        // Estimate and enforce the instantiation budget.
+        let mut estimated: u64 = 0;
+        for (_, jobs) in &ground_jobs {
+            for (bindings, _) in jobs {
+                let mut count: u64 = 1;
+                for b in bindings {
+                    count = count.saturating_mul(table.of_sort(&b.sort).len() as u64);
+                }
+                estimated = estimated.saturating_add(count);
+            }
+        }
+        if estimated > self.instance_limit {
+            return Err(EprError::TooManyInstances {
+                estimated,
+                limit: self.instance_limit,
+            });
+        }
+        self.stats = GroundStats {
+            universe: table.len(),
+            instances: estimated,
+            ..GroundStats::default()
+        };
+        let mut enc = Encoder::new(table);
+        // One assumption guard per assertion (for UNSAT cores).
+        let mut guards: Vec<(Lit, String)> = Vec::new();
+        for (label, jobs) in &ground_jobs {
+            let guard = enc.fresh_var().pos();
+            guards.push((guard, label.clone()));
+            for (bindings, matrix) in jobs {
+                instantiate(&mut enc, guard, bindings, matrix);
+            }
+        }
+        let assumptions: Vec<Lit> = guards.iter().map(|(g, _)| *g).collect();
+        let result = match self.equality_mode {
+            EqualityMode::Eager => {
+                self.stats.equality_clauses = enc.finalize_equality();
+                enc.solver_mut().solve_with_assumptions(&assumptions)
+            }
+            EqualityMode::Lazy => {
+                let (result, rounds) = enc.solve_lazy(&assumptions, self.lazy_round_limit);
+                self.stats.equality_rounds = rounds;
+                match result {
+                    Some(r) => r,
+                    None => return Err(EprError::RepairLimit { rounds }),
+                }
+            }
+        };
+        self.stats.sat_vars = enc.solver().num_vars();
+        self.stats.sat = enc.solver().stats();
+        match result {
+            SolveResult::Sat => {
+                let structure = extract_structure(&enc, &work_sig);
+                Ok(EprOutcome::Sat(Box::new(Model { structure })))
+            }
+            SolveResult::Unsat => {
+                let core: Vec<String> = enc
+                    .solver()
+                    .unsat_core()
+                    .iter()
+                    .filter_map(|l| {
+                        guards
+                            .iter()
+                            .find(|(g, _)| g == l)
+                            .map(|(_, label)| label.clone())
+                    })
+                    .collect();
+                Ok(EprOutcome::Unsat(core))
+            }
+        }
+    }
+}
+
+/// Splits an NNF sentence into equisatisfiable pieces whose quantifier
+/// blocks stay small (Plaisted–Greenbaum-style definitional splitting):
+///
+/// * conjunctions split into separate pieces;
+/// * universal quantifiers distribute over the conjuncts of their body;
+/// * inside a disjunction, each non-literal disjunct is replaced by a fresh
+///   nullary *guard* relation `g`, and `¬g ∨ disjunct` is split recursively.
+///
+/// `guard` carries the accumulated guard literals to prefix onto every
+/// emitted piece. Sound for positively asserted sentences.
+fn split_for_grounding(
+    f: &Formula,
+    guard: Vec<Formula>,
+    sig: &mut Signature,
+    counter: &mut usize,
+    out: &mut Vec<Formula>,
+) {
+    match f {
+        Formula::And(fs) => {
+            for g in fs {
+                split_for_grounding(g, guard.clone(), sig, counter, out);
+            }
+        }
+        Formula::Forall(bs, body) => {
+            // ∀x.(A ∧ B) = (∀x.A) ∧ (∀x.B); restrict bindings per conjunct.
+            if let Formula::And(cs) = body.as_ref() {
+                for c in cs {
+                    let fv = c.free_vars();
+                    let needed: Vec<Binding> = bs
+                        .iter()
+                        .filter(|b| fv.contains(&b.var))
+                        .cloned()
+                        .collect();
+                    split_for_grounding(
+                        &Formula::forall(needed, c.clone()),
+                        guard.clone(),
+                        sig,
+                        counter,
+                        out,
+                    );
+                }
+            } else {
+                emit_piece(f.clone(), guard, out);
+            }
+        }
+        Formula::Or(fs) => {
+            // Estimate whether splitting pays off: count disjuncts that are
+            // conjunctions or quantified formulas.
+            let complex = |g: &Formula| {
+                matches!(
+                    g,
+                    Formula::And(_) | Formula::Forall(..) | Formula::Exists(..) | Formula::Or(_)
+                )
+            };
+            if fs.iter().filter(|g| complex(g)).count() <= 1 {
+                // At most one structured disjunct: keep intact (prenexing
+                // handles a single block fine).
+                emit_piece(f.clone(), guard, out);
+                return;
+            }
+            let mut disjuncts = Vec::with_capacity(fs.len());
+            for g in fs {
+                if complex(g) {
+                    let name = loop {
+                        let candidate = Sym::new(format!("split__{counter}"));
+                        *counter += 1;
+                        if sig.relation(&candidate).is_none() && sig.function(&candidate).is_none()
+                        {
+                            break candidate;
+                        }
+                    };
+                    sig.add_relation(name.clone(), Vec::<ivy_fol::Sort>::new())
+                        .expect("fresh guard name");
+                    let guard_atom = Formula::rel(name, Vec::<ivy_fol::Term>::new());
+                    disjuncts.push(guard_atom.clone());
+                    let mut inner_guard = guard.clone();
+                    inner_guard.push(Formula::not(guard_atom));
+                    split_for_grounding(g, inner_guard, sig, counter, out);
+                } else {
+                    disjuncts.push(g.clone());
+                }
+            }
+            emit_piece(Formula::or(disjuncts), guard, out);
+        }
+        _ => emit_piece(f.clone(), guard, out),
+    }
+}
+
+fn emit_piece(f: Formula, guard: Vec<Formula>, out: &mut Vec<Formula>) {
+    if guard.is_empty() {
+        out.push(f);
+    } else {
+        let mut parts = guard;
+        parts.push(f);
+        out.push(Formula::or(parts));
+    }
+}
+
+/// Enumerates all ground instantiations of `bindings` and asserts
+/// `guard -> matrix[env]` for each.
+fn instantiate(enc: &mut Encoder, guard: Lit, bindings: &[Binding], matrix: &Formula) {
+    fn go(
+        enc: &mut Encoder,
+        guard: Lit,
+        bindings: &[Binding],
+        matrix: &Formula,
+        env: &mut Vec<(Sym, usize)>,
+    ) {
+        if env.len() == bindings.len() {
+            let root = enc.encode(matrix, env);
+            enc.add_clause([!guard, root]);
+            return;
+        }
+        let b = &bindings[env.len()];
+        let candidates: Vec<usize> = enc.table().of_sort(&b.sort).to_vec();
+        for t in candidates {
+            env.push((b.var.clone(), t));
+            go(enc, guard, bindings, matrix, env);
+            env.pop();
+        }
+    }
+    go(enc, guard, bindings, matrix, &mut Vec::new());
+}
+
+/// Builds a finite first-order structure from the SAT model by quotienting
+/// the ground-term universe by the true equalities.
+fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structure {
+    let sig = Arc::new(work_sig.clone());
+    let mut structure = Structure::new(sig);
+    let parts = enc.model_parts();
+    let mut classes = parts.equality_classes();
+    // Map class representative -> element, per sort, in ascending rep order
+    // for determinism.
+    let mut elem_of: BTreeMap<usize, Elem> = BTreeMap::new();
+    for sort in work_sig.sorts() {
+        let mut reps: Vec<usize> = enc
+            .table()
+            .of_sort(sort)
+            .iter()
+            .map(|&t| classes.find(t))
+            .collect();
+        reps.sort_unstable();
+        reps.dedup();
+        for rep in reps {
+            let e = structure.add_element(sort.clone());
+            elem_of.insert(rep, e);
+        }
+    }
+    // Relations: positive atoms only (missing tuples are false).
+    for (sym, args, value) in parts.atoms() {
+        if value {
+            let tuple: Vec<Elem> = args
+                .iter()
+                .map(|&a| elem_of[&classes.find(a)].clone())
+                .collect();
+            structure.set_rel(sym.clone(), tuple, true);
+        }
+    }
+    // Functions: total by construction of the closed universe. For every
+    // combination of argument *classes*, apply the function to the class
+    // representatives (which are ground terms) and read off the result class.
+    let sorts_elems: BTreeMap<Sort, Vec<usize>> = work_sig
+        .sorts()
+        .iter()
+        .map(|sort| {
+            let mut reps: Vec<usize> = enc
+                .table()
+                .of_sort(sort)
+                .iter()
+                .map(|&t| classes.find(t))
+                .collect();
+            reps.sort_unstable();
+            reps.dedup();
+            (sort.clone(), reps)
+        })
+        .collect();
+    for (name, decl) in work_sig.functions() {
+        let mut tuples: Vec<Vec<usize>> = vec![Vec::new()];
+        for s in &decl.args {
+            let mut next = Vec::new();
+            for prefix in &tuples {
+                for &rep in &sorts_elems[s] {
+                    let mut t = prefix.clone();
+                    t.push(rep);
+                    next.push(t);
+                }
+            }
+            tuples = next;
+        }
+        for reps in tuples {
+            let result_term = enc
+                .table()
+                .get(name, &reps)
+                .expect("universe is closed under functions");
+            let args: Vec<Elem> = reps.iter().map(|r| elem_of[&classes.find(*r)].clone()).collect();
+            let result = elem_of[&classes.find(result_term)].clone();
+            structure.set_fun(name.clone(), args, result);
+        }
+    }
+    structure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::parse_formula;
+
+    fn order_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig
+    }
+
+    const TOTAL_ORDER: &str = "forall X:id. le(X, X)";
+    const ANTISYM: &str = "forall X:id, Y:id. le(X, Y) & le(Y, X) -> X = Y";
+    const TRANS: &str = "forall X:id, Y:id, Z:id. le(X, Y) & le(Y, Z) -> le(X, Z)";
+    const TOTAL: &str = "forall X:id, Y:id. le(X, Y) | le(Y, X)";
+
+    #[test]
+    fn total_order_axioms_satisfiable() {
+        let sig = order_sig();
+        let mut q = EprCheck::new(&sig).unwrap();
+        for (i, src) in [TOTAL_ORDER, ANTISYM, TRANS, TOTAL].iter().enumerate() {
+            q.assert_labeled(format!("ax{i}"), &parse_formula(src).unwrap())
+                .unwrap();
+        }
+        q.assert_labeled(
+            "three",
+            &parse_formula("exists X:id, Y:id, Z:id. X ~= Y & Y ~= Z & X ~= Z").unwrap(),
+        )
+        .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Sat(model) => {
+                let s = &model.structure;
+                assert!(s.domain_size(&Sort::new("id")) >= 3);
+                // The model really satisfies all assertions.
+                for src in [TOTAL_ORDER, ANTISYM, TRANS, TOTAL] {
+                    assert!(s.eval_closed(&parse_formula(src).unwrap()).unwrap(), "{src}");
+                }
+            }
+            EprOutcome::Unsat(core) => panic!("unexpectedly unsat: {core:?}"),
+        }
+    }
+
+    #[test]
+    fn contradiction_detected_with_core() {
+        let sig = order_sig();
+        let mut q = EprCheck::new(&sig).unwrap();
+        q.assert_labeled("refl", &parse_formula(TOTAL_ORDER).unwrap())
+            .unwrap();
+        q.assert_labeled(
+            "irrefl",
+            &parse_formula("exists X:id. ~le(X, X)").unwrap(),
+        )
+        .unwrap();
+        q.assert_labeled("total", &parse_formula(TOTAL).unwrap())
+            .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Unsat(core) => {
+                assert!(core.contains(&"refl".to_string()));
+                assert!(core.contains(&"irrefl".to_string()));
+                assert!(!core.contains(&"total".to_string()), "core: {core:?}");
+            }
+            EprOutcome::Sat(_) => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn finite_model_property_bounds_domain() {
+        // exists X,Y. X ~= Y with nothing else: minimal model has 2 elements;
+        // our construction never exceeds the number of Skolem constants.
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        let mut q = EprCheck::new(&sig).unwrap();
+        q.assert_labeled("pair", &parse_formula("exists X:s, Y:s. X ~= Y").unwrap())
+            .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Sat(model) => {
+                assert_eq!(model.structure.domain_size(&Sort::new("s")), 2);
+            }
+            EprOutcome::Unsat(_) => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn skolems_can_merge_when_equality_forces() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        let mut q = EprCheck::new(&sig).unwrap();
+        // At most one element, and two witnesses: they must merge.
+        q.assert_labeled(
+            "at_most_one",
+            &parse_formula("forall X:s, Y:s. X = Y").unwrap(),
+        )
+        .unwrap();
+        q.assert_labeled(
+            "two_names",
+            &parse_formula("exists X:s, Y:s. r(X) & r(Y)").unwrap(),
+        )
+        .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Sat(model) => {
+                assert_eq!(model.structure.domain_size(&Sort::new("s")), 1);
+            }
+            EprOutcome::Unsat(_) => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn ae_formula_rejected() {
+        let sig = order_sig();
+        let mut q = EprCheck::new(&sig).unwrap();
+        q.assert_labeled(
+            "ae",
+            &parse_formula("forall X:id. exists Y:id. le(X, Y)").unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(q.check(), Err(EprError::Skolem(_))));
+    }
+
+    #[test]
+    fn unstratified_signature_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        assert!(matches!(EprCheck::new(&sig), Err(EprError::Sig(_))));
+    }
+
+    #[test]
+    fn stratified_functions_in_models() {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        let mut q = EprCheck::new(&sig).unwrap();
+        // Injectivity + two nodes.
+        q.assert_labeled(
+            "unique_ids",
+            &parse_formula("forall N1:node, N2:node. N1 ~= N2 -> idf(N1) ~= idf(N2)").unwrap(),
+        )
+        .unwrap();
+        q.assert_labeled(
+            "two",
+            &parse_formula("exists N1:node, N2:node. N1 ~= N2").unwrap(),
+        )
+        .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Sat(model) => {
+                let s = &model.structure;
+                assert!(s.domain_size(&Sort::new("id")) >= 2, "ids must differ");
+                assert!(s.totality_gap().is_none(), "functions are total");
+            }
+            EprOutcome::Unsat(_) => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn instance_limit_enforced() {
+        let sig = order_sig();
+        let mut q = EprCheck::new(&sig).unwrap();
+        q.set_instance_limit(2);
+        q.assert_labeled("trans", &parse_formula(TRANS).unwrap())
+            .unwrap();
+        q.assert_labeled(
+            "some",
+            &parse_formula("exists X:id, Y:id. le(X, Y)").unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            q.check(),
+            Err(EprError::TooManyInstances { .. })
+        ));
+    }
+}

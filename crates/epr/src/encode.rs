@@ -1,0 +1,730 @@
+//! Grounding and propositional encoding of EPR formulas.
+//!
+//! After Skolemization, every assertion is a universally quantified
+//! quantifier-free matrix over a finite ground-term universe. The encoder
+//! instantiates universals over the universe, Tseitin-encodes the resulting
+//! ground formulas, and axiomatizes equality *locally*: equality variables
+//! exist only for pairs of terms that can possibly be equal (connected by
+//! equality atoms, directly or through congruence), which keeps the
+//! transitivity/congruence axioms from exploding over large universes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ivy_fol::{Formula, Sym, Term};
+use ivy_sat::{Lit, Solver, Var};
+
+use crate::ground::{TermId, TermTable};
+
+/// Atoms bucketed by (symbol, componentwise signature) for congruence.
+type AtomBuckets = BTreeMap<(Sym, Vec<usize>), Vec<(Vec<TermId>, Var)>>;
+
+/// Disjoint-set forest over term ids.
+#[derive(Clone, Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.max(rb)] = ra.min(rb);
+        true
+    }
+}
+
+/// How equality axioms are generated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EqualityMode {
+    /// Generate all transitivity/congruence axioms over "possibly equal"
+    /// components up front. Simple, but cubic in component size.
+    Eager,
+    /// Solve first, then add only the equality axioms the model violates,
+    /// and repeat (a CEGAR loop, as in lazy SMT). Usually far fewer clauses.
+    #[default]
+    Lazy,
+}
+
+/// Tseitin encoder over a ground-term universe, with lazy atom allocation
+/// and relevant-pairs equality.
+pub struct Encoder {
+    solver: Solver,
+    table: TermTable,
+    true_lit: Lit,
+    rel_atoms: HashMap<(Sym, Vec<TermId>), Var>,
+    eq_vars: HashMap<(TermId, TermId), Var>,
+    /// Pairs that received an equality variable from the matrix (pre-closure).
+    seed_pairs: Vec<(TermId, TermId)>,
+    finalized: bool,
+    /// Clauses added by the lazy repair loop, for dedup.
+    lazy_added: std::collections::HashSet<LazyAxiom>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum LazyAxiom {
+    Transitivity(TermId, TermId, TermId),
+    FunCongruence(TermId, TermId),
+    RelCongruence(Var, Var),
+}
+
+impl Encoder {
+    /// Creates an encoder over the given universe.
+    pub fn new(table: TermTable) -> Encoder {
+        let mut solver = Solver::new();
+        let t = solver.new_var();
+        solver.add_clause([t.pos()]);
+        Encoder {
+            solver,
+            table,
+            true_lit: t.pos(),
+            rel_atoms: HashMap::new(),
+            eq_vars: HashMap::new(),
+            seed_pairs: Vec::new(),
+            finalized: false,
+            lazy_added: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The universe.
+    pub fn table(&self) -> &TermTable {
+        &self.table
+    }
+
+    /// A literal that is always true.
+    pub fn true_lit(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// Allocates a fresh free variable (used for assumption guards).
+    pub fn fresh_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Adds a clause directly.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.solver.add_clause(lits);
+    }
+
+    /// The propositional variable of the ground atom `sym(args)`.
+    pub fn rel_var(&mut self, sym: &Sym, args: &[TermId]) -> Var {
+        if let Some(&v) = self.rel_atoms.get(&(sym.clone(), args.to_vec())) {
+            return v;
+        }
+        let v = self.solver.new_var();
+        self.rel_atoms.insert((sym.clone(), args.to_vec()), v);
+        v
+    }
+
+    /// The literal of the ground equality `a = b`.
+    pub fn eq_lit(&mut self, a: TermId, b: TermId) -> Lit {
+        if a == b {
+            return self.true_lit;
+        }
+        debug_assert_eq!(
+            self.table.sort(a),
+            self.table.sort(b),
+            "cross-sort equality is ill-sorted"
+        );
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.eq_vars.get(&key) {
+            return v.pos();
+        }
+        let v = self.solver.new_var();
+        self.eq_vars.insert(key, v);
+        if !self.finalized {
+            self.seed_pairs.push(key);
+        }
+        v.pos()
+    }
+
+    /// Evaluates a ground (variable-free after `env`) term to its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound variables, `ite` (eliminate first), or applications
+    /// outside the closed universe — all internal invariants.
+    pub fn term_id(&self, t: &Term, env: &[(Sym, TermId)]) -> TermId {
+        match t {
+            Term::Var(v) => {
+                env.iter()
+                    .find(|(name, _)| name == v)
+                    .unwrap_or_else(|| panic!("unbound variable {v} during grounding"))
+                    .1
+            }
+            Term::App(f, args) => {
+                let args: Vec<TermId> = args.iter().map(|a| self.term_id(a, env)).collect();
+                self.table
+                    .get(f, &args)
+                    .unwrap_or_else(|| panic!("application of {f} outside closed universe"))
+            }
+            Term::Ite(..) => panic!("ite must be eliminated before grounding"),
+        }
+    }
+
+    /// Tseitin-encodes a quantifier-free formula under a variable
+    /// environment; returns a literal equivalent to the formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula contains quantifiers (matrices are QF by
+    /// construction).
+    pub fn encode(&mut self, f: &Formula, env: &[(Sym, TermId)]) -> Lit {
+        match f {
+            Formula::True => self.true_lit,
+            Formula::False => !self.true_lit,
+            Formula::Rel(r, args) => {
+                let args: Vec<TermId> = args.iter().map(|a| self.term_id(a, env)).collect();
+                self.rel_var(r, &args).pos()
+            }
+            Formula::Eq(a, b) => {
+                let (a, b) = (self.term_id(a, env), self.term_id(b, env));
+                self.eq_lit(a, b)
+            }
+            Formula::Not(g) => !self.encode(g, env),
+            Formula::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g, env)).collect();
+                self.define_and(&lits)
+            }
+            Formula::Or(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g, env)).collect();
+                !self.define_and(&lits.iter().map(|&l| !l).collect::<Vec<_>>())
+            }
+            Formula::Implies(a, b) => {
+                let (la, lb) = (self.encode(a, env), self.encode(b, env));
+                !self.define_and(&[la, !lb])
+            }
+            Formula::Iff(a, b) => {
+                let (la, lb) = (self.encode(a, env), self.encode(b, env));
+                // g <-> (la <-> lb).
+                let g = self.solver.new_var().pos();
+                self.solver.add_clause([!g, !la, lb]);
+                self.solver.add_clause([!g, la, !lb]);
+                self.solver.add_clause([g, la, lb]);
+                self.solver.add_clause([g, !la, !lb]);
+                g
+            }
+            Formula::Forall(..) | Formula::Exists(..) => {
+                panic!("encode: quantifier in matrix (prenexing bug)")
+            }
+        }
+    }
+
+    fn define_and(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.true_lit,
+            [l] => *l,
+            _ => {
+                let g = self.solver.new_var().pos();
+                for &l in lits {
+                    self.solver.add_clause([!g, l]);
+                }
+                let mut long: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                long.push(g);
+                self.solver.add_clause(long);
+                g
+            }
+        }
+    }
+
+    /// Closes the equality machinery: computes "possibly equal" components
+    /// from the seeded pairs, saturates them under function congruence,
+    /// allocates equality variables for all intra-component pairs, and adds
+    /// transitivity plus function/relation congruence axioms.
+    ///
+    /// Must be called exactly once, after all assertions are encoded and
+    /// before solving. Returns the number of axiom clauses added (for
+    /// diagnostics).
+    pub fn finalize_equality(&mut self) -> usize {
+        assert!(!self.finalized, "finalize_equality called twice");
+        self.finalized = true;
+        let n = self.table.len();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &self.seed_pairs {
+            uf.union(a, b);
+        }
+        // Saturate under function congruence: if f(ā) and f(b̄) have argwise
+        // possibly-equal arguments, their results are possibly equal.
+        let mut terms_by_sym: BTreeMap<Sym, Vec<TermId>> = BTreeMap::new();
+        for id in 0..n {
+            let t = self.table.term(id);
+            if !t.args.is_empty() {
+                terms_by_sym.entry(t.sym.clone()).or_default().push(id);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for ids in terms_by_sym.values() {
+                for (i, &t1) in ids.iter().enumerate() {
+                    for &t2 in &ids[i + 1..] {
+                        if uf.find(t1) == uf.find(t2) {
+                            continue;
+                        }
+                        let a1 = self.table.term(t1).args.clone();
+                        let a2 = self.table.term(t2).args.clone();
+                        let related = a1
+                            .iter()
+                            .zip(&a2)
+                            .all(|(&x, &y)| x == y || uf.find(x) == uf.find(y));
+                        if related {
+                            uf.union(t1, t2);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Group terms into components.
+        let mut components: BTreeMap<usize, Vec<TermId>> = BTreeMap::new();
+        for id in 0..n {
+            components.entry(uf.find(id)).or_default().push(id);
+        }
+        components.retain(|_, v| v.len() > 1);
+        let mut clauses = 0usize;
+        // Allocate all intra-component equality vars.
+        for comp in components.values() {
+            for (i, &a) in comp.iter().enumerate() {
+                for &b in &comp[i + 1..] {
+                    let _ = self.eq_lit(a, b);
+                }
+            }
+        }
+        // Transitivity.
+        for comp in components.values() {
+            for i in 0..comp.len() {
+                for j in (i + 1)..comp.len() {
+                    for k in (j + 1)..comp.len() {
+                        let (a, b, c) = (comp[i], comp[j], comp[k]);
+                        let (ab, bc, ac) = (self.eq_lit(a, b), self.eq_lit(b, c), self.eq_lit(a, c));
+                        self.solver.add_clause([!ab, !bc, ac]);
+                        self.solver.add_clause([!ab, !ac, bc]);
+                        self.solver.add_clause([!ac, !bc, ab]);
+                        clauses += 3;
+                    }
+                }
+            }
+        }
+        // Function congruence between terms in the same component.
+        for ids in terms_by_sym.values() {
+            for (i, &t1) in ids.iter().enumerate() {
+                for &t2 in &ids[i + 1..] {
+                    if uf.find(t1) != uf.find(t2) {
+                        continue;
+                    }
+                    let a1 = self.table.term(t1).args.clone();
+                    let a2 = self.table.term(t2).args.clone();
+                    if a1
+                        .iter()
+                        .zip(&a2)
+                        .any(|(&x, &y)| x != y && uf.find(x) != uf.find(y))
+                    {
+                        continue; // some argument pair can never be equal
+                    }
+                    let mut clause: Vec<Lit> = Vec::new();
+                    for (&x, &y) in a1.iter().zip(&a2) {
+                        if x != y {
+                            let e = self.eq_lit(x, y);
+                            clause.push(!e);
+                        }
+                    }
+                    clause.push(self.eq_lit(t1, t2));
+                    self.solver.add_clause(clause);
+                    clauses += 1;
+                }
+            }
+        }
+        // Relation congruence between existing atoms whose argument tuples
+        // are componentwise related. Bucket atoms by (symbol, component
+        // signature) so unrelated atoms never pair up.
+        let mut buckets: AtomBuckets = BTreeMap::new();
+        for ((sym, args), var) in self.rel_atoms.clone() {
+            let sig: Vec<usize> = args.iter().map(|&a| uf.find(a)).collect();
+            buckets
+                .entry((sym, sig))
+                .or_default()
+                .push((args, var));
+        }
+        for atoms in buckets.values() {
+            for (i, (args1, v1)) in atoms.iter().enumerate() {
+                for (args2, v2) in &atoms[i + 1..] {
+                    let mut guard: Vec<Lit> = Vec::new();
+                    for (&x, &y) in args1.iter().zip(args2) {
+                        if x != y {
+                            let e = self.eq_lit(x, y);
+                            guard.push(!e);
+                        }
+                    }
+                    let mut c1 = guard.clone();
+                    c1.push(v1.neg());
+                    c1.push(v2.pos());
+                    self.solver.add_clause(c1);
+                    let mut c2 = guard;
+                    c2.push(v2.neg());
+                    c2.push(v1.pos());
+                    self.solver.add_clause(c2);
+                    clauses += 2;
+                }
+            }
+        }
+        clauses
+    }
+
+    /// Solves with the *lazy* equality discipline: no equality axioms are
+    /// generated up front; after each SAT answer, the model is checked for
+    /// transitivity/congruence violations and only the violated axioms are
+    /// added, until the model is equality-consistent or the query becomes
+    /// unsatisfiable. Returns the result and the number of repair rounds.
+    ///
+    /// UNSAT answers are sound (fewer axioms only weakens the clause set);
+    /// SAT answers are certified consistent before being returned.
+    /// `max_rounds = None` runs to completion; `Some(n)` gives up after `n`
+    /// repair rounds, returning `None` (unknown) — used by best-effort
+    /// callers such as CTI minimization.
+    pub fn solve_lazy(
+        &mut self,
+        assumptions: &[Lit],
+        max_rounds: Option<usize>,
+    ) -> (Option<ivy_sat::SolveResult>, usize) {
+        // A bounded repair loop also bounds each SAT call; an unbounded one
+        // runs each call to completion.
+        let conflict_budget = if max_rounds.is_some() {
+            200_000
+        } else {
+            u64::MAX
+        };
+        self.finalized = true;
+        let per_round_cap = if max_rounds.is_some() {
+            Some(4_000)
+        } else {
+            None
+        };
+        let mut rounds = 0;
+        let mut total_added = 0usize;
+        loop {
+            match self.solver.solve_budgeted(assumptions, conflict_budget) {
+                None => return (None, rounds),
+                Some(ivy_sat::SolveResult::Unsat) => {
+                    return (Some(ivy_sat::SolveResult::Unsat), rounds)
+                }
+                Some(ivy_sat::SolveResult::Sat) => {
+                    let added = self.repair_equality(per_round_cap);
+                    if added == 0 {
+                        return (Some(ivy_sat::SolveResult::Sat), rounds);
+                    }
+                    total_added += added;
+                    rounds += 1;
+                    if max_rounds.is_some_and(|m| rounds >= m)
+                        || (per_round_cap.is_some() && total_added > 200_000)
+                    {
+                        return (None, rounds);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds the equality axioms violated by the current model; returns how
+    /// many clauses were added (0 = model is equality-consistent). With a
+    /// cap, stops adding once the round's budget is spent (the loop then
+    /// continues with a partial repair).
+    fn repair_equality(&mut self, cap: Option<usize>) -> usize {
+        let over = |added: usize| cap.is_some_and(|c| added >= c);
+        let n = self.table.len();
+        let mut uf = UnionFind::new(n);
+        for (&(a, b), &v) in &self.eq_vars {
+            if self.solver.model_value(v) == Some(true) {
+                uf.union(a, b);
+            }
+        }
+        let mut added = 0usize;
+
+        // Transitivity: an equality variable that is false although its
+        // endpoints are connected through true equalities. Repair by fully
+        // axiomatizing the (small) true-equality class.
+        let mut violated_classes: Vec<usize> = Vec::new();
+        for (&(a, b), &v) in &self.eq_vars {
+            if self.solver.model_value(v) == Some(false) && uf.find(a) == uf.find(b) {
+                let root = uf.find(a);
+                if !violated_classes.contains(&root) {
+                    violated_classes.push(root);
+                }
+            }
+        }
+        if !violated_classes.is_empty() {
+            let mut members: BTreeMap<usize, Vec<TermId>> = BTreeMap::new();
+            for t in 0..n {
+                let r = uf.find(t);
+                if violated_classes.contains(&r) {
+                    members.entry(r).or_default().push(t);
+                }
+            }
+            'transitivity: for class in members.values() {
+                for i in 0..class.len() {
+                    for j in (i + 1)..class.len() {
+                        for k in (j + 1)..class.len() {
+                            if over(added) {
+                                break 'transitivity;
+                            }
+                            let key =
+                                LazyAxiom::Transitivity(class[i], class[j], class[k]);
+                            if !self.lazy_added.insert(key) {
+                                continue;
+                            }
+                            let (a, b, c) = (class[i], class[j], class[k]);
+                            let (ab, bc, ac) =
+                                (self.eq_lit(a, b), self.eq_lit(b, c), self.eq_lit(a, c));
+                            self.solver.add_clause([!ab, !bc, ac]);
+                            self.solver.add_clause([!ab, !ac, bc]);
+                            self.solver.add_clause([!ac, !bc, ab]);
+                            added += 3;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Function congruence: same function, argwise model-equal arguments,
+        // results not model-equal.
+        let mut terms_by_sym: BTreeMap<&Sym, Vec<TermId>> = BTreeMap::new();
+        for id in 0..n {
+            let t = self.table.term(id);
+            if !t.args.is_empty() {
+                terms_by_sym.entry(&t.sym).or_default().push(id);
+            }
+        }
+        let mut fun_pairs: Vec<(TermId, TermId)> = Vec::new();
+        for ids in terms_by_sym.values() {
+            for (i, &t1) in ids.iter().enumerate() {
+                for &t2 in &ids[i + 1..] {
+                    if uf.find(t1) == uf.find(t2) {
+                        continue;
+                    }
+                    let a1 = &self.table.term(t1).args;
+                    let a2 = &self.table.term(t2).args;
+                    if a1
+                        .iter()
+                        .zip(a2)
+                        .all(|(&x, &y)| x == y || uf.find(x) == uf.find(y))
+                        && !self.lazy_added.contains(&LazyAxiom::FunCongruence(t1, t2))
+                    {
+                        fun_pairs.push((t1, t2));
+                    }
+                }
+            }
+        }
+        for (t1, t2) in fun_pairs {
+            if over(added) {
+                break;
+            }
+            // Mark only when the clause is really added, so pairs cut off by
+            // the cap are retried in a later round.
+            self.lazy_added.insert(LazyAxiom::FunCongruence(t1, t2));
+            let a1 = self.table.term(t1).args.clone();
+            let a2 = self.table.term(t2).args.clone();
+            let mut clause: Vec<Lit> = Vec::new();
+            for (x, y) in a1.into_iter().zip(a2) {
+                if x != y {
+                    let e = self.eq_lit(x, y);
+                    clause.push(!e);
+                }
+            }
+            clause.push(self.eq_lit(t1, t2));
+            self.solver.add_clause(clause);
+            added += 1;
+        }
+
+        // Relation congruence: same symbol, argwise model-equal tuples,
+        // differing truth values.
+        let mut buckets: AtomBuckets = BTreeMap::new();
+        for ((sym, args), var) in self.rel_atoms.clone() {
+            let sig: Vec<usize> = args.iter().map(|&a| uf.find(a)).collect();
+            buckets.entry((sym, sig)).or_default().push((args, var));
+        }
+        'relcong: for atoms in buckets.values() {
+            for (i, (args1, v1)) in atoms.iter().enumerate() {
+                for (args2, v2) in &atoms[i + 1..] {
+                    if over(added) {
+                        break 'relcong;
+                    }
+                    if self.solver.model_value(*v1) == self.solver.model_value(*v2) {
+                        continue;
+                    }
+                    let key = LazyAxiom::RelCongruence(*v1.min(v2), *v1.max(v2));
+                    if !self.lazy_added.insert(key) {
+                        continue;
+                    }
+                    let mut guard: Vec<Lit> = Vec::new();
+                    for (&x, &y) in args1.iter().zip(args2) {
+                        if x != y {
+                            let e = self.eq_lit(x, y);
+                            guard.push(!e);
+                        }
+                    }
+                    let mut c1 = guard.clone();
+                    c1.push(v1.neg());
+                    c1.push(v2.pos());
+                    self.solver.add_clause(c1);
+                    let mut c2 = guard;
+                    c2.push(v2.neg());
+                    c2.push(v1.pos());
+                    self.solver.add_clause(c2);
+                    added += 2;
+                }
+            }
+        }
+        added
+    }
+
+    /// Mutable access to the underlying SAT solver (for solving).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Shared access to the underlying SAT solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// After a SAT answer: the set of (atom, value) pairs and the true
+    /// equalities, for model extraction.
+    pub(crate) fn model_parts(&self) -> ModelParts<'_> {
+        ModelParts { enc: self }
+    }
+}
+
+pub(crate) struct ModelParts<'a> {
+    enc: &'a Encoder,
+}
+
+impl ModelParts<'_> {
+    /// True-equality union-find over the universe per the SAT model.
+    pub(crate) fn equality_classes(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.enc.table.len());
+        for (&(a, b), &v) in &self.enc.eq_vars {
+            if self.enc.solver.model_value(v) == Some(true) {
+                uf.union(a, b);
+            }
+        }
+        uf
+    }
+
+    /// Iterates over ground relation atoms with their model values.
+    pub(crate) fn atoms(&self) -> impl Iterator<Item = (&Sym, &[TermId], bool)> + '_ {
+        self.enc.rel_atoms.iter().map(|((sym, args), &v)| {
+            (
+                sym,
+                args.as_slice(),
+                self.enc.solver.model_value(v) == Some(true),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::Signature;
+    use ivy_sat::SolveResult;
+
+    fn simple_table() -> (Signature, TermTable) {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_constant("b", "s").unwrap();
+        sig.add_constant("c", "s").unwrap();
+        let table = TermTable::build(&sig);
+        (sig, table)
+    }
+
+    #[test]
+    fn encode_simple_conflict() {
+        let (_, table) = simple_table();
+        let mut enc = Encoder::new(table);
+        let f1 = ivy_fol::parse_formula("r(a)").unwrap();
+        let f2 = ivy_fol::parse_formula("~r(a)").unwrap();
+        let l1 = enc.encode(&f1, &[]);
+        let l2 = enc.encode(&f2, &[]);
+        enc.add_clause([l1]);
+        enc.add_clause([l2]);
+        enc.finalize_equality();
+        assert_eq!(enc.solver_mut().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn equality_transitivity_enforced() {
+        let (_, table) = simple_table();
+        let mut enc = Encoder::new(table);
+        // a=b & b=c & r(a) & ~r(c) is unsat (needs transitivity + congruence).
+        let f = ivy_fol::parse_formula("a = b & b = c & r(a) & ~r(c)").unwrap();
+        let l = enc.encode(&f, &[]);
+        enc.add_clause([l]);
+        enc.finalize_equality();
+        assert_eq!(enc.solver_mut().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn equality_sat_when_consistent() {
+        let (_, table) = simple_table();
+        let mut enc = Encoder::new(table);
+        let f = ivy_fol::parse_formula("a = b & r(a) & r(b) & ~r(c)").unwrap();
+        let l = enc.encode(&f, &[]);
+        enc.add_clause([l]);
+        enc.finalize_equality();
+        assert_eq!(enc.solver_mut().solve(), SolveResult::Sat);
+        let classes = enc.model_parts().equality_classes();
+        let mut uf = classes;
+        let a = enc.table().get(&Sym::new("a"), &[]).unwrap();
+        let b = enc.table().get(&Sym::new("b"), &[]).unwrap();
+        assert_eq!(uf.find(a), uf.find(b));
+    }
+
+    #[test]
+    fn function_congruence_enforced() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_sort("t").unwrap();
+        sig.add_function("f", ["s"], "t").unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_constant("b", "s").unwrap();
+        let table = TermTable::build(&sig);
+        let mut enc = Encoder::new(table);
+        // a=b & f(a) ~= f(b) is unsat by congruence.
+        let f = ivy_fol::parse_formula("a = b & f(a) ~= f(b)").unwrap();
+        let l = enc.encode(&f, &[]);
+        enc.add_clause([l]);
+        enc.finalize_equality();
+        assert_eq!(enc.solver_mut().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unrelated_terms_stay_apart() {
+        let (_, table) = simple_table();
+        let mut enc = Encoder::new(table);
+        // No equality atoms at all: r(a) & ~r(b) is satisfiable.
+        let f = ivy_fol::parse_formula("r(a) & ~r(b)").unwrap();
+        let l = enc.encode(&f, &[]);
+        enc.add_clause([l]);
+        let axioms = enc.finalize_equality();
+        assert_eq!(axioms, 0, "no equality atoms, no axioms");
+        assert_eq!(enc.solver_mut().solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,290 @@
+//! Ground-term universes for EPR extended with stratified functions.
+//!
+//! After Skolemization, an `∃*∀*` sentence mentions only constants and
+//! (stratified) function symbols. The Herbrand universe — all ground terms —
+//! is finite precisely because the functions are stratified (Section 3.3 of
+//! the paper): each application strictly descends the sort order, so term
+//! depth is bounded by the number of sorts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ivy_fol::{Signature, Sort, Sym};
+
+/// Index of a ground term in a [`TermTable`].
+pub type TermId = usize;
+
+/// A ground term: a function symbol applied to previously-built ground terms.
+/// Constants have no arguments.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundTerm {
+    /// The head function symbol (or constant).
+    pub sym: Sym,
+    /// Argument term ids.
+    pub args: Vec<TermId>,
+}
+
+/// The finite Herbrand universe of a signature: every ground term, grouped
+/// by sort.
+#[derive(Clone, Debug, Default)]
+pub struct TermTable {
+    terms: Vec<GroundTerm>,
+    sorts: Vec<Sort>,
+    index: HashMap<GroundTerm, TermId>,
+    by_sort: BTreeMap<Sort, Vec<TermId>>,
+}
+
+impl TermTable {
+    /// Builds the ground-term universe of `sig`.
+    ///
+    /// Every sort is guaranteed at least one term: sorts without constants
+    /// receive no table entry here — callers that need non-empty domains
+    /// should add a fresh constant to the signature first (see
+    /// [`ensure_inhabited`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is not stratified (the closure would diverge);
+    /// callers validate stratification first.
+    pub fn build(sig: &Signature) -> TermTable {
+        sig.stratification()
+            .expect("TermTable::build requires a stratified signature");
+        let mut table = TermTable::default();
+        // Seed with constants.
+        for (name, sort) in sig.constants() {
+            table.intern(
+                GroundTerm {
+                    sym: name.clone(),
+                    args: Vec::new(),
+                },
+                sort.clone(),
+            );
+        }
+        // Close under functions: repeat until no new terms appear. Each pass
+        // applies every function to every argument tuple currently present.
+        loop {
+            let mut added = false;
+            let snapshot: BTreeMap<Sort, Vec<TermId>> = table.by_sort.clone();
+            for (name, decl) in sig.functions() {
+                if decl.is_constant() {
+                    continue;
+                }
+                let mut tuples = vec![Vec::new()];
+                for arg_sort in &decl.args {
+                    let candidates = snapshot.get(arg_sort).cloned().unwrap_or_default();
+                    let mut next = Vec::with_capacity(tuples.len() * candidates.len());
+                    for prefix in &tuples {
+                        for &c in &candidates {
+                            let mut t = prefix.clone();
+                            t.push(c);
+                            next.push(t);
+                        }
+                    }
+                    tuples = next;
+                }
+                for args in tuples {
+                    let gt = GroundTerm {
+                        sym: name.clone(),
+                        args,
+                    };
+                    if !table.index.contains_key(&gt) {
+                        table.intern(gt, decl.ret.clone());
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        table
+    }
+
+    fn intern(&mut self, gt: GroundTerm, sort: Sort) -> TermId {
+        if let Some(&id) = self.index.get(&gt) {
+            return id;
+        }
+        let id = self.terms.len();
+        self.terms.push(gt.clone());
+        self.sorts.push(sort.clone());
+        self.index.insert(gt, id);
+        self.by_sort.entry(sort).or_default().push(id);
+        id
+    }
+
+    /// Looks up a ground term.
+    pub fn get(&self, sym: &Sym, args: &[TermId]) -> Option<TermId> {
+        self.index
+            .get(&GroundTerm {
+                sym: sym.clone(),
+                args: args.to_vec(),
+            })
+            .copied()
+    }
+
+    /// The term with the given id.
+    pub fn term(&self, id: TermId) -> &GroundTerm {
+        &self.terms[id]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> &Sort {
+        &self.sorts[id]
+    }
+
+    /// All terms of a sort.
+    pub fn of_sort(&self, sort: &Sort) -> &[TermId] {
+        self.by_sort.get(sort).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of ground terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Renders a term for diagnostics, e.g. `idf(n)`.
+    pub fn display(&self, id: TermId) -> String {
+        let t = self.term(id);
+        if t.args.is_empty() {
+            t.sym.to_string()
+        } else {
+            let args: Vec<String> = t.args.iter().map(|&a| self.display(a)).collect();
+            format!("{}({})", t.sym, args.join(", "))
+        }
+    }
+}
+
+/// Adds a fresh constant to every sort of `sig` that would otherwise have no
+/// ground terms, so domains stay non-empty (first-order semantics requires
+/// inhabited sorts). Returns the constants added.
+pub fn ensure_inhabited(sig: &mut Signature) -> Vec<(Sym, Sort)> {
+    // A sort is inhabited if some constant has it as return sort, or some
+    // function chain produces it. Functions only produce terms when their
+    // argument sorts are inhabited; iterate to a fixpoint.
+    let mut inhabited: BTreeMap<Sort, bool> =
+        sig.sorts().iter().map(|s| (s.clone(), false)).collect();
+    for (_, sort) in sig.constants() {
+        inhabited.insert(sort.clone(), true);
+    }
+    let mut added = Vec::new();
+    loop {
+        // Propagate inhabitation through functions to a fixpoint.
+        loop {
+            let mut changed = false;
+            for (_, decl) in sig.functions() {
+                if decl.is_constant() {
+                    continue;
+                }
+                let args_ok = decl.args.iter().all(|s| inhabited[s]);
+                if args_ok && !inhabited[&decl.ret] {
+                    inhabited.insert(decl.ret.clone(), true);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Seed one still-empty sort (if any) and re-propagate. Prefer the
+        // *largest* sort in the stratification order: functions map larger
+        // sorts to smaller ones, so seeding high lets propagation fill the
+        // sorts below without redundant constants.
+        let order = sig
+            .stratification()
+            .expect("caller validated stratification");
+        let Some(sort) = order.into_iter().rev().find(|s| !inhabited[s]) else {
+            break;
+        };
+        let name = ivy_fol::xform::fresh_constant_name(sig, &format!("some_{sort}"));
+        sig.add_constant(name.clone(), sort.clone())
+            .expect("fresh constant name");
+        inhabited.insert(sort.clone(), true);
+        added.push((name, sort));
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leader_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_constant("n", "node").unwrap();
+        sig.add_constant("m", "node").unwrap();
+        sig
+    }
+
+    #[test]
+    fn universe_closes_under_functions() {
+        let sig = leader_sig();
+        let table = TermTable::build(&sig);
+        // n, m, idf(n), idf(m).
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.of_sort(&Sort::new("node")).len(), 2);
+        assert_eq!(table.of_sort(&Sort::new("id")).len(), 2);
+        let n = table.get(&Sym::new("n"), &[]).unwrap();
+        let idn = table.get(&Sym::new("idf"), &[n]).unwrap();
+        assert_eq!(table.display(idn), "idf(n)");
+        assert_eq!(table.sort(idn), &Sort::new("id"));
+    }
+
+    #[test]
+    fn two_level_stratification() {
+        let mut sig = Signature::new();
+        sig.add_sort("a").unwrap();
+        sig.add_sort("b").unwrap();
+        sig.add_sort("c").unwrap();
+        sig.add_function("f", ["a"], "b").unwrap();
+        sig.add_function("g", ["b"], "c").unwrap();
+        sig.add_constant("x", "a").unwrap();
+        let table = TermTable::build(&sig);
+        // x, f(x), g(f(x)).
+        assert_eq!(table.len(), 3);
+        let x = table.get(&Sym::new("x"), &[]).unwrap();
+        let fx = table.get(&Sym::new("f"), &[x]).unwrap();
+        assert!(table.get(&Sym::new("g"), &[fx]).is_some());
+    }
+
+    #[test]
+    fn binary_function_universe() {
+        let mut sig = Signature::new();
+        sig.add_sort("a").unwrap();
+        sig.add_sort("b").unwrap();
+        sig.add_function("pair", ["a", "a"], "b").unwrap();
+        sig.add_constant("x", "a").unwrap();
+        sig.add_constant("y", "a").unwrap();
+        let table = TermTable::build(&sig);
+        // x, y, pair over 4 tuples.
+        assert_eq!(table.len(), 6);
+    }
+
+    #[test]
+    fn ensure_inhabited_adds_constants() {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        // No constants at all: node is empty; id becomes inhabited only via
+        // idf once node is inhabited.
+        let added = ensure_inhabited(&mut sig);
+        assert_eq!(added.len(), 1);
+        assert_eq!(added[0].1, Sort::new("node"));
+        let table = TermTable::build(&sig);
+        assert_eq!(table.of_sort(&Sort::new("node")).len(), 1);
+        assert_eq!(table.of_sort(&Sort::new("id")).len(), 1);
+    }
+
+    #[test]
+    fn ensure_inhabited_noop_when_populated() {
+        let mut sig = leader_sig();
+        assert!(ensure_inhabited(&mut sig).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! A decision procedure for EPR (Bernays–Schönfinkel–Ramsey) extended with
+//! stratified function symbols — the logic underlying every check in the Ivy
+//! paper (Section 3.3, Theorem 3.3).
+//!
+//! Pipeline: `ite`-elimination → Skolemization (constants only, since input
+//! is `∃*∀*`) → finite ground-term universe (terminates by stratification) →
+//! universal instantiation → Tseitin CNF with relevant-pairs equality
+//! axioms → CDCL SAT. Satisfiable queries yield a *finite first-order
+//! structure* (the finite-model property); unsatisfiable queries yield an
+//! UNSAT core over assertion labels, which powers Ivy's
+//! *BMC + Auto Generalize*.
+//!
+//! # Example
+//!
+//! ```
+//! use ivy_fol::{parse_formula, Signature};
+//! use ivy_epr::{EprCheck, EprOutcome};
+//!
+//! let mut sig = Signature::new();
+//! sig.add_sort("node")?;
+//! sig.add_relation("leader", ["node"])?;
+//! let mut q = EprCheck::new(&sig)?;
+//! q.assert_labeled("two_leaders", &parse_formula(
+//!     "exists X:node, Y:node. X ~= Y & leader(X) & leader(Y)")?)?;
+//! let EprOutcome::Sat(model) = q.check()? else { panic!("satisfiable") };
+//! assert!(model.structure.domain_size(&"node".into()) >= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod encode;
+pub mod ground;
+
+pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model};
+pub use encode::{Encoder, EqualityMode};
+pub use ground::{ensure_inhabited, GroundTerm, TermId, TermTable};

@@ -1,0 +1,104 @@
+//! Property tests for the EPR decision procedure: produced models must
+//! satisfy every assertion (checked by independent evaluation), UNSAT cores
+//! must be genuinely unsatisfiable, and the lazy and eager equality modes
+//! must agree.
+
+use ivy_epr::{EprCheck, EprOutcome, EqualityMode};
+use ivy_fol::{parse_formula, Formula, Signature};
+use proptest::prelude::*;
+
+fn signature() -> Signature {
+    let mut sig = Signature::new();
+    sig.add_sort("s").unwrap();
+    sig.add_sort("t").unwrap();
+    sig.add_relation("r", ["s"]).unwrap();
+    sig.add_relation("q", ["s", "t"]).unwrap();
+    sig.add_function("f", ["s"], "t").unwrap();
+    sig.add_constant("a", "s").unwrap();
+    sig.add_constant("b", "s").unwrap();
+    sig
+}
+
+/// A pool of ∃*∀* sentences over the signature; random subsets form the
+/// queries.
+fn pool() -> Vec<Formula> {
+    [
+        "r(a)",
+        "~r(b)",
+        "a = b",
+        "a ~= b",
+        "forall X:s. r(X)",
+        "forall X:s. ~r(X)",
+        "exists X:s. r(X) & X ~= a",
+        "forall X:s, Y:s. X = Y",
+        "exists X:s, Y:s. X ~= Y",
+        "forall X:s. q(X, f(X))",
+        "forall X:s, Y:t. ~q(X, Y)",
+        "exists X:s. q(X, f(a))",
+        "f(a) = f(b)",
+        "f(a) ~= f(b)",
+        "forall X:s, Y:s. f(X) = f(Y) -> X = Y",
+        "forall X:s. r(X) -> q(X, f(X))",
+    ]
+    .iter()
+    .map(|s| parse_formula(s).unwrap())
+    .collect()
+}
+
+fn run(mode: EqualityMode, chosen: &[Formula]) -> EprOutcome {
+    let mut q = EprCheck::new(&signature()).unwrap();
+    q.set_equality_mode(mode);
+    for (i, f) in chosen.iter().enumerate() {
+        q.assert_labeled(format!("a{i}"), f).unwrap();
+    }
+    q.check().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn models_satisfy_assertions_and_modes_agree(mask in 0u32..65536) {
+        let pool = pool();
+        let chosen: Vec<Formula> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| f.clone())
+            .collect();
+        let lazy = run(EqualityMode::Lazy, &chosen);
+        let eager = run(EqualityMode::Eager, &chosen);
+        prop_assert_eq!(
+            lazy.is_sat(),
+            eager.is_sat(),
+            "equality modes disagree on mask {}", mask
+        );
+        match lazy {
+            EprOutcome::Sat(model) => {
+                for f in &chosen {
+                    prop_assert!(
+                        model.structure.eval_closed(f).unwrap(),
+                        "model violates `{}`; structure: {}",
+                        f,
+                        model.structure
+                    );
+                }
+            }
+            EprOutcome::Unsat(core) => {
+                // The core must itself be unsatisfiable.
+                let core_formulas: Vec<Formula> = core
+                    .iter()
+                    .filter_map(|label| {
+                        label
+                            .strip_prefix('a')
+                            .and_then(|n| n.parse::<usize>().ok())
+                            .map(|n| chosen[n].clone())
+                    })
+                    .collect();
+                prop_assert!(!core_formulas.is_empty() || chosen.is_empty());
+                let again = run(EqualityMode::Lazy, &core_formulas);
+                prop_assert!(!again.is_sat(), "core is satisfiable: {core:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Diagrams of partial structures and their induced conjectures
+//! (Definitions 4 and 5 of the paper).
+//!
+//! The diagram `Diag(s)` of a partial structure existentially quantifies one
+//! variable per *active* element, asserts pairwise distinctness (per sort),
+//! and conjoins every defined fact. The induced conjecture `ϕ(s)` is the
+//! universal formula equivalent to `¬Diag(s)`: it excludes every state that
+//! contains `s` as a (partial) substructure.
+
+use std::collections::BTreeMap;
+
+use crate::formula::{Binding, Formula};
+use crate::partial::{Fact, PartialStructure};
+use crate::structure::Elem;
+use crate::term::Term;
+use crate::Sym;
+
+/// The variable name used for element `e` in diagrams/conjectures:
+/// uppercased sort name followed by the element index (e.g. `NODE0`).
+/// Uppercase matters: the concrete syntax parses capitalised identifiers as
+/// logical variables.
+pub fn diagram_var(e: &Elem) -> Sym {
+    Sym::new(format!("{}{}", e.sort.name().to_ascii_uppercase(), e.idx))
+}
+
+fn var_map(s: &PartialStructure) -> BTreeMap<Elem, Sym> {
+    s.active_elements()
+        .into_iter()
+        .map(|e| {
+            let v = diagram_var(&e);
+            (e, v)
+        })
+        .collect()
+}
+
+fn fact_literal(fact: &Fact, vars: &BTreeMap<Elem, Sym>) -> Formula {
+    let term = |e: &Elem| Term::Var(vars[e].clone());
+    match fact {
+        Fact::Rel { sym, tuple, value } => {
+            let atom = Formula::rel(sym.clone(), tuple.iter().map(term));
+            if *value {
+                atom
+            } else {
+                Formula::not(atom)
+            }
+        }
+        Fact::Fun {
+            sym,
+            args,
+            result,
+            value,
+        } => {
+            let atom = Formula::eq(
+                Term::app(sym.clone(), args.iter().map(term)),
+                term(result),
+            );
+            if *value {
+                atom
+            } else {
+                Formula::not(atom)
+            }
+        }
+    }
+}
+
+fn distinctness(vars: &BTreeMap<Elem, Sym>) -> Vec<Formula> {
+    let elems: Vec<&Elem> = vars.keys().collect();
+    let mut out = Vec::new();
+    for i in 0..elems.len() {
+        for j in (i + 1)..elems.len() {
+            // Distinctness is only meaningful within a sort.
+            if elems[i].sort == elems[j].sort {
+                out.push(Formula::neq(
+                    Term::Var(vars[elems[i]].clone()),
+                    Term::Var(vars[elems[j]].clone()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn bindings(vars: &BTreeMap<Elem, Sym>) -> Vec<Binding> {
+    vars.iter()
+        .map(|(e, v)| Binding::new(v.clone(), e.sort.clone()))
+        .collect()
+}
+
+/// The diagram `Diag(s)` (Definition 4): an existential sentence satisfied
+/// exactly by the states that contain `s` as a sub-configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::{Signature, Structure, PartialStructure, diagram};
+/// use std::sync::Arc;
+///
+/// let mut sig = Signature::new();
+/// sig.add_sort("node")?;
+/// sig.add_relation("leader", ["node"])?;
+/// let mut s = Structure::new(Arc::new(sig));
+/// let n = s.add_element("node");
+/// s.set_rel("leader", vec![n.clone()], true);
+///
+/// let mut p = PartialStructure::empty_over(&s);
+/// p.define_rel("leader", vec![n], true);
+/// assert_eq!(diagram(&p).to_string(), "exists NODE0:node. leader(NODE0)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn diagram(s: &PartialStructure) -> Formula {
+    let vars = var_map(s);
+    let mut parts = distinctness(&vars);
+    parts.extend(s.facts().iter().map(|f| fact_literal(f, &vars)));
+    Formula::exists(bindings(&vars), Formula::and(parts))
+}
+
+/// The conjecture `ϕ(s)` associated with a partial structure
+/// (Definition 5): the universal formula equivalent to `¬Diag(s)`.
+///
+/// By Lemma 4.2, any total structure that `s` generalizes falsifies the
+/// conjecture; adding `ϕ(s)` to the candidate invariant therefore eliminates
+/// the CTI that `s` was derived from.
+pub fn conjecture(s: &PartialStructure) -> Formula {
+    let vars = var_map(s);
+    let mut parts = distinctness(&vars);
+    parts.extend(s.facts().iter().map(|f| fact_literal(f, &vars)));
+    Formula::forall(bindings(&vars), Formula::not(Formula::and(parts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Structure;
+    use crate::{Signature, Sort};
+    use std::sync::Arc;
+
+    fn fig7_setting() -> (Structure, PartialStructure) {
+        // Figure 7 of the paper: two nodes, two ids.
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_relation("pnd", ["id", "node"]).unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        let n1 = s.add_element("node");
+        let n2 = s.add_element("node");
+        let i1 = s.add_element("id");
+        let i2 = s.add_element("id");
+        s.set_fun("idf", vec![n1.clone()], i1.clone());
+        s.set_fun("idf", vec![n2.clone()], i2.clone());
+        s.set_rel("le", vec![i1.clone(), i1.clone()], true);
+        s.set_rel("le", vec![i2.clone(), i2.clone()], true);
+        s.set_rel("le", vec![i1.clone(), i2.clone()], true);
+        s.set_rel("leader", vec![n1.clone()], true);
+        s.set_rel("pnd", vec![i2.clone(), n2.clone()], true);
+
+        // Figure 7 (c): the generalization with only "node1 is a leader and
+        // its id is le-below node2's id" retained.
+        let mut p = PartialStructure::empty_over(&s);
+        p.define_rel("leader", vec![n1.clone()], true);
+        p.define_fun("idf", vec![n1.clone()], i1.clone());
+        p.define_fun("idf", vec![n2.clone()], i2.clone());
+        p.define_rel("le", vec![i1, i2], true);
+        (s, p)
+    }
+
+    #[test]
+    fn conjecture_matches_paper_c1_semantics() {
+        let (cti, p) = fig7_setting();
+        let c = conjecture(&p);
+        // The conjecture is universal and closed.
+        assert!(c.is_closed());
+        assert!(matches!(c, Formula::Forall(..)));
+        // The CTI it came from violates it (Lemma 4.2).
+        assert!(!cti.eval_closed(&c).unwrap());
+        // And the diagram is satisfied by the CTI.
+        assert!(cti.eval_closed(&diagram(&p)).unwrap());
+    }
+
+    #[test]
+    fn diagram_embeds_not_just_identity() {
+        // A *larger* state containing the forbidden sub-configuration also
+        // violates the conjecture: 3 nodes, node2 is leader with non-max id.
+        let (cti, p) = fig7_setting();
+        let sig = cti.signature().clone();
+        let mut big = Structure::new(sig);
+        let nodes: Vec<_> = (0..3).map(|_| big.add_element("node")).collect();
+        let ids: Vec<_> = (0..3).map(|_| big.add_element("id")).collect();
+        for (n, i) in nodes.iter().zip(&ids) {
+            big.set_fun("idf", vec![n.clone()], i.clone());
+        }
+        // Total order id0 < id1 < id2.
+        for a in 0..3 {
+            for b in a..3 {
+                big.set_rel("le", vec![ids[a].clone(), ids[b].clone()], true);
+            }
+        }
+        big.set_rel("leader", vec![nodes[1].clone()], true);
+        let c = conjecture(&p);
+        assert!(!big.eval_closed(&c).unwrap(), "embedded violation detected");
+    }
+
+    #[test]
+    fn more_general_partial_structure_gives_stronger_conjecture() {
+        // ϕ(s2) ⇒ ϕ(s1) when s2 ⪯ s1: check on a sample of states.
+        let (cti, p1) = fig7_setting();
+        let mut p2 = p1.clone();
+        // Generalize further: drop the le fact.
+        p2.retain_facts(|f| f.symbol() != &Sym::new("le"));
+        assert!(p2.generalizes(&p1));
+        let (c1, c2) = (conjecture(&p1), conjecture(&p2));
+        // On the CTI itself: c2 false there too (violates both).
+        assert!(!cti.eval_closed(&c2).unwrap());
+        // Any state satisfying c2 must satisfy c1; test the contrapositive on
+        // a state violating c1 (the CTI): c2 is violated as well.
+        assert!(!cti.eval_closed(&c1).unwrap());
+    }
+
+    #[test]
+    fn distinctness_only_within_sorts() {
+        let (_, p) = fig7_setting();
+        let d = diagram(&p);
+        let text = d.to_string();
+        // NODE0 ~= NODE1 and ID0 ~= ID1 appear; no cross-sort disequality.
+        assert!(text.contains("NODE0 ~= NODE1"));
+        assert!(text.contains("ID0 ~= ID1"));
+        assert!(!text.contains("NODE0 ~= ID"));
+    }
+
+    #[test]
+    fn empty_partial_structure_conjecture_is_false() {
+        // With no facts, Diag = true, so the conjecture is ~true = false.
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        let sig = Arc::new(sig);
+        let s = Structure::new(sig.clone());
+        let p = PartialStructure::empty_over(&s);
+        assert_eq!(conjecture(&p), Formula::False);
+        assert_eq!(diagram(&p), Formula::True);
+        let _ = Sort::new("s");
+    }
+
+    #[test]
+    fn conjecture_is_ea_negation() {
+        let (_, p) = fig7_setting();
+        let c = conjecture(&p);
+        let pren = crate::prenex(&Formula::not(c));
+        assert!(pren.is_ea(), "negated conjecture is ∃* (EPR-friendly)");
+    }
+}

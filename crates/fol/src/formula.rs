@@ -1,0 +1,613 @@
+//! Formulas of sorted first-order logic (Figure 11 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::term::Term;
+use crate::{Signature, Sort, Sym};
+
+/// A quantifier binding: a logical variable together with its sort.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Binding {
+    /// The bound variable's name.
+    pub var: Sym,
+    /// The bound variable's sort.
+    pub sort: Sort,
+}
+
+impl Binding {
+    /// Creates a binding.
+    pub fn new(var: impl Into<Sym>, sort: impl Into<Sort>) -> Self {
+        Binding {
+            var: var.into(),
+            sort: sort.into(),
+        }
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.var, self.sort)
+    }
+}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A first-order formula.
+///
+/// Use the smart constructors ([`Formula::and`], [`Formula::or`],
+/// [`Formula::not`], [`Formula::forall`], ...) rather than building variants
+/// directly: they flatten nested conjunctions, drop trivial units and merge
+/// adjacent quantifiers, keeping formulas small and displays readable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// The true constant.
+    True,
+    /// The false constant.
+    False,
+    /// Relation membership `r(t1, ..., tn)`.
+    Rel(Sym, Vec<Term>),
+    /// Equality between terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Binding>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Binding>, Box<Formula>),
+}
+
+impl Formula {
+    /// Relation atom `r(args...)`.
+    pub fn rel(name: impl Into<Sym>, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Rel(name.into(), args.into_iter().collect())
+    }
+
+    /// Equality atom.
+    pub fn eq(lhs: Term, rhs: Term) -> Formula {
+        Formula::Eq(lhs, rhs)
+    }
+
+    /// Disequality `lhs ~= rhs`.
+    pub fn neq(lhs: Term, rhs: Term) -> Formula {
+        Formula::not(Formula::Eq(lhs, rhs))
+    }
+
+    /// Negation, simplifying double negations and constants.
+    #[allow(clippy::should_implement_trait)] // static constructor, not ops::Not
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Flattening conjunction; drops `true` units and collapses to `false`
+    /// when any conjunct is `false`.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Flattening disjunction; drops `false` units and collapses to `true`
+    /// when any disjunct is `true`.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication, simplifying constant operands.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        match (&lhs, &rhs) {
+            (Formula::True, _) => rhs,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (_, Formula::False) => Formula::not(lhs),
+            _ => Formula::Implies(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// Bi-implication, simplifying constant operands.
+    pub fn iff(lhs: Formula, rhs: Formula) -> Formula {
+        match (&lhs, &rhs) {
+            (Formula::True, _) => rhs,
+            (_, Formula::True) => lhs,
+            (Formula::False, _) => Formula::not(rhs),
+            (_, Formula::False) => Formula::not(lhs),
+            _ => Formula::Iff(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// Universal quantification; merges with an immediately nested `forall`
+    /// and is the identity on an empty binding list.
+    pub fn forall(bindings: impl IntoIterator<Item = Binding>, body: Formula) -> Formula {
+        let mut bindings: Vec<Binding> = bindings.into_iter().collect();
+        if bindings.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Forall(inner, b) => {
+                bindings.extend(inner);
+                Formula::Forall(bindings, b)
+            }
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            other => Formula::Forall(bindings, Box::new(other)),
+        }
+    }
+
+    /// Existential quantification; merges with an immediately nested
+    /// `exists` and is the identity on an empty binding list.
+    pub fn exists(bindings: impl IntoIterator<Item = Binding>, body: Formula) -> Formula {
+        let mut bindings: Vec<Binding> = bindings.into_iter().collect();
+        if bindings.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Exists(inner, b) => {
+                bindings.extend(inner);
+                Formula::Exists(bindings, b)
+            }
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            other => Formula::Exists(bindings, Box::new(other)),
+        }
+    }
+
+    /// Pairwise disequality of the given terms (the paper's `distinct`).
+    /// Only pairs are produced, so `distinct` of zero or one term is `true`.
+    pub fn distinct(terms: &[Term]) -> Formula {
+        let mut parts = Vec::new();
+        for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                parts.push(Formula::neq(terms[i].clone(), terms[j].clone()));
+            }
+        }
+        Formula::and(parts)
+    }
+
+    /// Collects free variables; `bound` carries variables bound by enclosing
+    /// quantifiers.
+    pub fn collect_free_vars_into(&self, out: &mut BTreeSet<Sym>, bound: &mut BTreeSet<Sym>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Rel(_, args) => {
+                for t in args {
+                    collect_term_free(t, out, bound);
+                }
+            }
+            Formula::Eq(a, b) => {
+                collect_term_free(a, out, bound);
+                collect_term_free(b, out, bound);
+            }
+            Formula::Not(f) => f.collect_free_vars_into(out, bound),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_vars_into(out, bound);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free_vars_into(out, bound);
+                b.collect_free_vars_into(out, bound);
+            }
+            Formula::Forall(bs, f) | Formula::Exists(bs, f) => {
+                let newly: Vec<Sym> = bs
+                    .iter()
+                    .filter(|b| bound.insert(b.var.clone()))
+                    .map(|b| b.var.clone())
+                    .collect();
+                f.collect_free_vars_into(out, bound);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// The free logical variables of this formula.
+    pub fn free_vars(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars_into(&mut out, &mut BTreeSet::new());
+        out
+    }
+
+    /// Whether the formula is closed (a *sentence*).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Whether the formula mentions relation/function symbol `name`.
+    pub fn mentions_symbol(&self, name: &Sym) -> bool {
+        match self {
+            Formula::True | Formula::False => false,
+            Formula::Rel(r, args) => r == name || args.iter().any(|t| t.mentions_symbol(name)),
+            Formula::Eq(a, b) => a.mentions_symbol(name) || b.mentions_symbol(name),
+            Formula::Not(f) => f.mentions_symbol(name),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|f| f.mentions_symbol(name)),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.mentions_symbol(name) || b.mentions_symbol(name)
+            }
+            Formula::Forall(_, f) | Formula::Exists(_, f) => f.mentions_symbol(name),
+        }
+    }
+
+    /// The conjuncts of a top-level conjunction (a non-conjunction is its own
+    /// single conjunct).
+    pub fn conjuncts(&self) -> &[Formula] {
+        match self {
+            Formula::And(fs) => fs,
+            _ => std::slice::from_ref(self),
+        }
+    }
+
+    /// Checks well-sortedness of a formula whose free variables have the
+    /// given sorts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SortError`] pinpointing the first ill-sorted subterm.
+    pub fn well_sorted(
+        &self,
+        sig: &Signature,
+        var_sorts: &BTreeMap<Sym, Sort>,
+    ) -> Result<(), SortError> {
+        match self {
+            Formula::True | Formula::False => Ok(()),
+            Formula::Rel(r, args) => {
+                let decl = sig
+                    .relation(r)
+                    .ok_or_else(|| SortError::UnknownRelation(r.clone()))?;
+                if decl.len() != args.len() {
+                    return Err(SortError::ArityMismatch {
+                        symbol: r.clone(),
+                        expected: decl.len(),
+                        found: args.len(),
+                    });
+                }
+                for (t, expected) in args.iter().zip(decl.to_vec()) {
+                    let found = t
+                        .sort(sig, var_sorts)
+                        .ok_or_else(|| SortError::IllSortedTerm(t.clone()))?;
+                    if found != expected {
+                        return Err(SortError::SortMismatch {
+                            term: t.clone(),
+                            expected,
+                            found,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Formula::Eq(a, b) => {
+                let sa = a
+                    .sort(sig, var_sorts)
+                    .ok_or_else(|| SortError::IllSortedTerm(a.clone()))?;
+                let sb = b
+                    .sort(sig, var_sorts)
+                    .ok_or_else(|| SortError::IllSortedTerm(b.clone()))?;
+                if sa != sb {
+                    return Err(SortError::SortMismatch {
+                        term: b.clone(),
+                        expected: sa,
+                        found: sb,
+                    });
+                }
+                Ok(())
+            }
+            Formula::Not(f) => f.well_sorted(sig, var_sorts),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().try_for_each(|f| f.well_sorted(sig, var_sorts))
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.well_sorted(sig, var_sorts)?;
+                b.well_sorted(sig, var_sorts)
+            }
+            Formula::Forall(bs, f) | Formula::Exists(bs, f) => {
+                let mut inner = var_sorts.clone();
+                for b in bs {
+                    if !sig.has_sort(&b.sort) {
+                        return Err(SortError::UnknownSort(b.sort.clone()));
+                    }
+                    inner.insert(b.var.clone(), b.sort.clone());
+                }
+                f.well_sorted(sig, &inner)
+            }
+        }
+    }
+
+    /// Counts the literal occurrences in this formula (atoms, each counted
+    /// once per occurrence). This is the measure used for the `C` and `I`
+    /// columns of the paper's Figure 14.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Rel(..) | Formula::Eq(..) => 1,
+            Formula::Not(f) => f.literal_count(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::literal_count).sum(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.literal_count() + b.literal_count(),
+            Formula::Forall(_, f) | Formula::Exists(_, f) => f.literal_count(),
+        }
+    }
+}
+
+fn collect_term_free(t: &Term, out: &mut BTreeSet<Sym>, bound: &BTreeSet<Sym>) {
+    match t {
+        Term::Var(v) => {
+            if !bound.contains(v) {
+                out.insert(v.clone());
+            }
+        }
+        Term::App(_, args) => {
+            for a in args {
+                collect_term_free(a, out, bound);
+            }
+        }
+        Term::Ite(c, a, b) => {
+            let mut inner_bound = bound.clone();
+            c.collect_free_vars_into(out, &mut inner_bound);
+            collect_term_free(a, out, bound);
+            collect_term_free(b, out, bound);
+        }
+    }
+}
+
+/// Errors raised by sort checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortError {
+    /// A relation symbol that is not declared in the signature.
+    UnknownRelation(Sym),
+    /// A sort that is not declared in the signature.
+    UnknownSort(Sort),
+    /// A symbol applied to the wrong number of arguments.
+    ArityMismatch {
+        /// The offending symbol.
+        symbol: Sym,
+        /// Declared arity.
+        expected: usize,
+        /// Arity at the use site.
+        found: usize,
+    },
+    /// A term whose sort could not be inferred (unknown symbol or variable,
+    /// or ill-sorted `ite`).
+    IllSortedTerm(Term),
+    /// A term of the wrong sort.
+    SortMismatch {
+        /// The offending term.
+        term: Term,
+        /// The sort required by context.
+        expected: Sort,
+        /// The term's actual sort.
+        found: Sort,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            SortError::UnknownSort(s) => write!(f, "unknown sort `{s}`"),
+            SortError::ArityMismatch {
+                symbol,
+                expected,
+                found,
+            } => write!(
+                f,
+                "symbol `{symbol}` expects {expected} argument(s), found {found}"
+            ),
+            SortError::IllSortedTerm(t) => write!(f, "ill-sorted term `{t}`"),
+            SortError::SortMismatch {
+                term,
+                expected,
+                found,
+            } => write!(
+                f,
+                "term `{term}` has sort `{found}` but sort `{expected}` is required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_formula(f, self)
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Signature;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_constant("n", "node").unwrap();
+        sig
+    }
+
+    #[test]
+    fn smart_and_flattens() {
+        let f = Formula::and([
+            Formula::True,
+            Formula::and([Formula::rel("leader", [Term::var("X")]), Formula::True]),
+        ]);
+        assert_eq!(f, Formula::rel("leader", [Term::var("X")]));
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(
+            Formula::and([Formula::False, Formula::rel("leader", [Term::var("X")])]),
+            Formula::False
+        );
+    }
+
+    #[test]
+    fn smart_or_flattens() {
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(
+            Formula::or([Formula::True, Formula::rel("leader", [Term::var("X")])]),
+            Formula::True
+        );
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let atom = Formula::rel("leader", [Term::var("X")]);
+        assert_eq!(Formula::not(Formula::not(atom.clone())), atom);
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+    }
+
+    #[test]
+    fn quantifier_merging() {
+        let body = Formula::rel("le", [Term::var("X"), Term::var("Y")]);
+        let f = Formula::forall(
+            [Binding::new("X", "id")],
+            Formula::forall([Binding::new("Y", "id")], body),
+        );
+        match f {
+            Formula::Forall(bs, _) => assert_eq!(bs.len(), 2),
+            other => panic!("expected merged forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::forall(
+            [Binding::new("X", "node")],
+            Formula::and([
+                Formula::rel("leader", [Term::var("X")]),
+                Formula::rel("leader", [Term::var("Y")]),
+            ]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains(&Sym::new("Y")));
+        assert!(!fv.contains(&Sym::new("X")));
+        assert!(!f.is_closed());
+    }
+
+    #[test]
+    fn distinct_is_pairwise() {
+        let terms = [Term::var("X"), Term::var("Y"), Term::var("Z")];
+        let f = Formula::distinct(&terms);
+        assert_eq!(f.conjuncts().len(), 3);
+        assert_eq!(Formula::distinct(&terms[..1]), Formula::True);
+    }
+
+    #[test]
+    fn well_sorted_accepts_good_formula() {
+        let sig = sig();
+        let f = Formula::forall(
+            [Binding::new("X", "node"), Binding::new("Y", "node")],
+            Formula::rel("le", [
+                Term::app("idf", [Term::var("X")]),
+                Term::app("idf", [Term::var("Y")]),
+            ]),
+        );
+        f.well_sorted(&sig, &BTreeMap::new()).unwrap();
+    }
+
+    #[test]
+    fn well_sorted_rejects_bad_sort() {
+        let sig = sig();
+        // le expects ids, given a node.
+        let f = Formula::forall(
+            [Binding::new("X", "node")],
+            Formula::rel("le", [Term::var("X"), Term::var("X")]),
+        );
+        assert!(matches!(
+            f.well_sorted(&sig, &BTreeMap::new()),
+            Err(SortError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn well_sorted_rejects_arity() {
+        let sig = sig();
+        let f = Formula::rel("leader", [Term::cst("n"), Term::cst("n")]);
+        assert!(matches!(
+            f.well_sorted(&sig, &BTreeMap::new()),
+            Err(SortError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eq_requires_same_sort() {
+        let sig = sig();
+        let f = Formula::eq(Term::cst("n"), Term::app("idf", [Term::cst("n")]));
+        assert!(f.well_sorted(&sig, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn literal_count_matches_paper_style() {
+        // C1 = forall N1,N2. ~(N1 ~= N2 & leader(N1) & le(id(N1), id(N2)))
+        // has 3 literals.
+        let c1 = Formula::forall(
+            [Binding::new("N1", "node"), Binding::new("N2", "node")],
+            Formula::not(Formula::and([
+                Formula::neq(Term::var("N1"), Term::var("N2")),
+                Formula::rel("leader", [Term::var("N1")]),
+                Formula::rel("le", [
+                    Term::app("idf", [Term::var("N1")]),
+                    Term::app("idf", [Term::var("N2")]),
+                ]),
+            ])),
+        );
+        assert_eq!(c1.literal_count(), 3);
+    }
+
+    #[test]
+    fn mentions_symbol_sees_through_terms() {
+        let f = Formula::eq(Term::app("idf", [Term::cst("n")]), Term::var("X"));
+        assert!(f.mentions_symbol(&Sym::new("idf")));
+        assert!(f.mentions_symbol(&Sym::new("n")));
+        assert!(!f.mentions_symbol(&Sym::new("le")));
+    }
+}

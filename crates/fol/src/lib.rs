@@ -1,0 +1,60 @@
+//! Sorted first-order logic for the Ivy reproduction.
+//!
+//! This crate provides the logical substrate of the PLDI 2016 paper
+//! *Ivy: Safety Verification by Interactive Generalization*:
+//!
+//! * [`Signature`]s with sorts, relations and *stratified* functions
+//!   (Section 3.1 of the paper);
+//! * [`Term`]s and [`Formula`]s with the paper's quantifier fragments
+//!   (Figure 11), plus a parser and pretty printer for a concrete syntax;
+//! * substitution machinery used by weakest preconditions ([`subst`]);
+//! * normal forms: NNF, prenexing, Skolemization ([`xform`]);
+//! * finite [`Structure`]s (program states, Definition 1) with formula
+//!   evaluation;
+//! * [`PartialStructure`]s, the generalization partial order
+//!   (Definitions 2–3), and [`diagram()`]/[`conjecture()`]
+//!   (Definitions 4–5).
+//!
+//! # Example
+//!
+//! ```
+//! use ivy_fol::{parse_formula, prenex, Formula};
+//!
+//! // The paper's conjecture C1 for leader election:
+//! let c1 = parse_formula(
+//!     "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))",
+//! )?;
+//! // Its negation is ∃*: exactly what the EPR decision procedure wants.
+//! assert!(prenex(&Formula::not(c1)).is_ea());
+//! # Ok::<(), ivy_fol::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod sym;
+
+pub mod diagram;
+pub mod formula;
+pub mod parser;
+pub mod partial;
+pub mod pretty;
+pub mod sig;
+pub mod structure;
+pub mod subst;
+pub mod term;
+pub mod xform;
+
+pub use crate::diagram::{conjecture, diagram, diagram_var};
+pub use formula::{Binding, Formula, SortError};
+pub use parser::{
+    parse_formula, parse_formula_prefix, parse_term, parse_term_prefix, ParseError,
+};
+pub use partial::{Fact, PartialStructure};
+pub use sig::{FuncDecl, SigError, Signature};
+pub use structure::{Elem, EvalError, Structure};
+pub use sym::{Sort, Sym};
+pub use term::Term;
+pub use xform::{
+    eliminate_ite, is_ae_sentence, is_ea_sentence, nnf, prenex, skolemize, Block, Prenex,
+    SkolemError, Skolemized,
+};

@@ -1,0 +1,557 @@
+//! A recursive-descent parser for the concrete formula/term syntax printed
+//! by [`crate::pretty`].
+//!
+//! Grammar (loosest first):
+//!
+//! ```text
+//! formula  ::= 'forall' bindings '.' formula
+//!            | 'exists' bindings '.' formula
+//!            | iff
+//! iff      ::= implies ('<->' implies)*
+//! implies  ::= or ('->' implies)?          (right associative)
+//! or       ::= and ('|' and)*
+//! and      ::= unary ('&' unary)*
+//! unary    ::= '~' unary | atom
+//! atom     ::= 'true' | 'false' | '(' formula ')'
+//!            | term ('=' term | '~=' term)?
+//! term     ::= 'ite' '(' formula ',' term ',' term ')'
+//!            | ident ('(' term (',' term)* ')')?
+//! bindings ::= ident ':' ident (',' ident ':' ident)*
+//! ```
+//!
+//! An identifier alone (`p`) parses as a nullary relation atom when in
+//! formula position; sort checking later distinguishes misuse.
+
+use std::fmt;
+
+use crate::formula::{Binding, Formula};
+use crate::term::Term;
+use crate::Sym;
+
+/// A parse error with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::parse_formula;
+/// let f = parse_formula("forall X:node. leader(X) -> ~pnd(idf(X), X)")?;
+/// assert!(f.is_closed());
+/// # Ok::<(), ivy_fol::ParseError>(())
+/// ```
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(input);
+    let f = p.formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a term from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(input);
+    let t = p.term()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+/// Parses the longest formula prefix of `input`; returns the formula and the
+/// byte offset where parsing stopped (start of the first unconsumed token).
+/// Used by the RML program parser to embed formulas without terminators.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when no formula prefix parses.
+pub fn parse_formula_prefix(input: &str) -> Result<(Formula, usize), ParseError> {
+    let mut p = Parser::new_prefix(input);
+    let f = p.formula()?;
+    Ok((f, p.tok_pos))
+}
+
+/// Parses the longest term prefix of `input`; returns the term and the byte
+/// offset where parsing stopped.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when no term prefix parses.
+pub fn parse_term_prefix(input: &str) -> Result<(Term, usize), ParseError> {
+    let mut p = Parser::new_prefix(input);
+    let t = p.term()?;
+    Ok((t, p.tok_pos))
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Eq,
+    Neq,
+    Not,
+    And,
+    Or,
+    Arrow,
+    DArrow,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(s) => return write!(f, "`{s}`"),
+            Tok::LParen => "`(`",
+            Tok::RParen => "`)`",
+            Tok::Comma => "`,`",
+            Tok::Dot => "`.`",
+            Tok::Colon => "`:`",
+            Tok::Eq => "`=`",
+            Tok::Neq => "`~=`",
+            Tok::Not => "`~`",
+            Tok::And => "`&`",
+            Tok::Or => "`|`",
+            Tok::Arrow => "`->`",
+            Tok::DArrow => "`<->`",
+            Tok::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+    tok: Tok,
+    tok_pos: usize,
+    /// In prefix mode, a character the lexer does not know (`;`, `{`, ...)
+    /// ends the token stream instead of erroring.
+    stop_on_unknown: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Self::with_mode(src, false)
+    }
+
+    fn new_prefix(src: &'a str) -> Self {
+        Self::with_mode(src, true)
+    }
+
+    fn with_mode(src: &'a str, stop_on_unknown: bool) -> Self {
+        let mut p = Parser {
+            src,
+            pos: 0,
+            tok: Tok::Eof,
+            tok_pos: 0,
+            stop_on_unknown,
+        };
+        // The constructor input is lexed lazily; an error surfaces on first use.
+        if let Err(e) = p.bump() {
+            p.tok = Tok::Ident(format!("\u{0}lex-error:{}", e.msg));
+        }
+        p
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.tok_pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn bump(&mut self) -> Result<(), ParseError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && (bytes[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+        // Line comments start with `#`.
+        if self.pos < bytes.len() && bytes[self.pos] == b'#' {
+            while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                self.pos += 1;
+            }
+            return self.bump();
+        }
+        self.tok_pos = self.pos;
+        if self.pos >= bytes.len() {
+            self.tok = Tok::Eof;
+            return Ok(());
+        }
+        let c = bytes[self.pos] as char;
+        self.tok = match c {
+            '(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            ',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            ':' => {
+                self.pos += 1;
+                Tok::Colon
+            }
+            '=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            '&' => {
+                self.pos += 1;
+                Tok::And
+            }
+            '|' => {
+                self.pos += 1;
+                Tok::Or
+            }
+            '~' => {
+                if bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Neq
+                } else {
+                    self.pos += 1;
+                    Tok::Not
+                }
+            }
+            '-' => {
+                if bytes.get(self.pos + 1) == Some(&b'>') {
+                    self.pos += 2;
+                    Tok::Arrow
+                } else {
+                    if self.stop_on_unknown {
+                        self.tok = Tok::Eof;
+                        return Ok(());
+                    }
+                    return Err(ParseError {
+                        pos: self.pos,
+                        msg: "expected `->`".into(),
+                    });
+                }
+            }
+            '<' => {
+                if self.src[self.pos..].starts_with("<->") {
+                    self.pos += 3;
+                    Tok::DArrow
+                } else {
+                    if self.stop_on_unknown {
+                        self.tok = Tok::Eof;
+                        return Ok(());
+                    }
+                    return Err(ParseError {
+                        pos: self.pos,
+                        msg: "expected `<->`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self.pos < bytes.len() {
+                    let c = bytes[self.pos] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(self.src[start..self.pos].to_string())
+            }
+            other => {
+                if self.stop_on_unknown {
+                    self.tok = Tok::Eof;
+                    return Ok(());
+                }
+                return Err(ParseError {
+                    pos: self.pos,
+                    msg: format!("unexpected character `{other}`"),
+                });
+            }
+        };
+        Ok(())
+    }
+
+    fn eat(&mut self, tok: &Tok) -> Result<bool, ParseError> {
+        if &self.tok == tok {
+            self.bump()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if &self.tok == tok {
+            self.bump()
+        } else {
+            self.err(format!("expected {tok}, found {}", self.tok))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.tok == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {}", self.tok))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.tok.clone() {
+            Tok::Ident(s) => {
+                self.bump()?;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        if let Tok::Ident(kw) = &self.tok {
+            if kw == "forall" || kw == "exists" {
+                let is_forall = kw == "forall";
+                self.bump()?;
+                let mut bindings = Vec::new();
+                loop {
+                    let var = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let sort = self.ident()?;
+                    bindings.push(Binding::new(var, sort.as_str()));
+                    if !self.eat(&Tok::Comma)? {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Dot)?;
+                let body = self.formula()?;
+                return Ok(if is_forall {
+                    Formula::forall(bindings, body)
+                } else {
+                    Formula::exists(bindings, body)
+                });
+            }
+        }
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.eat(&Tok::DArrow)? {
+            let rhs = self.implies()?;
+            lhs = Formula::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.eat(&Tok::Arrow)? {
+            let rhs = self.implies()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        while self.eat(&Tok::Or)? {
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Formula::or(parts)
+        })
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.eat(&Tok::And)? {
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Formula::and(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(&Tok::Not)? {
+            let f = self.unary()?;
+            return Ok(Formula::not(f));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.tok.clone() {
+            Tok::LParen => {
+                self.bump()?;
+                let f = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                // A parenthesised term followed by `=`/`~=` is not supported;
+                // terms never need parens in this grammar.
+                Ok(f)
+            }
+            Tok::Ident(kw) if kw == "true" => {
+                self.bump()?;
+                Ok(Formula::True)
+            }
+            Tok::Ident(kw) if kw == "false" => {
+                self.bump()?;
+                Ok(Formula::False)
+            }
+            Tok::Ident(_) => {
+                let t = self.term()?;
+                if self.eat(&Tok::Eq)? {
+                    let rhs = self.term()?;
+                    Ok(Formula::eq(t, rhs))
+                } else if self.eat(&Tok::Neq)? {
+                    let rhs = self.term()?;
+                    Ok(Formula::neq(t, rhs))
+                } else {
+                    // A bare application in formula position is a relation atom.
+                    match t {
+                        Term::App(name, args) => Ok(Formula::Rel(name, args)),
+                        Term::Var(name) => Ok(Formula::Rel(name, Vec::new())),
+                        Term::Ite(..) => self.err("`ite` term cannot be used as a formula"),
+                    }
+                }
+            }
+            other => self.err(format!("expected formula, found {other}")),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let name = self.ident()?;
+        if name == "ite" {
+            self.expect(&Tok::LParen)?;
+            let cond = self.formula()?;
+            self.expect(&Tok::Comma)?;
+            let then = self.term()?;
+            self.expect(&Tok::Comma)?;
+            let els = self.term()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Term::ite(cond, then, els));
+        }
+        if self.eat(&Tok::LParen)? {
+            let mut args = vec![self.term()?];
+            while self.eat(&Tok::Comma)? {
+                args.push(self.term()?);
+            }
+            self.expect(&Tok::RParen)?;
+            Ok(Term::App(Sym::new(name), args))
+        } else {
+            // Convention: identifiers starting with an uppercase letter are
+            // logical variables, everything else is a constant (the paper's
+            // figures use lowercase `n1, n2`; our concrete syntax follows the
+            // Ivy/mypyvy convention of capitalised variables instead).
+            if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                Ok(Term::var(name))
+            } else {
+                Ok(Term::cst(name))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_c1() {
+        let src = "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))";
+        let f = parse_formula(src).unwrap();
+        assert_eq!(f.to_string(), src);
+    }
+
+    #[test]
+    fn round_trip_operators() {
+        for src in [
+            "p & q | r",
+            "p -> q -> r",
+            "(p -> q) -> r",
+            "p <-> q",
+            "~p & q",
+            "~(p & q)",
+            "a = b",
+            "a ~= b",
+            "exists X:s. forall Y:s. r(X, Y)",
+        ] {
+            let f = parse_formula(src).unwrap();
+            assert_eq!(f.to_string(), src, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn case_convention_distinguishes_vars() {
+        let f = parse_formula("le(X, c)").unwrap();
+        assert_eq!(
+            f,
+            Formula::rel("le", [Term::var("X"), Term::cst("c")])
+        );
+    }
+
+    #[test]
+    fn ite_parses() {
+        let t = parse_term("ite(r(X), X, f(c))").unwrap();
+        assert_eq!(t.to_string(), "ite(r(X), X, f(c))");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let f = parse_formula("p & # comment\n q").unwrap();
+        assert_eq!(f.to_string(), "p & q");
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_formula("p & &").unwrap_err();
+        assert_eq!(e.pos, 4);
+        assert!(parse_formula("forall X. p").is_err(), "missing sort");
+        assert!(parse_formula("p q").is_err(), "trailing input");
+        assert!(parse_formula("").is_err(), "empty input");
+    }
+
+    #[test]
+    fn quantifier_scopes_to_the_right() {
+        let f = parse_formula("forall X:s. p(X) -> q(X)").unwrap();
+        match f {
+            Formula::Forall(_, body) => {
+                assert!(matches!(*body, Formula::Implies(..)));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+}

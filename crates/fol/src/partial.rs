@@ -1,0 +1,450 @@
+//! Partial structures and the generalization partial order
+//! (Definitions 2 and 3 of the paper).
+//!
+//! A partial structure records *some* facts of a structure and leaves the
+//! rest undefined. Generalizing a CTI means turning facts to undefined
+//! (and possibly dropping elements): the fewer facts are defined, the more
+//! states the induced conjecture excludes (see [the `diagram` module](mod@crate::diagram)).
+//!
+//! Following the paper's footnote 1, a `k`-ary function is treated as a
+//! `k+1`-ary relation relating argument tuples to the result.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::structure::{Elem, Structure};
+use crate::{Signature, Sym};
+
+/// A single defined fact of a partial structure.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fact {
+    /// `rel(tuple) = value`.
+    Rel {
+        /// Relation symbol.
+        sym: Sym,
+        /// Argument tuple.
+        tuple: Vec<Elem>,
+        /// Defined truth value.
+        value: bool,
+    },
+    /// `fun(args) = result` holds (`value = true`) or does not (`false`).
+    Fun {
+        /// Function symbol.
+        sym: Sym,
+        /// Argument tuple (length = arity).
+        args: Vec<Elem>,
+        /// Candidate result element.
+        result: Elem,
+        /// Defined truth value of the `k+1`-ary relation view.
+        value: bool,
+    },
+}
+
+impl Fact {
+    /// All elements mentioned by the fact.
+    pub fn elements(&self) -> Vec<&Elem> {
+        match self {
+            Fact::Rel { tuple, .. } => tuple.iter().collect(),
+            Fact::Fun { args, result, .. } => args.iter().chain(Some(result)).collect(),
+        }
+    }
+
+    /// The relation/function symbol of the fact.
+    pub fn symbol(&self) -> &Sym {
+        match self {
+            Fact::Rel { sym, .. } | Fact::Fun { sym, .. } => sym,
+        }
+    }
+
+    /// The fact's defined truth value.
+    pub fn value(&self) -> bool {
+        match self {
+            Fact::Rel { value, .. } | Fact::Fun { value, .. } => *value,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fact::Rel { sym, tuple, value } => {
+                if !value {
+                    write!(f, "~")?;
+                }
+                write!(f, "{sym}(")?;
+                for (i, e) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Fact::Fun {
+                sym,
+                args,
+                result,
+                value,
+            } => {
+                write!(f, "{sym}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, e) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, " {} {result}", if *value { "=" } else { "~=" })
+            }
+        }
+    }
+}
+
+/// A partial structure: a domain plus a set of defined facts
+/// (Definition 2).
+#[derive(Clone, PartialEq, Eq)]
+pub struct PartialStructure {
+    sig: Arc<Signature>,
+    domain: BTreeSet<Elem>,
+    facts: BTreeSet<Fact>,
+}
+
+impl PartialStructure {
+    /// An empty partial structure (defines nothing; its conjecture is
+    /// `~true`, i.e. excludes everything containing nothing — trivially
+    /// `false`... callers normally start [`PartialStructure::from_structure`]).
+    pub fn new(sig: Arc<Signature>) -> Self {
+        PartialStructure {
+            sig,
+            domain: BTreeSet::new(),
+            facts: BTreeSet::new(),
+        }
+    }
+
+    /// The total view of a structure as a partial structure: every relation
+    /// fact (both polarities) and every function fact is defined.
+    pub fn from_structure(s: &Structure) -> Self {
+        Self::from_structure_without(s, &BTreeSet::new())
+    }
+
+    /// Like [`PartialStructure::from_structure`], but skipping the given
+    /// symbols entirely — used to exclude scratch program variables (the
+    /// paper's figures never display the havocked locals `n`, `m`, `i`).
+    pub fn from_structure_without(s: &Structure, skip: &BTreeSet<Sym>) -> Self {
+        let sig = s.signature().clone();
+        let mut out = PartialStructure::new(sig.clone());
+        out.domain = s.all_elements().collect();
+        for (rel, arg_sorts) in sig.relations() {
+            if skip.contains(rel) {
+                continue;
+            }
+            for tuple in tuples_over(s, arg_sorts) {
+                let value = s.rel_holds(rel, &tuple);
+                out.facts.insert(Fact::Rel {
+                    sym: rel.clone(),
+                    tuple,
+                    value,
+                });
+            }
+        }
+        for (fun, decl) in sig.functions() {
+            if skip.contains(fun) {
+                continue;
+            }
+            for args in tuples_over(s, &decl.args) {
+                let actual = s.fun_app(fun, &args);
+                for result in s.elements(&decl.ret).collect::<Vec<_>>() {
+                    let value = actual.as_ref() == Some(&result);
+                    out.facts.insert(Fact::Fun {
+                        sym: fun.clone(),
+                        args: args.clone(),
+                        result,
+                        value,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A partial structure over the same domain as `s` but with *no* facts
+    /// defined; facts are then added selectively with
+    /// [`PartialStructure::define`]. This is how an "upper bound" `s_u` is
+    /// often built programmatically.
+    pub fn empty_over(s: &Structure) -> Self {
+        let mut out = PartialStructure::new(s.signature().clone());
+        out.domain = s.all_elements().collect();
+        out
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The domain `D`.
+    pub fn domain(&self) -> &BTreeSet<Elem> {
+        &self.domain
+    }
+
+    /// The defined facts.
+    pub fn facts(&self) -> &BTreeSet<Fact> {
+        &self.facts
+    }
+
+    /// Number of defined facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// The *active* elements `D'` of Definition 4: those appearing in at
+    /// least one defined fact.
+    pub fn active_elements(&self) -> BTreeSet<Elem> {
+        let mut out = BTreeSet::new();
+        for fact in &self.facts {
+            out.extend(fact.elements().into_iter().cloned());
+        }
+        out
+    }
+
+    /// Defines (adds) a fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact mentions elements outside the domain.
+    pub fn define(&mut self, fact: Fact) {
+        for e in fact.elements() {
+            assert!(
+                self.domain.contains(e),
+                "fact mentions element {e} outside the domain"
+            );
+        }
+        self.facts.insert(fact);
+    }
+
+    /// Convenience: define a relation fact.
+    pub fn define_rel(&mut self, sym: impl Into<Sym>, tuple: Vec<Elem>, value: bool) {
+        self.define(Fact::Rel {
+            sym: sym.into(),
+            tuple,
+            value,
+        });
+    }
+
+    /// Convenience: define a (positive) function fact `sym(args) = result`.
+    pub fn define_fun(&mut self, sym: impl Into<Sym>, args: Vec<Elem>, result: Elem) {
+        self.define(Fact::Fun {
+            sym: sym.into(),
+            args,
+            result,
+            value: true,
+        });
+    }
+
+    /// Undefines a fact (no-op when it is not defined).
+    pub fn undefine(&mut self, fact: &Fact) {
+        self.facts.remove(fact);
+    }
+
+    /// Removes an element from the domain, undefining every fact that
+    /// mentions it.
+    pub fn drop_element(&mut self, e: &Elem) {
+        self.domain.remove(e);
+        self.facts.retain(|f| !f.elements().contains(&e));
+    }
+
+    /// Turns all *positive* instances of `sym` to undefined — one of the
+    /// coarse-grained checkbox operations of Section 4.5.
+    pub fn drop_positive(&mut self, sym: &Sym) {
+        self.facts.retain(|f| f.symbol() != sym || !f.value());
+    }
+
+    /// Turns all *negative* instances of `sym` to undefined.
+    pub fn drop_negative(&mut self, sym: &Sym) {
+        self.facts.retain(|f| f.symbol() != sym || f.value());
+    }
+
+    /// Turns all instances of `sym` (either polarity) to undefined.
+    pub fn drop_symbol(&mut self, sym: &Sym) {
+        self.facts.retain(|f| f.symbol() != sym);
+    }
+
+    /// Keeps only facts satisfying the predicate.
+    pub fn retain_facts(&mut self, mut pred: impl FnMut(&Fact) -> bool) {
+        self.facts.retain(|f| pred(f));
+    }
+
+    /// The generalization partial order (Definition 3): `self ⪯ other` when
+    /// `self`'s domain is a subset of `other`'s and every fact defined in
+    /// `self` is defined in `other` with the same value.
+    ///
+    /// `self ⪯ other` means `self` is *more general* (defines less, so its
+    /// conjecture excludes more states).
+    pub fn generalizes(&self, other: &PartialStructure) -> bool {
+        self.domain.is_subset(&other.domain) && self.facts.is_subset(&other.facts)
+    }
+
+    /// Whether a total structure `s` agrees with all defined facts, taking
+    /// element identities literally (no embedding). Used to validate
+    /// generalizations of a CTI against the CTI itself.
+    pub fn consistent_with(&self, s: &Structure) -> bool {
+        self.facts.iter().all(|fact| match fact {
+            Fact::Rel { sym, tuple, value } => s.rel_holds(sym, tuple) == *value,
+            Fact::Fun {
+                sym,
+                args,
+                result,
+                value,
+            } => (s.fun_app(sym, args).as_ref() == Some(result)) == *value,
+        })
+    }
+}
+
+fn tuples_over(s: &Structure, sorts: &[crate::Sort]) -> Vec<Vec<Elem>> {
+    let mut out = vec![Vec::new()];
+    for sort in sorts {
+        let elems: Vec<Elem> = s.elements(sort).collect();
+        let mut next = Vec::with_capacity(out.len() * elems.len());
+        for prefix in &out {
+            for e in &elems {
+                let mut t = prefix.clone();
+                t.push(e.clone());
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+impl fmt::Display for PartialStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partial {{ domain: ")?;
+        for (i, e) in self.domain.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "; facts: ")?;
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Debug for PartialStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leader_state() -> Structure {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        let n1 = s.add_element("node");
+        let n2 = s.add_element("node");
+        let i1 = s.add_element("id");
+        let i2 = s.add_element("id");
+        s.set_fun("idf", vec![n1.clone()], i1.clone());
+        s.set_fun("idf", vec![n2.clone()], i2.clone());
+        s.set_rel("le", vec![i1.clone(), i1.clone()], true);
+        s.set_rel("le", vec![i2.clone(), i2.clone()], true);
+        s.set_rel("le", vec![i1, i2], true);
+        s.set_rel("leader", vec![n1], true);
+        s
+    }
+
+    #[test]
+    fn from_structure_is_total() {
+        let s = leader_state();
+        let p = PartialStructure::from_structure(&s);
+        // le: 4 tuples; leader: 2; idf viewed as 2-ary relation: 2*2 = 4.
+        assert_eq!(p.fact_count(), 4 + 2 + 4);
+        assert!(p.consistent_with(&s));
+        assert_eq!(p.active_elements().len(), 4);
+    }
+
+    #[test]
+    fn drop_element_removes_facts() {
+        let s = leader_state();
+        let mut p = PartialStructure::from_structure(&s);
+        let n1 = Elem::new("node", 0);
+        p.drop_element(&n1);
+        assert!(!p.domain().contains(&n1));
+        assert!(p.facts().iter().all(|f| !f.elements().contains(&&n1)));
+        assert!(p.consistent_with(&s), "remaining facts still agree");
+    }
+
+    #[test]
+    fn polarity_drops() {
+        let s = leader_state();
+        let mut p = PartialStructure::from_structure(&s);
+        let leader = Sym::new("leader");
+        p.drop_negative(&leader);
+        let leader_facts: Vec<_> = p.facts().iter().filter(|f| f.symbol() == &leader).collect();
+        assert_eq!(leader_facts.len(), 1);
+        assert!(leader_facts[0].value());
+        p.drop_positive(&leader);
+        assert!(p.facts().iter().all(|f| f.symbol() != &leader));
+    }
+
+    #[test]
+    fn generalization_order() {
+        let s = leader_state();
+        let total = PartialStructure::from_structure(&s);
+        let mut gen = total.clone();
+        gen.drop_symbol(&Sym::new("le"));
+        assert!(gen.generalizes(&total));
+        assert!(!total.generalizes(&gen));
+        assert!(gen.generalizes(&gen), "reflexive");
+        let mut gen2 = gen.clone();
+        gen2.drop_element(&Elem::new("id", 0));
+        assert!(gen2.generalizes(&gen));
+        assert!(gen2.generalizes(&total), "transitive");
+    }
+
+    #[test]
+    fn consistency_detects_disagreement() {
+        let s = leader_state();
+        let mut p = PartialStructure::empty_over(&s);
+        p.define_rel("leader", vec![Elem::new("node", 1)], true);
+        assert!(!p.consistent_with(&s), "node1 is not a leader in s");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn define_checks_domain() {
+        let s = leader_state();
+        let mut p = PartialStructure::empty_over(&s);
+        p.define_rel("leader", vec![Elem::new("node", 7)], true);
+    }
+
+    #[test]
+    fn display_shows_facts() {
+        let s = leader_state();
+        let mut p = PartialStructure::empty_over(&s);
+        p.define_rel("leader", vec![Elem::new("node", 0)], true);
+        p.define_rel("leader", vec![Elem::new("node", 1)], false);
+        let d = p.to_string();
+        assert!(d.contains("leader(node0)"));
+        assert!(d.contains("~leader(node1)"));
+    }
+}

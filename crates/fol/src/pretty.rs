@@ -1,0 +1,220 @@
+//! Pretty printing of terms and formulas.
+//!
+//! The concrete syntax round-trips with [`crate::parser`]:
+//!
+//! ```text
+//! forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))
+//! ```
+//!
+//! Operator precedence, loosest first: quantifiers, `<->`, `->` (right
+//! associative), `|`, `&`, `~`, atoms.
+
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::term::Term;
+
+/// Writes a term in concrete syntax.
+pub fn write_term(f: &mut fmt::Formatter<'_>, t: &Term) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{v}"),
+        Term::App(name, args) => {
+            write!(f, "{name}")?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, a)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::Ite(c, a, b) => {
+            write!(f, "ite(")?;
+            write_prec(f, c, 0)?;
+            write!(f, ", ")?;
+            write_term(f, a)?;
+            write!(f, ", ")?;
+            write_term(f, b)?;
+            write!(f, ")")
+        }
+    }
+}
+
+/// Writes a formula in concrete syntax.
+pub fn write_formula(f: &mut fmt::Formatter<'_>, phi: &Formula) -> fmt::Result {
+    write_prec(f, phi, 0)
+}
+
+const PREC_QUANT: u8 = 0;
+const PREC_IFF: u8 = 1;
+const PREC_IMPLIES: u8 = 2;
+const PREC_OR: u8 = 3;
+const PREC_AND: u8 = 4;
+const PREC_NOT: u8 = 5;
+
+fn prec_of(phi: &Formula) -> u8 {
+    match phi {
+        Formula::Forall(..) | Formula::Exists(..) => PREC_QUANT,
+        Formula::Iff(..) => PREC_IFF,
+        Formula::Implies(..) => PREC_IMPLIES,
+        Formula::Or(..) => PREC_OR,
+        Formula::And(..) => PREC_AND,
+        Formula::Not(..) => PREC_NOT,
+        _ => u8::MAX,
+    }
+}
+
+fn write_prec(f: &mut fmt::Formatter<'_>, phi: &Formula, min: u8) -> fmt::Result {
+    let own = prec_of(phi);
+    let parens = own < min;
+    if parens {
+        write!(f, "(")?;
+    }
+    match phi {
+        Formula::True => write!(f, "true")?,
+        Formula::False => write!(f, "false")?,
+        Formula::Rel(name, args) => {
+            write!(f, "{name}")?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, a)?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        Formula::Eq(a, b) => {
+            write_term(f, a)?;
+            write!(f, " = ")?;
+            write_term(f, b)?;
+        }
+        Formula::Not(inner) => {
+            // Print `a ~= b` for negated equalities.
+            if let Formula::Eq(a, b) = inner.as_ref() {
+                write_term(f, a)?;
+                write!(f, " ~= ")?;
+                write_term(f, b)?;
+            } else {
+                write!(f, "~")?;
+                write_prec(f, inner, PREC_NOT + 1)?;
+            }
+        }
+        Formula::And(fs) => write_nary(f, fs, " & ", PREC_AND)?,
+        Formula::Or(fs) => write_nary(f, fs, " | ", PREC_OR)?,
+        Formula::Implies(a, b) => {
+            write_prec(f, a, PREC_IMPLIES + 1)?;
+            write!(f, " -> ")?;
+            write_prec(f, b, PREC_IMPLIES)?;
+        }
+        Formula::Iff(a, b) => {
+            write_prec(f, a, PREC_IFF + 1)?;
+            write!(f, " <-> ")?;
+            write_prec(f, b, PREC_IFF + 1)?;
+        }
+        Formula::Forall(bs, body) | Formula::Exists(bs, body) => {
+            let kw = if matches!(phi, Formula::Forall(..)) {
+                "forall"
+            } else {
+                "exists"
+            };
+            write!(f, "{kw} ")?;
+            for (i, b) in bs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}:{}", b.var, b.sort)?;
+            }
+            write!(f, ". ")?;
+            write_prec(f, body, PREC_QUANT)?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn write_nary(f: &mut fmt::Formatter<'_>, fs: &[Formula], op: &str, prec: u8) -> fmt::Result {
+    debug_assert!(!fs.is_empty(), "smart constructors never build empty n-ary");
+    for (i, phi) in fs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{op}")?;
+        }
+        write_prec(f, phi, prec + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::{Binding, Formula};
+    use crate::term::Term;
+
+    #[test]
+    fn prints_paper_conjecture_c1() {
+        let c1 = Formula::forall(
+            [Binding::new("N1", "node"), Binding::new("N2", "node")],
+            Formula::not(Formula::and([
+                Formula::neq(Term::var("N1"), Term::var("N2")),
+                Formula::rel("leader", [Term::var("N1")]),
+                Formula::rel("le", [
+                    Term::app("idf", [Term::var("N1")]),
+                    Term::app("idf", [Term::var("N2")]),
+                ]),
+            ])),
+        );
+        assert_eq!(
+            c1.to_string(),
+            "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))"
+        );
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let a = || Formula::rel("p", []);
+        let f = Formula::implies(a(), Formula::implies(a(), a()));
+        assert_eq!(f.to_string(), "p -> p -> p");
+        let g = Formula::Implies(
+            Box::new(Formula::implies(a(), a())),
+            Box::new(a()),
+        );
+        assert_eq!(g.to_string(), "(p -> p) -> p");
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let p = || Formula::rel("p", []);
+        let q = || Formula::rel("q", []);
+        let f = Formula::or([Formula::and([p(), q()]), q()]);
+        assert_eq!(f.to_string(), "p & q | q");
+        let g = Formula::And(vec![Formula::Or(vec![p(), q()]), q()]);
+        assert_eq!(g.to_string(), "(p | q) & q");
+    }
+
+    #[test]
+    fn ite_term_prints() {
+        let t = Term::ite(
+            Formula::rel("r", [Term::var("X")]),
+            Term::var("X"),
+            Term::cst("c"),
+        );
+        assert_eq!(t.to_string(), "ite(r(X), X, c)");
+    }
+
+    #[test]
+    fn quantifier_in_operand_gets_parens() {
+        let inner = Formula::forall(
+            [Binding::new("X", "s")],
+            Formula::rel("r", [Term::var("X")]),
+        );
+        let f = Formula::and([inner, Formula::rel("p", [])]);
+        assert_eq!(f.to_string(), "(forall X:s. r(X)) & p");
+    }
+}

@@ -1,0 +1,411 @@
+//! Sorted first-order vocabularies (signatures).
+//!
+//! A [`Signature`] declares the sorts, relations and functions an RML program
+//! (or a formula) may use. Program variables are nullary functions, following
+//! Section 3.2 of the paper. The paper's *stratification* requirement on
+//! function symbols (Section 3.1) is checked by [`Signature::stratification`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Sort, Sym};
+
+/// Declaration of a function symbol: argument sorts and result sort.
+///
+/// A constant (program variable) is a function with no arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Argument sorts, in order.
+    pub args: Vec<Sort>,
+    /// Result sort.
+    pub ret: Sort,
+}
+
+impl FuncDecl {
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether this is a constant (nullary function / program variable).
+    pub fn is_constant(&self) -> bool {
+        self.args.is_empty()
+    }
+}
+
+/// Errors raised while building or validating a [`Signature`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SigError {
+    /// A sort was declared twice.
+    DuplicateSort(Sort),
+    /// A relation or function symbol was declared twice.
+    DuplicateSymbol(Sym),
+    /// A declaration refers to an unknown sort.
+    UnknownSort(Sort),
+    /// The function symbols cannot be stratified (Section 3.1): the
+    /// "result sort strictly below argument sorts" requirement is cyclic.
+    /// Carries one cycle of sorts witnessing the violation.
+    NotStratified(Vec<Sort>),
+}
+
+impl fmt::Display for SigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigError::DuplicateSort(s) => write!(f, "duplicate sort `{s}`"),
+            SigError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            SigError::UnknownSort(s) => write!(f, "unknown sort `{s}`"),
+            SigError::NotStratified(cycle) => {
+                write!(f, "function symbols are not stratified; sort cycle: ")?;
+                for (i, s) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+/// A sorted first-order vocabulary: sorts, relations and functions.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::Signature;
+/// let mut sig = Signature::new();
+/// sig.add_sort("node")?;
+/// sig.add_sort("id")?;
+/// sig.add_relation("le", ["id", "id"])?;
+/// sig.add_function("id_of", ["node"], "id")?;
+/// sig.add_constant("n", "node")?;
+/// assert!(sig.stratification().is_ok());
+/// # Ok::<(), ivy_fol::SigError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature {
+    sorts: Vec<Sort>,
+    rels: BTreeMap<Sym, Vec<Sort>>,
+    funs: BTreeMap<Sym, FuncDecl>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Declares a sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigError::DuplicateSort`] if the sort already exists.
+    pub fn add_sort(&mut self, sort: impl Into<Sort>) -> Result<Sort, SigError> {
+        let sort = sort.into();
+        if self.sorts.contains(&sort) {
+            return Err(SigError::DuplicateSort(sort));
+        }
+        self.sorts.push(sort.clone());
+        Ok(sort)
+    }
+
+    /// Declares a relation symbol with the given argument sorts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken or an argument sort is unknown.
+    pub fn add_relation<I, S>(&mut self, name: impl Into<Sym>, args: I) -> Result<Sym, SigError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Sort>,
+    {
+        let name = name.into();
+        let args: Vec<Sort> = args.into_iter().map(Into::into).collect();
+        self.check_name_free(&name)?;
+        for s in &args {
+            self.check_sort_known(s)?;
+        }
+        self.rels.insert(name.clone(), args);
+        Ok(name)
+    }
+
+    /// Declares a function symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken or a sort is unknown. Note that
+    /// stratification is *not* checked here; call [`Signature::stratification`]
+    /// once the signature is complete.
+    pub fn add_function<I, S>(
+        &mut self,
+        name: impl Into<Sym>,
+        args: I,
+        ret: impl Into<Sort>,
+    ) -> Result<Sym, SigError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Sort>,
+    {
+        let name = name.into();
+        let args: Vec<Sort> = args.into_iter().map(Into::into).collect();
+        let ret = ret.into();
+        self.check_name_free(&name)?;
+        for s in &args {
+            self.check_sort_known(s)?;
+        }
+        self.check_sort_known(&ret)?;
+        self.funs.insert(name.clone(), FuncDecl { args, ret });
+        Ok(name)
+    }
+
+    /// Declares a constant (program variable): a nullary function.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Signature::add_function`].
+    pub fn add_constant(
+        &mut self,
+        name: impl Into<Sym>,
+        sort: impl Into<Sort>,
+    ) -> Result<Sym, SigError> {
+        self.add_function(name, Vec::<Sort>::new(), sort)
+    }
+
+    fn check_name_free(&self, name: &Sym) -> Result<(), SigError> {
+        if self.rels.contains_key(name) || self.funs.contains_key(name) {
+            return Err(SigError::DuplicateSymbol(name.clone()));
+        }
+        Ok(())
+    }
+
+    fn check_sort_known(&self, sort: &Sort) -> Result<(), SigError> {
+        if !self.sorts.contains(sort) {
+            return Err(SigError::UnknownSort(sort.clone()));
+        }
+        Ok(())
+    }
+
+    /// All declared sorts, in declaration order.
+    pub fn sorts(&self) -> &[Sort] {
+        &self.sorts
+    }
+
+    /// Whether `sort` is declared.
+    pub fn has_sort(&self, sort: &Sort) -> bool {
+        self.sorts.contains(sort)
+    }
+
+    /// Looks up a relation's argument sorts.
+    pub fn relation(&self, name: &Sym) -> Option<&[Sort]> {
+        self.rels.get(name).map(Vec::as_slice)
+    }
+
+    /// Looks up a function declaration.
+    pub fn function(&self, name: &Sym) -> Option<&FuncDecl> {
+        self.funs.get(name)
+    }
+
+    /// Iterates over all relation symbols and their argument sorts.
+    pub fn relations(&self) -> impl Iterator<Item = (&Sym, &[Sort])> {
+        self.rels.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Iterates over all function symbols (constants included).
+    pub fn functions(&self) -> impl Iterator<Item = (&Sym, &FuncDecl)> {
+        self.funs.iter()
+    }
+
+    /// Iterates over the constants (nullary functions) only.
+    pub fn constants(&self) -> impl Iterator<Item = (&Sym, &Sort)> {
+        self.funs
+            .iter()
+            .filter(|(_, d)| d.is_constant())
+            .map(|(k, d)| (k, &d.ret))
+    }
+
+    /// Number of relation plus function symbols (the paper's "RF" column in
+    /// Figure 14 counts both, excluding nullary program variables is a
+    /// modeling choice; we count non-constant symbols here).
+    pub fn symbol_count(&self) -> usize {
+        self.rels.len() + self.funs.values().filter(|d| !d.is_constant()).count()
+    }
+
+    /// Checks the paper's stratification requirement (Section 3.1): there is
+    /// a total order `<` on sorts such that every function `f : s1,...,sn -> s`
+    /// has `s < si` for all `i`. Returns a witnessing order (smallest first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigError::NotStratified`] with a sort cycle if no such order
+    /// exists (e.g. a function from `node` to `id` and another from `id` to
+    /// `node`, or any function whose result sort appears among its arguments).
+    pub fn stratification(&self) -> Result<Vec<Sort>, SigError> {
+        // Edge s -> t means "s must be strictly below t": for f : ...t... -> s.
+        let mut below: BTreeMap<&Sort, BTreeSet<&Sort>> = BTreeMap::new();
+        for s in &self.sorts {
+            below.entry(s).or_default();
+        }
+        for decl in self.funs.values() {
+            if decl.is_constant() {
+                continue;
+            }
+            for arg in &decl.args {
+                below.entry(&decl.ret).or_default().insert(arg);
+            }
+        }
+        // Kahn's algorithm on the "must be below" DAG; a cycle (including a
+        // self-loop from f : s -> s) means stratification fails.
+        let mut indegree: BTreeMap<&Sort, usize> = self.sorts.iter().map(|s| (s, 0)).collect();
+        for targets in below.values() {
+            for t in targets {
+                *indegree.get_mut(t).expect("sorts validated on declaration") += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(self.sorts.len());
+        let mut ready: Vec<&Sort> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(s, _)| *s)
+            .collect();
+        // Edges run below -> above, so indegree-0 sorts are minimal and the
+        // emission order is already smallest-first.
+        while let Some(s) = ready.pop() {
+            order.push(s.clone());
+            if let Some(targets) = below.get(s) {
+                for t in targets {
+                    let d = indegree.get_mut(t).expect("known sort");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(t);
+                    }
+                }
+            }
+        }
+        if order.len() == self.sorts.len() {
+            return Ok(order);
+        }
+        // Find a cycle among unprocessed sorts for the error message.
+        let remaining: BTreeSet<&Sort> = indegree
+            .iter()
+            .filter(|(_, d)| **d > 0)
+            .map(|(s, _)| *s)
+            .collect();
+        let start = *remaining.iter().next().expect("cycle exists");
+        let mut cycle = vec![start.clone()];
+        let mut cur = start;
+        loop {
+            let next = below[cur]
+                .iter()
+                .find(|t| remaining.contains(*t))
+                .expect("every remaining sort has a remaining successor");
+            if cycle.contains(next) {
+                cycle.push((*next).clone());
+                break;
+            }
+            cycle.push((*next).clone());
+            cur = next;
+        }
+        Err(SigError::NotStratified(cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leader_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig.add_relation("btw", ["node", "node", "node"]).unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_relation("pnd", ["id", "node"]).unwrap();
+        sig.add_constant("n", "node").unwrap();
+        sig
+    }
+
+    #[test]
+    fn leader_signature_is_stratified() {
+        let sig = leader_sig();
+        let order = sig.stratification().unwrap();
+        // id must come strictly before node (id < node).
+        let pos = |s: &str| order.iter().position(|x| x.name() == s).unwrap();
+        assert!(pos("id") < pos("node"));
+    }
+
+    #[test]
+    fn cyclic_functions_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("a").unwrap();
+        sig.add_sort("b").unwrap();
+        sig.add_function("f", ["a"], "b").unwrap();
+        sig.add_function("g", ["b"], "a").unwrap();
+        match sig.stratification() {
+            Err(SigError::NotStratified(cycle)) => assert!(cycle.len() >= 2),
+            other => panic!("expected stratification failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_function_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        assert!(matches!(
+            sig.stratification(),
+            Err(SigError::NotStratified(_))
+        ));
+    }
+
+    #[test]
+    fn constants_do_not_affect_stratification() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_constant("c", "s").unwrap();
+        sig.add_constant("d", "s").unwrap();
+        assert!(sig.stratification().is_ok());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let mut sig = leader_sig();
+        assert_eq!(
+            sig.add_sort("node"),
+            Err(SigError::DuplicateSort(Sort::new("node")))
+        );
+        assert_eq!(
+            sig.add_relation("le", ["id", "id"]),
+            Err(SigError::DuplicateSymbol(Sym::new("le")))
+        );
+        assert_eq!(
+            sig.add_constant("idf", "id"),
+            Err(SigError::DuplicateSymbol(Sym::new("idf")))
+        );
+    }
+
+    #[test]
+    fn unknown_sort_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        assert_eq!(
+            sig.add_relation("r", ["t"]),
+            Err(SigError::UnknownSort(Sort::new("t")))
+        );
+    }
+
+    #[test]
+    fn lookups_and_counts() {
+        let sig = leader_sig();
+        assert_eq!(sig.relation(&Sym::new("btw")).unwrap().len(), 3);
+        assert_eq!(sig.function(&Sym::new("idf")).unwrap().arity(), 1);
+        assert!(sig.function(&Sym::new("n")).unwrap().is_constant());
+        assert_eq!(sig.constants().count(), 1);
+        // 4 relations + 1 non-constant function.
+        assert_eq!(sig.symbol_count(), 5);
+    }
+}

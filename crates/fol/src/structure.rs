@@ -1,0 +1,582 @@
+//! Finite sorted first-order structures (Definition 1 of the paper) and
+//! formula evaluation.
+//!
+//! A [`Structure`] is a program state of an RML program: finite domains per
+//! sort, relation tables, and total function tables. Counterexamples to
+//! induction (CTIs) and BMC trace states are structures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::{Signature, Sort, Sym};
+
+/// An element of a structure's domain: a sort paired with an index.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Elem {
+    /// The element's sort.
+    pub sort: Sort,
+    /// Index within the sort's domain, `0..domain_size(sort)`.
+    pub idx: u32,
+}
+
+impl Elem {
+    /// Creates an element handle.
+    pub fn new(sort: impl Into<Sort>, idx: u32) -> Self {
+        Elem {
+            sort: sort.into(),
+            idx,
+        }
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.sort, self.idx)
+    }
+}
+
+impl fmt::Debug for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Errors raised during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A symbol not declared in the structure's signature.
+    UnknownSymbol(Sym),
+    /// A logical variable with no binding in the environment.
+    UnboundVariable(Sym),
+    /// A function application with no defined value (structures are expected
+    /// to be total; this indicates a construction bug).
+    UndefinedApplication(Sym, Vec<Elem>),
+    /// A sort with an empty domain was quantified over... permitted (vacuous
+    /// `forall`, false `exists`), so this variant is only produced when an
+    /// element handle refers outside the domain.
+    BadElement(Elem),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound logical variable `{v}`"),
+            EvalError::UndefinedApplication(g, args) => {
+                write!(f, "function `{g}` undefined on (")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            EvalError::BadElement(e) => write!(f, "element `{e}` outside its sort's domain"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A finite sorted first-order structure.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::{Signature, Structure, Elem, parse_formula};
+/// use std::sync::Arc;
+///
+/// let mut sig = Signature::new();
+/// sig.add_sort("node")?;
+/// sig.add_relation("leader", ["node"])?;
+/// let mut s = Structure::new(Arc::new(sig));
+/// let n0 = s.add_element("node");
+/// let n1 = s.add_element("node");
+/// s.set_rel("leader", vec![n0.clone()], true);
+///
+/// let f = parse_formula("exists X:node. leader(X)").unwrap();
+/// assert!(s.eval_closed(&f)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    domain: BTreeMap<Sort, u32>,
+    rels: BTreeMap<Sym, BTreeMap<Vec<Elem>, bool>>,
+    funs: BTreeMap<Sym, BTreeMap<Vec<Elem>, Elem>>,
+}
+
+impl Structure {
+    /// Creates a structure with empty domains over the given signature.
+    pub fn new(sig: Arc<Signature>) -> Self {
+        Structure {
+            sig,
+            domain: BTreeMap::new(),
+            rels: BTreeMap::new(),
+            funs: BTreeMap::new(),
+        }
+    }
+
+    /// The structure's signature.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Adds a fresh element to `sort`'s domain and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sort` is not declared in the signature.
+    pub fn add_element(&mut self, sort: impl Into<Sort>) -> Elem {
+        let sort = sort.into();
+        assert!(
+            self.sig.has_sort(&sort),
+            "add_element: unknown sort `{sort}`"
+        );
+        let n = self.domain.entry(sort.clone()).or_insert(0);
+        let e = Elem { sort, idx: *n };
+        *n += 1;
+        e
+    }
+
+    /// The domain size of `sort` (0 when the sort has no elements).
+    pub fn domain_size(&self, sort: &Sort) -> u32 {
+        self.domain.get(sort).copied().unwrap_or(0)
+    }
+
+    /// Total number of elements across all sorts.
+    pub fn universe_size(&self) -> usize {
+        self.domain.values().map(|&n| n as usize).sum()
+    }
+
+    /// The elements of `sort`.
+    pub fn elements(&self, sort: &Sort) -> impl Iterator<Item = Elem> + '_ {
+        let sort = sort.clone();
+        let n = self.domain_size(&sort);
+        (0..n).map(move |idx| Elem {
+            sort: sort.clone(),
+            idx,
+        })
+    }
+
+    /// All elements, all sorts.
+    pub fn all_elements(&self) -> impl Iterator<Item = Elem> + '_ {
+        self.domain.iter().flat_map(|(sort, &n)| {
+            let sort = sort.clone();
+            (0..n).map(move |idx| Elem {
+                sort: sort.clone(),
+                idx,
+            })
+        })
+    }
+
+    /// Sets a relation fact. Unset tuples are false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` is not a declared relation of matching arity/sorts.
+    pub fn set_rel(&mut self, rel: impl Into<Sym>, tuple: Vec<Elem>, value: bool) {
+        let rel = rel.into();
+        let decl = self
+            .sig
+            .relation(&rel)
+            .unwrap_or_else(|| panic!("set_rel: unknown relation `{rel}`"));
+        assert_eq!(decl.len(), tuple.len(), "set_rel: arity mismatch for `{rel}`");
+        for (e, s) in tuple.iter().zip(decl) {
+            assert_eq!(&e.sort, s, "set_rel: sort mismatch for `{rel}`");
+        }
+        if value {
+            self.rels.entry(rel).or_default().insert(tuple, true);
+        } else {
+            self.rels.entry(rel).or_default().remove(&tuple);
+        }
+    }
+
+    /// Whether `rel` holds on `tuple`.
+    pub fn rel_holds(&self, rel: &Sym, tuple: &[Elem]) -> bool {
+        self.rels
+            .get(rel)
+            .is_some_and(|m| m.get(tuple).copied().unwrap_or(false))
+    }
+
+    /// The positive tuples of `rel`.
+    pub fn rel_tuples(&self, rel: &Sym) -> impl Iterator<Item = &Vec<Elem>> + '_ {
+        self.rels.get(rel).into_iter().flat_map(|m| m.keys())
+    }
+
+    /// Number of positive tuples of `rel`.
+    pub fn rel_count(&self, rel: &Sym) -> usize {
+        self.rels.get(rel).map_or(0, BTreeMap::len)
+    }
+
+    /// Defines `fun(args) = result`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown symbol, arity, or sort mismatch.
+    pub fn set_fun(&mut self, fun: impl Into<Sym>, args: Vec<Elem>, result: Elem) {
+        let fun = fun.into();
+        let decl = self
+            .sig
+            .function(&fun)
+            .unwrap_or_else(|| panic!("set_fun: unknown function `{fun}`"));
+        assert_eq!(decl.args.len(), args.len(), "set_fun: arity mismatch for `{fun}`");
+        for (e, s) in args.iter().zip(&decl.args) {
+            assert_eq!(&e.sort, s, "set_fun: argument sort mismatch for `{fun}`");
+        }
+        assert_eq!(result.sort, decl.ret, "set_fun: result sort mismatch for `{fun}`");
+        self.funs.entry(fun).or_default().insert(args, result);
+    }
+
+    /// Looks up `fun(args)`.
+    pub fn fun_app(&self, fun: &Sym, args: &[Elem]) -> Option<Elem> {
+        self.funs.get(fun).and_then(|m| m.get(args)).cloned()
+    }
+
+    /// The defined entries of `fun`.
+    pub fn fun_entries(&self, fun: &Sym) -> impl Iterator<Item = (&Vec<Elem>, &Elem)> + '_ {
+        self.funs.get(fun).into_iter().flat_map(|m| m.iter())
+    }
+
+    /// Checks that every declared function (constants included) is total over
+    /// the current domains; returns the first missing application.
+    pub fn totality_gap(&self) -> Option<(Sym, Vec<Elem>)> {
+        for (name, decl) in self.sig.functions() {
+            let mut missing = None;
+            self.for_each_tuple(&decl.args, &mut |tuple| {
+                if missing.is_none() && self.fun_app(name, tuple).is_none() {
+                    missing = Some(tuple.to_vec());
+                }
+            });
+            if let Some(args) = missing {
+                return Some((name.clone(), args));
+            }
+        }
+        None
+    }
+
+    fn for_each_tuple(&self, sorts: &[Sort], f: &mut impl FnMut(&[Elem])) {
+        fn go(
+            s: &Structure,
+            sorts: &[Sort],
+            acc: &mut Vec<Elem>,
+            f: &mut impl FnMut(&[Elem]),
+        ) {
+            if acc.len() == sorts.len() {
+                f(acc);
+                return;
+            }
+            let sort = &sorts[acc.len()];
+            for e in s.elements(sort).collect::<Vec<_>>() {
+                acc.push(e);
+                go(s, sorts, acc, f);
+                acc.pop();
+            }
+        }
+        go(self, sorts, &mut Vec::new(), f);
+    }
+
+    /// Evaluates a term under a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn eval_term(&self, t: &Term, env: &BTreeMap<Sym, Elem>) -> Result<Elem, EvalError> {
+        match t {
+            Term::Var(v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::App(f, args) => {
+                let args: Vec<Elem> = args
+                    .iter()
+                    .map(|a| self.eval_term(a, env))
+                    .collect::<Result<_, _>>()?;
+                if self.sig.function(f).is_none() {
+                    return Err(EvalError::UnknownSymbol(f.clone()));
+                }
+                self.fun_app(f, &args)
+                    .ok_or_else(|| EvalError::UndefinedApplication(f.clone(), args))
+            }
+            Term::Ite(c, a, b) => {
+                if self.eval(c, env)? {
+                    self.eval_term(a, env)
+                } else {
+                    self.eval_term(b, env)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a formula under a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn eval(&self, f: &Formula, env: &BTreeMap<Sym, Elem>) -> Result<bool, EvalError> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Rel(r, args) => {
+                if self.sig.relation(r).is_none() {
+                    return Err(EvalError::UnknownSymbol(r.clone()));
+                }
+                let tuple: Vec<Elem> = args
+                    .iter()
+                    .map(|a| self.eval_term(a, env))
+                    .collect::<Result<_, _>>()?;
+                Ok(self.rel_holds(r, &tuple))
+            }
+            Formula::Eq(a, b) => Ok(self.eval_term(a, env)? == self.eval_term(b, env)?),
+            Formula::Not(g) => Ok(!self.eval(g, env)?),
+            Formula::And(fs) => {
+                for g in fs {
+                    if !self.eval(g, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for g in fs {
+                    if self.eval(g, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => Ok(!self.eval(a, env)? || self.eval(b, env)?),
+            Formula::Iff(a, b) => Ok(self.eval(a, env)? == self.eval(b, env)?),
+            Formula::Forall(bs, body) => self.eval_quant(bs, body, env, true),
+            Formula::Exists(bs, body) => self.eval_quant(bs, body, env, false),
+        }
+    }
+
+    fn eval_quant(
+        &self,
+        bs: &[crate::formula::Binding],
+        body: &Formula,
+        env: &BTreeMap<Sym, Elem>,
+        universal: bool,
+    ) -> Result<bool, EvalError> {
+        fn go(
+            s: &Structure,
+            bs: &[crate::formula::Binding],
+            body: &Formula,
+            env: &mut BTreeMap<Sym, Elem>,
+            universal: bool,
+        ) -> Result<bool, EvalError> {
+            let Some(b) = bs.first() else {
+                return s.eval(body, env);
+            };
+            let rest = &bs[1..];
+            for e in s.elements(&b.sort).collect::<Vec<_>>() {
+                let prev = env.insert(b.var.clone(), e);
+                let r = go(s, rest, body, env, universal)?;
+                match prev {
+                    Some(p) => {
+                        env.insert(b.var.clone(), p);
+                    }
+                    None => {
+                        env.remove(&b.var);
+                    }
+                }
+                if r != universal {
+                    return Ok(!universal);
+                }
+            }
+            Ok(universal)
+        }
+        let mut env = env.clone();
+        go(self, bs, body, &mut env, universal)
+    }
+
+    /// Evaluates a closed formula.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn eval_closed(&self, f: &Formula) -> Result<bool, EvalError> {
+        self.eval(f, &BTreeMap::new())
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "structure {{ ")?;
+        let mut first = true;
+        for (sort, &n) in &self.domain {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "|{sort}| = {n}")?;
+        }
+        for (rel, tuples) in &self.rels {
+            for tuple in tuples.keys() {
+                write!(f, "; {rel}(")?;
+                for (i, e) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        for (fun, entries) in &self.funs {
+            for (args, res) in entries {
+                write!(f, "; {fun}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, e) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, " = {res}")?;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Debug for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+
+    fn two_node_state() -> Structure {
+        // The paper's Figure 7 (a1): two nodes, two ids, id(node1) < id(node2),
+        // pnd(id2, node2), leader(node1).
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_sort("id").unwrap();
+        sig.add_function("idf", ["node"], "id").unwrap();
+        sig.add_relation("le", ["id", "id"]).unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_relation("pnd", ["id", "node"]).unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        let n1 = s.add_element("node");
+        let n2 = s.add_element("node");
+        let i1 = s.add_element("id");
+        let i2 = s.add_element("id");
+        s.set_fun("idf", vec![n1.clone()], i1.clone());
+        s.set_fun("idf", vec![n2.clone()], i2.clone());
+        for i in [&i1, &i2] {
+            s.set_rel("le", vec![i.clone(), i.clone()], true);
+        }
+        s.set_rel("le", vec![i1.clone(), i2.clone()], true);
+        s.set_rel("leader", vec![n1.clone()], true);
+        s.set_rel("pnd", vec![i2.clone(), n2.clone()], true);
+        s
+    }
+
+    #[test]
+    fn domain_bookkeeping() {
+        let s = two_node_state();
+        assert_eq!(s.domain_size(&Sort::new("node")), 2);
+        assert_eq!(s.universe_size(), 4);
+        assert_eq!(s.rel_count(&Sym::new("le")), 3);
+        assert!(s.totality_gap().is_none());
+    }
+
+    #[test]
+    fn eval_atoms() {
+        let s = two_node_state();
+        assert!(s.eval_closed(&parse_formula("exists X:node. leader(X)").unwrap()).unwrap());
+        assert!(!s
+            .eval_closed(&parse_formula("forall X:node. leader(X)").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn eval_violates_c1() {
+        // Figure 7 (a1) violates C1: a leader whose id is below another id.
+        let s = two_node_state();
+        let c1 = parse_formula(
+            "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))",
+        )
+        .unwrap();
+        assert!(!s.eval_closed(&c1).unwrap());
+    }
+
+    #[test]
+    fn eval_satisfies_c0() {
+        // Figure 7 (a1) satisfies the safety property C0: at most one leader.
+        let s = two_node_state();
+        let c0 = parse_formula(
+            "forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2",
+        )
+        .unwrap();
+        assert!(s.eval_closed(&c0).unwrap());
+    }
+
+    #[test]
+    fn eval_nested_quantifiers() {
+        let s = two_node_state();
+        // Every node's id is le-below some id (its own, by reflexivity).
+        let f = parse_formula("forall X:node. exists Y:id. le(idf(X), Y)").unwrap();
+        assert!(s.eval_closed(&f).unwrap());
+    }
+
+    #[test]
+    fn eval_ite_term() {
+        let s = two_node_state();
+        let f = parse_formula("forall X:node. ite(leader(X), idf(X), idf(X)) = idf(X)").unwrap();
+        assert!(s.eval_closed(&f).unwrap());
+    }
+
+    #[test]
+    fn empty_domain_quantifiers() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        let s = Structure::new(Arc::new(sig));
+        assert!(s.eval_closed(&parse_formula("forall X:s. r(X)").unwrap()).unwrap());
+        assert!(!s.eval_closed(&parse_formula("exists X:s. r(X)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn totality_gap_detected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_constant("c", "s").unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        s.add_element("s");
+        let gap = s.totality_gap().unwrap();
+        assert_eq!(gap.0, Sym::new("c"));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let s = two_node_state();
+        let f = parse_formula("leader(X)").unwrap();
+        assert!(matches!(
+            s.eval_closed(&f),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn display_lists_facts() {
+        let s = two_node_state();
+        let d = s.to_string();
+        assert!(d.contains("|node| = 2"));
+        assert!(d.contains("leader(node0)"));
+        assert!(d.contains("idf(node0) = id0"));
+    }
+}

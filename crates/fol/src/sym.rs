@@ -1,0 +1,141 @@
+//! Interned-style identifiers for sorts and symbols.
+//!
+//! Names are reference-counted strings, so cloning a [`Sym`] or [`Sort`] is
+//! cheap and formulas can share names freely.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A symbol name: a relation, function, constant, or logical-variable
+/// identifier.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::Sym;
+/// let s = Sym::new("leader");
+/// assert_eq!(s.as_str(), "leader");
+/// assert_eq!(s, Sym::from("leader"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Sym(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// A sort (type) name, e.g. `node` or `id` in the leader-election protocol.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::Sort;
+/// let node = Sort::new("node");
+/// assert_eq!(node.name(), "node");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sort(Arc<str>);
+
+impl Sort {
+    /// Creates a sort from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Sort(Arc::from(name.as_ref()))
+    }
+
+    /// The sort's textual name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Sort {
+    fn from(s: &str) -> Self {
+        Sort::new(s)
+    }
+}
+
+impl AsRef<str> for Sort {
+    fn as_ref(&self) -> &str {
+        self.name()
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sort({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_equality_and_display() {
+        let a = Sym::new("pnd");
+        let b = Sym::from("pnd");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "pnd");
+        assert_eq!(format!("{a:?}"), "Sym(pnd)");
+    }
+
+    #[test]
+    fn sort_equality_and_display() {
+        let a = Sort::new("node");
+        assert_eq!(a, Sort::from("node"));
+        assert_ne!(a, Sort::new("id"));
+        assert_eq!(a.to_string(), "node");
+    }
+
+    #[test]
+    fn syms_order_lexicographically() {
+        let mut v = [Sym::new("z"), Sym::new("a"), Sym::new("m")];
+        v.sort();
+        let names: Vec<_> = v.iter().map(Sym::as_str).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+}

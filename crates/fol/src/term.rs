@@ -1,0 +1,142 @@
+//! Terms of sorted first-order logic (Figure 11 of the paper).
+//!
+//! ```text
+//! t ::= x                    logical variable
+//!     | v                    program variable (nullary function)
+//!     | f(t, ..., t)         function application
+//!     | ite(phi_QF, t, t)    if-then-else term
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::formula::Formula;
+use crate::{Sort, Sym};
+
+/// A first-order term.
+///
+/// Program variables and constants are represented as nullary
+/// [`Term::App`]s, matching the paper's treatment of program variables as
+/// nullary function symbols (Remark 3.1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A logical variable (bound by a quantifier, or free in an open formula).
+    Var(Sym),
+    /// Application of a function symbol; constants have an empty argument
+    /// list.
+    App(Sym, Vec<Term>),
+    /// If-then-else over a quantifier-free condition.
+    Ite(Box<Formula>, Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// A logical variable.
+    pub fn var(name: impl Into<Sym>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A constant / program variable.
+    pub fn cst(name: impl Into<Sym>) -> Term {
+        Term::App(name.into(), Vec::new())
+    }
+
+    /// A function application.
+    pub fn app(name: impl Into<Sym>, args: impl IntoIterator<Item = Term>) -> Term {
+        Term::App(name.into(), args.into_iter().collect())
+    }
+
+    /// An if-then-else term.
+    pub fn ite(cond: Formula, then: Term, els: Term) -> Term {
+        Term::Ite(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// Collects the free logical variables of this term into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Sym>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Term::Ite(c, t, e) => {
+                c.collect_free_vars_into(out, &mut BTreeSet::new());
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+        }
+    }
+
+    /// The free logical variables of this term.
+    pub fn vars(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Whether this term mentions function symbol or constant `name`.
+    pub fn mentions_symbol(&self, name: &Sym) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(f, args) => f == name || args.iter().any(|a| a.mentions_symbol(name)),
+            Term::Ite(c, t, e) => {
+                c.mentions_symbol(name) || t.mentions_symbol(name) || e.mentions_symbol(name)
+            }
+        }
+    }
+
+    /// Whether this term contains an `ite`.
+    pub fn has_ite(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().any(Term::has_ite),
+            Term::Ite(..) => true,
+        }
+    }
+
+    /// Infers the sort of this term given the sorts of free variables.
+    ///
+    /// Returns `None` when the term is ill-sorted or mentions unknown
+    /// symbols/variables.
+    pub fn sort(
+        &self,
+        sig: &crate::Signature,
+        var_sorts: &std::collections::BTreeMap<Sym, Sort>,
+    ) -> Option<Sort> {
+        match self {
+            Term::Var(v) => var_sorts.get(v).cloned(),
+            Term::App(f, args) => {
+                let decl = sig.function(f)?;
+                if decl.args.len() != args.len() {
+                    return None;
+                }
+                for (a, expected) in args.iter().zip(&decl.args) {
+                    if a.sort(sig, var_sorts)? != *expected {
+                        return None;
+                    }
+                }
+                Some(decl.ret.clone())
+            }
+            Term::Ite(c, t, e) => {
+                c.well_sorted(sig, var_sorts).ok()?;
+                let ts = t.sort(sig, var_sorts)?;
+                let es = e.sort(sig, var_sorts)?;
+                (ts == es).then_some(ts)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_term(f, self)
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}

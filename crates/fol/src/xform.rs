@@ -1,0 +1,610 @@
+//! Formula transformations: negation normal form, prenexing, Skolemization,
+//! and `ite`-elimination.
+//!
+//! These are the bridge from RML verification conditions to the EPR decision
+//! procedure: Lemma 3.2 of the paper says `wp` keeps formulas in `∀*∃*`, so
+//! the negated VCs are `∃*∀*` and Skolemize to *constants* only.
+
+use std::collections::BTreeSet;
+
+use crate::formula::{Binding, Formula};
+use crate::subst::{fresh_name, subst_vars};
+use crate::term::Term;
+use crate::{Signature, Sort, Sym};
+
+/// Negation normal form: eliminates `->` and `<->`, pushes negation down to
+/// atoms. Quantifiers are kept in place (and dualized under negation).
+pub fn nnf(f: &Formula) -> Formula {
+    nnf_polarity(f, true)
+}
+
+fn nnf_polarity(f: &Formula, positive: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if positive {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::False => {
+            if positive {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::Rel(..) | Formula::Eq(..) => {
+            if positive {
+                f.clone()
+            } else {
+                Formula::Not(Box::new(f.clone()))
+            }
+        }
+        Formula::Not(g) => nnf_polarity(g, !positive),
+        Formula::And(fs) => {
+            let parts = fs.iter().map(|g| nnf_polarity(g, positive));
+            if positive {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts = fs.iter().map(|g| nnf_polarity(g, positive));
+            if positive {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            if positive {
+                Formula::or([nnf_polarity(a, false), nnf_polarity(b, true)])
+            } else {
+                Formula::and([nnf_polarity(a, true), nnf_polarity(b, false)])
+            }
+        }
+        Formula::Iff(a, b) => {
+            // (a <-> b)  =  (a & b) | (~a & ~b);   ~(a <-> b) = (a & ~b) | (~a & b)
+            let (pa, na) = (nnf_polarity(a, true), nnf_polarity(a, false));
+            let (pb, nb) = (nnf_polarity(b, true), nnf_polarity(b, false));
+            if positive {
+                Formula::or([Formula::and([pa, pb]), Formula::and([na, nb])])
+            } else {
+                Formula::or([Formula::and([pa, nb]), Formula::and([na, pb])])
+            }
+        }
+        Formula::Forall(bs, g) => {
+            let body = nnf_polarity(g, positive);
+            if positive {
+                Formula::forall(bs.clone(), body)
+            } else {
+                Formula::exists(bs.clone(), body)
+            }
+        }
+        Formula::Exists(bs, g) => {
+            let body = nnf_polarity(g, positive);
+            if positive {
+                Formula::exists(bs.clone(), body)
+            } else {
+                Formula::forall(bs.clone(), body)
+            }
+        }
+    }
+}
+
+/// One block of a quantifier prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Block {
+    /// An `exists` block.
+    Exists(Vec<Binding>),
+    /// A `forall` block.
+    Forall(Vec<Binding>),
+}
+
+impl Block {
+    fn is_exists(&self) -> bool {
+        matches!(self, Block::Exists(_))
+    }
+
+    fn bindings(&self) -> &[Binding] {
+        match self {
+            Block::Exists(b) | Block::Forall(b) => b,
+        }
+    }
+}
+
+/// A formula in prenex normal form: a quantifier prefix over a
+/// quantifier-free matrix, with all bound variables renamed apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prenex {
+    /// The quantifier prefix, outermost first. Adjacent same-kind blocks are
+    /// merged.
+    pub prefix: Vec<Block>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Rebuilds the ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        let mut f = self.matrix.clone();
+        for block in self.prefix.iter().rev() {
+            f = match block {
+                Block::Exists(bs) => Formula::exists(bs.clone(), f),
+                Block::Forall(bs) => Formula::forall(bs.clone(), f),
+            };
+        }
+        f
+    }
+
+    /// Whether the prefix is `∃*∀*` (at most one alternation, `exists`
+    /// outside). This is the fragment of EPR.
+    pub fn is_ea(&self) -> bool {
+        match self.prefix.as_slice() {
+            [] | [_] => true,
+            [a, b] => a.is_exists() && !b.is_exists(),
+            _ => false,
+        }
+    }
+
+    /// Whether the prefix is `∀*∃*`.
+    pub fn is_ae(&self) -> bool {
+        match self.prefix.as_slice() {
+            [] | [_] => true,
+            [a, b] => !a.is_exists() && b.is_exists(),
+            _ => false,
+        }
+    }
+
+    /// Total number of quantified variables.
+    pub fn var_count(&self) -> usize {
+        self.prefix.iter().map(|b| b.bindings().len()).sum()
+    }
+}
+
+/// Converts a formula (in any shape) to prenex normal form. Internally
+/// normalizes to NNF first; the prenexing merges sibling prefixes
+/// `∃`-blocks-first, so formulas whose subformulas are all `∃*∀*` produce an
+/// `∃*∀*` prefix (the closure property behind Theorem 3.3).
+pub fn prenex(f: &Formula) -> Prenex {
+    let f = nnf(f);
+    // Seed with the free variables (which must never be captured); bound
+    // variables keep their names unless a clash forces renaming.
+    let mut used: BTreeSet<Sym> = f.free_vars();
+    let mut p = prenex_rec(&f, &mut used);
+    normalize_blocks(&mut p.prefix);
+    p
+}
+
+fn normalize_blocks(prefix: &mut Vec<Block>) {
+    let mut out: Vec<Block> = Vec::with_capacity(prefix.len());
+    for block in prefix.drain(..) {
+        if block.bindings().is_empty() {
+            continue;
+        }
+        match (out.last_mut(), &block) {
+            (Some(Block::Exists(a)), Block::Exists(b)) => a.extend(b.iter().cloned()),
+            (Some(Block::Forall(a)), Block::Forall(b)) => a.extend(b.iter().cloned()),
+            _ => out.push(block),
+        }
+    }
+    *prefix = out;
+}
+
+fn prenex_rec(f: &Formula, used: &mut BTreeSet<Sym>) -> Prenex {
+    match f {
+        Formula::Forall(bs, g) | Formula::Exists(bs, g) => {
+            // Rename the bound variables apart from everything seen so far.
+            let mut renames = std::collections::BTreeMap::new();
+            let mut fresh_bs = Vec::with_capacity(bs.len());
+            for b in bs {
+                let name = fresh_name(b.var.as_str(), used);
+                if name != b.var {
+                    renames.insert(b.var.clone(), Term::Var(name.clone()));
+                }
+                fresh_bs.push(Binding::new(name, b.sort.clone()));
+            }
+            let body = if renames.is_empty() {
+                g.as_ref().clone()
+            } else {
+                subst_vars(g, &renames)
+            };
+            let mut inner = prenex_rec(&body, used);
+            let block = if matches!(f, Formula::Forall(..)) {
+                Block::Forall(fresh_bs)
+            } else {
+                Block::Exists(fresh_bs)
+            };
+            inner.prefix.insert(0, block);
+            inner
+        }
+        Formula::And(fs) => merge_siblings(fs, used, true),
+        Formula::Or(fs) => merge_siblings(fs, used, false),
+        Formula::Not(_) | Formula::Rel(..) | Formula::Eq(..) | Formula::True | Formula::False => {
+            Prenex {
+                prefix: Vec::new(),
+                matrix: f.clone(),
+            }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("prenex_rec runs on NNF input with no -> or <->")
+        }
+    }
+}
+
+fn merge_siblings(fs: &[Formula], used: &mut BTreeSet<Sym>, conj: bool) -> Prenex {
+    let mut children: Vec<Prenex> = fs.iter().map(|g| prenex_rec(g, used)).collect();
+    // Merge prefixes round-robin, ∃ blocks first, alternating. Any
+    // interleaving that preserves each child's internal order is sound;
+    // ∃-first guarantees that when every child is ∃*∀*, the merge is ∃*∀*
+    // (the closure property behind Theorem 3.3). A formula that is only
+    // ∀*∃*-prenexable can come out with a longer prefix here — fragment
+    // membership is decided by [`is_ae_sentence`]/[`is_ea_sentence`], not by
+    // inspecting this prefix.
+    let mut prefix = Vec::new();
+    let mut want_exists = true;
+    loop {
+        let mut grabbed: Vec<Binding> = Vec::new();
+        for child in &mut children {
+            while child
+                .prefix
+                .first()
+                .is_some_and(|b| b.is_exists() == want_exists)
+            {
+                let block = child.prefix.remove(0);
+                grabbed.extend(block.bindings().iter().cloned());
+            }
+        }
+        let done = children.iter().all(|c| c.prefix.is_empty());
+        if !grabbed.is_empty() {
+            prefix.push(if want_exists {
+                Block::Exists(grabbed)
+            } else {
+                Block::Forall(grabbed)
+            });
+        }
+        if done {
+            break;
+        }
+        want_exists = !want_exists;
+    }
+    let parts = children.into_iter().map(|c| c.matrix);
+    let matrix = if conj {
+        Formula::and(parts)
+    } else {
+        Formula::or(parts)
+    };
+    Prenex { prefix, matrix }
+}
+
+/// Whether `f` is prenexable to `∃*∀*` (the EPR fragment). Compositional:
+/// conjunction and disjunction preserve the fragment, and a `forall` requires
+/// its body to be purely universal.
+pub fn is_ea_sentence(f: &Formula) -> bool {
+    fn ea(f: &Formula) -> bool {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(ea),
+            Formula::Exists(_, g) => ea(g),
+            Formula::Forall(_, g) => uni(g),
+            _ => true, // atoms (NNF: negations sit on atoms)
+        }
+    }
+    fn uni(f: &Formula) -> bool {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(uni),
+            Formula::Forall(_, g) => uni(g),
+            Formula::Exists(..) => false,
+            _ => true,
+        }
+    }
+    ea(&nnf(f))
+}
+
+/// Whether `f` is prenexable to `∀*∃*` — the fragment closed under `wp`
+/// (Lemma 3.2). Dual to [`is_ea_sentence`].
+pub fn is_ae_sentence(f: &Formula) -> bool {
+    is_ea_sentence(&Formula::not(f.clone()))
+}
+
+/// Errors from Skolemization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SkolemError {
+    /// The formula has a free logical variable; only sentences Skolemize.
+    OpenFormula(Sym),
+    /// An `exists` occurs under a `forall`; Skolemization would need a
+    /// function symbol, leaving the decidable fragment.
+    NotEA,
+}
+
+impl std::fmt::Display for SkolemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkolemError::OpenFormula(v) => write!(f, "cannot Skolemize open formula (free `{v}`)"),
+            SkolemError::NotEA => write!(
+                f,
+                "formula is not in the ∃*∀* fragment; Skolemization would need function symbols"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SkolemError {}
+
+/// The result of Skolemizing a closed `∃*∀*` sentence.
+#[derive(Clone, Debug)]
+pub struct Skolemized {
+    /// The remaining universally quantified formula (prefix `∀*` over a
+    /// quantifier-free matrix).
+    pub universal: Prenex,
+    /// Fresh Skolem constants introduced, with their sorts.
+    pub constants: Vec<(Sym, Sort)>,
+}
+
+/// Skolemizes a closed `∃*∀*` sentence: outermost existentials become fresh
+/// constants (registered into `sig`).
+///
+/// # Errors
+///
+/// [`SkolemError::OpenFormula`] if the sentence has free variables;
+/// [`SkolemError::NotEA`] if an existential occurs under a universal.
+pub fn skolemize(f: &Formula, sig: &mut Signature) -> Result<Skolemized, SkolemError> {
+    if let Some(v) = f.free_vars().into_iter().next() {
+        return Err(SkolemError::OpenFormula(v));
+    }
+    if !is_ea_sentence(f) {
+        return Err(SkolemError::NotEA);
+    }
+    let p = prenex(f);
+    debug_assert!(p.is_ea(), "∃-first merge must realize the EA prefix");
+    let mut constants = Vec::new();
+    let mut matrix = p.matrix;
+    let mut universal_prefix = Vec::new();
+    for block in p.prefix {
+        match block {
+            Block::Exists(bs) => {
+                let mut map = std::collections::BTreeMap::new();
+                for b in bs {
+                    let name = fresh_constant_name(sig, b.var.as_str());
+                    sig.add_constant(name.clone(), b.sort.clone())
+                        .expect("fresh name cannot clash");
+                    map.insert(b.var.clone(), Term::cst(name.clone()));
+                    constants.push((name, b.sort));
+                }
+                matrix = subst_vars(&matrix, &map);
+            }
+            Block::Forall(bs) => universal_prefix.push(Block::Forall(bs)),
+        }
+    }
+    Ok(Skolemized {
+        universal: Prenex {
+            prefix: universal_prefix,
+            matrix,
+        },
+        constants,
+    })
+}
+
+/// Picks a constant name based on `base` that is unused in `sig`.
+pub fn fresh_constant_name(sig: &Signature, base: &str) -> Sym {
+    let lowered = if base.starts_with(|c: char| c.is_ascii_uppercase()) {
+        format!("sk_{}", base.to_ascii_lowercase())
+    } else {
+        format!("sk_{base}")
+    };
+    let mut candidate = Sym::new(&lowered);
+    let mut i = 0;
+    while sig.function(&candidate).is_some() || sig.relation(&candidate).is_some() {
+        i += 1;
+        candidate = Sym::new(format!("{lowered}_{i}"));
+    }
+    candidate
+}
+
+/// Eliminates `ite` terms by case-splitting the enclosing atom:
+/// `p(ite(c, a, b))` becomes `(c & p(a)) | (~c & p(b))`.
+///
+/// The result contains no `ite` and is equivalent. Needed before grounding,
+/// since `ite` is not part of classic first-order syntax.
+pub fn eliminate_ite(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Rel(..) | Formula::Eq(..) => split_atom(f),
+        Formula::Not(g) => Formula::not(eliminate_ite(g)),
+        Formula::And(fs) => Formula::and(fs.iter().map(eliminate_ite)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(eliminate_ite)),
+        Formula::Implies(a, b) => Formula::implies(eliminate_ite(a), eliminate_ite(b)),
+        Formula::Iff(a, b) => Formula::iff(eliminate_ite(a), eliminate_ite(b)),
+        Formula::Forall(bs, g) => Formula::forall(bs.clone(), eliminate_ite(g)),
+        Formula::Exists(bs, g) => Formula::exists(bs.clone(), eliminate_ite(g)),
+    }
+}
+
+fn split_atom(atom: &Formula) -> Formula {
+    let args: Vec<&Term> = match atom {
+        Formula::Rel(_, args) => args.iter().collect(),
+        Formula::Eq(a, b) => vec![a, b],
+        _ => unreachable!("split_atom only called on atoms"),
+    };
+    for (idx, t) in args.iter().enumerate() {
+        if let Some((cond, then_t, else_t)) = find_ite(t) {
+            let then_atom = replace_arg(atom, idx, replace_ite_once(args[idx], &then_t, true));
+            let else_atom = replace_arg(atom, idx, replace_ite_once(args[idx], &else_t, false));
+            let cond = eliminate_ite(&cond);
+            return Formula::or([
+                Formula::and([cond.clone(), split_atom(&then_atom)]),
+                Formula::and([Formula::not(cond), split_atom(&else_atom)]),
+            ]);
+        }
+    }
+    atom.clone()
+}
+
+/// Finds the first (leftmost, outermost) `ite` in a term.
+fn find_ite(t: &Term) -> Option<(Formula, Term, Term)> {
+    match t {
+        Term::Var(_) => None,
+        Term::App(_, args) => args.iter().find_map(find_ite),
+        Term::Ite(c, a, b) => Some((c.as_ref().clone(), a.as_ref().clone(), b.as_ref().clone())),
+    }
+}
+
+/// Replaces the first `ite` in `t` by `branch` (the chosen arm).
+/// `_then` records which arm was chosen, for clarity at call sites.
+fn replace_ite_once(t: &Term, branch: &Term, _then: bool) -> Term {
+    fn go(t: &Term, branch: &Term, done: &mut bool) -> Term {
+        if *done {
+            return t.clone();
+        }
+        match t {
+            Term::Var(_) => t.clone(),
+            Term::App(f, args) => Term::App(
+                f.clone(),
+                args.iter().map(|a| go(a, branch, done)).collect(),
+            ),
+            Term::Ite(..) => {
+                *done = true;
+                branch.clone()
+            }
+        }
+    }
+    let mut done = false;
+    go(t, branch, &mut done)
+}
+
+fn replace_arg(atom: &Formula, idx: usize, new_arg: Term) -> Formula {
+    match atom {
+        Formula::Rel(r, args) => {
+            let mut args = args.clone();
+            args[idx] = new_arg;
+            Formula::Rel(r.clone(), args)
+        }
+        Formula::Eq(a, b) => {
+            if idx == 0 {
+                Formula::Eq(new_arg, b.clone())
+            } else {
+                Formula::Eq(a.clone(), new_arg)
+            }
+        }
+        _ => unreachable!("replace_arg only called on atoms"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = parse_formula("~(p & (q -> r))").unwrap();
+        assert_eq!(nnf(&f).to_string(), "~p | q & ~r");
+    }
+
+    #[test]
+    fn nnf_dualizes_quantifiers() {
+        let f = parse_formula("~(forall X:s. p(X))").unwrap();
+        assert_eq!(nnf(&f).to_string(), "exists X:s. ~p(X)");
+    }
+
+    #[test]
+    fn prenex_merges_ea_children() {
+        // (∃x∀y p) & (∃u∀v q) must prenex to ∃x,u∀y,v (p & q): still EA.
+        let f = parse_formula(
+            "(exists X:s. forall Y:s. r(X, Y)) & (exists U:s. forall V:s. r(U, V))",
+        )
+        .unwrap();
+        let p = prenex(&f);
+        assert!(p.is_ea());
+        assert_eq!(p.prefix.len(), 2);
+        assert_eq!(p.prefix[0].bindings().len(), 2);
+        assert_eq!(p.prefix[1].bindings().len(), 2);
+    }
+
+    #[test]
+    fn prenex_renames_shadowed_vars() {
+        let f = parse_formula("(forall X:s. p(X)) & (forall X:s. q(X))").unwrap();
+        let p = prenex(&f);
+        assert_eq!(p.var_count(), 2);
+        let names: BTreeSet<_> = p.prefix[0].bindings().iter().map(|b| b.var.clone()).collect();
+        assert_eq!(names.len(), 2, "bound vars renamed apart");
+    }
+
+    #[test]
+    fn prenex_roundtrip_preserves_shape() {
+        let f = parse_formula("forall X:s. exists Y:s. r(X, Y)").unwrap();
+        let p = prenex(&f);
+        assert!(p.is_ae());
+        assert!(!p.is_ea());
+        assert_eq!(p.to_formula().to_string(), "forall X:s. exists Y:s. r(X, Y)");
+    }
+
+    #[test]
+    fn negating_ae_gives_ea() {
+        let f = parse_formula("forall X:s. exists Y:s. r(X, Y)").unwrap();
+        let p = prenex(&Formula::not(f));
+        assert!(p.is_ea());
+    }
+
+    #[test]
+    fn skolemize_introduces_constants() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s", "s"]).unwrap();
+        let f = parse_formula("exists X:s. forall Y:s. r(X, Y)").unwrap();
+        let sk = skolemize(&f, &mut sig).unwrap();
+        assert_eq!(sk.constants.len(), 1);
+        let (name, sort) = &sk.constants[0];
+        assert_eq!(sort.name(), "s");
+        assert!(sig.function(name).is_some());
+        assert_eq!(sk.universal.prefix.len(), 1);
+    }
+
+    #[test]
+    fn skolemize_rejects_ae() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s", "s"]).unwrap();
+        let f = parse_formula("forall X:s. exists Y:s. r(X, Y)").unwrap();
+        assert_eq!(skolemize(&f, &mut sig).unwrap_err(), SkolemError::NotEA);
+    }
+
+    #[test]
+    fn skolemize_rejects_open() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s", "s"]).unwrap();
+        let f = parse_formula("r(X, X)").unwrap();
+        assert!(matches!(
+            skolemize(&f, &mut sig),
+            Err(SkolemError::OpenFormula(_))
+        ));
+    }
+
+    #[test]
+    fn ite_elimination_splits_atoms() {
+        let f = parse_formula("p(ite(q, a, b))").unwrap();
+        let g = eliminate_ite(&f);
+        assert_eq!(g.to_string(), "q & p(a) | ~q & p(b)");
+    }
+
+    #[test]
+    fn nested_ite_elimination() {
+        let f = parse_formula("p(ite(q, ite(r, a, b), c))").unwrap();
+        let g = eliminate_ite(&f);
+        // No ite remains.
+        fn has_ite(f: &Formula) -> bool {
+            match f {
+                Formula::Rel(_, args) => args.iter().any(Term::has_ite),
+                Formula::Eq(a, b) => a.has_ite() || b.has_ite(),
+                Formula::Not(g) => has_ite(g),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().any(has_ite),
+                Formula::Implies(a, b) | Formula::Iff(a, b) => has_ite(a) || has_ite(b),
+                Formula::Forall(_, g) | Formula::Exists(_, g) => has_ite(g),
+                _ => false,
+            }
+        }
+        assert!(!has_ite(&g));
+    }
+}

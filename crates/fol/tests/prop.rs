@@ -1,0 +1,168 @@
+//! Property-based tests of the logical transformations: NNF, prenexing and
+//! `ite`-elimination must preserve evaluation on finite structures, and the
+//! diagram/conjecture machinery must satisfy Lemma 4.2.
+
+use ivy_fol::{
+    conjecture, diagram, eliminate_ite, nnf, prenex, Binding, Formula, PartialStructure,
+    Signature, Structure, Sym, Term,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn signature() -> Signature {
+    let mut sig = Signature::new();
+    sig.add_sort("s").unwrap();
+    sig.add_relation("r", ["s"]).unwrap();
+    sig.add_relation("q", ["s", "s"]).unwrap();
+    sig.add_function("f", ["s"], "s").unwrap();
+    sig.add_constant("c", "s").unwrap();
+    sig
+}
+
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    (1usize..=3, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = Structure::new(Arc::new(signature()));
+        let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
+        let mut bits = seed;
+        let mut next = || {
+            bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (bits >> 33) as usize
+        };
+        s.set_fun("c", vec![], elems[next() % n].clone());
+        for e in &elems {
+            s.set_fun("f", vec![e.clone()], elems[next() % n].clone());
+            s.set_rel("r", vec![e.clone()], next() % 2 == 0);
+            for g in &elems {
+                s.set_rel("q", vec![e.clone(), g.clone()], next() % 2 == 0);
+            }
+        }
+        s
+    })
+}
+
+/// Random closed formulas over `signature()` with bounded depth.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        Just(Formula::rel("r", [Term::cst("c")])),
+        Just(Formula::rel("q", [Term::cst("c"), Term::app("f", [Term::cst("c")])])),
+        Just(Formula::eq(Term::app("f", [Term::cst("c")]), Term::cst("c"))),
+        Just(Formula::True),
+    ];
+    // Open atoms over variables X and Y (closed by quantifiers below).
+    let open_atom = prop_oneof![
+        Just(Formula::rel("r", [Term::var("X")])),
+        Just(Formula::rel("q", [Term::var("X"), Term::var("Y")])),
+        Just(Formula::eq(Term::var("X"), Term::var("Y"))),
+        Just(Formula::rel("q", [Term::var("Y"), Term::app("f", [Term::var("X")])])),
+        Just(Formula::eq(
+            Term::ite(
+                Formula::rel("r", [Term::var("X")]),
+                Term::var("X"),
+                Term::cst("c")
+            ),
+            Term::var("Y")
+        )),
+    ];
+    let quantified = open_atom.prop_flat_map(|body| {
+        prop_oneof![
+            Just(Formula::forall(
+                [Binding::new("X", "s"), Binding::new("Y", "s")],
+                body.clone()
+            )),
+            Just(Formula::exists(
+                [Binding::new("X", "s"), Binding::new("Y", "s")],
+                body.clone()
+            )),
+            Just(Formula::forall(
+                [Binding::new("X", "s")],
+                Formula::exists([Binding::new("Y", "s")], body.clone())
+            )),
+            Just(Formula::exists(
+                [Binding::new("X", "s")],
+                Formula::forall([Binding::new("Y", "s")], body)
+            )),
+        ]
+    });
+    let leaf = prop_oneof![atom, quantified];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::and([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or([a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nnf_preserves_evaluation(f in arb_formula(), s in arb_structure()) {
+        let v1 = s.eval_closed(&f).unwrap();
+        let v2 = s.eval_closed(&nnf(&f)).unwrap();
+        prop_assert_eq!(v1, v2, "nnf changed the meaning of {}", f);
+    }
+
+    #[test]
+    fn prenex_preserves_evaluation(f in arb_formula(), s in arb_structure()) {
+        let v1 = s.eval_closed(&f).unwrap();
+        let p = prenex(&f);
+        let v2 = s.eval_closed(&p.to_formula()).unwrap();
+        prop_assert_eq!(v1, v2, "prenex changed the meaning of {}", f);
+    }
+
+    #[test]
+    fn ite_elimination_preserves_evaluation(f in arb_formula(), s in arb_structure()) {
+        let v1 = s.eval_closed(&f).unwrap();
+        let v2 = s.eval_closed(&eliminate_ite(&f)).unwrap();
+        prop_assert_eq!(v1, v2, "ite elimination changed the meaning of {}", f);
+    }
+
+    #[test]
+    fn parser_roundtrips_printed_formulas(f in arb_formula()) {
+        let text = f.to_string();
+        let parsed = ivy_fol::parse_formula(&text)
+            .unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    /// Lemma 4.2: a total structure satisfies the diagram of any of its own
+    /// generalizations, and violates the induced conjecture.
+    #[test]
+    fn diagrams_satisfy_lemma_4_2(s in arb_structure(), keep_bits in 0u16..4096) {
+        let total = PartialStructure::from_structure(&s);
+        // Drop a pseudo-random subset of facts to build a generalization.
+        let facts: Vec<_> = total.facts().iter().cloned().collect();
+        let mut partial = total.clone();
+        for (i, fact) in facts.iter().enumerate() {
+            if keep_bits & (1 << (i % 12)) == 0 {
+                partial.undefine(fact);
+            }
+        }
+        prop_assert!(partial.generalizes(&total));
+        if partial.fact_count() > 0 {
+            prop_assert!(s.eval_closed(&diagram(&partial)).unwrap());
+            prop_assert!(!s.eval_closed(&conjecture(&partial)).unwrap());
+        }
+    }
+
+    /// The fragment predicates agree with actually produced prenex prefixes
+    /// in the EA direction (the side Skolemization relies on).
+    #[test]
+    fn ea_sentences_get_ea_prefixes(f in arb_formula()) {
+        if ivy_fol::is_ea_sentence(&f) {
+            prop_assert!(prenex(&f).is_ea(), "EA sentence got non-EA prefix: {}", f);
+        }
+    }
+
+    /// Sanity: evaluation is total on well-sorted closed formulas.
+    #[test]
+    fn evaluation_is_total(f in arb_formula(), s in arb_structure()) {
+        prop_assert!(s.eval_closed(&f).is_ok());
+        let _ = Sym::new("unused");
+    }
+}

@@ -1,0 +1,127 @@
+//! Chord ring maintenance — Section 5.1 of the paper, Figure 14 row 6.
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text.
+pub const SOURCE: &str = include_str!("../rml/chord.rml");
+
+/// Parses the protocol model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or validate (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("chord.rml parses");
+    let errs = check_program(&p);
+    assert!(errs.is_empty(), "chord.rml validates: {errs:?}");
+    p
+}
+
+/// Clauses of a universal inductive invariant (machine-checked): `K0` is
+/// the ordered-ring safety property (the universal surrogate for Zave's
+/// transitive-closure connectivity); `K1`–`K4` keep `succ` a function from
+/// members to members with ring members pointing into the ring.
+pub const CLAUSES: &[(&str, &str)] = &[
+    (
+        "K0",
+        "forall X:node, Y:node, Z:node. \
+         in_ring(X) & succ(X, Y) & in_ring(Z) & Z ~= X & Z ~= Y -> ~btw(X, Z, Y)",
+    ),
+    (
+        "K1",
+        "forall X:node, Y:node, Z:node. succ(X, Y) & succ(X, Z) -> Y = Z",
+    ),
+    (
+        "K2",
+        "forall X:node, Y:node. succ(X, Y) -> member(X) & member(Y)",
+    ),
+    ("K3", "forall X:node. in_ring(X) -> member(X)"),
+    (
+        "K4",
+        "forall X:node, Y:node. in_ring(X) & succ(X, Y) -> in_ring(Y)",
+    ),
+];
+
+/// The invariant as [`Conjecture`]s.
+///
+/// # Panics
+///
+/// Panics if an embedded formula fails to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    CLAUSES
+        .iter()
+        .map(|(name, src)| Conjecture::new(*name, parse_formula(src).expect("clause parses")))
+        .collect()
+}
+
+/// Minimization measures a user would pick here.
+pub fn measures() -> Vec<ivy_core::Measure> {
+    use ivy_fol::{Sort, Sym};
+    vec![
+        ivy_core::Measure::SortSize(Sort::new("node")),
+        ivy_core::Measure::PositiveTuples(Sym::new("succ")),
+        ivy_core::Measure::PositiveTuples(Sym::new("member")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Bmc, Verifier};
+
+    #[test]
+    fn model_parses_and_validates() {
+        let p = program();
+        assert_eq!(p.actions.len(), 2);
+        // S = 1 as in Figure 14 (a single identifier/node sort).
+        assert_eq!(p.sig.sorts().len(), 1);
+    }
+
+    #[test]
+    fn invariant_is_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let result = v.check(&invariant()).unwrap();
+        if let ivy_core::Inductiveness::Cti(cti) = &result {
+            panic!("CTI: {}\nstate: {}", cti.violation, cti.state);
+        }
+    }
+
+    #[test]
+    fn safety_alone_is_not_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv = vec![invariant().remove(0)];
+        assert!(!v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn bmc_passes_bound_2() {
+        let p = program();
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn buggy_variant_caught_by_bmc() {
+        // Let nodes join pointing at an arbitrary member, and splice without
+        // checking the appendage's own pointer: a freshly spliced node can
+        // then bypass a ring member within two steps (join, stabilize).
+        let src = SOURCE
+            .replace(
+                "assume forall Z:node. member(Z) & Z ~= n & Z ~= m -> ~btw(n, Z, m);",
+                "",
+            )
+            .replace(
+                "assume member(j) & ~in_ring(j) & succ(j, m) & btw(p, j, m);",
+                "assume member(j) & ~in_ring(j) & btw(p, j, m);",
+            );
+        let p = ivy_rml::parse_program(&src).unwrap();
+        assert!(ivy_rml::check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc.check_safety(2).unwrap().expect("bypass reachable in 2 steps");
+        assert_eq!(trace.violated, "ordered_ring");
+    }
+}

@@ -1,0 +1,145 @@
+//! Database chain consistency — Section 5.1 of the paper, Figure 14 row 5.
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text.
+pub const SOURCE: &str = include_str!("../rml/db_chain.rml");
+
+/// Parses the protocol model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or validate (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("db_chain.rml parses");
+    let errs = check_program(&p);
+    assert!(errs.is_empty(), "db_chain.rml validates: {errs:?}");
+    p
+}
+
+/// Clauses of a universal inductive invariant (machine-checked): the two
+/// safety properties, commit/abort exclusivity, well-formedness of the
+/// `depends` graph, the no-abort-after-precommit rule, and the key chain
+/// property `D8`: a writer serialized between a read dependency and its
+/// reader must have aborted.
+pub const CLAUSES: &[(&str, &str)] = &[
+    (
+        "D0",
+        "forall T:txn, K:key, W:txn, W2:txn. \
+         ~(depends(T, K, W) & writes(W2, K) & committed(W2) \
+           & txle(W, W2) & W ~= W2 & txle(W2, T) & W2 ~= T)",
+    ),
+    (
+        "D1",
+        "forall T:txn, K:key, W:txn. depends(T, K, W) -> ~aborted(W)",
+    ),
+    ("D2", "forall T:txn. ~(committed(T) & aborted(T))"),
+    (
+        "D3",
+        "forall T:txn, K:key, W:txn. depends(T, K, W) -> writes(W, K)",
+    ),
+    (
+        "D4",
+        "forall T:txn, K:key, W:txn. depends(T, K, W) -> txle(W, T) & W ~= T",
+    ),
+    (
+        "D5",
+        "forall T:txn, K:key, W:txn. depends(T, K, W) -> precommitted(W, row_node(K))",
+    ),
+    (
+        "D6",
+        "forall T:txn, N:node. aborted(T) -> ~precommitted(T, N)",
+    ),
+    (
+        "D7",
+        "forall T:txn, K:key. committed(T) & (reads(T, K) | writes(T, K)) \
+         -> precommitted(T, row_node(K))",
+    ),
+    (
+        "D8",
+        "forall T:txn, K:key, W:txn, W2:txn. \
+         depends(T, K, W) & writes(W2, K) & txle(W, W2) & W ~= W2 \
+           & txle(W2, T) & W2 ~= T \
+         -> aborted(W2)",
+    ),
+];
+
+/// The invariant as [`Conjecture`]s.
+///
+/// # Panics
+///
+/// Panics if an embedded formula fails to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    CLAUSES
+        .iter()
+        .map(|(name, src)| Conjecture::new(*name, parse_formula(src).expect("clause parses")))
+        .collect()
+}
+
+/// Minimization measures a user would pick here.
+pub fn measures() -> Vec<ivy_core::Measure> {
+    use ivy_fol::{Sort, Sym};
+    vec![
+        ivy_core::Measure::SortSize(Sort::new("txn")),
+        ivy_core::Measure::SortSize(Sort::new("key")),
+        ivy_core::Measure::SortSize(Sort::new("node")),
+        ivy_core::Measure::PositiveTuples(Sym::new("depends")),
+        ivy_core::Measure::PositiveTuples(Sym::new("aborted")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Bmc, Verifier};
+
+    #[test]
+    fn model_parses_and_validates() {
+        let p = program();
+        assert_eq!(p.actions.len(), 4);
+        assert_eq!(p.sig.sorts().len(), 3);
+        assert_eq!(p.sig.symbol_count(), 9);
+        assert_eq!(p.safety.len(), 2);
+    }
+
+    #[test]
+    fn invariant_is_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let result = v.check(&invariant()).unwrap();
+        if let ivy_core::Inductiveness::Cti(cti) = &result {
+            panic!("CTI: {}\nstate: {}", cti.violation, cti.state);
+        }
+    }
+
+    #[test]
+    fn safety_alone_is_not_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv: Vec<_> = invariant().into_iter().take(2).collect();
+        assert!(!v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn bmc_passes_bound_2() {
+        let p = program();
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn buggy_variant_caught_by_bmc() {
+        // Allow aborting after a precommit: dirty reads become reachable.
+        let src = SOURCE.replace(
+            "assume forall N:node. ~precommitted(t, N);",
+            "",
+        );
+        let p = ivy_rml::parse_program(&src).unwrap();
+        assert!(ivy_rml::check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc.check_safety(3).unwrap().expect("dirty read reachable");
+        assert_eq!(trace.violated, "no_dirty_reads");
+    }
+}

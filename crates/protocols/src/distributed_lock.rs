@@ -1,0 +1,147 @@
+//! Distributed lock protocol (IronFleet) — Section 5.1 of the paper,
+//! Figure 14 row 3.
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text.
+pub const SOURCE: &str = include_str!("../rml/distributed_lock.rml");
+
+/// Parses the protocol model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or validate (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("distributed_lock.rml parses");
+    let errs = check_program(&p);
+    assert!(errs.is_empty(), "distributed_lock.rml validates: {errs:?}");
+    p
+}
+
+/// Clauses of a universal inductive invariant (machine-checked): `J0` is
+/// safety; `J1`–`J2` make locked messages justified by unique transfers;
+/// `J3`–`J5` say the holder dominates everything; `J6a`–`J6c` constrain the
+/// unique in-flight ("fresh") transfer when no one holds the lock.
+pub const CLAUSES: &[(&str, &str)] = &[
+    (
+        "J0",
+        "forall E:epoch, N1:node, N2:node. locked(E, N1) & locked(E, N2) -> N1 = N2",
+    ),
+    (
+        "J1",
+        "forall E:epoch, N:node. locked(E, N) -> transfer(E, N)",
+    ),
+    (
+        "J2",
+        "forall E:epoch, N1:node, N2:node. transfer(E, N1) & transfer(E, N2) -> N1 = N2",
+    ),
+    (
+        "J3",
+        "forall E:epoch, N:node, M:node. held(N) & transfer(E, M) -> le(E, ep(N))",
+    ),
+    (
+        "J4",
+        "forall N:node, M:node. held(N) -> le(ep(M), ep(N))",
+    ),
+    (
+        "J5",
+        "forall N1:node, N2:node. held(N1) & held(N2) -> N1 = N2",
+    ),
+    (
+        "J6a",
+        "forall E:epoch, N:node, M:node. transfer(E, N) & ~le(E, ep(N)) -> ~held(M)",
+    ),
+    (
+        "J6b",
+        "forall E:epoch, N:node, E2:epoch, N2:node. \
+         transfer(E, N) & ~le(E, ep(N)) & transfer(E2, N2) -> le(E2, E)",
+    ),
+    (
+        "J6c",
+        "forall E:epoch, N:node, M:node. transfer(E, N) & ~le(E, ep(N)) -> le(ep(M), E)",
+    ),
+];
+
+/// The invariant as [`Conjecture`]s.
+///
+/// # Panics
+///
+/// Panics if an embedded formula fails to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    CLAUSES
+        .iter()
+        .map(|(name, src)| Conjecture::new(*name, parse_formula(src).expect("clause parses")))
+        .collect()
+}
+
+/// Minimization measures a user would pick here.
+pub fn measures() -> Vec<ivy_core::Measure> {
+    use ivy_fol::{Sort, Sym};
+    vec![
+        ivy_core::Measure::SortSize(Sort::new("node")),
+        ivy_core::Measure::SortSize(Sort::new("epoch")),
+        ivy_core::Measure::PositiveTuples(Sym::new("transfer")),
+        ivy_core::Measure::PositiveTuples(Sym::new("locked")),
+        ivy_core::Measure::PositiveTuples(Sym::new("held")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Bmc, Verifier};
+
+    #[test]
+    fn model_parses_and_validates() {
+        let p = program();
+        assert_eq!(p.actions.len(), 2);
+        // Figure 14: S = 2, RF = 5 (le, held, transfer, locked, ep).
+        assert_eq!(p.sig.sorts().len(), 2);
+        assert_eq!(p.sig.symbol_count(), 5);
+    }
+
+    #[test]
+    fn invariant_is_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let result = v.check(&invariant()).unwrap();
+        if let ivy_core::Inductiveness::Cti(cti) = &result {
+            panic!("CTI: {}\nstate: {}", cti.violation, cti.state);
+        }
+    }
+
+    #[test]
+    fn safety_alone_is_not_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv = vec![invariant().remove(0)];
+        assert!(!v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn bmc_passes_bound_3() {
+        let p = program();
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn buggy_variant_caught_by_bmc() {
+        // Forget to require a strictly larger epoch when transferring: two
+        // transfers can then carry the same epoch to different nodes.
+        let src = SOURCE.replace(
+            "assume le(ep(src), e) & e ~= ep(src);",
+            "assume le(ep(src), e);",
+        );
+        let p = ivy_rml::parse_program(&src).unwrap();
+        assert!(ivy_rml::check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc
+            .check_safety(4)
+            .unwrap()
+            .expect("same-epoch double lock reachable");
+        assert_eq!(trace.violated, "locked_unique");
+    }
+}

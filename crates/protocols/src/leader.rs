@@ -1,0 +1,207 @@
+//! Leader election in a ring — the paper's running example (Figures 1–9).
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text (Figure 1).
+pub const SOURCE: &str = include_str!("../rml/leader.rml");
+
+/// Parses the protocol model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or validate (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("leader.rml parses");
+    let errs = check_program(&p);
+    assert!(errs.is_empty(), "leader.rml validates: {errs:?}");
+    p
+}
+
+/// The buggy variant of Section 2.2: the `unique_ids` axiom is omitted,
+/// letting two nodes share an id; BMC with bound 4 then produces the
+/// two-leaders error trace of Figure 4.
+pub fn program_without_unique_ids() -> Program {
+    let mut p = program();
+    p.axioms.retain(|(label, _)| label != "unique_ids");
+    p
+}
+
+/// The paper's inductive invariant (Figure 6): the safety property `C0`
+/// plus the three conjectures found interactively.
+///
+/// # Panics
+///
+/// Panics if the embedded formulas fail to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    vec![
+        Conjecture::new("C0", parse_formula(C0).expect("C0 parses")),
+        Conjecture::new("C1", parse_formula(C1).expect("C1 parses")),
+        Conjecture::new("C2", parse_formula(C2).expect("C2 parses")),
+        Conjecture::new("C3", parse_formula(C3).expect("C3 parses")),
+    ]
+}
+
+/// C0: at most one leader (the safety property).
+pub const C0: &str =
+    "forall N1:node, N2:node. ~(leader(N1) & N1 ~= N2 & leader(N2))";
+
+/// C1: the leader has the highest id.
+pub const C1: &str =
+    "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))";
+
+/// C2: only the highest id can be pending at its own node.
+pub const C2: &str =
+    "forall N1:node, N2:node. ~(N1 ~= N2 & pnd(idf(N1), N1) & le(idf(N1), idf(N2)))";
+
+/// C3: a pending id cannot have bypassed a node with a higher id.
+pub const C3: &str = "forall N1:node, N2:node, N3:node. \
+    ~(btw(N1, N2, N3) & pnd(idf(N2), N1) & le(idf(N2), idf(N3)))";
+
+/// The minimization measures a user would pick for this protocol
+/// (Section 4.3 suggests minimizing elements and the `pnd` relation).
+pub fn measures() -> Vec<ivy_core::Measure> {
+    use ivy_fol::{Sort, Sym};
+    vec![
+        ivy_core::Measure::SortSize(Sort::new("node")),
+        ivy_core::Measure::SortSize(Sort::new("id")),
+        ivy_core::Measure::PositiveTuples(Sym::new("pnd")),
+        ivy_core::Measure::PositiveTuples(Sym::new("leader")),
+    ]
+}
+
+/// A scripted user re-enacting the paper's three generalization insights
+/// (Figures 7–9). Each CTI is classified by its root cause and answered
+/// with the corresponding coarse generalization, then BMC + Auto Generalize
+/// with bound 3 — exactly the narration of Section 2.3:
+///
+/// * a leader with a non-maximal id → drop topology and `pnd` (Figure 7 (b));
+/// * a node's own id pending at it while a higher id exists → drop topology
+///   and `leader`, keep `pnd` (Figure 8 (b));
+/// * a pending id that bypassed a higher node → keep the topology as `btw`,
+///   drop `leader` (Figure 9 (b)).
+pub fn paper_user(steps: usize) -> ivy_core::ScriptedUser {
+    use ivy_core::CtiDecision;
+    use ivy_fol::{PartialStructure, Sym};
+    let locals = program().locals;
+    let mut user = ivy_core::ScriptedUser::new();
+    for _ in 0..steps {
+        let locals = locals.clone();
+        user.push_cti(move |_ctx, cti| {
+            let mut s_u = PartialStructure::from_structure_without(&cti.state, &locals);
+            let bad_leader = parse_formula(
+                "exists N1:node, N2:node. N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2))",
+            )
+            .expect("parses");
+            let bad_pnd = parse_formula(
+                "exists N1:node, N2:node. N1 ~= N2 & pnd(idf(N1), N1) & le(idf(N1), idf(N2))",
+            )
+            .expect("parses");
+            if cti.state.eval_closed(&bad_leader).unwrap_or(false) {
+                s_u.drop_symbol(&Sym::new("btw"));
+                s_u.drop_symbol(&Sym::new("pnd"));
+            } else if cti.state.eval_closed(&bad_pnd).unwrap_or(false) {
+                s_u.drop_symbol(&Sym::new("btw"));
+                s_u.drop_symbol(&Sym::new("leader"));
+                s_u.drop_negative(&Sym::new("pnd"));
+            } else {
+                s_u.drop_symbol(&Sym::new("leader"));
+                s_u.drop_negative(&Sym::new("pnd"));
+                s_u.drop_negative(&Sym::new("btw"));
+            }
+            s_u.drop_negative(&Sym::new("le"));
+            s_u.drop_negative(&Sym::new("idf"));
+            CtiDecision::Generalize {
+                upper_bound: s_u,
+                bound: 3,
+            }
+        });
+    }
+    user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Bmc, Verifier};
+
+    #[test]
+    fn model_parses_and_validates() {
+        let p = program();
+        assert_eq!(p.actions.len(), 2);
+        assert_eq!(p.axioms.len(), 9);
+        // Figure 14 row "Leader election in ring": S = 2, RF = 5.
+        assert_eq!(p.sig.sorts().len(), 2);
+        assert_eq!(p.sig.symbol_count(), 5);
+    }
+
+    #[test]
+    fn figure6_invariant_is_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv = invariant();
+        let result = v.check(&inv).unwrap();
+        assert!(result.is_inductive(), "paper invariant must be inductive");
+    }
+
+    #[test]
+    fn c0_alone_is_not_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv = vec![invariant().remove(0)];
+        match v.check(&inv).unwrap() {
+            ivy_core::Inductiveness::Cti(cti) => {
+                // The CTI satisfies C0 but its successor violates it
+                // (Figure 7 (a1)/(a2)).
+                assert!(cti.state.eval_closed(&inv[0].formula).unwrap());
+                let succ = cti.successor.expect("consecution CTI");
+                assert!(!succ.eval_closed(&inv[0].formula).unwrap());
+            }
+            ivy_core::Inductiveness::Inductive => panic!("C0 alone cannot be inductive"),
+        }
+    }
+
+    #[test]
+    fn dropping_any_paper_conjecture_breaks_inductiveness() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let full = invariant();
+        for drop in 1..full.len() {
+            let mut inv = full.clone();
+            inv.remove(drop);
+            let result = v.check(&inv).unwrap();
+            assert!(
+                !result.is_inductive(),
+                "dropping {} should break inductiveness",
+                full[drop].name
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_missing_axiom_found_by_bmc_bound_4() {
+        let p = program_without_unique_ids();
+        let bmc = Bmc::new(&p);
+        let trace = bmc
+            .check_safety(4)
+            .unwrap()
+            .expect("two leaders reachable without unique ids");
+        assert_eq!(trace.violated, "at_most_one_leader");
+        assert_eq!(trace.steps(), 4, "Figure 4 shows a 4-step trace");
+        // Final state has two leaders.
+        let last = trace.states.last().unwrap();
+        let two = ivy_fol::parse_formula(
+            "exists X:node, Y:node. X ~= Y & leader(X) & leader(Y)",
+        )
+        .unwrap();
+        assert!(last.eval_closed(&two).unwrap());
+    }
+
+    #[test]
+    fn correct_model_passes_bmc_bound_3() {
+        let p = program();
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(3).unwrap().is_none());
+    }
+}

@@ -1,0 +1,10 @@
+//! The six distributed protocols of the Ivy paper's evaluation (Section 5),
+//! modeled in RML with machine-checked universal inductive invariants.
+#![warn(missing_docs)]
+
+pub mod leader;
+pub mod learning_switch;
+pub mod chord;
+pub mod db_chain;
+pub mod distributed_lock;
+pub mod lock_server;

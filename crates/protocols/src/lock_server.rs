@@ -1,0 +1,139 @@
+//! Lock server (Verdi) — Section 5.1 of the paper, Figure 14 row 2.
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text.
+pub const SOURCE: &str = include_str!("../rml/lock_server.rml");
+
+/// Parses the protocol model.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or validate (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("lock_server.rml parses");
+    let errs = check_program(&p);
+    assert!(errs.is_empty(), "lock_server.rml validates: {errs:?}");
+    p
+}
+
+/// The clauses of a universal inductive invariant, machine-checked by the
+/// tests. `L0` is the safety property; `L1`–`L5` make the lock token
+/// (grant message / held lock / unlock message) unique and exclusive;
+/// `L6`–`L7` tie tokens to the server's bookkeeping; `L8`–`L9` keep the
+/// queue functional.
+pub const CLAUSES: &[(&str, &str)] = &[
+    (
+        "L0",
+        "forall C1:client, C2:client. holds(C1) & holds(C2) -> C1 = C2",
+    ),
+    (
+        "L1",
+        "forall C1:client, C2:client. grant_msg(C1) & grant_msg(C2) -> C1 = C2",
+    ),
+    (
+        "L2",
+        "forall C1:client, C2:client. unlock_msg(C1) & unlock_msg(C2) -> C1 = C2",
+    ),
+    (
+        "L3",
+        "forall C1:client, C2:client. ~(holds(C1) & grant_msg(C2))",
+    ),
+    (
+        "L4",
+        "forall C1:client, C2:client. ~(holds(C1) & unlock_msg(C2))",
+    ),
+    (
+        "L5",
+        "forall C1:client, C2:client. ~(grant_msg(C1) & unlock_msg(C2))",
+    ),
+    (
+        "L6",
+        "forall C:client. holds(C) | grant_msg(C) | unlock_msg(C) -> busy",
+    ),
+    (
+        "L7",
+        "forall C:client. holds(C) | grant_msg(C) | unlock_msg(C) -> queued(cur, C)",
+    ),
+    (
+        "L8",
+        "forall S:seqn, C1:client, C2:client. queued(S, C1) & queued(S, C2) -> C1 = C2",
+    ),
+    ("L9", "forall S:seqn, C:client. queued(S, C) -> used(S)"),
+];
+
+/// The invariant as [`Conjecture`]s.
+///
+/// # Panics
+///
+/// Panics if an embedded formula fails to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    CLAUSES
+        .iter()
+        .map(|(name, src)| Conjecture::new(*name, parse_formula(src).expect("clause parses")))
+        .collect()
+}
+
+/// Minimization measures a user would pick here.
+pub fn measures() -> Vec<ivy_core::Measure> {
+    use ivy_fol::{Sort, Sym};
+    vec![
+        ivy_core::Measure::SortSize(Sort::new("client")),
+        ivy_core::Measure::SortSize(Sort::new("seqn")),
+        ivy_core::Measure::PositiveTuples(Sym::new("queued")),
+        ivy_core::Measure::PositiveTuples(Sym::new("grant_msg")),
+        ivy_core::Measure::PositiveTuples(Sym::new("unlock_msg")),
+        ivy_core::Measure::PositiveTuples(Sym::new("holds")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Bmc, Verifier};
+
+    #[test]
+    fn model_parses_and_validates() {
+        let p = program();
+        assert_eq!(p.actions.len(), 5);
+        assert_eq!(p.sig.sorts().len(), 2);
+    }
+
+    #[test]
+    fn invariant_is_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let result = v.check(&invariant()).unwrap();
+        if let ivy_core::Inductiveness::Cti(cti) = &result {
+            panic!("CTI: {}\nstate: {}", cti.violation, cti.state);
+        }
+    }
+
+    #[test]
+    fn safety_alone_is_not_inductive() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let inv = vec![invariant().remove(0)];
+        assert!(!v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn bmc_passes_bound_3() {
+        let p = program();
+        let bmc = Bmc::new(&p);
+        assert!(bmc.check_safety(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn buggy_variant_caught_by_bmc() {
+        // Drop the mutual-exclusion bookkeeping: grant on every request.
+        let src = SOURCE.replace("if ~busy {", "if ~busy | busy {");
+        let p = ivy_rml::parse_program(&src).unwrap();
+        assert!(ivy_rml::check_program(&p).is_empty());
+        let bmc = Bmc::new(&p);
+        let trace = bmc.check_safety(6).unwrap().expect("double grant reachable");
+        assert_eq!(trace.violated, "mutual_exclusion");
+    }
+}

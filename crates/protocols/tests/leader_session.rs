@@ -1,0 +1,94 @@
+//! Reproduction of the paper's interactive leader-election session
+//! (Section 2.3, Figures 7–9): three CTI + generalization iterations
+//! yielding an invariant equivalent to C0 ∧ C1 ∧ C2 ∧ C3 of Figure 6.
+
+use ivy_core::{OracleUser, Session, SessionOutcome, Verifier};
+use ivy_fol::parse_formula;
+use ivy_protocols::leader;
+
+fn initial() -> Vec<ivy_core::Conjecture> {
+    vec![ivy_core::Conjecture::new(
+        "C0",
+        parse_formula(leader::C0).unwrap(),
+    )]
+}
+
+fn assert_equivalent_to_paper(program: &ivy_rml::Program, session: &Session<'_>) {
+    let v = Verifier::new(program);
+    assert!(v.check(session.conjectures()).unwrap().is_inductive());
+    let axioms = program.axiom();
+    let target: Vec<_> = leader::invariant()
+        .into_iter()
+        .map(|c| c.formula)
+        .collect();
+    let found: Vec<_> = session
+        .conjectures()
+        .iter()
+        .map(|c| c.formula.clone())
+        .collect();
+    for c in session.conjectures() {
+        assert!(
+            ivy_core::implied(&program.sig, &axioms, &target, &c.formula).unwrap(),
+            "{c} is not implied by the paper's invariant"
+        );
+    }
+    for phi in &target {
+        assert!(
+            ivy_core::implied(&program.sig, &axioms, &found, phi).unwrap(),
+            "paper conjecture {phi} not implied by the found invariant"
+        );
+    }
+}
+
+/// The oracle user (ideal human knowing the Figure 6 invariant) completes
+/// the session; the number of CTIs matches the paper's G = 3.
+#[test]
+fn oracle_session_reproduces_figure6() {
+    let program = leader::program();
+    let target: Vec<_> = leader::invariant()
+        .into_iter()
+        .map(|c| c.formula)
+        .collect();
+    let mut session = Session::new(&program, initial(), leader::measures());
+    let mut user = OracleUser::new(target, 3);
+    let outcome = session.run(&mut user, 12).unwrap();
+    assert_eq!(outcome, SessionOutcome::Proved);
+    assert_eq!(
+        session.stats().ctis,
+        3,
+        "paper's Figure 14 reports G = 3 for leader election; got {:?}",
+        session.stats()
+    );
+    assert_equivalent_to_paper(&program, &session);
+}
+
+/// Scripted re-enactment of the user moves of Figures 7–9 (coarse
+/// generalizations + BMC + Auto Generalize with bound 3).
+#[test]
+fn scripted_session_follows_figures_7_to_9() {
+    let program = leader::program();
+    let mut session = Session::new(&program, initial(), leader::measures());
+    let mut user = leader::paper_user(3);
+    let outcome = session.run(&mut user, 6).unwrap();
+    assert_eq!(
+        outcome,
+        SessionOutcome::Proved,
+        "stats: {:?}",
+        session.stats()
+    );
+    assert_eq!(session.stats().ctis, 3, "three iterations as in the paper");
+    assert_eq!(session.conjectures().len(), 4, "C0 plus three conjectures");
+    assert_equivalent_to_paper(&program, &session);
+
+    // The paper reports I = 12 literals for the final invariant; our
+    // diagram-based conjectures carry explicit idf facts, landing close by.
+    let literals: usize = session
+        .conjectures()
+        .iter()
+        .map(|c| c.formula.literal_count())
+        .sum();
+    assert!(
+        (12..=30).contains(&literals),
+        "literal count {literals} out of the expected regime"
+    );
+}

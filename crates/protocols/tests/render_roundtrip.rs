@@ -1,0 +1,39 @@
+//! Every shipped protocol model survives a render → reparse round trip
+//! with identical declarations, axioms, safety properties, and execution
+//! paths per action.
+
+use ivy_protocols as p;
+use ivy_rml::{check_program, parse_program, paths, render_program, Program};
+
+fn roundtrip(name: &str, p1: &Program) {
+    let text = render_program(p1);
+    let p2 = parse_program(&text)
+        .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n---\n{text}"));
+    let problems = check_program(&p2);
+    assert!(problems.is_empty(), "{name}: {problems:?}");
+    assert_eq!(p1.sig, p2.sig, "{name}: signature");
+    assert_eq!(p1.axioms, p2.axioms, "{name}: axioms");
+    assert_eq!(p1.safety, p2.safety, "{name}: safety");
+    assert_eq!(p1.locals, p2.locals, "{name}: locals");
+    assert_eq!(paths(&p1.init), paths(&p2.init), "{name}: init");
+    assert_eq!(p1.actions.len(), p2.actions.len(), "{name}: action count");
+    for (a1, a2) in p1.actions.iter().zip(&p2.actions) {
+        assert_eq!(a1.name, a2.name, "{name}: action order");
+        assert_eq!(
+            paths(&a1.cmd),
+            paths(&a2.cmd),
+            "{name}: action `{}` paths",
+            a1.name
+        );
+    }
+}
+
+#[test]
+fn all_protocols_roundtrip() {
+    roundtrip("leader", &p::leader::program());
+    roundtrip("lock_server", &p::lock_server::program());
+    roundtrip("distributed_lock", &p::distributed_lock::program());
+    roundtrip("learning_switch", &p::learning_switch::program());
+    roundtrip("db_chain", &p::db_chain::program());
+    roundtrip("chord", &p::chord::program());
+}

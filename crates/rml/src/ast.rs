@@ -1,0 +1,460 @@
+//! Abstract syntax of RML, the Relational Modeling Language (Figure 10 of
+//! the paper), plus the syntactic sugar of Figure 12.
+//!
+//! An RML program is `decls ; C_init ; while * do C_body ; C_final`, where
+//! commands are loop-free. The loop body is a nondeterministic choice among
+//! named *actions* (the paper's `send | receive` pattern); safety properties
+//! are assertions checked at the loop head.
+
+use std::fmt;
+
+use ivy_fol::{Binding, Formula, Signature, Sym, Term};
+
+/// An RML command.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Do nothing.
+    Skip,
+    /// Terminate abnormally (the error state).
+    Abort,
+    /// Bulk relation update `r(x̄) := ϕ(x̄)`: `r` becomes the set of tuples
+    /// satisfying the quantifier-free formula.
+    UpdateRel {
+        /// The relation being updated.
+        rel: Sym,
+        /// The formal parameters (one per argument position).
+        params: Vec<Sym>,
+        /// Quantifier-free right-hand side over `params`.
+        body: Formula,
+    },
+    /// Bulk function update `f(x̄) := t(x̄)`.
+    UpdateFun {
+        /// The function being updated.
+        fun: Sym,
+        /// The formal parameters.
+        params: Vec<Sym>,
+        /// Right-hand side term over `params`.
+        body: Term,
+    },
+    /// Nondeterministic assignment `v := *` to a program variable.
+    Havoc(Sym),
+    /// Restrict executions to those satisfying an `∃*∀*` sentence.
+    Assume(Formula),
+    /// Sequential composition.
+    Seq(Vec<Cmd>),
+    /// Nondeterministic choice.
+    Choice(Vec<Cmd>),
+}
+
+impl Cmd {
+    /// Sequential composition, flattening nested sequences and dropping
+    /// skips.
+    pub fn seq(cmds: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut out = Vec::new();
+        for c in cmds {
+            match c {
+                Cmd::Skip => {}
+                Cmd::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Cmd::Skip,
+            1 => out.pop().expect("len checked"),
+            _ => Cmd::Seq(out),
+        }
+    }
+
+    /// Nondeterministic choice, flattening nested choices.
+    pub fn choice(cmds: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut out = Vec::new();
+        for c in cmds {
+            match c {
+                Cmd::Choice(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            1 => out.pop().expect("len checked"),
+            _ => Cmd::Choice(out),
+        }
+    }
+
+    /// The paper's `assert ϕ` sugar: `{assume ¬ϕ; abort} | skip`.
+    pub fn assert(phi: Formula) -> Cmd {
+        Cmd::choice([
+            Cmd::seq([Cmd::Assume(Formula::not(phi)), Cmd::Abort]),
+            Cmd::Skip,
+        ])
+    }
+
+    /// The paper's `if ϕ then C1 else C2` sugar:
+    /// `{assume ϕ; C1} | {assume ¬ϕ; C2}`.
+    pub fn ite(phi: Formula, then_cmd: Cmd, else_cmd: Cmd) -> Cmd {
+        Cmd::choice([
+            Cmd::seq([Cmd::Assume(phi.clone()), then_cmd]),
+            Cmd::seq([Cmd::Assume(Formula::not(phi)), else_cmd]),
+        ])
+    }
+
+    /// The paper's `r.insert(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∨ ϕ(x̄)`.
+    pub fn insert_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
+        let rel = rel.into();
+        let atom = Formula::rel(
+            rel.clone(),
+            params.iter().map(|p| Term::Var(p.clone())),
+        );
+        Cmd::UpdateRel {
+            rel,
+            params,
+            body: Formula::or([atom, phi]),
+        }
+    }
+
+    /// The paper's `r.remove(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∧ ¬ϕ(x̄)`.
+    pub fn remove_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
+        let rel = rel.into();
+        let atom = Formula::rel(
+            rel.clone(),
+            params.iter().map(|p| Term::Var(p.clone())),
+        );
+        Cmd::UpdateRel {
+            rel,
+            params,
+            body: Formula::and([atom, Formula::not(phi)]),
+        }
+    }
+
+    /// The paper's `r.insert t̄` sugar: insert a single tuple of closed terms.
+    pub fn insert_tuple(rel: impl Into<Sym>, params: Vec<Sym>, tuple: Vec<Term>) -> Cmd {
+        let eqs = Formula::and(
+            params
+                .iter()
+                .zip(&tuple)
+                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+        );
+        Cmd::insert_where(rel, params, eqs)
+    }
+
+    /// The paper's `r.remove t̄` sugar: remove a single tuple of closed terms.
+    pub fn remove_tuple(rel: impl Into<Sym>, params: Vec<Sym>, tuple: Vec<Term>) -> Cmd {
+        let eqs = Formula::and(
+            params
+                .iter()
+                .zip(&tuple)
+                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+        );
+        Cmd::remove_where(rel, params, eqs)
+    }
+
+    /// The paper's `f[t̄] := t` point-update sugar:
+    /// `f(x̄) := ite(x̄ = t̄, t, f(x̄))`.
+    pub fn point_update(
+        fun: impl Into<Sym>,
+        params: Vec<Sym>,
+        at: Vec<Term>,
+        value: Term,
+    ) -> Cmd {
+        let fun = fun.into();
+        if params.is_empty() {
+            // Nullary function = program variable: plain assignment.
+            return Cmd::UpdateFun {
+                fun,
+                params,
+                body: value,
+            };
+        }
+        let eqs = Formula::and(
+            params
+                .iter()
+                .zip(&at)
+                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+        );
+        let old = Term::app(fun.clone(), params.iter().map(|p| Term::Var(p.clone())));
+        Cmd::UpdateFun {
+            fun,
+            params,
+            body: Term::ite(eqs, value, old),
+        }
+    }
+
+    /// Whether the command can reach an `abort`.
+    pub fn mentions_abort(&self) -> bool {
+        match self {
+            Cmd::Abort => true,
+            Cmd::Seq(cs) | Cmd::Choice(cs) => cs.iter().any(Cmd::mentions_abort),
+            _ => false,
+        }
+    }
+
+    /// The base (unversioned) symbols this command may modify.
+    pub fn modified_symbols(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_modified(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_modified(&self, out: &mut Vec<Sym>) {
+        match self {
+            Cmd::UpdateRel { rel, .. } => out.push(rel.clone()),
+            Cmd::UpdateFun { fun, .. } => out.push(fun.clone()),
+            Cmd::Havoc(v) => out.push(v.clone()),
+            Cmd::Seq(cs) | Cmd::Choice(cs) => cs.iter().for_each(|c| c.collect_modified(out)),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+impl fmt::Debug for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl Cmd {
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Cmd::Skip => write!(f, "{pad}skip"),
+            Cmd::Abort => write!(f, "{pad}abort"),
+            Cmd::UpdateRel { rel, params, body } => {
+                write!(f, "{pad}{rel}(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") := {body}")
+            }
+            Cmd::UpdateFun { fun, params, body } => {
+                write!(f, "{pad}{fun}")?;
+                if !params.is_empty() {
+                    write!(f, "(")?;
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, " := {body}")
+            }
+            Cmd::Havoc(v) => write!(f, "{pad}havoc {v}"),
+            Cmd::Assume(phi) => write!(f, "{pad}assume {phi}"),
+            Cmd::Seq(cs) => {
+                writeln!(f, "{pad}{{")?;
+                for c in cs {
+                    c.write_indented(f, indent + 1)?;
+                    writeln!(f, ";")?;
+                }
+                write!(f, "{pad}}}")
+            }
+            Cmd::Choice(cs) => {
+                writeln!(f, "{pad}choice {{")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f, "{pad}or")?;
+                    }
+                    c.write_indented(f, indent + 1)?;
+                    writeln!(f)?;
+                }
+                write!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+/// A named loop action (one arm of the body's nondeterministic choice).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// The action's name (used in trace displays, e.g. `send`).
+    pub name: String,
+    /// The action's command.
+    pub cmd: Cmd,
+}
+
+/// A complete RML program.
+///
+/// Safety properties live in `safety` and are interpreted as assertions at
+/// the loop head — exactly the paper's pattern of starting the loop body
+/// with `assert ϕ` (Figure 1, line 17).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The vocabulary: sorts, relations, functions, program variables.
+    pub sig: Signature,
+    /// Labeled `∃*∀*` axioms restricting all states.
+    pub axioms: Vec<(String, Formula)>,
+    /// Initialization command (runs once from an arbitrary axiom-satisfying
+    /// state).
+    pub init: Cmd,
+    /// The named actions of the loop body.
+    pub actions: Vec<Action>,
+    /// Finalization command (often `skip`).
+    pub final_cmd: Cmd,
+    /// Labeled safety properties checked at the loop head.
+    pub safety: Vec<(String, Formula)>,
+    /// Program variables that are scratch *locals*: havocked before use
+    /// inside actions, carrying no protocol state. They are excluded from
+    /// CTI generalization (the paper's figures never display them).
+    pub locals: std::collections::BTreeSet<Sym>,
+}
+
+impl Program {
+    /// Creates a program with no axioms, actions, or safety properties over
+    /// the given signature.
+    pub fn new(sig: Signature) -> Program {
+        Program {
+            sig,
+            axioms: Vec::new(),
+            init: Cmd::Skip,
+            actions: Vec::new(),
+            final_cmd: Cmd::Skip,
+            safety: Vec::new(),
+            locals: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The loop body: the nondeterministic choice of all actions.
+    pub fn body(&self) -> Cmd {
+        Cmd::choice(self.actions.iter().map(|a| a.cmd.clone()))
+    }
+
+    /// The conjunction of all axioms.
+    pub fn axiom(&self) -> Formula {
+        Formula::and(self.axioms.iter().map(|(_, f)| f.clone()))
+    }
+
+    /// The conjunction of all safety properties.
+    pub fn safety_formula(&self) -> Formula {
+        Formula::and(self.safety.iter().map(|(_, f)| f.clone()))
+    }
+
+    /// Looks up an action by name.
+    pub fn action(&self, name: &str) -> Option<&Action> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+}
+
+/// Builds fresh parameter bindings `X0:s0, X1:s1, ...` for a relation or
+/// function's argument sorts — convenient when constructing bulk updates.
+pub fn update_params(sorts: &[ivy_fol::Sort]) -> (Vec<Sym>, Vec<Binding>) {
+    let syms: Vec<Sym> = (0..sorts.len())
+        .map(|i| Sym::new(format!("X{i}")))
+        .collect();
+    let bindings = syms
+        .iter()
+        .zip(sorts)
+        .map(|(v, s)| Binding::new(v.clone(), s.clone()))
+        .collect();
+    (syms, bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::parse_formula;
+
+    #[test]
+    fn seq_flattens_and_drops_skip() {
+        let c = Cmd::seq([
+            Cmd::Skip,
+            Cmd::seq([Cmd::Abort, Cmd::Skip]),
+            Cmd::Havoc(Sym::new("n")),
+        ]);
+        match &c {
+            Cmd::Seq(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected seq, got {other}"),
+        }
+        assert!(c.mentions_abort());
+    }
+
+    #[test]
+    fn assert_sugar_shape() {
+        let c = Cmd::assert(parse_formula("p").unwrap());
+        match &c {
+            Cmd::Choice(arms) => {
+                assert_eq!(arms.len(), 2);
+                assert!(arms[0].mentions_abort());
+                assert_eq!(arms[1], Cmd::Skip);
+            }
+            other => panic!("expected choice, got {other}"),
+        }
+    }
+
+    #[test]
+    fn insert_tuple_builds_disjunction() {
+        let c = Cmd::insert_tuple(
+            "pnd",
+            vec![Sym::new("X0"), Sym::new("X1")],
+            vec![Term::cst("i"), Term::cst("n")],
+        );
+        let Cmd::UpdateRel { body, .. } = &c else {
+            panic!("expected update");
+        };
+        assert_eq!(body.to_string(), "pnd(X0, X1) | X0 = i & X1 = n");
+    }
+
+    #[test]
+    fn point_update_on_variable_is_plain_assignment() {
+        let c = Cmd::point_update("v", vec![], vec![], Term::cst("w"));
+        let Cmd::UpdateFun { params, body, .. } = &c else {
+            panic!("expected update");
+        };
+        assert!(params.is_empty());
+        assert_eq!(body, &Term::cst("w"));
+    }
+
+    #[test]
+    fn point_update_builds_ite() {
+        let c = Cmd::point_update(
+            "f",
+            vec![Sym::new("X0")],
+            vec![Term::cst("a")],
+            Term::cst("b"),
+        );
+        let Cmd::UpdateFun { body, .. } = &c else {
+            panic!("expected update");
+        };
+        assert_eq!(body.to_string(), "ite(X0 = a, b, f(X0))");
+    }
+
+    #[test]
+    fn modified_symbols_deduped() {
+        let c = Cmd::seq([
+            Cmd::Havoc(Sym::new("n")),
+            Cmd::Havoc(Sym::new("n")),
+            Cmd::insert_tuple("r", vec![Sym::new("X0")], vec![Term::cst("n")]),
+        ]);
+        assert_eq!(c.modified_symbols(), vec![Sym::new("n"), Sym::new("r")]);
+    }
+
+    #[test]
+    fn program_body_is_action_choice() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        let mut p = Program::new(sig);
+        p.actions.push(Action {
+            name: "a".into(),
+            cmd: Cmd::Skip,
+        });
+        p.actions.push(Action {
+            name: "b".into(),
+            cmd: Cmd::Abort,
+        });
+        match p.body() {
+            Cmd::Choice(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected choice, got {other}"),
+        }
+        assert!(p.action("b").unwrap().cmd.mentions_abort());
+    }
+}

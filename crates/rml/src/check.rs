@@ -1,0 +1,455 @@
+//! Static validation of RML programs: sort checking, the quantifier-fragment
+//! restrictions of Figure 10, and the stratification requirement.
+//!
+//! These checks are what make every verification condition land in decidable
+//! EPR (Theorem 3.3): updates must be quantifier-free, assumes and axioms
+//! `∃*∀*`, safety properties `∀*∃*`, and functions stratified.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ivy_fol::{is_ae_sentence, is_ea_sentence, Formula, SortError, Sym};
+
+use crate::ast::{Cmd, Program};
+
+/// A single validation problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The signature's functions are not stratified.
+    NotStratified(String),
+    /// A symbol name uses the reserved `__` separator (needed for BMC
+    /// vocabulary versioning).
+    ReservedName(Sym),
+    /// An ill-sorted formula or term.
+    Sort(String, SortError),
+    /// An update right-hand side contains quantifiers.
+    UpdateNotQuantifierFree {
+        /// The updated symbol.
+        symbol: Sym,
+    },
+    /// Update parameters are not distinct, or the arity is wrong.
+    BadUpdateParams {
+        /// The updated symbol.
+        symbol: Sym,
+        /// Details.
+        reason: String,
+    },
+    /// An update body mentions variables that are not parameters.
+    UpdateOpenBody {
+        /// The updated symbol.
+        symbol: Sym,
+        /// The stray variable.
+        var: Sym,
+    },
+    /// An `assume`/axiom is not `∃*∀*`.
+    NotEA {
+        /// Where the formula came from (axiom label or "assume").
+        context: String,
+    },
+    /// A safety property is not `∀*∃*`.
+    NotAE {
+        /// The property's label.
+        label: String,
+    },
+    /// A formula that must be closed has a free variable.
+    Open {
+        /// Where the formula came from.
+        context: String,
+        /// The free variable.
+        var: Sym,
+    },
+    /// `havoc` of something that is not a declared program variable.
+    BadHavoc(Sym),
+    /// Update of an undeclared symbol.
+    UnknownSymbol(Sym),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::NotStratified(msg) => write!(f, "{msg}"),
+            CheckError::ReservedName(s) => {
+                write!(f, "symbol `{s}` uses the reserved `__` separator")
+            }
+            CheckError::Sort(ctx, e) => write!(f, "in {ctx}: {e}"),
+            CheckError::UpdateNotQuantifierFree { symbol } => {
+                write!(f, "update of `{symbol}` has a quantified right-hand side")
+            }
+            CheckError::BadUpdateParams { symbol, reason } => {
+                write!(f, "update of `{symbol}`: {reason}")
+            }
+            CheckError::UpdateOpenBody { symbol, var } => write!(
+                f,
+                "update of `{symbol}` mentions `{var}` which is not a parameter"
+            ),
+            CheckError::NotEA { context } => {
+                write!(f, "{context} is not an ∃*∀* sentence")
+            }
+            CheckError::NotAE { label } => {
+                write!(f, "safety property `{label}` is not a ∀*∃* sentence")
+            }
+            CheckError::Open { context, var } => {
+                write!(f, "{context} has free variable `{var}`")
+            }
+            CheckError::BadHavoc(v) => {
+                write!(f, "havoc target `{v}` is not a declared program variable")
+            }
+            CheckError::UnknownSymbol(s) => write!(f, "update of undeclared symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn is_quantifier_free(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False => true,
+        Formula::Rel(..) | Formula::Eq(..) => true, // ite conditions are QF by construction
+        Formula::Not(g) => is_quantifier_free(g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_quantifier_free),
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            is_quantifier_free(a) && is_quantifier_free(b)
+        }
+        Formula::Forall(..) | Formula::Exists(..) => false,
+    }
+}
+
+/// Validates a program; returns all problems found (empty = valid).
+pub fn check_program(p: &Program) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    if let Err(e) = p.sig.stratification() {
+        errors.push(CheckError::NotStratified(e.to_string()));
+    }
+    for (name, _) in p.sig.relations() {
+        if name.as_str().contains("__") {
+            errors.push(CheckError::ReservedName(name.clone()));
+        }
+    }
+    for (name, _) in p.sig.functions() {
+        if name.as_str().contains("__") {
+            errors.push(CheckError::ReservedName(name.clone()));
+        }
+    }
+    for (label, f) in &p.axioms {
+        check_sentence(p, &format!("axiom `{label}`"), f, Fragment::Ea, &mut errors);
+    }
+    for (label, f) in &p.safety {
+        check_sentence(
+            p,
+            &format!("safety property `{label}`"),
+            f,
+            Fragment::Ae,
+            &mut errors,
+        );
+        if !is_ae_sentence(f) {
+            errors.push(CheckError::NotAE {
+                label: label.clone(),
+            });
+        }
+    }
+    check_cmd(p, &p.init, &mut errors);
+    for a in &p.actions {
+        check_cmd(p, &a.cmd, &mut errors);
+    }
+    check_cmd(p, &p.final_cmd, &mut errors);
+    errors
+}
+
+enum Fragment {
+    Ea,
+    Ae,
+}
+
+fn check_sentence(
+    p: &Program,
+    context: &str,
+    f: &Formula,
+    fragment: Fragment,
+    errors: &mut Vec<CheckError>,
+) {
+    if let Some(v) = f.free_vars().into_iter().next() {
+        errors.push(CheckError::Open {
+            context: context.to_string(),
+            var: v,
+        });
+        return;
+    }
+    if let Err(e) = f.well_sorted(&p.sig, &BTreeMap::new()) {
+        errors.push(CheckError::Sort(context.to_string(), e));
+        return;
+    }
+    match fragment {
+        Fragment::Ea => {
+            if !is_ea_sentence(f) {
+                errors.push(CheckError::NotEA {
+                    context: context.to_string(),
+                });
+            }
+        }
+        Fragment::Ae => {} // AE reported by the caller with its label
+    }
+}
+
+fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
+    match cmd {
+        Cmd::Skip | Cmd::Abort => {}
+        Cmd::UpdateRel { rel, params, body } => {
+            let Some(arg_sorts) = p.sig.relation(rel) else {
+                errors.push(CheckError::UnknownSymbol(rel.clone()));
+                return;
+            };
+            let arg_sorts = arg_sorts.to_vec();
+            if params.len() != arg_sorts.len() {
+                errors.push(CheckError::BadUpdateParams {
+                    symbol: rel.clone(),
+                    reason: format!(
+                        "expected {} parameter(s), found {}",
+                        arg_sorts.len(),
+                        params.len()
+                    ),
+                });
+                return;
+            }
+            check_update_common(p, rel, params, &arg_sorts, errors);
+            if !is_quantifier_free(body) {
+                errors.push(CheckError::UpdateNotQuantifierFree { symbol: rel.clone() });
+            }
+            let env: BTreeMap<Sym, ivy_fol::Sort> =
+                params.iter().cloned().zip(arg_sorts).collect();
+            for v in body.free_vars() {
+                if !env.contains_key(&v) {
+                    errors.push(CheckError::UpdateOpenBody {
+                        symbol: rel.clone(),
+                        var: v,
+                    });
+                }
+            }
+            if let Err(e) = body.well_sorted(&p.sig, &env) {
+                errors.push(CheckError::Sort(format!("update of `{rel}`"), e));
+            }
+        }
+        Cmd::UpdateFun { fun, params, body } => {
+            let Some(decl) = p.sig.function(fun) else {
+                errors.push(CheckError::UnknownSymbol(fun.clone()));
+                return;
+            };
+            let decl = decl.clone();
+            if params.len() != decl.args.len() {
+                errors.push(CheckError::BadUpdateParams {
+                    symbol: fun.clone(),
+                    reason: format!(
+                        "expected {} parameter(s), found {}",
+                        decl.args.len(),
+                        params.len()
+                    ),
+                });
+                return;
+            }
+            check_update_common(p, fun, params, &decl.args, errors);
+            let env: BTreeMap<Sym, ivy_fol::Sort> =
+                params.iter().cloned().zip(decl.args.clone()).collect();
+            let mut body_vars = std::collections::BTreeSet::new();
+            body.collect_vars(&mut body_vars);
+            for v in body_vars {
+                if !env.contains_key(&v) {
+                    errors.push(CheckError::UpdateOpenBody {
+                        symbol: fun.clone(),
+                        var: v,
+                    });
+                }
+            }
+            match body.sort(&p.sig, &env) {
+                Some(s) if s == decl.ret => {}
+                Some(s) => errors.push(CheckError::Sort(
+                    format!("update of `{fun}`"),
+                    SortError::SortMismatch {
+                        term: body.clone(),
+                        expected: decl.ret.clone(),
+                        found: s,
+                    },
+                )),
+                None => errors.push(CheckError::Sort(
+                    format!("update of `{fun}`"),
+                    SortError::IllSortedTerm(body.clone()),
+                )),
+            }
+        }
+        Cmd::Havoc(v) => {
+            let ok = p.sig.function(v).is_some_and(|d| d.is_constant());
+            if !ok {
+                errors.push(CheckError::BadHavoc(v.clone()));
+            }
+        }
+        Cmd::Assume(f) => {
+            check_sentence(p, "assume", f, Fragment::Ea, errors);
+        }
+        Cmd::Seq(cs) | Cmd::Choice(cs) => {
+            for c in cs {
+                check_cmd(p, c, errors);
+            }
+        }
+    }
+}
+
+fn check_update_common(
+    _p: &Program,
+    symbol: &Sym,
+    params: &[Sym],
+    _sorts: &[ivy_fol::Sort],
+    errors: &mut Vec<CheckError>,
+) {
+    let mut seen = std::collections::BTreeSet::new();
+    for param in params {
+        if !seen.insert(param.clone()) {
+            errors.push(CheckError::BadUpdateParams {
+                symbol: symbol.clone(),
+                reason: format!("duplicate parameter `{param}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Action;
+    use ivy_fol::{parse_formula, Signature, Term};
+
+    fn base_program() -> Program {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_constant("n", "node").unwrap();
+        Program::new(sig)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = base_program();
+        p.axioms.push((
+            "triv".into(),
+            parse_formula("exists X:node. X = X").unwrap(),
+        ));
+        p.safety.push((
+            "one_leader".into(),
+            parse_formula("forall X:node, Y:node. leader(X) & leader(Y) -> X = Y").unwrap(),
+        ));
+        p.actions.push(Action {
+            name: "elect".into(),
+            cmd: Cmd::seq([
+                Cmd::Havoc(Sym::new("n")),
+                Cmd::insert_tuple("leader", vec![Sym::new("X0")], vec![Term::cst("n")]),
+            ]),
+        });
+        assert_eq!(check_program(&p), vec![]);
+    }
+
+    #[test]
+    fn ae_axiom_rejected() {
+        let mut p = base_program();
+        let mut sig = p.sig.clone();
+        sig.add_relation("r", ["node", "node"]).unwrap();
+        p.sig = sig;
+        p.axioms.push((
+            "ae".into(),
+            parse_formula("forall X:node. exists Y:node. r(X, Y)").unwrap(),
+        ));
+        let errs = check_program(&p);
+        assert!(errs.iter().any(|e| matches!(e, CheckError::NotEA { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn quantified_update_rejected() {
+        let mut p = base_program();
+        p.actions.push(Action {
+            name: "bad".into(),
+            cmd: Cmd::UpdateRel {
+                rel: Sym::new("leader"),
+                params: vec![Sym::new("X0")],
+                body: parse_formula("exists Y:node. Y = X0").unwrap(),
+            },
+        });
+        let errs = check_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::UpdateNotQuantifierFree { .. })));
+    }
+
+    #[test]
+    fn open_update_body_rejected() {
+        let mut p = base_program();
+        p.actions.push(Action {
+            name: "bad".into(),
+            cmd: Cmd::UpdateRel {
+                rel: Sym::new("leader"),
+                params: vec![Sym::new("X0")],
+                body: parse_formula("X0 = Y9").unwrap(),
+            },
+        });
+        let errs = check_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::UpdateOpenBody { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn bad_havoc_rejected() {
+        let mut p = base_program();
+        p.init = Cmd::Havoc(Sym::new("nonexistent"));
+        let errs = check_program(&p);
+        assert!(errs.iter().any(|e| matches!(e, CheckError::BadHavoc(_))));
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("bad__name", ["s"]).unwrap();
+        let p = Program::new(sig);
+        let errs = check_program(&p);
+        assert!(errs.iter().any(|e| matches!(e, CheckError::ReservedName(_))));
+    }
+
+    #[test]
+    fn unstratified_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        let p = Program::new(sig);
+        let errs = check_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::NotStratified(_))));
+    }
+
+    #[test]
+    fn duplicate_params_rejected() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s", "s"]).unwrap();
+        let mut p = Program::new(sig);
+        p.init = Cmd::UpdateRel {
+            rel: Sym::new("r"),
+            params: vec![Sym::new("X"), Sym::new("X")],
+            body: Formula::True,
+        };
+        let errs = check_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::BadUpdateParams { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = base_program();
+        p.init = Cmd::UpdateRel {
+            rel: Sym::new("leader"),
+            params: vec![],
+            body: Formula::True,
+        };
+        let errs = check_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::BadUpdateParams { .. })));
+    }
+}

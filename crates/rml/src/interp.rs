@@ -1,0 +1,432 @@
+//! An explicit-state interpreter for RML.
+//!
+//! Runs commands on concrete finite [`Structure`]s. This is *not* part of
+//! the paper's toolchain — Ivy is purely symbolic — but it gives us a second,
+//! independent semantics to test against: BMC traces must replay concretely,
+//! and `k`-invariant properties must survive random walks of length `k`.
+
+use std::collections::BTreeMap;
+
+use ivy_fol::{Elem, EvalError, Formula, Structure, Sym};
+use rand_like::Rng;
+
+use crate::ast::{Action, Cmd, Program};
+
+/// Minimal RNG abstraction so the interpreter does not hard-depend on a
+/// specific `rand` version (tests inject `rand`-backed or deterministic
+/// implementations).
+pub mod rand_like {
+    /// A source of uniform random indices.
+    pub trait Rng {
+        /// A uniform value in `0..bound` (`bound > 0`).
+        fn below(&mut self, bound: usize) -> usize;
+    }
+
+    /// A small deterministic xorshift RNG, good enough for tests and
+    /// simulations.
+    #[derive(Clone, Debug)]
+    pub struct XorShift {
+        state: u64,
+    }
+
+    impl XorShift {
+        /// Creates an RNG from a nonzero seed (zero is mapped to a default).
+        pub fn new(seed: u64) -> XorShift {
+            XorShift {
+                state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+            }
+        }
+    }
+
+    impl Rng for XorShift {
+        fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            self.state ^= self.state << 17;
+            (self.state % bound as u64) as usize
+        }
+    }
+}
+
+/// The result of executing a command on a state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOutcome {
+    /// Execution completed in a new state.
+    Done(Structure),
+    /// An `abort` was reached (assertion violation).
+    Aborted,
+    /// Execution is blocked: an `assume` failed, a havoc had no candidate
+    /// element, or an update left the axioms — the chosen resolution of
+    /// nondeterminism admits no execution.
+    Blocked,
+}
+
+/// Errors from interpretation (indicate malformed programs or states, not
+/// protocol behaviour).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpError(pub EvalError);
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<EvalError> for InterpError {
+    fn from(e: EvalError) -> Self {
+        InterpError(e)
+    }
+}
+
+/// Executes `cmd` on `state`, resolving nondeterminism with `rng`.
+///
+/// The interpretation follows the paper's semantics: an update that
+/// produces a state violating `axiom` admits no execution (blocked), and
+/// `assume` filters executions.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on evaluation failures (unknown symbols etc.),
+/// which indicate a malformed program rather than protocol behaviour.
+pub fn exec_random(
+    axiom: &Formula,
+    cmd: &Cmd,
+    state: &Structure,
+    rng: &mut impl Rng,
+) -> Result<ExecOutcome, InterpError> {
+    match cmd {
+        Cmd::Skip => Ok(ExecOutcome::Done(state.clone())),
+        Cmd::Abort => Ok(ExecOutcome::Aborted),
+        Cmd::UpdateRel { rel, params, body } => {
+            let mut next = state.clone();
+            let arg_sorts = state
+                .signature()
+                .relation(rel)
+                .expect("validated program")
+                .to_vec();
+            let tuples = enumerate_tuples(state, &arg_sorts);
+            for tuple in tuples {
+                let env: BTreeMap<Sym, Elem> =
+                    params.iter().cloned().zip(tuple.iter().cloned()).collect();
+                let value = state.eval(body, &env)?;
+                next.set_rel(rel.clone(), tuple, value);
+            }
+            finish_update(axiom, next)
+        }
+        Cmd::UpdateFun { fun, params, body } => {
+            let mut next = state.clone();
+            let decl = state
+                .signature()
+                .function(fun)
+                .expect("validated program")
+                .clone();
+            let tuples = enumerate_tuples(state, &decl.args);
+            for tuple in tuples {
+                let env: BTreeMap<Sym, Elem> =
+                    params.iter().cloned().zip(tuple.iter().cloned()).collect();
+                let value = state.eval_term(body, &env)?;
+                next.set_fun(fun.clone(), tuple, value);
+            }
+            finish_update(axiom, next)
+        }
+        Cmd::Havoc(v) => {
+            let decl = state
+                .signature()
+                .function(v)
+                .expect("validated program")
+                .clone();
+            let candidates: Vec<Elem> = state.elements(&decl.ret).collect();
+            if candidates.is_empty() {
+                return Ok(ExecOutcome::Blocked);
+            }
+            let choice = candidates[rng.below(candidates.len())].clone();
+            let mut next = state.clone();
+            next.set_fun(v.clone(), Vec::new(), choice);
+            finish_update(axiom, next)
+        }
+        Cmd::Assume(phi) => {
+            if state.eval_closed(phi)? {
+                Ok(ExecOutcome::Done(state.clone()))
+            } else {
+                Ok(ExecOutcome::Blocked)
+            }
+        }
+        Cmd::Seq(cmds) => {
+            let mut current = state.clone();
+            for c in cmds {
+                match exec_random(axiom, c, &current, rng)? {
+                    ExecOutcome::Done(s) => current = s,
+                    other => return Ok(other),
+                }
+            }
+            Ok(ExecOutcome::Done(current))
+        }
+        Cmd::Choice(cmds) => {
+            if cmds.is_empty() {
+                return Ok(ExecOutcome::Blocked);
+            }
+            let c = &cmds[rng.below(cmds.len())];
+            exec_random(axiom, c, state, rng)
+        }
+    }
+}
+
+fn finish_update(axiom: &Formula, next: Structure) -> Result<ExecOutcome, InterpError> {
+    if next.eval_closed(axiom)? {
+        Ok(ExecOutcome::Done(next))
+    } else {
+        Ok(ExecOutcome::Blocked)
+    }
+}
+
+fn enumerate_tuples(state: &Structure, sorts: &[ivy_fol::Sort]) -> Vec<Vec<Elem>> {
+    let mut out = vec![Vec::new()];
+    for sort in sorts {
+        let elems: Vec<Elem> = state.elements(sort).collect();
+        let mut next = Vec::with_capacity(out.len() * elems.len());
+        for prefix in &out {
+            for e in &elems {
+                let mut t = prefix.clone();
+                t.push(e.clone());
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Executes `cmd` on `state` exploring *all* nondeterministic resolutions.
+/// Returns the list of outcomes (may contain duplicates).
+///
+/// Exponential in the number of choices/havocs; for tests on small states.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on evaluation failures.
+pub fn exec_all(
+    axiom: &Formula,
+    cmd: &Cmd,
+    state: &Structure,
+) -> Result<Vec<ExecOutcome>, InterpError> {
+    match cmd {
+        Cmd::Skip => Ok(vec![ExecOutcome::Done(state.clone())]),
+        Cmd::Abort => Ok(vec![ExecOutcome::Aborted]),
+        Cmd::UpdateRel { .. } | Cmd::UpdateFun { .. } => {
+            // Deterministic: reuse the random executor with a dummy RNG.
+            let mut rng = rand_like::XorShift::new(1);
+            Ok(vec![exec_random(axiom, cmd, state, &mut rng)?])
+        }
+        Cmd::Havoc(v) => {
+            let decl = state
+                .signature()
+                .function(v)
+                .expect("validated program")
+                .clone();
+            let mut out = Vec::new();
+            for e in state.elements(&decl.ret).collect::<Vec<_>>() {
+                let mut next = state.clone();
+                next.set_fun(v.clone(), Vec::new(), e);
+                match finish_update(axiom, next)? {
+                    ExecOutcome::Done(s) => out.push(ExecOutcome::Done(s)),
+                    other => out.push(other),
+                }
+            }
+            if out.is_empty() {
+                out.push(ExecOutcome::Blocked);
+            }
+            Ok(out)
+        }
+        Cmd::Assume(phi) => {
+            if state.eval_closed(phi)? {
+                Ok(vec![ExecOutcome::Done(state.clone())])
+            } else {
+                Ok(vec![ExecOutcome::Blocked])
+            }
+        }
+        Cmd::Seq(cmds) => {
+            let mut states = vec![state.clone()];
+            let mut terminal = Vec::new();
+            for c in cmds {
+                let mut next_states = Vec::new();
+                for s in &states {
+                    for outcome in exec_all(axiom, c, s)? {
+                        match outcome {
+                            ExecOutcome::Done(ns) => next_states.push(ns),
+                            other => terminal.push(other),
+                        }
+                    }
+                }
+                states = next_states;
+            }
+            let mut out: Vec<ExecOutcome> = states.into_iter().map(ExecOutcome::Done).collect();
+            out.extend(terminal);
+            Ok(out)
+        }
+        Cmd::Choice(cmds) => {
+            let mut out = Vec::new();
+            for c in cmds {
+                out.extend(exec_all(axiom, c, state)?);
+            }
+            if out.is_empty() {
+                out.push(ExecOutcome::Blocked);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// One step of a random walk over a program's loop: picks a random action
+/// and executes it. Blocked attempts are retried up to `retries` times.
+///
+/// Returns the action name and resulting outcome of the last attempt.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on evaluation failures.
+pub fn step_random(
+    program: &Program,
+    state: &Structure,
+    rng: &mut impl Rng,
+    retries: usize,
+) -> Result<(String, ExecOutcome), InterpError> {
+    let axiom = program.axiom();
+    let mut last = ("<none>".to_string(), ExecOutcome::Blocked);
+    for _ in 0..=retries {
+        if program.actions.is_empty() {
+            return Ok(last);
+        }
+        let Action { name, cmd } = &program.actions[rng.below(program.actions.len())];
+        match exec_random(&axiom, cmd, state, rng)? {
+            ExecOutcome::Blocked => {
+                last = (name.clone(), ExecOutcome::Blocked);
+            }
+            other => return Ok((name.clone(), other)),
+        }
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_like::XorShift;
+    use super::*;
+    use ivy_fol::{parse_formula, Signature, Term};
+    use std::sync::Arc;
+
+    fn toy() -> (Structure, Formula) {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_constant("n", "node").unwrap();
+        let mut s = Structure::new(Arc::new(sig));
+        let n0 = s.add_element("node");
+        let _n1 = s.add_element("node");
+        s.set_fun("n", vec![], n0);
+        (s, Formula::True)
+    }
+
+    #[test]
+    fn update_rel_applies_formula() {
+        let (s, ax) = toy();
+        let cmd = Cmd::UpdateRel {
+            rel: Sym::new("leader"),
+            params: vec![Sym::new("X0")],
+            body: Formula::True,
+        };
+        let mut rng = XorShift::new(7);
+        let ExecOutcome::Done(next) = exec_random(&ax, &cmd, &s, &mut rng).unwrap() else {
+            panic!("expected done");
+        };
+        assert_eq!(next.rel_count(&Sym::new("leader")), 2);
+    }
+
+    #[test]
+    fn assume_blocks() {
+        let (s, ax) = toy();
+        let cmd = Cmd::Assume(parse_formula("exists X:node. leader(X)").unwrap());
+        let mut rng = XorShift::new(7);
+        assert_eq!(
+            exec_random(&ax, &cmd, &s, &mut rng).unwrap(),
+            ExecOutcome::Blocked
+        );
+    }
+
+    #[test]
+    fn abort_propagates_through_seq() {
+        let (s, ax) = toy();
+        let cmd = Cmd::seq([Cmd::Abort, Cmd::Havoc(Sym::new("n"))]);
+        let mut rng = XorShift::new(7);
+        assert_eq!(
+            exec_random(&ax, &cmd, &s, &mut rng).unwrap(),
+            ExecOutcome::Aborted
+        );
+    }
+
+    #[test]
+    fn havoc_explores_all_elements() {
+        let (s, ax) = toy();
+        let outcomes = exec_all(&ax, &Cmd::Havoc(Sym::new("n")), &s).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let values: Vec<_> = outcomes
+            .iter()
+            .map(|o| match o {
+                ExecOutcome::Done(st) => st.fun_app(&Sym::new("n"), &[]).unwrap().idx,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(values.contains(&0) && values.contains(&1));
+    }
+
+    #[test]
+    fn axiom_violating_update_blocks() {
+        let (s, _) = toy();
+        let ax = parse_formula("exists X:node. leader(X)").unwrap();
+        // First make a state satisfying the axiom.
+        let mut s1 = s.clone();
+        let e0 = s1.elements(&"node".into()).next().unwrap();
+        s1.set_rel("leader", vec![e0], true);
+        // Clearing leader violates the axiom: blocked.
+        let cmd = Cmd::UpdateRel {
+            rel: Sym::new("leader"),
+            params: vec![Sym::new("X0")],
+            body: Formula::False,
+        };
+        let mut rng = XorShift::new(7);
+        assert_eq!(
+            exec_random(&ax, &cmd, &s1, &mut rng).unwrap(),
+            ExecOutcome::Blocked
+        );
+    }
+
+    #[test]
+    fn point_update_only_touches_target() {
+        let (s, ax) = toy();
+        let cmd = Cmd::point_update(
+            "leader",
+            vec![Sym::new("X0")],
+            vec![Term::cst("n")],
+            Term::cst("n"),
+        );
+        // leader is a relation; point_update is for functions. Use insert.
+        let cmd2 = Cmd::insert_tuple("leader", vec![Sym::new("X0")], vec![Term::cst("n")]);
+        let mut rng = XorShift::new(7);
+        let ExecOutcome::Done(next) = exec_random(&ax, &cmd2, &s, &mut rng).unwrap() else {
+            panic!("expected done");
+        };
+        assert_eq!(next.rel_count(&Sym::new("leader")), 1);
+        let _ = cmd;
+    }
+
+    #[test]
+    fn exec_all_choice_collects_branches() {
+        let (s, ax) = toy();
+        let cmd = Cmd::Choice(vec![Cmd::Skip, Cmd::Abort]);
+        let outcomes = exec_all(&ax, &cmd, &s).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.contains(&ExecOutcome::Aborted));
+    }
+}

@@ -1,0 +1,570 @@
+//! A parser for `.rml` program files.
+//!
+//! The concrete syntax mirrors Figure 1 of the paper:
+//!
+//! ```text
+//! sort node
+//! sort id
+//! function idf : node -> id
+//! relation le : id, id
+//! relation leader : node
+//! variable n : node
+//!
+//! axiom unique_ids: forall N1:node, N2:node. N1 ~= N2 -> idf(N1) ~= idf(N2)
+//! safety one_leader: forall X:node, Y:node. leader(X) & leader(Y) -> X = Y
+//!
+//! init {
+//!   leader(X0) := false
+//! }
+//!
+//! action elect {
+//!   havoc n;
+//!   assume forall X:node. le(idf(X), idf(n));
+//!   leader.insert(n)
+//! }
+//! ```
+//!
+//! Statement forms inside blocks: `skip`, `abort`, `havoc v`,
+//! `assume ϕ`, `assert ϕ`, `if ϕ { ... } [else { ... }]`,
+//! bulk updates `r(X0, X1) := ϕ` / `f(X0) := t`, variable assignment
+//! `v := t`, point updates `f[t̄] := t`, and `r.insert(t̄)` / `r.remove(t̄)`.
+
+use std::fmt;
+
+use ivy_fol::{parse_formula_prefix, parse_term_prefix, Formula, Signature, Sym, Term};
+
+use crate::ast::{Action, Cmd, Program};
+
+/// A parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RmlParseError {
+    /// Byte offset into the source.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for RmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RML parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for RmlParseError {}
+
+/// Parses an RML program. Declarations must precede their first use; the
+/// program is *not* semantically validated here — run
+/// [`crate::check::check_program`] on the result.
+///
+/// # Errors
+///
+/// Returns [`RmlParseError`] on syntax errors or duplicate/unknown
+/// declarations.
+pub fn parse_program(src: &str) -> Result<Program, RmlParseError> {
+    let mut p = RmlParser {
+        src,
+        pos: 0,
+        program: Program::new(Signature::new()),
+    };
+    p.parse()?;
+    Ok(p.program)
+}
+
+struct RmlParser<'a> {
+    src: &'a str,
+    pos: usize,
+    program: Program,
+}
+
+impl<'a> RmlParser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, RmlParseError> {
+        Err(RmlParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && (bytes[self.pos] as char).is_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < bytes.len() && bytes[self.pos] == b'#' {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), RmlParseError> {
+        if self.eat_str(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn peek_ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '\''))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 || !rest.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_') {
+            None
+        } else {
+            Some(rest[..end].to_string())
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, RmlParseError> {
+        match self.peek_ident() {
+            Some(s) => {
+                self.pos += s.len();
+                Ok(s)
+            }
+            None => self.err("expected identifier"),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_ident().as_deref() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, RmlParseError> {
+        self.skip_ws();
+        match parse_formula_prefix(&self.src[self.pos..]) {
+            Ok((f, consumed)) => {
+                self.pos += consumed;
+                Ok(f)
+            }
+            Err(e) => Err(RmlParseError {
+                pos: self.pos + e.pos,
+                msg: e.msg,
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, RmlParseError> {
+        self.skip_ws();
+        match parse_term_prefix(&self.src[self.pos..]) {
+            Ok((t, consumed)) => {
+                self.pos += consumed;
+                Ok(t)
+            }
+            Err(e) => Err(RmlParseError {
+                pos: self.pos + e.pos,
+                msg: e.msg,
+            }),
+        }
+    }
+
+    fn sort_list(&mut self) -> Result<Vec<String>, RmlParseError> {
+        let mut out = vec![self.ident()?];
+        while self.eat_str(",") {
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn parse(&mut self) -> Result<(), RmlParseError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(());
+            }
+            let Some(kw) = self.peek_ident() else {
+                return self.err("expected a declaration keyword");
+            };
+            match kw.as_str() {
+                "sort" => {
+                    self.pos += kw.len();
+                    let name = self.ident()?;
+                    self.sig_mut(|sig| sig.add_sort(name.as_str()).map(|_| ()))?;
+                }
+                "relation" => {
+                    self.pos += kw.len();
+                    let name = self.ident()?;
+                    let sorts = if self.eat_str(":") {
+                        self.sort_list()?
+                    } else {
+                        Vec::new()
+                    };
+                    self.sig_mut(|sig| {
+                        sig.add_relation(name.as_str(), sorts.iter().map(String::as_str))
+                            .map(|_| ())
+                    })?;
+                }
+                "function" => {
+                    self.pos += kw.len();
+                    let name = self.ident()?;
+                    self.expect_str(":")?;
+                    let args = self.sort_list()?;
+                    self.expect_str("->")?;
+                    let ret = self.ident()?;
+                    self.sig_mut(|sig| {
+                        sig.add_function(
+                            name.as_str(),
+                            args.iter().map(String::as_str),
+                            ret.as_str(),
+                        )
+                        .map(|_| ())
+                    })?;
+                }
+                "variable" | "local" => {
+                    let is_local = kw == "local";
+                    self.pos += kw.len();
+                    let name = self.ident()?;
+                    self.expect_str(":")?;
+                    let sort = self.ident()?;
+                    self.sig_mut(|sig| {
+                        sig.add_constant(name.as_str(), sort.as_str()).map(|_| ())
+                    })?;
+                    if is_local {
+                        self.program.locals.insert(Sym::new(&name));
+                    }
+                }
+                "axiom" => {
+                    self.pos += kw.len();
+                    let label = self.ident()?;
+                    self.expect_str(":")?;
+                    let f = self.formula()?;
+                    self.program.axioms.push((label, f));
+                }
+                "safety" => {
+                    self.pos += kw.len();
+                    let label = self.ident()?;
+                    self.expect_str(":")?;
+                    let f = self.formula()?;
+                    self.program.safety.push((label, f));
+                }
+                "init" => {
+                    self.pos += kw.len();
+                    let cmd = self.block()?;
+                    self.program.init = Cmd::seq([self.program.init.clone(), cmd]);
+                }
+                "action" => {
+                    self.pos += kw.len();
+                    let name = self.ident()?;
+                    let cmd = self.block()?;
+                    if self.program.actions.iter().any(|a| a.name == name) {
+                        return self.err(format!("duplicate action `{name}`"));
+                    }
+                    self.program.actions.push(Action { name, cmd });
+                }
+                "final" => {
+                    self.pos += kw.len();
+                    let cmd = self.block()?;
+                    self.program.final_cmd = Cmd::seq([self.program.final_cmd.clone(), cmd]);
+                }
+                other => return self.err(format!("unknown declaration `{other}`")),
+            }
+        }
+    }
+
+    fn sig_mut(
+        &mut self,
+        f: impl FnOnce(&mut Signature) -> Result<(), ivy_fol::SigError>,
+    ) -> Result<(), RmlParseError> {
+        let mut sig = self.program.sig.clone();
+        match f(&mut sig) {
+            Ok(()) => {
+                self.program.sig = sig;
+                Ok(())
+            }
+            Err(e) => self.err(e.to_string()),
+        }
+    }
+
+    fn block(&mut self) -> Result<Cmd, RmlParseError> {
+        self.expect_str("{")?;
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat_str("}") {
+                break;
+            }
+            stmts.push(self.stmt()?);
+            // Optional semicolons between statements.
+            while self.eat_str(";") {}
+        }
+        Ok(Cmd::seq(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Cmd, RmlParseError> {
+        let Some(kw) = self.peek_ident() else {
+            return self.err("expected a statement");
+        };
+        match kw.as_str() {
+            "skip" => {
+                self.pos += kw.len();
+                Ok(Cmd::Skip)
+            }
+            "abort" => {
+                self.pos += kw.len();
+                Ok(Cmd::Abort)
+            }
+            "havoc" => {
+                self.pos += kw.len();
+                let v = self.ident()?;
+                Ok(Cmd::Havoc(Sym::new(v)))
+            }
+            "assume" => {
+                self.pos += kw.len();
+                Ok(Cmd::Assume(self.formula()?))
+            }
+            "assert" => {
+                self.pos += kw.len();
+                Ok(Cmd::assert(self.formula()?))
+            }
+            "if" => {
+                self.pos += kw.len();
+                let cond = self.formula()?;
+                let then_cmd = self.block()?;
+                let else_cmd = if self.eat_keyword("else") {
+                    self.block()?
+                } else {
+                    Cmd::Skip
+                };
+                Ok(Cmd::ite(cond, then_cmd, else_cmd))
+            }
+            _ => self.assignment_like(),
+        }
+    }
+
+    /// Parses update statements headed by a symbol name.
+    fn assignment_like(&mut self) -> Result<Cmd, RmlParseError> {
+        let name = self.ident()?;
+        let sym = Sym::new(&name);
+        // r.insert(t̄) / r.remove(t̄)
+        if self.eat_str(".") {
+            let op = self.ident()?;
+            self.expect_str("(")?;
+            let mut tuple = vec![self.term()?];
+            while self.eat_str(",") {
+                tuple.push(self.term()?);
+            }
+            self.expect_str(")")?;
+            let Some(arg_sorts) = self.program.sig.relation(&sym) else {
+                return self.err(format!("`{name}` is not a declared relation"));
+            };
+            let params: Vec<Sym> = (0..arg_sorts.len())
+                .map(|i| Sym::new(format!("X{i}")))
+                .collect();
+            return match op.as_str() {
+                "insert" => Ok(Cmd::insert_tuple(sym, params, tuple)),
+                "remove" => Ok(Cmd::remove_tuple(sym, params, tuple)),
+                other => self.err(format!("unknown relation operation `.{other}`")),
+            };
+        }
+        // f[t̄] := t (point update)
+        if self.eat_str("[") {
+            let mut at = vec![self.term()?];
+            while self.eat_str(",") {
+                at.push(self.term()?);
+            }
+            self.expect_str("]")?;
+            self.expect_str(":=")?;
+            let value = self.term()?;
+            let Some(decl) = self.program.sig.function(&sym) else {
+                return self.err(format!("`{name}` is not a declared function"));
+            };
+            let params: Vec<Sym> = (0..decl.args.len())
+                .map(|i| Sym::new(format!("X{i}")))
+                .collect();
+            return Ok(Cmd::point_update(sym, params, at, value));
+        }
+        // Bulk update r(X0, ...) := ... or f(X0, ...) := ...
+        if self.eat_str("(") {
+            let mut params = Vec::new();
+            if !self.eat_str(")") {
+                loop {
+                    let p = self.ident()?;
+                    if !p.starts_with(|c: char| c.is_ascii_uppercase()) {
+                        return self.err(format!(
+                            "bulk-update parameter `{p}` must be a capitalized logical variable"
+                        ));
+                    }
+                    params.push(Sym::new(p));
+                    if self.eat_str(")") {
+                        break;
+                    }
+                    self.expect_str(",")?;
+                }
+            }
+            self.expect_str(":=")?;
+            if self.program.sig.relation(&sym).is_some() {
+                let body = self.formula()?;
+                return Ok(Cmd::UpdateRel {
+                    rel: sym,
+                    params,
+                    body,
+                });
+            }
+            if self.program.sig.function(&sym).is_some() {
+                let body = self.term()?;
+                return Ok(Cmd::UpdateFun {
+                    fun: sym,
+                    params,
+                    body,
+                });
+            }
+            return self.err(format!("`{name}` is not declared"));
+        }
+        // Plain variable assignment v := t.
+        if self.eat_str(":=") {
+            let value = self.term()?;
+            return Ok(Cmd::UpdateFun {
+                fun: sym,
+                params: vec![],
+                body: value,
+            });
+        }
+        self.err(format!("cannot parse statement starting with `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_program;
+
+    const TOY: &str = r#"
+# A toy election protocol.
+sort node
+sort id
+function idf : node -> id
+relation le : id, id
+relation leader : node
+relation pnd : id, node
+variable n : node
+variable m : node
+
+axiom le_total: forall X:id, Y:id. le(X, Y) | le(Y, X)
+safety one_leader: forall X:node, Y:node. leader(X) & leader(Y) -> X = Y
+
+init {
+  leader(X0) := false;
+  pnd(X0, X1) := false
+}
+
+action send {
+  havoc n;
+  havoc m;
+  pnd.insert(idf(n), m)
+}
+
+action recv {
+  havoc n;
+  assume pnd(idf(n), n);
+  if forall X:node. le(idf(X), idf(n)) {
+    leader.insert(n)
+  } else {
+    skip
+  }
+}
+"#;
+
+    #[test]
+    fn toy_program_parses_and_checks() {
+        let p = parse_program(TOY).unwrap();
+        assert_eq!(p.actions.len(), 2);
+        assert_eq!(p.axioms.len(), 1);
+        assert_eq!(p.safety.len(), 1);
+        let errs = check_program(&p);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn action_structure() {
+        let p = parse_program(TOY).unwrap();
+        let send = p.action("send").unwrap();
+        match &send.cmd {
+            Cmd::Seq(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected seq, got {other}"),
+        }
+        let recv = p.action("recv").unwrap();
+        assert!(matches!(&recv.cmd, Cmd::Seq(_)));
+    }
+
+    #[test]
+    fn init_accumulates() {
+        let p = parse_program(TOY).unwrap();
+        match &p.init {
+            Cmd::Seq(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected seq, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let e = parse_program("wibble x").unwrap_err();
+        assert!(e.msg.contains("wibble"));
+    }
+
+    #[test]
+    fn duplicate_action_rejected() {
+        let src = "action a { skip }\naction a { skip }";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn lowercase_bulk_param_rejected() {
+        let src = "sort s\nrelation r : s\ninit { r(x) := true }";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.msg.contains("capitalized"), "{e}");
+    }
+
+    #[test]
+    fn point_update_parses() {
+        let src = "sort s\nfunction f : s -> s\nvariable a : s\ninit { f[a] := a }";
+        let p = parse_program(src).unwrap();
+        // f: s -> s is not stratified; only parsing is under test here.
+        match &p.init {
+            Cmd::UpdateFun { body, .. } => {
+                assert_eq!(body.to_string(), "ite(X0 = a, a, f(X0))");
+            }
+            other => panic!("expected update, got {other}"),
+        }
+    }
+
+    #[test]
+    fn variable_assignment_parses() {
+        let src = "sort s\nvariable a : s\nvariable b : s\ninit { a := b }";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(&p.init, Cmd::UpdateFun { params, .. } if params.is_empty()));
+    }
+
+    #[test]
+    fn assert_statement_desugars() {
+        let src = "sort s\nrelation r : s\naction a { assert forall X:s. r(X) }";
+        let p = parse_program(src).unwrap();
+        assert!(p.action("a").unwrap().cmd.mentions_abort());
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let src = "sort s\nrelation r : s\ninit { assume forall X:s. & }";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.pos > 20);
+    }
+}

@@ -1,0 +1,696 @@
+//! Compilation of RML commands to transition-relation formulas, and loop
+//! unrolling for bounded verification (Section 4.1 of the paper).
+//!
+//! The paper formalizes `k`-invariance through `wp` (Equation 3), but naive
+//! `wp`-unrolling duplicates the postcondition exponentially under
+//! nondeterministic choice. We instead compile each loop-free command into a
+//! two-vocabulary `∃*∀*` formula: commands are normalized to *guarded paths*
+//! (distributing `|` over `;`), and each path is compiled with SSA-style
+//! symbol versioning — updates define fresh symbol versions with universal
+//! axioms, unmodified symbols get frame equalities only when some sibling
+//! path modifies them. `∃*∀*` is closed under `∧` and `∨`, so a `k`-step
+//! unrolling stays in EPR. The equivalence of the two encodings is checked
+//! by property tests against `wp`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ivy_fol::{Binding, Formula, Signature, Sym, Term};
+
+use crate::ast::{Cmd, Program};
+
+/// Maps each base symbol to its version at a given time point.
+pub type SymMap = BTreeMap<Sym, Sym>;
+
+/// One normalized execution path: a straight-line sequence of atomic
+/// commands, optionally ending in `abort`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Atomic commands in order (updates, havocs, assumes). Commands after
+    /// an `abort` are unreachable and dropped.
+    pub atoms: Vec<Cmd>,
+    /// Whether the path ends in `abort`.
+    pub aborts: bool,
+}
+
+/// Normalizes a loop-free command to its set of execution paths.
+///
+/// The result is exponential in the nesting of `|` inside `;` in the worst
+/// case; RML protocol bodies are shallow choices of short sequences, so the
+/// expansion matches the paper's action structure.
+pub fn paths(cmd: &Cmd) -> Vec<Path> {
+    match cmd {
+        Cmd::Skip => vec![Path {
+            atoms: vec![],
+            aborts: false,
+        }],
+        Cmd::Abort => vec![Path {
+            atoms: vec![],
+            aborts: true,
+        }],
+        Cmd::UpdateRel { .. } | Cmd::UpdateFun { .. } | Cmd::Havoc(_) | Cmd::Assume(_) => {
+            vec![Path {
+                atoms: vec![cmd.clone()],
+                aborts: false,
+            }]
+        }
+        Cmd::Seq(cmds) => {
+            let mut acc = vec![Path {
+                atoms: vec![],
+                aborts: false,
+            }];
+            for c in cmds {
+                let continuations = paths(c);
+                let mut next = Vec::new();
+                for p in acc {
+                    if p.aborts {
+                        next.push(p);
+                        continue;
+                    }
+                    for cont in &continuations {
+                        let mut atoms = p.atoms.clone();
+                        atoms.extend(cont.atoms.iter().cloned());
+                        next.push(Path {
+                            atoms,
+                            aborts: cont.aborts,
+                        });
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Cmd::Choice(cmds) => cmds.iter().flat_map(paths).collect(),
+    }
+}
+
+/// Renames relation/function symbols of a formula according to `map`
+/// (symbols not in the map are unchanged).
+pub fn rename_symbols(f: &Formula, map: &SymMap) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Rel(r, args) => Formula::Rel(
+            map.get(r).unwrap_or(r).clone(),
+            args.iter().map(|t| rename_term(t, map)).collect(),
+        ),
+        Formula::Eq(a, b) => Formula::Eq(rename_term(a, map), rename_term(b, map)),
+        Formula::Not(g) => Formula::Not(Box::new(rename_symbols(g, map))),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| rename_symbols(g, map)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| rename_symbols(g, map)).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rename_symbols(a, map)),
+            Box::new(rename_symbols(b, map)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rename_symbols(a, map)),
+            Box::new(rename_symbols(b, map)),
+        ),
+        Formula::Forall(bs, g) => Formula::Forall(bs.clone(), Box::new(rename_symbols(g, map))),
+        Formula::Exists(bs, g) => Formula::Exists(bs.clone(), Box::new(rename_symbols(g, map))),
+    }
+}
+
+/// Renames function symbols of a term according to `map`.
+pub fn rename_term(t: &Term, map: &SymMap) -> Term {
+    match t {
+        Term::Var(_) => t.clone(),
+        Term::App(f, args) => Term::App(
+            map.get(f).unwrap_or(f).clone(),
+            args.iter().map(|a| rename_term(a, map)).collect(),
+        ),
+        Term::Ite(c, a, b) => Term::Ite(
+            Box::new(rename_symbols(c, map)),
+            Box::new(rename_term(a, map)),
+            Box::new(rename_term(b, map)),
+        ),
+    }
+}
+
+/// A `k`-step symbolic unrolling of a program's loop.
+#[derive(Clone, Debug)]
+pub struct Unrolling {
+    /// The versioned signature: base symbols plus one copy per modification
+    /// point.
+    pub sig: Signature,
+    /// Axioms at the pre-init state plus the init transition. Conjoin with
+    /// `steps[0..j]` to constrain state `j`.
+    pub base: Formula,
+    /// `maps[j]` is the vocabulary of loop-head state `j`, for `j in 0..=k`.
+    pub maps: Vec<SymMap>,
+    /// `steps[j]` is the transition formula from state `j` to state `j+1`
+    /// (the disjunction over all non-aborting body paths).
+    pub steps: Vec<Formula>,
+    /// Per step, the labeled path formulas `(action name, formula)` — used
+    /// to reconstruct which action a BMC model took.
+    pub step_paths: Vec<Vec<(String, Formula)>>,
+    /// Error formula: some aborting path of `init` executes (from the
+    /// pre-init state).
+    pub init_error: Formula,
+    /// `step_errors[j]`: some aborting path of the body executes from state
+    /// `j` (labeled by action).
+    pub step_errors: Vec<Vec<(String, Formula)>>,
+    /// `final_errors[j]`: some aborting path of `final` executes from state
+    /// `j`.
+    pub final_errors: Vec<Formula>,
+}
+
+/// Compiles a `k`-step unrolling of `program`.
+///
+/// # Panics
+///
+/// Panics on invalid programs (undeclared symbols); run
+/// [`crate::check::check_program`] first.
+pub fn unroll(program: &Program, k: usize) -> Unrolling {
+    unroll_inner(program, k, true)
+}
+
+/// Like [`unroll`], but state 0 is an *arbitrary* axiom-satisfying state
+/// rather than the result of `init`. Used for inductiveness checks, where
+/// the pre-state is constrained by the candidate invariant instead.
+pub fn unroll_free(program: &Program, k: usize) -> Unrolling {
+    unroll_inner(program, k, false)
+}
+
+fn unroll_inner(program: &Program, k: usize, with_init: bool) -> Unrolling {
+    let mut ctx = Ctx {
+        sig: program.sig.clone(),
+        axiom: program.axiom(),
+        counter: 0,
+    };
+    let identity: SymMap = program
+        .sig
+        .relations()
+        .map(|(s, _)| (s.clone(), s.clone()))
+        .chain(program.sig.functions().map(|(s, _)| (s.clone(), s.clone())))
+        .collect();
+
+    // Pre-init state: axioms hold.
+    let mut parts = vec![ctx.axiom.clone()];
+
+    // Init phase (skipped for "free" unrollings: state 0 is then any
+    // axiom-satisfying state).
+    let (init_error, map0) = if with_init {
+        let init_paths = paths(&program.init);
+        let normal_init: Vec<&Path> = init_paths.iter().filter(|p| !p.aborts).collect();
+        let abort_init: Vec<&Path> = init_paths.iter().filter(|p| p.aborts).collect();
+        let (init_formula, map0) = ctx.compile_phase(&normal_init, &identity, "i");
+        parts.push(init_formula);
+        let init_error = Formula::or(
+            abort_init
+                .iter()
+                .map(|p| ctx.compile_error_path(p, &identity)),
+        );
+        (init_error, map0)
+    } else {
+        (Formula::False, identity.clone())
+    };
+
+    // Body steps.
+    let body_paths: Vec<(String, Path)> = program
+        .actions
+        .iter()
+        .flat_map(|a| {
+            paths(&a.cmd)
+                .into_iter()
+                .map(move |p| (a.name.clone(), p))
+        })
+        .collect();
+    let mut maps = vec![map0];
+    let mut steps = Vec::with_capacity(k);
+    let mut step_paths = Vec::with_capacity(k);
+    let mut step_errors = Vec::with_capacity(k);
+    let mut final_errors = Vec::with_capacity(k + 1);
+    for j in 0..k {
+        let in_map = maps[j].clone();
+        let normal: Vec<&Path> = body_paths
+            .iter()
+            .filter(|(_, p)| !p.aborts)
+            .map(|(_, p)| p)
+            .collect();
+        let (labeled, out_map) =
+            ctx.compile_phase_labeled(&body_paths, &normal, &in_map, &format!("{}", j + 1));
+        steps.push(Formula::or(labeled.iter().map(|(_, f)| f.clone())));
+        step_paths.push(labeled);
+        let errors: Vec<(String, Formula)> = body_paths
+            .iter()
+            .filter(|(_, p)| p.aborts)
+            .map(|(name, p)| (name.clone(), ctx.compile_error_path(p, &in_map)))
+            .collect();
+        step_errors.push(errors);
+        maps.push(out_map);
+    }
+    // Aborting final paths, from every loop-head state.
+    let final_paths = paths(&program.final_cmd);
+    for map in &maps {
+        let err = Formula::or(
+            final_paths
+                .iter()
+                .filter(|p| p.aborts)
+                .map(|p| ctx.compile_error_path(p, map)),
+        );
+        final_errors.push(err);
+    }
+    // Errors at state k (abort during step k+1) are intentionally absent:
+    // callers decide how many steps to inspect.
+    Unrolling {
+        sig: ctx.sig,
+        base: Formula::and(parts),
+        maps,
+        steps,
+        step_paths,
+        init_error,
+        step_errors,
+        final_errors,
+    }
+}
+
+struct Ctx {
+    sig: Signature,
+    axiom: Formula,
+    counter: usize,
+}
+
+impl Ctx {
+    /// Declares a fresh version of `base` and returns its name.
+    fn fresh_version(&mut self, base: &Sym, tag: &str) -> Sym {
+        loop {
+            let name = Sym::new(format!("{base}__{tag}_{}", self.counter));
+            self.counter += 1;
+            if self.sig.relation(&name).is_some() || self.sig.function(&name).is_some() {
+                continue;
+            }
+            if let Some(args) = self.sig.relation(base).map(<[ivy_fol::Sort]>::to_vec) {
+                self.sig
+                    .add_relation(name.clone(), args)
+                    .expect("fresh name");
+            } else {
+                let decl = self
+                    .sig
+                    .function(base)
+                    .unwrap_or_else(|| panic!("unknown symbol `{base}`"))
+                    .clone();
+                self.sig
+                    .add_function(name.clone(), decl.args, decl.ret)
+                    .expect("fresh name");
+            }
+            return name;
+        }
+    }
+
+    /// Compiles a set of non-aborting paths sharing an input vocabulary into
+    /// a disjunction, producing the common output vocabulary.
+    fn compile_phase(&mut self, paths: &[&Path], in_map: &SymMap, tag: &str) -> (Formula, SymMap) {
+        let labeled: Vec<(String, Path)> = paths
+            .iter()
+            .map(|p| (String::new(), (*p).clone()))
+            .collect();
+        let refs: Vec<&Path> = paths.to_vec();
+        let (out, map) = self.compile_phase_labeled(&labeled, &refs, in_map, tag);
+        (Formula::or(out.into_iter().map(|(_, f)| f)), map)
+    }
+
+    fn compile_phase_labeled(
+        &mut self,
+        labeled: &[(String, Path)],
+        normal: &[&Path],
+        in_map: &SymMap,
+        tag: &str,
+    ) -> (Vec<(String, Formula)>, SymMap) {
+        // Union of modified symbols across all (non-aborting) paths.
+        let mut updated: BTreeSet<Sym> = BTreeSet::new();
+        for p in normal {
+            for a in &p.atoms {
+                updated.extend(a.modified_symbols());
+            }
+        }
+        let mut out_map = in_map.clone();
+        for sym in &updated {
+            let v = self.fresh_version(sym, tag);
+            out_map.insert(sym.clone(), v);
+        }
+        let mut out = Vec::new();
+        for (name, p) in labeled {
+            if p.aborts {
+                continue;
+            }
+            let f = self.compile_path(p, in_map, &out_map, &updated, tag);
+            out.push((name.clone(), f));
+        }
+        if out.is_empty() {
+            // No normal path: the phase cannot execute.
+            out.push((String::new(), Formula::False));
+        }
+        (out, out_map)
+    }
+
+    /// Compiles one non-aborting path between fixed vocabularies.
+    fn compile_path(
+        &mut self,
+        path: &Path,
+        in_map: &SymMap,
+        out_map: &SymMap,
+        updated: &BTreeSet<Sym>,
+        tag: &str,
+    ) -> Formula {
+        // Last update of each symbol writes its out version directly.
+        let last_write: BTreeMap<Sym, usize> = path
+            .atoms
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| a.modified_symbols().into_iter().map(move |s| (s, i)))
+            .collect();
+        let mut cur = in_map.clone();
+        let mut parts = Vec::new();
+        for (i, atom) in path.atoms.iter().enumerate() {
+            match atom {
+                Cmd::Assume(phi) => parts.push(rename_symbols(phi, &cur)),
+                Cmd::UpdateRel { rel, params, body } => {
+                    let body = rename_symbols(body, &cur);
+                    let target = self.version_for(rel, i, &last_write, out_map, tag);
+                    let arg_sorts = self
+                        .sig
+                        .relation(rel)
+                        .expect("validated program")
+                        .to_vec();
+                    let bindings: Vec<Binding> = params
+                        .iter()
+                        .zip(&arg_sorts)
+                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .collect();
+                    let lhs = Formula::rel(
+                        target.clone(),
+                        params.iter().map(|p| Term::Var(p.clone())),
+                    );
+                    parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
+                    cur.insert(rel.clone(), target);
+                    self.push_axiom_if_touched(rel, &cur, &mut parts);
+                }
+                Cmd::UpdateFun { fun, params, body } => {
+                    let body = rename_term(body, &cur);
+                    let target = self.version_for(fun, i, &last_write, out_map, tag);
+                    let decl = self.sig.function(fun).expect("validated program").clone();
+                    let bindings: Vec<Binding> = params
+                        .iter()
+                        .zip(&decl.args)
+                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .collect();
+                    let lhs = Term::app(
+                        target.clone(),
+                        params.iter().map(|p| Term::Var(p.clone())),
+                    );
+                    parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
+                    cur.insert(fun.clone(), target);
+                    self.push_axiom_if_touched(fun, &cur, &mut parts);
+                }
+                Cmd::Havoc(v) => {
+                    let target = self.version_for(v, i, &last_write, out_map, tag);
+                    // No constraint: the new version is a free constant.
+                    cur.insert(v.clone(), target);
+                    self.push_axiom_if_touched(v, &cur, &mut parts);
+                }
+                other => unreachable!("non-atomic command {other} in path"),
+            }
+        }
+        // Frames: symbols some sibling path modifies, but this one does not.
+        for sym in updated {
+            if cur[sym] == out_map[sym] {
+                continue; // written by this path
+            }
+            parts.push(self.frame_equality(sym, &cur[sym], &out_map[sym]));
+        }
+        Formula::and(parts)
+    }
+
+    /// The version an update at position `i` writes: the common out-version
+    /// when it is the symbol's last write, a temporary otherwise.
+    fn version_for(
+        &mut self,
+        sym: &Sym,
+        i: usize,
+        last_write: &BTreeMap<Sym, usize>,
+        out_map: &SymMap,
+        tag: &str,
+    ) -> Sym {
+        if last_write.get(sym) == Some(&i) {
+            out_map[sym].clone()
+        } else {
+            self.fresh_version(sym, &format!("{tag}t"))
+        }
+    }
+
+    /// Asserts the axioms over the current vocabulary when the freshly
+    /// modified symbol occurs in them (mutations are restricted to
+    /// axiom-satisfying states, mirroring `wp`'s `A → Q`).
+    fn push_axiom_if_touched(&self, sym: &Sym, cur: &SymMap, parts: &mut Vec<Formula>) {
+        if self.axiom.mentions_symbol(sym) {
+            parts.push(rename_symbols(&self.axiom, cur));
+        }
+    }
+
+    fn frame_equality(&self, sym: &Sym, from: &Sym, to: &Sym) -> Formula {
+        if let Some(arg_sorts) = self.sig.relation(sym).map(<[ivy_fol::Sort]>::to_vec) {
+            let (params, bindings) = crate::ast::update_params(&arg_sorts);
+            let args: Vec<Term> = params.iter().map(|p| Term::Var(p.clone())).collect();
+            Formula::forall(
+                bindings,
+                Formula::iff(
+                    Formula::rel(to.clone(), args.clone()),
+                    Formula::rel(from.clone(), args),
+                ),
+            )
+        } else {
+            let decl = self.sig.function(sym).expect("known symbol").clone();
+            let (params, bindings) = crate::ast::update_params(&decl.args);
+            let args: Vec<Term> = params.iter().map(|p| Term::Var(p.clone())).collect();
+            Formula::forall(
+                bindings,
+                Formula::eq(
+                    Term::app(to.clone(), args.clone()),
+                    Term::app(from.clone(), args),
+                ),
+            )
+        }
+    }
+
+    /// Compiles an aborting path: the conjunction of its constraints up to
+    /// the `abort` (no output vocabulary — execution ends).
+    fn compile_error_path(&mut self, path: &Path, in_map: &SymMap) -> Formula {
+        debug_assert!(path.aborts);
+        let mut cur = in_map.clone();
+        let mut parts = Vec::new();
+        for atom in &path.atoms {
+            match atom {
+                Cmd::Assume(phi) => parts.push(rename_symbols(phi, &cur)),
+                Cmd::UpdateRel { rel, params, body } => {
+                    let body = rename_symbols(body, &cur);
+                    let target = self.fresh_version(rel, "e");
+                    let arg_sorts = self
+                        .sig
+                        .relation(rel)
+                        .expect("validated program")
+                        .to_vec();
+                    let bindings: Vec<Binding> = params
+                        .iter()
+                        .zip(&arg_sorts)
+                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .collect();
+                    let lhs = Formula::rel(
+                        target.clone(),
+                        params.iter().map(|p| Term::Var(p.clone())),
+                    );
+                    parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
+                    cur.insert(rel.clone(), target);
+                    self.push_axiom_if_touched(rel, &cur, &mut parts);
+                }
+                Cmd::UpdateFun { fun, params, body } => {
+                    let body = rename_term(body, &cur);
+                    let target = self.fresh_version(fun, "e");
+                    let decl = self.sig.function(fun).expect("validated program").clone();
+                    let bindings: Vec<Binding> = params
+                        .iter()
+                        .zip(&decl.args)
+                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .collect();
+                    let lhs = Term::app(
+                        target.clone(),
+                        params.iter().map(|p| Term::Var(p.clone())),
+                    );
+                    parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
+                    cur.insert(fun.clone(), target);
+                    self.push_axiom_if_touched(fun, &cur, &mut parts);
+                }
+                Cmd::Havoc(v) => {
+                    let target = self.fresh_version(v, "e");
+                    cur.insert(v.clone(), target);
+                    self.push_axiom_if_touched(v, &cur, &mut parts);
+                }
+                other => unreachable!("non-atomic command {other} in path"),
+            }
+        }
+        Formula::and(parts)
+    }
+}
+
+/// Projects a model over a versioned signature down to a base-signature
+/// structure at the time point described by `map`.
+///
+/// # Panics
+///
+/// Panics if the model does not interpret a mapped symbol (construction
+/// bug).
+pub fn project_state(
+    model: &ivy_fol::Structure,
+    base_sig: &Signature,
+    map: &SymMap,
+) -> ivy_fol::Structure {
+    use std::sync::Arc;
+    let mut out = ivy_fol::Structure::new(Arc::new(base_sig.clone()));
+    // Copy the domains.
+    let mut elem_map: BTreeMap<ivy_fol::Elem, ivy_fol::Elem> = BTreeMap::new();
+    for sort in base_sig.sorts() {
+        for e in model.elements(sort).collect::<Vec<_>>() {
+            let ne = out.add_element(sort.clone());
+            elem_map.insert(e, ne);
+        }
+    }
+    for (base, _) in base_sig.relations() {
+        let versioned = map.get(base).unwrap_or(base);
+        for tuple in model.rel_tuples(versioned).cloned().collect::<Vec<_>>() {
+            let t: Vec<ivy_fol::Elem> = tuple.iter().map(|e| elem_map[e].clone()).collect();
+            out.set_rel(base.clone(), t, true);
+        }
+    }
+    for (base, _) in base_sig.functions() {
+        let versioned = map.get(base).unwrap_or(base);
+        let entries: Vec<(Vec<ivy_fol::Elem>, ivy_fol::Elem)> = model
+            .fun_entries(versioned)
+            .map(|(a, r)| (a.clone(), r.clone()))
+            .collect();
+        for (args, res) in entries {
+            let a: Vec<ivy_fol::Elem> = args.iter().map(|e| elem_map[e].clone()).collect();
+            out.set_fun(base.clone(), a, elem_map[&res].clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Action;
+    use ivy_fol::{parse_formula, prenex};
+
+    fn toy_program() -> Program {
+        let mut sig = Signature::new();
+        sig.add_sort("node").unwrap();
+        sig.add_relation("leader", ["node"]).unwrap();
+        sig.add_relation("pnd", ["node"]).unwrap();
+        sig.add_constant("n", "node").unwrap();
+        let mut p = Program::new(sig);
+        p.init = Cmd::UpdateRel {
+            rel: Sym::new("leader"),
+            params: vec![Sym::new("X0")],
+            body: Formula::False,
+        };
+        p.actions.push(Action {
+            name: "elect".into(),
+            cmd: Cmd::seq([
+                Cmd::Havoc(Sym::new("n")),
+                Cmd::Assume(parse_formula("pnd(n)").unwrap()),
+                Cmd::insert_tuple("leader", vec![Sym::new("X0")], vec![Term::cst("n")]),
+            ]),
+        });
+        p.actions.push(Action {
+            name: "noop".into(),
+            cmd: Cmd::Skip,
+        });
+        p.safety.push((
+            "at_most_one".into(),
+            parse_formula("forall X:node, Y:node. leader(X) & leader(Y) -> X = Y").unwrap(),
+        ));
+        p
+    }
+
+    #[test]
+    fn paths_distribute_choice_over_seq() {
+        let c = Cmd::seq([
+            Cmd::choice([Cmd::Skip, Cmd::Abort]),
+            Cmd::Havoc(Sym::new("n")),
+        ]);
+        let ps = paths(&c);
+        assert_eq!(ps.len(), 2);
+        // Abort path truncated: no havoc after abort.
+        let abort_path = ps.iter().find(|p| p.aborts).unwrap();
+        assert!(abort_path.atoms.is_empty());
+        let normal = ps.iter().find(|p| !p.aborts).unwrap();
+        assert_eq!(normal.atoms.len(), 1);
+    }
+
+    #[test]
+    fn assert_sugar_produces_error_path() {
+        let c = Cmd::assert(parse_formula("p").unwrap());
+        let ps = paths(&c);
+        assert_eq!(ps.len(), 2);
+        let abort = ps.iter().find(|p| p.aborts).unwrap();
+        assert_eq!(abort.atoms.len(), 1, "assume ~p before abort");
+    }
+
+    #[test]
+    fn unrolling_shapes() {
+        let p = toy_program();
+        let u = unroll(&p, 3);
+        assert_eq!(u.maps.len(), 4);
+        assert_eq!(u.steps.len(), 3);
+        assert_eq!(u.step_paths.len(), 3);
+        // leader is modified by init: map 0 differs from identity.
+        assert_ne!(u.maps[0][&Sym::new("leader")], Sym::new("leader"));
+        // pnd is never modified: identity at every step.
+        for m in &u.maps {
+            assert_eq!(m[&Sym::new("pnd")], Sym::new("pnd"));
+        }
+        // n is modified by the body: versions advance per step.
+        assert_ne!(u.maps[1][&Sym::new("n")], u.maps[2][&Sym::new("n")]);
+    }
+
+    #[test]
+    fn unrolling_stays_in_ea() {
+        let p = toy_program();
+        let u = unroll(&p, 2);
+        let mut query = vec![u.base.clone()];
+        query.extend(u.steps.iter().cloned());
+        // Violation of safety at state 2.
+        let bad = Formula::not(rename_symbols(&p.safety_formula(), &u.maps[2]));
+        query.push(bad);
+        let pren = prenex(&Formula::and(query));
+        assert!(pren.is_ea(), "BMC query must stay in ∃*∀*");
+    }
+
+    #[test]
+    fn versioned_signature_is_stratified() {
+        let p = toy_program();
+        let u = unroll(&p, 3);
+        assert!(u.sig.stratification().is_ok());
+    }
+
+    #[test]
+    fn rename_symbols_renames_nested_terms() {
+        let map: SymMap = [(Sym::new("f"), Sym::new("f__1"))].into_iter().collect();
+        let f = parse_formula("r(f(c)) & f(c) = c").unwrap();
+        let g = rename_symbols(&f, &map);
+        assert_eq!(g.to_string(), "r(f__1(c)) & f__1(c) = c");
+    }
+
+    #[test]
+    fn skip_only_program_has_trivial_steps() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        let mut p = Program::new(sig);
+        p.actions.push(Action {
+            name: "idle".into(),
+            cmd: Cmd::Skip,
+        });
+        let u = unroll(&p, 2);
+        for step in &u.steps {
+            assert_eq!(step, &Formula::True, "skip transitions are vacuous");
+        }
+    }
+}

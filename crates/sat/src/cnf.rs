@@ -1,0 +1,133 @@
+//! A plain CNF container, shared by the CDCL and reference solvers and used
+//! as the target of the Tseitin transformation in `ivy-epr`.
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// A CNF formula: a variable count and a list of clauses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty CNF (no variables, no clauses — trivially satisfiable).
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} out of range ({} vars)",
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Loads this CNF into a fresh CDCL [`Solver`].
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Solves with the CDCL solver; returns a model on SAT.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut s = self.to_solver();
+        match s.solve() {
+            SolveResult::Sat => Some(
+                (0..self.num_vars)
+                    .map(|i| s.model_value(Var(i as u32)).unwrap_or(false))
+                    .collect(),
+            ),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Evaluates the CNF under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_pos())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_solve() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.pos()]);
+        cnf.add_clause([a.neg()]);
+        let model = cnf.solve().unwrap();
+        assert!(cnf.eval(&model));
+        assert!(!model[a.index()]);
+        assert!(model[b.index()]);
+    }
+
+    #[test]
+    fn unsat_returns_none() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([a.pos()]);
+        cnf.add_clause([a.neg()]);
+        assert_eq!(cnf.solve(), None);
+    }
+
+    #[test]
+    fn eval_detects_violation() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.neg()]);
+        assert!(cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, true]));
+    }
+}

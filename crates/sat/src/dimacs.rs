@@ -1,0 +1,135 @@
+//! DIMACS CNF reading and writing, for interoperability and debugging.
+
+use std::fmt::Write as _;
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+
+/// Errors from DIMACS parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on malformed headers, tokens, or out-of-range
+/// variables.
+pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    line: line_no,
+                    msg: format!("bad problem line `{line}`"),
+                });
+            }
+            let nv: usize = parts[1].parse().map_err(|_| DimacsError {
+                line: line_no,
+                msg: "bad variable count".into(),
+            })?;
+            declared_vars = Some(nv);
+            cnf.ensure_vars(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let code: i32 = tok.parse().map_err(|_| DimacsError {
+                line: line_no,
+                msg: format!("bad literal `{tok}`"),
+            })?;
+            if code == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                let lit = Lit::from_dimacs(code);
+                if let Some(nv) = declared_vars {
+                    if lit.var().index() >= nv {
+                        return Err(DimacsError {
+                            line: line_no,
+                            msg: format!("variable {} exceeds declared count {nv}", code.abs()),
+                        });
+                    }
+                }
+                cnf.ensure_vars(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(current.drain(..));
+    }
+    Ok(cnf)
+}
+
+/// Renders a CNF as a DIMACS document.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for &l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert!(cnf.solve().is_some());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 2 2\n1 2 0\n-1 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(write_dimacs(&cnf), text);
+    }
+
+    #[test]
+    fn rejects_oversized_variable() {
+        let err = parse_dimacs("p cnf 1 1\n2 0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+        assert!(parse_dimacs("p cnf x 1\n").is_err());
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)] // builds a Lit, does not negate a Var
+    pub fn neg(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given polarity.
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A literal: a variable or its negation. Encoded as `2*var + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive (unnegated).
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Index for watch lists and other literal-indexed arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a literal from a DIMACS-style nonzero integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is zero.
+    pub fn from_dimacs(code: i32) -> Lit {
+        assert!(code != 0, "DIMACS literal must be nonzero");
+        let v = Var(code.unsigned_abs() - 1);
+        v.lit(code > 0)
+    }
+
+    /// DIMACS-style integer for this literal (1-based, sign = polarity).
+    pub fn to_dimacs(self) -> i32 {
+        let n = (self.var().0 + 1) as i32;
+        if self.is_pos() {
+            n
+        } else {
+            -n
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "~{}", self.var())
+        }
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Lifts a `bool`.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal whose variable has this value.
+    pub fn under(self, lit: Lit) -> LBool {
+        match (self, lit.is_pos()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrips() {
+        let v = Var(5);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_pos());
+        assert!(!v.neg().is_pos());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!!v.pos(), v.pos());
+    }
+
+    #[test]
+    fn dimacs_roundtrips() {
+        for code in [1, -1, 7, -42] {
+            assert_eq!(Lit::from_dimacs(code).to_dimacs(), code);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var(0).pos());
+        assert_eq!(Lit::from_dimacs(-3), Var(2).neg());
+    }
+
+    #[test]
+    fn lbool_under_literal() {
+        let v = Var(0);
+        assert_eq!(LBool::True.under(v.pos()), LBool::True);
+        assert_eq!(LBool::True.under(v.neg()), LBool::False);
+        assert_eq!(LBool::False.under(v.neg()), LBool::True);
+        assert_eq!(LBool::Undef.under(v.pos()), LBool::Undef);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+}

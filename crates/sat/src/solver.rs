@@ -1,0 +1,901 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis,
+//! VSIDS decision heuristic with phase saving, Luby restarts, activity-based
+//! learnt-clause deletion, and assumption-based incremental solving with
+//! UNSAT cores (`analyze_final`).
+//!
+//! The paper's Ivy uses Z3 as its satisfiability back end; this solver (plus
+//! the EPR grounding layer in `ivy-epr`) is our from-scratch substitute.
+
+use crate::lit::{LBool, Lit, Var};
+
+/// Statistics about a solver's run, cumulative over all `solve` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// The result of [`Solver::solve_with_assumptions`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; query the model via [`Solver::model_value`].
+    Sat,
+    /// Unsatisfiable under the assumptions; the subset of assumptions used
+    /// in the refutation is available via [`Solver::unsat_core`].
+    Unsat,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Indexed max-heap over variable activities (the VSIDS order).
+#[derive(Clone, Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    fn grow_to(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != usize::MAX
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn decrease_key_bumped(&mut self, v: Var, act: &[f64]) {
+        // Activity only increases, so a bumped element sifts up.
+        let i = self.pos[v.index()];
+        if i != usize::MAX {
+            self.sift_up(i, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] > act[self.heap[parent].index()] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use ivy_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.pos(), b.pos()]);
+/// s.add_clause([a.neg()]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<u32>>,
+    level: Vec<u32>,
+    qhead: usize,
+    /// False once the clause set is unconditionally unsatisfiable.
+    ok: bool,
+    seen: Vec<bool>,
+    assumptions: Vec<Lit>,
+    core: Vec<Lit>,
+    model: Vec<LBool>,
+    max_learnts: f64,
+    stats: Stats,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            max_learnts: 1000.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assign.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added, including those
+    /// simplified away.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` when the solver becomes trivially
+    /// unsatisfiable (empty clause, or a unit contradicting level-0 facts).
+    ///
+    /// Clauses may be added between `solve` calls (incremental use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable was not allocated with
+    /// [`Solver::new_var`].
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l}");
+        }
+        // Simplify: sort, dedupe, drop false literals, detect tautology.
+        lits.sort();
+        lits.dedup();
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: contains l and ~l
+            }
+            match self.value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => {}          // drop
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let (w0, w1) = (lits[0], lits[1]);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        }
+        self.watches[w0.index()].push(Watch {
+            cref,
+            blocker: w1,
+        });
+        self.watches[w1.index()].push(Watch {
+            cref,
+            blocker: w0,
+        });
+        cref
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        self.assign[l.var().index()].under(l)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assign[v] = LBool::from_bool(l.is_pos());
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Propagates pending assignments; returns the conflicting clause
+    /// reference, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Visit clauses watching ~p (now false).
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut conflict = None;
+            while i < watch_list.len() {
+                let Watch { cref, blocker } = watch_list[i];
+                if self.value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let clause = &mut self.clauses[cref as usize];
+                if clause.deleted {
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // Normalize: the false watch goes to position 1.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                if first != blocker && self.assign[first.var().index()].under(first) == LBool::True
+                {
+                    watch_list[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..clause.lits.len() {
+                    let cand = clause.lits[k];
+                    if self.assign[cand.var().index()].under(cand) != LBool::False {
+                        clause.lits.swap(1, k);
+                        self.watches[cand.index()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if self.value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[false_lit.index()].append(&mut watch_list);
+            // Note: append puts processed watches back *after* any watches
+            // added during this loop (none target false_lit), order is
+            // irrelevant for correctness.
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assign[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = l.is_pos();
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.decrease_key_bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &r in &self.learnt_refs {
+                self.clauses[r as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            // Skip lits[0] when it is the literal we just resolved on.
+            let skip = usize::from(p.is_some());
+            for &q in &lits[skip..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next literal on the trail to resolve.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let q = self.trail[index];
+            self.seen[q.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(q);
+                break;
+            }
+            confl = self.reason[q.var().index()].expect("non-UIP literal has a reason");
+            p = Some(q);
+        }
+        learnt[0] = !p.expect("loop sets p");
+
+        // Simple self-subsumption minimization: drop literals whose reason
+        // clause is entirely covered by the remaining `seen` set.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
+            .collect();
+        let mut minimized = Vec::with_capacity(learnt.len());
+        for (i, &l) in learnt.iter().enumerate() {
+            if keep[i] {
+                minimized.push(l);
+            }
+        }
+
+        // Compute backtrack level: second highest level in the clause.
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        for &l in &minimized {
+            self.seen[l.var().index()] = false;
+        }
+        // Clear any remaining seen flags from minimization checks.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (minimized, bt)
+    }
+
+    /// Whether `l` is implied by the other literals already in the learnt
+    /// clause (a one-level check, not the full recursive version).
+    fn literal_redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(r) => self.clauses[r as usize]
+                .lits
+                .iter()
+                .all(|&q| q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0),
+        }
+    }
+
+    /// Produces the subset of assumptions responsible for falsifying the
+    /// assumption `failed` (MiniSat's `analyzeFinal`). The trail contains
+    /// `!failed`; we walk its implication graph back to assumption decisions.
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                // A decision within assumption levels is an assumption, and
+                // the trail literal *is* the assumption itself. (When q is
+                // `!failed` it is the contradictory twin assumption.)
+                None => core.push(q),
+                Some(r) => {
+                    for &x in &self.clauses[r as usize].lits[1..] {
+                        if self.level[x.var().index()] > 0 {
+                            self.seen[x.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[failed.var().index()] = false;
+        core
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses by activity, delete the weaker half (skipping
+        // binary and locked clauses).
+        let mut refs = self.learnt_refs.clone();
+        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let target = refs.len() / 2;
+        let mut deleted = 0;
+        for &r in refs.iter() {
+            if deleted >= target {
+                break;
+            }
+            let locked = {
+                let c = &self.clauses[r as usize];
+                c.lits.len() <= 2 || self.reason[c.lits[0].var().index()] == Some(r)
+            };
+            if !locked {
+                self.clauses[r as usize].deleted = true;
+                deleted += 1;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Luby restart sequence value (1-based): 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. On `Unsat`, the subset of
+    /// assumptions participating in the refutation is available via
+    /// [`Solver::unsat_core`] (empty core = unsatisfiable even without
+    /// assumptions).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_budgeted(assumptions, u64::MAX)
+            .expect("unbounded solve always decides")
+    }
+
+    /// Like [`Solver::solve_with_assumptions`] but gives up (returning
+    /// `None`) once roughly `max_conflicts` conflicts have been analyzed in
+    /// this call. The solver stays usable afterwards (learnt clauses are
+    /// kept).
+    pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        self.assumptions = assumptions.to_vec();
+        self.core.clear();
+        self.backtrack_to(0);
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Some(SolveResult::Unsat);
+        }
+        let deadline = self.stats.conflicts.saturating_add(max_conflicts);
+        let mut restart = 0u64;
+        loop {
+            restart += 1;
+            let budget = 100 * Self::luby(restart);
+            match self.search(budget) {
+                Some(result) => {
+                    self.backtrack_to(0);
+                    return Some(result);
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                    if self.stats.conflicts >= deadline {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs CDCL search for at most `budget` conflicts; `None` = restart.
+    fn search(&mut self, budget: u64) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(asserting, None);
+                } else {
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                continue;
+            }
+            if conflicts_here >= budget {
+                return None; // restart
+            }
+            if self.learnt_refs.len() as f64 > self.max_learnts + self.trail.len() as f64 {
+                self.reduce_db();
+                self.max_learnts *= 1.1;
+            }
+            // Place assumptions as pseudo-decisions first.
+            let mut next_decision: Option<Lit> = None;
+            while (self.decision_level() as usize) < self.assumptions.len() {
+                let p = self.assumptions[self.decision_level() as usize];
+                match self.value(p) {
+                    LBool::True => self.new_decision_level(),
+                    LBool::False => {
+                        self.core = self.analyze_final(p);
+                        return Some(SolveResult::Unsat);
+                    }
+                    LBool::Undef => {
+                        next_decision = Some(p);
+                        break;
+                    }
+                }
+            }
+            let decision = match next_decision {
+                Some(p) => p,
+                None => match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assign.clone();
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(v) => v.lit(self.polarity[v.index()]),
+                },
+            };
+            self.stats.decisions += 1;
+            self.new_decision_level();
+            self.unchecked_enqueue(decision, None);
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model. `None` when the
+    /// last solve was UNSAT or the variable was irrelevant... variables are
+    /// always fully assigned on SAT, so `None` only before any solve.
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index()) {
+            Some(LBool::True) => Some(true),
+            Some(LBool::False) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The failed-assumption core of the most recent UNSAT answer: a subset
+    /// of the assumptions that is jointly unsatisfiable with the clauses.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0].pos(), v[1].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m0 = s.model_value(v[0]).unwrap();
+        let m1 = s.model_value(v[1]).unwrap();
+        assert!(m0 || m1);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([v[0].pos()]);
+        assert!(!s.add_clause([v[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        let _ = vars(&mut s, 1);
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0].pos()]);
+        s.add_clause([v[0].neg(), v[1].pos()]);
+        s.add_clause([v[1].neg(), v[2].pos()]);
+        s.add_clause([v[2].neg(), v[3].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &x in &v {
+            assert_eq!(s.model_value(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause([v[0].pos(), v[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    let (x, y) = (p[a][j], p[b][j]);
+                    s.add_clause([x.neg(), y.neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_5_sat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..5).map(|_| vars(&mut s, 5)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..5 {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    s.add_clause([p[a][j].neg(), p[b][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0].neg(), v[1].pos()]);
+        assert_eq!(s.solve_with_assumptions(&[v[0].pos(), v[1].neg()]), SolveResult::Unsat);
+        // Solver stays usable incrementally:
+        assert_eq!(s.solve_with_assumptions(&[v[0].pos()]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_is_relevant_subset() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // v0 & v1 contradictory via clauses; v2, v3 irrelevant.
+        s.add_clause([v[0].neg(), v[1].neg()]);
+        let assumptions = [v[2].pos(), v[0].pos(), v[3].pos(), v[1].pos()];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core: Vec<Lit> = s.unsat_core().to_vec();
+        assert!(core.contains(&v[0].pos()) || core.contains(&v[1].pos()));
+        assert!(!core.contains(&v[2].pos()), "irrelevant assumption in core: {core:?}");
+        assert!(!core.contains(&v[3].pos()));
+        // Core itself must be unsat with the clauses.
+        assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn core_empty_when_clauses_alone_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0].pos()]);
+        s.add_clause([v[0].neg()]);
+        assert_eq!(s.solve_with_assumptions(&[v[1].pos()]), SolveResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0].pos(), v[1].pos(), v[2].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([v[0].neg()]);
+        s.add_clause([v[1].neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+        s.add_clause([v[2].neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (1..=15).map(Solver::luby).collect();
+        assert_eq!(seq, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

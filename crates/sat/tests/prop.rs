@@ -1,0 +1,105 @@
+//! Property-based differential testing of the CDCL solver against the
+//! reference DPLL solver and brute-force enumeration.
+
+use ivy_sat::{solve_brute_force, solve_dpll, Cnf, Lit, SolveResult, Var};
+use proptest::prelude::*;
+
+/// Strategy: a random CNF over `max_vars` variables.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new();
+        for _ in 0..max_vars {
+            cnf.new_var();
+        }
+        for c in clauses {
+            cnf.add_clause(
+                c.into_iter()
+                    .map(|(v, pos)| Var(v as u32).lit(pos))
+                    .collect::<Vec<Lit>>(),
+            );
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CDCL agrees with brute force on satisfiability, and produced models
+    /// really satisfy the formula.
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let brute = solve_brute_force(&cnf);
+        let cdcl = cnf.solve();
+        prop_assert_eq!(brute.is_some(), cdcl.is_some());
+        if let Some(model) = cdcl {
+            prop_assert!(cnf.eval(&model));
+        }
+    }
+
+    /// CDCL agrees with the DPLL reference on slightly larger instances.
+    #[test]
+    fn cdcl_agrees_with_dpll(cnf in arb_cnf(14, 50)) {
+        let dpll = solve_dpll(&cnf);
+        let cdcl = cnf.solve();
+        prop_assert_eq!(dpll.is_some(), cdcl.is_some());
+        if let Some(model) = dpll {
+            prop_assert!(cnf.eval(&model));
+        }
+    }
+
+    /// UNSAT cores from assumption solving are themselves unsatisfiable
+    /// together with the clauses, and are subsets of the assumptions.
+    #[test]
+    fn unsat_cores_are_sound(cnf in arb_cnf(8, 20), seed_bits in 0u16..256) {
+        let mut solver = cnf.to_solver();
+        // Derive assumptions from seed bits: variable i assumed with
+        // polarity bit i when bit (i+8) selects it.
+        let assumptions: Vec<Lit> = (0..8)
+            .filter(|i| cnf.num_vars() > *i)
+            .filter(|i| seed_bits & (1 << (i + 8)) != 0)
+            .map(|i| Var(i as u32).lit(seed_bits & (1 << i) != 0))
+            .collect();
+        match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => {
+                // Model satisfies clauses and assumptions.
+                let model: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| solver.model_value(Var(i as u32)).unwrap())
+                    .collect();
+                prop_assert!(cnf.eval(&model));
+                for a in &assumptions {
+                    prop_assert_eq!(model[a.var().index()], a.is_pos());
+                }
+            }
+            SolveResult::Unsat => {
+                let core: Vec<Lit> = solver.unsat_core().to_vec();
+                for l in &core {
+                    prop_assert!(assumptions.contains(l), "core lit {l} not among assumptions");
+                }
+                // Re-solving under the core alone stays UNSAT.
+                let mut s2 = cnf.to_solver();
+                prop_assert_eq!(s2.solve_with_assumptions(&core), SolveResult::Unsat);
+            }
+        }
+    }
+
+    /// Incremental solving is consistent with one-shot solving.
+    #[test]
+    fn incremental_matches_oneshot(cnf1 in arb_cnf(8, 12), extra in arb_cnf(8, 12)) {
+        // Solve cnf1, then add extra clauses and compare with a fresh solve
+        // of the union.
+        let mut solver = cnf1.to_solver();
+        let _ = solver.solve();
+        for c in extra.clauses() {
+            solver.add_clause(c.iter().copied());
+        }
+        let incremental = solver.solve() == SolveResult::Sat;
+
+        let mut union = cnf1.clone();
+        for c in extra.clauses() {
+            union.add_clause(c.iter().copied());
+        }
+        prop_assert_eq!(incremental, union.solve().is_some());
+    }
+}

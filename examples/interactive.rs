@@ -1,0 +1,164 @@
+//! An interactive terminal session — the stand-in for the paper's graphical
+//! IPython notebook. Drives the Figure 5 loop with a human at the keyboard:
+//! CTIs are displayed (text and DOT on request), the user picks which
+//! symbols/polarities to generalize away and a BMC bound, and decides on
+//! the auto-generalized conjectures.
+//!
+//! Run with: `cargo run --release --example interactive [protocol]`
+//! where protocol is one of: leader (default), lock_server,
+//! distributed_lock, learning_switch, db_chain, chord.
+
+use std::io::{BufRead, Write};
+
+use ivy_core::{
+    partial_to_dot, structure_to_dot, trace_to_text, Conjecture, Cti, CtiDecision, Proposal,
+    ProposalDecision, Session, SessionCtx, TooStrongDecision, User, VizOptions,
+};
+use ivy_fol::{PartialStructure, Sym};
+use ivy_protocols as protocols;
+
+struct TerminalUser {
+    locals: std::collections::BTreeSet<Sym>,
+}
+
+impl TerminalUser {
+    fn prompt(&self, text: &str) -> String {
+        print!("{text}");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        std::io::stdin()
+            .lock()
+            .read_line(&mut line)
+            .expect("stdin");
+        line.trim().to_string()
+    }
+}
+
+impl User for TerminalUser {
+    fn on_cti(&mut self, ctx: &SessionCtx<'_>, cti: &Cti) -> CtiDecision {
+        println!("\n=== CTI {} === {}", ctx.iteration, cti.violation);
+        println!("current invariant:");
+        for c in ctx.conjectures {
+            println!("  {c}");
+        }
+        println!("state: {}", cti.state);
+        if let Some(s) = &cti.successor {
+            println!("successor: {s}");
+        }
+        loop {
+            let cmd = self.prompt(
+                "[g]eneralize / [w]eaken <names> / [d]ot / [s]top ? ",
+            );
+            match cmd.split_whitespace().next() {
+                Some("d") => {
+                    println!("{}", structure_to_dot(&cti.state, &VizOptions::default()));
+                }
+                Some("w") => {
+                    let names: Vec<String> =
+                        cmd.split_whitespace().skip(1).map(String::from).collect();
+                    return CtiDecision::Weaken { remove: names };
+                }
+                Some("s") => return CtiDecision::Stop,
+                Some("g") => {
+                    let mut s_u =
+                        PartialStructure::from_structure_without(&cti.state, &self.locals);
+                    let drops = self.prompt(
+                        "symbols to drop entirely (comma separated, empty for none): ",
+                    );
+                    for sym in drops.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        s_u.drop_symbol(&Sym::new(sym));
+                    }
+                    let negs = self.prompt("symbols to drop negative facts of: ");
+                    for sym in negs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        s_u.drop_negative(&Sym::new(sym));
+                    }
+                    let bound: usize = self
+                        .prompt("BMC bound for auto-generalize [3]: ")
+                        .parse()
+                        .unwrap_or(3);
+                    println!("upper bound: {s_u}");
+                    return CtiDecision::Generalize {
+                        upper_bound: s_u,
+                        bound,
+                    };
+                }
+                _ => println!("unrecognized choice"),
+            }
+        }
+    }
+
+    fn on_too_strong(
+        &mut self,
+        _ctx: &SessionCtx<'_>,
+        attempted: &PartialStructure,
+        trace: &ivy_core::Trace,
+    ) -> TooStrongDecision {
+        println!("your generalization excludes a REACHABLE state:");
+        println!("{}", trace_to_text(trace));
+        println!("attempted upper bound: {attempted}");
+        TooStrongDecision::Stop
+    }
+
+    fn on_proposal(&mut self, _ctx: &SessionCtx<'_>, proposal: &Proposal) -> ProposalDecision {
+        println!("auto-generalized conjecture: {}", proposal.conjecture);
+        loop {
+            let cmd = self.prompt("[a]ccept / [u]pper bound only / [d]ot / [s]top ? ");
+            match cmd.as_str() {
+                "a" => return ProposalDecision::Accept,
+                "u" => return ProposalDecision::AcceptUpperBound,
+                "d" => println!("{}", partial_to_dot(&proposal.partial, &VizOptions::default())),
+                "s" => return ProposalDecision::Stop,
+                _ => println!("unrecognized choice"),
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "leader".into());
+    let (program, measures) = match which.as_str() {
+        "leader" => (protocols::leader::program(), protocols::leader::measures()),
+        "lock_server" => (
+            protocols::lock_server::program(),
+            protocols::lock_server::measures(),
+        ),
+        "distributed_lock" => (
+            protocols::distributed_lock::program(),
+            protocols::distributed_lock::measures(),
+        ),
+        "learning_switch" => (
+            protocols::learning_switch::program(),
+            protocols::learning_switch::measures(),
+        ),
+        "db_chain" => (
+            protocols::db_chain::program(),
+            protocols::db_chain::measures(),
+        ),
+        "chord" => (protocols::chord::program(), protocols::chord::measures()),
+        other => {
+            eprintln!("unknown protocol `{other}`");
+            std::process::exit(1);
+        }
+    };
+    let initial: Vec<Conjecture> = program
+        .safety
+        .iter()
+        .map(|(label, f)| Conjecture::new(label.clone(), f.clone()))
+        .collect();
+    println!("protocol `{which}`; initial conjectures = safety properties:");
+    for c in &initial {
+        println!("  {c}");
+    }
+    let locals = program.locals.clone();
+    let mut session = Session::new(&program, initial, measures);
+    let mut user = TerminalUser { locals };
+    let outcome = session.run(&mut user, 100)?;
+    println!("\nsession ended: {outcome:?} after {:?}", session.stats());
+    if outcome == ivy_core::SessionOutcome::Proved {
+        println!("inductive invariant:");
+        for c in session.conjectures() {
+            println!("  {c}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: model a tiny mutual-exclusion protocol in RML, debug it with
+//! bounded verification, and prove it safe with an inductive invariant.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ivy_core::{Bmc, Conjecture, Inductiveness, Verifier};
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program};
+
+const MODEL: &str = r#"
+# A toy spinlock: clients acquire and release a single lock.
+sort client
+
+relation has_lock : client
+relation lock_free
+
+local c : client
+
+safety mutex: forall C1:client, C2:client. has_lock(C1) & has_lock(C2) -> C1 = C2
+
+init {
+  has_lock(X0) := false;
+  lock_free() := true
+}
+
+action acquire {
+  havoc c;
+  assume lock_free;
+  lock_free() := false;
+  has_lock.insert(c)
+}
+
+action release {
+  havoc c;
+  assume has_lock(c);
+  has_lock.remove(c);
+  lock_free() := true
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse and validate: RML's restrictions (quantifier-free updates,
+    //    ∃*∀* assumes, stratified functions) make everything below decidable.
+    let program = parse_program(MODEL)?;
+    let problems = check_program(&program);
+    assert!(problems.is_empty(), "validation: {problems:?}");
+    println!("model ok: {} actions, safety `mutex`", program.actions.len());
+
+    // 2. Debug with bounded verification: no counterexample within 5 loop
+    //    iterations, over clients sets of ANY size.
+    let bmc = Bmc::new(&program);
+    match bmc.check_safety(5)? {
+        None => println!("BMC: no violation within 5 iterations"),
+        Some(trace) => {
+            println!("BMC found a bug!\n{}", ivy_core::trace_to_text(&trace));
+            return Ok(());
+        }
+    }
+
+    // 3. Try to prove the safety property alone: it is not inductive, and
+    //    the verifier shows us a counterexample to induction.
+    let verifier = Verifier::new(&program);
+    let safety_only = vec![Conjecture::new(
+        "mutex",
+        parse_formula("forall C1:client, C2:client. has_lock(C1) & has_lock(C2) -> C1 = C2")?,
+    )];
+    if let Inductiveness::Cti(cti) = verifier.check(&safety_only)? {
+        println!("safety alone is not inductive: {}", cti.violation);
+        println!("  CTI state: {}", cti.state);
+    }
+
+    // 4. Strengthen: holding the lock and the lock being free exclude each
+    //    other. The conjunction is inductive — the protocol is proved safe
+    //    for any number of clients and any number of steps.
+    let invariant = vec![
+        safety_only[0].clone(),
+        Conjecture::new(
+            "exclusion",
+            parse_formula("forall C:client. has_lock(C) -> ~lock_free")?,
+        ),
+    ];
+    match verifier.check(&invariant)? {
+        Inductiveness::Inductive => println!("proved: mutex holds for unboundedly many clients"),
+        Inductiveness::Cti(cti) => println!("unexpected CTI: {}", cti.violation),
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Facade crate for the Ivy reproduction: re-exports the public API of all
+//! subsystem crates. See README.md for the tour and DESIGN.md for the
+//! system inventory.
+//!
+//! * [`fol`]: sorted first-order logic, structures, partial structures,
+//!   diagrams.
+//! * [`sat`]: the CDCL solver substrate.
+//! * [`epr`]: the EPR(+stratified functions) decision procedure.
+//! * [`rml`]: the relational modeling language.
+//! * [`ivy`]: the verification engine (CTIs, BMC, minimization,
+//!   interactive generalization, Houdini, visualization).
+//! * [`protocols`]: the six evaluation protocols of the paper.
+
+pub use ivy_core as ivy;
+pub use ivy_epr as epr;
+pub use ivy_fol as fol;
+pub use ivy_protocols as protocols;
+pub use ivy_rml as rml;
+pub use ivy_sat as sat;

@@ -1,0 +1,79 @@
+//! Differential testing of bounded verification against the interpreter:
+//! every symbolic BMC trace must replay concretely, and properties BMC
+//! declares `k`-invariant must survive random concrete walks of length `k`.
+
+use ivy_repro::fol::parse_formula;
+use ivy_repro::ivy::Bmc;
+use ivy_repro::protocols::leader;
+use ivy_repro::rml::interp::rand_like::XorShift;
+use ivy_repro::rml::{exec_all, step_random, ExecOutcome};
+
+#[test]
+fn figure4_trace_replays_concretely() {
+    let program = leader::program_without_unique_ids();
+    let bmc = Bmc::new(&program);
+    let trace = bmc.check_safety(4).unwrap().expect("bug reachable");
+    let axiom = program.axiom();
+    for i in 0..trace.steps() {
+        let action = program
+            .action(&trace.actions[i])
+            .unwrap_or_else(|| panic!("unlabeled step {i}"));
+        let outcomes = exec_all(&axiom, &action.cmd, &trace.states[i]).unwrap();
+        let replayed = outcomes.iter().any(|o| match o {
+            ExecOutcome::Done(s) => s == &trace.states[i + 1],
+            _ => false,
+        });
+        assert!(replayed, "step {i} ({}) does not replay", trace.actions[i]);
+    }
+}
+
+#[test]
+fn k_invariant_properties_survive_random_walks() {
+    let program = leader::program();
+    let bmc = Bmc::new(&program);
+    // BMC says: at most one leader within 3 iterations.
+    let phi = parse_formula(leader::C0).unwrap();
+    assert!(bmc.check_k_invariance(&phi, 3).unwrap().is_none());
+    // Concrete check: seed initial states from a BMC model of depth 0 by
+    // asking for ANY reachable state (satisfying the trivially-true
+    // property's negation is unsat, so instead take the state from a trace
+    // of the always-false property).
+    let bad = parse_formula("false").unwrap();
+    let trace = bmc
+        .check_k_invariance(&bad, 0)
+        .unwrap()
+        .expect("initial states exist");
+    let initial = trace.states[0].clone();
+    assert!(initial.eval_closed(&phi).unwrap());
+    // Random walks of length 3 from that state keep the property.
+    for seed in 1..40u64 {
+        let mut rng = XorShift::new(seed);
+        let mut state = initial.clone();
+        for _ in 0..3 {
+            let (_, outcome) = step_random(&program, &state, &mut rng, 10).unwrap();
+            match outcome {
+                ExecOutcome::Done(next) => state = next,
+                ExecOutcome::Blocked => continue,
+                ExecOutcome::Aborted => panic!("abort during walk"),
+            }
+            assert!(
+                state.eval_closed(&phi).unwrap(),
+                "property broke on a concrete walk: {state}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interpreter_and_bmc_agree_on_buggy_model() {
+    // With duplicate ids allowed, random walks can produce two leaders; BMC
+    // must also find the violation (and does, per figure4 test). Here we
+    // drive the interpreter along the BMC trace prefix and confirm the
+    // final state violates safety concretely.
+    let program = leader::program_without_unique_ids();
+    let bmc = Bmc::new(&program);
+    let trace = bmc.check_safety(4).unwrap().expect("bug reachable");
+    let last = trace.states.last().unwrap();
+    let phi = parse_formula(leader::C0).unwrap();
+    assert!(!last.eval_closed(&phi).unwrap());
+}

@@ -1,0 +1,145 @@
+//! Cross-crate property test: the axiomatic semantics (`wp`, Figure 13)
+//! agrees with the operational semantics (the explicit-state interpreter).
+//!
+//! If `s ⊨ wp(C, Q)` then no execution of `C` from `s` aborts, and every
+//! completed execution ends in a state satisfying `Q`.
+
+use ivy_repro::fol::{Formula, Signature, Structure, Sym, Term};
+use ivy_repro::rml::{exec_all, wp, Cmd, ExecOutcome};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn signature() -> Signature {
+    let mut sig = Signature::new();
+    sig.add_sort("s").unwrap();
+    sig.add_relation("r", ["s"]).unwrap();
+    sig.add_relation("q", ["s", "s"]).unwrap();
+    sig.add_constant("a", "s").unwrap();
+    sig.add_constant("b", "s").unwrap();
+    sig
+}
+
+/// Random structure over `signature()` with 1..=3 elements.
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    (1usize..=3, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = Structure::new(Arc::new(signature()));
+        let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
+        let mut bits = seed;
+        let mut next = || {
+            bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (bits >> 33) as usize
+        };
+        s.set_fun("a", vec![], elems[next() % n].clone());
+        s.set_fun("b", vec![], elems[next() % n].clone());
+        for e in &elems {
+            s.set_rel("r", vec![e.clone()], next() % 2 == 0);
+            for f in &elems {
+                s.set_rel("q", vec![e.clone(), f.clone()], next() % 2 == 0);
+            }
+        }
+        s
+    })
+}
+
+/// Random loop-free command over the signature.
+fn arb_cmd() -> impl Strategy<Value = Cmd> {
+    let atomic = prop_oneof![
+        Just(Cmd::Skip),
+        Just(Cmd::Abort),
+        Just(Cmd::Havoc(Sym::new("a"))),
+        Just(Cmd::Havoc(Sym::new("b"))),
+        Just(Cmd::Assume(
+            ivy_repro::fol::parse_formula("r(a)").unwrap()
+        )),
+        Just(Cmd::Assume(
+            ivy_repro::fol::parse_formula("exists X:s. q(X, b)").unwrap()
+        )),
+        Just(Cmd::insert_tuple(
+            "r",
+            vec![Sym::new("X0")],
+            vec![Term::cst("a")]
+        )),
+        Just(Cmd::remove_tuple(
+            "r",
+            vec![Sym::new("X0")],
+            vec![Term::cst("b")]
+        )),
+        Just(Cmd::UpdateRel {
+            rel: Sym::new("q"),
+            params: vec![Sym::new("X0"), Sym::new("X1")],
+            body: ivy_repro::fol::parse_formula("q(X1, X0)").unwrap(),
+        }),
+        Just(Cmd::UpdateRel {
+            rel: Sym::new("r"),
+            params: vec![Sym::new("X0")],
+            body: ivy_repro::fol::parse_formula("q(X0, X0) | X0 = a").unwrap(),
+        }),
+    ];
+    let seq = proptest::collection::vec(atomic.clone(), 1..=3).prop_map(Cmd::seq);
+    let choice = proptest::collection::vec(seq.clone(), 1..=2).prop_map(Cmd::choice);
+    prop_oneof![atomic, seq, choice]
+}
+
+fn post_conditions() -> Vec<Formula> {
+    [
+        "r(a)",
+        "forall X:s. r(X) -> q(X, X)",
+        "exists X:s. ~r(X)",
+        "a = b",
+        "forall X:s, Y:s. q(X, Y) -> q(Y, X)",
+    ]
+    .iter()
+    .map(|s| ivy_repro::fol::parse_formula(s).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness of wp: states satisfying wp(C, Q) only execute into Q.
+    #[test]
+    fn wp_is_sound(state in arb_structure(), cmd in arb_cmd(), qi in 0usize..5) {
+        let sig = signature();
+        let post = &post_conditions()[qi];
+        let pre = wp(&sig, &Formula::True, &cmd, post);
+        let holds = state.eval_closed(&pre).unwrap();
+        let outcomes = exec_all(&Formula::True, &cmd, &state).unwrap();
+        if holds {
+            for o in &outcomes {
+                match o {
+                    ExecOutcome::Aborted => prop_assert!(false, "wp held but execution aborted"),
+                    ExecOutcome::Done(s2) => {
+                        prop_assert!(
+                            s2.eval_closed(post).unwrap(),
+                            "wp held but post failed in {s2}"
+                        );
+                    }
+                    ExecOutcome::Blocked => {}
+                }
+            }
+        }
+    }
+
+    /// Completeness on deterministic commands: when every execution
+    /// satisfies Q and none aborts or blocks, wp(C, Q) holds (wp is the
+    /// *weakest* precondition).
+    #[test]
+    fn wp_is_weakest(state in arb_structure(), cmd in arb_cmd(), qi in 0usize..5) {
+        let sig = signature();
+        let post = &post_conditions()[qi];
+        let outcomes = exec_all(&Formula::True, &cmd, &state).unwrap();
+        let all_good = !outcomes.is_empty()
+            && outcomes.iter().all(|o| match o {
+                ExecOutcome::Done(s2) => s2.eval_closed(post).unwrap(),
+                ExecOutcome::Aborted => false,
+                ExecOutcome::Blocked => true,
+            });
+        if all_good {
+            let pre = wp(&sig, &Formula::True, &cmd, post);
+            prop_assert!(
+                state.eval_closed(&pre).unwrap(),
+                "every run satisfies Q but wp fails; cmd = {cmd}"
+            );
+        }
+    }
+}
