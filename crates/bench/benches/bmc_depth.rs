@@ -2,25 +2,17 @@
 //! for around 10 transitions. Measures BMC wall-clock versus depth on the
 //! leader-election model (safe, so every query is UNSAT — the hard case).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivy_bench::harness::bench_case;
 use ivy_core::Bmc;
 use ivy_protocols::leader;
 
-fn bmc_depth(c: &mut Criterion) {
+fn main() {
     let program = leader::program();
-    let mut group = c.benchmark_group("bmc_leader_depth");
-    group.sample_size(10);
     for k in [1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                let mut bmc = Bmc::new(&program);
-                bmc.set_instance_limit(50_000_000);
-                assert!(bmc.check_safety(k).unwrap().is_none());
-            })
+        bench_case("bmc_leader_depth", &k.to_string(), 10, || {
+            let mut bmc = Bmc::new(&program);
+            bmc.set_instance_limit(50_000_000);
+            assert!(bmc.check_safety(k).unwrap().is_none());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bmc_depth);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! the query family whose `ep` function updates create large "possibly
 //! equal" components.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ivy_bench::harness::bench_case;
 use ivy_epr::{EprCheck, EqualityMode};
 use ivy_fol::Formula;
 use ivy_protocols::distributed_lock;
@@ -11,36 +11,24 @@ use ivy_rml::{rename_symbols, unroll_free};
 
 fn consecution_query(mode: EqualityMode) -> bool {
     let p = distributed_lock::program();
-    let inv = Formula::and(
-        distributed_lock::invariant()
-            .into_iter()
-            .map(|c| c.formula),
-    );
+    let inv = Formula::and(distributed_lock::invariant().into_iter().map(|c| c.formula));
     let u = unroll_free(&p, 1);
     let mut q = EprCheck::new(&u.sig).unwrap();
     q.set_equality_mode(mode);
     q.assert_labeled("base", &u.base).unwrap();
-    q.assert_labeled("inv", &rename_symbols(&inv, &u.maps[0])).unwrap();
+    q.assert_labeled("inv", &rename_symbols(&inv, &u.maps[0]))
+        .unwrap();
     q.assert_labeled("step", &u.steps[0]).unwrap();
-    q.assert_labeled(
-        "neg",
-        &Formula::not(rename_symbols(&inv, &u.maps[1])),
-    )
-    .unwrap();
+    q.assert_labeled("neg", &Formula::not(rename_symbols(&inv, &u.maps[1])))
+        .unwrap();
     !q.check().unwrap().is_sat()
 }
 
-fn equality_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("equality_eager_vs_lazy");
-    group.sample_size(10);
-    group.bench_function("lazy", |b| {
-        b.iter(|| assert!(consecution_query(EqualityMode::Lazy)))
+fn main() {
+    bench_case("equality_eager_vs_lazy", "lazy", 10, || {
+        assert!(consecution_query(EqualityMode::Lazy))
     });
-    group.bench_function("eager", |b| {
-        b.iter(|| assert!(consecution_query(EqualityMode::Eager)))
+    bench_case("equality_eager_vs_lazy", "eager", 10, || {
+        assert!(consecution_query(EqualityMode::Eager))
     });
-    group.finish();
 }
-
-criterion_group!(benches, equality_ablation);
-criterion_main!(benches);

@@ -3,46 +3,30 @@
 //! measures minimal-CTI search versus plain CTI search (Algorithm 1's
 //! overhead).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ivy_bench::protocols;
+use ivy_bench::{harness::bench_case, protocols};
 use ivy_core::{Conjecture, Verifier};
 use ivy_fol::parse_formula;
 use ivy_protocols::leader;
 
-fn inductiveness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("invariant_check");
-    group.sample_size(10);
+fn main() {
     for entry in protocols() {
-        group.bench_function(entry.name, |b| {
-            b.iter(|| {
-                let v = Verifier::new(&entry.program);
-                assert!(v.check(&entry.invariant).unwrap().is_inductive());
-            })
+        bench_case("invariant_check", entry.name, 10, || {
+            let v = Verifier::new(&entry.program);
+            assert!(v.check(&entry.invariant).unwrap().is_inductive());
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("cti_search");
-    group.sample_size(10);
     let program = leader::program();
     let inv = vec![Conjecture::new("C0", parse_formula(leader::C0).unwrap())];
-    group.bench_function("plain", |b| {
-        b.iter(|| {
-            let v = Verifier::new(&program);
-            assert!(!v.check(&inv).unwrap().is_inductive());
-        })
+    bench_case("cti_search", "plain", 10, || {
+        let v = Verifier::new(&program);
+        assert!(!v.check(&inv).unwrap().is_inductive());
     });
-    group.bench_function("minimized", |b| {
-        b.iter(|| {
-            let v = Verifier::new(&program);
-            assert!(v
-                .find_minimal_cti(&inv, &leader::measures())
-                .unwrap()
-                .is_some());
-        })
+    bench_case("cti_search", "minimized", 10, || {
+        let v = Verifier::new(&program);
+        assert!(v
+            .find_minimal_cti(&inv, &leader::measures())
+            .unwrap()
+            .is_some());
     });
-    group.finish();
 }
-
-criterion_group!(benches, inductiveness);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Ablation: the CDCL solver versus the reference DPLL solver, on the
 //! pigeonhole family (hard UNSAT) and satisfiable random 3-SAT.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivy_bench::harness::bench_case;
 use ivy_sat::{solve_dpll, Cnf, Var};
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
@@ -12,10 +12,10 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
     for row in &p {
         cnf.add_clause(row.iter().map(|v| v.pos()));
     }
-    for j in 0..holes {
-        for a in 0..pigeons {
-            for b in (a + 1)..pigeons {
-                cnf.add_clause([p[a][j].neg(), p[b][j].neg()]);
+    for a in 0..pigeons {
+        for b in (a + 1)..pigeons {
+            for (pa, pb) in p[a].iter().zip(&p[b]) {
+                cnf.add_clause([pa.neg(), pb.neg()]);
             }
         }
     }
@@ -38,29 +38,29 @@ fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Cnf {
     cnf
 }
 
-fn solver_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_cdcl_vs_dpll");
-    group.sample_size(10);
+fn main() {
     for n in [6usize, 7, 8] {
         let cnf = pigeonhole(n, n - 1);
-        group.bench_with_input(BenchmarkId::new("cdcl_pigeonhole", n), &cnf, |b, cnf| {
-            b.iter(|| assert!(cnf.solve().is_none()))
-        });
+        bench_case(
+            "sat_cdcl_vs_dpll",
+            &format!("cdcl_pigeonhole/{n}"),
+            10,
+            || assert!(cnf.solve().is_none()),
+        );
         if n <= 7 {
-            group.bench_with_input(BenchmarkId::new("dpll_pigeonhole", n), &cnf, |b, cnf| {
-                b.iter(|| assert!(solve_dpll(cnf).is_none()))
-            });
+            bench_case(
+                "sat_cdcl_vs_dpll",
+                &format!("dpll_pigeonhole/{n}"),
+                10,
+                || assert!(solve_dpll(&cnf).is_none()),
+            );
         }
     }
     let sat = random_3sat(60, 200, 42);
-    group.bench_function("cdcl_random3sat_60v", |b| {
-        b.iter(|| assert!(sat.solve().is_some()))
+    bench_case("sat_cdcl_vs_dpll", "cdcl_random3sat_60v", 10, || {
+        assert!(sat.solve().is_some())
     });
-    group.bench_function("dpll_random3sat_60v", |b| {
-        b.iter(|| assert!(solve_dpll(&sat).is_some()))
+    bench_case("sat_cdcl_vs_dpll", "dpll_random3sat_60v", 10, || {
+        assert!(solve_dpll(&sat).is_some())
     });
-    group.finish();
 }
-
-criterion_group!(benches, solver_ablation);
-criterion_main!(benches);

@@ -22,7 +22,16 @@ use ivy_protocols::leader;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["fig14", "fig6", "fig4", "fig7", "fig8", "fig9", "bmc-table", "compare"]
+        vec![
+            "fig14",
+            "fig6",
+            "fig4",
+            "fig7",
+            "fig8",
+            "fig9",
+            "bmc-table",
+            "compare",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -93,7 +102,10 @@ fn fig4() {
             .expect("two leaders reachable")
     });
     print!("{}", trace_to_text(&trace));
-    println!("  -- found in {elapsed:.1?} ({} steps; paper shows 5 states (a)-(e))", trace.steps());
+    println!(
+        "  -- found in {elapsed:.1?} ({} steps; paper shows 5 states (a)-(e))",
+        trace.steps()
+    );
 }
 
 /// Figures 7-9: the three CTI + generalization steps of the interactive

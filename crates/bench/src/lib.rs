@@ -1,7 +1,7 @@
 //! Shared harness code for regenerating the paper's tables and figures.
 //!
 //! The `figures` binary (see `src/bin/figures.rs`) prints each table/figure;
-//! the Criterion benches under `benches/` measure solver and procedure
+//! the timed benches under `benches/` measure solver and procedure
 //! performance and the ablations called out in DESIGN.md.
 
 #![warn(missing_docs)]
@@ -166,4 +166,50 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// A criterion-free micro-benchmark harness (the build environment vendors
+/// no external crates). Runs each case a fixed number of samples and prints
+/// min/median/mean wall-clock in a stable, grep-friendly format.
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Measured timings of one benchmark case.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Sample {
+        /// Fastest observed iteration.
+        pub min: Duration,
+        /// Median iteration.
+        pub median: Duration,
+        /// Arithmetic mean over all iterations.
+        pub mean: Duration,
+    }
+
+    /// Runs `f` once to warm up, then `samples` measured times.
+    pub fn measure(samples: usize, mut f: impl FnMut()) -> Sample {
+        f();
+        let mut times: Vec<Duration> = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        Sample { min, median, mean }
+    }
+
+    /// Measures and prints one `group/name` line.
+    pub fn bench_case(group: &str, name: &str, samples: usize, f: impl FnMut()) -> Sample {
+        let s = measure(samples, f);
+        println!(
+            "{group}/{name}: min {:?}  median {:?}  mean {:?}  ({samples} samples)",
+            s.min, s.median, s.mean
+        );
+        s
+    }
 }

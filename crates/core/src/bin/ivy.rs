@@ -200,7 +200,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "houdini" => {
             let vars: usize = flag_value(rest, "--vars").unwrap_or("2").parse()?;
             let lits: usize = flag_value(rest, "--lits").unwrap_or("2").parse()?;
-            let result = houdini_with_template(&program, vars, lits, 4_000_000)?;
+            let result =
+                houdini_with_template(&program, vars, lits, ivy_epr::DEFAULT_INSTANCE_LIMIT)?;
             println!(
                 "{} clause(s) survive after {} CTI(s); proves safety: {}",
                 result.invariant.len(),

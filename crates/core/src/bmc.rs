@@ -5,7 +5,7 @@
 //! size (Equation 3): a property found `k`-invariant holds in every state
 //! reachable by at most `k` iterations, over rings/networks of any size.
 
-use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
 use ivy_fol::{Formula, Structure};
 use ivy_rml::{project_state, rename_symbols, unroll, Program, Unrolling};
 
@@ -35,6 +35,7 @@ impl Trace {
 pub struct Bmc<'p> {
     program: &'p Program,
     instance_limit: u64,
+    incremental: bool,
 }
 
 impl<'p> Bmc<'p> {
@@ -42,14 +43,26 @@ impl<'p> Bmc<'p> {
     pub fn new(program: &'p Program) -> Bmc<'p> {
         Bmc {
             program,
-            instance_limit: 4_000_000,
+            instance_limit: DEFAULT_INSTANCE_LIMIT,
+            incremental: true,
         }
     }
 
     /// Caps grounding size per query (see
-    /// [`ivy_epr::EprCheck::set_instance_limit`]).
+    /// [`ivy_epr::EprCheck::set_instance_limit`]); cumulative per check call
+    /// in incremental mode.
     pub fn set_instance_limit(&mut self, limit: u64) {
         self.instance_limit = limit;
+    }
+
+    /// Toggles incremental solving (on by default). Incremental checks hold
+    /// one [`EprSession`] per call: the base frame is grounded once, each
+    /// transition step joins it permanently as the scan deepens, and every
+    /// per-depth violation runs as a retirable assumption group — so learnt
+    /// clauses carry across the whole depth-by-depth scan. `false` re-solves
+    /// every depth from scratch (the reference behavior).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     /// Checks whether `phi` is `k`-invariant: true in every state reachable
@@ -59,21 +72,13 @@ impl<'p> Bmc<'p> {
     /// # Errors
     ///
     /// Propagates [`EprError`] (fragment violations, resource limits).
-    pub fn check_k_invariance(
-        &self,
-        phi: &Formula,
-        k: usize,
-    ) -> Result<Option<Trace>, EprError> {
+    pub fn check_k_invariance(&self, phi: &Formula, k: usize) -> Result<Option<Trace>, EprError> {
         let u = unroll(self.program, k);
+        let mut session = self.maybe_session(&u)?;
         for j in 0..=k {
             let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
-            if let Some(model) = self.solve_reach(&u, j, ("violation", bad))? {
-                return Ok(Some(self.extract_trace(
-                    &u,
-                    j,
-                    &model,
-                    format!("~({phi})"),
-                )));
+            if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
+                return Ok(Some(self.extract_trace(&u, j, &model, format!("~({phi})"))));
             }
         }
         Ok(None)
@@ -88,13 +93,13 @@ impl<'p> Bmc<'p> {
     /// Propagates [`EprError`].
     pub fn check_safety(&self, k: usize) -> Result<Option<Trace>, EprError> {
         let u = unroll(self.program, k);
-        // Aborts during init.
+        let mut session = self.maybe_session(&u)?;
+        // Aborts during init (no steps involved; depth 0).
         if u.init_error != Formula::False {
-            let mut q = self.fresh_query(&u)?;
-            q.assert_labeled("base", &u.base)?;
-            q.assert_labeled("abort", &u.init_error)?;
-            if let EprOutcome::Sat(model) = q.check()? {
-                let mut trace = self.extract_trace(&u, 0, &model.structure, String::new());
+            if let Some(model) =
+                self.solve_at(session.as_mut(), &u, 0, ("abort", u.init_error.clone()))?
+            {
+                let mut trace = self.extract_trace(&u, 0, &model, String::new());
                 trace.violated = "abort during init".into();
                 return Ok(Some(trace));
             }
@@ -103,7 +108,7 @@ impl<'p> Bmc<'p> {
             // Safety properties at state j.
             for (label, phi) in &self.program.safety {
                 let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
-                if let Some(model) = self.solve_reach(&u, j, ("violation", bad))? {
+                if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
                     return Ok(Some(self.extract_trace(&u, j, &model, label.clone())));
                 }
             }
@@ -113,7 +118,9 @@ impl<'p> Bmc<'p> {
                     if err == &Formula::False {
                         continue;
                     }
-                    if let Some(model) = self.solve_reach(&u, j, ("abort", err.clone()))? {
+                    if let Some(model) =
+                        self.solve_at(session.as_mut(), &u, j, ("abort", err.clone()))?
+                    {
                         return Ok(Some(self.extract_trace(
                             &u,
                             j,
@@ -126,7 +133,7 @@ impl<'p> Bmc<'p> {
             // Aborts in the finalization command from state j.
             if u.final_errors[j] != Formula::False {
                 let err = u.final_errors[j].clone();
-                if let Some(model) = self.solve_reach(&u, j, ("abort", err))? {
+                if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("abort", err))? {
                     return Ok(Some(self.extract_trace(
                         &u,
                         j,
@@ -143,6 +150,46 @@ impl<'p> Bmc<'p> {
         let mut q = EprCheck::new(&u.sig)?;
         q.set_instance_limit(self.instance_limit);
         Ok(q)
+    }
+
+    /// Opens the depth-scan session when incremental mode is on: the base
+    /// frame is asserted once; transition steps join permanently as the scan
+    /// deepens (see [`Bmc::solve_at`]).
+    fn maybe_session(&self, u: &Unrolling) -> Result<Option<ReachSession>, EprError> {
+        if !self.incremental {
+            return Ok(None);
+        }
+        let mut s = EprSession::new(&u.sig)?;
+        s.set_instance_limit(self.instance_limit);
+        s.assert_labeled("base", &u.base)?;
+        Ok(Some(ReachSession { s, steps_added: 0 }))
+    }
+
+    /// Solves `base ∧ steps[0..j] ∧ extra` through the session when one is
+    /// open (extending it with any not-yet-asserted steps — they are
+    /// permanent: deeper queries only ever add steps), or with a fresh query
+    /// otherwise.
+    fn solve_at(
+        &self,
+        session: Option<&mut ReachSession>,
+        u: &Unrolling,
+        j: usize,
+        extra: (&str, Formula),
+    ) -> Result<Option<Structure>, EprError> {
+        let Some(rs) = session else {
+            return self.solve_reach(u, j, extra);
+        };
+        while rs.steps_added < j {
+            rs.s.assert_labeled(format!("step{}", rs.steps_added), &u.steps[rs.steps_added])?;
+            rs.steps_added += 1;
+        }
+        let group = rs.s.assert_labeled(extra.0, &extra.1)?;
+        let outcome = rs.s.check()?;
+        rs.s.retire(group);
+        match outcome {
+            EprOutcome::Sat(model) => Ok(Some(model.structure)),
+            EprOutcome::Unsat(_) => Ok(None),
+        }
     }
 
     /// Solves `base ∧ steps[0..j] ∧ extra`; returns the model on SAT.
@@ -166,13 +213,7 @@ impl<'p> Bmc<'p> {
 
     /// Projects the model onto loop-head states 0..=j and labels steps by
     /// evaluating each action's path formula in the model.
-    fn extract_trace(
-        &self,
-        u: &Unrolling,
-        j: usize,
-        model: &Structure,
-        violated: String,
-    ) -> Trace {
+    fn extract_trace(&self, u: &Unrolling, j: usize, model: &Structure, violated: String) -> Trace {
         let mut states = Vec::with_capacity(j + 1);
         for map in u.maps.iter().take(j + 1) {
             states.push(project_state(model, &self.program.sig, map));
@@ -192,6 +233,13 @@ impl<'p> Bmc<'p> {
             violated,
         }
     }
+}
+
+/// The incremental depth-scan state: one session plus how many transition
+/// steps have been permanently asserted so far.
+struct ReachSession {
+    s: EprSession,
+    steps_added: usize,
 }
 
 #[cfg(test)]
@@ -239,8 +287,7 @@ action mark_one {
         let bmc = Bmc::new(&p);
         // "at most one marked node" breaks within 1 step (marking a second
         // node).
-        let phi =
-            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
+        let phi = parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
         let trace = bmc.check_k_invariance(&phi, 3).unwrap().unwrap();
         assert!(trace.steps() >= 1 && trace.steps() <= 3);
         // The final state really violates the property; earlier ones do not.
@@ -255,8 +302,7 @@ action mark_one {
     fn trace_replays_in_interpreter() {
         let p = spread();
         let bmc = Bmc::new(&p);
-        let phi =
-            parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
+        let phi = parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
         let trace = bmc.check_k_invariance(&phi, 2).unwrap().unwrap();
         // Each consecutive state pair must be reachable via exec_all of the
         // named action.

@@ -51,7 +51,7 @@ impl<'p> Generalizer<'p> {
     pub fn new(program: &'p Program) -> Self {
         Generalizer {
             program,
-            instance_limit: 4_000_000,
+            instance_limit: ivy_epr::DEFAULT_INSTANCE_LIMIT,
         }
     }
 
@@ -65,11 +65,7 @@ impl<'p> Generalizer<'p> {
     /// # Errors
     ///
     /// Propagates [`EprError`].
-    pub fn auto_generalize(
-        &self,
-        s_u: &PartialStructure,
-        k: usize,
-    ) -> Result<AutoGen, EprError> {
+    pub fn auto_generalize(&self, s_u: &PartialStructure, k: usize) -> Result<AutoGen, EprError> {
         let u = unroll(self.program, k);
         // Check k-invariance of ϕ(s_u) with per-fact labels, collecting the
         // union of UNSAT cores across depths.
@@ -93,13 +89,12 @@ impl<'p> Generalizer<'p> {
         }
         // Candidate from the cores.
         let seeded: Vec<usize> = (0..facts.len()).filter(|&i| core_union[i]).collect();
-        let mut kept: Vec<usize> = if seeded.len() < facts.len()
-            && self.invariant_with(&u, k, &facts, &seeded)?
-        {
-            seeded
-        } else {
-            (0..facts.len()).collect()
-        };
+        let mut kept: Vec<usize> =
+            if seeded.len() < facts.len() && self.invariant_with(&u, k, &facts, &seeded)? {
+                seeded
+            } else {
+                (0..facts.len()).collect()
+            };
         // Deletion-based minimization on the remaining facts.
         let mut i = 0;
         while i < kept.len() {
@@ -112,8 +107,7 @@ impl<'p> Generalizer<'p> {
             }
         }
         let mut partial = s_u.clone();
-        let keep_set: std::collections::BTreeSet<&Fact> =
-            kept.iter().map(|&i| &facts[i]).collect();
+        let keep_set: std::collections::BTreeSet<&Fact> = kept.iter().map(|&i| &facts[i]).collect();
         partial.retain_facts(|f| keep_set.contains(f));
         // Drop elements no longer mentioned by any fact; they only added
         // distinctness constraints.
@@ -195,10 +189,7 @@ impl<'p> Generalizer<'p> {
         for (a, ca) in &elem_const {
             for (b, cb) in &elem_const {
                 if a < b && a.sort == b.sort {
-                    distinct_parts.push(Formula::neq(
-                        Term::cst(ca.clone()),
-                        Term::cst(cb.clone()),
-                    ));
+                    distinct_parts.push(Formula::neq(Term::cst(ca.clone()), Term::cst(cb.clone())));
                 }
             }
         }
@@ -337,10 +328,8 @@ action mark { havoc n; marked.insert(n) }
             Conjecture::new("C0", ivy_fol::parse_formula("marked(seed)").unwrap()),
             Conjecture::new(
                 "one",
-                ivy_fol::parse_formula(
-                    "forall X:node, Y:node. marked(X) & marked(Y) -> X = Y",
-                )
-                .unwrap(),
+                ivy_fol::parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y")
+                    .unwrap(),
             ),
         ];
         let cti = v.find_minimal_cti(&inv, &[]).unwrap().unwrap();
@@ -383,10 +372,7 @@ action mark { havoc n; marked.insert(n) }
                 // "no blue node anywhere" is the strongest k-invariant
                 // conjecture below s_u.
                 assert_eq!(partial.fact_count(), 1);
-                assert_eq!(
-                    conjecture.to_string(),
-                    "forall NODE1:node. ~blue(NODE1)"
-                );
+                assert_eq!(conjecture.to_string(), "forall NODE1:node. ~blue(NODE1)");
             }
             AutoGen::TooStrong(_) => panic!("blue nodes are unreachable"),
         }
@@ -396,12 +382,9 @@ action mark { havoc n; marked.insert(n) }
     fn implied_checks_consequence() {
         let p = spread();
         let ax = p.axiom();
-        let strong =
-            ivy_fol::parse_formula("forall X:node. ~marked(X)").unwrap();
-        let weak = ivy_fol::parse_formula(
-            "forall X:node, Y:node. marked(X) & marked(Y) -> X = Y",
-        )
-        .unwrap();
+        let strong = ivy_fol::parse_formula("forall X:node. ~marked(X)").unwrap();
+        let weak = ivy_fol::parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y")
+            .unwrap();
         assert!(implied(&p.sig, &ax, std::slice::from_ref(&strong), &weak).unwrap());
         assert!(!implied(&p.sig, &ax, &[weak], &strong).unwrap());
     }

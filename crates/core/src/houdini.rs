@@ -9,11 +9,11 @@
 //! inductive. The result is the strongest inductive invariant within the
 //! candidate set; safety is then checked separately.
 
-use ivy_epr::EprError;
+use ivy_epr::{EprError, EprOutcome, EprSession, GroupId};
 use ivy_fol::{Binding, Formula, Signature, Sort, Term};
-use ivy_rml::Program;
+use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program};
 
-use crate::vc::{Conjecture, Verifier, Violation};
+use crate::vc::{Conjecture, Verifier};
 
 /// Result of a Houdini run.
 #[derive(Clone, Debug)]
@@ -36,43 +36,109 @@ pub fn houdini(
     candidates: Vec<Conjecture>,
     instance_limit: u64,
 ) -> Result<HoudiniResult, EprError> {
-    let mut verifier = Verifier::new(program);
-    verifier.set_instance_limit(instance_limit);
     let mut set = candidates;
     let mut iterations = 0usize;
-    // Initiation: drop candidates violated in some initial state.
-    loop {
-        match verifier.check_initiation(&set)? {
-            None => break,
-            Some(cti) => {
-                iterations += 1;
-                let Violation::Initiation { conjecture } = &cti.violation else {
-                    unreachable!("check_initiation reports initiation violations");
-                };
-                let name = conjecture.clone();
-                // Batch-drop everything false in the witnessing state.
-                set.retain(|c| {
-                    c.name != name && cti.state.eval_closed(&c.formula).unwrap_or(false)
-                });
+
+    // Initiation. Each query asks "can init violate this candidate?" — the
+    // frame is just the init unrolling, independent of the candidate set, so
+    // one incremental session and a single pass suffice: a drop cannot
+    // invalidate an earlier UNSAT answer.
+    {
+        let u = unroll(program, 0);
+        let mut s = EprSession::new(&u.sig)?;
+        s.set_instance_limit(instance_limit);
+        s.assert_labeled("base", &u.base)?;
+        let mut i = 0;
+        while i < set.len() {
+            let bad = Formula::not(rename_symbols(&set[i].formula, &u.maps[0]));
+            let group = s.assert_labeled("violation", &bad)?;
+            let outcome = s.check()?;
+            s.retire(group);
+            match outcome {
+                EprOutcome::Unsat(_) => i += 1,
+                EprOutcome::Sat(model) => {
+                    iterations += 1;
+                    let state = project_state(&model.structure, &program.sig, &u.maps[0]);
+                    // Batch-drop everything false in the witnessing state
+                    // (including set[i] itself, whose violation was just
+                    // satisfied). Surviving earlier candidates stay valid,
+                    // so the scan resumes in place.
+                    set.retain(|c| state.eval_closed(&c.formula).unwrap_or(false));
+                }
             }
         }
     }
-    // Consecution: drop candidates falsified by CTI successors.
-    loop {
-        match verifier.check_consecution(&set)? {
-            None => break,
-            Some(cti) => {
-                iterations += 1;
-                let successor = cti.successor.as_ref().expect("consecution CTI");
-                let before = set.len();
-                set.retain(|c| successor.eval_closed(&c.formula).unwrap_or(false));
-                assert!(
-                    set.len() < before,
-                    "consecution CTI must falsify some candidate"
-                );
+
+    // Consecution: one session across all drop-loop rounds. The base and
+    // the transition step are grounded once; each candidate contributes a
+    // hypothesis group at the pre-state (retired when the candidate drops)
+    // and, lazily, a violation group at the post-state (kept disabled
+    // between its own queries, so re-checks after a drop reuse its clauses
+    // and everything the solver learnt).
+    {
+        let u = unroll_free(program, 1);
+        let mut s = EprSession::new(&u.sig)?;
+        s.set_instance_limit(instance_limit);
+        s.assert_labeled("base", &u.base)?;
+        s.assert_labeled("step", &u.steps[0])?;
+        let mut entries: Vec<(Conjecture, GroupId, Option<GroupId>)> = Vec::new();
+        for c in set.drain(..) {
+            let hyp = s.assert_labeled(
+                format!("inv:{}", c.name),
+                &rename_symbols(&c.formula, &u.maps[0]),
+            )?;
+            entries.push((c, hyp, None));
+        }
+        let mut i = 0;
+        while i < entries.len() {
+            let vio = match entries[i].2 {
+                Some(id) => {
+                    s.set_enabled(id, true);
+                    id
+                }
+                None => {
+                    let bad = Formula::not(rename_symbols(&entries[i].0.formula, &u.maps[1]));
+                    let id = s.assert_labeled("violation", &bad)?;
+                    entries[i].2 = Some(id);
+                    id
+                }
+            };
+            let outcome = s.check()?;
+            s.set_enabled(vio, false);
+            match outcome {
+                EprOutcome::Unsat(_) => i += 1,
+                EprOutcome::Sat(model) => {
+                    iterations += 1;
+                    let successor = project_state(&model.structure, &program.sig, &u.maps[1]);
+                    let before = entries.len();
+                    entries.retain(|(c, hyp, vio)| {
+                        if successor.eval_closed(&c.formula).unwrap_or(false) {
+                            true
+                        } else {
+                            s.retire(*hyp);
+                            if let Some(v) = *vio {
+                                s.retire(v);
+                            }
+                            false
+                        }
+                    });
+                    assert!(
+                        entries.len() < before,
+                        "consecution CTI must falsify some candidate"
+                    );
+                    // Weaker hypotheses can newly admit CTIs for candidates
+                    // already checked, so restart the pass (the fresh
+                    // fixpoint does the same). Reaching the end therefore
+                    // means a full clean pass: the set is inductive.
+                    i = 0;
+                }
             }
         }
+        set = entries.into_iter().map(|(c, _, _)| c).collect();
     }
+
+    let mut verifier = Verifier::new(program);
+    verifier.set_instance_limit(instance_limit);
     let proves_safety = verifier.check_safety(&set)?.is_none();
     Ok(HoudiniResult {
         invariant: set,
@@ -264,7 +330,7 @@ action mark { havoc n; marked.insert(n) }
                 ivy_fol::parse_formula("forall X:node. ~marked(X)").unwrap(),
             ),
         ];
-        let result = houdini(&p, candidates, 4_000_000).unwrap();
+        let result = houdini(&p, candidates, ivy_epr::DEFAULT_INSTANCE_LIMIT).unwrap();
         let names: Vec<&str> = result.invariant.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"good1"), "{names:?}");
         assert!(names.contains(&"good2"));
@@ -294,7 +360,7 @@ action mark { havoc n; marked.insert(n) }
         // needs the constant... constants do not appear in the template, so
         // safety is NOT provable from this template; Houdini still returns
         // the strongest inductive subset.
-        let result = houdini_with_template(&p, 1, 1, 4_000_000).unwrap();
+        let result = houdini_with_template(&p, 1, 1, ivy_epr::DEFAULT_INSTANCE_LIMIT).unwrap();
         // "forall X. ~blue(X)" is in the template and survives.
         assert!(result
             .invariant

@@ -225,10 +225,7 @@ impl<'p> Session<'p> {
                         self.stats.weakened += before - self.conjectures.len();
                         break;
                     }
-                    CtiDecision::Generalize {
-                        upper_bound,
-                        bound,
-                    } => {
+                    CtiDecision::Generalize { upper_bound, bound } => {
                         self.stats.generalizations += 1;
                         match self.generalizer.auto_generalize(&upper_bound, bound)? {
                             AutoGen::TooStrong(trace) => {
@@ -237,20 +234,15 @@ impl<'p> Session<'p> {
                                     conjectures: &self.conjectures,
                                     iteration: self.stats.ctis,
                                 };
-                                decision =
-                                    match user.on_too_strong(&ctx, &upper_bound, &trace) {
-                                        TooStrongDecision::Retry {
-                                            upper_bound,
-                                            bound,
-                                        } => CtiDecision::Generalize {
-                                            upper_bound,
-                                            bound,
-                                        },
-                                        TooStrongDecision::Weaken { remove } => {
-                                            CtiDecision::Weaken { remove }
-                                        }
-                                        TooStrongDecision::Stop => CtiDecision::Stop,
-                                    };
+                                decision = match user.on_too_strong(&ctx, &upper_bound, &trace) {
+                                    TooStrongDecision::Retry { upper_bound, bound } => {
+                                        CtiDecision::Generalize { upper_bound, bound }
+                                    }
+                                    TooStrongDecision::Weaken { remove } => {
+                                        CtiDecision::Weaken { remove }
+                                    }
+                                    TooStrongDecision::Stop => CtiDecision::Stop,
+                                };
                                 continue;
                             }
                             AutoGen::Generalized {
@@ -276,19 +268,11 @@ impl<'p> Session<'p> {
                                         self.push_conjecture(conjecture(&upper_bound));
                                         break;
                                     }
-                                    ProposalDecision::Retry {
-                                        upper_bound,
-                                        bound,
-                                    } => {
-                                        decision = CtiDecision::Generalize {
-                                            upper_bound,
-                                            bound,
-                                        };
+                                    ProposalDecision::Retry { upper_bound, bound } => {
+                                        decision = CtiDecision::Generalize { upper_bound, bound };
                                         continue;
                                     }
-                                    ProposalDecision::Stop => {
-                                        return Ok(SessionOutcome::Stopped)
-                                    }
+                                    ProposalDecision::Stop => return Ok(SessionOutcome::Stopped),
                                 }
                             }
                         }

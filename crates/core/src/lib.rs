@@ -11,17 +11,19 @@ pub mod houdini;
 pub mod interact;
 pub mod minimize;
 pub mod users;
-pub mod viz;
 pub mod vc;
+pub mod viz;
 
 pub use bmc::{Bmc, Trace};
 pub use generalize::{implied, AutoGen, Generalizer};
+pub use houdini::{enumerate_candidates, houdini, houdini_with_template, HoudiniResult};
 pub use interact::{
     CtiDecision, Proposal, ProposalDecision, Session, SessionCtx, SessionOutcome, SessionStats,
     TooStrongDecision, User,
 };
-pub use houdini::{enumerate_candidates, houdini, houdini_with_template, HoudiniResult};
-pub use users::{violation_witness, OracleUser, ScriptedUser};
-pub use viz::{partial_to_dot, structure_to_dot, trace_to_dot, trace_to_text, Projection, VizOptions};
 pub use minimize::Measure;
-pub use vc::{Conjecture, Cti, Inductiveness, Verifier, Violation};
+pub use users::{violation_witness, OracleUser, ScriptedUser};
+pub use vc::{Conjecture, Cti, Inductiveness, QueryStrategy, Verifier, Violation};
+pub use viz::{
+    partial_to_dot, structure_to_dot, trace_to_dot, trace_to_text, Projection, VizOptions,
+};

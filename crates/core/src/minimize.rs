@@ -8,7 +8,7 @@
 use ivy_epr::EprError;
 use ivy_fol::{Binding, Formula, Sort, Sym, Term};
 
-use crate::vc::{Conjecture, Cti, Verifier};
+use crate::vc::{Conjecture, Cti, QueryStrategy, Verifier};
 
 /// A minimization measure (Section 4.3).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,21 +62,11 @@ impl Measure {
                     .enumerate()
                     .map(|(j, s)| Binding::new(format!("TY{j}"), s.clone()))
                     .collect();
-                let atom = Formula::rel(
-                    rel.clone(),
-                    ys.iter().map(|b| Term::Var(b.var.clone())),
-                );
-                let guard = if positive {
-                    atom
-                } else {
-                    Formula::not(atom)
-                };
+                let atom = Formula::rel(rel.clone(), ys.iter().map(|b| Term::Var(b.var.clone())));
+                let guard = if positive { atom } else { Formula::not(atom) };
                 let matches_row = |i: usize| {
                     Formula::and((0..arity).map(|j| {
-                        Formula::eq(
-                            Term::var(format!("TY{j}")),
-                            Term::var(format!("T{i}_{j}")),
-                        )
+                        Formula::eq(Term::var(format!("TY{j}")), Term::var(format!("T{i}_{j}")))
                     }))
                 };
                 let body = Formula::implies(guard, Formula::or((0..n).map(matches_row)));
@@ -147,6 +137,15 @@ impl<'p> Verifier<'p> {
         // (expensive) UNSAT query per measure instead of one per value.
         const ROUND_BUDGET: Option<usize> = Some(30);
         const MEASURE_BUDGET: std::time::Duration = std::time::Duration::from_secs(15);
+        // Under the incremental strategies, one session carries the whole
+        // descent: the violation's frame is grounded once and each candidate
+        // bound below runs as a retirable constraint group on the same
+        // solver. The violation kind and conjecture never change across the
+        // descent (only the witness shrinks), so the frame stays valid.
+        let mut session = match self.strategy() {
+            QueryStrategy::Fresh => None,
+            _ => self.violation_session(conjectures, &best.violation, ROUND_BUDGET)?,
+        };
         for m in measures {
             let started = std::time::Instant::now();
             loop {
@@ -160,16 +159,21 @@ impl<'p> Verifier<'p> {
                 let constraint = m.at_most(&self.program().sig, current - 1);
                 let mut candidate_extra = extra.clone();
                 candidate_extra.push(constraint);
-                match self.check_violation_constrained(
-                    conjectures,
-                    &best.violation.clone(),
-                    &candidate_extra,
-                    ROUND_BUDGET,
-                ) {
+                let attempt = match session.as_mut() {
+                    Some(s) => s.solve(&candidate_extra),
+                    None => self.check_violation_constrained(
+                        conjectures,
+                        &best.violation.clone(),
+                        &candidate_extra,
+                        ROUND_BUDGET,
+                    ),
+                };
+                match attempt {
                     Ok(Some(cti)) => best = cti,
                     Ok(None) => break,
-                    Err(EprError::RepairLimit { .. })
-                    | Err(EprError::TooManyInstances { .. }) => break,
+                    Err(EprError::RepairLimit { .. }) | Err(EprError::TooManyInstances { .. }) => {
+                        break
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -208,10 +212,8 @@ action junkify { havoc n; junk.insert(n) }
             Conjecture::new("C0", ivy_fol::parse_formula("marked(seed)").unwrap()),
             Conjecture::new(
                 "one",
-                ivy_fol::parse_formula(
-                    "forall X:node, Y:node. marked(X) & marked(Y) -> X = Y",
-                )
-                .unwrap(),
+                ivy_fol::parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y")
+                    .unwrap(),
             ),
         ];
         let measures = [

@@ -13,9 +13,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use ivy_fol::{
-    nnf, prenex, Block, Elem, Formula, PartialStructure, Structure, Sym, Term,
-};
+use ivy_fol::{nnf, prenex, Block, Elem, Formula, PartialStructure, Structure, Sym, Term};
 
 use crate::bmc::Trace;
 use crate::generalize::implied;
@@ -333,10 +331,8 @@ mod tests {
     #[test]
     fn witness_none_when_satisfied() {
         let s = two_node_state();
-        let c0 = parse_formula(
-            "forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2",
-        )
-        .unwrap();
+        let c0 =
+            parse_formula("forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2").unwrap();
         assert!(s.eval_closed(&c0).unwrap());
         assert!(violation_witness(&s, &c0).is_none());
     }
@@ -347,10 +343,8 @@ mod tests {
         // instead: ~leader(n2) appears when the clause mentions it
         // negatively.
         let s = two_node_state();
-        let phi = parse_formula(
-            "forall N1:node, N2:node. ~(leader(N1) & ~leader(N2) & N1 ~= N2)",
-        )
-        .unwrap();
+        let phi = parse_formula("forall N1:node, N2:node. ~(leader(N1) & ~leader(N2) & N1 ~= N2)")
+            .unwrap();
         assert!(!s.eval_closed(&phi).unwrap());
         let w = violation_witness(&s, &phi).unwrap();
         let has_negative = w.facts().iter().any(|f| !f.value());

@@ -8,9 +8,9 @@
 
 use std::fmt;
 
-use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
 use ivy_fol::{Formula, Structure};
-use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program};
+use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program, Unrolling};
 
 /// A named conjecture of the candidate invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,11 +105,36 @@ impl Inductiveness {
     }
 }
 
+/// How a [`Verifier`] discharges its families of per-conjecture queries.
+///
+/// All three strategies return the same verdict and report the same
+/// violation (the one with the lowest conjecture/case index); only the
+/// witnessing model may differ, as SAT models are not unique.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueryStrategy {
+    /// One fresh [`EprCheck`] per query: the frame (axioms, unrolling,
+    /// invariant hypotheses) is re-grounded and re-encoded every time. The
+    /// reference implementation.
+    Fresh,
+    /// One incremental [`EprSession`] per check call: the frame is grounded
+    /// once and each conjecture's violation runs as an assumption-guarded
+    /// group on the same solver, reusing learnt clauses and repaired
+    /// equality axioms across queries. The default.
+    #[default]
+    Session,
+    /// Fresh per-query checks fanned out over (up to) the given number of
+    /// worker threads, in waves. Deterministic: each wave's results are
+    /// inspected in conjecture order, so the lowest-index CTI wins
+    /// regardless of thread timing.
+    Parallel(usize),
+}
+
 /// The inductiveness checker for one program.
 #[derive(Clone, Debug)]
 pub struct Verifier<'p> {
     program: &'p Program,
     instance_limit: u64,
+    strategy: QueryStrategy,
 }
 
 impl<'p> Verifier<'p> {
@@ -117,7 +142,8 @@ impl<'p> Verifier<'p> {
     pub fn new(program: &'p Program) -> Verifier<'p> {
         Verifier {
             program,
-            instance_limit: 4_000_000,
+            instance_limit: DEFAULT_INSTANCE_LIMIT,
+            strategy: QueryStrategy::default(),
         }
     }
 
@@ -126,9 +152,20 @@ impl<'p> Verifier<'p> {
         self.program
     }
 
-    /// Caps grounding size per query.
+    /// Caps grounding size per query (cumulative per check call under
+    /// [`QueryStrategy::Session`]).
     pub fn set_instance_limit(&mut self, limit: u64) {
         self.instance_limit = limit;
+    }
+
+    /// Selects how query families are discharged.
+    pub fn set_strategy(&mut self, strategy: QueryStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The active query strategy.
+    pub fn strategy(&self) -> QueryStrategy {
+        self.strategy
     }
 
     /// Checks whether the conjunction of `conjectures` is an inductive
@@ -158,27 +195,59 @@ impl<'p> Verifier<'p> {
     /// # Errors
     ///
     /// Propagates [`EprError`].
-    pub fn check_initiation(
-        &self,
-        conjectures: &[Conjecture],
-    ) -> Result<Option<Cti>, EprError> {
+    pub fn check_initiation(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll(self.program, 0);
-        for c in conjectures {
-            let mut q = self.query(&u.sig)?;
-            q.assert_labeled("base", &u.base)?;
-            q.assert_labeled(
-                "violation",
-                &Formula::not(rename_symbols(&c.formula, &u.maps[0])),
-            )?;
-            if let EprOutcome::Sat(model) = q.check()? {
-                return Ok(Some(Cti {
-                    state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
-                    successor: None,
-                    violation: Violation::Initiation {
-                        conjecture: c.name.clone(),
-                    },
-                }));
+        match self.strategy {
+            QueryStrategy::Fresh => {
+                for c in conjectures {
+                    if let Some(cti) = self.initiation_query(&u, c)? {
+                        return Ok(Some(cti));
+                    }
+                }
+                Ok(None)
             }
+            QueryStrategy::Session => {
+                let mut s = self.session(&u.sig, None)?;
+                s.assert_labeled("base", &u.base)?;
+                for c in conjectures {
+                    let bad = Formula::not(rename_symbols(&c.formula, &u.maps[0]));
+                    let group = s.assert_labeled("violation", &bad)?;
+                    let outcome = s.check()?;
+                    s.retire(group);
+                    if let EprOutcome::Sat(model) = outcome {
+                        return Ok(Some(Cti {
+                            state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                            successor: None,
+                            violation: Violation::Initiation {
+                                conjecture: c.name.clone(),
+                            },
+                        }));
+                    }
+                }
+                Ok(None)
+            }
+            QueryStrategy::Parallel(threads) => parallel_first(threads, conjectures.len(), |i| {
+                self.initiation_query(&u, &conjectures[i])
+            }),
+        }
+    }
+
+    /// One fresh initiation query for a single conjecture.
+    fn initiation_query(&self, u: &Unrolling, c: &Conjecture) -> Result<Option<Cti>, EprError> {
+        let mut q = self.query(&u.sig)?;
+        q.assert_labeled("base", &u.base)?;
+        q.assert_labeled(
+            "violation",
+            &Formula::not(rename_symbols(&c.formula, &u.maps[0])),
+        )?;
+        if let EprOutcome::Sat(model) = q.check()? {
+            return Ok(Some(Cti {
+                state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                successor: None,
+                violation: Violation::Initiation {
+                    conjecture: c.name.clone(),
+                },
+            }));
         }
         Ok(None)
     }
@@ -192,18 +261,51 @@ impl<'p> Verifier<'p> {
     pub fn check_safety(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll_free(self.program, 1);
         let state_map = u.maps[0].clone();
-        for (label, bad) in safety_cases(self.program, &u) {
-            if let Some(state) =
-                self.solve_state(&u.sig, &u.base, conjectures, &state_map, bad)?
-            {
-                return Ok(Some(Cti {
-                    state,
-                    successor: None,
-                    violation: Violation::Safety { property: label },
-                }));
+        let cases = safety_cases(self.program, &u);
+        match self.strategy {
+            QueryStrategy::Fresh => {
+                for (label, bad) in cases {
+                    if let Some(state) =
+                        self.solve_state(&u.sig, &u.base, conjectures, &state_map, bad)?
+                    {
+                        return Ok(Some(Cti {
+                            state,
+                            successor: None,
+                            violation: Violation::Safety { property: label },
+                        }));
+                    }
+                }
+                Ok(None)
             }
+            QueryStrategy::Session => {
+                let mut s = self.frame_session(&u, conjectures, None)?;
+                for (label, bad) in cases {
+                    let group = s.assert_labeled("violation", &bad)?;
+                    let outcome = s.check()?;
+                    s.retire(group);
+                    if let EprOutcome::Sat(model) = outcome {
+                        return Ok(Some(Cti {
+                            state: project_state(&model.structure, &self.program.sig, &state_map),
+                            successor: None,
+                            violation: Violation::Safety { property: label },
+                        }));
+                    }
+                }
+                Ok(None)
+            }
+            QueryStrategy::Parallel(threads) => parallel_first(threads, cases.len(), |i| {
+                let (label, bad) = &cases[i];
+                Ok(self
+                    .solve_state(&u.sig, &u.base, conjectures, &state_map, bad.clone())?
+                    .map(|state| Cti {
+                        state,
+                        successor: None,
+                        violation: Violation::Safety {
+                            property: label.clone(),
+                        },
+                    }))
+            }),
         }
-        Ok(None)
     }
 
     /// Checks `A ∧ I ⇒ wp(C_body, ϕ)` for each conjecture `ϕ` of `I`.
@@ -211,35 +313,73 @@ impl<'p> Verifier<'p> {
     /// # Errors
     ///
     /// Propagates [`EprError`].
-    pub fn check_consecution(
-        &self,
-        conjectures: &[Conjecture],
-    ) -> Result<Option<Cti>, EprError> {
+    pub fn check_consecution(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll_free(self.program, 1);
-        for c in conjectures {
-            let bad = Formula::and([
-                u.steps[0].clone(),
-                Formula::not(rename_symbols(&c.formula, &u.maps[1])),
-            ]);
-            if let Some(model) =
-                self.solve_model(&u.sig, &u.base, conjectures, &u.maps[0], bad)?
-            {
-                let action = u.step_paths[0]
-                    .iter()
-                    .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
-                    .map(|(n, _)| n.clone())
-                    .unwrap_or_default();
-                return Ok(Some(Cti {
-                    state: project_state(&model, &self.program.sig, &u.maps[0]),
-                    successor: Some(project_state(&model, &self.program.sig, &u.maps[1])),
-                    violation: Violation::Consecution {
-                        conjecture: c.name.clone(),
-                        action,
-                    },
-                }));
+        match self.strategy {
+            QueryStrategy::Fresh => {
+                for c in conjectures {
+                    if let Some(cti) = self.consecution_query(&u, conjectures, c)? {
+                        return Ok(Some(cti));
+                    }
+                }
+                Ok(None)
             }
+            QueryStrategy::Session => {
+                let mut s = self.frame_session(&u, conjectures, None)?;
+                // The transition step is shared by every conjecture's query:
+                // ground it once, as its own persistent group.
+                s.assert_labeled("step", &u.steps[0])?;
+                for c in conjectures {
+                    let bad = Formula::not(rename_symbols(&c.formula, &u.maps[1]));
+                    let group = s.assert_labeled("violation", &bad)?;
+                    let outcome = s.check()?;
+                    s.retire(group);
+                    if let EprOutcome::Sat(model) = outcome {
+                        return Ok(Some(self.consecution_cti(&u, c, &model.structure)));
+                    }
+                }
+                Ok(None)
+            }
+            QueryStrategy::Parallel(threads) => parallel_first(threads, conjectures.len(), |i| {
+                self.consecution_query(&u, conjectures, &conjectures[i])
+            }),
+        }
+    }
+
+    /// One fresh consecution query for a single conjecture.
+    fn consecution_query(
+        &self,
+        u: &Unrolling,
+        conjectures: &[Conjecture],
+        c: &Conjecture,
+    ) -> Result<Option<Cti>, EprError> {
+        let bad = Formula::and([
+            u.steps[0].clone(),
+            Formula::not(rename_symbols(&c.formula, &u.maps[1])),
+        ]);
+        if let Some(model) = self.solve_model(&u.sig, &u.base, conjectures, &u.maps[0], bad)? {
+            return Ok(Some(self.consecution_cti(u, c, &model)));
         }
         Ok(None)
+    }
+
+    /// Builds the two-state CTI for a consecution violation from a model of
+    /// the step query, labeling the step with the action whose path formula
+    /// the model satisfies.
+    fn consecution_cti(&self, u: &Unrolling, c: &Conjecture, model: &Structure) -> Cti {
+        let action = u.step_paths[0]
+            .iter()
+            .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        Cti {
+            state: project_state(model, &self.program.sig, &u.maps[0]),
+            successor: Some(project_state(model, &self.program.sig, &u.maps[1])),
+            violation: Violation::Consecution {
+                conjecture: c.name.clone(),
+                action,
+            },
+        }
     }
 
     /// Re-solves a specific violation with extra constraints conjoined at
@@ -252,7 +392,6 @@ impl<'p> Verifier<'p> {
         extra: &[Formula],
         round_limit: Option<usize>,
     ) -> Result<Option<Cti>, EprError> {
-
         match violation {
             Violation::Initiation { conjecture } => {
                 let u = unroll(self.program, 0);
@@ -336,6 +475,99 @@ impl<'p> Verifier<'p> {
         }
     }
 
+    /// Opens a persistent session for re-solving one specific violation
+    /// under varying extra constraints — the workhorse of minimal-CTI search
+    /// (Algorithm 1). The frame (base, invariant hypotheses, transition
+    /// step, and the violation itself) is grounded once; each
+    /// [`ViolationSession::solve`] call only adds the candidate constraint
+    /// as a retirable group. Returns `None` when the violation does not name
+    /// a known safety case.
+    pub(crate) fn violation_session(
+        &self,
+        conjectures: &[Conjecture],
+        violation: &Violation,
+        round_limit: Option<usize>,
+    ) -> Result<Option<ViolationSession<'p>>, EprError> {
+        let (u, session) = match violation {
+            Violation::Initiation { conjecture } => {
+                let u = unroll(self.program, 0);
+                let mut s = self.session(&u.sig, round_limit)?;
+                s.assert_labeled("base", &u.base)?;
+                s.assert_labeled(
+                    "violation",
+                    &Formula::not(rename_symbols(
+                        &find_formula(conjectures, conjecture),
+                        &u.maps[0],
+                    )),
+                )?;
+                (u, s)
+            }
+            Violation::Safety { property } => {
+                let u = unroll_free(self.program, 1);
+                let Some((_, bad)) = safety_cases(self.program, &u)
+                    .into_iter()
+                    .find(|(label, _)| label == property)
+                else {
+                    return Ok(None);
+                };
+                let mut s = self.frame_session(&u, conjectures, round_limit)?;
+                s.assert_labeled("violation", &bad)?;
+                (u, s)
+            }
+            Violation::Consecution { conjecture, .. } => {
+                let u = unroll_free(self.program, 1);
+                let mut s = self.frame_session(&u, conjectures, round_limit)?;
+                s.assert_labeled("step", &u.steps[0])?;
+                s.assert_labeled(
+                    "violation",
+                    &Formula::not(rename_symbols(
+                        &find_formula(conjectures, conjecture),
+                        &u.maps[1],
+                    )),
+                )?;
+                (u, s)
+            }
+        };
+        Ok(Some(ViolationSession {
+            program: self.program,
+            u,
+            session,
+            violation: violation.clone(),
+        }))
+    }
+
+    /// A fresh incremental session over `sig` with this verifier's limits.
+    fn session(
+        &self,
+        sig: &ivy_fol::Signature,
+        round_limit: Option<usize>,
+    ) -> Result<EprSession, EprError> {
+        let mut s = EprSession::new(sig)?;
+        s.set_instance_limit(self.instance_limit);
+        s.set_lazy_round_limit(round_limit);
+        Ok(s)
+    }
+
+    /// A session pre-loaded with the shared one-step frame: the unrolling
+    /// base plus every invariant conjunct as a hypothesis at the pre-state
+    /// vocabulary.
+    fn frame_session(
+        &self,
+        u: &Unrolling,
+        conjectures: &[Conjecture],
+        round_limit: Option<usize>,
+    ) -> Result<EprSession, EprError> {
+        let mut s = self.session(&u.sig, round_limit)?;
+        s.assert_labeled("base", &u.base)?;
+        for c in conjectures {
+            s.assert_labeled(
+                format!("inv:{}", c.name),
+                &rename_symbols(&c.formula, &u.maps[0]),
+            )?;
+        }
+        Ok(s)
+    }
+
     fn query(&self, sig: &ivy_fol::Signature) -> Result<EprCheck, EprError> {
         self.query_limited(sig, None)
     }
@@ -410,6 +642,90 @@ impl<'p> Verifier<'p> {
             EprOutcome::Unsat(_) => Ok(None),
         }
     }
+}
+
+/// An incremental re-solver for one fixed violation (see
+/// [`Verifier::violation_session`]).
+pub(crate) struct ViolationSession<'p> {
+    program: &'p Program,
+    u: Unrolling,
+    session: EprSession,
+    violation: Violation,
+}
+
+impl ViolationSession<'_> {
+    /// Re-solves the violation with `extra` constraints (over the base
+    /// vocabulary) conjoined at the CTI state. The constraint group is
+    /// retired afterwards — also on a repair-limit error, so the session
+    /// survives best-effort budgeted queries.
+    pub(crate) fn solve(&mut self, extra: &[Formula]) -> Result<Option<Cti>, EprError> {
+        let state_map = &self.u.maps[0];
+        let constraint = Formula::and(extra.iter().map(|e| rename_symbols(e, state_map)));
+        let group = self.session.assert_labeled("constraint", &constraint)?;
+        let outcome = self.session.check();
+        self.session.retire(group);
+        match outcome? {
+            EprOutcome::Sat(model) => {
+                let m = &model.structure;
+                let (successor, violation) = match &self.violation {
+                    Violation::Consecution { conjecture, .. } => {
+                        let action = self.u.step_paths[0]
+                            .iter()
+                            .find(|(_, f)| m.eval_closed(f).unwrap_or(false))
+                            .map(|(n, _)| n.clone())
+                            .unwrap_or_default();
+                        (
+                            Some(project_state(m, &self.program.sig, &self.u.maps[1])),
+                            Violation::Consecution {
+                                conjecture: conjecture.clone(),
+                                action,
+                            },
+                        )
+                    }
+                    v => (None, v.clone()),
+                };
+                Ok(Some(Cti {
+                    state: project_state(m, &self.program.sig, &self.u.maps[0]),
+                    successor,
+                    violation,
+                }))
+            }
+            EprOutcome::Unsat(_) => Ok(None),
+        }
+    }
+}
+
+/// Runs `count` independent queries across up to `threads` scoped worker
+/// threads, in waves. Both results and errors are inspected in index order,
+/// so the outcome (the lowest-index CTI, or the lowest-index error) is
+/// deterministic regardless of thread scheduling.
+fn parallel_first<T, F>(threads: usize, count: usize, query: F) -> Result<Option<T>, EprError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<Option<T>, EprError> + Sync,
+{
+    let threads = threads.max(1);
+    let mut start = 0;
+    while start < count {
+        let end = usize::min(start + threads, count);
+        let wave: Vec<Result<Option<T>, EprError>> = std::thread::scope(|scope| {
+            let query = &query;
+            let handles: Vec<_> = (start..end)
+                .map(|i| scope.spawn(move || query(i)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        for result in wave {
+            if let Some(found) = result? {
+                return Ok(Some(found));
+            }
+        }
+        start = end;
+    }
+    Ok(None)
 }
 
 /// The violation cases checked as "safety" at an arbitrary invariant state:
@@ -505,8 +821,7 @@ action mark { havoc n; marked.insert(n) }
             Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
             Conjecture::new(
                 "C1",
-                parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y")
-                    .unwrap(),
+                parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
             ),
         ];
         match v.check(&inv).unwrap() {
@@ -534,10 +849,7 @@ action mark { havoc n; marked.insert(n) }
         // "nothing is marked" is false right after init.
         let inv = vec![
             Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
-            Conjecture::new(
-                "Cbad",
-                parse_formula("forall X:node. ~marked(X)").unwrap(),
-            ),
+            Conjecture::new("Cbad", parse_formula("forall X:node. ~marked(X)").unwrap()),
         ];
         match v.check(&inv).unwrap() {
             Inductiveness::Cti(cti) => {
@@ -577,5 +889,90 @@ action bad { havoc n; assume marked(n); abort }
             parse_formula("forall X:node. ~marked(X)").unwrap(),
         )];
         assert!(v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn strategies_agree_on_verdict_and_violation() {
+        let p = spread();
+        // Candidate sets covering all three violation kinds plus the
+        // inductive case.
+        let suites: Vec<Vec<Conjecture>> = vec![
+            vec![Conjecture::new(
+                "C0",
+                parse_formula("marked(seed)").unwrap(),
+            )],
+            vec![],
+            vec![
+                Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+                Conjecture::new(
+                    "C1",
+                    parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
+                ),
+            ],
+            vec![
+                Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+                Conjecture::new("Cbad", parse_formula("forall X:node. ~marked(X)").unwrap()),
+            ],
+        ];
+        for inv in &suites {
+            let mut reference = Verifier::new(&p);
+            reference.set_strategy(QueryStrategy::Fresh);
+            let expected = reference.check(inv).unwrap();
+            for strategy in [QueryStrategy::Session, QueryStrategy::Parallel(4)] {
+                let mut v = Verifier::new(&p);
+                v.set_strategy(strategy);
+                let got = v.check(inv).unwrap();
+                match (&expected, &got) {
+                    (Inductiveness::Inductive, Inductiveness::Inductive) => {}
+                    (Inductiveness::Cti(a), Inductiveness::Cti(b)) => {
+                        assert_eq!(a.violation, b.violation, "{strategy:?}");
+                    }
+                    _ => panic!("{strategy:?} disagrees with Fresh on {inv:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fan_out_is_deterministic() {
+        let p = spread();
+        // Several non-inductive conjectures: every thread count and repeated
+        // runs must report the same (lowest-index) violation.
+        let inv = vec![
+            Conjecture::new("C0", parse_formula("marked(seed)").unwrap()),
+            Conjecture::new(
+                "A",
+                parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap(),
+            ),
+            Conjecture::new(
+                "B",
+                parse_formula("forall X:node. marked(X) -> X = seed").unwrap(),
+            ),
+        ];
+        let mut first: Option<Violation> = None;
+        for threads in [1, 2, 8] {
+            for _run in 0..3 {
+                let mut v = Verifier::new(&p);
+                v.set_strategy(QueryStrategy::Parallel(threads));
+                let Inductiveness::Cti(cti) = v.check(&inv).unwrap() else {
+                    panic!("expected CTI");
+                };
+                match &first {
+                    None => first = Some(cti.violation.clone()),
+                    Some(expected) => assert_eq!(
+                        expected, &cti.violation,
+                        "nondeterministic CTI with {threads} threads"
+                    ),
+                }
+            }
+        }
+        // The winner is the lowest-index failing conjecture, "A".
+        assert_eq!(
+            first.unwrap(),
+            Violation::Consecution {
+                conjecture: "A".into(),
+                action: "mark".into()
+            }
+        );
     }
 }

@@ -201,11 +201,7 @@ pub fn partial_to_dot(p: &PartialStructure, opts: &VizOptions) -> String {
                 if opts.hide.contains(sym) {
                     continue;
                 }
-                let style = if *value {
-                    "solid"
-                } else {
-                    "dashed, color=red"
-                };
+                let style = if *value { "solid" } else { "dashed, color=red" };
                 let _ = writeln!(
                     out,
                     "  {} -> {} [label=\"{}{sym}\", style={style}];",

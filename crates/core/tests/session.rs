@@ -158,5 +158,8 @@ fn too_strong_feedback_reaches_user() {
     };
     let outcome = session.run(&mut user, 5).unwrap();
     assert_eq!(outcome, SessionOutcome::Stopped);
-    assert!(user.saw_too_strong, "BMC must reject the over-generalization");
+    assert!(
+        user.saw_too_strong,
+        "BMC must reject the over-generalization"
+    );
 }

@@ -19,8 +19,14 @@ use ivy_sat::{Lit, SolveResult, Stats};
 use crate::encode::{Encoder, EqualityMode};
 
 /// A Skolemized assertion split into miniscoped universal jobs.
-type GroundJob = (Vec<Binding>, Formula);
+pub(crate) type GroundJob = (Vec<Binding>, Formula);
 use crate::ground::{ensure_inhabited, TermTable};
+
+/// The default cap on universal instantiations per query, shared by every
+/// engine built on this crate (verification conditions, BMC, Houdini, …).
+/// Large enough for all bundled protocols, small enough to fail fast when a
+/// query's grounding explodes.
+pub const DEFAULT_INSTANCE_LIMIT: u64 = 4_000_000;
 
 /// Errors from the EPR check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,10 +63,9 @@ impl fmt::Display for EprError {
                 f,
                 "grounding needs ~{estimated} instances, over the limit of {limit}"
             ),
-            EprError::RepairLimit { rounds } => write!(
-                f,
-                "lazy equality repair gave up after {rounds} rounds"
-            ),
+            EprError::RepairLimit { rounds } => {
+                write!(f, "lazy equality repair gave up after {rounds} rounds")
+            }
         }
     }
 }
@@ -165,7 +170,7 @@ impl EprCheck {
         Ok(EprCheck {
             sig: sig.clone(),
             assertions: Vec::new(),
-            instance_limit: 4_000_000,
+            instance_limit: DEFAULT_INSTANCE_LIMIT,
             equality_mode: EqualityMode::default(),
             lazy_round_limit: None,
             stats: GroundStats::default(),
@@ -346,7 +351,7 @@ impl EprCheck {
 ///
 /// `guard` carries the accumulated guard literals to prefix onto every
 /// emitted piece. Sound for positively asserted sentences.
-fn split_for_grounding(
+pub(crate) fn split_for_grounding(
     f: &Formula,
     guard: Vec<Formula>,
     sig: &mut Signature,
@@ -364,11 +369,8 @@ fn split_for_grounding(
             if let Formula::And(cs) = body.as_ref() {
                 for c in cs {
                     let fv = c.free_vars();
-                    let needed: Vec<Binding> = bs
-                        .iter()
-                        .filter(|b| fv.contains(&b.var))
-                        .cloned()
-                        .collect();
+                    let needed: Vec<Binding> =
+                        bs.iter().filter(|b| fv.contains(&b.var)).cloned().collect();
                     split_for_grounding(
                         &Formula::forall(needed, c.clone()),
                         guard.clone(),
@@ -435,34 +437,69 @@ fn emit_piece(f: Formula, guard: Vec<Formula>, out: &mut Vec<Formula>) {
 }
 
 /// Enumerates all ground instantiations of `bindings` and asserts
-/// `guard -> matrix[env]` for each.
-fn instantiate(enc: &mut Encoder, guard: Lit, bindings: &[Binding], matrix: &Formula) {
+/// `guard -> matrix[env]` for each. With `min_term`, only tuples mentioning
+/// at least one term id `>= min_term` are instantiated — incremental
+/// sessions use this to cover exactly the universe delta after an extension
+/// without repeating instantiations that already exist.
+pub(crate) fn instantiate_delta(
+    enc: &mut Encoder,
+    guard: Lit,
+    bindings: &[Binding],
+    matrix: &Formula,
+    min_term: usize,
+) {
     fn go(
         enc: &mut Encoder,
         guard: Lit,
         bindings: &[Binding],
         matrix: &Formula,
         env: &mut Vec<(Sym, usize)>,
+        min_term: usize,
+        any_new: bool,
     ) {
         if env.len() == bindings.len() {
-            let root = enc.encode(matrix, env);
-            enc.add_clause([!guard, root]);
+            if any_new || min_term == 0 {
+                let root = enc.encode(matrix, env);
+                enc.add_clause([!guard, root]);
+            }
             return;
         }
         let b = &bindings[env.len()];
         let candidates: Vec<usize> = enc.table().of_sort(&b.sort).to_vec();
         for t in candidates {
             env.push((b.var.clone(), t));
-            go(enc, guard, bindings, matrix, env);
+            go(
+                enc,
+                guard,
+                bindings,
+                matrix,
+                env,
+                min_term,
+                any_new || t >= min_term,
+            );
             env.pop();
         }
     }
-    go(enc, guard, bindings, matrix, &mut Vec::new());
+    go(
+        enc,
+        guard,
+        bindings,
+        matrix,
+        &mut Vec::new(),
+        min_term,
+        false,
+    );
+}
+
+/// Enumerates all ground instantiations of `bindings` and asserts
+/// `guard -> matrix[env]` for each.
+fn instantiate(enc: &mut Encoder, guard: Lit, bindings: &[Binding], matrix: &Formula) {
+    instantiate_delta(enc, guard, bindings, matrix, 0);
 }
 
 /// Builds a finite first-order structure from the SAT model by quotienting
 /// the ground-term universe by the true equalities.
-fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structure {
+pub(crate) fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structure {
     let sig = Arc::new(work_sig.clone());
     let mut structure = Structure::new(sig);
     let parts = enc.model_parts();
@@ -530,7 +567,10 @@ fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structure {
                 .table()
                 .get(name, &reps)
                 .expect("universe is closed under functions");
-            let args: Vec<Elem> = reps.iter().map(|r| elem_of[&classes.find(*r)].clone()).collect();
+            let args: Vec<Elem> = reps
+                .iter()
+                .map(|r| elem_of[&classes.find(*r)].clone())
+                .collect();
             let result = elem_of[&classes.find(result_term)].clone();
             structure.set_fun(name.clone(), args, result);
         }
@@ -574,7 +614,10 @@ mod tests {
                 assert!(s.domain_size(&Sort::new("id")) >= 3);
                 // The model really satisfies all assertions.
                 for src in [TOTAL_ORDER, ANTISYM, TRANS, TOTAL] {
-                    assert!(s.eval_closed(&parse_formula(src).unwrap()).unwrap(), "{src}");
+                    assert!(
+                        s.eval_closed(&parse_formula(src).unwrap()).unwrap(),
+                        "{src}"
+                    );
                 }
             }
             EprOutcome::Unsat(core) => panic!("unexpectedly unsat: {core:?}"),
@@ -587,11 +630,8 @@ mod tests {
         let mut q = EprCheck::new(&sig).unwrap();
         q.assert_labeled("refl", &parse_formula(TOTAL_ORDER).unwrap())
             .unwrap();
-        q.assert_labeled(
-            "irrefl",
-            &parse_formula("exists X:id. ~le(X, X)").unwrap(),
-        )
-        .unwrap();
+        q.assert_labeled("irrefl", &parse_formula("exists X:id. ~le(X, X)").unwrap())
+            .unwrap();
         q.assert_labeled("total", &parse_formula(TOTAL).unwrap())
             .unwrap();
         match q.check().unwrap() {
@@ -707,9 +747,6 @@ mod tests {
             &parse_formula("exists X:id, Y:id. le(X, Y)").unwrap(),
         )
         .unwrap();
-        assert!(matches!(
-            q.check(),
-            Err(EprError::TooManyInstances { .. })
-        ));
+        assert!(matches!(q.check(), Err(EprError::TooManyInstances { .. })));
     }
 }

@@ -8,9 +8,9 @@
 //! equality atoms, directly or through congruence), which keeps the
 //! transitivity/congruence axioms from exploding over large universes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use ivy_fol::{Formula, Sym, Term};
+use ivy_fol::{Formula, Signature, Sym, Term};
 use ivy_sat::{Lit, Solver, Var};
 
 use crate::ground::{TermId, TermTable};
@@ -63,12 +63,17 @@ pub enum EqualityMode {
 
 /// Tseitin encoder over a ground-term universe, with lazy atom allocation
 /// and relevant-pairs equality.
+///
+/// Atom and equality maps are ordered (`BTreeMap`), so every iteration over
+/// them — equality repair, congruence bucketing, model extraction — is
+/// deterministic across processes. Incremental sessions rely on this:
+/// repeated runs must produce the same models and hence the same CTIs.
 pub struct Encoder {
     solver: Solver,
     table: TermTable,
     true_lit: Lit,
-    rel_atoms: HashMap<(Sym, Vec<TermId>), Var>,
-    eq_vars: HashMap<(TermId, TermId), Var>,
+    rel_atoms: BTreeMap<(Sym, Vec<TermId>), Var>,
+    eq_vars: BTreeMap<(TermId, TermId), Var>,
     /// Pairs that received an equality variable from the matrix (pre-closure).
     seed_pairs: Vec<(TermId, TermId)>,
     finalized: bool,
@@ -93,8 +98,8 @@ impl Encoder {
             solver,
             table,
             true_lit: t.pos(),
-            rel_atoms: HashMap::new(),
-            eq_vars: HashMap::new(),
+            rel_atoms: BTreeMap::new(),
+            eq_vars: BTreeMap::new(),
             seed_pairs: Vec::new(),
             finalized: false,
             lazy_added: std::collections::HashSet::new(),
@@ -104,6 +109,16 @@ impl Encoder {
     /// The universe.
     pub fn table(&self) -> &TermTable {
         &self.table
+    }
+
+    /// Grows the universe in place to cover new constants in `sig` and the
+    /// function closure over them (see [`TermTable::extend`]); returns the
+    /// term count before the extension. Existing term ids, atoms, equality
+    /// variables and clauses are unaffected — incremental sessions use the
+    /// returned watermark to instantiate persistent universals over the
+    /// delta only.
+    pub fn extend_universe(&mut self, sig: &Signature) -> usize {
+        self.table.extend(sig)
     }
 
     /// A literal that is always true.
@@ -146,6 +161,11 @@ impl Encoder {
             return v.pos();
         }
         let v = self.solver.new_var();
+        // Unconstrained equalities must default to *false*: phase saving
+        // would otherwise let a stale `true` from an earlier model inflate
+        // the union-find classes of the lazy repair scan, which then
+        // axiomatizes enormous congruence buckets.
+        self.solver.pin_phase(v, false);
         self.eq_vars.insert(key, v);
         if !self.finalized {
             self.seed_pairs.push(key);
@@ -313,7 +333,8 @@ impl Encoder {
                 for j in (i + 1)..comp.len() {
                     for k in (j + 1)..comp.len() {
                         let (a, b, c) = (comp[i], comp[j], comp[k]);
-                        let (ab, bc, ac) = (self.eq_lit(a, b), self.eq_lit(b, c), self.eq_lit(a, c));
+                        let (ab, bc, ac) =
+                            (self.eq_lit(a, b), self.eq_lit(b, c), self.eq_lit(a, c));
                         self.solver.add_clause([!ab, !bc, ac]);
                         self.solver.add_clause([!ab, !ac, bc]);
                         self.solver.add_clause([!ac, !bc, ab]);
@@ -357,10 +378,7 @@ impl Encoder {
         let mut buckets: AtomBuckets = BTreeMap::new();
         for ((sym, args), var) in self.rel_atoms.clone() {
             let sig: Vec<usize> = args.iter().map(|&a| uf.find(a)).collect();
-            buckets
-                .entry((sym, sig))
-                .or_default()
-                .push((args, var));
+            buckets.entry((sym, sig)).or_default().push((args, var));
         }
         for atoms in buckets.values() {
             for (i, (args1, v1)) in atoms.iter().enumerate() {
@@ -411,11 +429,20 @@ impl Encoder {
             u64::MAX
         };
         self.finalized = true;
+        // Even the unbounded discipline caps each round: adding a bounded
+        // batch of violated axioms and re-solving usually collapses the
+        // spurious equality classes, making the remaining millions of
+        // would-be axioms moot. Unlike the bounded mode, the unbounded loop
+        // never gives up — it just takes more (cheap) rounds.
         let per_round_cap = if max_rounds.is_some() {
             Some(4_000)
         } else {
-            None
+            Some(50_000)
         };
+        // Start from canonical phases: a saved model from an earlier query
+        // in this session would otherwise bias this query's first model
+        // toward stale truths, inflating the repair scan's equality classes.
+        self.solver.reset_phases();
         let mut rounds = 0;
         let mut total_added = 0usize;
         loop {
@@ -432,7 +459,7 @@ impl Encoder {
                     total_added += added;
                     rounds += 1;
                     if max_rounds.is_some_and(|m| rounds >= m)
-                        || (per_round_cap.is_some() && total_added > 200_000)
+                        || (max_rounds.is_some() && total_added > 200_000)
                     {
                         return (None, rounds);
                     }
@@ -483,8 +510,7 @@ impl Encoder {
                             if over(added) {
                                 break 'transitivity;
                             }
-                            let key =
-                                LazyAxiom::Transitivity(class[i], class[j], class[k]);
+                            let key = LazyAxiom::Transitivity(class[i], class[j], class[k]);
                             if !self.lazy_added.insert(key) {
                                 continue;
                             }

@@ -46,12 +46,29 @@ impl TermTable {
     /// Panics if the signature is not stratified (the closure would diverge);
     /// callers validate stratification first.
     pub fn build(sig: &Signature) -> TermTable {
-        sig.stratification()
-            .expect("TermTable::build requires a stratified signature");
         let mut table = TermTable::default();
+        table.extend(sig);
+        table
+    }
+
+    /// Extends the universe in place with every ground term of `sig` not yet
+    /// present: newly declared constants (typically Skolem constants from a
+    /// later query of an incremental session) and the function closure over
+    /// them. Existing term ids are preserved; new terms receive ids starting
+    /// at the returned watermark (the term count *before* the extension), so
+    /// callers can enumerate the delta as `watermark..self.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is not stratified (the closure would diverge);
+    /// callers validate stratification first.
+    pub fn extend(&mut self, sig: &Signature) -> usize {
+        sig.stratification()
+            .expect("TermTable requires a stratified signature");
+        let old_len = self.terms.len();
         // Seed with constants.
         for (name, sort) in sig.constants() {
-            table.intern(
+            self.intern(
                 GroundTerm {
                     sym: name.clone(),
                     args: Vec::new(),
@@ -63,7 +80,7 @@ impl TermTable {
         // applies every function to every argument tuple currently present.
         loop {
             let mut added = false;
-            let snapshot: BTreeMap<Sort, Vec<TermId>> = table.by_sort.clone();
+            let snapshot: BTreeMap<Sort, Vec<TermId>> = self.by_sort.clone();
             for (name, decl) in sig.functions() {
                 if decl.is_constant() {
                     continue;
@@ -86,8 +103,8 @@ impl TermTable {
                         sym: name.clone(),
                         args,
                     };
-                    if !table.index.contains_key(&gt) {
-                        table.intern(gt, decl.ret.clone());
+                    if !self.index.contains_key(&gt) {
+                        self.intern(gt, decl.ret.clone());
                         added = true;
                     }
                 }
@@ -96,7 +113,7 @@ impl TermTable {
                 break;
             }
         }
-        table
+        old_len
     }
 
     fn intern(&mut self, gt: GroundTerm, sort: Sort) -> TermId {
@@ -286,5 +303,25 @@ mod tests {
     fn ensure_inhabited_noop_when_populated() {
         let mut sig = leader_sig();
         assert!(ensure_inhabited(&mut sig).is_empty());
+    }
+
+    #[test]
+    fn extend_preserves_ids_and_reports_watermark() {
+        let mut sig = leader_sig();
+        let mut table = TermTable::build(&sig);
+        let n = table.get(&Sym::new("n"), &[]).unwrap();
+        let before = table.len();
+        // A new constant closes under idf, adding two terms.
+        sig.add_constant("k", "node").unwrap();
+        let watermark = table.extend(&sig);
+        assert_eq!(watermark, before);
+        assert_eq!(table.len(), before + 2);
+        assert_eq!(table.get(&Sym::new("n"), &[]), Some(n), "ids preserved");
+        let k = table.get(&Sym::new("k"), &[]).unwrap();
+        assert!(k >= watermark);
+        assert!(table.get(&Sym::new("idf"), &[k]).is_some());
+        // Extending again with no new symbols is a no-op.
+        assert_eq!(table.extend(&sig), before + 2);
+        assert_eq!(table.len(), before + 2);
     }
 }

@@ -32,7 +32,9 @@
 pub mod check;
 pub mod encode;
 pub mod ground;
+pub mod session;
 
-pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model};
+pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model, DEFAULT_INSTANCE_LIMIT};
 pub use encode::{Encoder, EqualityMode};
 pub use ground::{ensure_inhabited, GroundTerm, TermId, TermTable};
+pub use session::{EprSession, GroupId};

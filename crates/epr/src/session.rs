@@ -1,0 +1,564 @@
+//! Incremental EPR sessions: many related queries on one solver.
+//!
+//! The verification loops built on this crate (inductiveness checking,
+//! Houdini, BMC, CTI minimization) discharge *families* of queries that
+//! share almost everything: the axioms, the initial/transition frame, and
+//! the invariant-conjunct hypotheses are identical from one query to the
+//! next; only a small per-conjecture violation changes. [`EprCheck`]
+//! re-grounds and re-encodes that shared frame for every query.
+//! [`EprSession`] grounds it once: each assertion set becomes a *group* of
+//! clauses guarded by an activation literal, queries select groups via
+//! solver assumptions, and the CDCL solver's learnt clauses — plus every
+//! lazily repaired equality axiom — carry over between queries.
+//!
+//! Later groups may introduce new Skolem constants, growing the ground-term
+//! universe. The session then re-instantiates every live group's universal
+//! jobs over exactly the *delta* (tuples mentioning at least one new term),
+//! so persistent universals stay sound over the grown universe without
+//! repeating old instantiations. To keep the universe from growing linearly
+//! with the number of queries — which would make the per-query
+//! delta-instantiation cost quadratic over a long session — Skolem
+//! constants of retired groups are pooled by sort and reused by later
+//! groups: a retired group's clauses are deactivated at level 0, so its
+//! Skolem constants are unconstrained and free to take on new meanings.
+//!
+//! Sessions always use the lazy (CEGAR) equality discipline; repaired
+//! axioms are theory-valid level-0 clauses, so they remain sound for every
+//! future query regardless of which groups it enables.
+//!
+//! [`EprCheck`]: crate::EprCheck
+
+use std::collections::BTreeMap;
+
+use ivy_fol::subst::subst_constant;
+use ivy_fol::xform::Block;
+use ivy_fol::{eliminate_ite, nnf, skolemize, Binding, Formula, Signature, Sort, Sym, Term};
+use ivy_sat::{Lit, SolveResult};
+
+use crate::check::{
+    extract_structure, instantiate_delta, split_for_grounding, EprError, EprOutcome, GroundJob,
+    GroundStats, Model, DEFAULT_INSTANCE_LIMIT,
+};
+use crate::encode::Encoder;
+use crate::ground::{ensure_inhabited, TermTable};
+
+/// Handle to one assertion group of an [`EprSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupId(usize);
+
+struct Group {
+    label: String,
+    act: Lit,
+    /// Miniscoped universal jobs, kept for delta re-instantiation when the
+    /// universe grows.
+    jobs: Vec<GroundJob>,
+    /// Skolem constants this group owns; returned to the session's pool for
+    /// reuse when the group is retired.
+    skolems: Vec<(Sym, Sort)>,
+    enabled: bool,
+    retired: bool,
+}
+
+/// An incremental EPR query session (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ivy_fol::{parse_formula, Signature};
+/// use ivy_epr::EprSession;
+///
+/// let mut sig = Signature::new();
+/// sig.add_sort("s")?;
+/// sig.add_relation("r", ["s"])?;
+/// sig.add_constant("a", "s")?;
+/// let mut s = EprSession::new(&sig)?;
+/// // Persistent frame: r holds everywhere.
+/// s.assert_labeled("frame", &parse_formula("forall X:s. r(X)")?)?;
+/// assert!(s.check()?.is_sat());
+/// // A per-query violation, retired after its query.
+/// let v = s.assert_labeled("violation", &parse_formula("exists X:s. ~r(X)")?)?;
+/// assert!(!s.check()?.is_sat());
+/// s.retire(v);
+/// assert!(s.check()?.is_sat());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EprSession {
+    work_sig: Signature,
+    enc: Encoder,
+    guard_counter: usize,
+    groups: Vec<Group>,
+    instance_limit: u64,
+    lazy_round_limit: Option<usize>,
+    /// Instantiations performed over the session's lifetime (the budget is
+    /// cumulative: shared-frame instantiations are paid once, not per query).
+    instances: u64,
+    /// Skolem constants freed by retired groups, by sort. Reusing them keeps
+    /// the universe — and with it the delta-instantiation cost of persistent
+    /// groups — bounded by the largest single query instead of growing with
+    /// every query.
+    skolem_pool: BTreeMap<Sort, Vec<Sym>>,
+    stats: GroundStats,
+}
+
+impl EprSession {
+    /// Opens a session over `sig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EprError::Sig`] if the signature's functions are not
+    /// stratified.
+    pub fn new(sig: &Signature) -> Result<EprSession, EprError> {
+        sig.stratification()?;
+        let mut work_sig = sig.clone();
+        // Inhabit every sort up front; later Skolem constants only grow
+        // domains, which preserves EPR satisfiability.
+        ensure_inhabited(&mut work_sig);
+        let table = TermTable::build(&work_sig);
+        Ok(EprSession {
+            work_sig,
+            enc: Encoder::new(table),
+            guard_counter: 0,
+            groups: Vec::new(),
+            instance_limit: DEFAULT_INSTANCE_LIMIT,
+            lazy_round_limit: None,
+            instances: 0,
+            skolem_pool: BTreeMap::new(),
+            stats: GroundStats::default(),
+        })
+    }
+
+    /// Caps the *cumulative* number of universal instantiations the session
+    /// may perform across all groups.
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// Bounds the lazy equality repair loop per [`EprSession::check`] call;
+    /// exceeding it yields [`EprError::RepairLimit`]. The session stays
+    /// usable afterwards (partial repairs are sound). `None` (the default)
+    /// never gives up.
+    pub fn set_lazy_round_limit(&mut self, limit: Option<usize>) {
+        self.lazy_round_limit = limit;
+    }
+
+    /// The working signature: the original symbols plus split guards and
+    /// Skolem constants accumulated so far.
+    pub fn work_sig(&self) -> &Signature {
+        &self.work_sig
+    }
+
+    /// Grounding and solving statistics as of the last `check` call.
+    pub fn stats(&self) -> GroundStats {
+        self.stats
+    }
+
+    /// Asserts one labeled sentence as its own group. See
+    /// [`EprSession::assert_group`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EprSession::assert_group`].
+    pub fn assert_labeled(
+        &mut self,
+        label: impl Into<String>,
+        f: &Formula,
+    ) -> Result<GroupId, EprError> {
+        self.assert_group(label, std::slice::from_ref(f))
+    }
+
+    /// Grounds and encodes the conjunction of `formulas` as a new group,
+    /// enabled by default. The group's clauses constrain a query only while
+    /// the group is enabled; disable it with [`EprSession::set_enabled`] or
+    /// drop it permanently with [`EprSession::retire`].
+    ///
+    /// If the formulas introduce Skolem constants, the universe grows and
+    /// every live group's universal jobs are re-instantiated over the new
+    /// tuples, so persistent groups remain sound.
+    ///
+    /// # Errors
+    ///
+    /// [`EprError::Sort`] for ill-sorted formulas, [`EprError::Skolem`] when
+    /// a formula leaves `∃*∀*`, and [`EprError::TooManyInstances`] when the
+    /// cumulative instantiation budget would be exceeded (the group is not
+    /// added; the session stays usable, though Skolem constants may already
+    /// have grown the signature).
+    pub fn assert_group(
+        &mut self,
+        label: impl Into<String>,
+        formulas: &[Formula],
+    ) -> Result<GroupId, EprError> {
+        for f in formulas {
+            f.well_sorted(&self.work_sig, &BTreeMap::new())?;
+        }
+        // Split and Skolemize, extending the working signature (same
+        // pipeline as EprCheck::check, shared via check.rs helpers).
+        // Skolemization runs against a scratch copy of the signature so that
+        // each Skolem constant can first be offered a pooled name freed by a
+        // retired group; only genuinely new constants enter `work_sig` and
+        // grow the universe.
+        let mut jobs: Vec<GroundJob> = Vec::new();
+        let mut reused: Vec<(Sym, Sort)> = Vec::new();
+        let mut fresh: Vec<(Sym, Sort)> = Vec::new();
+        for f in formulas {
+            let f = eliminate_ite(f);
+            let mut pieces = Vec::new();
+            split_for_grounding(
+                &nnf(&f),
+                Vec::new(),
+                &mut self.work_sig,
+                &mut self.guard_counter,
+                &mut pieces,
+            );
+            for piece in pieces {
+                let mut scratch = self.work_sig.clone();
+                let sk = skolemize(&piece, &mut scratch)?;
+                let mut matrix = sk.universal.matrix;
+                for (name, sort) in sk.constants {
+                    match self.skolem_pool.get_mut(&sort).and_then(Vec::pop) {
+                        Some(pooled) => {
+                            matrix = subst_constant(&matrix, &name, &Term::cst(pooled.clone()));
+                            reused.push((pooled, sort));
+                        }
+                        None => {
+                            self.work_sig
+                                .add_constant(name.clone(), sort.clone())
+                                .expect("skolemize picked a fresh name");
+                            fresh.push((name, sort));
+                        }
+                    }
+                }
+                let bindings: Vec<Binding> = sk
+                    .universal
+                    .prefix
+                    .iter()
+                    .flat_map(|b| match b {
+                        Block::Forall(bs) => bs.clone(),
+                        Block::Exists(_) => unreachable!("skolemize leaves only universals"),
+                    })
+                    .collect();
+                for conjunct in matrix.conjuncts() {
+                    let fv = conjunct.free_vars();
+                    let needed: Vec<Binding> = bindings
+                        .iter()
+                        .filter(|b| fv.contains(&b.var))
+                        .cloned()
+                        .collect();
+                    jobs.push((needed, conjunct.clone()));
+                }
+            }
+        }
+        let watermark = self.enc.extend_universe(&self.work_sig);
+        // Enforce the cumulative instantiation budget before encoding
+        // anything: the new group in full, plus every live group's delta.
+        let mut estimated = self.instances;
+        for job in &jobs {
+            estimated = estimated.saturating_add(count_tuples(self.enc.table(), job, 0));
+        }
+        for g in self.groups.iter().filter(|g| !g.retired) {
+            for job in &g.jobs {
+                estimated =
+                    estimated.saturating_add(count_tuples(self.enc.table(), job, watermark));
+            }
+        }
+        if estimated > self.instance_limit {
+            // The group is abandoned. Reused constants go back to the pool;
+            // fresh ones are leaked (they are in the table, but live groups
+            // were never delta-instantiated over them, so handing them to a
+            // future group would leave it under-constrained).
+            for (sym, sort) in reused {
+                self.skolem_pool.entry(sort).or_default().push(sym);
+            }
+            return Err(EprError::TooManyInstances {
+                estimated,
+                limit: self.instance_limit,
+            });
+        }
+        // Re-instantiate live groups over tuples touching the delta.
+        for g in self.groups.iter().filter(|g| !g.retired) {
+            for (bindings, matrix) in &g.jobs {
+                instantiate_delta(&mut self.enc, g.act, bindings, matrix, watermark);
+            }
+        }
+        // Instantiate the new group over the whole universe.
+        let act = self.enc.fresh_var().pos();
+        for (bindings, matrix) in &jobs {
+            instantiate_delta(&mut self.enc, act, bindings, matrix, 0);
+        }
+        self.instances = estimated;
+        reused.append(&mut fresh);
+        self.groups.push(Group {
+            label: label.into(),
+            act,
+            jobs,
+            skolems: reused,
+            enabled: true,
+            retired: false,
+        });
+        Ok(GroupId(self.groups.len() - 1))
+    }
+
+    /// Enables or disables a group for subsequent checks. Disabling merely
+    /// stops assuming the group's activation literal; the clauses stay in
+    /// the solver and the group can be re-enabled later. No-op on retired
+    /// groups.
+    pub fn set_enabled(&mut self, id: GroupId, on: bool) {
+        let g = &mut self.groups[id.0];
+        if !g.retired {
+            g.enabled = on;
+        }
+    }
+
+    /// Permanently drops a group: its activation literal is asserted false
+    /// at level 0, letting the solver simplify the group's clauses away, and
+    /// the group stops participating in delta re-instantiation. Its Skolem
+    /// constants return to the pool for reuse by later groups — the retired
+    /// clauses no longer constrain them, so they are free to mean anything.
+    pub fn retire(&mut self, id: GroupId) {
+        let g = &mut self.groups[id.0];
+        if !g.retired {
+            g.retired = true;
+            g.enabled = false;
+            g.jobs.clear();
+            for (sym, sort) in g.skolems.drain(..) {
+                self.skolem_pool.entry(sort).or_default().push(sym);
+            }
+            self.enc.solver_mut().retire_group(g.act);
+        }
+    }
+
+    /// Decides satisfiability of the conjunction of all *enabled* groups,
+    /// using the lazy equality discipline. Learnt clauses and equality
+    /// repairs persist into subsequent checks.
+    ///
+    /// # Errors
+    ///
+    /// [`EprError::RepairLimit`] when a configured round limit is exceeded
+    /// (the session stays usable).
+    pub fn check(&mut self) -> Result<EprOutcome, EprError> {
+        let guards: Vec<(Lit, &str)> = self
+            .groups
+            .iter()
+            .filter(|g| g.enabled && !g.retired)
+            .map(|g| (g.act, g.label.as_str()))
+            .collect();
+        let assumptions: Vec<Lit> = guards.iter().map(|(a, _)| *a).collect();
+        let (result, rounds) = self.enc.solve_lazy(&assumptions, self.lazy_round_limit);
+        self.stats = GroundStats {
+            universe: self.enc.table().len(),
+            instances: self.instances,
+            equality_clauses: 0,
+            equality_rounds: rounds,
+            sat_vars: self.enc.solver().num_vars(),
+            sat: self.enc.solver().stats(),
+        };
+        match result {
+            None => Err(EprError::RepairLimit { rounds }),
+            Some(SolveResult::Sat) => {
+                let structure = extract_structure(&self.enc, &self.work_sig);
+                Ok(EprOutcome::Sat(Box::new(Model { structure })))
+            }
+            Some(SolveResult::Unsat) => {
+                let core: Vec<String> = self
+                    .enc
+                    .solver()
+                    .unsat_core()
+                    .iter()
+                    .filter_map(|l| {
+                        guards
+                            .iter()
+                            .find(|(a, _)| a == l)
+                            .map(|(_, label)| label.to_string())
+                    })
+                    .collect();
+                Ok(EprOutcome::Unsat(core))
+            }
+        }
+    }
+}
+
+/// Number of instantiation tuples for `job` over `table`, counting only
+/// tuples that mention at least one term id `>= min_term` (with
+/// `min_term = 0`: all tuples; empty-binding jobs count as 1 there and 0
+/// in any proper delta, matching [`instantiate_delta`]).
+fn count_tuples(table: &TermTable, job: &GroundJob, min_term: usize) -> u64 {
+    let (bindings, _) = job;
+    let mut total: u64 = 1;
+    let mut old: u64 = 1;
+    for b in bindings {
+        let terms = table.of_sort(&b.sort);
+        total = total.saturating_mul(terms.len() as u64);
+        old = old.saturating_mul(terms.iter().filter(|&&t| t < min_term).count() as u64);
+    }
+    if min_term == 0 {
+        total
+    } else {
+        total - old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EprCheck, EprOutcome};
+    use ivy_fol::parse_formula;
+
+    fn sig_rs() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_constant("b", "s").unwrap();
+        sig
+    }
+
+    #[test]
+    fn session_matches_fresh_check_on_basic_queries() {
+        let sig = sig_rs();
+        let frame = parse_formula("forall X:s. r(X) | X = a").unwrap();
+        let queries = [
+            "exists X:s. ~r(X) & X ~= a", // unsat under the frame
+            "exists X:s. ~r(X)",          // sat: X = a may be unmarked
+            "r(b) & ~r(b)",               // unsat outright
+        ];
+        let mut session = EprSession::new(&sig).unwrap();
+        session.assert_labeled("frame", &frame).unwrap();
+        for q in queries {
+            let f = parse_formula(q).unwrap();
+            let g = session.assert_labeled("violation", &f).unwrap();
+            let incremental = session.check().unwrap();
+            session.retire(g);
+
+            let mut fresh = EprCheck::new(&sig).unwrap();
+            fresh.assert_labeled("frame", &frame).unwrap();
+            fresh.assert_labeled("violation", &f).unwrap();
+            let reference = fresh.check().unwrap();
+            assert_eq!(incremental.is_sat(), reference.is_sat(), "query `{q}`");
+            if let EprOutcome::Sat(model) = incremental {
+                assert!(model.structure.eval_closed(&frame).unwrap());
+                assert!(model.structure.eval_closed(&f).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_universals_cover_late_skolem_constants() {
+        // The frame's universal must also constrain Skolem constants that
+        // only appear in a later group — this exercises universe growth and
+        // delta re-instantiation.
+        let sig = sig_rs();
+        let mut session = EprSession::new(&sig).unwrap();
+        session
+            .assert_labeled("all_r", &parse_formula("forall X:s. r(X)").unwrap())
+            .unwrap();
+        assert!(session.check().unwrap().is_sat());
+        let g = session
+            .assert_labeled("cex", &parse_formula("exists X:s. ~r(X)").unwrap())
+            .unwrap();
+        match session.check().unwrap() {
+            EprOutcome::Unsat(core) => {
+                assert!(core.contains(&"all_r".to_string()), "{core:?}");
+                assert!(core.contains(&"cex".to_string()), "{core:?}");
+            }
+            EprOutcome::Sat(_) => {
+                panic!("delta re-instantiation missed the new Skolem constant")
+            }
+        }
+        session.retire(g);
+        assert!(session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn disabled_groups_do_not_constrain_but_can_return() {
+        let sig = sig_rs();
+        let mut session = EprSession::new(&sig).unwrap();
+        let hyp = session
+            .assert_labeled("hyp", &parse_formula("forall X:s. r(X)").unwrap())
+            .unwrap();
+        session
+            .assert_labeled("cex", &parse_formula("~r(a)").unwrap())
+            .unwrap();
+        assert!(!session.check().unwrap().is_sat());
+        session.set_enabled(hyp, false);
+        assert!(session.check().unwrap().is_sat());
+        session.set_enabled(hyp, true);
+        assert!(!session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn skolems_from_disabled_groups_still_respect_re_enabled_universals() {
+        // A Skolem constant introduced while a universal was disabled must
+        // be covered once the universal is re-enabled (instantiation happens
+        // at assert time regardless of enablement).
+        let sig = sig_rs();
+        let mut session = EprSession::new(&sig).unwrap();
+        let all = session
+            .assert_labeled("all_r", &parse_formula("forall X:s. r(X)").unwrap())
+            .unwrap();
+        session.set_enabled(all, false);
+        session
+            .assert_labeled("cex", &parse_formula("exists X:s. ~r(X)").unwrap())
+            .unwrap();
+        assert!(session.check().unwrap().is_sat());
+        session.set_enabled(all, true);
+        assert!(!session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn equality_repairs_survive_across_queries() {
+        // Query 1 forces equality reasoning (transitivity + congruence);
+        // query 2 reuses the same frame and must stay correct.
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_constant("b", "s").unwrap();
+        sig.add_constant("c", "s").unwrap();
+        let mut session = EprSession::new(&sig).unwrap();
+        session
+            .assert_labeled("chain", &parse_formula("a = b & b = c").unwrap())
+            .unwrap();
+        let v1 = session
+            .assert_labeled("v1", &parse_formula("r(a) & ~r(c)").unwrap())
+            .unwrap();
+        assert!(!session.check().unwrap().is_sat());
+        session.retire(v1);
+        let v2 = session
+            .assert_labeled("v2", &parse_formula("r(c) & ~r(b)").unwrap())
+            .unwrap();
+        assert!(!session.check().unwrap().is_sat());
+        session.retire(v2);
+        let v3 = session
+            .assert_labeled("v3", &parse_formula("r(a) & r(b)").unwrap())
+            .unwrap();
+        assert!(session.check().unwrap().is_sat());
+        session.retire(v3);
+    }
+
+    #[test]
+    fn cumulative_instance_limit_enforced() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("q", ["s", "s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_constant("b", "s").unwrap();
+        let mut session = EprSession::new(&sig).unwrap();
+        session.set_instance_limit(5);
+        // 2 terms, binary universal: 4 instantiations — fits.
+        session
+            .assert_labeled("q1", &parse_formula("forall X:s, Y:s. q(X, Y)").unwrap())
+            .unwrap();
+        // A second universal brings the cumulative total to 8 > 5.
+        let err = session
+            .assert_labeled("q2", &parse_formula("forall X:s, Y:s. q(Y, X)").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, EprError::TooManyInstances { .. }), "{err}");
+        // The session is still usable with the first group.
+        assert!(session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn empty_session_is_sat() {
+        let mut session = EprSession::new(&sig_rs()).unwrap();
+        assert!(session.check().unwrap().is_sat());
+    }
+}

@@ -50,10 +50,7 @@ fn fact_literal(fact: &Fact, vars: &BTreeMap<Elem, Sym>) -> Formula {
             result,
             value,
         } => {
-            let atom = Formula::eq(
-                Term::app(sym.clone(), args.iter().map(term)),
-                term(result),
-            );
+            let atom = Formula::eq(Term::app(sym.clone(), args.iter().map(term)), term(result));
             if *value {
                 atom
             } else {

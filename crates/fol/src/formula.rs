@@ -546,10 +546,13 @@ mod tests {
         let sig = sig();
         let f = Formula::forall(
             [Binding::new("X", "node"), Binding::new("Y", "node")],
-            Formula::rel("le", [
-                Term::app("idf", [Term::var("X")]),
-                Term::app("idf", [Term::var("Y")]),
-            ]),
+            Formula::rel(
+                "le",
+                [
+                    Term::app("idf", [Term::var("X")]),
+                    Term::app("idf", [Term::var("Y")]),
+                ],
+            ),
         );
         f.well_sorted(&sig, &BTreeMap::new()).unwrap();
     }
@@ -594,10 +597,13 @@ mod tests {
             Formula::not(Formula::and([
                 Formula::neq(Term::var("N1"), Term::var("N2")),
                 Formula::rel("leader", [Term::var("N1")]),
-                Formula::rel("le", [
-                    Term::app("idf", [Term::var("N1")]),
-                    Term::app("idf", [Term::var("N2")]),
-                ]),
+                Formula::rel(
+                    "le",
+                    [
+                        Term::app("idf", [Term::var("N1")]),
+                        Term::app("idf", [Term::var("N2")]),
+                    ],
+                ),
             ])),
         );
         assert_eq!(c1.literal_count(), 3);

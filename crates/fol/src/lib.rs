@@ -46,9 +46,7 @@ pub mod xform;
 
 pub use crate::diagram::{conjecture, diagram, diagram_var};
 pub use formula::{Binding, Formula, SortError};
-pub use parser::{
-    parse_formula, parse_formula_prefix, parse_term, parse_term_prefix, ParseError,
-};
+pub use parser::{parse_formula, parse_formula_prefix, parse_term, parse_term_prefix, ParseError};
 pub use partial::{Fact, PartialStructure};
 pub use sig::{FuncDecl, SigError, Signature};
 pub use structure::{Elem, EvalError, Structure};

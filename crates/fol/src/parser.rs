@@ -517,10 +517,7 @@ mod tests {
     #[test]
     fn case_convention_distinguishes_vars() {
         let f = parse_formula("le(X, c)").unwrap();
-        assert_eq!(
-            f,
-            Formula::rel("le", [Term::var("X"), Term::cst("c")])
-        );
+        assert_eq!(f, Formula::rel("le", [Term::var("X"), Term::cst("c")]));
     }
 
     #[test]

@@ -164,10 +164,13 @@ mod tests {
             Formula::not(Formula::and([
                 Formula::neq(Term::var("N1"), Term::var("N2")),
                 Formula::rel("leader", [Term::var("N1")]),
-                Formula::rel("le", [
-                    Term::app("idf", [Term::var("N1")]),
-                    Term::app("idf", [Term::var("N2")]),
-                ]),
+                Formula::rel(
+                    "le",
+                    [
+                        Term::app("idf", [Term::var("N1")]),
+                        Term::app("idf", [Term::var("N2")]),
+                    ],
+                ),
             ])),
         );
         assert_eq!(
@@ -181,10 +184,7 @@ mod tests {
         let a = || Formula::rel("p", []);
         let f = Formula::implies(a(), Formula::implies(a(), a()));
         assert_eq!(f.to_string(), "p -> p -> p");
-        let g = Formula::Implies(
-            Box::new(Formula::implies(a(), a())),
-            Box::new(a()),
-        );
+        let g = Formula::Implies(Box::new(Formula::implies(a(), a())), Box::new(a()));
         assert_eq!(g.to_string(), "(p -> p) -> p");
     }
 

@@ -185,7 +185,11 @@ impl Structure {
             .sig
             .relation(&rel)
             .unwrap_or_else(|| panic!("set_rel: unknown relation `{rel}`"));
-        assert_eq!(decl.len(), tuple.len(), "set_rel: arity mismatch for `{rel}`");
+        assert_eq!(
+            decl.len(),
+            tuple.len(),
+            "set_rel: arity mismatch for `{rel}`"
+        );
         for (e, s) in tuple.iter().zip(decl) {
             assert_eq!(&e.sort, s, "set_rel: sort mismatch for `{rel}`");
         }
@@ -224,11 +228,18 @@ impl Structure {
             .sig
             .function(&fun)
             .unwrap_or_else(|| panic!("set_fun: unknown function `{fun}`"));
-        assert_eq!(decl.args.len(), args.len(), "set_fun: arity mismatch for `{fun}`");
+        assert_eq!(
+            decl.args.len(),
+            args.len(),
+            "set_fun: arity mismatch for `{fun}`"
+        );
         for (e, s) in args.iter().zip(&decl.args) {
             assert_eq!(&e.sort, s, "set_fun: argument sort mismatch for `{fun}`");
         }
-        assert_eq!(result.sort, decl.ret, "set_fun: result sort mismatch for `{fun}`");
+        assert_eq!(
+            result.sort, decl.ret,
+            "set_fun: result sort mismatch for `{fun}`"
+        );
         self.funs.entry(fun).or_default().insert(args, result);
     }
 
@@ -260,12 +271,7 @@ impl Structure {
     }
 
     fn for_each_tuple(&self, sorts: &[Sort], f: &mut impl FnMut(&[Elem])) {
-        fn go(
-            s: &Structure,
-            sorts: &[Sort],
-            acc: &mut Vec<Elem>,
-            f: &mut impl FnMut(&[Elem]),
-        ) {
+        fn go(s: &Structure, sorts: &[Sort], acc: &mut Vec<Elem>, f: &mut impl FnMut(&[Elem])) {
             if acc.len() == sorts.len() {
                 f(acc);
                 return;
@@ -497,7 +503,9 @@ mod tests {
     #[test]
     fn eval_atoms() {
         let s = two_node_state();
-        assert!(s.eval_closed(&parse_formula("exists X:node. leader(X)").unwrap()).unwrap());
+        assert!(s
+            .eval_closed(&parse_formula("exists X:node. leader(X)").unwrap())
+            .unwrap());
         assert!(!s
             .eval_closed(&parse_formula("forall X:node. leader(X)").unwrap())
             .unwrap());
@@ -518,10 +526,8 @@ mod tests {
     fn eval_satisfies_c0() {
         // Figure 7 (a1) satisfies the safety property C0: at most one leader.
         let s = two_node_state();
-        let c0 = parse_formula(
-            "forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2",
-        )
-        .unwrap();
+        let c0 =
+            parse_formula("forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2").unwrap();
         assert!(s.eval_closed(&c0).unwrap());
     }
 
@@ -546,8 +552,12 @@ mod tests {
         sig.add_sort("s").unwrap();
         sig.add_relation("r", ["s"]).unwrap();
         let s = Structure::new(Arc::new(sig));
-        assert!(s.eval_closed(&parse_formula("forall X:s. r(X)").unwrap()).unwrap());
-        assert!(!s.eval_closed(&parse_formula("exists X:s. r(X)").unwrap()).unwrap());
+        assert!(s
+            .eval_closed(&parse_formula("forall X:s. r(X)").unwrap())
+            .unwrap());
+        assert!(!s
+            .eval_closed(&parse_formula("exists X:s. r(X)").unwrap())
+            .unwrap());
     }
 
     #[test]

@@ -90,14 +90,12 @@ pub fn subst_vars(f: &Formula, map: &BTreeMap<Sym, Term>) -> Formula {
         Formula::Not(g) => Formula::Not(Box::new(subst_vars(g, map))),
         Formula::And(fs) => Formula::And(fs.iter().map(|g| subst_vars(g, map)).collect()),
         Formula::Or(fs) => Formula::Or(fs.iter().map(|g| subst_vars(g, map)).collect()),
-        Formula::Implies(a, b) => Formula::Implies(
-            Box::new(subst_vars(a, map)),
-            Box::new(subst_vars(b, map)),
-        ),
-        Formula::Iff(a, b) => Formula::Iff(
-            Box::new(subst_vars(a, map)),
-            Box::new(subst_vars(b, map)),
-        ),
+        Formula::Implies(a, b) => {
+            Formula::Implies(Box::new(subst_vars(a, map)), Box::new(subst_vars(b, map)))
+        }
+        Formula::Iff(a, b) => {
+            Formula::Iff(Box::new(subst_vars(a, map)), Box::new(subst_vars(b, map)))
+        }
         Formula::Forall(bs, body) => {
             let (bs, body) = subst_under_binders(bs, body, map);
             Formula::Forall(bs, Box::new(body))
@@ -170,12 +168,7 @@ fn subst_constant_term(t: &Term, name: &Sym, term: &Term, tvars: &BTreeSet<Sym>)
     }
 }
 
-fn subst_constant_inner(
-    f: &Formula,
-    name: &Sym,
-    term: &Term,
-    tvars: &BTreeSet<Sym>,
-) -> Formula {
+fn subst_constant_inner(f: &Formula, name: &Sym, term: &Term, tvars: &BTreeSet<Sym>) -> Formula {
     match f {
         Formula::True | Formula::False => f.clone(),
         Formula::Rel(r, args) => Formula::Rel(
@@ -516,7 +509,12 @@ mod tests {
         // pnd.insert (i, n): pnd(x1,x2) := pnd(x1,x2) | (x1 = i & x2 = n).
         let q = parse_formula("forall I:id, N:node. pnd(I, N) -> le(I, idf(N))").unwrap();
         let body = parse_formula("pnd(X1, X2) | X1 = i & X2 = n").unwrap();
-        let g = rewrite_relation(&q, &Sym::new("pnd"), &[Sym::new("X1"), Sym::new("X2")], &body);
+        let g = rewrite_relation(
+            &q,
+            &Sym::new("pnd"),
+            &[Sym::new("X1"), Sym::new("X2")],
+            &body,
+        );
         // `|` binds tighter than `->`, so no parentheses are needed.
         assert_eq!(
             g.to_string(),

@@ -511,10 +511,9 @@ mod tests {
     #[test]
     fn prenex_merges_ea_children() {
         // (∃x∀y p) & (∃u∀v q) must prenex to ∃x,u∀y,v (p & q): still EA.
-        let f = parse_formula(
-            "(exists X:s. forall Y:s. r(X, Y)) & (exists U:s. forall V:s. r(U, V))",
-        )
-        .unwrap();
+        let f =
+            parse_formula("(exists X:s. forall Y:s. r(X, Y)) & (exists U:s. forall V:s. r(U, V))")
+                .unwrap();
         let p = prenex(&f);
         assert!(p.is_ea());
         assert_eq!(p.prefix.len(), 2);
@@ -527,7 +526,11 @@ mod tests {
         let f = parse_formula("(forall X:s. p(X)) & (forall X:s. q(X))").unwrap();
         let p = prenex(&f);
         assert_eq!(p.var_count(), 2);
-        let names: BTreeSet<_> = p.prefix[0].bindings().iter().map(|b| b.var.clone()).collect();
+        let names: BTreeSet<_> = p.prefix[0]
+            .bindings()
+            .iter()
+            .map(|b| b.var.clone())
+            .collect();
         assert_eq!(names.len(), 2, "bound vars renamed apart");
     }
 
@@ -537,7 +540,10 @@ mod tests {
         let p = prenex(&f);
         assert!(p.is_ae());
         assert!(!p.is_ea());
-        assert_eq!(p.to_formula().to_string(), "forall X:s. exists Y:s. r(X, Y)");
+        assert_eq!(
+            p.to_formula().to_string(),
+            "forall X:s. exists Y:s. r(X, Y)"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ mod tests {
         let p = ivy_rml::parse_program(&src).unwrap();
         assert!(ivy_rml::check_program(&p).is_empty());
         let bmc = Bmc::new(&p);
-        let trace = bmc.check_safety(2).unwrap().expect("bypass reachable in 2 steps");
+        let trace = bmc
+            .check_safety(2)
+            .unwrap()
+            .expect("bypass reachable in 2 steps");
         assert_eq!(trace.violated, "ordered_ring");
     }
 }

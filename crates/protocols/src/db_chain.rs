@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn buggy_variant_caught_by_bmc() {
         // Allow aborting after a precommit: dirty reads become reachable.
-        let src = SOURCE.replace(
-            "assume forall N:node. ~precommitted(t, N);",
-            "",
-        );
+        let src = SOURCE.replace("assume forall N:node. ~precommitted(t, N);", "");
         let p = ivy_rml::parse_program(&src).unwrap();
         assert!(ivy_rml::check_program(&p).is_empty());
         let bmc = Bmc::new(&p);

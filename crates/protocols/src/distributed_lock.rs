@@ -41,10 +41,7 @@ pub const CLAUSES: &[(&str, &str)] = &[
         "J3",
         "forall E:epoch, N:node, M:node. held(N) & transfer(E, M) -> le(E, ep(N))",
     ),
-    (
-        "J4",
-        "forall N:node, M:node. held(N) -> le(ep(M), ep(N))",
-    ),
+    ("J4", "forall N:node, M:node. held(N) -> le(ep(M), ep(N))"),
     (
         "J5",
         "forall N1:node, N2:node. held(N1) & held(N2) -> N1 = N2",

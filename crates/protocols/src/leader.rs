@@ -44,12 +44,10 @@ pub fn invariant() -> Vec<Conjecture> {
 }
 
 /// C0: at most one leader (the safety property).
-pub const C0: &str =
-    "forall N1:node, N2:node. ~(leader(N1) & N1 ~= N2 & leader(N2))";
+pub const C0: &str = "forall N1:node, N2:node. ~(leader(N1) & N1 ~= N2 & leader(N2))";
 
 /// C1: the leader has the highest id.
-pub const C1: &str =
-    "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))";
+pub const C1: &str = "forall N1:node, N2:node. ~(N1 ~= N2 & leader(N1) & le(idf(N1), idf(N2)))";
 
 /// C2: only the highest id can be pending at its own node.
 pub const C2: &str =
@@ -191,10 +189,8 @@ mod tests {
         assert_eq!(trace.steps(), 4, "Figure 4 shows a 4-step trace");
         // Final state has two leaders.
         let last = trace.states.last().unwrap();
-        let two = ivy_fol::parse_formula(
-            "exists X:node, Y:node. X ~= Y & leader(X) & leader(Y)",
-        )
-        .unwrap();
+        let two = ivy_fol::parse_formula("exists X:node, Y:node. X ~= Y & leader(X) & leader(Y)")
+            .unwrap();
         assert!(last.eval_closed(&two).unwrap());
     }
 

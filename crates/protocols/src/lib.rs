@@ -2,9 +2,9 @@
 //! modeled in RML with machine-checked universal inductive invariants.
 #![warn(missing_docs)]
 
-pub mod leader;
-pub mod learning_switch;
 pub mod chord;
 pub mod db_chain;
 pub mod distributed_lock;
+pub mod leader;
+pub mod learning_switch;
 pub mod lock_server;

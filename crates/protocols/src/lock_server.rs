@@ -133,7 +133,10 @@ mod tests {
         let p = ivy_rml::parse_program(&src).unwrap();
         assert!(ivy_rml::check_program(&p).is_empty());
         let bmc = Bmc::new(&p);
-        let trace = bmc.check_safety(6).unwrap().expect("double grant reachable");
+        let trace = bmc
+            .check_safety(6)
+            .unwrap()
+            .expect("double grant reachable");
         assert_eq!(trace.violated, "mutual_exclusion");
     }
 }

@@ -17,10 +17,7 @@ fn assert_equivalent_to_paper(program: &ivy_rml::Program, session: &Session<'_>)
     let v = Verifier::new(program);
     assert!(v.check(session.conjectures()).unwrap().is_inductive());
     let axioms = program.axiom();
-    let target: Vec<_> = leader::invariant()
-        .into_iter()
-        .map(|c| c.formula)
-        .collect();
+    let target: Vec<_> = leader::invariant().into_iter().map(|c| c.formula).collect();
     let found: Vec<_> = session
         .conjectures()
         .iter()
@@ -45,10 +42,7 @@ fn assert_equivalent_to_paper(program: &ivy_rml::Program, session: &Session<'_>)
 #[test]
 fn oracle_session_reproduces_figure6() {
     let program = leader::program();
-    let target: Vec<_> = leader::invariant()
-        .into_iter()
-        .map(|c| c.formula)
-        .collect();
+    let target: Vec<_> = leader::invariant().into_iter().map(|c| c.formula).collect();
     let mut session = Session::new(&program, initial(), leader::measures());
     let mut user = OracleUser::new(target, 3);
     let outcome = session.run(&mut user, 12).unwrap();

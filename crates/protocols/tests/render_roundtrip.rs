@@ -7,8 +7,8 @@ use ivy_rml::{check_program, parse_program, paths, render_program, Program};
 
 fn roundtrip(name: &str, p1: &Program) {
     let text = render_program(p1);
-    let p2 = parse_program(&text)
-        .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n---\n{text}"));
+    let p2 =
+        parse_program(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n---\n{text}"));
     let problems = check_program(&p2);
     assert!(problems.is_empty(), "{name}: {problems:?}");
     assert_eq!(p1.sig, p2.sig, "{name}: signature");

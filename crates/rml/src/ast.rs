@@ -100,10 +100,7 @@ impl Cmd {
     /// The paper's `r.insert(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∨ ϕ(x̄)`.
     pub fn insert_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
         let rel = rel.into();
-        let atom = Formula::rel(
-            rel.clone(),
-            params.iter().map(|p| Term::Var(p.clone())),
-        );
+        let atom = Formula::rel(rel.clone(), params.iter().map(|p| Term::Var(p.clone())));
         Cmd::UpdateRel {
             rel,
             params,
@@ -114,10 +111,7 @@ impl Cmd {
     /// The paper's `r.remove(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∧ ¬ϕ(x̄)`.
     pub fn remove_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
         let rel = rel.into();
-        let atom = Formula::rel(
-            rel.clone(),
-            params.iter().map(|p| Term::Var(p.clone())),
-        );
+        let atom = Formula::rel(rel.clone(), params.iter().map(|p| Term::Var(p.clone())));
         Cmd::UpdateRel {
             rel,
             params,
@@ -149,12 +143,7 @@ impl Cmd {
 
     /// The paper's `f[t̄] := t` point-update sugar:
     /// `f(x̄) := ite(x̄ = t̄, t, f(x̄))`.
-    pub fn point_update(
-        fun: impl Into<Sym>,
-        params: Vec<Sym>,
-        at: Vec<Term>,
-        value: Term,
-    ) -> Cmd {
+    pub fn point_update(fun: impl Into<Sym>, params: Vec<Sym>, at: Vec<Term>, value: Term) -> Cmd {
         let fun = fun.into();
         if params.is_empty() {
             // Nullary function = program variable: plain assignment.

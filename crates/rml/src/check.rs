@@ -212,10 +212,11 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
             }
             check_update_common(p, rel, params, &arg_sorts, errors);
             if !is_quantifier_free(body) {
-                errors.push(CheckError::UpdateNotQuantifierFree { symbol: rel.clone() });
+                errors.push(CheckError::UpdateNotQuantifierFree {
+                    symbol: rel.clone(),
+                });
             }
-            let env: BTreeMap<Sym, ivy_fol::Sort> =
-                params.iter().cloned().zip(arg_sorts).collect();
+            let env: BTreeMap<Sym, ivy_fol::Sort> = params.iter().cloned().zip(arg_sorts).collect();
             for v in body.free_vars() {
                 if !env.contains_key(&v) {
                     errors.push(CheckError::UpdateOpenBody {
@@ -355,7 +356,10 @@ mod tests {
             parse_formula("forall X:node. exists Y:node. r(X, Y)").unwrap(),
         ));
         let errs = check_program(&p);
-        assert!(errs.iter().any(|e| matches!(e, CheckError::NotEA { .. })), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| matches!(e, CheckError::NotEA { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -387,9 +391,11 @@ mod tests {
             },
         });
         let errs = check_program(&p);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, CheckError::UpdateOpenBody { .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, CheckError::UpdateOpenBody { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -407,7 +413,9 @@ mod tests {
         sig.add_relation("bad__name", ["s"]).unwrap();
         let p = Program::new(sig);
         let errs = check_program(&p);
-        assert!(errs.iter().any(|e| matches!(e, CheckError::ReservedName(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::ReservedName(_))));
     }
 
     #[test]

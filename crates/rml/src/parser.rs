@@ -237,9 +237,7 @@ impl<'a> RmlParser<'a> {
                     let name = self.ident()?;
                     self.expect_str(":")?;
                     let sort = self.ident()?;
-                    self.sig_mut(|sig| {
-                        sig.add_constant(name.as_str(), sort.as_str()).map(|_| ())
-                    })?;
+                    self.sig_mut(|sig| sig.add_constant(name.as_str(), sort.as_str()).map(|_| ()))?;
                     if is_local {
                         self.program.locals.insert(Sym::new(&name));
                     }

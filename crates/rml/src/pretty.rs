@@ -131,9 +131,7 @@ fn as_ite(cmds: &[Cmd]) -> Option<(ivy_fol::Formula, Cmd, Cmd)> {
         match c {
             Cmd::Assume(f) => Some((f.clone(), Cmd::Skip)),
             Cmd::Seq(parts) => match parts.as_slice() {
-                [Cmd::Assume(f), rest @ ..] => {
-                    Some((f.clone(), Cmd::seq(rest.iter().cloned())))
-                }
+                [Cmd::Assume(f), rest @ ..] => Some((f.clone(), Cmd::seq(rest.iter().cloned()))),
                 _ => None,
             },
             Cmd::Skip => None,

@@ -208,11 +208,7 @@ fn unroll_inner(program: &Program, k: usize, with_init: bool) -> Unrolling {
     let body_paths: Vec<(String, Path)> = program
         .actions
         .iter()
-        .flat_map(|a| {
-            paths(&a.cmd)
-                .into_iter()
-                .map(move |p| (a.name.clone(), p))
-        })
+        .flat_map(|a| paths(&a.cmd).into_iter().map(move |p| (a.name.clone(), p)))
         .collect();
     let mut maps = vec![map0];
     let mut steps = Vec::with_capacity(k);
@@ -366,20 +362,14 @@ impl Ctx {
                 Cmd::UpdateRel { rel, params, body } => {
                     let body = rename_symbols(body, &cur);
                     let target = self.version_for(rel, i, &last_write, out_map, tag);
-                    let arg_sorts = self
-                        .sig
-                        .relation(rel)
-                        .expect("validated program")
-                        .to_vec();
+                    let arg_sorts = self.sig.relation(rel).expect("validated program").to_vec();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&arg_sorts)
                         .map(|(p, s)| Binding::new(p.clone(), s.clone()))
                         .collect();
-                    let lhs = Formula::rel(
-                        target.clone(),
-                        params.iter().map(|p| Term::Var(p.clone())),
-                    );
+                    let lhs =
+                        Formula::rel(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
                     parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
                     cur.insert(rel.clone(), target);
                     self.push_axiom_if_touched(rel, &cur, &mut parts);
@@ -393,10 +383,8 @@ impl Ctx {
                         .zip(&decl.args)
                         .map(|(p, s)| Binding::new(p.clone(), s.clone()))
                         .collect();
-                    let lhs = Term::app(
-                        target.clone(),
-                        params.iter().map(|p| Term::Var(p.clone())),
-                    );
+                    let lhs =
+                        Term::app(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
                     parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
                     cur.insert(fun.clone(), target);
                     self.push_axiom_if_touched(fun, &cur, &mut parts);
@@ -483,20 +471,14 @@ impl Ctx {
                 Cmd::UpdateRel { rel, params, body } => {
                     let body = rename_symbols(body, &cur);
                     let target = self.fresh_version(rel, "e");
-                    let arg_sorts = self
-                        .sig
-                        .relation(rel)
-                        .expect("validated program")
-                        .to_vec();
+                    let arg_sorts = self.sig.relation(rel).expect("validated program").to_vec();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&arg_sorts)
                         .map(|(p, s)| Binding::new(p.clone(), s.clone()))
                         .collect();
-                    let lhs = Formula::rel(
-                        target.clone(),
-                        params.iter().map(|p| Term::Var(p.clone())),
-                    );
+                    let lhs =
+                        Formula::rel(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
                     parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
                     cur.insert(rel.clone(), target);
                     self.push_axiom_if_touched(rel, &cur, &mut parts);
@@ -510,10 +492,8 @@ impl Ctx {
                         .zip(&decl.args)
                         .map(|(p, s)| Binding::new(p.clone(), s.clone()))
                         .collect();
-                    let lhs = Term::app(
-                        target.clone(),
-                        params.iter().map(|p| Term::Var(p.clone())),
-                    );
+                    let lhs =
+                        Term::app(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
                     parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
                     cur.insert(fun.clone(), target);
                     self.push_axiom_if_touched(fun, &cur, &mut parts);

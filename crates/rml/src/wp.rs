@@ -153,10 +153,7 @@ mod tests {
     fn wp_choice_conjoins() {
         let sig = sig();
         let q = parse_formula("leader(n)").unwrap();
-        let cmd = Cmd::choice([
-            Cmd::Assume(parse_formula("p").unwrap()),
-            Cmd::Abort,
-        ]);
+        let cmd = Cmd::choice([Cmd::Assume(parse_formula("p").unwrap()), Cmd::Abort]);
         // Need `p` relation in sig.
         let mut sig2 = sig.clone();
         sig2.add_relation("p", Vec::<&str>::new()).unwrap();
@@ -202,10 +199,8 @@ mod tests {
                 body: parse_formula("leader(X0) | X0 = n").unwrap(),
             },
         ]);
-        let q = parse_formula(
-            "forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2",
-        )
-        .unwrap();
+        let q =
+            parse_formula("forall N1:node, N2:node. leader(N1) & leader(N2) -> N1 = N2").unwrap();
         let w = wp(&sig, &axiom, &cmd, &q);
         assert!(
             ivy_fol::is_ae_sentence(&w),

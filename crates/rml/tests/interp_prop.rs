@@ -1,11 +1,34 @@
 //! Property tests relating the interpreter's two execution modes and the
 //! guarded-path normal form used by the transition compiler.
+//!
+//! Commands and states come from a deterministic in-repo PRNG, so runs are
+//! reproducible without an external test-data crate.
 
+use ivy_fol::{Formula, Signature, Structure, Sym, Term};
 use ivy_rml::interp::rand_like::XorShift;
 use ivy_rml::{exec_all, exec_random, paths, Cmd, ExecOutcome};
-use ivy_fol::{Formula, Signature, Structure, Sym, Term};
-use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Deterministic splitmix64 generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
 
 fn signature() -> Signature {
     let mut sig = Signature::new();
@@ -15,96 +38,101 @@ fn signature() -> Signature {
     sig
 }
 
-fn arb_state() -> impl Strategy<Value = Structure> {
-    (1usize..=3, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = Structure::new(Arc::new(signature()));
-        let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
-        let mut bits = seed;
-        let mut next = || {
-            bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (bits >> 33) as usize
-        };
-        s.set_fun("a", vec![], elems[next() % n].clone());
-        for e in &elems {
-            s.set_rel("r", vec![e.clone()], next() % 2 == 0);
-        }
-        s
-    })
+fn arb_state(g: &mut Gen) -> Structure {
+    let n = 1 + g.below(3);
+    let mut s = Structure::new(Arc::new(signature()));
+    let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
+    s.set_fun("a", vec![], elems[g.below(n)].clone());
+    for e in &elems {
+        s.set_rel("r", vec![e.clone()], g.below(2) == 0);
+    }
+    s
 }
 
-fn arb_cmd() -> impl Strategy<Value = Cmd> {
-    let atomic = prop_oneof![
-        Just(Cmd::Skip),
-        Just(Cmd::Abort),
-        Just(Cmd::Havoc(Sym::new("a"))),
-        Just(Cmd::Assume(ivy_fol::parse_formula("r(a)").unwrap())),
-        Just(Cmd::insert_tuple(
-            "r",
-            vec![Sym::new("X0")],
-            vec![Term::cst("a")]
-        )),
-        Just(Cmd::remove_tuple(
-            "r",
-            vec![Sym::new("X0")],
-            vec![Term::cst("a")]
-        )),
-    ];
-    let seq = proptest::collection::vec(atomic.clone(), 1..=3).prop_map(Cmd::seq);
-    proptest::collection::vec(seq, 1..=3).prop_map(Cmd::choice)
+fn arb_atomic(g: &mut Gen) -> Cmd {
+    match g.below(6) {
+        0 => Cmd::Skip,
+        1 => Cmd::Abort,
+        2 => Cmd::Havoc(Sym::new("a")),
+        3 => Cmd::Assume(ivy_fol::parse_formula("r(a)").unwrap()),
+        4 => Cmd::insert_tuple("r", vec![Sym::new("X0")], vec![Term::cst("a")]),
+        _ => Cmd::remove_tuple("r", vec![Sym::new("X0")], vec![Term::cst("a")]),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn arb_cmd(g: &mut Gen) -> Cmd {
+    let branches = 1 + g.below(3);
+    let seqs: Vec<Cmd> = (0..branches)
+        .map(|_| {
+            let len = 1 + g.below(3);
+            Cmd::seq((0..len).map(|_| arb_atomic(g)).collect::<Vec<_>>())
+        })
+        .collect();
+    Cmd::choice(seqs)
+}
 
-    /// Every random execution outcome appears among the exhaustive ones.
-    #[test]
-    fn random_execution_is_a_member_of_exec_all(
-        cmd in arb_cmd(),
-        state in arb_state(),
-        seed in 1u64..1000,
-    ) {
+/// Every random execution outcome appears among the exhaustive ones.
+#[test]
+fn random_execution_is_a_member_of_exec_all() {
+    let mut g = Gen::new(0xa11);
+    for case in 0..192 {
+        let cmd = arb_cmd(&mut g);
+        let state = arb_state(&mut g);
+        let seed = 1 + g.next() % 999;
         let axiom = Formula::True;
         let all = exec_all(&axiom, &cmd, &state).unwrap();
         let mut rng = XorShift::new(seed);
         let one = exec_random(&axiom, &cmd, &state, &mut rng).unwrap();
-        prop_assert!(
+        assert!(
             all.contains(&one),
-            "random outcome {one:?} missing from exhaustive set"
+            "case {case}: random outcome {one:?} missing from exhaustive set"
         );
     }
+}
 
-    /// The number of aborting paths equals the number of Aborted outcomes an
-    /// assume-free command produces (assumes filter, so only compare when
-    /// the command has no Assume).
-    #[test]
-    fn path_count_matches_choice_structure(cmd in arb_cmd(), state in arb_state()) {
+/// The number of aborting paths equals the number of Aborted outcomes an
+/// assume-free command produces (assumes filter, so only compare when
+/// the command has no Assume).
+#[test]
+fn path_count_matches_choice_structure() {
+    let mut g = Gen::new(0xa12);
+    for _ in 0..192 {
+        let cmd = arb_cmd(&mut g);
+        let state = arb_state(&mut g);
         let ps = paths(&cmd);
-        prop_assert!(!ps.is_empty());
-        let has_assume = ps.iter().any(|p| p.atoms.iter().any(|a| matches!(a, Cmd::Assume(_))));
+        assert!(!ps.is_empty());
+        let has_assume = ps
+            .iter()
+            .any(|p| p.atoms.iter().any(|a| matches!(a, Cmd::Assume(_))));
         // Havoc multiplies outcomes by the domain size; count possibilities.
         if !has_assume {
             let outcomes = exec_all(&Formula::True, &cmd, &state).unwrap();
-            let aborted = outcomes.iter().filter(|o| matches!(o, ExecOutcome::Aborted)).count();
+            let aborted = outcomes
+                .iter()
+                .filter(|o| matches!(o, ExecOutcome::Aborted))
+                .count();
             let abort_paths = ps.iter().filter(|p| p.aborts).count();
             // Each aborting path contributes at least one Aborted outcome
             // (havocs before the abort multiply them).
             if abort_paths == 0 {
-                prop_assert_eq!(aborted, 0);
+                assert_eq!(aborted, 0);
             } else {
-                prop_assert!(aborted >= abort_paths);
+                assert!(aborted >= abort_paths);
             }
         }
     }
+}
 
-    /// `seq` and `choice` smart constructors do not change semantics
-    /// relative to raw nesting.
-    #[test]
-    fn constructors_preserve_semantics(
-        a in arb_cmd(),
-        b in arb_cmd(),
-        state in arb_state(),
-        seed in 1u64..500,
-    ) {
+/// `seq` and `choice` smart constructors do not change semantics
+/// relative to raw nesting.
+#[test]
+fn constructors_preserve_semantics() {
+    let mut g = Gen::new(0xa13);
+    for _ in 0..192 {
+        let a = arb_cmd(&mut g);
+        let b = arb_cmd(&mut g);
+        let state = arb_state(&mut g);
+        let seed = 1 + g.next() % 499;
         let axiom = Formula::True;
         let smart = Cmd::seq([a.clone(), b.clone()]);
         let raw = Cmd::Seq(vec![a, b]);
@@ -114,6 +142,6 @@ proptest! {
         let o2 = exec_random(&axiom, &raw, &state, &mut rng2).unwrap();
         // Same RNG stream, same resolution: flattening must not reorder
         // nondeterminism for seq of two commands.
-        prop_assert_eq!(o1, o2);
+        assert_eq!(o1, o2);
     }
 }

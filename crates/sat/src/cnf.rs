@@ -88,10 +88,9 @@ impl Cnf {
 
     /// Evaluates the CNF under a full assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var().index()] == l.is_pos())
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var().index()] == l.is_pos()))
     }
 }
 

@@ -156,6 +156,9 @@ pub struct Solver {
     watches: Vec<Vec<Watch>>,
     assign: Vec<LBool>,
     polarity: Vec<bool>,
+    /// Vars whose decision phase is pinned: phase saving skips them, so the
+    /// solver always prefers the pinned polarity when branching.
+    phase_pinned: Vec<bool>,
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
@@ -192,6 +195,7 @@ impl Solver {
         let v = Var(self.assign.len() as u32);
         self.assign.push(LBool::Undef);
         self.polarity.push(false);
+        self.phase_pinned.push(false);
         self.activity.push(0.0);
         self.reason.push(None);
         self.level.push(0);
@@ -203,6 +207,31 @@ impl Solver {
         v
     }
 
+    /// Pins `v`'s decision phase to `value`: when branching on `v`, the
+    /// solver always tries `value` first, and phase saving no longer updates
+    /// the preference. Propagation may of course still force the other
+    /// value. Useful for variables (like ground-equality encodings) whose
+    /// unconstrained occurrences should default to a canonical polarity
+    /// instead of whatever an earlier model happened to assign.
+    pub fn pin_phase(&mut self, v: Var, value: bool) {
+        self.polarity[v.index()] = value;
+        self.phase_pinned[v.index()] = true;
+    }
+
+    /// Forgets all saved decision phases, restoring the initial all-false
+    /// preference (pinned phases keep their pinned value). Incremental
+    /// queries use this to avoid inheriting a previous, unrelated model:
+    /// saved phases make the solver re-assert atoms the old model set true,
+    /// which can force large spurious equality classes in lazy-equality
+    /// grounding.
+    pub fn reset_phases(&mut self) {
+        for (i, p) in self.polarity.iter_mut().enumerate() {
+            if !self.phase_pinned[i] {
+                *p = false;
+            }
+        }
+    }
+
     /// Number of variables allocated.
     pub fn num_vars(&self) -> usize {
         self.assign.len()
@@ -211,7 +240,10 @@ impl Solver {
     /// Number of problem (non-learnt) clauses added, including those
     /// simplified away.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Cumulative statistics.
@@ -281,14 +313,8 @@ impl Solver {
         if learnt {
             self.learnt_refs.push(cref);
         }
-        self.watches[w0.index()].push(Watch {
-            cref,
-            blocker: w1,
-        });
-        self.watches[w1.index()].push(Watch {
-            cref,
-            blocker: w0,
-        });
+        self.watches[w0.index()].push(Watch { cref, blocker: w1 });
+        self.watches[w1.index()].push(Watch { cref, blocker: w0 });
         cref
     }
 
@@ -395,7 +421,9 @@ impl Solver {
             let l = self.trail[i];
             let v = l.var();
             self.assign[v.index()] = LBool::Undef;
-            self.polarity[v.index()] = l.is_pos();
+            if !self.phase_pinned[v.index()] {
+                self.polarity[v.index()] = l.is_pos();
+            }
             self.reason[v.index()] = None;
             self.order.insert(v, &self.activity);
         }
@@ -514,10 +542,9 @@ impl Solver {
     fn literal_redundant(&self, l: Lit) -> bool {
         match self.reason[l.var().index()] {
             None => false,
-            Some(r) => self.clauses[r as usize]
-                .lits
-                .iter()
-                .all(|&q| q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0),
+            Some(r) => self.clauses[r as usize].lits.iter().all(|&q| {
+                q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
         }
     }
 
@@ -743,6 +770,34 @@ impl Solver {
     pub fn unsat_core(&self) -> &[Lit] {
         &self.core
     }
+
+    /// Allocates a fresh *activation literal* for a retirable clause group.
+    /// Clauses added via [`Solver::add_clause_in_group`] with this literal
+    /// are enforced only while it is passed as an assumption, so a caller
+    /// can keep many alternative assertion sets in one solver and pick a
+    /// subset per [`Solver::solve_with_assumptions`] call — the basis of
+    /// incremental solving with learnt-clause reuse.
+    pub fn new_activation(&mut self) -> Lit {
+        self.new_var().pos()
+    }
+
+    /// Adds `lits` as a clause guarded by activation literal `act`: the
+    /// stored clause is `¬act ∨ lits`, a tautological no-op unless `act` is
+    /// assumed. Returns `false` if the solver is already unsatisfiable.
+    pub fn add_clause_in_group(&mut self, act: Lit, lits: impl IntoIterator<Item = Lit>) -> bool {
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        clause.push(!act);
+        self.add_clause(clause)
+    }
+
+    /// Permanently disables the clause group guarded by `act` by asserting
+    /// `¬act` at level 0. All clauses of the group become satisfied, and the
+    /// solver may simplify them away. The activation literal must not be
+    /// assumed afterwards. Returns `false` if the solver became (or already
+    /// was) unsatisfiable.
+    pub fn retire_group(&mut self, act: Lit) -> bool {
+        self.add_clause([!act])
+    }
 }
 
 #[cfg(test)]
@@ -846,7 +901,10 @@ mod tests {
         let mut s = Solver::new();
         let v = vars(&mut s, 2);
         s.add_clause([v[0].neg(), v[1].pos()]);
-        assert_eq!(s.solve_with_assumptions(&[v[0].pos(), v[1].neg()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[0].pos(), v[1].neg()]),
+            SolveResult::Unsat
+        );
         // Solver stays usable incrementally:
         assert_eq!(s.solve_with_assumptions(&[v[0].pos()]), SolveResult::Sat);
         assert_eq!(s.model_value(v[1]), Some(true));
@@ -863,7 +921,10 @@ mod tests {
         assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
         let core: Vec<Lit> = s.unsat_core().to_vec();
         assert!(core.contains(&v[0].pos()) || core.contains(&v[1].pos()));
-        assert!(!core.contains(&v[2].pos()), "irrelevant assumption in core: {core:?}");
+        assert!(
+            !core.contains(&v[2].pos()),
+            "irrelevant assumption in core: {core:?}"
+        );
         assert!(!core.contains(&v[3].pos()));
         // Core itself must be unsat with the clauses.
         assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
@@ -897,5 +958,80 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (1..=15).map(Solver::luby).collect();
         assert_eq!(seq, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn activation_groups_enable_and_disable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        let g1 = s.new_activation();
+        let g2 = s.new_activation();
+        // Group 1 forces x0; group 2 contradicts it.
+        s.add_clause_in_group(g1, [v[0].pos()]);
+        s.add_clause_in_group(g2, [v[0].neg()]);
+        s.add_clause([v[1].pos()]);
+        // Individually each group is consistent.
+        assert_eq!(s.solve_with_assumptions(&[g1]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(false));
+        // Together they conflict, and the core names both groups.
+        assert_eq!(s.solve_with_assumptions(&[g1, g2]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&g1) && core.contains(&g2), "{core:?}");
+        // Unguarded clauses are unaffected by group selection.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn retired_group_no_longer_constrains() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        let g1 = s.new_activation();
+        let g2 = s.new_activation();
+        s.add_clause_in_group(g1, [v[0].pos()]);
+        s.add_clause_in_group(g2, [v[0].neg()]);
+        assert_eq!(s.solve_with_assumptions(&[g1, g2]), SolveResult::Unsat);
+        s.retire_group(g1);
+        // With group 1 retired, group 2 alone decides the query.
+        assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(false));
+    }
+
+    #[test]
+    fn groups_reuse_learnt_clauses_across_queries() {
+        // A pigeonhole core shared by two violation groups: solving under
+        // the first group trains the solver; the second query still answers
+        // correctly with the learnt clauses in place.
+        let mut s = Solver::new();
+        let n = 5;
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for (pa, pb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause([pa.neg(), pb.neg()]);
+                }
+            }
+        }
+        let g1 = s.new_activation();
+        let g2 = s.new_activation();
+        s.add_clause_in_group(g1, [p[0][0].pos()]);
+        s.add_clause_in_group(g2, [p[0][0].neg()]);
+        assert_eq!(s.solve_with_assumptions(&[g1]), SolveResult::Unsat);
+        let conflicts_first = s.stats().conflicts;
+        assert!(conflicts_first > 0, "pigeonhole needs search");
+        let clauses = s.num_clauses();
+        // The second query runs on the same solver: no clauses are re-added
+        // and the conflict counter keeps accumulating instead of resetting —
+        // learnt state is carried, not rebuilt.
+        assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Unsat);
+        assert_eq!(s.num_clauses(), clauses);
+        assert!(s.stats().conflicts >= conflicts_first);
     }
 }

@@ -1,58 +1,93 @@
 //! Property-based differential testing of the CDCL solver against the
 //! reference DPLL solver and brute-force enumeration.
+//!
+//! Cases are generated with a deterministic in-repo PRNG (the toolchain
+//! vendors no external crates), so every run explores the same inputs.
 
 use ivy_sat::{solve_brute_force, solve_dpll, Cnf, Lit, SolveResult, Var};
-use proptest::prelude::*;
 
-/// Strategy: a random CNF over `max_vars` variables.
-fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let clause = proptest::collection::vec((0..max_vars, any::<bool>()), 1..=4);
-    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
-        let mut cnf = Cnf::new();
-        for _ in 0..max_vars {
-            cnf.new_var();
-        }
-        for c in clauses {
-            cnf.add_clause(
-                c.into_iter()
-                    .map(|(v, pos)| Var(v as u32).lit(pos))
-                    .collect::<Vec<Lit>>(),
-            );
-        }
-        cnf
-    })
+/// Deterministic splitmix64 generator for reproducible test cases.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next().is_multiple_of(2)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random CNF over `max_vars` variables with up to `max_clauses` clauses
+/// of 1..=4 literals.
+fn arb_cnf(g: &mut Gen, max_vars: usize, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    for _ in 0..max_vars {
+        cnf.new_var();
+    }
+    let n_clauses = g.below(max_clauses + 1);
+    for _ in 0..n_clauses {
+        let len = 1 + g.below(4);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Var(g.below(max_vars) as u32).lit(g.flip()))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
 
-    /// CDCL agrees with brute force on satisfiability, and produced models
-    /// really satisfy the formula.
-    #[test]
-    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+/// CDCL agrees with brute force on satisfiability, and produced models
+/// really satisfy the formula.
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut g = Gen::new(0xb127);
+    for case in 0..256 {
+        let cnf = arb_cnf(&mut g, 8, 24);
         let brute = solve_brute_force(&cnf);
         let cdcl = cnf.solve();
-        prop_assert_eq!(brute.is_some(), cdcl.is_some());
+        assert_eq!(brute.is_some(), cdcl.is_some(), "case {case}");
         if let Some(model) = cdcl {
-            prop_assert!(cnf.eval(&model));
+            assert!(cnf.eval(&model), "case {case}: bogus model");
         }
     }
+}
 
-    /// CDCL agrees with the DPLL reference on slightly larger instances.
-    #[test]
-    fn cdcl_agrees_with_dpll(cnf in arb_cnf(14, 50)) {
+/// CDCL agrees with the DPLL reference on slightly larger instances.
+#[test]
+fn cdcl_agrees_with_dpll() {
+    let mut g = Gen::new(0xd911);
+    for case in 0..256 {
+        let cnf = arb_cnf(&mut g, 14, 50);
         let dpll = solve_dpll(&cnf);
         let cdcl = cnf.solve();
-        prop_assert_eq!(dpll.is_some(), cdcl.is_some());
+        assert_eq!(dpll.is_some(), cdcl.is_some(), "case {case}");
         if let Some(model) = dpll {
-            prop_assert!(cnf.eval(&model));
+            assert!(cnf.eval(&model), "case {case}: bogus DPLL model");
         }
     }
+}
 
-    /// UNSAT cores from assumption solving are themselves unsatisfiable
-    /// together with the clauses, and are subsets of the assumptions.
-    #[test]
-    fn unsat_cores_are_sound(cnf in arb_cnf(8, 20), seed_bits in 0u16..256) {
+/// UNSAT cores from assumption solving are themselves unsatisfiable
+/// together with the clauses, and are subsets of the assumptions.
+#[test]
+fn unsat_cores_are_sound() {
+    let mut g = Gen::new(0xc03e);
+    for case in 0..256 {
+        let cnf = arb_cnf(&mut g, 8, 20);
+        let seed_bits = g.next() as u16;
         let mut solver = cnf.to_solver();
         // Derive assumptions from seed bits: variable i assumed with
         // polarity bit i when bit (i+8) selects it.
@@ -67,26 +102,34 @@ proptest! {
                 let model: Vec<bool> = (0..cnf.num_vars())
                     .map(|i| solver.model_value(Var(i as u32)).unwrap())
                     .collect();
-                prop_assert!(cnf.eval(&model));
+                assert!(cnf.eval(&model), "case {case}");
                 for a in &assumptions {
-                    prop_assert_eq!(model[a.var().index()], a.is_pos());
+                    assert_eq!(model[a.var().index()], a.is_pos(), "case {case}");
                 }
             }
             SolveResult::Unsat => {
                 let core: Vec<Lit> = solver.unsat_core().to_vec();
                 for l in &core {
-                    prop_assert!(assumptions.contains(l), "core lit {l} not among assumptions");
+                    assert!(
+                        assumptions.contains(l),
+                        "case {case}: core lit {l} not among assumptions"
+                    );
                 }
                 // Re-solving under the core alone stays UNSAT.
                 let mut s2 = cnf.to_solver();
-                prop_assert_eq!(s2.solve_with_assumptions(&core), SolveResult::Unsat);
+                assert_eq!(s2.solve_with_assumptions(&core), SolveResult::Unsat);
             }
         }
     }
+}
 
-    /// Incremental solving is consistent with one-shot solving.
-    #[test]
-    fn incremental_matches_oneshot(cnf1 in arb_cnf(8, 12), extra in arb_cnf(8, 12)) {
+/// Incremental solving is consistent with one-shot solving.
+#[test]
+fn incremental_matches_oneshot() {
+    let mut g = Gen::new(0x19c8);
+    for case in 0..256 {
+        let cnf1 = arb_cnf(&mut g, 8, 12);
+        let extra = arb_cnf(&mut g, 8, 12);
         // Solve cnf1, then add extra clauses and compare with a fresh solve
         // of the union.
         let mut solver = cnf1.to_solver();
@@ -100,6 +143,6 @@ proptest! {
         for c in extra.clauses() {
             union.add_clause(c.iter().copied());
         }
-        prop_assert_eq!(incremental, union.solve().is_some());
+        assert_eq!(incremental, union.solve().is_some(), "case {case}");
     }
 }

@@ -26,10 +26,7 @@ impl TerminalUser {
         print!("{text}");
         std::io::stdout().flush().expect("stdout");
         let mut line = String::new();
-        std::io::stdin()
-            .lock()
-            .read_line(&mut line)
-            .expect("stdin");
+        std::io::stdin().lock().read_line(&mut line).expect("stdin");
         line.trim().to_string()
     }
 }
@@ -46,9 +43,7 @@ impl User for TerminalUser {
             println!("successor: {s}");
         }
         loop {
-            let cmd = self.prompt(
-                "[g]eneralize / [w]eaken <names> / [d]ot / [s]top ? ",
-            );
+            let cmd = self.prompt("[g]eneralize / [w]eaken <names> / [d]ot / [s]top ? ");
             match cmd.split_whitespace().next() {
                 Some("d") => {
                     println!("{}", structure_to_dot(&cti.state, &VizOptions::default()));
@@ -62,9 +57,8 @@ impl User for TerminalUser {
                 Some("g") => {
                     let mut s_u =
                         PartialStructure::from_structure_without(&cti.state, &self.locals);
-                    let drops = self.prompt(
-                        "symbols to drop entirely (comma separated, empty for none): ",
-                    );
+                    let drops =
+                        self.prompt("symbols to drop entirely (comma separated, empty for none): ");
                     for sym in drops.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                         s_u.drop_symbol(&Sym::new(sym));
                     }
@@ -106,7 +100,10 @@ impl User for TerminalUser {
             match cmd.as_str() {
                 "a" => return ProposalDecision::Accept,
                 "u" => return ProposalDecision::AcceptUpperBound,
-                "d" => println!("{}", partial_to_dot(&proposal.partial, &VizOptions::default())),
+                "d" => println!(
+                    "{}",
+                    partial_to_dot(&proposal.partial, &VizOptions::default())
+                ),
                 "s" => return ProposalDecision::Stop,
                 _ => println!("unrecognized choice"),
             }

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "template: {} candidate clauses (2 vars/sort, <=2 literals)",
         candidates.len()
     );
-    let result = houdini(&program, candidates, 4_000_000)?;
+    let result = houdini(&program, candidates, ivy_epr::DEFAULT_INSTANCE_LIMIT)?;
     println!(
         "houdini: {} clauses survive after {} CTIs; proves safety: {}",
         result.invariant.len(),

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(MODEL)?;
     let problems = check_program(&program);
     assert!(problems.is_empty(), "validation: {problems:?}");
-    println!("model ok: {} actions, safety `mutex`", program.actions.len());
+    println!(
+        "model ok: {} actions, safety `mutex`",
+        program.actions.len()
+    );
 
     // 2. Debug with bounded verification: no counterexample within 5 loop
     //    iterations, over clients sets of ANY size.

@@ -3,11 +3,33 @@
 //!
 //! If `s ⊨ wp(C, Q)` then no execution of `C` from `s` aborts, and every
 //! completed execution ends in a state satisfying `Q`.
+//!
+//! Inputs come from a deterministic in-repo PRNG for reproducibility.
 
 use ivy_repro::fol::{Formula, Signature, Structure, Sym, Term};
 use ivy_repro::rml::{exec_all, wp, Cmd, ExecOutcome};
-use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Deterministic splitmix64 generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
 
 fn signature() -> Signature {
     let mut sig = Signature::new();
@@ -20,64 +42,58 @@ fn signature() -> Signature {
 }
 
 /// Random structure over `signature()` with 1..=3 elements.
-fn arb_structure() -> impl Strategy<Value = Structure> {
-    (1usize..=3, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = Structure::new(Arc::new(signature()));
-        let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
-        let mut bits = seed;
-        let mut next = || {
-            bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (bits >> 33) as usize
-        };
-        s.set_fun("a", vec![], elems[next() % n].clone());
-        s.set_fun("b", vec![], elems[next() % n].clone());
-        for e in &elems {
-            s.set_rel("r", vec![e.clone()], next() % 2 == 0);
-            for f in &elems {
-                s.set_rel("q", vec![e.clone(), f.clone()], next() % 2 == 0);
-            }
+fn arb_structure(g: &mut Gen) -> Structure {
+    let n = 1 + g.below(3);
+    let mut s = Structure::new(Arc::new(signature()));
+    let elems: Vec<_> = (0..n).map(|_| s.add_element("s")).collect();
+    s.set_fun("a", vec![], elems[g.below(n)].clone());
+    s.set_fun("b", vec![], elems[g.below(n)].clone());
+    for e in &elems {
+        s.set_rel("r", vec![e.clone()], g.below(2) == 0);
+        for f in &elems {
+            s.set_rel("q", vec![e.clone(), f.clone()], g.below(2) == 0);
         }
-        s
-    })
+    }
+    s
 }
 
-/// Random loop-free command over the signature.
-fn arb_cmd() -> impl Strategy<Value = Cmd> {
-    let atomic = prop_oneof![
-        Just(Cmd::Skip),
-        Just(Cmd::Abort),
-        Just(Cmd::Havoc(Sym::new("a"))),
-        Just(Cmd::Havoc(Sym::new("b"))),
-        Just(Cmd::Assume(
-            ivy_repro::fol::parse_formula("r(a)").unwrap()
-        )),
-        Just(Cmd::Assume(
-            ivy_repro::fol::parse_formula("exists X:s. q(X, b)").unwrap()
-        )),
-        Just(Cmd::insert_tuple(
-            "r",
-            vec![Sym::new("X0")],
-            vec![Term::cst("a")]
-        )),
-        Just(Cmd::remove_tuple(
-            "r",
-            vec![Sym::new("X0")],
-            vec![Term::cst("b")]
-        )),
-        Just(Cmd::UpdateRel {
+fn arb_atomic(g: &mut Gen) -> Cmd {
+    match g.below(10) {
+        0 => Cmd::Skip,
+        1 => Cmd::Abort,
+        2 => Cmd::Havoc(Sym::new("a")),
+        3 => Cmd::Havoc(Sym::new("b")),
+        4 => Cmd::Assume(ivy_repro::fol::parse_formula("r(a)").unwrap()),
+        5 => Cmd::Assume(ivy_repro::fol::parse_formula("exists X:s. q(X, b)").unwrap()),
+        6 => Cmd::insert_tuple("r", vec![Sym::new("X0")], vec![Term::cst("a")]),
+        7 => Cmd::remove_tuple("r", vec![Sym::new("X0")], vec![Term::cst("b")]),
+        8 => Cmd::UpdateRel {
             rel: Sym::new("q"),
             params: vec![Sym::new("X0"), Sym::new("X1")],
             body: ivy_repro::fol::parse_formula("q(X1, X0)").unwrap(),
-        }),
-        Just(Cmd::UpdateRel {
+        },
+        _ => Cmd::UpdateRel {
             rel: Sym::new("r"),
             params: vec![Sym::new("X0")],
             body: ivy_repro::fol::parse_formula("q(X0, X0) | X0 = a").unwrap(),
-        }),
-    ];
-    let seq = proptest::collection::vec(atomic.clone(), 1..=3).prop_map(Cmd::seq);
-    let choice = proptest::collection::vec(seq.clone(), 1..=2).prop_map(Cmd::choice);
-    prop_oneof![atomic, seq, choice]
+        },
+    }
+}
+
+/// Random loop-free command over the signature.
+fn arb_cmd(g: &mut Gen) -> Cmd {
+    let seq = |g: &mut Gen| {
+        let len = 1 + g.below(3);
+        Cmd::seq((0..len).map(|_| arb_atomic(g)).collect::<Vec<_>>())
+    };
+    match g.below(3) {
+        0 => arb_atomic(g),
+        1 => seq(g),
+        _ => {
+            let branches = 1 + g.below(2);
+            Cmd::choice((0..branches).map(|_| seq(g)).collect::<Vec<_>>())
+        }
+    }
 }
 
 fn post_conditions() -> Vec<Formula> {
@@ -93,25 +109,27 @@ fn post_conditions() -> Vec<Formula> {
     .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Soundness of wp: states satisfying wp(C, Q) only execute into Q.
-    #[test]
-    fn wp_is_sound(state in arb_structure(), cmd in arb_cmd(), qi in 0usize..5) {
+/// Soundness of wp: states satisfying wp(C, Q) only execute into Q.
+#[test]
+fn wp_is_sound() {
+    let mut g = Gen::new(0x3b01);
+    let posts = post_conditions();
+    for case in 0..128 {
+        let state = arb_structure(&mut g);
+        let cmd = arb_cmd(&mut g);
+        let post = &posts[g.below(posts.len())];
         let sig = signature();
-        let post = &post_conditions()[qi];
         let pre = wp(&sig, &Formula::True, &cmd, post);
         let holds = state.eval_closed(&pre).unwrap();
         let outcomes = exec_all(&Formula::True, &cmd, &state).unwrap();
         if holds {
             for o in &outcomes {
                 match o {
-                    ExecOutcome::Aborted => prop_assert!(false, "wp held but execution aborted"),
+                    ExecOutcome::Aborted => panic!("case {case}: wp held but execution aborted"),
                     ExecOutcome::Done(s2) => {
-                        prop_assert!(
+                        assert!(
                             s2.eval_closed(post).unwrap(),
-                            "wp held but post failed in {s2}"
+                            "case {case}: wp held but post failed in {s2}"
                         );
                     }
                     ExecOutcome::Blocked => {}
@@ -119,14 +137,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// Completeness on deterministic commands: when every execution
-    /// satisfies Q and none aborts or blocks, wp(C, Q) holds (wp is the
-    /// *weakest* precondition).
-    #[test]
-    fn wp_is_weakest(state in arb_structure(), cmd in arb_cmd(), qi in 0usize..5) {
+/// Completeness on deterministic commands: when every execution
+/// satisfies Q and none aborts or blocks, wp(C, Q) holds (wp is the
+/// *weakest* precondition).
+#[test]
+fn wp_is_weakest() {
+    let mut g = Gen::new(0x3b02);
+    let posts = post_conditions();
+    for _ in 0..128 {
+        let state = arb_structure(&mut g);
+        let cmd = arb_cmd(&mut g);
+        let post = &posts[g.below(posts.len())];
         let sig = signature();
-        let post = &post_conditions()[qi];
         let outcomes = exec_all(&Formula::True, &cmd, &state).unwrap();
         let all_good = !outcomes.is_empty()
             && outcomes.iter().all(|o| match o {
@@ -136,7 +160,7 @@ proptest! {
             });
         if all_good {
             let pre = wp(&sig, &Formula::True, &cmd, post);
-            prop_assert!(
+            assert!(
                 state.eval_closed(&pre).unwrap(),
                 "every run satisfies Q but wp fails; cmd = {cmd}"
             );

@@ -91,7 +91,10 @@ fn wp_initiation_matches_verifier() {
             .check_initiation(&[Conjecture::new("I", inv)])
             .unwrap()
             .is_none();
-        assert_eq!(via_wp, via_trans, "initiation encodings disagree on `{src}`");
+        assert_eq!(
+            via_wp, via_trans,
+            "initiation encodings disagree on `{src}`"
+        );
     }
 }
 
@@ -121,9 +124,6 @@ fn wp_vcs_stay_in_decidable_fragment() {
             "wp left ∀*∃* on a protocol body"
         );
         let vc = Formula::and([axiom, conj, Formula::not(weakest)]);
-        assert!(
-            ivy_repro::fol::is_ea_sentence(&vc),
-            "negated VC left ∃*∀*"
-        );
+        assert!(ivy_repro::fol::is_ea_sentence(&vc), "negated VC left ∃*∀*");
     }
 }
