@@ -15,10 +15,10 @@ fn consecution_query(mode: EqualityMode) -> bool {
     let u = unroll_free(&p, 1);
     let mut q = EprCheck::new(&u.sig).unwrap();
     q.set_equality_mode(mode);
-    q.assert_labeled("base", &u.base).unwrap();
+    q.assert_id("base", u.base).unwrap();
     q.assert_labeled("inv", &rename_symbols(&inv, &u.maps[0]))
         .unwrap();
-    q.assert_labeled("step", &u.steps[0]).unwrap();
+    q.assert_id("step", u.steps[0]).unwrap();
     q.assert_labeled("neg", &Formula::not(rename_symbols(&inv, &u.maps[1])))
         .unwrap();
     !q.check().unwrap().is_sat()

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod reference;
+
 use std::time::{Duration, Instant};
 
 use ivy_core::{Conjecture, Measure, OracleUser, Session, SessionOutcome, SessionStats};

@@ -170,7 +170,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .sig
                 .sorts()
                 .iter()
-                .map(|s| ivy_core::Measure::SortSize(s.clone()))
+                .map(|s| ivy_core::Measure::SortSize(*s))
                 .collect();
             match v.find_minimal_cti(&inv, &measures)? {
                 None => {

@@ -6,8 +6,20 @@
 //! reachable by at most `k` iterations, over rings/networks of any size.
 
 use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
+use ivy_fol::intern::{self, FormulaId, Interner};
 use ivy_fol::{Formula, Structure};
-use ivy_rml::{project_state, rename_symbols, unroll, Program, Unrolling};
+use ivy_rml::{project_state, unroll, Program, SymMap, Unrolling};
+
+/// `¬(phi[map])`, built in id space: the rename is memoized per (formula,
+/// vocabulary), so re-checking the same property at another time point is a
+/// table lookup.
+fn not_renamed(phi: &Formula, map: &SymMap) -> FormulaId {
+    Interner::with(|it| {
+        let p = it.intern(phi);
+        let r = it.rename_symbols(p, map);
+        it.not(r)
+    })
+}
 
 /// A concrete counterexample trace: the loop-head states of an execution,
 /// labeled with the actions between them.
@@ -76,7 +88,7 @@ impl<'p> Bmc<'p> {
         let u = unroll(self.program, k);
         let mut session = self.maybe_session(&u)?;
         for j in 0..=k {
-            let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
+            let bad = not_renamed(phi, &u.maps[j]);
             if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
                 return Ok(Some(self.extract_trace(&u, j, &model, format!("~({phi})"))));
             }
@@ -95,10 +107,9 @@ impl<'p> Bmc<'p> {
         let u = unroll(self.program, k);
         let mut session = self.maybe_session(&u)?;
         // Aborts during init (no steps involved; depth 0).
-        if u.init_error != Formula::False {
-            if let Some(model) =
-                self.solve_at(session.as_mut(), &u, 0, ("abort", u.init_error.clone()))?
-            {
+        let false_id = intern::false_id();
+        if u.init_error != false_id {
+            if let Some(model) = self.solve_at(session.as_mut(), &u, 0, ("abort", u.init_error))? {
                 let mut trace = self.extract_trace(&u, 0, &model, String::new());
                 trace.violated = "abort during init".into();
                 return Ok(Some(trace));
@@ -107,7 +118,7 @@ impl<'p> Bmc<'p> {
         for j in 0..=k {
             // Safety properties at state j.
             for (label, phi) in &self.program.safety {
-                let bad = Formula::not(rename_symbols(phi, &u.maps[j]));
+                let bad = not_renamed(phi, &u.maps[j]);
                 if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
                     return Ok(Some(self.extract_trace(&u, j, &model, label.clone())));
                 }
@@ -115,12 +126,10 @@ impl<'p> Bmc<'p> {
             // Aborts inside the body step from state j.
             if j < u.step_errors.len() {
                 for (action, err) in &u.step_errors[j] {
-                    if err == &Formula::False {
+                    if *err == false_id {
                         continue;
                     }
-                    if let Some(model) =
-                        self.solve_at(session.as_mut(), &u, j, ("abort", err.clone()))?
-                    {
+                    if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("abort", *err))? {
                         return Ok(Some(self.extract_trace(
                             &u,
                             j,
@@ -131,8 +140,8 @@ impl<'p> Bmc<'p> {
                 }
             }
             // Aborts in the finalization command from state j.
-            if u.final_errors[j] != Formula::False {
-                let err = u.final_errors[j].clone();
+            if u.final_errors[j] != false_id {
+                let err = u.final_errors[j];
                 if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("abort", err))? {
                     return Ok(Some(self.extract_trace(
                         &u,
@@ -161,7 +170,7 @@ impl<'p> Bmc<'p> {
         }
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(self.instance_limit);
-        s.assert_labeled("base", &u.base)?;
+        s.assert_id("base", u.base)?;
         Ok(Some(ReachSession { s, steps_added: 0 }))
     }
 
@@ -174,16 +183,16 @@ impl<'p> Bmc<'p> {
         session: Option<&mut ReachSession>,
         u: &Unrolling,
         j: usize,
-        extra: (&str, Formula),
+        extra: (&str, FormulaId),
     ) -> Result<Option<Structure>, EprError> {
         let Some(rs) = session else {
             return self.solve_reach(u, j, extra);
         };
         while rs.steps_added < j {
-            rs.s.assert_labeled(format!("step{}", rs.steps_added), &u.steps[rs.steps_added])?;
+            rs.s.assert_id(format!("step{}", rs.steps_added), u.steps[rs.steps_added])?;
             rs.steps_added += 1;
         }
-        let group = rs.s.assert_labeled(extra.0, &extra.1)?;
+        let group = rs.s.assert_id(extra.0, extra.1)?;
         let outcome = rs.s.check()?;
         rs.s.retire(group);
         match outcome {
@@ -197,14 +206,14 @@ impl<'p> Bmc<'p> {
         &self,
         u: &Unrolling,
         j: usize,
-        extra: (&str, Formula),
+        extra: (&str, FormulaId),
     ) -> Result<Option<Structure>, EprError> {
         let mut q = self.fresh_query(u)?;
-        q.assert_labeled("base", &u.base)?;
+        q.assert_id("base", u.base)?;
         for (i, step) in u.steps.iter().take(j).enumerate() {
-            q.assert_labeled(format!("step{i}"), step)?;
+            q.assert_id(format!("step{i}"), *step)?;
         }
-        q.assert_labeled(extra.0, &extra.1)?;
+        q.assert_id(extra.0, extra.1)?;
         match q.check()? {
             EprOutcome::Sat(model) => Ok(Some(model.structure)),
             EprOutcome::Unsat(_) => Ok(None),
@@ -222,7 +231,7 @@ impl<'p> Bmc<'p> {
         for step in u.step_paths.iter().take(j) {
             let name = step
                 .iter()
-                .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                .find(|(_, f)| model.eval_closed(&intern::resolve(*f)).unwrap_or(false))
                 .map(|(n, _)| n.clone())
                 .unwrap_or_default();
             actions.push(name);

@@ -171,17 +171,16 @@ impl<'p> Generalizer<'p> {
                         &sig,
                         &format!("emb_{}{}", e.sort, e.idx),
                     );
-                    sig.add_constant(name.clone(), e.sort.clone())
-                        .expect("fresh name");
+                    sig.add_constant(name, e.sort).expect("fresh name");
                     elem_const.insert(e.clone(), name);
                 }
             }
         }
         let mut q = EprCheck::new(&sig)?;
         q.set_instance_limit(self.instance_limit);
-        q.assert_labeled("base", &u.base)?;
+        q.assert_id("base", u.base)?;
         for (i, step) in u.steps.iter().take(j).enumerate() {
-            q.assert_labeled(format!("step{i}"), step)?;
+            q.assert_id(format!("step{i}"), *step)?;
         }
         // Distinctness among same-sort active elements (kept hard: partial
         // structures identify elements, not the facts about them).
@@ -189,7 +188,7 @@ impl<'p> Generalizer<'p> {
         for (a, ca) in &elem_const {
             for (b, cb) in &elem_const {
                 if a < b && a.sort == b.sort {
-                    distinct_parts.push(Formula::neq(Term::cst(ca.clone()), Term::cst(cb.clone())));
+                    distinct_parts.push(Formula::neq(Term::cst(*ca), Term::cst(*cb)));
                 }
             }
         }
@@ -225,7 +224,11 @@ impl<'p> Generalizer<'p> {
         for step in u.step_paths.iter().take(j) {
             let name = step
                 .iter()
-                .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                .find(|(_, f)| {
+                    model
+                        .eval_closed(&ivy_fol::intern::resolve(*f))
+                        .unwrap_or(false)
+                })
                 .map(|(n, _)| n.clone())
                 .unwrap_or_default();
             actions.push(name);
@@ -246,10 +249,10 @@ enum QueryResult {
 /// Translates a partial-structure fact into a formula over embedding
 /// constants, renamed to a state vocabulary.
 fn fact_formula(fact: &Fact, elem_const: &BTreeMap<Elem, Sym>, map: &SymMap) -> Formula {
-    let term = |e: &Elem| Term::cst(elem_const[e].clone());
+    let term = |e: &Elem| Term::cst(elem_const[e]);
     let raw = match fact {
         Fact::Rel { sym, tuple, value } => {
-            let atom = Formula::rel(sym.clone(), tuple.iter().map(term));
+            let atom = Formula::rel(*sym, tuple.iter().map(term));
             if *value {
                 atom
             } else {
@@ -262,7 +265,7 @@ fn fact_formula(fact: &Fact, elem_const: &BTreeMap<Elem, Sym>, map: &SymMap) -> 
             result,
             value,
         } => {
-            let atom = Formula::eq(Term::app(sym.clone(), args.iter().map(term)), term(result));
+            let atom = Formula::eq(Term::app(*sym, args.iter().map(term)), term(result));
             if *value {
                 atom
             } else {

@@ -11,9 +11,9 @@
 
 use ivy_epr::{EprError, EprOutcome, EprSession, GroupId};
 use ivy_fol::{Binding, Formula, Signature, Sort, Term};
-use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program};
+use ivy_rml::{project_state, unroll, unroll_free, Program};
 
-use crate::vc::{Conjecture, Verifier};
+use crate::vc::{not_renamed, renamed_id, Conjecture, Verifier};
 
 /// Result of a Houdini run.
 #[derive(Clone, Debug)]
@@ -47,11 +47,11 @@ pub fn houdini(
         let u = unroll(program, 0);
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(instance_limit);
-        s.assert_labeled("base", &u.base)?;
+        s.assert_id("base", u.base)?;
         let mut i = 0;
         while i < set.len() {
-            let bad = Formula::not(rename_symbols(&set[i].formula, &u.maps[0]));
-            let group = s.assert_labeled("violation", &bad)?;
+            let bad = not_renamed(&set[i].formula, &u.maps[0]);
+            let group = s.assert_id("violation", bad)?;
             let outcome = s.check()?;
             s.retire(group);
             match outcome {
@@ -79,13 +79,13 @@ pub fn houdini(
         let u = unroll_free(program, 1);
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(instance_limit);
-        s.assert_labeled("base", &u.base)?;
-        s.assert_labeled("step", &u.steps[0])?;
+        s.assert_id("base", u.base)?;
+        s.assert_id("step", u.steps[0])?;
         let mut entries: Vec<(Conjecture, GroupId, Option<GroupId>)> = Vec::new();
         for c in set.drain(..) {
-            let hyp = s.assert_labeled(
+            let hyp = s.assert_id(
                 format!("inv:{}", c.name),
-                &rename_symbols(&c.formula, &u.maps[0]),
+                renamed_id(&c.formula, &u.maps[0]),
             )?;
             entries.push((c, hyp, None));
         }
@@ -97,8 +97,8 @@ pub fn houdini(
                     id
                 }
                 None => {
-                    let bad = Formula::not(rename_symbols(&entries[i].0.formula, &u.maps[1]));
-                    let id = s.assert_labeled("violation", &bad)?;
+                    let bad = not_renamed(&entries[i].0.formula, &u.maps[1]);
+                    let id = s.assert_id("violation", bad)?;
                     entries[i].2 = Some(id);
                     id
                 }
@@ -165,7 +165,7 @@ pub fn enumerate_candidates(
         for i in 0..vars_per_sort {
             bindings.push(Binding::new(
                 format!("{}{}", sort.name().to_ascii_uppercase(), i),
-                sort.clone(),
+                *sort,
             ));
         }
     }
@@ -173,20 +173,20 @@ pub fn enumerate_candidates(
         bindings
             .iter()
             .filter(|b| &b.sort == sort)
-            .map(|b| Term::Var(b.var.clone()))
+            .map(|b| Term::Var(b.var))
             .collect()
     };
     // Terms per sort: variables plus unary function applications to
     // variables (depth 1).
     let mut terms: std::collections::BTreeMap<Sort, Vec<Term>> = std::collections::BTreeMap::new();
     for sort in sig.sorts() {
-        terms.insert(sort.clone(), vars_of(sort));
+        terms.insert(*sort, vars_of(sort));
     }
     for (fun, decl) in sig.functions() {
         if decl.arity() == 1 {
             let apps: Vec<Term> = vars_of(&decl.args[0])
                 .into_iter()
-                .map(|v| Term::app(fun.clone(), [v]))
+                .map(|v| Term::app(*fun, [v]))
                 .collect();
             terms.get_mut(&decl.ret).expect("sort known").extend(apps);
         }
@@ -209,7 +209,7 @@ pub fn enumerate_candidates(
             tuples = next;
         }
         for tuple in tuples {
-            atoms.push(Formula::rel(rel.clone(), tuple));
+            atoms.push(Formula::rel(*rel, tuple));
         }
     }
     for sort in sig.sorts() {

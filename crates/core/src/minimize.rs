@@ -35,12 +35,12 @@ impl Measure {
         match self {
             Measure::SortSize(sort) => {
                 let ex: Vec<Binding> = (0..n)
-                    .map(|i| Binding::new(format!("SZ{i}"), sort.clone()))
+                    .map(|i| Binding::new(format!("SZ{i}"), *sort))
                     .collect();
-                let y = Binding::new("SZY", sort.clone());
+                let y = Binding::new("SZY", *sort);
                 let body = Formula::or(
                     ex.iter()
-                        .map(|b| Formula::eq(Term::var("SZY"), Term::Var(b.var.clone()))),
+                        .map(|b| Formula::eq(Term::var("SZY"), Term::Var(b.var))),
                 );
                 Formula::exists(ex, Formula::forall([y], body))
             }
@@ -54,15 +54,15 @@ impl Measure {
                 let mut ex = Vec::with_capacity(n * arity);
                 for i in 0..n {
                     for (j, s) in sorts.iter().enumerate() {
-                        ex.push(Binding::new(format!("T{i}_{j}"), s.clone()));
+                        ex.push(Binding::new(format!("T{i}_{j}"), *s));
                     }
                 }
                 let ys: Vec<Binding> = sorts
                     .iter()
                     .enumerate()
-                    .map(|(j, s)| Binding::new(format!("TY{j}"), s.clone()))
+                    .map(|(j, s)| Binding::new(format!("TY{j}"), *s))
                     .collect();
-                let atom = Formula::rel(rel.clone(), ys.iter().map(|b| Term::Var(b.var.clone())));
+                let atom = Formula::rel(*rel, ys.iter().map(|b| Term::Var(b.var)));
                 let guard = if positive { atom } else { Formula::not(atom) };
                 let matches_row = |i: usize| {
                     Formula::and((0..arity).map(|j| {

@@ -205,7 +205,7 @@ fn assign(
     }
     let b = &bindings[i];
     for e in state.elements(&b.sort).collect::<Vec<_>>() {
-        env.insert(b.var.clone(), e);
+        env.insert(b.var, e);
         if assign(state, matrix, bindings, i + 1, env) {
             return true;
         }
@@ -233,7 +233,7 @@ fn collect_facts(
                 tuple.push(e);
             }
             let value = state.rel_holds(r, &tuple);
-            out.define_rel(r.clone(), tuple, value);
+            out.define_rel(*r, tuple, value);
         }
         Formula::Eq(a, b) => {
             // Equalities between pure variables are captured by element
@@ -268,7 +268,7 @@ fn term_elem(
                 elems.push(term_elem(state, a, env, out)?);
             }
             let result = state.fun_app(f, &elems)?;
-            out.define_fun(f.clone(), elems, result.clone());
+            out.define_fun(*f, elems, result.clone());
             Some(result)
         }
         Term::Ite(c, a, b) => {

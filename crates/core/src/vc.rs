@@ -9,8 +9,28 @@
 use std::fmt;
 
 use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
+use ivy_fol::intern::{self, FormulaId, Interner};
 use ivy_fol::{Formula, Structure};
-use ivy_rml::{project_state, rename_symbols, unroll, unroll_free, Program, Unrolling};
+use ivy_rml::{project_state, unroll, unroll_free, Program, SymMap, Unrolling};
+
+/// Interns `phi` renamed through `map` — the pervasive "conjecture at a
+/// vocabulary" operation. Renames are memoized in the interner, so repeated
+/// calls over the same conjecture/map pair are cheap.
+pub(crate) fn renamed_id(phi: &Formula, map: &SymMap) -> FormulaId {
+    Interner::with(|it| {
+        let f = it.intern(phi);
+        it.rename_symbols(f, map)
+    })
+}
+
+/// `¬(phi[map])`, interned: the violation formula of a conjecture.
+pub(crate) fn not_renamed(phi: &Formula, map: &SymMap) -> FormulaId {
+    Interner::with(|it| {
+        let f = it.intern(phi);
+        let r = it.rename_symbols(f, map);
+        it.not(r)
+    })
+}
 
 /// A named conjecture of the candidate invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -208,10 +228,10 @@ impl<'p> Verifier<'p> {
             }
             QueryStrategy::Session => {
                 let mut s = self.session(&u.sig, None)?;
-                s.assert_labeled("base", &u.base)?;
+                s.assert_id("base", u.base)?;
                 for c in conjectures {
-                    let bad = Formula::not(rename_symbols(&c.formula, &u.maps[0]));
-                    let group = s.assert_labeled("violation", &bad)?;
+                    let bad = not_renamed(&c.formula, &u.maps[0]);
+                    let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
                     if let EprOutcome::Sat(model) = outcome {
@@ -235,11 +255,8 @@ impl<'p> Verifier<'p> {
     /// One fresh initiation query for a single conjecture.
     fn initiation_query(&self, u: &Unrolling, c: &Conjecture) -> Result<Option<Cti>, EprError> {
         let mut q = self.query(&u.sig)?;
-        q.assert_labeled("base", &u.base)?;
-        q.assert_labeled(
-            "violation",
-            &Formula::not(rename_symbols(&c.formula, &u.maps[0])),
-        )?;
+        q.assert_id("base", u.base)?;
+        q.assert_id("violation", not_renamed(&c.formula, &u.maps[0]))?;
         if let EprOutcome::Sat(model) = q.check()? {
             return Ok(Some(Cti {
                 state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
@@ -266,7 +283,7 @@ impl<'p> Verifier<'p> {
             QueryStrategy::Fresh => {
                 for (label, bad) in cases {
                     if let Some(state) =
-                        self.solve_state(&u.sig, &u.base, conjectures, &state_map, bad)?
+                        self.solve_state(&u.sig, u.base, conjectures, &state_map, bad)?
                     {
                         return Ok(Some(Cti {
                             state,
@@ -280,7 +297,7 @@ impl<'p> Verifier<'p> {
             QueryStrategy::Session => {
                 let mut s = self.frame_session(&u, conjectures, None)?;
                 for (label, bad) in cases {
-                    let group = s.assert_labeled("violation", &bad)?;
+                    let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
                     if let EprOutcome::Sat(model) = outcome {
@@ -296,7 +313,7 @@ impl<'p> Verifier<'p> {
             QueryStrategy::Parallel(threads) => parallel_first(threads, cases.len(), |i| {
                 let (label, bad) = &cases[i];
                 Ok(self
-                    .solve_state(&u.sig, &u.base, conjectures, &state_map, bad.clone())?
+                    .solve_state(&u.sig, u.base, conjectures, &state_map, *bad)?
                     .map(|state| Cti {
                         state,
                         successor: None,
@@ -328,10 +345,10 @@ impl<'p> Verifier<'p> {
                 let mut s = self.frame_session(&u, conjectures, None)?;
                 // The transition step is shared by every conjecture's query:
                 // ground it once, as its own persistent group.
-                s.assert_labeled("step", &u.steps[0])?;
+                s.assert_id("step", u.steps[0])?;
                 for c in conjectures {
-                    let bad = Formula::not(rename_symbols(&c.formula, &u.maps[1]));
-                    let group = s.assert_labeled("violation", &bad)?;
+                    let bad = not_renamed(&c.formula, &u.maps[1]);
+                    let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
                     if let EprOutcome::Sat(model) = outcome {
@@ -353,11 +370,14 @@ impl<'p> Verifier<'p> {
         conjectures: &[Conjecture],
         c: &Conjecture,
     ) -> Result<Option<Cti>, EprError> {
-        let bad = Formula::and([
-            u.steps[0].clone(),
-            Formula::not(rename_symbols(&c.formula, &u.maps[1])),
-        ]);
-        if let Some(model) = self.solve_model(&u.sig, &u.base, conjectures, &u.maps[0], bad)? {
+        let step = u.steps[0];
+        let bad = Interner::with(|it| {
+            let f = it.intern(&c.formula);
+            let r = it.rename_symbols(f, &u.maps[1]);
+            let n = it.not(r);
+            it.and([step, n])
+        });
+        if let Some(model) = self.solve_model(&u.sig, u.base, conjectures, &u.maps[0], bad)? {
             return Ok(Some(self.consecution_cti(u, c, &model)));
         }
         Ok(None)
@@ -369,7 +389,7 @@ impl<'p> Verifier<'p> {
     fn consecution_cti(&self, u: &Unrolling, c: &Conjecture, model: &Structure) -> Cti {
         let action = u.step_paths[0]
             .iter()
-            .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+            .find(|(_, f)| model.eval_closed(&intern::resolve(*f)).unwrap_or(false))
             .map(|(n, _)| n.clone())
             .unwrap_or_default();
         Cti {
@@ -395,14 +415,19 @@ impl<'p> Verifier<'p> {
         match violation {
             Violation::Initiation { conjecture } => {
                 let u = unroll(self.program, 0);
-                let mut bad = vec![Formula::not(rename_symbols(
-                    &find_formula(conjectures, conjecture),
-                    &u.maps[0],
-                ))];
-                bad.extend(extra.iter().map(|e| rename_symbols(e, &u.maps[0])));
+                let bad = Interner::with(|it| {
+                    let f = it.intern(&find_formula(conjectures, conjecture));
+                    let r = it.rename_symbols(f, &u.maps[0]);
+                    let mut parts = vec![it.not(r)];
+                    for e in extra {
+                        let e = it.intern(e);
+                        parts.push(it.rename_symbols(e, &u.maps[0]));
+                    }
+                    it.and(parts)
+                });
                 let mut q = self.query_limited(&u.sig, round_limit)?;
-                q.assert_labeled("base", &u.base)?;
-                q.assert_labeled("violation", &Formula::and(bad))?;
+                q.assert_id("base", u.base)?;
+                q.assert_id("violation", bad)?;
                 match q.check()? {
                     EprOutcome::Sat(model) => Ok(Some(Cti {
                         state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
@@ -421,15 +446,21 @@ impl<'p> Verifier<'p> {
                 else {
                     return Ok(None);
                 };
-                let mut all = vec![bad];
-                all.extend(extra.iter().map(|e| rename_symbols(e, &state_map)));
+                let combined = Interner::with(|it| {
+                    let mut all = vec![bad];
+                    for e in extra {
+                        let e = it.intern(e);
+                        all.push(it.rename_symbols(e, &state_map));
+                    }
+                    it.and(all)
+                });
                 Ok(self
                     .solve_state_limited(
                         &u.sig,
-                        &u.base,
+                        u.base,
                         conjectures,
                         &state_map,
-                        Formula::and(all),
+                        combined,
                         round_limit,
                     )?
                     .map(|state| Cti {
@@ -440,25 +471,27 @@ impl<'p> Verifier<'p> {
             }
             Violation::Consecution { conjecture, .. } => {
                 let u = unroll_free(self.program, 1);
-                let mut bad = vec![
-                    u.steps[0].clone(),
-                    Formula::not(rename_symbols(
-                        &find_formula(conjectures, conjecture),
-                        &u.maps[1],
-                    )),
-                ];
-                bad.extend(extra.iter().map(|e| rename_symbols(e, &u.maps[0])));
+                let bad = Interner::with(|it| {
+                    let f = it.intern(&find_formula(conjectures, conjecture));
+                    let r = it.rename_symbols(f, &u.maps[1]);
+                    let mut parts = vec![u.steps[0], it.not(r)];
+                    for e in extra {
+                        let e = it.intern(e);
+                        parts.push(it.rename_symbols(e, &u.maps[0]));
+                    }
+                    it.and(parts)
+                });
                 if let Some(model) = self.solve_model_limited(
                     &u.sig,
-                    &u.base,
+                    u.base,
                     conjectures,
                     &u.maps[0],
-                    Formula::and(bad),
+                    bad,
                     round_limit,
                 )? {
                     let action = u.step_paths[0]
                         .iter()
-                        .find(|(_, f)| model.eval_closed(f).unwrap_or(false))
+                        .find(|(_, f)| model.eval_closed(&intern::resolve(*f)).unwrap_or(false))
                         .map(|(n, _)| n.clone())
                         .unwrap_or_default();
                     return Ok(Some(Cti {
@@ -492,13 +525,10 @@ impl<'p> Verifier<'p> {
             Violation::Initiation { conjecture } => {
                 let u = unroll(self.program, 0);
                 let mut s = self.session(&u.sig, round_limit)?;
-                s.assert_labeled("base", &u.base)?;
-                s.assert_labeled(
+                s.assert_id("base", u.base)?;
+                s.assert_id(
                     "violation",
-                    &Formula::not(rename_symbols(
-                        &find_formula(conjectures, conjecture),
-                        &u.maps[0],
-                    )),
+                    not_renamed(&find_formula(conjectures, conjecture), &u.maps[0]),
                 )?;
                 (u, s)
             }
@@ -511,19 +541,16 @@ impl<'p> Verifier<'p> {
                     return Ok(None);
                 };
                 let mut s = self.frame_session(&u, conjectures, round_limit)?;
-                s.assert_labeled("violation", &bad)?;
+                s.assert_id("violation", bad)?;
                 (u, s)
             }
             Violation::Consecution { conjecture, .. } => {
                 let u = unroll_free(self.program, 1);
                 let mut s = self.frame_session(&u, conjectures, round_limit)?;
-                s.assert_labeled("step", &u.steps[0])?;
-                s.assert_labeled(
+                s.assert_id("step", u.steps[0])?;
+                s.assert_id(
                     "violation",
-                    &Formula::not(rename_symbols(
-                        &find_formula(conjectures, conjecture),
-                        &u.maps[1],
-                    )),
+                    not_renamed(&find_formula(conjectures, conjecture), &u.maps[1]),
                 )?;
                 (u, s)
             }
@@ -558,11 +585,11 @@ impl<'p> Verifier<'p> {
         round_limit: Option<usize>,
     ) -> Result<EprSession, EprError> {
         let mut s = self.session(&u.sig, round_limit)?;
-        s.assert_labeled("base", &u.base)?;
+        s.assert_id("base", u.base)?;
         for c in conjectures {
-            s.assert_labeled(
+            s.assert_id(
                 format!("inv:{}", c.name),
-                &rename_symbols(&c.formula, &u.maps[0]),
+                renamed_id(&c.formula, &u.maps[0]),
             )?;
         }
         Ok(s)
@@ -586,10 +613,10 @@ impl<'p> Verifier<'p> {
     fn solve_state(
         &self,
         sig: &ivy_fol::Signature,
-        base: &Formula,
+        base: FormulaId,
         conjectures: &[Conjecture],
         state_map: &ivy_rml::SymMap,
-        bad: Formula,
+        bad: FormulaId,
     ) -> Result<Option<Structure>, EprError> {
         self.solve_state_limited(sig, base, conjectures, state_map, bad, None)
     }
@@ -597,10 +624,10 @@ impl<'p> Verifier<'p> {
     fn solve_state_limited(
         &self,
         sig: &ivy_fol::Signature,
-        base: &Formula,
+        base: FormulaId,
         conjectures: &[Conjecture],
         state_map: &ivy_rml::SymMap,
-        bad: Formula,
+        bad: FormulaId,
         round_limit: Option<usize>,
     ) -> Result<Option<Structure>, EprError> {
         Ok(self
@@ -611,10 +638,10 @@ impl<'p> Verifier<'p> {
     fn solve_model(
         &self,
         sig: &ivy_fol::Signature,
-        base: &Formula,
+        base: FormulaId,
         conjectures: &[Conjecture],
         state_map: &ivy_rml::SymMap,
-        bad: Formula,
+        bad: FormulaId,
     ) -> Result<Option<Structure>, EprError> {
         self.solve_model_limited(sig, base, conjectures, state_map, bad, None)
     }
@@ -622,21 +649,18 @@ impl<'p> Verifier<'p> {
     fn solve_model_limited(
         &self,
         sig: &ivy_fol::Signature,
-        base: &Formula,
+        base: FormulaId,
         conjectures: &[Conjecture],
         state_map: &ivy_rml::SymMap,
-        bad: Formula,
+        bad: FormulaId,
         round_limit: Option<usize>,
     ) -> Result<Option<Structure>, EprError> {
         let mut q = self.query_limited(sig, round_limit)?;
-        q.assert_labeled("base", base)?;
+        q.assert_id("base", base)?;
         for c in conjectures {
-            q.assert_labeled(
-                format!("inv:{}", c.name),
-                &rename_symbols(&c.formula, state_map),
-            )?;
+            q.assert_id(format!("inv:{}", c.name), renamed_id(&c.formula, state_map))?;
         }
-        q.assert_labeled("violation", &bad)?;
+        q.assert_id("violation", bad)?;
         match q.check()? {
             EprOutcome::Sat(model) => Ok(Some(model.structure)),
             EprOutcome::Unsat(_) => Ok(None),
@@ -660,8 +684,17 @@ impl ViolationSession<'_> {
     /// survives best-effort budgeted queries.
     pub(crate) fn solve(&mut self, extra: &[Formula]) -> Result<Option<Cti>, EprError> {
         let state_map = &self.u.maps[0];
-        let constraint = Formula::and(extra.iter().map(|e| rename_symbols(e, state_map)));
-        let group = self.session.assert_labeled("constraint", &constraint)?;
+        let constraint = Interner::with(|it| {
+            let parts: Vec<FormulaId> = extra
+                .iter()
+                .map(|e| {
+                    let f = it.intern(e);
+                    it.rename_symbols(f, state_map)
+                })
+                .collect();
+            it.and(parts)
+        });
+        let group = self.session.assert_id("constraint", constraint)?;
         let outcome = self.session.check();
         self.session.retire(group);
         match outcome? {
@@ -671,7 +704,7 @@ impl ViolationSession<'_> {
                     Violation::Consecution { conjecture, .. } => {
                         let action = self.u.step_paths[0]
                             .iter()
-                            .find(|(_, f)| m.eval_closed(f).unwrap_or(false))
+                            .find(|(_, f)| m.eval_closed(&intern::resolve(*f)).unwrap_or(false))
                             .map(|(n, _)| n.clone())
                             .unwrap_or_default();
                         (
@@ -732,20 +765,21 @@ where
 /// each declared safety property, plus abort reachability through the body
 /// and the finalization command. Returns `(label, bad formula)` pairs over
 /// the vocabulary of `u.maps[0]`.
-fn safety_cases(program: &Program, u: &ivy_rml::Unrolling) -> Vec<(String, Formula)> {
+fn safety_cases(program: &Program, u: &ivy_rml::Unrolling) -> Vec<(String, FormulaId)> {
     let state_map = &u.maps[0];
-    let mut out: Vec<(String, Formula)> = program
+    let mut out: Vec<(String, FormulaId)> = program
         .safety
         .iter()
-        .map(|(label, phi)| (label.clone(), Formula::not(rename_symbols(phi, state_map))))
+        .map(|(label, phi)| (label.clone(), not_renamed(phi, state_map)))
         .collect();
+    let false_id = intern::false_id();
     for (action, err) in &u.step_errors[0] {
-        if err != &Formula::False {
-            out.push((format!("abort in action `{action}`"), err.clone()));
+        if *err != false_id {
+            out.push((format!("abort in action `{action}`"), *err));
         }
     }
-    if u.final_errors[0] != Formula::False {
-        out.push(("abort in final".into(), u.final_errors[0].clone()));
+    if u.final_errors[0] != false_id {
+        out.push(("abort in final".into(), u.final_errors[0]));
     }
     out
 }

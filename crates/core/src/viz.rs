@@ -167,7 +167,7 @@ pub fn partial_to_dot(p: &PartialStructure, opts: &VizOptions) -> String {
         .sorts()
         .iter()
         .enumerate()
-        .map(|(i, s)| (s.clone(), i))
+        .map(|(i, s)| (*s, i))
         .collect();
     // Labels from unary facts.
     let mut labels: BTreeMap<Elem, Vec<String>> = BTreeMap::new();

@@ -9,17 +9,23 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use ivy_fol::intern::{FormulaId, FormulaNode, Interner};
 use ivy_fol::xform::Block;
 use ivy_fol::{
-    eliminate_ite, skolemize, Binding, Elem, Formula, SigError, Signature, SkolemError, Sort,
-    SortError, Structure, Sym,
+    Binding, Elem, Formula, SigError, Signature, SkolemError, Sort, SortError, Structure, Sym,
 };
 use ivy_sat::{Lit, SolveResult, Stats};
 
-use crate::encode::{Encoder, EqualityMode};
+use crate::encode::{Encoder, EqualityMode, Template};
 
-/// A Skolemized assertion split into miniscoped universal jobs.
-pub(crate) type GroundJob = (Vec<Binding>, Formula);
+/// A Skolemized assertion split into one miniscoped universal job: the
+/// bindings to enumerate and the pre-compiled instantiation template of the
+/// matrix (see [`Template`]).
+#[derive(Clone, Debug)]
+pub(crate) struct GroundJob {
+    pub(crate) bindings: Vec<Binding>,
+    pub(crate) template: Template,
+}
 use crate::ground::{ensure_inhabited, TermTable};
 
 /// The default cap on universal instantiations per query, shared by every
@@ -151,7 +157,7 @@ pub struct GroundStats {
 #[derive(Clone, Debug)]
 pub struct EprCheck {
     sig: Signature,
-    assertions: Vec<(String, Formula)>,
+    assertions: Vec<(String, FormulaId)>,
     instance_limit: u64,
     equality_mode: EqualityMode,
     lazy_round_limit: Option<usize>,
@@ -206,13 +212,41 @@ impl EprCheck {
         f: &Formula,
     ) -> Result<(), EprError> {
         f.well_sorted(&self.sig, &BTreeMap::new())?;
-        self.assertions.push((label.into(), f.clone()));
+        let id = ivy_fol::intern::intern(f);
+        self.assertions.push((label.into(), id));
+        Ok(())
+    }
+
+    /// Adds a labeled assertion that is already interned, avoiding a tree
+    /// materialization for callers working in id space (the sort check
+    /// still resolves once — the only cold walk an assertion pays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EprError::Sort`] for ill-sorted formulas.
+    pub fn assert_id(&mut self, label: impl Into<String>, f: FormulaId) -> Result<(), EprError> {
+        let tree = ivy_fol::intern::resolve(f);
+        tree.well_sorted(&self.sig, &BTreeMap::new())?;
+        self.assertions.push((label.into(), f));
         Ok(())
     }
 
     /// Grounding and solving statistics of the last `check` call.
     pub fn stats(&self) -> GroundStats {
         self.stats
+    }
+
+    /// Runs only the grounding pipeline (split, Skolemize, instantiate,
+    /// Tseitin-encode) without invoking the SAT solver. Useful for measuring
+    /// grounding cost in isolation; the updated [`GroundStats`] are
+    /// returned and also available via [`EprCheck::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EprCheck::check`], minus solver-stage errors.
+    pub fn ground_only(&mut self) -> Result<GroundStats, EprError> {
+        let _ = self.grounded()?;
+        Ok(self.stats)
     }
 
     /// Decides satisfiability of the conjunction of all assertions.
@@ -222,85 +256,7 @@ impl EprCheck {
     /// [`EprError::Skolem`] when an assertion leaves `∃*∀*`;
     /// [`EprError::TooManyInstances`] when grounding exceeds the limit.
     pub fn check(&mut self) -> Result<EprOutcome, EprError> {
-        let mut work_sig = self.sig.clone();
-        // Split, then Skolemize every assertion, extending the working
-        // signature. Splitting (relational Tseitin with fresh nullary guard
-        // relations) keeps disjunctions of universally-defined transition
-        // paths from merging all their quantifiers into one huge block —
-        // without it a BMC step over p paths with v variables each would
-        // ground over (p·v) variables at once.
-        let mut guard_counter = 0usize;
-        let mut ground_jobs: Vec<(String, Vec<GroundJob>)> = Vec::new();
-        for (label, f) in &self.assertions {
-            let f = eliminate_ite(f);
-            let mut pieces = Vec::new();
-            split_for_grounding(
-                &ivy_fol::nnf(&f),
-                Vec::new(),
-                &mut work_sig,
-                &mut guard_counter,
-                &mut pieces,
-            );
-            let mut jobs = Vec::new();
-            for piece in pieces {
-                let sk = skolemize(&piece, &mut work_sig)?;
-                let bindings: Vec<Binding> = sk
-                    .universal
-                    .prefix
-                    .iter()
-                    .flat_map(|b| match b {
-                        Block::Forall(bs) => bs.clone(),
-                        Block::Exists(_) => unreachable!("skolemize leaves only universals"),
-                    })
-                    .collect();
-                // Miniscope: instantiate each top-level conjunct only over
-                // the variables it actually uses.
-                for conjunct in sk.universal.matrix.conjuncts() {
-                    let fv = conjunct.free_vars();
-                    let needed: Vec<Binding> = bindings
-                        .iter()
-                        .filter(|b| fv.contains(&b.var))
-                        .cloned()
-                        .collect();
-                    jobs.push((needed, conjunct.clone()));
-                }
-            }
-            ground_jobs.push((label.clone(), jobs));
-        }
-        ensure_inhabited(&mut work_sig);
-        let table = TermTable::build(&work_sig);
-        // Estimate and enforce the instantiation budget.
-        let mut estimated: u64 = 0;
-        for (_, jobs) in &ground_jobs {
-            for (bindings, _) in jobs {
-                let mut count: u64 = 1;
-                for b in bindings {
-                    count = count.saturating_mul(table.of_sort(&b.sort).len() as u64);
-                }
-                estimated = estimated.saturating_add(count);
-            }
-        }
-        if estimated > self.instance_limit {
-            return Err(EprError::TooManyInstances {
-                estimated,
-                limit: self.instance_limit,
-            });
-        }
-        self.stats = GroundStats {
-            universe: table.len(),
-            instances: estimated,
-            ..GroundStats::default()
-        };
-        let mut enc = Encoder::new(table);
-        // One assumption guard per assertion (for UNSAT cores).
-        let mut guards: Vec<(Lit, String)> = Vec::new();
-        for (label, jobs) in &ground_jobs {
-            let guard = enc.fresh_var().pos();
-            guards.push((guard, label.clone()));
-            for (bindings, matrix) in jobs {
-                instantiate(&mut enc, guard, bindings, matrix);
-            }
-        }
+        let (work_sig, mut enc, guards) = self.grounded()?;
         let assumptions: Vec<Lit> = guards.iter().map(|(g, _)| *g).collect();
         let result = match self.equality_mode {
             EqualityMode::Eager => {
@@ -339,6 +295,104 @@ impl EprCheck {
             }
         }
     }
+
+    /// The grounding prefix shared by [`EprCheck::check`] and
+    /// [`EprCheck::ground_only`]: split, Skolemize, instantiate and encode
+    /// every assertion into a fresh [`Encoder`], one assumption guard per
+    /// assertion.
+    #[allow(clippy::type_complexity)]
+    fn grounded(&mut self) -> Result<(Signature, Encoder, Vec<(Lit, String)>), EprError> {
+        let mut work_sig = self.sig.clone();
+        // Split, then Skolemize every assertion, extending the working
+        // signature. Splitting (relational Tseitin with fresh nullary guard
+        // relations) keeps disjunctions of universally-defined transition
+        // paths from merging all their quantifiers into one huge block —
+        // without it a BMC step over p paths with v variables each would
+        // ground over (p·v) variables at once.
+        let mut guard_counter = 0usize;
+        let mut ground_jobs: Vec<(String, Vec<GroundJob>)> = Vec::new();
+        Interner::with(|it| -> Result<(), EprError> {
+            for (label, f) in &self.assertions {
+                let f = it.eliminate_ite(*f);
+                let n = it.nnf(f);
+                let mut pieces = Vec::new();
+                split_for_grounding(
+                    it,
+                    n,
+                    Vec::new(),
+                    &mut work_sig,
+                    &mut guard_counter,
+                    &mut pieces,
+                );
+                let mut jobs = Vec::new();
+                for piece in pieces {
+                    let sk = it.skolemize(piece, &mut work_sig)?;
+                    let bindings: Vec<Binding> = sk
+                        .universal
+                        .prefix
+                        .iter()
+                        .flat_map(|b| match b {
+                            Block::Forall(bs) => bs.clone(),
+                            Block::Exists(_) => unreachable!("skolemize leaves only universals"),
+                        })
+                        .collect();
+                    // Miniscope: instantiate each top-level conjunct only
+                    // over the variables it actually uses (free-var sets are
+                    // cached on the interned nodes).
+                    for conjunct in it.conjuncts(sk.universal.matrix) {
+                        let fv = it.free_vars(conjunct);
+                        let needed: Vec<Binding> = bindings
+                            .iter()
+                            .filter(|b| fv.contains(&b.var))
+                            .cloned()
+                            .collect();
+                        let template = Template::compile(it, conjunct, &needed);
+                        jobs.push(GroundJob {
+                            bindings: needed,
+                            template,
+                        });
+                    }
+                }
+                ground_jobs.push((label.clone(), jobs));
+            }
+            Ok(())
+        })?;
+        ensure_inhabited(&mut work_sig);
+        let table = TermTable::build(&work_sig);
+        // Estimate and enforce the instantiation budget.
+        let mut estimated: u64 = 0;
+        for (_, jobs) in &ground_jobs {
+            for job in jobs {
+                let mut count: u64 = 1;
+                for b in &job.bindings {
+                    count = count.saturating_mul(table.of_sort(&b.sort).len() as u64);
+                }
+                estimated = estimated.saturating_add(count);
+            }
+        }
+        if estimated > self.instance_limit {
+            return Err(EprError::TooManyInstances {
+                estimated,
+                limit: self.instance_limit,
+            });
+        }
+        self.stats = GroundStats {
+            universe: table.len(),
+            instances: estimated,
+            ..GroundStats::default()
+        };
+        let mut enc = Encoder::new(table);
+        // One assumption guard per assertion (for UNSAT cores).
+        let mut guards: Vec<(Lit, String)> = Vec::new();
+        for (label, jobs) in &ground_jobs {
+            let guard = enc.fresh_var().pos();
+            guards.push((guard, label.clone()));
+            for job in jobs {
+                instantiate(&mut enc, guard, job);
+            }
+        }
+        Ok((work_sig, enc, guards))
+    }
 }
 
 /// Splits an NNF sentence into equisatisfiable pieces whose quantifier
@@ -352,55 +406,55 @@ impl EprCheck {
 /// `guard` carries the accumulated guard literals to prefix onto every
 /// emitted piece. Sound for positively asserted sentences.
 pub(crate) fn split_for_grounding(
-    f: &Formula,
-    guard: Vec<Formula>,
+    it: &mut Interner,
+    f: FormulaId,
+    guard: Vec<FormulaId>,
     sig: &mut Signature,
     counter: &mut usize,
-    out: &mut Vec<Formula>,
+    out: &mut Vec<FormulaId>,
 ) {
-    match f {
-        Formula::And(fs) => {
+    let node = it.node(f).clone();
+    match node {
+        FormulaNode::And(fs) => {
             for g in fs {
-                split_for_grounding(g, guard.clone(), sig, counter, out);
+                split_for_grounding(it, g, guard.clone(), sig, counter, out);
             }
         }
-        Formula::Forall(bs, body) => {
+        FormulaNode::Forall(bs, body) => {
             // ∀x.(A ∧ B) = (∀x.A) ∧ (∀x.B); restrict bindings per conjunct.
-            if let Formula::And(cs) = body.as_ref() {
+            if let FormulaNode::And(cs) = it.node(body).clone() {
                 for c in cs {
-                    let fv = c.free_vars();
+                    let fv = it.free_vars(c);
                     let needed: Vec<Binding> =
                         bs.iter().filter(|b| fv.contains(&b.var)).cloned().collect();
-                    split_for_grounding(
-                        &Formula::forall(needed, c.clone()),
-                        guard.clone(),
-                        sig,
-                        counter,
-                        out,
-                    );
+                    let piece = it.forall(needed, c);
+                    split_for_grounding(it, piece, guard.clone(), sig, counter, out);
                 }
             } else {
-                emit_piece(f.clone(), guard, out);
+                emit_piece(it, f, guard, out);
             }
         }
-        Formula::Or(fs) => {
+        FormulaNode::Or(fs) => {
             // Estimate whether splitting pays off: count disjuncts that are
             // conjunctions or quantified formulas.
-            let complex = |g: &Formula| {
+            let complex = |it: &Interner, g: FormulaId| {
                 matches!(
-                    g,
-                    Formula::And(_) | Formula::Forall(..) | Formula::Exists(..) | Formula::Or(_)
+                    it.node(g),
+                    FormulaNode::And(_)
+                        | FormulaNode::Forall(..)
+                        | FormulaNode::Exists(..)
+                        | FormulaNode::Or(_)
                 )
             };
-            if fs.iter().filter(|g| complex(g)).count() <= 1 {
+            if fs.iter().filter(|&&g| complex(it, g)).count() <= 1 {
                 // At most one structured disjunct: keep intact (prenexing
                 // handles a single block fine).
-                emit_piece(f.clone(), guard, out);
+                emit_piece(it, f, guard, out);
                 return;
             }
             let mut disjuncts = Vec::with_capacity(fs.len());
             for g in fs {
-                if complex(g) {
+                if complex(it, g) {
                     let name = loop {
                         let candidate = Sym::new(format!("split__{counter}"));
                         *counter += 1;
@@ -409,70 +463,71 @@ pub(crate) fn split_for_grounding(
                             break candidate;
                         }
                     };
-                    sig.add_relation(name.clone(), Vec::<ivy_fol::Sort>::new())
+                    sig.add_relation(name, Vec::<ivy_fol::Sort>::new())
                         .expect("fresh guard name");
-                    let guard_atom = Formula::rel(name, Vec::<ivy_fol::Term>::new());
-                    disjuncts.push(guard_atom.clone());
+                    let guard_atom = it.rel(name, Vec::new());
+                    disjuncts.push(guard_atom);
                     let mut inner_guard = guard.clone();
-                    inner_guard.push(Formula::not(guard_atom));
-                    split_for_grounding(g, inner_guard, sig, counter, out);
+                    inner_guard.push(it.not(guard_atom));
+                    split_for_grounding(it, g, inner_guard, sig, counter, out);
                 } else {
-                    disjuncts.push(g.clone());
+                    disjuncts.push(g);
                 }
             }
-            emit_piece(Formula::or(disjuncts), guard, out);
+            let piece = it.or(disjuncts);
+            emit_piece(it, piece, guard, out);
         }
-        _ => emit_piece(f.clone(), guard, out),
+        _ => emit_piece(it, f, guard, out),
     }
 }
 
-fn emit_piece(f: Formula, guard: Vec<Formula>, out: &mut Vec<Formula>) {
+fn emit_piece(it: &mut Interner, f: FormulaId, guard: Vec<FormulaId>, out: &mut Vec<FormulaId>) {
     if guard.is_empty() {
         out.push(f);
     } else {
         let mut parts = guard;
         parts.push(f);
-        out.push(Formula::or(parts));
+        out.push(it.or(parts));
     }
 }
 
-/// Enumerates all ground instantiations of `bindings` and asserts
-/// `guard -> matrix[env]` for each. With `min_term`, only tuples mentioning
-/// at least one term id `>= min_term` are instantiated — incremental
-/// sessions use this to cover exactly the universe delta after an extension
-/// without repeating instantiations that already exist.
-pub(crate) fn instantiate_delta(
-    enc: &mut Encoder,
-    guard: Lit,
-    bindings: &[Binding],
-    matrix: &Formula,
-    min_term: usize,
-) {
+/// Enumerates all ground instantiations of the job's bindings and asserts
+/// `guard -> matrix[env]` for each (by template replay — no interner access
+/// in this loop). With `min_term`, only tuples mentioning at least one term
+/// id `>= min_term` are instantiated — incremental sessions use this to
+/// cover exactly the universe delta after an extension without repeating
+/// instantiations that already exist.
+pub(crate) fn instantiate_delta(enc: &mut Encoder, guard: Lit, job: &GroundJob, min_term: usize) {
+    // Copy each binding's candidate list once per job, not once per visited
+    // tuple prefix — the recursion below only reads them.
+    let domains: Vec<Vec<usize>> = job
+        .bindings
+        .iter()
+        .map(|b| enc.table().of_sort(&b.sort).to_vec())
+        .collect();
     fn go(
         enc: &mut Encoder,
         guard: Lit,
-        bindings: &[Binding],
-        matrix: &Formula,
-        env: &mut Vec<(Sym, usize)>,
+        job: &GroundJob,
+        domains: &[Vec<usize>],
+        env: &mut Vec<usize>,
         min_term: usize,
         any_new: bool,
     ) {
-        if env.len() == bindings.len() {
+        if env.len() == job.bindings.len() {
             if any_new || min_term == 0 {
-                let root = enc.encode(matrix, env);
+                let root = enc.encode_template(&job.template, env);
                 enc.add_clause([!guard, root]);
             }
             return;
         }
-        let b = &bindings[env.len()];
-        let candidates: Vec<usize> = enc.table().of_sort(&b.sort).to_vec();
-        for t in candidates {
-            env.push((b.var.clone(), t));
+        for &t in &domains[env.len()] {
+            env.push(t);
             go(
                 enc,
                 guard,
-                bindings,
-                matrix,
+                job,
+                domains,
                 env,
                 min_term,
                 any_new || t >= min_term,
@@ -480,21 +535,13 @@ pub(crate) fn instantiate_delta(
             env.pop();
         }
     }
-    go(
-        enc,
-        guard,
-        bindings,
-        matrix,
-        &mut Vec::new(),
-        min_term,
-        false,
-    );
+    go(enc, guard, job, &domains, &mut Vec::new(), min_term, false);
 }
 
-/// Enumerates all ground instantiations of `bindings` and asserts
+/// Enumerates all ground instantiations of the job and asserts
 /// `guard -> matrix[env]` for each.
-fn instantiate(enc: &mut Encoder, guard: Lit, bindings: &[Binding], matrix: &Formula) {
-    instantiate_delta(enc, guard, bindings, matrix, 0);
+fn instantiate(enc: &mut Encoder, guard: Lit, job: &GroundJob) {
+    instantiate_delta(enc, guard, job, 0);
 }
 
 /// Builds a finite first-order structure from the SAT model by quotienting
@@ -517,7 +564,7 @@ pub(crate) fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structur
         reps.sort_unstable();
         reps.dedup();
         for rep in reps {
-            let e = structure.add_element(sort.clone());
+            let e = structure.add_element(*sort);
             elem_of.insert(rep, e);
         }
     }
@@ -528,7 +575,7 @@ pub(crate) fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structur
                 .iter()
                 .map(|&a| elem_of[&classes.find(a)].clone())
                 .collect();
-            structure.set_rel(sym.clone(), tuple, true);
+            structure.set_rel(*sym, tuple, true);
         }
     }
     // Functions: total by construction of the closed universe. For every
@@ -546,7 +593,7 @@ pub(crate) fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structur
                 .collect();
             reps.sort_unstable();
             reps.dedup();
-            (sort.clone(), reps)
+            (*sort, reps)
         })
         .collect();
     for (name, decl) in work_sig.functions() {
@@ -572,7 +619,7 @@ pub(crate) fn extract_structure(enc: &Encoder, work_sig: &Signature) -> Structur
                 .map(|r| elem_of[&classes.find(*r)].clone())
                 .collect();
             let result = elem_of[&classes.find(result_term)].clone();
-            structure.set_fun(name.clone(), args, result);
+            structure.set_fun(*name, args, result);
         }
     }
     structure

@@ -8,12 +8,17 @@
 //! equality atoms, directly or through congruence), which keeps the
 //! transitivity/congruence axioms from exploding over large universes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use ivy_fol::{Formula, Signature, Sym, Term};
+use ivy_fol::intern::{FormulaId, FormulaNode, Interner, TermNode};
+use ivy_fol::{Binding, Formula, Signature, Sym, Term};
 use ivy_sat::{Lit, Solver, Var};
 
 use crate::ground::{TermId, TermTable};
+
+/// A hash-consed term id from the formula interner, distinct from the
+/// ground-term [`TermId`] of the universe table.
+type FolTermId = ivy_fol::intern::TermId;
 
 /// Atoms bucketed by (symbol, componentwise signature) for congruence.
 type AtomBuckets = BTreeMap<(Sym, Vec<usize>), Vec<(Vec<TermId>, Var)>>;
@@ -61,6 +66,174 @@ pub enum EqualityMode {
     Lazy,
 }
 
+/// One ground-term evaluation step of a [`Template`]: either read a
+/// quantified variable's ground instantiation from the environment, or look
+/// up a function application over previously evaluated steps.
+#[derive(Clone, Debug)]
+pub(crate) enum TStep {
+    /// The value of the `i`-th binding of the job's universal prefix.
+    Var(usize),
+    /// `sym(steps[j]...)` resolved through the closed universe table.
+    App(Sym, Vec<usize>),
+}
+
+/// Which way a subformula constrains its Tseitin gate: `Pos` occurrences
+/// only need `gate → formula`, `Neg` only `formula → gate`, `Both` (under an
+/// `iff`) need the full equivalence. Polarity is static — it depends only on
+/// the matrix structure, so the template walk threads it for free and the
+/// replay path can emit Plaisted–Greenbaum gates (half the clauses of full
+/// Tseitin). The tree encoder ([`Encoder::encode`]) predates polarity
+/// tracking and keeps emitting full Tseitin gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Polarity {
+    Pos,
+    Neg,
+    Both,
+}
+
+impl Polarity {
+    fn flip(self) -> Polarity {
+        match self {
+            Polarity::Pos => Polarity::Neg,
+            Polarity::Neg => Polarity::Pos,
+            Polarity::Both => Polarity::Both,
+        }
+    }
+}
+
+/// The propositional skeleton of a quantifier-free matrix, with terms
+/// replaced by indices into the shared step list.
+#[derive(Clone, Debug)]
+pub(crate) enum TNode {
+    True,
+    False,
+    Rel(Sym, Vec<usize>),
+    Eq(usize, usize),
+    Not(Box<TNode>),
+    And(Vec<TNode>),
+    Or(Vec<TNode>),
+    Implies(Box<TNode>, Box<TNode>),
+    Iff(Box<TNode>, Box<TNode>),
+}
+
+/// A pre-compiled instantiation plan for one universal grounding job.
+///
+/// Compiled once per job from the hash-consed matrix: the term structure is
+/// flattened into `steps` — deduplicated by interned [`FolTermId`], so a
+/// subterm shared five times across the matrix is evaluated once per ground
+/// tuple instead of five times — and the boolean skeleton becomes a
+/// [`TNode`] tree mirroring the matrix exactly. Replaying a template
+/// ([`Encoder::encode_template`]) makes the *same* `rel_var`/`eq_lit`/gate
+/// *variable* allocations in the same DFS order as the tree encoder, so
+/// atom and gate numbering is unchanged; gate *clauses* are the
+/// Plaisted–Greenbaum subset for the gate's static polarity (roots are
+/// asserted positively under a guard, so the admissible atom assignments —
+/// and hence soundness of models and UNSAT cores — are preserved; only the
+/// solver's choice among equivalent models may differ from full Tseitin).
+#[derive(Clone, Debug)]
+pub(crate) struct Template {
+    steps: Vec<TStep>,
+    root: TNode,
+}
+
+impl Template {
+    /// Compiles `matrix` against the universal prefix `bindings` (the
+    /// environment layout at replay time).
+    ///
+    /// # Panics
+    ///
+    /// Panics on variables not bound by `bindings`, on `ite` (eliminate
+    /// first), or on quantifiers in the matrix — all pipeline invariants.
+    pub(crate) fn compile(it: &Interner, matrix: FormulaId, bindings: &[Binding]) -> Template {
+        let var_pos: BTreeMap<Sym, usize> = bindings
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.var, i))
+            .collect();
+        let mut steps = Vec::new();
+        let mut seen: HashMap<FolTermId, usize> = HashMap::new();
+        let root = compile_node(it, matrix, &var_pos, &mut steps, &mut seen);
+        Template { steps, root }
+    }
+}
+
+fn compile_term(
+    it: &Interner,
+    t: FolTermId,
+    var_pos: &BTreeMap<Sym, usize>,
+    steps: &mut Vec<TStep>,
+    seen: &mut HashMap<FolTermId, usize>,
+) -> usize {
+    if let Some(&i) = seen.get(&t) {
+        return i;
+    }
+    let step = match it.term_node(t) {
+        TermNode::Var(v) => TStep::Var(
+            *var_pos
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable {v} during grounding")),
+        ),
+        TermNode::App(f, args) => TStep::App(
+            *f,
+            args.iter()
+                .map(|&a| compile_term(it, a, var_pos, steps, seen))
+                .collect(),
+        ),
+        TermNode::Ite(..) => panic!("ite must be eliminated before grounding"),
+    };
+    steps.push(step);
+    seen.insert(t, steps.len() - 1);
+    steps.len() - 1
+}
+
+fn compile_node(
+    it: &Interner,
+    f: FormulaId,
+    var_pos: &BTreeMap<Sym, usize>,
+    steps: &mut Vec<TStep>,
+    seen: &mut HashMap<FolTermId, usize>,
+) -> TNode {
+    match it.node(f) {
+        FormulaNode::True => TNode::True,
+        FormulaNode::False => TNode::False,
+        FormulaNode::Rel(r, args) => TNode::Rel(
+            *r,
+            args.iter()
+                .map(|&a| compile_term(it, a, var_pos, steps, seen))
+                .collect(),
+        ),
+        FormulaNode::Eq(a, b) => {
+            let sa = compile_term(it, *a, var_pos, steps, seen);
+            let sb = compile_term(it, *b, var_pos, steps, seen);
+            TNode::Eq(sa, sb)
+        }
+        FormulaNode::Not(g) => TNode::Not(Box::new(compile_node(it, *g, var_pos, steps, seen))),
+        FormulaNode::And(fs) => TNode::And(
+            fs.iter()
+                .map(|&g| compile_node(it, g, var_pos, steps, seen))
+                .collect(),
+        ),
+        FormulaNode::Or(fs) => TNode::Or(
+            fs.iter()
+                .map(|&g| compile_node(it, g, var_pos, steps, seen))
+                .collect(),
+        ),
+        FormulaNode::Implies(a, b) => {
+            let na = compile_node(it, *a, var_pos, steps, seen);
+            let nb = compile_node(it, *b, var_pos, steps, seen);
+            TNode::Implies(Box::new(na), Box::new(nb))
+        }
+        FormulaNode::Iff(a, b) => {
+            let na = compile_node(it, *a, var_pos, steps, seen);
+            let nb = compile_node(it, *b, var_pos, steps, seen);
+            TNode::Iff(Box::new(na), Box::new(nb))
+        }
+        FormulaNode::Forall(..) | FormulaNode::Exists(..) => {
+            panic!("encode: quantifier in matrix (prenexing bug)")
+        }
+    }
+}
+
 /// Tseitin encoder over a ground-term universe, with lazy atom allocation
 /// and relevant-pairs equality.
 ///
@@ -73,12 +246,21 @@ pub struct Encoder {
     table: TermTable,
     true_lit: Lit,
     rel_atoms: BTreeMap<(Sym, Vec<TermId>), Var>,
+    /// Hash index over `rel_atoms` for the template replay path: symbols
+    /// hash by dense id, so a probe is O(1) instead of a `BTreeMap` descent
+    /// whose `Sym` comparisons are by name. The `BTreeMap` remains the
+    /// canonical store — every deterministic iteration (equality repair,
+    /// congruence bucketing, model extraction) still walks it in order.
+    rel_index: HashMap<(Sym, Vec<TermId>), Var>,
     eq_vars: BTreeMap<(TermId, TermId), Var>,
     /// Pairs that received an equality variable from the matrix (pre-closure).
     seed_pairs: Vec<(TermId, TermId)>,
     finalized: bool,
     /// Clauses added by the lazy repair loop, for dedup.
     lazy_added: std::collections::HashSet<LazyAxiom>,
+    /// Reused step-value buffer for template replay (one live replay at a
+    /// time; reuse keeps the per-tuple loop allocation-free).
+    scratch_vals: Vec<TermId>,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -99,10 +281,12 @@ impl Encoder {
             table,
             true_lit: t.pos(),
             rel_atoms: BTreeMap::new(),
+            rel_index: HashMap::new(),
             eq_vars: BTreeMap::new(),
             seed_pairs: Vec::new(),
             finalized: false,
             lazy_added: std::collections::HashSet::new(),
+            scratch_vals: Vec::new(),
         }
     }
 
@@ -138,11 +322,25 @@ impl Encoder {
 
     /// The propositional variable of the ground atom `sym(args)`.
     pub fn rel_var(&mut self, sym: &Sym, args: &[TermId]) -> Var {
-        if let Some(&v) = self.rel_atoms.get(&(sym.clone(), args.to_vec())) {
+        if let Some(&v) = self.rel_atoms.get(&(*sym, args.to_vec())) {
             return v;
         }
         let v = self.solver.new_var();
-        self.rel_atoms.insert((sym.clone(), args.to_vec()), v);
+        self.rel_atoms.insert((*sym, args.to_vec()), v);
+        self.rel_index.insert((*sym, args.to_vec()), v);
+        v
+    }
+
+    /// Like [`Encoder::rel_var`] but takes the key by value and probes the
+    /// hash index: one O(1) lookup, no allocation beyond the caller's.
+    fn rel_var_owned(&mut self, sym: Sym, args: Vec<TermId>) -> Var {
+        let key = (sym, args);
+        if let Some(&v) = self.rel_index.get(&key) {
+            return v;
+        }
+        let v = self.solver.new_var();
+        self.rel_atoms.insert(key.clone(), v);
+        self.rel_index.insert(key, v);
         v
     }
 
@@ -245,6 +443,116 @@ impl Encoder {
         }
     }
 
+    /// Replays a compiled [`Template`] under a ground environment (`env[i]`
+    /// is the universe term instantiating the job's `i`-th binding);
+    /// returns a literal equivalent to the instantiated matrix.
+    ///
+    /// Allocates exactly the variables [`Encoder::encode`] would on the
+    /// resolved matrix, in the same order; gate clauses are the
+    /// polarity-pruned Plaisted–Greenbaum subset (the template root is used
+    /// positively, under a guard).
+    ///
+    /// # Panics
+    ///
+    /// Panics on applications outside the closed universe (an internal
+    /// invariant).
+    pub(crate) fn encode_template(&mut self, tpl: &Template, env: &[TermId]) -> Lit {
+        let mut vals = std::mem::take(&mut self.scratch_vals);
+        vals.clear();
+        vals.reserve(tpl.steps.len());
+        for step in &tpl.steps {
+            let v = match step {
+                TStep::Var(i) => env[*i],
+                TStep::App(f, args) => {
+                    let a: Vec<TermId> = args.iter().map(|&j| vals[j]).collect();
+                    self.table
+                        .get_owned(*f, a)
+                        .unwrap_or_else(|| panic!("application of {f} outside closed universe"))
+                }
+            };
+            vals.push(v);
+        }
+        let out = self.encode_tnode(&tpl.root, &vals, Polarity::Pos);
+        self.scratch_vals = vals;
+        out
+    }
+
+    fn encode_tnode(&mut self, n: &TNode, vals: &[TermId], pol: Polarity) -> Lit {
+        match n {
+            TNode::True => self.true_lit,
+            TNode::False => !self.true_lit,
+            TNode::Rel(r, args) => {
+                let args: Vec<TermId> = args.iter().map(|&a| vals[a]).collect();
+                self.rel_var_owned(*r, args).pos()
+            }
+            TNode::Eq(a, b) => self.eq_lit(vals[*a], vals[*b]),
+            TNode::Not(g) => !self.encode_tnode(g, vals, pol.flip()),
+            TNode::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode_tnode(g, vals, pol)).collect();
+                self.define_and_polar(&lits, pol)
+            }
+            TNode::Or(fs) => {
+                // ¬∧¬: the children keep the Or's polarity (two negations
+                // cancel), while the conjunction gate is used flipped.
+                let negs: Vec<Lit> = fs
+                    .iter()
+                    .map(|g| !self.encode_tnode(g, vals, pol))
+                    .collect();
+                !self.define_and_polar(&negs, pol.flip())
+            }
+            TNode::Implies(a, b) => {
+                let la = self.encode_tnode(a, vals, pol.flip());
+                let lb = self.encode_tnode(b, vals, pol);
+                !self.define_and_polar(&[la, !lb], pol.flip())
+            }
+            TNode::Iff(a, b) => {
+                // Both directions of each child are referenced, so children
+                // are encoded under Both; the gate itself still only needs
+                // the implication direction(s) its own polarity demands.
+                let la = self.encode_tnode(a, vals, Polarity::Both);
+                let lb = self.encode_tnode(b, vals, Polarity::Both);
+                let g = self.solver.new_var().pos();
+                if pol != Polarity::Neg {
+                    self.solver.add_clause([!g, !la, lb]);
+                    self.solver.add_clause([!g, la, !lb]);
+                }
+                if pol != Polarity::Pos {
+                    self.solver.add_clause([g, la, lb]);
+                    self.solver.add_clause([g, !la, !lb]);
+                }
+                g
+            }
+        }
+    }
+
+    /// Like [`Encoder::define_and`], but emits only the Plaisted–Greenbaum
+    /// subset of the gate clauses for the gate's static polarity: `g → lits`
+    /// (the short clauses) when the gate is used positively, `lits → g` (the
+    /// long clause) when used negatively, both under `Both`. The gate
+    /// variable is allocated unconditionally, at the same point the full
+    /// Tseitin encoder would allocate it, so variable numbering is identical
+    /// across both encoders.
+    fn define_and_polar(&mut self, lits: &[Lit], pol: Polarity) -> Lit {
+        match lits {
+            [] => self.true_lit,
+            [l] => *l,
+            _ => {
+                let g = self.solver.new_var().pos();
+                if pol != Polarity::Neg {
+                    for &l in lits {
+                        self.solver.add_clause([!g, l]);
+                    }
+                }
+                if pol != Polarity::Pos {
+                    let mut long: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                    long.push(g);
+                    self.solver.add_clause(long);
+                }
+                g
+            }
+        }
+    }
+
     fn define_and(&mut self, lits: &[Lit]) -> Lit {
         match lits {
             [] => self.true_lit,
@@ -284,7 +592,7 @@ impl Encoder {
         for id in 0..n {
             let t = self.table.term(id);
             if !t.args.is_empty() {
-                terms_by_sym.entry(t.sym.clone()).or_default().push(id);
+                terms_by_sym.entry(t.sym).or_default().push(id);
             }
         }
         loop {

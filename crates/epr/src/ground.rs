@@ -70,10 +70,10 @@ impl TermTable {
         for (name, sort) in sig.constants() {
             self.intern(
                 GroundTerm {
-                    sym: name.clone(),
+                    sym: *name,
                     args: Vec::new(),
                 },
-                sort.clone(),
+                *sort,
             );
         }
         // Close under functions: repeat until no new terms appear. Each pass
@@ -99,12 +99,9 @@ impl TermTable {
                     tuples = next;
                 }
                 for args in tuples {
-                    let gt = GroundTerm {
-                        sym: name.clone(),
-                        args,
-                    };
+                    let gt = GroundTerm { sym: *name, args };
                     if !self.index.contains_key(&gt) {
-                        self.intern(gt, decl.ret.clone());
+                        self.intern(gt, decl.ret);
                         added = true;
                     }
                 }
@@ -122,7 +119,7 @@ impl TermTable {
         }
         let id = self.terms.len();
         self.terms.push(gt.clone());
-        self.sorts.push(sort.clone());
+        self.sorts.push(sort);
         self.index.insert(gt, id);
         self.by_sort.entry(sort).or_default().push(id);
         id
@@ -132,10 +129,16 @@ impl TermTable {
     pub fn get(&self, sym: &Sym, args: &[TermId]) -> Option<TermId> {
         self.index
             .get(&GroundTerm {
-                sym: sym.clone(),
+                sym: *sym,
                 args: args.to_vec(),
             })
             .copied()
+    }
+
+    /// Like [`TermTable::get`] but takes the argument vector by value,
+    /// avoiding the key allocation on hot lookup paths.
+    pub fn get_owned(&self, sym: Sym, args: Vec<TermId>) -> Option<TermId> {
+        self.index.get(&GroundTerm { sym, args }).copied()
     }
 
     /// The term with the given id.
@@ -182,10 +185,9 @@ pub fn ensure_inhabited(sig: &mut Signature) -> Vec<(Sym, Sort)> {
     // A sort is inhabited if some constant has it as return sort, or some
     // function chain produces it. Functions only produce terms when their
     // argument sorts are inhabited; iterate to a fixpoint.
-    let mut inhabited: BTreeMap<Sort, bool> =
-        sig.sorts().iter().map(|s| (s.clone(), false)).collect();
+    let mut inhabited: BTreeMap<Sort, bool> = sig.sorts().iter().map(|s| (*s, false)).collect();
     for (_, sort) in sig.constants() {
-        inhabited.insert(sort.clone(), true);
+        inhabited.insert(*sort, true);
     }
     let mut added = Vec::new();
     loop {
@@ -198,7 +200,7 @@ pub fn ensure_inhabited(sig: &mut Signature) -> Vec<(Sym, Sort)> {
                 }
                 let args_ok = decl.args.iter().all(|s| inhabited[s]);
                 if args_ok && !inhabited[&decl.ret] {
-                    inhabited.insert(decl.ret.clone(), true);
+                    inhabited.insert(decl.ret, true);
                     changed = true;
                 }
             }
@@ -217,9 +219,8 @@ pub fn ensure_inhabited(sig: &mut Signature) -> Vec<(Sym, Sort)> {
             break;
         };
         let name = ivy_fol::xform::fresh_constant_name(sig, &format!("some_{sort}"));
-        sig.add_constant(name.clone(), sort.clone())
-            .expect("fresh constant name");
-        inhabited.insert(sort.clone(), true);
+        sig.add_constant(name, sort).expect("fresh constant name");
+        inhabited.insert(sort, true);
         added.push((name, sort));
     }
     added

@@ -30,16 +30,16 @@
 
 use std::collections::BTreeMap;
 
-use ivy_fol::subst::subst_constant;
+use ivy_fol::intern::{FormulaId, Interner};
 use ivy_fol::xform::Block;
-use ivy_fol::{eliminate_ite, nnf, skolemize, Binding, Formula, Signature, Sort, Sym, Term};
+use ivy_fol::{Binding, Formula, Signature, Sort, Sym};
 use ivy_sat::{Lit, SolveResult};
 
 use crate::check::{
     extract_structure, instantiate_delta, split_for_grounding, EprError, EprOutcome, GroundJob,
     GroundStats, Model, DEFAULT_INSTANCE_LIMIT,
 };
-use crate::encode::Encoder;
+use crate::encode::{Encoder, Template};
 use crate::ground::{ensure_inhabited, TermTable};
 
 /// Handle to one assertion group of an [`EprSession`].
@@ -166,6 +166,20 @@ impl EprSession {
         self.assert_group(label, std::slice::from_ref(f))
     }
 
+    /// Asserts one already-interned sentence as its own group. See
+    /// [`EprSession::assert_group_ids`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EprSession::assert_group`].
+    pub fn assert_id(
+        &mut self,
+        label: impl Into<String>,
+        f: FormulaId,
+    ) -> Result<GroupId, EprError> {
+        self.assert_group_ids(label, &[f])
+    }
+
     /// Grounds and encodes the conjunction of `formulas` as a new group,
     /// enabled by default. The group's clauses constrain a query only while
     /// the group is enabled; disable it with [`EprSession::set_enabled`] or
@@ -190,6 +204,35 @@ impl EprSession {
         for f in formulas {
             f.well_sorted(&self.work_sig, &BTreeMap::new())?;
         }
+        let ids: Vec<FormulaId> =
+            Interner::with(|it| formulas.iter().map(|f| it.intern(f)).collect());
+        self.group_inner(label.into(), &ids)
+    }
+
+    /// Like [`EprSession::assert_group`], but over already-interned
+    /// sentences — the common case for callers that build queries in id
+    /// space (verification conditions, Houdini, BMC). Only the sort check
+    /// materializes a tree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EprSession::assert_group`].
+    pub fn assert_group_ids(
+        &mut self,
+        label: impl Into<String>,
+        ids: &[FormulaId],
+    ) -> Result<GroupId, EprError> {
+        Interner::with(|it| -> Result<(), EprError> {
+            for &f in ids {
+                it.resolve(f)
+                    .well_sorted(&self.work_sig, &BTreeMap::new())?;
+            }
+            Ok(())
+        })?;
+        self.group_inner(label.into(), ids)
+    }
+
+    fn group_inner(&mut self, label: String, ids: &[FormulaId]) -> Result<GroupId, EprError> {
         // Split and Skolemize, extending the working signature (same
         // pipeline as EprCheck::check, shared via check.rs helpers).
         // Skolemization runs against a scratch copy of the signature so that
@@ -199,54 +242,64 @@ impl EprSession {
         let mut jobs: Vec<GroundJob> = Vec::new();
         let mut reused: Vec<(Sym, Sort)> = Vec::new();
         let mut fresh: Vec<(Sym, Sort)> = Vec::new();
-        for f in formulas {
-            let f = eliminate_ite(f);
-            let mut pieces = Vec::new();
-            split_for_grounding(
-                &nnf(&f),
-                Vec::new(),
-                &mut self.work_sig,
-                &mut self.guard_counter,
-                &mut pieces,
-            );
-            for piece in pieces {
-                let mut scratch = self.work_sig.clone();
-                let sk = skolemize(&piece, &mut scratch)?;
-                let mut matrix = sk.universal.matrix;
-                for (name, sort) in sk.constants {
-                    match self.skolem_pool.get_mut(&sort).and_then(Vec::pop) {
-                        Some(pooled) => {
-                            matrix = subst_constant(&matrix, &name, &Term::cst(pooled.clone()));
-                            reused.push((pooled, sort));
-                        }
-                        None => {
-                            self.work_sig
-                                .add_constant(name.clone(), sort.clone())
-                                .expect("skolemize picked a fresh name");
-                            fresh.push((name, sort));
+        Interner::with(|it| -> Result<(), EprError> {
+            for &f in ids {
+                let f = it.eliminate_ite(f);
+                let n = it.nnf(f);
+                let mut pieces = Vec::new();
+                split_for_grounding(
+                    it,
+                    n,
+                    Vec::new(),
+                    &mut self.work_sig,
+                    &mut self.guard_counter,
+                    &mut pieces,
+                );
+                for piece in pieces {
+                    let mut scratch = self.work_sig.clone();
+                    let sk = it.skolemize(piece, &mut scratch)?;
+                    let mut matrix = sk.universal.matrix;
+                    for (name, sort) in sk.constants {
+                        match self.skolem_pool.get_mut(&sort).and_then(Vec::pop) {
+                            Some(pooled) => {
+                                let c = it.cst(pooled);
+                                matrix = it.subst_constant(matrix, name, c);
+                                reused.push((pooled, sort));
+                            }
+                            None => {
+                                self.work_sig
+                                    .add_constant(name, sort)
+                                    .expect("skolemize picked a fresh name");
+                                fresh.push((name, sort));
+                            }
                         }
                     }
-                }
-                let bindings: Vec<Binding> = sk
-                    .universal
-                    .prefix
-                    .iter()
-                    .flat_map(|b| match b {
-                        Block::Forall(bs) => bs.clone(),
-                        Block::Exists(_) => unreachable!("skolemize leaves only universals"),
-                    })
-                    .collect();
-                for conjunct in matrix.conjuncts() {
-                    let fv = conjunct.free_vars();
-                    let needed: Vec<Binding> = bindings
+                    let bindings: Vec<Binding> = sk
+                        .universal
+                        .prefix
                         .iter()
-                        .filter(|b| fv.contains(&b.var))
-                        .cloned()
+                        .flat_map(|b| match b {
+                            Block::Forall(bs) => bs.clone(),
+                            Block::Exists(_) => unreachable!("skolemize leaves only universals"),
+                        })
                         .collect();
-                    jobs.push((needed, conjunct.clone()));
+                    for conjunct in it.conjuncts(matrix) {
+                        let fv = it.free_vars(conjunct);
+                        let needed: Vec<Binding> = bindings
+                            .iter()
+                            .filter(|b| fv.contains(&b.var))
+                            .cloned()
+                            .collect();
+                        let template = Template::compile(it, conjunct, &needed);
+                        jobs.push(GroundJob {
+                            bindings: needed,
+                            template,
+                        });
+                    }
                 }
             }
-        }
+            Ok(())
+        })?;
         let watermark = self.enc.extend_universe(&self.work_sig);
         // Enforce the cumulative instantiation budget before encoding
         // anything: the new group in full, plus every live group's delta.
@@ -275,19 +328,19 @@ impl EprSession {
         }
         // Re-instantiate live groups over tuples touching the delta.
         for g in self.groups.iter().filter(|g| !g.retired) {
-            for (bindings, matrix) in &g.jobs {
-                instantiate_delta(&mut self.enc, g.act, bindings, matrix, watermark);
+            for job in &g.jobs {
+                instantiate_delta(&mut self.enc, g.act, job, watermark);
             }
         }
         // Instantiate the new group over the whole universe.
         let act = self.enc.fresh_var().pos();
-        for (bindings, matrix) in &jobs {
-            instantiate_delta(&mut self.enc, act, bindings, matrix, 0);
+        for job in &jobs {
+            instantiate_delta(&mut self.enc, act, job, 0);
         }
         self.instances = estimated;
         reused.append(&mut fresh);
         self.groups.push(Group {
-            label: label.into(),
+            label,
             act,
             jobs,
             skolems: reused,
@@ -381,10 +434,9 @@ impl EprSession {
 /// `min_term = 0`: all tuples; empty-binding jobs count as 1 there and 0
 /// in any proper delta, matching [`instantiate_delta`]).
 fn count_tuples(table: &TermTable, job: &GroundJob, min_term: usize) -> u64 {
-    let (bindings, _) = job;
     let mut total: u64 = 1;
     let mut old: u64 = 1;
-    for b in bindings {
+    for b in &job.bindings {
         let terms = table.of_sort(&b.sort);
         total = total.saturating_mul(terms.len() as u64);
         old = old.saturating_mul(terms.iter().filter(|&&t| t < min_term).count() as u64);

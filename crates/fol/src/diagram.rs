@@ -34,10 +34,10 @@ fn var_map(s: &PartialStructure) -> BTreeMap<Elem, Sym> {
 }
 
 fn fact_literal(fact: &Fact, vars: &BTreeMap<Elem, Sym>) -> Formula {
-    let term = |e: &Elem| Term::Var(vars[e].clone());
+    let term = |e: &Elem| Term::Var(vars[e]);
     match fact {
         Fact::Rel { sym, tuple, value } => {
-            let atom = Formula::rel(sym.clone(), tuple.iter().map(term));
+            let atom = Formula::rel(*sym, tuple.iter().map(term));
             if *value {
                 atom
             } else {
@@ -50,7 +50,7 @@ fn fact_literal(fact: &Fact, vars: &BTreeMap<Elem, Sym>) -> Formula {
             result,
             value,
         } => {
-            let atom = Formula::eq(Term::app(sym.clone(), args.iter().map(term)), term(result));
+            let atom = Formula::eq(Term::app(*sym, args.iter().map(term)), term(result));
             if *value {
                 atom
             } else {
@@ -68,8 +68,8 @@ fn distinctness(vars: &BTreeMap<Elem, Sym>) -> Vec<Formula> {
             // Distinctness is only meaningful within a sort.
             if elems[i].sort == elems[j].sort {
                 out.push(Formula::neq(
-                    Term::Var(vars[elems[i]].clone()),
-                    Term::Var(vars[elems[j]].clone()),
+                    Term::Var(vars[elems[i]]),
+                    Term::Var(vars[elems[j]]),
                 ));
             }
         }
@@ -78,9 +78,7 @@ fn distinctness(vars: &BTreeMap<Elem, Sym>) -> Vec<Formula> {
 }
 
 fn bindings(vars: &BTreeMap<Elem, Sym>) -> Vec<Binding> {
-    vars.iter()
-        .map(|(e, v)| Binding::new(v.clone(), e.sort.clone()))
-        .collect()
+    vars.iter().map(|(e, v)| Binding::new(*v, e.sort)).collect()
 }
 
 /// The diagram `Diag(s)` (Definition 4): an existential sentence satisfied

@@ -231,8 +231,8 @@ impl Formula {
             Formula::Forall(bs, f) | Formula::Exists(bs, f) => {
                 let newly: Vec<Sym> = bs
                     .iter()
-                    .filter(|b| bound.insert(b.var.clone()))
-                    .map(|b| b.var.clone())
+                    .filter(|b| bound.insert(b.var))
+                    .map(|b| b.var)
                     .collect();
                 f.collect_free_vars_into(out, bound);
                 for v in newly {
@@ -292,12 +292,10 @@ impl Formula {
         match self {
             Formula::True | Formula::False => Ok(()),
             Formula::Rel(r, args) => {
-                let decl = sig
-                    .relation(r)
-                    .ok_or_else(|| SortError::UnknownRelation(r.clone()))?;
+                let decl = sig.relation(r).ok_or(SortError::UnknownRelation(*r))?;
                 if decl.len() != args.len() {
                     return Err(SortError::ArityMismatch {
-                        symbol: r.clone(),
+                        symbol: *r,
                         expected: decl.len(),
                         found: args.len(),
                     });
@@ -344,9 +342,9 @@ impl Formula {
                 let mut inner = var_sorts.clone();
                 for b in bs {
                     if !sig.has_sort(&b.sort) {
-                        return Err(SortError::UnknownSort(b.sort.clone()));
+                        return Err(SortError::UnknownSort(b.sort));
                     }
-                    inner.insert(b.var.clone(), b.sort.clone());
+                    inner.insert(b.var, b.sort);
                 }
                 f.well_sorted(sig, &inner)
             }
@@ -372,7 +370,7 @@ fn collect_term_free(t: &Term, out: &mut BTreeSet<Sym>, bound: &BTreeSet<Sym>) {
     match t {
         Term::Var(v) => {
             if !bound.contains(v) {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         }
         Term::App(_, args) => {

@@ -35,6 +35,7 @@ mod sym;
 
 pub mod diagram;
 pub mod formula;
+pub mod intern;
 pub mod parser;
 pub mod partial;
 pub mod pretty;
@@ -46,6 +47,7 @@ pub mod xform;
 
 pub use crate::diagram::{conjecture, diagram, diagram_var};
 pub use formula::{Binding, Formula, SortError};
+pub use intern::{FormulaId, FormulaNode, Interner, PrenexI, SkolemizedI, TermId, TermNode};
 pub use parser::{parse_formula, parse_formula_prefix, parse_term, parse_term_prefix, ParseError};
 pub use partial::{Fact, PartialStructure};
 pub use sig::{FuncDecl, SigError, Signature};

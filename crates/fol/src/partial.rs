@@ -145,7 +145,7 @@ impl PartialStructure {
             for tuple in tuples_over(s, arg_sorts) {
                 let value = s.rel_holds(rel, &tuple);
                 out.facts.insert(Fact::Rel {
-                    sym: rel.clone(),
+                    sym: *rel,
                     tuple,
                     value,
                 });
@@ -160,7 +160,7 @@ impl PartialStructure {
                 for result in s.elements(&decl.ret).collect::<Vec<_>>() {
                     let value = actual.as_ref() == Some(&result);
                     out.facts.insert(Fact::Fun {
-                        sym: fun.clone(),
+                        sym: *fun,
                         args: args.clone(),
                         result,
                         value,

@@ -108,7 +108,7 @@ impl Signature {
         if self.sorts.contains(&sort) {
             return Err(SigError::DuplicateSort(sort));
         }
-        self.sorts.push(sort.clone());
+        self.sorts.push(sort);
         Ok(sort)
     }
 
@@ -128,7 +128,7 @@ impl Signature {
         for s in &args {
             self.check_sort_known(s)?;
         }
-        self.rels.insert(name.clone(), args);
+        self.rels.insert(name, args);
         Ok(name)
     }
 
@@ -157,7 +157,7 @@ impl Signature {
             self.check_sort_known(s)?;
         }
         self.check_sort_known(&ret)?;
-        self.funs.insert(name.clone(), FuncDecl { args, ret });
+        self.funs.insert(name, FuncDecl { args, ret });
         Ok(name)
     }
 
@@ -176,14 +176,14 @@ impl Signature {
 
     fn check_name_free(&self, name: &Sym) -> Result<(), SigError> {
         if self.rels.contains_key(name) || self.funs.contains_key(name) {
-            return Err(SigError::DuplicateSymbol(name.clone()));
+            return Err(SigError::DuplicateSymbol(*name));
         }
         Ok(())
     }
 
     fn check_sort_known(&self, sort: &Sort) -> Result<(), SigError> {
         if !self.sorts.contains(sort) {
-            return Err(SigError::UnknownSort(sort.clone()));
+            return Err(SigError::UnknownSort(*sort));
         }
         Ok(())
     }
@@ -273,7 +273,7 @@ impl Signature {
         // Edges run below -> above, so indegree-0 sorts are minimal and the
         // emission order is already smallest-first.
         while let Some(s) = ready.pop() {
-            order.push(s.clone());
+            order.push(*s);
             if let Some(targets) = below.get(s) {
                 for t in targets {
                     let d = indegree.get_mut(t).expect("known sort");
@@ -294,7 +294,7 @@ impl Signature {
             .map(|(s, _)| *s)
             .collect();
         let start = *remaining.iter().next().expect("cycle exists");
-        let mut cycle = vec![start.clone()];
+        let mut cycle = vec![*start];
         let mut cur = start;
         loop {
             let next = below[cur]
@@ -302,10 +302,10 @@ impl Signature {
                 .find(|t| remaining.contains(*t))
                 .expect("every remaining sort has a remaining successor");
             if cycle.contains(next) {
-                cycle.push((*next).clone());
+                cycle.push(*(*next));
                 break;
             }
-            cycle.push((*next).clone());
+            cycle.push(*(*next));
             cur = next;
         }
         Err(SigError::NotStratified(cycle))

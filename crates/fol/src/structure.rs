@@ -137,7 +137,7 @@ impl Structure {
             self.sig.has_sort(&sort),
             "add_element: unknown sort `{sort}`"
         );
-        let n = self.domain.entry(sort.clone()).or_insert(0);
+        let n = self.domain.entry(sort).or_insert(0);
         let e = Elem { sort, idx: *n };
         *n += 1;
         e
@@ -155,22 +155,16 @@ impl Structure {
 
     /// The elements of `sort`.
     pub fn elements(&self, sort: &Sort) -> impl Iterator<Item = Elem> + '_ {
-        let sort = sort.clone();
+        let sort = *sort;
         let n = self.domain_size(&sort);
-        (0..n).map(move |idx| Elem {
-            sort: sort.clone(),
-            idx,
-        })
+        (0..n).map(move |idx| Elem { sort, idx })
     }
 
     /// All elements, all sorts.
     pub fn all_elements(&self) -> impl Iterator<Item = Elem> + '_ {
         self.domain.iter().flat_map(|(sort, &n)| {
-            let sort = sort.clone();
-            (0..n).map(move |idx| Elem {
-                sort: sort.clone(),
-                idx,
-            })
+            let sort = *sort;
+            (0..n).map(move |idx| Elem { sort, idx })
         })
     }
 
@@ -264,7 +258,7 @@ impl Structure {
                 }
             });
             if let Some(args) = missing {
-                return Some((name.clone(), args));
+                return Some((*name, args));
             }
         }
         None
@@ -293,20 +287,17 @@ impl Structure {
     /// See [`EvalError`].
     pub fn eval_term(&self, t: &Term, env: &BTreeMap<Sym, Elem>) -> Result<Elem, EvalError> {
         match t {
-            Term::Var(v) => env
-                .get(v)
-                .cloned()
-                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::Var(v) => env.get(v).cloned().ok_or(EvalError::UnboundVariable(*v)),
             Term::App(f, args) => {
                 let args: Vec<Elem> = args
                     .iter()
                     .map(|a| self.eval_term(a, env))
                     .collect::<Result<_, _>>()?;
                 if self.sig.function(f).is_none() {
-                    return Err(EvalError::UnknownSymbol(f.clone()));
+                    return Err(EvalError::UnknownSymbol(*f));
                 }
                 self.fun_app(f, &args)
-                    .ok_or_else(|| EvalError::UndefinedApplication(f.clone(), args))
+                    .ok_or(EvalError::UndefinedApplication(*f, args))
             }
             Term::Ite(c, a, b) => {
                 if self.eval(c, env)? {
@@ -329,7 +320,7 @@ impl Structure {
             Formula::False => Ok(false),
             Formula::Rel(r, args) => {
                 if self.sig.relation(r).is_none() {
-                    return Err(EvalError::UnknownSymbol(r.clone()));
+                    return Err(EvalError::UnknownSymbol(*r));
                 }
                 let tuple: Vec<Elem> = args
                     .iter()
@@ -381,11 +372,11 @@ impl Structure {
             };
             let rest = &bs[1..];
             for e in s.elements(&b.sort).collect::<Vec<_>>() {
-                let prev = env.insert(b.var.clone(), e);
+                let prev = env.insert(b.var, e);
                 let r = go(s, rest, body, env, universal)?;
                 match prev {
                     Some(p) => {
-                        env.insert(b.var.clone(), p);
+                        env.insert(b.var, p);
                     }
                     None => {
                         env.remove(&b.var);

@@ -1,13 +1,52 @@
-//! Interned-style identifiers for sorts and symbols.
+//! Interned identifiers for sorts and symbols.
 //!
-//! Names are reference-counted strings, so cloning a [`Sym`] or [`Sort`] is
-//! cheap and formulas can share names freely.
+//! Names live in a process-global symbol table: each distinct string is
+//! stored once (leaked, so `&'static str` references stay valid for the
+//! lifetime of the process) and assigned a dense `u32` id. A [`Sym`] or
+//! [`Sort`] is then a `Copy` pair of that id and the canonical string
+//! pointer, so equality and hashing are O(1) id compares — no `Arc<str>`
+//! string walks inside grounder `BTreeMap` keys — while ordering stays
+//! lexicographic (with an id fast path for the equal case) so every
+//! `BTreeMap`/`BTreeSet` in the pipeline iterates in the same name order
+//! as before.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// The process-global name table shared by [`Sym`] and [`Sort`].
+///
+/// Keys are the leaked canonical strings; values are dense ids. Interning a
+/// name that is already present returns the canonical `&'static str`, so two
+/// `Sym`s with equal text always carry pointer-identical names.
+fn table() -> &'static RwLock<HashMap<&'static str, u32>> {
+    static TABLE: OnceLock<RwLock<HashMap<&'static str, u32>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Interns `name`, returning its id and canonical static string.
+fn intern_name(name: &str) -> (u32, &'static str) {
+    let t = table();
+    if let Some((k, v)) = t.read().expect("name table poisoned").get_key_value(name) {
+        return (*v, k);
+    }
+    let mut w = t.write().expect("name table poisoned");
+    if let Some((k, v)) = w.get_key_value(name) {
+        // Raced with another writer between the read and write locks.
+        return (*v, k);
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let id = u32::try_from(w.len()).expect("symbol table overflow");
+    w.insert(leaked, id);
+    (id, leaked)
+}
 
 /// A symbol name: a relation, function, constant, or logical-variable
 /// identifier.
+///
+/// Interned: equality and hashing compare a `u32` id; ordering is still
+/// lexicographic on the text.
 ///
 /// # Examples
 ///
@@ -17,18 +56,57 @@ use std::sync::Arc;
 /// assert_eq!(s.as_str(), "leader");
 /// assert_eq!(s, Sym::from("leader"));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Sym(Arc<str>);
+#[derive(Clone, Copy)]
+pub struct Sym {
+    name: &'static str,
+    id: u32,
+}
 
 impl Sym {
-    /// Creates a symbol from anything string-like.
+    /// Creates a symbol from anything string-like, interning the name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Sym(Arc::from(name.as_ref()))
+        let (id, name) = intern_name(name.as_ref());
+        Sym { name, id }
     }
 
-    /// The symbol's textual name.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    /// The symbol's textual name (canonical interned string).
+    pub fn as_str(&self) -> &'static str {
+        self.name
+    }
+
+    /// The symbol's dense interned id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(other.name)
+        }
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -52,17 +130,20 @@ impl AsRef<str> for Sym {
 
 impl fmt::Display for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name)
     }
 }
 
 impl fmt::Debug for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sym({})", self.0)
+        write!(f, "Sym({})", self.name)
     }
 }
 
 /// A sort (type) name, e.g. `node` or `id` in the leader-election protocol.
+///
+/// Interned like [`Sym`] (the two share one name table): O(1) equality and
+/// hashing, lexicographic ordering.
 ///
 /// # Examples
 ///
@@ -71,18 +152,57 @@ impl fmt::Debug for Sym {
 /// let node = Sort::new("node");
 /// assert_eq!(node.name(), "node");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Sort(Arc<str>);
+#[derive(Clone, Copy)]
+pub struct Sort {
+    name: &'static str,
+    id: u32,
+}
 
 impl Sort {
-    /// Creates a sort from anything string-like.
+    /// Creates a sort from anything string-like, interning the name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Sort(Arc::from(name.as_ref()))
+        let (id, name) = intern_name(name.as_ref());
+        Sort { name, id }
     }
 
-    /// The sort's textual name.
-    pub fn name(&self) -> &str {
-        &self.0
+    /// The sort's textual name (canonical interned string).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The sort's dense interned id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Sort {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sort {}
+
+impl Hash for Sort {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+impl Ord for Sort {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(other.name)
+        }
+    }
+}
+
+impl PartialOrd for Sort {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -100,13 +220,13 @@ impl AsRef<str> for Sort {
 
 impl fmt::Display for Sort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name)
     }
 }
 
 impl fmt::Debug for Sort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sort({})", self.0)
+        write!(f, "Sort({})", self.name)
     }
 }
 
@@ -137,5 +257,23 @@ mod tests {
         v.sort();
         let names: Vec<_> = v.iter().map(Sym::as_str).collect();
         assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = Sym::new("intern_canon_test");
+        let b = Sym::new(String::from("intern_canon_test"));
+        assert_eq!(a.id(), b.id());
+        // Same text must yield the same canonical pointer.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn sym_and_sort_share_ids_by_name() {
+        // The table is shared; identical names get identical ids across the
+        // two types (types still keep them apart statically).
+        let sy = Sym::new("shared_name_test");
+        let so = Sort::new("shared_name_test");
+        assert_eq!(sy.id(), so.id());
     }
 }

@@ -54,7 +54,7 @@ impl Term {
     pub fn collect_vars(&self, out: &mut BTreeSet<Sym>) {
         match self {
             Term::Var(v) => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             Term::App(_, args) => {
                 for a in args {
@@ -117,7 +117,7 @@ impl Term {
                         return None;
                     }
                 }
-                Some(decl.ret.clone())
+                Some(decl.ret)
             }
             Term::Ite(c, t, e) => {
                 c.well_sorted(sig, var_sorts).ok()?;

@@ -202,9 +202,9 @@ fn prenex_rec(f: &Formula, used: &mut BTreeSet<Sym>) -> Prenex {
             for b in bs {
                 let name = fresh_name(b.var.as_str(), used);
                 if name != b.var {
-                    renames.insert(b.var.clone(), Term::Var(name.clone()));
+                    renames.insert(b.var, Term::Var(name));
                 }
-                fresh_bs.push(Binding::new(name, b.sort.clone()));
+                fresh_bs.push(Binding::new(name, b.sort));
             }
             let body = if renames.is_empty() {
                 g.as_ref().clone()
@@ -367,9 +367,9 @@ pub fn skolemize(f: &Formula, sig: &mut Signature) -> Result<Skolemized, SkolemE
                 let mut map = std::collections::BTreeMap::new();
                 for b in bs {
                     let name = fresh_constant_name(sig, b.var.as_str());
-                    sig.add_constant(name.clone(), b.sort.clone())
+                    sig.add_constant(name, b.sort)
                         .expect("fresh name cannot clash");
-                    map.insert(b.var.clone(), Term::cst(name.clone()));
+                    map.insert(b.var, Term::cst(name));
                     constants.push((name, b.sort));
                 }
                 matrix = subst_vars(&matrix, &map);
@@ -459,10 +459,7 @@ fn replace_ite_once(t: &Term, branch: &Term, _then: bool) -> Term {
         }
         match t {
             Term::Var(_) => t.clone(),
-            Term::App(f, args) => Term::App(
-                f.clone(),
-                args.iter().map(|a| go(a, branch, done)).collect(),
-            ),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| go(a, branch, done)).collect()),
             Term::Ite(..) => {
                 *done = true;
                 branch.clone()
@@ -478,7 +475,7 @@ fn replace_arg(atom: &Formula, idx: usize, new_arg: Term) -> Formula {
         Formula::Rel(r, args) => {
             let mut args = args.clone();
             args[idx] = new_arg;
-            Formula::Rel(r.clone(), args)
+            Formula::Rel(*r, args)
         }
         Formula::Eq(a, b) => {
             if idx == 0 {
@@ -526,11 +523,7 @@ mod tests {
         let f = parse_formula("(forall X:s. p(X)) & (forall X:s. q(X))").unwrap();
         let p = prenex(&f);
         assert_eq!(p.var_count(), 2);
-        let names: BTreeSet<_> = p.prefix[0]
-            .bindings()
-            .iter()
-            .map(|b| b.var.clone())
-            .collect();
+        let names: BTreeSet<_> = p.prefix[0].bindings().iter().map(|b| b.var).collect();
         assert_eq!(names.len(), 2, "bound vars renamed apart");
     }
 

@@ -100,7 +100,7 @@ impl Cmd {
     /// The paper's `r.insert(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∨ ϕ(x̄)`.
     pub fn insert_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
         let rel = rel.into();
-        let atom = Formula::rel(rel.clone(), params.iter().map(|p| Term::Var(p.clone())));
+        let atom = Formula::rel(rel, params.iter().map(|p| Term::Var(*p)));
         Cmd::UpdateRel {
             rel,
             params,
@@ -111,7 +111,7 @@ impl Cmd {
     /// The paper's `r.remove(x̄ | ϕ)` sugar: `r(x̄) := r(x̄) ∧ ¬ϕ(x̄)`.
     pub fn remove_where(rel: impl Into<Sym>, params: Vec<Sym>, phi: Formula) -> Cmd {
         let rel = rel.into();
-        let atom = Formula::rel(rel.clone(), params.iter().map(|p| Term::Var(p.clone())));
+        let atom = Formula::rel(rel, params.iter().map(|p| Term::Var(*p)));
         Cmd::UpdateRel {
             rel,
             params,
@@ -125,7 +125,7 @@ impl Cmd {
             params
                 .iter()
                 .zip(&tuple)
-                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+                .map(|(p, t)| Formula::eq(Term::Var(*p), t.clone())),
         );
         Cmd::insert_where(rel, params, eqs)
     }
@@ -136,7 +136,7 @@ impl Cmd {
             params
                 .iter()
                 .zip(&tuple)
-                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+                .map(|(p, t)| Formula::eq(Term::Var(*p), t.clone())),
         );
         Cmd::remove_where(rel, params, eqs)
     }
@@ -157,9 +157,9 @@ impl Cmd {
             params
                 .iter()
                 .zip(&at)
-                .map(|(p, t)| Formula::eq(Term::Var(p.clone()), t.clone())),
+                .map(|(p, t)| Formula::eq(Term::Var(*p), t.clone())),
         );
-        let old = Term::app(fun.clone(), params.iter().map(|p| Term::Var(p.clone())));
+        let old = Term::app(fun, params.iter().map(|p| Term::Var(*p)));
         Cmd::UpdateFun {
             fun,
             params,
@@ -187,9 +187,9 @@ impl Cmd {
 
     fn collect_modified(&self, out: &mut Vec<Sym>) {
         match self {
-            Cmd::UpdateRel { rel, .. } => out.push(rel.clone()),
-            Cmd::UpdateFun { fun, .. } => out.push(fun.clone()),
-            Cmd::Havoc(v) => out.push(v.clone()),
+            Cmd::UpdateRel { rel, .. } => out.push(*rel),
+            Cmd::UpdateFun { fun, .. } => out.push(*fun),
+            Cmd::Havoc(v) => out.push(*v),
             Cmd::Seq(cs) | Cmd::Choice(cs) => cs.iter().for_each(|c| c.collect_modified(out)),
             _ => {}
         }
@@ -343,7 +343,7 @@ pub fn update_params(sorts: &[ivy_fol::Sort]) -> (Vec<Sym>, Vec<Binding>) {
     let bindings = syms
         .iter()
         .zip(sorts)
-        .map(|(v, s)| Binding::new(v.clone(), s.clone()))
+        .map(|(v, s)| Binding::new(*v, *s))
         .collect();
     (syms, bindings)
 }

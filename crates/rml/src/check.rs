@@ -122,12 +122,12 @@ pub fn check_program(p: &Program) -> Vec<CheckError> {
     }
     for (name, _) in p.sig.relations() {
         if name.as_str().contains("__") {
-            errors.push(CheckError::ReservedName(name.clone()));
+            errors.push(CheckError::ReservedName(*name));
         }
     }
     for (name, _) in p.sig.functions() {
         if name.as_str().contains("__") {
-            errors.push(CheckError::ReservedName(name.clone()));
+            errors.push(CheckError::ReservedName(*name));
         }
     }
     for (label, f) in &p.axioms {
@@ -195,13 +195,13 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
         Cmd::Skip | Cmd::Abort => {}
         Cmd::UpdateRel { rel, params, body } => {
             let Some(arg_sorts) = p.sig.relation(rel) else {
-                errors.push(CheckError::UnknownSymbol(rel.clone()));
+                errors.push(CheckError::UnknownSymbol(*rel));
                 return;
             };
             let arg_sorts = arg_sorts.to_vec();
             if params.len() != arg_sorts.len() {
                 errors.push(CheckError::BadUpdateParams {
-                    symbol: rel.clone(),
+                    symbol: *rel,
                     reason: format!(
                         "expected {} parameter(s), found {}",
                         arg_sorts.len(),
@@ -212,15 +212,13 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
             }
             check_update_common(p, rel, params, &arg_sorts, errors);
             if !is_quantifier_free(body) {
-                errors.push(CheckError::UpdateNotQuantifierFree {
-                    symbol: rel.clone(),
-                });
+                errors.push(CheckError::UpdateNotQuantifierFree { symbol: *rel });
             }
             let env: BTreeMap<Sym, ivy_fol::Sort> = params.iter().cloned().zip(arg_sorts).collect();
             for v in body.free_vars() {
                 if !env.contains_key(&v) {
                     errors.push(CheckError::UpdateOpenBody {
-                        symbol: rel.clone(),
+                        symbol: *rel,
                         var: v,
                     });
                 }
@@ -231,13 +229,13 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
         }
         Cmd::UpdateFun { fun, params, body } => {
             let Some(decl) = p.sig.function(fun) else {
-                errors.push(CheckError::UnknownSymbol(fun.clone()));
+                errors.push(CheckError::UnknownSymbol(*fun));
                 return;
             };
             let decl = decl.clone();
             if params.len() != decl.args.len() {
                 errors.push(CheckError::BadUpdateParams {
-                    symbol: fun.clone(),
+                    symbol: *fun,
                     reason: format!(
                         "expected {} parameter(s), found {}",
                         decl.args.len(),
@@ -254,7 +252,7 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
             for v in body_vars {
                 if !env.contains_key(&v) {
                     errors.push(CheckError::UpdateOpenBody {
-                        symbol: fun.clone(),
+                        symbol: *fun,
                         var: v,
                     });
                 }
@@ -265,7 +263,7 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
                     format!("update of `{fun}`"),
                     SortError::SortMismatch {
                         term: body.clone(),
-                        expected: decl.ret.clone(),
+                        expected: decl.ret,
                         found: s,
                     },
                 )),
@@ -278,7 +276,7 @@ fn check_cmd(p: &Program, cmd: &Cmd, errors: &mut Vec<CheckError>) {
         Cmd::Havoc(v) => {
             let ok = p.sig.function(v).is_some_and(|d| d.is_constant());
             if !ok {
-                errors.push(CheckError::BadHavoc(v.clone()));
+                errors.push(CheckError::BadHavoc(*v));
             }
         }
         Cmd::Assume(f) => {
@@ -301,9 +299,9 @@ fn check_update_common(
 ) {
     let mut seen = std::collections::BTreeSet::new();
     for param in params {
-        if !seen.insert(param.clone()) {
+        if !seen.insert(*param) {
             errors.push(CheckError::BadUpdateParams {
-                symbol: symbol.clone(),
+                symbol: *symbol,
                 reason: format!("duplicate parameter `{param}`"),
             });
         }

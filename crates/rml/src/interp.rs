@@ -112,7 +112,7 @@ pub fn exec_random(
                 let env: BTreeMap<Sym, Elem> =
                     params.iter().cloned().zip(tuple.iter().cloned()).collect();
                 let value = state.eval(body, &env)?;
-                next.set_rel(rel.clone(), tuple, value);
+                next.set_rel(*rel, tuple, value);
             }
             finish_update(axiom, next)
         }
@@ -128,7 +128,7 @@ pub fn exec_random(
                 let env: BTreeMap<Sym, Elem> =
                     params.iter().cloned().zip(tuple.iter().cloned()).collect();
                 let value = state.eval_term(body, &env)?;
-                next.set_fun(fun.clone(), tuple, value);
+                next.set_fun(*fun, tuple, value);
             }
             finish_update(axiom, next)
         }
@@ -144,7 +144,7 @@ pub fn exec_random(
             }
             let choice = candidates[rng.below(candidates.len())].clone();
             let mut next = state.clone();
-            next.set_fun(v.clone(), Vec::new(), choice);
+            next.set_fun(*v, Vec::new(), choice);
             finish_update(axiom, next)
         }
         Cmd::Assume(phi) => {
@@ -229,7 +229,7 @@ pub fn exec_all(
             let mut out = Vec::new();
             for e in state.elements(&decl.ret).collect::<Vec<_>>() {
                 let mut next = state.clone();
-                next.set_fun(v.clone(), Vec::new(), e);
+                next.set_fun(*v, Vec::new(), e);
                 match finish_update(axiom, next)? {
                     ExecOutcome::Done(s) => out.push(ExecOutcome::Done(s)),
                     other => out.push(other),

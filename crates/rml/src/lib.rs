@@ -51,4 +51,4 @@ pub use pretty::render_program;
 pub use trans::{
     paths, project_state, rename_symbols, unroll, unroll_free, Path, SymMap, Unrolling,
 };
-pub use wp::wp;
+pub use wp::{wp, wp_id, wp_in};

@@ -11,9 +11,19 @@
 //! path modifies them. `∃*∀*` is closed under `∧` and `∨`, so a `k`-step
 //! unrolling stays in EPR. The equivalence of the two encodings is checked
 //! by property tests against `wp`.
+//!
+//! The compiler works entirely on the hash-consed IR of
+//! [`ivy_fol::intern`]: every path formula is built as a [`FormulaId`], so
+//! structurally shared pieces (axiom re-renames, frame equalities repeated
+//! across sibling paths, path formulas repeated across steps) are
+//! constructed and stored once. In particular the axiom conjunction — which
+//! the old tree compiler deep-cloned and re-renamed on every update of a
+//! mentioned symbol — now costs one memoized `rename_symbols` lookup per
+//! distinct vocabulary.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use ivy_fol::intern::{FormulaId, Interner};
 use ivy_fol::{Binding, Formula, Signature, Sym, Term};
 
 use crate::ast::{Cmd, Program};
@@ -83,49 +93,154 @@ pub fn paths(cmd: &Cmd) -> Vec<Path> {
     }
 }
 
+/// An atomic command with interned payloads: the unit the compiler's path
+/// normalization works over. Where [`paths`] deep-clones `Formula` trees in
+/// the `Seq` cross-product, cloning an `IAtom` copies a [`FormulaId`] and a
+/// short parameter vector, and each syntactic atom is interned exactly once
+/// per unrolling instead of once per path it ends up on.
+#[derive(Clone, Debug)]
+enum IAtom {
+    /// `assume φ`.
+    Assume(FormulaId),
+    /// `rel(params) := body`.
+    UpdateRel {
+        rel: Sym,
+        params: Vec<Sym>,
+        body: FormulaId,
+    },
+    /// `fun(params) := body`.
+    UpdateFun {
+        fun: Sym,
+        params: Vec<Sym>,
+        body: ivy_fol::intern::TermId,
+    },
+    /// `havoc v`.
+    Havoc(Sym),
+}
+
+impl IAtom {
+    /// The symbol this atom modifies, if any.
+    fn modified(&self) -> Option<Sym> {
+        match self {
+            IAtom::Assume(_) => None,
+            IAtom::UpdateRel { rel, .. } => Some(*rel),
+            IAtom::UpdateFun { fun, .. } => Some(*fun),
+            IAtom::Havoc(v) => Some(*v),
+        }
+    }
+}
+
+/// [`Path`] over interned atoms.
+#[derive(Clone, Debug)]
+struct IPath {
+    atoms: Vec<IAtom>,
+    aborts: bool,
+}
+
+/// [`paths`] over the hash-consed IR: same normalization, but formulas are
+/// interned at the leaves — before the `Seq` cross-product multiplies the
+/// atoms — so the expansion never copies a formula tree.
+fn ipaths(it: &mut Interner, cmd: &Cmd) -> Vec<IPath> {
+    match cmd {
+        Cmd::Skip => vec![IPath {
+            atoms: vec![],
+            aborts: false,
+        }],
+        Cmd::Abort => vec![IPath {
+            atoms: vec![],
+            aborts: true,
+        }],
+        Cmd::Assume(phi) => vec![IPath {
+            atoms: vec![IAtom::Assume(it.intern(phi))],
+            aborts: false,
+        }],
+        Cmd::UpdateRel { rel, params, body } => vec![IPath {
+            atoms: vec![IAtom::UpdateRel {
+                rel: *rel,
+                params: params.clone(),
+                body: it.intern(body),
+            }],
+            aborts: false,
+        }],
+        Cmd::UpdateFun { fun, params, body } => vec![IPath {
+            atoms: vec![IAtom::UpdateFun {
+                fun: *fun,
+                params: params.clone(),
+                body: it.intern_term(body),
+            }],
+            aborts: false,
+        }],
+        Cmd::Havoc(v) => vec![IPath {
+            atoms: vec![IAtom::Havoc(*v)],
+            aborts: false,
+        }],
+        Cmd::Seq(cmds) => {
+            let mut acc = vec![IPath {
+                atoms: vec![],
+                aborts: false,
+            }];
+            for c in cmds {
+                let continuations = ipaths(it, c);
+                let mut next = Vec::new();
+                for p in acc {
+                    if p.aborts {
+                        next.push(p);
+                        continue;
+                    }
+                    for cont in &continuations {
+                        let mut atoms = p.atoms.clone();
+                        atoms.extend(cont.atoms.iter().cloned());
+                        next.push(IPath {
+                            atoms,
+                            aborts: cont.aborts,
+                        });
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Cmd::Choice(cmds) => {
+            let mut out = Vec::new();
+            for c in cmds {
+                out.extend(ipaths(it, c));
+            }
+            out
+        }
+    }
+}
+
 /// Renames relation/function symbols of a formula according to `map`
 /// (symbols not in the map are unchanged).
+///
+/// Delegates to the interner ([`Interner::rename_symbols`]): renames are
+/// memoized per (formula, map), so re-renaming a shared subformula — the
+/// axiom conjunction, a frame equality — into an already-seen vocabulary is
+/// a table lookup.
 pub fn rename_symbols(f: &Formula, map: &SymMap) -> Formula {
-    match f {
-        Formula::True | Formula::False => f.clone(),
-        Formula::Rel(r, args) => Formula::Rel(
-            map.get(r).unwrap_or(r).clone(),
-            args.iter().map(|t| rename_term(t, map)).collect(),
-        ),
-        Formula::Eq(a, b) => Formula::Eq(rename_term(a, map), rename_term(b, map)),
-        Formula::Not(g) => Formula::Not(Box::new(rename_symbols(g, map))),
-        Formula::And(fs) => Formula::And(fs.iter().map(|g| rename_symbols(g, map)).collect()),
-        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| rename_symbols(g, map)).collect()),
-        Formula::Implies(a, b) => Formula::Implies(
-            Box::new(rename_symbols(a, map)),
-            Box::new(rename_symbols(b, map)),
-        ),
-        Formula::Iff(a, b) => Formula::Iff(
-            Box::new(rename_symbols(a, map)),
-            Box::new(rename_symbols(b, map)),
-        ),
-        Formula::Forall(bs, g) => Formula::Forall(bs.clone(), Box::new(rename_symbols(g, map))),
-        Formula::Exists(bs, g) => Formula::Exists(bs.clone(), Box::new(rename_symbols(g, map))),
-    }
+    Interner::with(|it| {
+        let fid = it.intern(f);
+        let out = it.rename_symbols(fid, map);
+        it.resolve(out)
+    })
 }
 
 /// Renames function symbols of a term according to `map`.
+///
+/// Delegates to the interner like [`rename_symbols`].
 pub fn rename_term(t: &Term, map: &SymMap) -> Term {
-    match t {
-        Term::Var(_) => t.clone(),
-        Term::App(f, args) => Term::App(
-            map.get(f).unwrap_or(f).clone(),
-            args.iter().map(|a| rename_term(a, map)).collect(),
-        ),
-        Term::Ite(c, a, b) => Term::Ite(
-            Box::new(rename_symbols(c, map)),
-            Box::new(rename_term(a, map)),
-            Box::new(rename_term(b, map)),
-        ),
-    }
+    Interner::with(|it| {
+        let tid = it.intern_term(t);
+        let out = it.rename_term_symbols(tid, map);
+        it.resolve_term(out)
+    })
 }
 
 /// A `k`-step symbolic unrolling of a program's loop.
+///
+/// All formulas are interned ([`FormulaId`]); use
+/// [`ivy_fol::intern::resolve`] to materialize a tree when needed (e.g. for
+/// display).
 #[derive(Clone, Debug)]
 pub struct Unrolling {
     /// The versioned signature: base symbols plus one copy per modification
@@ -133,24 +248,24 @@ pub struct Unrolling {
     pub sig: Signature,
     /// Axioms at the pre-init state plus the init transition. Conjoin with
     /// `steps[0..j]` to constrain state `j`.
-    pub base: Formula,
+    pub base: FormulaId,
     /// `maps[j]` is the vocabulary of loop-head state `j`, for `j in 0..=k`.
     pub maps: Vec<SymMap>,
     /// `steps[j]` is the transition formula from state `j` to state `j+1`
     /// (the disjunction over all non-aborting body paths).
-    pub steps: Vec<Formula>,
+    pub steps: Vec<FormulaId>,
     /// Per step, the labeled path formulas `(action name, formula)` — used
     /// to reconstruct which action a BMC model took.
-    pub step_paths: Vec<Vec<(String, Formula)>>,
+    pub step_paths: Vec<Vec<(String, FormulaId)>>,
     /// Error formula: some aborting path of `init` executes (from the
     /// pre-init state).
-    pub init_error: Formula,
+    pub init_error: FormulaId,
     /// `step_errors[j]`: some aborting path of the body executes from state
     /// `j` (labeled by action).
-    pub step_errors: Vec<Vec<(String, Formula)>>,
+    pub step_errors: Vec<Vec<(String, FormulaId)>>,
     /// `final_errors[j]`: some aborting path of `final` executes from state
     /// `j`.
-    pub final_errors: Vec<Formula>,
+    pub final_errors: Vec<FormulaId>,
 }
 
 /// Compiles a `k`-step unrolling of `program`.
@@ -171,98 +286,105 @@ pub fn unroll_free(program: &Program, k: usize) -> Unrolling {
 }
 
 fn unroll_inner(program: &Program, k: usize, with_init: bool) -> Unrolling {
-    let mut ctx = Ctx {
-        sig: program.sig.clone(),
-        axiom: program.axiom(),
-        counter: 0,
-    };
-    let identity: SymMap = program
-        .sig
-        .relations()
-        .map(|(s, _)| (s.clone(), s.clone()))
-        .chain(program.sig.functions().map(|(s, _)| (s.clone(), s.clone())))
-        .collect();
+    Interner::with(|it| {
+        let axiom = it.intern(&program.axiom());
+        let mut ctx = Ctx {
+            sig: program.sig.clone(),
+            axiom,
+            counter: 0,
+            frames: std::collections::HashMap::new(),
+        };
+        let identity: SymMap = program
+            .sig
+            .relations()
+            .map(|(s, _)| (*s, *s))
+            .chain(program.sig.functions().map(|(s, _)| (*s, *s)))
+            .collect();
 
-    // Pre-init state: axioms hold.
-    let mut parts = vec![ctx.axiom.clone()];
+        // Pre-init state: axioms hold.
+        let mut parts = vec![ctx.axiom];
 
-    // Init phase (skipped for "free" unrollings: state 0 is then any
-    // axiom-satisfying state).
-    let (init_error, map0) = if with_init {
-        let init_paths = paths(&program.init);
-        let normal_init: Vec<&Path> = init_paths.iter().filter(|p| !p.aborts).collect();
-        let abort_init: Vec<&Path> = init_paths.iter().filter(|p| p.aborts).collect();
-        let (init_formula, map0) = ctx.compile_phase(&normal_init, &identity, "i");
-        parts.push(init_formula);
-        let init_error = Formula::or(
-            abort_init
+        // Init phase (skipped for "free" unrollings: state 0 is then any
+        // axiom-satisfying state).
+        let (init_error, map0) = if with_init {
+            let init_paths = ipaths(it, &program.init);
+            let normal_init: Vec<&IPath> = init_paths.iter().filter(|p| !p.aborts).collect();
+            let abort_init: Vec<&IPath> = init_paths.iter().filter(|p| p.aborts).collect();
+            let (init_formula, map0) = ctx.compile_phase(it, &normal_init, &identity, "i");
+            parts.push(init_formula);
+            let errs: Vec<FormulaId> = abort_init
                 .iter()
-                .map(|p| ctx.compile_error_path(p, &identity)),
-        );
-        (init_error, map0)
-    } else {
-        (Formula::False, identity.clone())
-    };
+                .map(|p| ctx.compile_error_path(it, p, &identity))
+                .collect();
+            (it.or(errs), map0)
+        } else {
+            (it.false_id(), identity.clone())
+        };
 
-    // Body steps.
-    let body_paths: Vec<(String, Path)> = program
-        .actions
-        .iter()
-        .flat_map(|a| paths(&a.cmd).into_iter().map(move |p| (a.name.clone(), p)))
-        .collect();
-    let mut maps = vec![map0];
-    let mut steps = Vec::with_capacity(k);
-    let mut step_paths = Vec::with_capacity(k);
-    let mut step_errors = Vec::with_capacity(k);
-    let mut final_errors = Vec::with_capacity(k + 1);
-    for j in 0..k {
-        let in_map = maps[j].clone();
-        let normal: Vec<&Path> = body_paths
-            .iter()
-            .filter(|(_, p)| !p.aborts)
-            .map(|(_, p)| p)
-            .collect();
-        let (labeled, out_map) =
-            ctx.compile_phase_labeled(&body_paths, &normal, &in_map, &format!("{}", j + 1));
-        steps.push(Formula::or(labeled.iter().map(|(_, f)| f.clone())));
-        step_paths.push(labeled);
-        let errors: Vec<(String, Formula)> = body_paths
-            .iter()
-            .filter(|(_, p)| p.aborts)
-            .map(|(name, p)| (name.clone(), ctx.compile_error_path(p, &in_map)))
-            .collect();
-        step_errors.push(errors);
-        maps.push(out_map);
-    }
-    // Aborting final paths, from every loop-head state.
-    let final_paths = paths(&program.final_cmd);
-    for map in &maps {
-        let err = Formula::or(
-            final_paths
+        // Body steps.
+        let mut body_paths: Vec<(String, IPath)> = Vec::new();
+        for a in &program.actions {
+            for p in ipaths(it, &a.cmd) {
+                body_paths.push((a.name.clone(), p));
+            }
+        }
+        let mut maps = vec![map0];
+        let mut steps = Vec::with_capacity(k);
+        let mut step_paths = Vec::with_capacity(k);
+        let mut step_errors = Vec::with_capacity(k);
+        let mut final_errors = Vec::with_capacity(k + 1);
+        for j in 0..k {
+            let in_map = maps[j].clone();
+            let normal: Vec<&IPath> = body_paths
+                .iter()
+                .filter(|(_, p)| !p.aborts)
+                .map(|(_, p)| p)
+                .collect();
+            let (labeled, out_map) =
+                ctx.compile_phase_labeled(it, &body_paths, &normal, &in_map, &format!("{}", j + 1));
+            steps.push(it.or(labeled.iter().map(|(_, f)| *f).collect::<Vec<_>>()));
+            step_paths.push(labeled);
+            let errors: Vec<(String, FormulaId)> = body_paths
+                .iter()
+                .filter(|(_, p)| p.aborts)
+                .map(|(name, p)| (name.clone(), ctx.compile_error_path(it, p, &in_map)))
+                .collect();
+            step_errors.push(errors);
+            maps.push(out_map);
+        }
+        // Aborting final paths, from every loop-head state.
+        let final_paths = ipaths(it, &program.final_cmd);
+        for map in &maps {
+            let errs: Vec<FormulaId> = final_paths
                 .iter()
                 .filter(|p| p.aborts)
-                .map(|p| ctx.compile_error_path(p, map)),
-        );
-        final_errors.push(err);
-    }
-    // Errors at state k (abort during step k+1) are intentionally absent:
-    // callers decide how many steps to inspect.
-    Unrolling {
-        sig: ctx.sig,
-        base: Formula::and(parts),
-        maps,
-        steps,
-        step_paths,
-        init_error,
-        step_errors,
-        final_errors,
-    }
+                .map(|p| ctx.compile_error_path(it, p, map))
+                .collect();
+            final_errors.push(it.or(errs));
+        }
+        // Errors at state k (abort during step k+1) are intentionally absent:
+        // callers decide how many steps to inspect.
+        Unrolling {
+            sig: ctx.sig,
+            base: it.and(parts),
+            maps,
+            steps,
+            step_paths,
+            init_error,
+            step_errors,
+            final_errors,
+        }
+    })
 }
 
 struct Ctx {
     sig: Signature,
-    axiom: Formula,
+    axiom: FormulaId,
     counter: usize,
+    /// Frame equalities keyed by `(symbol, from-version, to-version)`: the
+    /// same frame is needed by every sibling path that leaves the symbol
+    /// unwritten, so build its formula once.
+    frames: std::collections::HashMap<(Sym, Sym, Sym), FormulaId>,
 }
 
 impl Ctx {
@@ -275,9 +397,7 @@ impl Ctx {
                 continue;
             }
             if let Some(args) = self.sig.relation(base).map(<[ivy_fol::Sort]>::to_vec) {
-                self.sig
-                    .add_relation(name.clone(), args)
-                    .expect("fresh name");
+                self.sig.add_relation(name, args).expect("fresh name");
             } else {
                 let decl = self
                     .sig
@@ -285,7 +405,7 @@ impl Ctx {
                     .unwrap_or_else(|| panic!("unknown symbol `{base}`"))
                     .clone();
                 self.sig
-                    .add_function(name.clone(), decl.args, decl.ret)
+                    .add_function(name, decl.args, decl.ret)
                     .expect("fresh name");
             }
             return name;
@@ -294,46 +414,54 @@ impl Ctx {
 
     /// Compiles a set of non-aborting paths sharing an input vocabulary into
     /// a disjunction, producing the common output vocabulary.
-    fn compile_phase(&mut self, paths: &[&Path], in_map: &SymMap, tag: &str) -> (Formula, SymMap) {
-        let labeled: Vec<(String, Path)> = paths
+    fn compile_phase(
+        &mut self,
+        it: &mut Interner,
+        paths: &[&IPath],
+        in_map: &SymMap,
+        tag: &str,
+    ) -> (FormulaId, SymMap) {
+        let labeled: Vec<(String, IPath)> = paths
             .iter()
             .map(|p| (String::new(), (*p).clone()))
             .collect();
-        let refs: Vec<&Path> = paths.to_vec();
-        let (out, map) = self.compile_phase_labeled(&labeled, &refs, in_map, tag);
-        (Formula::or(out.into_iter().map(|(_, f)| f)), map)
+        let refs: Vec<&IPath> = paths.to_vec();
+        let (out, map) = self.compile_phase_labeled(it, &labeled, &refs, in_map, tag);
+        (
+            it.or(out.into_iter().map(|(_, f)| f).collect::<Vec<_>>()),
+            map,
+        )
     }
 
     fn compile_phase_labeled(
         &mut self,
-        labeled: &[(String, Path)],
-        normal: &[&Path],
+        it: &mut Interner,
+        labeled: &[(String, IPath)],
+        normal: &[&IPath],
         in_map: &SymMap,
         tag: &str,
-    ) -> (Vec<(String, Formula)>, SymMap) {
+    ) -> (Vec<(String, FormulaId)>, SymMap) {
         // Union of modified symbols across all (non-aborting) paths.
         let mut updated: BTreeSet<Sym> = BTreeSet::new();
         for p in normal {
-            for a in &p.atoms {
-                updated.extend(a.modified_symbols());
-            }
+            updated.extend(p.atoms.iter().filter_map(IAtom::modified));
         }
         let mut out_map = in_map.clone();
         for sym in &updated {
             let v = self.fresh_version(sym, tag);
-            out_map.insert(sym.clone(), v);
+            out_map.insert(*sym, v);
         }
         let mut out = Vec::new();
         for (name, p) in labeled {
             if p.aborts {
                 continue;
             }
-            let f = self.compile_path(p, in_map, &out_map, &updated, tag);
+            let f = self.compile_path(it, p, in_map, &out_map, &updated, tag);
             out.push((name.clone(), f));
         }
         if out.is_empty() {
             // No normal path: the phase cannot execute.
-            out.push((String::new(), Formula::False));
+            out.push((String::new(), it.false_id()));
         }
         (out, out_map)
     }
@@ -341,61 +469,65 @@ impl Ctx {
     /// Compiles one non-aborting path between fixed vocabularies.
     fn compile_path(
         &mut self,
-        path: &Path,
+        it: &mut Interner,
+        path: &IPath,
         in_map: &SymMap,
         out_map: &SymMap,
         updated: &BTreeSet<Sym>,
         tag: &str,
-    ) -> Formula {
+    ) -> FormulaId {
         // Last update of each symbol writes its out version directly.
         let last_write: BTreeMap<Sym, usize> = path
             .atoms
             .iter()
             .enumerate()
-            .flat_map(|(i, a)| a.modified_symbols().into_iter().map(move |s| (s, i)))
+            .filter_map(|(i, a)| a.modified().map(|s| (s, i)))
             .collect();
         let mut cur = in_map.clone();
         let mut parts = Vec::new();
         for (i, atom) in path.atoms.iter().enumerate() {
             match atom {
-                Cmd::Assume(phi) => parts.push(rename_symbols(phi, &cur)),
-                Cmd::UpdateRel { rel, params, body } => {
-                    let body = rename_symbols(body, &cur);
+                IAtom::Assume(phi) => {
+                    parts.push(it.rename_symbols(*phi, &cur));
+                }
+                IAtom::UpdateRel { rel, params, body } => {
+                    let body = it.rename_symbols(*body, &cur);
                     let target = self.version_for(rel, i, &last_write, out_map, tag);
                     let arg_sorts = self.sig.relation(rel).expect("validated program").to_vec();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&arg_sorts)
-                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .map(|(p, s)| Binding::new(*p, *s))
                         .collect();
-                    let lhs =
-                        Formula::rel(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
-                    parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
-                    cur.insert(rel.clone(), target);
-                    self.push_axiom_if_touched(rel, &cur, &mut parts);
+                    let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+                    let lhs = it.rel(target, args);
+                    let eqv = it.iff(lhs, body);
+                    parts.push(it.forall(bindings, eqv));
+                    cur.insert(*rel, target);
+                    self.push_axiom_if_touched(it, rel, &cur, &mut parts);
                 }
-                Cmd::UpdateFun { fun, params, body } => {
-                    let body = rename_term(body, &cur);
+                IAtom::UpdateFun { fun, params, body } => {
+                    let body = it.rename_term_symbols(*body, &cur);
                     let target = self.version_for(fun, i, &last_write, out_map, tag);
                     let decl = self.sig.function(fun).expect("validated program").clone();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&decl.args)
-                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .map(|(p, s)| Binding::new(*p, *s))
                         .collect();
-                    let lhs =
-                        Term::app(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
-                    parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
-                    cur.insert(fun.clone(), target);
-                    self.push_axiom_if_touched(fun, &cur, &mut parts);
+                    let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+                    let lhs = it.app(target, args);
+                    let eqv = it.eq(lhs, body);
+                    parts.push(it.forall(bindings, eqv));
+                    cur.insert(*fun, target);
+                    self.push_axiom_if_touched(it, fun, &cur, &mut parts);
                 }
-                Cmd::Havoc(v) => {
+                IAtom::Havoc(v) => {
                     let target = self.version_for(v, i, &last_write, out_map, tag);
                     // No constraint: the new version is a free constant.
-                    cur.insert(v.clone(), target);
-                    self.push_axiom_if_touched(v, &cur, &mut parts);
+                    cur.insert(*v, target);
+                    self.push_axiom_if_touched(it, v, &cur, &mut parts);
                 }
-                other => unreachable!("non-atomic command {other} in path"),
             }
         }
         // Frames: symbols some sibling path modifies, but this one does not.
@@ -403,9 +535,9 @@ impl Ctx {
             if cur[sym] == out_map[sym] {
                 continue; // written by this path
             }
-            parts.push(self.frame_equality(sym, &cur[sym], &out_map[sym]));
+            parts.push(self.frame_equality(it, sym, &cur[sym], &out_map[sym]));
         }
-        Formula::and(parts)
+        it.and(parts)
     }
 
     /// The version an update at position `i` writes: the common out-version
@@ -419,7 +551,7 @@ impl Ctx {
         tag: &str,
     ) -> Sym {
         if last_write.get(sym) == Some(&i) {
-            out_map[sym].clone()
+            out_map[sym]
         } else {
             self.fresh_version(sym, &format!("{tag}t"))
         }
@@ -427,86 +559,101 @@ impl Ctx {
 
     /// Asserts the axioms over the current vocabulary when the freshly
     /// modified symbol occurs in them (mutations are restricted to
-    /// axiom-satisfying states, mirroring `wp`'s `A → Q`).
-    fn push_axiom_if_touched(&self, sym: &Sym, cur: &SymMap, parts: &mut Vec<Formula>) {
-        if self.axiom.mentions_symbol(sym) {
-            parts.push(rename_symbols(&self.axiom, cur));
+    /// axiom-satisfying states, mirroring `wp`'s `A → Q`). The rename is
+    /// memoized in the interner: sibling paths sharing a vocabulary re-use
+    /// the same renamed axiom node.
+    fn push_axiom_if_touched(
+        &self,
+        it: &mut Interner,
+        sym: &Sym,
+        cur: &SymMap,
+        parts: &mut Vec<FormulaId>,
+    ) {
+        if it.mentions(self.axiom, *sym) {
+            parts.push(it.rename_symbols(self.axiom, cur));
         }
     }
 
-    fn frame_equality(&self, sym: &Sym, from: &Sym, to: &Sym) -> Formula {
-        if let Some(arg_sorts) = self.sig.relation(sym).map(<[ivy_fol::Sort]>::to_vec) {
+    fn frame_equality(&mut self, it: &mut Interner, sym: &Sym, from: &Sym, to: &Sym) -> FormulaId {
+        if let Some(&f) = self.frames.get(&(*sym, *from, *to)) {
+            return f;
+        }
+        let out = if let Some(arg_sorts) = self.sig.relation(sym).map(<[ivy_fol::Sort]>::to_vec) {
             let (params, bindings) = crate::ast::update_params(&arg_sorts);
-            let args: Vec<Term> = params.iter().map(|p| Term::Var(p.clone())).collect();
-            Formula::forall(
-                bindings,
-                Formula::iff(
-                    Formula::rel(to.clone(), args.clone()),
-                    Formula::rel(from.clone(), args),
-                ),
-            )
+            let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+            let lhs = it.rel(*to, args.clone());
+            let rhs = it.rel(*from, args);
+            let eqv = it.iff(lhs, rhs);
+            it.forall(bindings, eqv)
         } else {
             let decl = self.sig.function(sym).expect("known symbol").clone();
             let (params, bindings) = crate::ast::update_params(&decl.args);
-            let args: Vec<Term> = params.iter().map(|p| Term::Var(p.clone())).collect();
-            Formula::forall(
-                bindings,
-                Formula::eq(
-                    Term::app(to.clone(), args.clone()),
-                    Term::app(from.clone(), args),
-                ),
-            )
-        }
+            let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+            let lhs = it.app(*to, args.clone());
+            let rhs = it.app(*from, args);
+            let eqv = it.eq(lhs, rhs);
+            it.forall(bindings, eqv)
+        };
+        self.frames.insert((*sym, *from, *to), out);
+        out
     }
 
     /// Compiles an aborting path: the conjunction of its constraints up to
     /// the `abort` (no output vocabulary — execution ends).
-    fn compile_error_path(&mut self, path: &Path, in_map: &SymMap) -> Formula {
+    fn compile_error_path(
+        &mut self,
+        it: &mut Interner,
+        path: &IPath,
+        in_map: &SymMap,
+    ) -> FormulaId {
         debug_assert!(path.aborts);
         let mut cur = in_map.clone();
         let mut parts = Vec::new();
         for atom in &path.atoms {
             match atom {
-                Cmd::Assume(phi) => parts.push(rename_symbols(phi, &cur)),
-                Cmd::UpdateRel { rel, params, body } => {
-                    let body = rename_symbols(body, &cur);
+                IAtom::Assume(phi) => {
+                    parts.push(it.rename_symbols(*phi, &cur));
+                }
+                IAtom::UpdateRel { rel, params, body } => {
+                    let body = it.rename_symbols(*body, &cur);
                     let target = self.fresh_version(rel, "e");
                     let arg_sorts = self.sig.relation(rel).expect("validated program").to_vec();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&arg_sorts)
-                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .map(|(p, s)| Binding::new(*p, *s))
                         .collect();
-                    let lhs =
-                        Formula::rel(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
-                    parts.push(Formula::forall(bindings, Formula::iff(lhs, body)));
-                    cur.insert(rel.clone(), target);
-                    self.push_axiom_if_touched(rel, &cur, &mut parts);
+                    let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+                    let lhs = it.rel(target, args);
+                    let eqv = it.iff(lhs, body);
+                    parts.push(it.forall(bindings, eqv));
+                    cur.insert(*rel, target);
+                    self.push_axiom_if_touched(it, rel, &cur, &mut parts);
                 }
-                Cmd::UpdateFun { fun, params, body } => {
-                    let body = rename_term(body, &cur);
+                IAtom::UpdateFun { fun, params, body } => {
+                    let body = it.rename_term_symbols(*body, &cur);
                     let target = self.fresh_version(fun, "e");
                     let decl = self.sig.function(fun).expect("validated program").clone();
                     let bindings: Vec<Binding> = params
                         .iter()
                         .zip(&decl.args)
-                        .map(|(p, s)| Binding::new(p.clone(), s.clone()))
+                        .map(|(p, s)| Binding::new(*p, *s))
                         .collect();
-                    let lhs =
-                        Term::app(target.clone(), params.iter().map(|p| Term::Var(p.clone())));
-                    parts.push(Formula::forall(bindings, Formula::eq(lhs, body)));
-                    cur.insert(fun.clone(), target);
-                    self.push_axiom_if_touched(fun, &cur, &mut parts);
+                    let args: Vec<_> = params.iter().map(|p| it.var(*p)).collect();
+                    let lhs = it.app(target, args);
+                    let eqv = it.eq(lhs, body);
+                    parts.push(it.forall(bindings, eqv));
+                    cur.insert(*fun, target);
+                    self.push_axiom_if_touched(it, fun, &cur, &mut parts);
                 }
-                Cmd::Havoc(v) => {
+                IAtom::Havoc(v) => {
                     let target = self.fresh_version(v, "e");
-                    cur.insert(v.clone(), target);
-                    self.push_axiom_if_touched(v, &cur, &mut parts);
+                    cur.insert(*v, target);
+                    self.push_axiom_if_touched(it, v, &cur, &mut parts);
                 }
-                other => unreachable!("non-atomic command {other} in path"),
             }
         }
-        Formula::and(parts)
+        it.and(parts)
     }
 }
 
@@ -528,7 +675,7 @@ pub fn project_state(
     let mut elem_map: BTreeMap<ivy_fol::Elem, ivy_fol::Elem> = BTreeMap::new();
     for sort in base_sig.sorts() {
         for e in model.elements(sort).collect::<Vec<_>>() {
-            let ne = out.add_element(sort.clone());
+            let ne = out.add_element(*sort);
             elem_map.insert(e, ne);
         }
     }
@@ -536,7 +683,7 @@ pub fn project_state(
         let versioned = map.get(base).unwrap_or(base);
         for tuple in model.rel_tuples(versioned).cloned().collect::<Vec<_>>() {
             let t: Vec<ivy_fol::Elem> = tuple.iter().map(|e| elem_map[e].clone()).collect();
-            out.set_rel(base.clone(), t, true);
+            out.set_rel(*base, t, true);
         }
     }
     for (base, _) in base_sig.functions() {
@@ -547,7 +694,7 @@ pub fn project_state(
             .collect();
         for (args, res) in entries {
             let a: Vec<ivy_fol::Elem> = args.iter().map(|e| elem_map[e].clone()).collect();
-            out.set_fun(base.clone(), a, elem_map[&res].clone());
+            out.set_fun(*base, a, elem_map[&res].clone());
         }
     }
     out
@@ -635,8 +782,8 @@ mod tests {
     fn unrolling_stays_in_ea() {
         let p = toy_program();
         let u = unroll(&p, 2);
-        let mut query = vec![u.base.clone()];
-        query.extend(u.steps.iter().cloned());
+        let mut query = vec![ivy_fol::intern::resolve(u.base)];
+        query.extend(u.steps.iter().map(|&s| ivy_fol::intern::resolve(s)));
         // Violation of safety at state 2.
         let bad = Formula::not(rename_symbols(&p.safety_formula(), &u.maps[2]));
         query.push(bad);
@@ -669,8 +816,22 @@ mod tests {
             cmd: Cmd::Skip,
         });
         let u = unroll(&p, 2);
+        let true_id = Interner::with(|it| it.true_id());
         for step in &u.steps {
-            assert_eq!(step, &Formula::True, "skip transitions are vacuous");
+            assert_eq!(step, &true_id, "skip transitions are vacuous");
         }
+    }
+
+    #[test]
+    fn unrolling_matches_tree_reference_shape() {
+        // The interned compiler must produce the same formulas the tree
+        // compiler used to: spot-check that resolving `base` round-trips
+        // through the interner unchanged and mentions the init version.
+        let p = toy_program();
+        let u = unroll(&p, 1);
+        let base = ivy_fol::intern::resolve(u.base);
+        assert_eq!(ivy_fol::intern::intern(&base), u.base, "lossless bridge");
+        let v0 = &u.maps[0][&Sym::new("leader")];
+        assert!(base.mentions_symbol(v0), "init defines {v0}");
     }
 }

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeSet;
 
+use ivy_fol::intern::{FormulaId, Interner};
 use ivy_fol::subst::{fresh_name, rewrite_function, rewrite_relation, subst_constant};
 use ivy_fol::{Binding, Formula, Signature, Sym, Term};
 
@@ -52,8 +53,8 @@ pub fn wp(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formul
             let mut used: BTreeSet<Sym> = target.free_vars();
             ivy_fol::subst::all_var_names(&target, &mut used);
             let x = fresh_name(&heading_var(v), &mut used);
-            let substituted = subst_constant(&target, v, &Term::Var(x.clone()));
-            Formula::forall([Binding::new(x, decl.ret.clone())], substituted)
+            let substituted = subst_constant(&target, v, &Term::Var(x));
+            Formula::forall([Binding::new(x, decl.ret)], substituted)
         }
         Cmd::Assume(phi) => Formula::implies(phi.clone(), post.clone()),
         Cmd::Seq(cmds) => {
@@ -64,6 +65,70 @@ pub fn wp(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formul
             q
         }
         Cmd::Choice(cmds) => Formula::and(cmds.iter().map(|c| wp(sig, axiom, c, post))),
+    }
+}
+
+/// Hash-consed `wp`: identical to [`wp`] but operating on interned
+/// [`FormulaId`]s throughout, so repeated subterms (the axiom guard, shared
+/// postconditions under `|`) are substituted once and memoized.
+///
+/// `resolve(wp_id(..)) == wp(..)` — checked by property tests.
+pub fn wp_id(sig: &Signature, axiom: FormulaId, cmd: &Cmd, post: FormulaId) -> FormulaId {
+    Interner::with(|it| wp_in(it, sig, axiom, cmd, post))
+}
+
+/// [`wp_id`] against an already-held interner (for callers inside an
+/// [`Interner::with`] scope, which must not re-enter the global lock).
+pub fn wp_in(
+    it: &mut Interner,
+    sig: &Signature,
+    axiom: FormulaId,
+    cmd: &Cmd,
+    post: FormulaId,
+) -> FormulaId {
+    match cmd {
+        Cmd::Skip => post,
+        Cmd::Abort => it.false_id(),
+        Cmd::UpdateRel { rel, params, body } => {
+            let target = it.implies(axiom, post);
+            let b = it.intern(body);
+            it.rewrite_relation(target, *rel, params, b)
+        }
+        Cmd::UpdateFun { fun, params, body } => {
+            let target = it.implies(axiom, post);
+            let b = it.intern_term(body);
+            it.rewrite_function(target, *fun, params, b)
+        }
+        Cmd::Havoc(v) => {
+            let decl = sig
+                .function(v)
+                .unwrap_or_else(|| panic!("havoc of undeclared variable `{v}`"));
+            assert!(decl.is_constant(), "havoc target `{v}` is not a variable");
+            let target = it.implies(axiom, post);
+            let mut used: BTreeSet<Sym> = (*it.all_vars(target)).clone();
+            let x = fresh_name(&heading_var(v), &mut used);
+            let xv = it.var(x);
+            let substituted = it.subst_constant(target, *v, xv);
+            it.forall(vec![Binding::new(x, decl.ret)], substituted)
+        }
+        Cmd::Assume(phi) => {
+            let p = it.intern(phi);
+            it.implies(p, post)
+        }
+        Cmd::Seq(cmds) => {
+            let mut q = post;
+            for c in cmds.iter().rev() {
+                q = wp_in(it, sig, axiom, c, q);
+            }
+            q
+        }
+        Cmd::Choice(cmds) => {
+            let parts: Vec<FormulaId> = cmds
+                .iter()
+                .map(|c| wp_in(it, sig, axiom, c, post))
+                .collect();
+            it.and(parts)
+        }
     }
 }
 
