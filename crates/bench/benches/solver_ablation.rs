@@ -1,8 +1,10 @@
 //! Ablation: the CDCL solver versus the reference DPLL solver, on the
-//! pigeonhole family (hard UNSAT) and satisfiable random 3-SAT.
+//! pigeonhole family (hard UNSAT) and satisfiable random 3-SAT — plus the
+//! learnt-clause-cap ablation (`max_learnts` scaled to `clauses / 3` versus
+//! the historical fixed 1000).
 
 use ivy_bench::harness::bench_case;
-use ivy_sat::{solve_dpll, Cnf, Var};
+use ivy_sat::{solve_dpll, Cnf, SolveResult, Var};
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
     let mut cnf = Cnf::new();
@@ -38,6 +40,22 @@ fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Cnf {
     cnf
 }
 
+/// A hard UNSAT pigeonhole core buried in a large satisfiable problem (an
+/// implication chain over fresh variables) — the shape of EPR groundings,
+/// where the clause database dwarfs the refutation core. With the fixed cap
+/// the solver may keep at most 1000 learnts; scaling raises the cap to
+/// `problem_clauses / 3`.
+fn padded_pigeonhole(n: usize, pad: usize) -> Cnf {
+    let mut cnf = pigeonhole(n, n - 1);
+    let mut prev = cnf.new_var();
+    for _ in 0..pad {
+        let v = cnf.new_var();
+        cnf.add_clause([prev.neg(), v.pos()]);
+        prev = v;
+    }
+    cnf
+}
+
 fn main() {
     for n in [6usize, 7, 8] {
         let cnf = pigeonhole(n, n - 1);
@@ -63,4 +81,17 @@ fn main() {
     bench_case("sat_cdcl_vs_dpll", "dpll_random3sat_60v", 10, || {
         assert!(solve_dpll(&sat).is_some())
     });
+    let padded = padded_pigeonhole(8, 12_000);
+    for scaled in [true, false] {
+        let name = if scaled {
+            "scaled_clauses_div3"
+        } else {
+            "fixed_1000"
+        };
+        bench_case("sat_learnt_scaling", name, 5, || {
+            let mut s = padded.to_solver();
+            s.set_learnt_scaling(scaled);
+            assert!(matches!(s.solve(), SolveResult::Unsat));
+        });
+    }
 }

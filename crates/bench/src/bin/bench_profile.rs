@@ -1,0 +1,85 @@
+//! Profiles the six Figure-14 protocols and writes a machine-readable
+//! `ivy-profile-bench-v1` JSON document (default `BENCH_profile.json`).
+//!
+//! For each protocol the known-correct inductive invariant is checked
+//! (initiation, safety, consecution — the deterministic workload every
+//! PR re-runs), with telemetry recording on: per-phase wall time,
+//! query/grounding/SAT counters, and cache hit rates. One
+//! `ivy-profile-v1` object per protocol (see DESIGN.md §4e), plus the
+//! verdict so regressions in *correctness* fail the profile too.
+//!
+//! ```text
+//! bench_profile [--out PATH] [--timeout SECS]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ivy_bench::protocols;
+use ivy_epr::{Budget, EprError, QueryReport};
+use ivy_telemetry as telemetry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or("BENCH_profile.json")
+        .to_string();
+    let budget = match flag_value(&args, "--timeout").map(str::parse::<f64>) {
+        None => Budget::UNLIMITED,
+        Some(Ok(secs)) if secs >= 0.0 && secs.is_finite() => {
+            Budget::with_timeout(Duration::from_secs_f64(secs))
+        }
+        Some(_) => {
+            eprintln!("error: --timeout expects a non-negative number of seconds");
+            std::process::exit(2);
+        }
+    };
+    telemetry::set_enabled(true);
+
+    let mut entries: Vec<String> = Vec::new();
+    for entry in protocols() {
+        telemetry::reset();
+        let started = Instant::now();
+        let mut verifier = ivy_core::Verifier::new(&entry.program);
+        verifier.set_budget(budget);
+        let (verdict, stop) = match verifier.check(&entry.invariant) {
+            Ok(r) if r.is_inductive() => ("inductive", None),
+            Ok(_) => ("cti", None),
+            Err(EprError::Inconclusive(reason)) => ("unknown", Some(reason)),
+            Err(e) => {
+                eprintln!("{}: {e}", entry.name);
+                std::process::exit(2);
+            }
+        };
+        let mut report = QueryReport::from_global_counters();
+        report.outcome = verdict.to_string();
+        report.stop = stop;
+        report.wall_nanos = started.elapsed().as_nanos();
+        let (hits, misses) = ivy_fol::intern::cache_stats();
+        report.intern_hits = hits;
+        report.intern_misses = misses;
+        println!(
+            "{:<28} {:<10} {:>6} queries  {:>10.1?}",
+            entry.name,
+            verdict,
+            report.queries,
+            started.elapsed()
+        );
+        entries.push(report.to_json_with(&[("protocol", entry.name), ("verdict", verdict)]));
+    }
+
+    let mut doc = String::from("{\n\"schema\": \"ivy-profile-bench-v1\",\n\"protocols\": [\n");
+    doc.push_str(&entries.join(","));
+    doc.push_str("]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

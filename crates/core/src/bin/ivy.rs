@@ -13,30 +13,108 @@
 //! Invariant files (`.inv`) contain one conjecture per line:
 //! `name: formula` (blank lines and `#` comments ignored). Without an
 //! invariant file, the model's safety properties are used.
+//!
+//! Global flags (any command):
+//!
+//! * `--timeout SECS` — wall-clock budget. On expiry the run prints
+//!   `unknown (deadline exceeded)` and exits with code 3; it never
+//!   reports a wrong verdict or panics.
+//! * `--profile OUT.json` — write an `ivy-profile-v1` JSON report
+//!   (timing phases, query/grounding/SAT counters, cache hit rates; see
+//!   DESIGN.md §4e), including partial statistics on timeout.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use ivy_core::{houdini_with_template, Bmc, Conjecture, Inductiveness, Verifier};
+use ivy_core::{houdini_budgeted, Bmc, Conjecture, Inductiveness, Verifier};
+use ivy_epr::{Budget, EprError, QueryReport};
 use ivy_fol::parse_formula;
 use ivy_rml::{check_program, parse_program, Program};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(code) => code,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_path = take_flag(&mut args, "--profile");
+    let timeout = take_flag(&mut args, "--timeout");
+    let budget = match timeout.as_deref().map(str::parse::<f64>) {
+        None => Budget::UNLIMITED,
+        Some(Ok(secs)) if secs >= 0.0 && secs.is_finite() => {
+            Budget::with_timeout(Duration::from_secs_f64(secs))
+        }
+        Some(_) => {
+            eprintln!("error: --timeout expects a non-negative number of seconds");
+            return ExitCode::from(2);
+        }
+    };
+    if profile_path.is_some() {
+        ivy_telemetry::reset();
+        ivy_telemetry::set_enabled(true);
+    }
+    let started = Instant::now();
+    let result = run(&args, budget);
+    let (code, verdict, stop) = match result {
+        Ok((code, verdict)) => (code, verdict, None),
+        Err(e) => match e.downcast_ref::<EprError>() {
+            Some(EprError::Inconclusive(r)) => {
+                println!("unknown ({r})");
+                (ExitCode::from(3), "unknown", Some(*r))
+            }
+            _ => {
+                eprintln!("error: {e}");
+                (ExitCode::from(2), "error", None)
+            }
+        },
+    };
+    if let Some(path) = &profile_path {
+        if let Err(e) = write_profile(path, &args, verdict, stop, started.elapsed()) {
+            eprintln!("profile: {e}");
+            return ExitCode::from(2);
         }
     }
+    code
 }
 
-fn usage() -> ExitCode {
+/// Removes `flag VALUE` from `args`, returning the value when present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Writes the `ivy-profile-v1` report: the cumulative query counters
+/// republished from the global registry, plus wall time, outcome, and
+/// cache-layer stats only the front end can see.
+fn write_profile(
+    path: &str,
+    args: &[String],
+    verdict: &str,
+    stop: Option<ivy_epr::StopReason>,
+    wall: Duration,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut report = QueryReport::from_global_counters();
+    report.outcome = verdict.to_string();
+    report.stop = stop;
+    report.wall_nanos = wall.as_nanos();
+    let (hits, misses) = ivy_fol::intern::cache_stats();
+    report.intern_hits = hits;
+    report.intern_misses = misses;
+    let command = args.first().map(String::as_str).unwrap_or("");
+    let model = args.get(1).map(String::as_str).unwrap_or("");
+    let json = report.to_json_with(&[("command", command), ("model", model)]);
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
-        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args]\n\
+        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args] \
+         [--timeout SECS] [--profile OUT.json]\n\
          see `crates/core/src/bin/ivy.rs` for details"
     );
-    ExitCode::from(2)
+    Ok((ExitCode::from(2), "usage"))
 }
 
 fn load(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
@@ -87,13 +165,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+fn run(
+    args: &[String],
+    budget: Budget,
+) -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
-        None => return Ok(usage()),
+        None => return usage(),
     };
     let Some(model_path) = rest.first() else {
-        return Ok(usage());
+        return usage();
     };
     let program = load(model_path)?;
     match cmd {
@@ -106,19 +187,20 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 program.axioms.len(),
                 program.safety.len()
             );
-            Ok(ExitCode::SUCCESS)
+            Ok((ExitCode::SUCCESS, "ok"))
         }
         "bmc" => {
             let k: usize = flag_value(rest, "-k").unwrap_or("3").parse()?;
-            let bmc = Bmc::new(&program);
+            let mut bmc = Bmc::new(&program);
+            bmc.set_budget(budget);
             match bmc.check_safety(k)? {
                 None => {
                     println!("safe within {k} loop iterations (any domain size)");
-                    Ok(ExitCode::SUCCESS)
+                    Ok((ExitCode::SUCCESS, "safe"))
                 }
                 Some(trace) => {
                     print!("{}", ivy_core::trace_to_text(&trace));
-                    Ok(ExitCode::FAILURE)
+                    Ok((ExitCode::FAILURE, "trace"))
                 }
             }
         }
@@ -130,28 +212,30 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .find(|a| !a.starts_with('-') && flag_value(rest, "-k") != Some(a.as_str()))
                 .ok_or("kinv needs a formula argument")?;
             let phi = parse_formula(formula_src)?;
-            let bmc = Bmc::new(&program);
+            let mut bmc = Bmc::new(&program);
+            bmc.set_budget(budget);
             match bmc.check_k_invariance(&phi, k)? {
                 None => {
                     println!("{k}-invariant");
-                    Ok(ExitCode::SUCCESS)
+                    Ok((ExitCode::SUCCESS, "invariant"))
                 }
                 Some(trace) => {
                     print!("{}", ivy_core::trace_to_text(&trace));
-                    Ok(ExitCode::FAILURE)
+                    Ok((ExitCode::FAILURE, "trace"))
                 }
             }
         }
         "prove" => {
             let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
-            let v = Verifier::new(&program);
+            let mut v = Verifier::new(&program);
+            v.set_budget(budget);
             match v.check(&inv)? {
                 Inductiveness::Inductive => {
                     println!(
                         "inductive: the {} conjecture(s) prove safety for any domain size",
                         inv.len()
                     );
-                    Ok(ExitCode::SUCCESS)
+                    Ok((ExitCode::SUCCESS, "inductive"))
                 }
                 Inductiveness::Cti(cti) => {
                     println!("not inductive: {}", cti.violation);
@@ -159,13 +243,14 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     if let Some(s) = &cti.successor {
                         println!("successor: {s}");
                     }
-                    Ok(ExitCode::FAILURE)
+                    Ok((ExitCode::FAILURE, "cti"))
                 }
             }
         }
         "cti" | "dot" => {
             let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
-            let v = Verifier::new(&program);
+            let mut v = Verifier::new(&program);
+            v.set_budget(budget);
             let measures: Vec<ivy_core::Measure> = program
                 .sig
                 .sorts()
@@ -175,7 +260,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             match v.find_minimal_cti(&inv, &measures)? {
                 None => {
                     println!("inductive: no CTI");
-                    Ok(ExitCode::SUCCESS)
+                    Ok((ExitCode::SUCCESS, "inductive"))
                 }
                 Some(cti) => {
                     if cmd == "dot" {
@@ -193,15 +278,20 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                             println!("successor: {s}");
                         }
                     }
-                    Ok(ExitCode::FAILURE)
+                    Ok((ExitCode::FAILURE, "cti"))
                 }
             }
         }
         "houdini" => {
             let vars: usize = flag_value(rest, "--vars").unwrap_or("2").parse()?;
             let lits: usize = flag_value(rest, "--lits").unwrap_or("2").parse()?;
-            let result =
-                houdini_with_template(&program, vars, lits, ivy_epr::DEFAULT_INSTANCE_LIMIT)?;
+            let candidates = ivy_core::enumerate_candidates(&program.sig, vars, lits);
+            let result = houdini_budgeted(
+                &program,
+                candidates,
+                ivy_epr::DEFAULT_INSTANCE_LIMIT,
+                budget,
+            )?;
             println!(
                 "{} clause(s) survive after {} CTI(s); proves safety: {}",
                 result.invariant.len(),
@@ -212,11 +302,11 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 println!("  {c}");
             }
             Ok(if result.proves_safety {
-                ExitCode::SUCCESS
+                (ExitCode::SUCCESS, "safe")
             } else {
-                ExitCode::FAILURE
+                (ExitCode::FAILURE, "not_proved")
             })
         }
-        _ => Ok(usage()),
+        _ => usage(),
     }
 }

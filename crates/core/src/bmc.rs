@@ -5,10 +5,12 @@
 //! size (Equation 3): a property found `k`-invariant holds in every state
 //! reachable by at most `k` iterations, over rings/networks of any size.
 
-use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
+use ivy_epr::{Budget, EprCheck, EprError, EprSession, DEFAULT_INSTANCE_LIMIT};
 use ivy_fol::intern::{self, FormulaId, Interner};
 use ivy_fol::{Formula, Structure};
 use ivy_rml::{project_state, unroll, Program, SymMap, Unrolling};
+
+use crate::vc::sat_model;
 
 /// `¬(phi[map])`, built in id space: the rename is memoized per (formula,
 /// vocabulary), so re-checking the same property at another time point is a
@@ -48,6 +50,7 @@ pub struct Bmc<'p> {
     program: &'p Program,
     instance_limit: u64,
     incremental: bool,
+    budget: Budget,
 }
 
 impl<'p> Bmc<'p> {
@@ -57,7 +60,15 @@ impl<'p> Bmc<'p> {
             program,
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             incremental: true,
+            budget: Budget::UNLIMITED,
         }
+    }
+
+    /// Installs a resource budget applied to every underlying EPR query;
+    /// exceeding it surfaces as [`EprError::Inconclusive`], never as a
+    /// spurious "no trace up to depth k".
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Caps grounding size per query (see
@@ -158,6 +169,7 @@ impl<'p> Bmc<'p> {
     fn fresh_query(&self, u: &Unrolling) -> Result<EprCheck, EprError> {
         let mut q = EprCheck::new(&u.sig)?;
         q.set_instance_limit(self.instance_limit);
+        q.set_budget(self.budget);
         Ok(q)
     }
 
@@ -170,6 +182,7 @@ impl<'p> Bmc<'p> {
         }
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(self.instance_limit);
+        s.set_budget(self.budget);
         s.assert_id("base", u.base)?;
         Ok(Some(ReachSession { s, steps_added: 0 }))
     }
@@ -195,10 +208,7 @@ impl<'p> Bmc<'p> {
         let group = rs.s.assert_id(extra.0, extra.1)?;
         let outcome = rs.s.check()?;
         rs.s.retire(group);
-        match outcome {
-            EprOutcome::Sat(model) => Ok(Some(model.structure)),
-            EprOutcome::Unsat(_) => Ok(None),
-        }
+        Ok(sat_model(outcome)?.map(|m| m.structure))
     }
 
     /// Solves `base ∧ steps[0..j] ∧ extra`; returns the model on SAT.
@@ -214,10 +224,7 @@ impl<'p> Bmc<'p> {
             q.assert_id(format!("step{i}"), *step)?;
         }
         q.assert_id(extra.0, extra.1)?;
-        match q.check()? {
-            EprOutcome::Sat(model) => Ok(Some(model.structure)),
-            EprOutcome::Unsat(_) => Ok(None),
-        }
+        Ok(sat_model(q.check()?)?.map(|m| m.structure))
     }
 
     /// Projects the model onto loop-head states 0..=j and labels steps by
@@ -288,6 +295,25 @@ action mark_one {
         // "seed is always marked" is invariant at every depth.
         let phi = parse_formula("marked(seed)").unwrap();
         assert!(bmc.check_k_invariance(&phi, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_is_inconclusive_not_invariant() {
+        // With the budget exhausted, the invariant property above must NOT
+        // be reported "invariant up to depth k": a budgeted None from the
+        // solver surfaces as Inconclusive, never as a bound.
+        let p = spread();
+        let mut bmc = Bmc::new(&p);
+        bmc.set_budget(Budget::UNLIMITED.with_max_conflicts(0));
+        let phi = parse_formula("marked(seed)").unwrap();
+        let err = bmc.check_k_invariance(&phi, 3).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EprError::Inconclusive(ivy_epr::StopReason::ConflictBudget)
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub enum AutoGen {
 pub struct Generalizer<'p> {
     program: &'p Program,
     instance_limit: u64,
+    budget: ivy_epr::Budget,
 }
 
 impl<'p> Generalizer<'p> {
@@ -52,12 +53,20 @@ impl<'p> Generalizer<'p> {
         Generalizer {
             program,
             instance_limit: ivy_epr::DEFAULT_INSTANCE_LIMIT,
+            budget: ivy_epr::Budget::UNLIMITED,
         }
     }
 
     /// Caps grounding size per query.
     pub fn set_instance_limit(&mut self, limit: u64) {
         self.instance_limit = limit;
+    }
+
+    /// Installs a resource budget applied to every embedding query;
+    /// exceeding it surfaces as [`EprError::Inconclusive`] rather than a
+    /// wrong minimization step.
+    pub fn set_budget(&mut self, budget: ivy_epr::Budget) {
+        self.budget = budget;
     }
 
     /// Runs BMC + Auto Generalize on the upper bound `s_u` with bound `k`.
@@ -178,6 +187,7 @@ impl<'p> Generalizer<'p> {
         }
         let mut q = EprCheck::new(&sig)?;
         q.set_instance_limit(self.instance_limit);
+        q.set_budget(self.budget);
         q.assert_id("base", u.base)?;
         for (i, step) in u.steps.iter().take(j).enumerate() {
             q.assert_id(format!("step{i}"), *step)?;
@@ -212,6 +222,7 @@ impl<'p> Generalizer<'p> {
                 }
                 Ok(QueryResult::Unsat(flags))
             }
+            EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
         }
     }
 
@@ -295,7 +306,11 @@ pub fn implied(
         q.assert_labeled(format!("h{i}"), h)?;
     }
     q.assert_labeled("neg", &Formula::not(phi.clone()))?;
-    Ok(!q.check()?.is_sat())
+    match q.check()? {
+        EprOutcome::Sat(_) => Ok(false),
+        EprOutcome::Unsat(_) => Ok(true),
+        EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! inductive. The result is the strongest inductive invariant within the
 //! candidate set; safety is then checked separately.
 
-use ivy_epr::{EprError, EprOutcome, EprSession, GroupId};
+use ivy_epr::{Budget, EprError, EprOutcome, EprSession, GroupId};
 use ivy_fol::{Binding, Formula, Signature, Sort, Term};
 use ivy_rml::{project_state, unroll, unroll_free, Program};
 
@@ -36,6 +36,23 @@ pub fn houdini(
     candidates: Vec<Conjecture>,
     instance_limit: u64,
 ) -> Result<HoudiniResult, EprError> {
+    houdini_budgeted(program, candidates, instance_limit, Budget::UNLIMITED)
+}
+
+/// [`houdini`] under a resource budget: every underlying query inherits the
+/// deadline/conflict/instance caps, and exhausting them aborts inference
+/// with [`EprError::Inconclusive`] — a partial candidate set is never
+/// reported as the strongest inductive invariant.
+///
+/// # Errors
+///
+/// Propagates [`EprError`].
+pub fn houdini_budgeted(
+    program: &Program,
+    candidates: Vec<Conjecture>,
+    instance_limit: u64,
+    budget: Budget,
+) -> Result<HoudiniResult, EprError> {
     let mut set = candidates;
     let mut iterations = 0usize;
 
@@ -47,6 +64,7 @@ pub fn houdini(
         let u = unroll(program, 0);
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(instance_limit);
+        s.set_budget(budget);
         s.assert_id("base", u.base)?;
         let mut i = 0;
         while i < set.len() {
@@ -65,6 +83,7 @@ pub fn houdini(
                     // so the scan resumes in place.
                     set.retain(|c| state.eval_closed(&c.formula).unwrap_or(false));
                 }
+                EprOutcome::Unknown(r) => return Err(EprError::Inconclusive(r)),
             }
         }
     }
@@ -79,6 +98,7 @@ pub fn houdini(
         let u = unroll_free(program, 1);
         let mut s = EprSession::new(&u.sig)?;
         s.set_instance_limit(instance_limit);
+        s.set_budget(budget);
         s.assert_id("base", u.base)?;
         s.assert_id("step", u.steps[0])?;
         let mut entries: Vec<(Conjecture, GroupId, Option<GroupId>)> = Vec::new();
@@ -132,6 +152,7 @@ pub fn houdini(
                     // means a full clean pass: the set is inductive.
                     i = 0;
                 }
+                EprOutcome::Unknown(r) => return Err(EprError::Inconclusive(r)),
             }
         }
         set = entries.into_iter().map(|(c, _, _)| c).collect();
@@ -139,6 +160,7 @@ pub fn houdini(
 
     let mut verifier = Verifier::new(program);
     verifier.set_instance_limit(instance_limit);
+    verifier.set_budget(budget);
     let proves_safety = verifier.check_safety(&set)?.is_none();
     Ok(HoudiniResult {
         invariant: set,
@@ -338,6 +360,31 @@ action mark { havoc n; marked.insert(n) }
         assert!(!names.contains(&"bad_init"));
         assert!(result.proves_safety);
         assert!(result.iterations >= 2);
+    }
+
+    #[test]
+    fn exhausted_budget_is_inconclusive_not_a_proof() {
+        // Houdini must not pass off a partially-filtered candidate set as
+        // the strongest invariant when the budget trips mid-run.
+        let p = parse_program(SPREAD).unwrap();
+        let candidates = vec![Conjecture::new(
+            "good1",
+            ivy_fol::parse_formula("marked(seed)").unwrap(),
+        )];
+        let err = houdini_budgeted(
+            &p,
+            candidates,
+            ivy_epr::DEFAULT_INSTANCE_LIMIT,
+            ivy_epr::Budget::UNLIMITED.with_max_conflicts(0),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ivy_epr::EprError::Inconclusive(ivy_epr::StopReason::ConflictBudget)
+            ),
+            "{err}"
+        );
     }
 
     #[test]

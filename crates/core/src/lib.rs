@@ -16,7 +16,9 @@ pub mod viz;
 
 pub use bmc::{Bmc, Trace};
 pub use generalize::{implied, AutoGen, Generalizer};
-pub use houdini::{enumerate_candidates, houdini, houdini_with_template, HoudiniResult};
+pub use houdini::{
+    enumerate_candidates, houdini, houdini_budgeted, houdini_with_template, HoudiniResult,
+};
 pub use interact::{
     CtiDecision, Proposal, ProposalDecision, Session, SessionCtx, SessionOutcome, SessionStats,
     TooStrongDecision, User,

@@ -171,9 +171,9 @@ impl<'p> Verifier<'p> {
                 match attempt {
                     Ok(Some(cti)) => best = cti,
                     Ok(None) => break,
-                    Err(EprError::RepairLimit { .. }) | Err(EprError::TooManyInstances { .. }) => {
-                        break
-                    }
+                    Err(EprError::RepairLimit { .. })
+                    | Err(EprError::TooManyInstances { .. })
+                    | Err(EprError::Inconclusive(_)) => break,
                     Err(e) => return Err(e),
                 }
             }

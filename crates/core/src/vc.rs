@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use ivy_epr::{EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
+use ivy_epr::{Budget, EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
 use ivy_fol::intern::{self, FormulaId, Interner};
 use ivy_fol::{Formula, Structure};
 use ivy_rml::{project_state, unroll, unroll_free, Program, SymMap, Unrolling};
@@ -30,6 +30,17 @@ pub(crate) fn not_renamed(phi: &Formula, map: &SymMap) -> FormulaId {
         let r = it.rename_symbols(f, map);
         it.not(r)
     })
+}
+
+/// Extracts the SAT model of an outcome, mapping a budget-exhausted
+/// [`EprOutcome::Unknown`] to [`EprError::Inconclusive`] so callers can
+/// never mistake "ran out of budget" for "no counterexample".
+pub(crate) fn sat_model(outcome: EprOutcome) -> Result<Option<ivy_epr::Model>, EprError> {
+    match outcome {
+        EprOutcome::Sat(model) => Ok(Some(*model)),
+        EprOutcome::Unsat(_) => Ok(None),
+        EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
+    }
 }
 
 /// A named conjecture of the candidate invariant.
@@ -155,6 +166,7 @@ pub struct Verifier<'p> {
     program: &'p Program,
     instance_limit: u64,
     strategy: QueryStrategy,
+    budget: Budget,
 }
 
 impl<'p> Verifier<'p> {
@@ -164,6 +176,7 @@ impl<'p> Verifier<'p> {
             program,
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             strategy: QueryStrategy::default(),
+            budget: Budget::UNLIMITED,
         }
     }
 
@@ -181,6 +194,18 @@ impl<'p> Verifier<'p> {
     /// Selects how query families are discharged.
     pub fn set_strategy(&mut self, strategy: QueryStrategy) {
         self.strategy = strategy;
+    }
+
+    /// Installs a resource budget applied to every underlying EPR query.
+    /// Exceeding it surfaces as [`EprError::Inconclusive`] rather than a
+    /// wrong verdict.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The active resource budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// The active query strategy.
@@ -234,7 +259,7 @@ impl<'p> Verifier<'p> {
                     let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
-                    if let EprOutcome::Sat(model) = outcome {
+                    if let Some(model) = sat_model(outcome)? {
                         return Ok(Some(Cti {
                             state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
                             successor: None,
@@ -257,7 +282,7 @@ impl<'p> Verifier<'p> {
         let mut q = self.query(&u.sig)?;
         q.assert_id("base", u.base)?;
         q.assert_id("violation", not_renamed(&c.formula, &u.maps[0]))?;
-        if let EprOutcome::Sat(model) = q.check()? {
+        if let Some(model) = sat_model(q.check()?)? {
             return Ok(Some(Cti {
                 state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
                 successor: None,
@@ -300,7 +325,7 @@ impl<'p> Verifier<'p> {
                     let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
-                    if let EprOutcome::Sat(model) = outcome {
+                    if let Some(model) = sat_model(outcome)? {
                         return Ok(Some(Cti {
                             state: project_state(&model.structure, &self.program.sig, &state_map),
                             successor: None,
@@ -351,7 +376,7 @@ impl<'p> Verifier<'p> {
                     let group = s.assert_id("violation", bad)?;
                     let outcome = s.check()?;
                     s.retire(group);
-                    if let EprOutcome::Sat(model) = outcome {
+                    if let Some(model) = sat_model(outcome)? {
                         return Ok(Some(self.consecution_cti(&u, c, &model.structure)));
                     }
                 }
@@ -428,14 +453,11 @@ impl<'p> Verifier<'p> {
                 let mut q = self.query_limited(&u.sig, round_limit)?;
                 q.assert_id("base", u.base)?;
                 q.assert_id("violation", bad)?;
-                match q.check()? {
-                    EprOutcome::Sat(model) => Ok(Some(Cti {
-                        state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
-                        successor: None,
-                        violation: violation.clone(),
-                    })),
-                    EprOutcome::Unsat(_) => Ok(None),
-                }
+                Ok(sat_model(q.check()?)?.map(|model| Cti {
+                    state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                    successor: None,
+                    violation: violation.clone(),
+                }))
             }
             Violation::Safety { property } => {
                 let u = unroll_free(self.program, 1);
@@ -572,6 +594,7 @@ impl<'p> Verifier<'p> {
         let mut s = EprSession::new(sig)?;
         s.set_instance_limit(self.instance_limit);
         s.set_lazy_round_limit(round_limit);
+        s.set_budget(self.budget);
         Ok(s)
     }
 
@@ -607,6 +630,7 @@ impl<'p> Verifier<'p> {
         let mut q = EprCheck::new(sig)?;
         q.set_instance_limit(self.instance_limit);
         q.set_lazy_round_limit(round_limit);
+        q.set_budget(self.budget);
         Ok(q)
     }
 
@@ -661,10 +685,7 @@ impl<'p> Verifier<'p> {
             q.assert_id(format!("inv:{}", c.name), renamed_id(&c.formula, state_map))?;
         }
         q.assert_id("violation", bad)?;
-        match q.check()? {
-            EprOutcome::Sat(model) => Ok(Some(model.structure)),
-            EprOutcome::Unsat(_) => Ok(None),
-        }
+        Ok(sat_model(q.check()?)?.map(|model| model.structure))
     }
 }
 
@@ -697,8 +718,8 @@ impl ViolationSession<'_> {
         let group = self.session.assert_id("constraint", constraint)?;
         let outcome = self.session.check();
         self.session.retire(group);
-        match outcome? {
-            EprOutcome::Sat(model) => {
+        match sat_model(outcome?)? {
+            Some(model) => {
                 let m = &model.structure;
                 let (successor, violation) = match &self.violation {
                     Violation::Consecution { conjecture, .. } => {
@@ -723,7 +744,7 @@ impl ViolationSession<'_> {
                     violation,
                 }))
             }
-            EprOutcome::Unsat(_) => Ok(None),
+            None => Ok(None),
         }
     }
 }
@@ -825,6 +846,28 @@ action mark { havoc n; marked.insert(n) }
             parse_formula("marked(seed)").unwrap(),
         )];
         assert!(v.check(&inv).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn exhausted_budget_is_inconclusive_not_inductive() {
+        // The same invariant that proves inductive above must NOT be
+        // reported inductive when the budget runs out first — degradation
+        // surfaces as an error, never a verdict.
+        let p = spread();
+        let mut v = Verifier::new(&p);
+        v.set_budget(ivy_epr::Budget::UNLIMITED.with_max_conflicts(0));
+        let inv = vec![Conjecture::new(
+            "C0",
+            parse_formula("marked(seed)").unwrap(),
+        )];
+        let err = v.check(&inv).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ivy_epr::EprError::Inconclusive(ivy_epr::StopReason::ConflictBudget)
+            ),
+            "{err}"
+        );
     }
 
     #[test]

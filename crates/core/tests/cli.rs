@@ -27,6 +27,11 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 }
 
 fn ivy(args: &[&str]) -> (bool, String) {
+    let (code, text) = ivy_code(args);
+    (code == 0, text)
+}
+
+fn ivy_code(args: &[&str]) -> (i32, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_ivy"))
         .args(args)
         .output()
@@ -36,7 +41,12 @@ fn ivy(args: &[&str]) -> (bool, String) {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
-    (out.status.success(), text)
+    (
+        out.status
+            .code()
+            .expect("ivy must exit, not die on a signal"),
+        text,
+    )
 }
 
 #[test]
@@ -95,4 +105,51 @@ fn kinv_detects_violations() {
     assert!(!ok, "someone can acquire within 2 steps");
     let (ok, text) = ivy(&["kinv", model, "-k", "2", "lock_free | ~lock_free"]);
     assert!(ok, "{text}");
+}
+
+#[test]
+fn profile_flag_writes_schema_valid_report() {
+    let model = write_temp("p.rml", MODEL);
+    let inv = write_temp("p.inv", INVARIANT);
+    let profile = std::env::temp_dir().join(format!("ivy_cli_{}_profile.json", std::process::id()));
+    let (code, text) = ivy_code(&[
+        "prove",
+        model.to_str().unwrap(),
+        inv.to_str().unwrap(),
+        "--profile",
+        profile.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("inductive"), "{text}");
+    let json = std::fs::read_to_string(&profile).unwrap();
+    assert!(json.contains("\"schema\": \"ivy-profile-v1\""), "{json}");
+    assert!(json.contains("\"outcome\": \"inductive\""), "{json}");
+    assert!(json.contains("\"phases\""), "{json}");
+    assert!(json.contains("\"counters\""), "{json}");
+    std::fs::remove_file(&profile).ok();
+}
+
+#[test]
+fn zero_timeout_degrades_to_unknown_with_partial_profile() {
+    let model = write_temp("t.rml", MODEL);
+    let inv = write_temp("t.inv", INVARIANT);
+    let profile = std::env::temp_dir().join(format!("ivy_cli_{}_timeout.json", std::process::id()));
+    let (code, text) = ivy_code(&[
+        "prove",
+        model.to_str().unwrap(),
+        inv.to_str().unwrap(),
+        "--timeout",
+        "0",
+        "--profile",
+        profile.to_str().unwrap(),
+    ]);
+    // Graceful degradation: exit 3 ("unknown"), never a wrong verdict or
+    // a panic; the profile still records partial statistics.
+    assert_eq!(code, 3, "{text}");
+    assert!(text.contains("unknown (deadline exceeded)"), "{text}");
+    assert!(!text.contains("inductive"), "{text}");
+    let json = std::fs::read_to_string(&profile).unwrap();
+    assert!(json.contains("\"outcome\": \"unknown\""), "{json}");
+    assert!(json.contains("deadline"), "{json}");
+    std::fs::remove_file(&profile).ok();
 }

@@ -15,8 +15,9 @@ use ivy_fol::{
     Binding, Elem, Formula, SigError, Signature, SkolemError, Sort, SortError, Structure, Sym,
 };
 use ivy_sat::{Lit, SolveResult, Stats};
+use ivy_telemetry::{counter_add, Budget, QueryReport, Span, StopReason};
 
-use crate::encode::{Encoder, EqualityMode, Template};
+use crate::encode::{Encoder, EqualityMode, LazyResult, Template};
 
 /// A Skolemized assertion split into one miniscoped universal job: the
 /// bindings to enumerate and the pre-compiled instantiation template of the
@@ -57,6 +58,12 @@ pub enum EprError {
         /// Rounds performed before giving up.
         rounds: usize,
     },
+    /// A query stopped inside its resource [`Budget`] (deadline or
+    /// conflict cap) without reaching a verdict. Raised by the
+    /// verification loops when a query returns
+    /// [`EprOutcome::Unknown`] — the enclosing analysis is
+    /// *inconclusive*, never a proof or a refutation.
+    Inconclusive(StopReason),
 }
 
 impl fmt::Display for EprError {
@@ -71,6 +78,9 @@ impl fmt::Display for EprError {
             ),
             EprError::RepairLimit { rounds } => {
                 write!(f, "lazy equality repair gave up after {rounds} rounds")
+            }
+            EprError::Inconclusive(reason) => {
+                write!(f, "query inconclusive: {reason}")
             }
         }
     }
@@ -111,12 +121,26 @@ pub enum EprOutcome {
     Sat(Box<Model>),
     /// Unsatisfiable; the labels of an unsatisfiable subset of assertions.
     Unsat(Vec<String>),
+    /// The query's [`Budget`] ran out (deadline or conflict cap) before a
+    /// verdict. Partial statistics are still recorded — see
+    /// [`EprCheck::stats`] / [`EprCheck::report`]. Callers must treat this
+    /// as *inconclusive*, never as UNSAT.
+    Unknown(StopReason),
 }
 
 impl EprOutcome {
     /// Whether the outcome is `Sat`.
     pub fn is_sat(&self) -> bool {
         matches!(self, EprOutcome::Sat(_))
+    }
+
+    /// Stable lower-case tag for telemetry: `sat`, `unsat`, or `unknown`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EprOutcome::Sat(_) => "sat",
+            EprOutcome::Unsat(_) => "unsat",
+            EprOutcome::Unknown(_) => "unknown",
+        }
     }
 }
 
@@ -133,8 +157,82 @@ pub struct GroundStats {
     pub equality_rounds: usize,
     /// SAT variables allocated.
     pub sat_vars: usize,
+    /// Problem (non-learnt) clauses in the SAT solver.
+    pub sat_clauses: usize,
+    /// Ground-atom (Tseitin) cache hits of the encoder.
+    pub atom_hits: u64,
+    /// Ground-atom cache misses of the encoder.
+    pub atom_misses: u64,
     /// SAT solver statistics.
     pub sat: Stats,
+}
+
+impl GroundStats {
+    /// The single stats builder shared by [`EprCheck::check`] and
+    /// `EprSession::check`: everything solver- and encoder-derived is read
+    /// here, in one place, so the two paths cannot silently diverge.
+    pub(crate) fn collect(enc: &Encoder, instances: u64, eq_clauses: usize, rounds: usize) -> Self {
+        let (atom_hits, atom_misses) = enc.atom_cache_stats();
+        GroundStats {
+            universe: enc.table().len(),
+            instances,
+            equality_clauses: eq_clauses,
+            equality_rounds: rounds,
+            sat_vars: enc.solver().num_vars(),
+            sat_clauses: enc.solver().num_clauses(),
+            atom_hits,
+            atom_misses,
+            sat: enc.solver().stats(),
+        }
+    }
+
+    /// Converts to a telemetry [`QueryReport`] covering the *delta* from
+    /// `prev` (solver counters are cumulative per solver; per-query numbers
+    /// are differences between consecutive snapshots). Also publishes the
+    /// delta to the global telemetry counters when recording is enabled.
+    pub(crate) fn report_delta(
+        &self,
+        prev: &GroundStats,
+        outcome: &str,
+        stop: Option<StopReason>,
+        wall_nanos: u128,
+    ) -> QueryReport {
+        let (intern_hits, intern_misses) = ivy_fol::intern::cache_stats();
+        let report = QueryReport {
+            queries: 1,
+            outcome: outcome.to_string(),
+            stop,
+            wall_nanos,
+            universe: self.universe as u64,
+            instances: self.instances - prev.instances.min(self.instances),
+            // Equality repair numbers are already per-call (the caller
+            // passes this check's round count), so no delta.
+            equality_rounds: self.equality_rounds as u64,
+            equality_clauses: self.equality_clauses as u64,
+            sat_vars: self.sat_vars as u64,
+            sat_clauses: self.sat_clauses as u64,
+            decisions: self.sat.decisions - prev.sat.decisions.min(self.sat.decisions),
+            propagations: self.sat.propagations - prev.sat.propagations.min(self.sat.propagations),
+            conflicts: self.sat.conflicts - prev.sat.conflicts.min(self.sat.conflicts),
+            restarts: self.sat.restarts - prev.sat.restarts.min(self.sat.restarts),
+            deleted_clauses: self.sat.deleted_clauses
+                - prev.sat.deleted_clauses.min(self.sat.deleted_clauses),
+            intern_hits,
+            intern_misses,
+            atom_cache_hits: self.atom_hits - prev.atom_hits.min(self.atom_hits),
+            atom_cache_misses: self.atom_misses - prev.atom_misses.min(self.atom_misses),
+        };
+        counter_add("epr.queries", 1);
+        counter_add("epr.instances", report.instances);
+        counter_add("sat.decisions", report.decisions);
+        counter_add("sat.propagations", report.propagations);
+        counter_add("sat.conflicts", report.conflicts);
+        counter_add("sat.restarts", report.restarts);
+        counter_add("sat.deleted_clauses", report.deleted_clauses);
+        counter_add("cache.atom_hits", report.atom_cache_hits);
+        counter_add("cache.atom_misses", report.atom_cache_misses);
+        report
+    }
 }
 
 /// An EPR satisfiability query: labeled `∃*∀*` assertions over a signature.
@@ -161,7 +259,9 @@ pub struct EprCheck {
     instance_limit: u64,
     equality_mode: EqualityMode,
     lazy_round_limit: Option<usize>,
+    budget: Budget,
     stats: GroundStats,
+    report: QueryReport,
 }
 
 impl EprCheck {
@@ -179,7 +279,9 @@ impl EprCheck {
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             equality_mode: EqualityMode::default(),
             lazy_round_limit: None,
+            budget: Budget::UNLIMITED,
             stats: GroundStats::default(),
+            report: QueryReport::default(),
         })
     }
 
@@ -187,6 +289,14 @@ impl EprCheck {
     /// [`EprError::RepairLimit`]. `None` (the default) never gives up.
     pub fn set_lazy_round_limit(&mut self, limit: Option<usize>) {
         self.lazy_round_limit = limit;
+    }
+
+    /// Applies a resource [`Budget`]. A deadline or conflict cap that trips
+    /// mid-query makes [`EprCheck::check`] return
+    /// [`EprOutcome::Unknown`] (with partial statistics) instead of
+    /// running unbounded; `max_instances` tightens the instantiation limit.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Selects eager or lazy equality axiom generation (default: lazy).
@@ -236,6 +346,14 @@ impl EprCheck {
         self.stats
     }
 
+    /// Telemetry report of the last `check` call (same numbers as
+    /// [`EprCheck::stats`], in the machine-readable form emitted by
+    /// `--profile`). Partial stats are recorded even when the outcome is
+    /// [`EprOutcome::Unknown`].
+    pub fn report(&self) -> &QueryReport {
+        &self.report
+    }
+
     /// Runs only the grounding pipeline (split, Skolemize, instantiate,
     /// Tseitin-encode) without invoking the SAT solver. Useful for measuring
     /// grounding cost in isolation; the updated [`GroundStats`] are
@@ -256,30 +374,63 @@ impl EprCheck {
     /// [`EprError::Skolem`] when an assertion leaves `∃*∀*`;
     /// [`EprError::TooManyInstances`] when grounding exceeds the limit.
     pub fn check(&mut self) -> Result<EprOutcome, EprError> {
+        let started = std::time::Instant::now();
+        // An already-expired deadline degrades before grounding even
+        // starts: grounding a large query can itself blow the budget.
+        if self.budget.expired() {
+            let stop = Some(StopReason::DeadlineExceeded);
+            self.report = self.stats.report_delta(
+                &GroundStats::default(),
+                "unknown",
+                stop,
+                started.elapsed().as_nanos(),
+            );
+            return Ok(EprOutcome::Unknown(StopReason::DeadlineExceeded));
+        }
         let (work_sig, mut enc, guards) = self.grounded()?;
         let assumptions: Vec<Lit> = guards.iter().map(|(g, _)| *g).collect();
+        enc.solver_mut().set_deadline(self.budget.deadline);
+        let sat_span = Span::enter("sat");
         let result = match self.equality_mode {
             EqualityMode::Eager => {
                 self.stats.equality_clauses = enc.finalize_equality();
-                enc.solver_mut().solve_with_assumptions(&assumptions)
+                let max_conflicts = self.budget.max_conflicts.unwrap_or(u64::MAX);
+                match enc.solver_mut().solve_budgeted(&assumptions, max_conflicts) {
+                    Some(r) => Ok(r),
+                    None => Err(match enc.solver().last_interrupt() {
+                        Some(ivy_sat::Interrupt::Deadline) => StopReason::DeadlineExceeded,
+                        _ => StopReason::ConflictBudget,
+                    }),
+                }
             }
             EqualityMode::Lazy => {
-                let (result, rounds) = enc.solve_lazy(&assumptions, self.lazy_round_limit);
+                let (result, rounds) = enc.solve_lazy_with(
+                    &assumptions,
+                    self.lazy_round_limit,
+                    self.budget.max_conflicts,
+                );
                 self.stats.equality_rounds = rounds;
                 match result {
-                    Some(r) => r,
-                    None => return Err(EprError::RepairLimit { rounds }),
+                    LazyResult::Sat => Ok(SolveResult::Sat),
+                    LazyResult::Unsat => Ok(SolveResult::Unsat),
+                    LazyResult::Deadline => Err(StopReason::DeadlineExceeded),
+                    LazyResult::Conflicts => Err(StopReason::ConflictBudget),
+                    LazyResult::GaveUp => {
+                        drop(sat_span);
+                        self.finish_stats(&enc, started, "gave_up", Some(StopReason::RepairLimit));
+                        return Err(EprError::RepairLimit { rounds });
+                    }
                 }
             }
         };
-        self.stats.sat_vars = enc.solver().num_vars();
-        self.stats.sat = enc.solver().stats();
-        match result {
-            SolveResult::Sat => {
+        drop(sat_span);
+        let outcome = match result {
+            Err(reason) => EprOutcome::Unknown(reason),
+            Ok(SolveResult::Sat) => {
                 let structure = extract_structure(&enc, &work_sig);
-                Ok(EprOutcome::Sat(Box::new(Model { structure })))
+                EprOutcome::Sat(Box::new(Model { structure }))
             }
-            SolveResult::Unsat => {
+            Ok(SolveResult::Unsat) => {
                 let core: Vec<String> = enc
                     .solver()
                     .unsat_core()
@@ -291,9 +442,36 @@ impl EprCheck {
                             .map(|(_, label)| label.clone())
                     })
                     .collect();
-                Ok(EprOutcome::Unsat(core))
+                EprOutcome::Unsat(core)
             }
-        }
+        };
+        let stop = match &outcome {
+            EprOutcome::Unknown(r) => Some(*r),
+            _ => None,
+        };
+        self.finish_stats(&enc, started, outcome.tag(), stop);
+        Ok(outcome)
+    }
+
+    /// Refreshes `stats` and `report` from the encoder through the shared
+    /// builder (each `check` uses a fresh encoder, so the delta baseline is
+    /// empty). Equality fields filled earlier in `check` are preserved.
+    fn finish_stats(
+        &mut self,
+        enc: &Encoder,
+        started: std::time::Instant,
+        outcome: &str,
+        stop: Option<StopReason>,
+    ) {
+        let eq_clauses = self.stats.equality_clauses;
+        let rounds = self.stats.equality_rounds;
+        self.stats = GroundStats::collect(enc, self.stats.instances, eq_clauses, rounds);
+        self.report = self.stats.report_delta(
+            &GroundStats::default(),
+            outcome,
+            stop,
+            started.elapsed().as_nanos(),
+        );
     }
 
     /// The grounding prefix shared by [`EprCheck::check`] and
@@ -302,6 +480,7 @@ impl EprCheck {
     /// assertion.
     #[allow(clippy::type_complexity)]
     fn grounded(&mut self) -> Result<(Signature, Encoder, Vec<(Lit, String)>), EprError> {
+        let ground_span = Span::enter("ground");
         let mut work_sig = self.sig.clone();
         // Split, then Skolemize every assertion, extending the working
         // signature. Splitting (relational Tseitin with fresh nullary guard
@@ -370,17 +549,19 @@ impl EprCheck {
                 estimated = estimated.saturating_add(count);
             }
         }
-        if estimated > self.instance_limit {
-            return Err(EprError::TooManyInstances {
-                estimated,
-                limit: self.instance_limit,
-            });
+        let limit = self
+            .instance_limit
+            .min(self.budget.max_instances.unwrap_or(u64::MAX));
+        if estimated > limit {
+            return Err(EprError::TooManyInstances { estimated, limit });
         }
         self.stats = GroundStats {
             universe: table.len(),
             instances: estimated,
             ..GroundStats::default()
         };
+        drop(ground_span);
+        let encode_span = Span::enter("encode");
         let mut enc = Encoder::new(table);
         // One assumption guard per assertion (for UNSAT cores).
         let mut guards: Vec<(Lit, String)> = Vec::new();
@@ -391,6 +572,7 @@ impl EprCheck {
                 instantiate(&mut enc, guard, job);
             }
         }
+        drop(encode_span);
         Ok((work_sig, enc, guards))
     }
 }
@@ -668,6 +850,7 @@ mod tests {
                 }
             }
             EprOutcome::Unsat(core) => panic!("unexpectedly unsat: {core:?}"),
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
     }
 
@@ -688,6 +871,7 @@ mod tests {
                 assert!(!core.contains(&"total".to_string()), "core: {core:?}");
             }
             EprOutcome::Sat(_) => panic!("expected unsat"),
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
     }
 
@@ -705,6 +889,7 @@ mod tests {
                 assert_eq!(model.structure.domain_size(&Sort::new("s")), 2);
             }
             EprOutcome::Unsat(_) => panic!("satisfiable"),
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
     }
 
@@ -730,6 +915,7 @@ mod tests {
                 assert_eq!(model.structure.domain_size(&Sort::new("s")), 1);
             }
             EprOutcome::Unsat(_) => panic!("satisfiable"),
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
     }
 
@@ -779,6 +965,7 @@ mod tests {
                 assert!(s.totality_gap().is_none(), "functions are total");
             }
             EprOutcome::Unsat(_) => panic!("satisfiable"),
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
     }
 

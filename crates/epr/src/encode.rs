@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use ivy_fol::intern::{FormulaId, FormulaNode, Interner, TermNode};
 use ivy_fol::{Binding, Formula, Signature, Sym, Term};
-use ivy_sat::{Lit, Solver, Var};
+use ivy_sat::{Interrupt, Lit, Solver, Var};
 
 use crate::ground::{TermId, TermTable};
 
@@ -261,6 +261,27 @@ pub struct Encoder {
     /// Reused step-value buffer for template replay (one live replay at a
     /// time; reuse keeps the per-tuple loop allocation-free).
     scratch_vals: Vec<TermId>,
+    /// Ground-atom (Tseitin) cache hits: `rel_var`/`eq_lit` calls answered
+    /// from the atom maps instead of allocating a fresh SAT variable.
+    atom_hits: u64,
+    /// Ground-atom cache misses (fresh variable allocations).
+    atom_misses: u64,
+}
+
+/// Outcome of [`Encoder::solve_lazy_with`], distinguishing the ways the
+/// lazy loop can stop without a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LazyResult {
+    /// Satisfiable, equality-consistent model available.
+    Sat,
+    /// Unsatisfiable (sound regardless of pending equality axioms).
+    Unsat,
+    /// The repair loop hit its round limit or axiom flood cutoff.
+    GaveUp,
+    /// The caller's wall-clock deadline passed mid-solve.
+    Deadline,
+    /// The caller's total conflict budget was exhausted.
+    Conflicts,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -287,7 +308,15 @@ impl Encoder {
             finalized: false,
             lazy_added: std::collections::HashSet::new(),
             scratch_vals: Vec::new(),
+            atom_hits: 0,
+            atom_misses: 0,
         }
+    }
+
+    /// `(hits, misses)` of the ground-atom/equality-variable caches,
+    /// cumulative over the encoder's lifetime.
+    pub fn atom_cache_stats(&self) -> (u64, u64) {
+        (self.atom_hits, self.atom_misses)
     }
 
     /// The universe.
@@ -323,8 +352,10 @@ impl Encoder {
     /// The propositional variable of the ground atom `sym(args)`.
     pub fn rel_var(&mut self, sym: &Sym, args: &[TermId]) -> Var {
         if let Some(&v) = self.rel_atoms.get(&(*sym, args.to_vec())) {
+            self.atom_hits += 1;
             return v;
         }
+        self.atom_misses += 1;
         let v = self.solver.new_var();
         self.rel_atoms.insert((*sym, args.to_vec()), v);
         self.rel_index.insert((*sym, args.to_vec()), v);
@@ -336,8 +367,10 @@ impl Encoder {
     fn rel_var_owned(&mut self, sym: Sym, args: Vec<TermId>) -> Var {
         let key = (sym, args);
         if let Some(&v) = self.rel_index.get(&key) {
+            self.atom_hits += 1;
             return v;
         }
+        self.atom_misses += 1;
         let v = self.solver.new_var();
         self.rel_atoms.insert(key.clone(), v);
         self.rel_index.insert(key, v);
@@ -356,8 +389,10 @@ impl Encoder {
         );
         let key = (a.min(b), a.max(b));
         if let Some(&v) = self.eq_vars.get(&key) {
+            self.atom_hits += 1;
             return v.pos();
         }
+        self.atom_misses += 1;
         let v = self.solver.new_var();
         // Unconstrained equalities must default to *false*: phase saving
         // would otherwise let a stale `true` from an earlier model inflate
@@ -729,6 +764,29 @@ impl Encoder {
         assumptions: &[Lit],
         max_rounds: Option<usize>,
     ) -> (Option<ivy_sat::SolveResult>, usize) {
+        let (result, rounds) = self.solve_lazy_with(assumptions, max_rounds, None);
+        let mapped = match result {
+            LazyResult::Sat => Some(ivy_sat::SolveResult::Sat),
+            LazyResult::Unsat => Some(ivy_sat::SolveResult::Unsat),
+            LazyResult::GaveUp | LazyResult::Deadline | LazyResult::Conflicts => None,
+        };
+        (mapped, rounds)
+    }
+
+    /// Like [`Encoder::solve_lazy`], but additionally bounded by a total
+    /// conflict budget (`max_conflicts`, across all repair rounds) and by
+    /// any wall-clock deadline set on the underlying solver via
+    /// [`Solver::set_deadline`]. The returned [`LazyResult`] distinguishes
+    /// repair-loop exhaustion ([`LazyResult::GaveUp`], the historical
+    /// `None`) from the caller's budget tripping
+    /// ([`LazyResult::Deadline`] / [`LazyResult::Conflicts`]), so the EPR
+    /// layer can degrade to `Unknown` with the right reason.
+    pub fn solve_lazy_with(
+        &mut self,
+        assumptions: &[Lit],
+        max_rounds: Option<usize>,
+        max_conflicts: Option<u64>,
+    ) -> (LazyResult, usize) {
         // A bounded repair loop also bounds each SAT call; an unbounded one
         // runs each call to completion.
         let conflict_budget = if max_rounds.is_some() {
@@ -751,25 +809,46 @@ impl Encoder {
         // in this session would otherwise bias this query's first model
         // toward stale truths, inflating the repair scan's equality classes.
         self.solver.reset_phases();
+        let start_conflicts = self.solver.stats().conflicts;
+        let cap = max_conflicts.unwrap_or(u64::MAX);
         let mut rounds = 0;
         let mut total_added = 0usize;
         loop {
-            match self.solver.solve_budgeted(assumptions, conflict_budget) {
-                None => return (None, rounds),
-                Some(ivy_sat::SolveResult::Unsat) => {
-                    return (Some(ivy_sat::SolveResult::Unsat), rounds)
+            let spent = self.solver.stats().conflicts - start_conflicts;
+            let remaining = cap.saturating_sub(spent);
+            if remaining == 0 {
+                return (LazyResult::Conflicts, rounds);
+            }
+            let round_budget = conflict_budget.min(remaining);
+            match self.solver.solve_budgeted(assumptions, round_budget) {
+                None => {
+                    // Tell the caller's budget apart from the internal
+                    // per-round cap: only a deadline or the caller's total
+                    // conflict budget degrade to Unknown; the internal cap
+                    // is the historical best-effort give-up.
+                    let reason = match self.solver.last_interrupt() {
+                        Some(Interrupt::Deadline) => LazyResult::Deadline,
+                        Some(Interrupt::Conflicts)
+                            if self.solver.stats().conflicts - start_conflicts >= cap =>
+                        {
+                            LazyResult::Conflicts
+                        }
+                        _ => LazyResult::GaveUp,
+                    };
+                    return (reason, rounds);
                 }
+                Some(ivy_sat::SolveResult::Unsat) => return (LazyResult::Unsat, rounds),
                 Some(ivy_sat::SolveResult::Sat) => {
                     let added = self.repair_equality(per_round_cap);
                     if added == 0 {
-                        return (Some(ivy_sat::SolveResult::Sat), rounds);
+                        return (LazyResult::Sat, rounds);
                     }
                     total_added += added;
                     rounds += 1;
                     if max_rounds.is_some_and(|m| rounds >= m)
                         || (max_rounds.is_some() && total_added > 200_000)
                     {
-                        return (None, rounds);
+                        return (LazyResult::GaveUp, rounds);
                     }
                 }
             }

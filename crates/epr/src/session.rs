@@ -33,13 +33,14 @@ use std::collections::BTreeMap;
 use ivy_fol::intern::{FormulaId, Interner};
 use ivy_fol::xform::Block;
 use ivy_fol::{Binding, Formula, Signature, Sort, Sym};
-use ivy_sat::{Lit, SolveResult};
+use ivy_sat::Lit;
+use ivy_telemetry::{Budget, QueryReport, Span, StopReason};
 
 use crate::check::{
     extract_structure, instantiate_delta, split_for_grounding, EprError, EprOutcome, GroundJob,
     GroundStats, Model, DEFAULT_INSTANCE_LIMIT,
 };
-use crate::encode::{Encoder, Template};
+use crate::encode::{Encoder, LazyResult, Template};
 use crate::ground::{ensure_inhabited, TermTable};
 
 /// Handle to one assertion group of an [`EprSession`].
@@ -97,7 +98,9 @@ pub struct EprSession {
     /// groups — bounded by the largest single query instead of growing with
     /// every query.
     skolem_pool: BTreeMap<Sort, Vec<Sym>>,
+    budget: Budget,
     stats: GroundStats,
+    report: QueryReport,
 }
 
 impl EprSession {
@@ -123,8 +126,18 @@ impl EprSession {
             lazy_round_limit: None,
             instances: 0,
             skolem_pool: BTreeMap::new(),
+            budget: Budget::UNLIMITED,
             stats: GroundStats::default(),
+            report: QueryReport::default(),
         })
+    }
+
+    /// Applies a resource [`Budget`]. A deadline or conflict cap that trips
+    /// mid-query makes [`EprSession::check`] return
+    /// [`EprOutcome::Unknown`] with partial statistics (the session stays
+    /// usable); `max_instances` tightens the cumulative instantiation limit.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Caps the *cumulative* number of universal instantiations the session
@@ -150,6 +163,14 @@ impl EprSession {
     /// Grounding and solving statistics as of the last `check` call.
     pub fn stats(&self) -> GroundStats {
         self.stats
+    }
+
+    /// Telemetry report of the last `check` call: the same counters as
+    /// [`EprSession::stats`], but as per-query deltas (solver statistics
+    /// are cumulative across a session) in the machine-readable form
+    /// emitted by `--profile`.
+    pub fn report(&self) -> &QueryReport {
+        &self.report
     }
 
     /// Asserts one labeled sentence as its own group. See
@@ -193,9 +214,11 @@ impl EprSession {
     ///
     /// [`EprError::Sort`] for ill-sorted formulas, [`EprError::Skolem`] when
     /// a formula leaves `∃*∀*`, and [`EprError::TooManyInstances`] when the
-    /// cumulative instantiation budget would be exceeded (the group is not
-    /// added; the session stays usable, though Skolem constants may already
-    /// have grown the signature).
+    /// cumulative instantiation budget would be exceeded. A rejected group
+    /// leaves the session fully unchanged: no signature growth, no universe
+    /// extension, no partial encoding, and no budget consumed — asserting
+    /// the same or a different group afterwards behaves exactly as if the
+    /// rejected attempt never happened.
     pub fn assert_group(
         &mut self,
         label: impl Into<String>,
@@ -233,16 +256,21 @@ impl EprSession {
     }
 
     fn group_inner(&mut self, label: String, ids: &[FormulaId]) -> Result<GroupId, EprError> {
-        // Split and Skolemize, extending the working signature (same
-        // pipeline as EprCheck::check, shared via check.rs helpers).
-        // Skolemization runs against a scratch copy of the signature so that
-        // each Skolem constant can first be offered a pooled name freed by a
-        // retired group; only genuinely new constants enter `work_sig` and
-        // grow the universe.
+        let ground_span = Span::enter("ground");
+        // Split and Skolemize against *staged* copies of the session state
+        // (signature, guard counter, universe). Nothing session-visible
+        // mutates until the cumulative instantiation budget has admitted
+        // the group, so a rejected group leaves the session untouched —
+        // no partial encoding, no leaked Skolem constants, no budget
+        // consumed. Each Skolem constant is first offered a pooled name
+        // freed by a retired group; only genuinely new constants grow the
+        // staged signature.
+        let mut staged_sig = self.work_sig.clone();
+        let mut staged_counter = self.guard_counter;
         let mut jobs: Vec<GroundJob> = Vec::new();
         let mut reused: Vec<(Sym, Sort)> = Vec::new();
         let mut fresh: Vec<(Sym, Sort)> = Vec::new();
-        Interner::with(|it| -> Result<(), EprError> {
+        let staged = Interner::with(|it| -> Result<(), EprError> {
             for &f in ids {
                 let f = it.eliminate_ite(f);
                 let n = it.nnf(f);
@@ -251,12 +279,12 @@ impl EprSession {
                     it,
                     n,
                     Vec::new(),
-                    &mut self.work_sig,
-                    &mut self.guard_counter,
+                    &mut staged_sig,
+                    &mut staged_counter,
                     &mut pieces,
                 );
                 for piece in pieces {
-                    let mut scratch = self.work_sig.clone();
+                    let mut scratch = staged_sig.clone();
                     let sk = it.skolemize(piece, &mut scratch)?;
                     let mut matrix = sk.universal.matrix;
                     for (name, sort) in sk.constants {
@@ -267,7 +295,7 @@ impl EprSession {
                                 reused.push((pooled, sort));
                             }
                             None => {
-                                self.work_sig
+                                staged_sig
                                     .add_constant(name, sort)
                                     .expect("skolemize picked a fresh name");
                                 fresh.push((name, sort));
@@ -299,33 +327,47 @@ impl EprSession {
                 }
             }
             Ok(())
-        })?;
-        let watermark = self.enc.extend_universe(&self.work_sig);
-        // Enforce the cumulative instantiation budget before encoding
-        // anything: the new group in full, plus every live group's delta.
-        let mut estimated = self.instances;
-        for job in &jobs {
-            estimated = estimated.saturating_add(count_tuples(self.enc.table(), job, 0));
-        }
-        for g in self.groups.iter().filter(|g| !g.retired) {
-            for job in &g.jobs {
-                estimated =
-                    estimated.saturating_add(count_tuples(self.enc.table(), job, watermark));
-            }
-        }
-        if estimated > self.instance_limit {
-            // The group is abandoned. Reused constants go back to the pool;
-            // fresh ones are leaked (they are in the table, but live groups
-            // were never delta-instantiated over them, so handing them to a
-            // future group would leave it under-constrained).
+        });
+        if let Err(e) = staged {
+            // Abandon the group before anything touched session state;
+            // pooled constants that were tentatively claimed go back.
             for (sym, sort) in reused {
                 self.skolem_pool.entry(sort).or_default().push(sym);
             }
-            return Err(EprError::TooManyInstances {
-                estimated,
-                limit: self.instance_limit,
-            });
+            return Err(e);
         }
+        // Estimate the cumulative instantiation budget against a *preview*
+        // of the extended universe — the encoder's own table is untouched
+        // until the group is admitted: the new group in full, plus every
+        // live group's delta.
+        let mut preview = self.enc.table().clone();
+        let watermark = preview.extend(&staged_sig);
+        let mut estimated = self.instances;
+        for job in &jobs {
+            estimated = estimated.saturating_add(count_tuples(&preview, job, 0));
+        }
+        for g in self.groups.iter().filter(|g| !g.retired) {
+            for job in &g.jobs {
+                estimated = estimated.saturating_add(count_tuples(&preview, job, watermark));
+            }
+        }
+        let limit = self
+            .instance_limit
+            .min(self.budget.max_instances.unwrap_or(u64::MAX));
+        if estimated > limit {
+            // The group is abandoned; the session is exactly as it was.
+            for (sym, sort) in reused {
+                self.skolem_pool.entry(sort).or_default().push(sym);
+            }
+            return Err(EprError::TooManyInstances { estimated, limit });
+        }
+        // Admitted: commit the staged signature and universe, then encode.
+        self.work_sig = staged_sig;
+        self.guard_counter = staged_counter;
+        let committed = self.enc.extend_universe(&self.work_sig);
+        debug_assert_eq!(committed, watermark);
+        drop(ground_span);
+        let _encode_span = Span::enter("encode");
         // Re-instantiate live groups over tuples touching the delta.
         for g in self.groups.iter().filter(|g| !g.retired) {
             for job in &g.jobs {
@@ -383,11 +425,27 @@ impl EprSession {
     /// using the lazy equality discipline. Learnt clauses and equality
     /// repairs persist into subsequent checks.
     ///
+    /// With a [`Budget`] applied (see [`EprSession::set_budget`]), a
+    /// deadline or conflict cap that trips mid-solve yields
+    /// [`EprOutcome::Unknown`] with partial statistics; the session stays
+    /// usable.
+    ///
     /// # Errors
     ///
     /// [`EprError::RepairLimit`] when a configured round limit is exceeded
     /// (the session stays usable).
     pub fn check(&mut self) -> Result<EprOutcome, EprError> {
+        let started = std::time::Instant::now();
+        let prev = self.stats;
+        // An already-expired deadline degrades up front (zero-delta
+        // report); the session state is untouched and stays usable.
+        if self.budget.expired() {
+            let stop = Some(StopReason::DeadlineExceeded);
+            self.report =
+                self.stats
+                    .report_delta(&prev, "unknown", stop, started.elapsed().as_nanos());
+            return Ok(EprOutcome::Unknown(StopReason::DeadlineExceeded));
+        }
         let guards: Vec<(Lit, &str)> = self
             .groups
             .iter()
@@ -395,22 +453,36 @@ impl EprSession {
             .map(|g| (g.act, g.label.as_str()))
             .collect();
         let assumptions: Vec<Lit> = guards.iter().map(|(a, _)| *a).collect();
-        let (result, rounds) = self.enc.solve_lazy(&assumptions, self.lazy_round_limit);
-        self.stats = GroundStats {
-            universe: self.enc.table().len(),
-            instances: self.instances,
-            equality_clauses: 0,
-            equality_rounds: rounds,
-            sat_vars: self.enc.solver().num_vars(),
-            sat: self.enc.solver().stats(),
+        self.enc.solver_mut().set_deadline(self.budget.deadline);
+        let sat_span = Span::enter("sat");
+        let (result, rounds) = self.enc.solve_lazy_with(
+            &assumptions,
+            self.lazy_round_limit,
+            self.budget.max_conflicts,
+        );
+        drop(sat_span);
+        // Both verdicts and degradations flow through the same stats
+        // builder as EprCheck (satellite: one QueryReport builder).
+        let instances = self.instances;
+        let finish = |enc: &Encoder, outcome: &str, stop: Option<StopReason>| {
+            let stats = GroundStats::collect(enc, instances, 0, rounds);
+            let report = stats.report_delta(&prev, outcome, stop, started.elapsed().as_nanos());
+            (stats, report)
         };
-        match result {
-            None => Err(EprError::RepairLimit { rounds }),
-            Some(SolveResult::Sat) => {
-                let structure = extract_structure(&self.enc, &self.work_sig);
-                Ok(EprOutcome::Sat(Box::new(Model { structure })))
+        let outcome = match result {
+            LazyResult::GaveUp => {
+                let (stats, report) = finish(&self.enc, "gave_up", Some(StopReason::RepairLimit));
+                self.stats = stats;
+                self.report = report;
+                return Err(EprError::RepairLimit { rounds });
             }
-            Some(SolveResult::Unsat) => {
+            LazyResult::Deadline => EprOutcome::Unknown(StopReason::DeadlineExceeded),
+            LazyResult::Conflicts => EprOutcome::Unknown(StopReason::ConflictBudget),
+            LazyResult::Sat => {
+                let structure = extract_structure(&self.enc, &self.work_sig);
+                EprOutcome::Sat(Box::new(Model { structure }))
+            }
+            LazyResult::Unsat => {
                 let core: Vec<String> = self
                     .enc
                     .solver()
@@ -423,9 +495,17 @@ impl EprSession {
                             .map(|(_, label)| label.to_string())
                     })
                     .collect();
-                Ok(EprOutcome::Unsat(core))
+                EprOutcome::Unsat(core)
             }
-        }
+        };
+        let stop = match &outcome {
+            EprOutcome::Unknown(r) => Some(*r),
+            _ => None,
+        };
+        let (stats, report) = finish(&self.enc, outcome.tag(), stop);
+        self.stats = stats;
+        self.report = report;
+        Ok(outcome)
     }
 }
 
@@ -514,6 +594,7 @@ mod tests {
             EprOutcome::Sat(_) => {
                 panic!("delta re-instantiation missed the new Skolem constant")
             }
+            EprOutcome::Unknown(r) => panic!("unexpectedly unknown: {r}"),
         }
         session.retire(g);
         assert!(session.check().unwrap().is_sat());
@@ -606,11 +687,104 @@ mod tests {
         assert!(matches!(err, EprError::TooManyInstances { .. }), "{err}");
         // The session is still usable with the first group.
         assert!(session.check().unwrap().is_sat());
+        // The rejected group must have left the session fully unchanged:
+        // after raising the limit, re-pushing the same group and an extra
+        // contradiction must behave exactly like a session that never saw
+        // the rejection at all.
+        session.set_instance_limit(u64::MAX);
+        session
+            .assert_labeled("q2", &parse_formula("forall X:s, Y:s. q(Y, X)").unwrap())
+            .unwrap();
+        session
+            .assert_labeled("q3", &parse_formula("~q(a, b)").unwrap())
+            .unwrap();
+        let mut fresh = EprSession::new(&sig).unwrap();
+        for (label, f) in [
+            ("q1", "forall X:s, Y:s. q(X, Y)"),
+            ("q2", "forall X:s, Y:s. q(Y, X)"),
+            ("q3", "~q(a, b)"),
+        ] {
+            fresh
+                .assert_labeled(label, &parse_formula(f).unwrap())
+                .unwrap();
+        }
+        let (bumped, reference) = (session.check().unwrap(), fresh.check().unwrap());
+        assert!(!bumped.is_sat());
+        assert_eq!(bumped.is_sat(), reference.is_sat());
+        assert_eq!(
+            session.stats().instances,
+            fresh.stats().instances,
+            "rejected group leaked ground instances into the session"
+        );
     }
 
     #[test]
     fn empty_session_is_sat() {
         let mut session = EprSession::new(&sig_rs()).unwrap();
         assert!(session.check().unwrap().is_sat());
+    }
+
+    /// A session loaded with a ground pigeonhole instance (`n` pigeons into
+    /// `n - 1` holes): hard UNSAT, so budgeted checks reliably run out
+    /// before the verdict.
+    fn pigeonhole_session(n: usize) -> EprSession {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("in", ["s", "s"]).unwrap();
+        for i in 0..n {
+            sig.add_constant(format!("p{i}").as_str(), "s").unwrap();
+        }
+        for j in 0..n - 1 {
+            sig.add_constant(format!("h{j}").as_str(), "s").unwrap();
+        }
+        let mut session = EprSession::new(&sig).unwrap();
+        for i in 0..n {
+            let row: Vec<String> = (0..n - 1).map(|j| format!("in(p{i}, h{j})")).collect();
+            session
+                .assert_labeled(format!("row{i}"), &parse_formula(&row.join(" | ")).unwrap())
+                .unwrap();
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for j in 0..n - 1 {
+                    session
+                        .assert_labeled(
+                            format!("excl{a}_{b}_{j}"),
+                            &parse_formula(&format!("~in(p{a}, h{j}) | ~in(p{b}, h{j})")).unwrap(),
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        session
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_unknown() {
+        let mut session = pigeonhole_session(8);
+        session.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        match session.check().unwrap() {
+            EprOutcome::Unknown(StopReason::DeadlineExceeded) => {}
+            other => panic!("expected deadline Unknown, got {}", other.tag()),
+        }
+        // Partial statistics were still published.
+        assert_eq!(session.report().outcome, "unknown");
+        assert_eq!(session.report().stop, Some(StopReason::DeadlineExceeded));
+        // Lifting the budget restores the decisive verdict on the same
+        // session — degradation must not corrupt incremental state.
+        session.set_budget(Budget::UNLIMITED);
+        assert!(!session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn conflict_budget_degrades_to_unknown() {
+        let mut session = pigeonhole_session(8);
+        session.set_budget(Budget::UNLIMITED.with_max_conflicts(1));
+        match session.check().unwrap() {
+            EprOutcome::Unknown(StopReason::ConflictBudget) => {}
+            other => panic!("expected conflict-budget Unknown, got {}", other.tag()),
+        }
+        session.set_budget(Budget::UNLIMITED);
+        assert!(!session.check().unwrap().is_sat());
     }
 }

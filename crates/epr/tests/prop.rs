@@ -102,6 +102,9 @@ fn models_satisfy_assertions_and_modes_agree() {
                 let again = run(EqualityMode::Lazy, &core_formulas);
                 assert!(!again.is_sat(), "core is satisfiable: {core:?}");
             }
+            EprOutcome::Unknown(r) => {
+                panic!("unbudgeted query returned unknown ({r}) on mask {mask}")
+            }
         }
     }
 }

@@ -140,6 +140,9 @@ fn session_agrees_with_fresh_check_per_query() {
                         "unsat core {core:?} is satisfiable on mask {mask}"
                     );
                 }
+                EprOutcome::Unknown(r) => {
+                    panic!("unbudgeted query returned unknown ({r}) on mask {mask}")
+                }
             }
         }
         // After retiring every violation the frame verdict is unchanged.

@@ -181,6 +181,13 @@ pub struct Interner {
     memo_ea: HashMap<FormulaId, bool>,
     memo_uni: HashMap<FormulaId, bool>,
     memo_prenex: HashMap<FormulaId, PrenexI>,
+
+    /// Hash-consing hits: `mk`/`mk_term` calls answered from the dedup
+    /// tables. Together with `cache_misses` this gives the intern-cache
+    /// hit rate reported by the telemetry layer.
+    cache_hits: u64,
+    /// Hash-consing misses: calls that allocated a fresh arena node.
+    cache_misses: u64,
 }
 
 fn empty_set() -> Arc<BTreeSet<Sym>> {
@@ -243,6 +250,8 @@ impl Interner {
             memo_ea: HashMap::new(),
             memo_uni: HashMap::new(),
             memo_prenex: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         };
         let t = it.mk(FormulaNode::True);
         let f = it.mk(FormulaNode::False);
@@ -269,8 +278,10 @@ impl Interner {
     /// Interns a raw term node.
     pub fn mk_term(&mut self, node: TermNode) -> TermId {
         if let Some(&id) = self.term_dedup.get(&node) {
+            self.cache_hits += 1;
             return id;
         }
+        self.cache_misses += 1;
         let (vars, has_ite) = match &node {
             TermNode::Var(v) => (Arc::new(BTreeSet::from([*v])), false),
             TermNode::App(_, args) => (
@@ -301,8 +312,10 @@ impl Interner {
     /// tree code used `Formula::and` etc.
     pub fn mk(&mut self, node: FormulaNode) -> FormulaId {
         if let Some(&id) = self.formula_dedup.get(&node) {
+            self.cache_hits += 1;
             return id;
         }
+        self.cache_misses += 1;
         let (free, all_vars, literals) = match &node {
             FormulaNode::True | FormulaNode::False => (empty_set(), empty_set(), 0),
             FormulaNode::Rel(_, args) => {
@@ -403,6 +416,13 @@ impl Interner {
     /// Whether the term contains an `ite`.
     pub fn term_has_ite(&self, t: TermId) -> bool {
         self.terms[t.index()].has_ite
+    }
+
+    /// `(hits, misses)` of the hash-consing tables, cumulative for the
+    /// process. The telemetry layer reports the hit rate per profile run
+    /// by differencing two snapshots.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     // ------------------------------------------------------------------
@@ -786,6 +806,11 @@ pub fn true_id() -> FormulaId {
 /// The id of `Formula::False` in the global arena.
 pub fn false_id() -> FormulaId {
     Interner::with(|it| it.false_id())
+}
+
+/// `(hits, misses)` of the global hash-consing tables.
+pub fn cache_stats() -> (u64, u64) {
+    Interner::with(|it| it.cache_stats())
 }
 
 // ----------------------------------------------------------------------

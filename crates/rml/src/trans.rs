@@ -286,6 +286,7 @@ pub fn unroll_free(program: &Program, k: usize) -> Unrolling {
 }
 
 fn unroll_inner(program: &Program, k: usize, with_init: bool) -> Unrolling {
+    let _span = ivy_telemetry::Span::enter("trans");
     Interner::with(|it| {
         let axiom = it.intern(&program.axiom());
         let mut ctx = Ctx {

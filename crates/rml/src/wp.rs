@@ -33,6 +33,13 @@ use crate::ast::Cmd;
 /// Panics if a havocked variable is not a declared program variable
 /// (validated by [`crate::check`]).
 pub fn wp(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formula {
+    let _span = ivy_telemetry::Span::enter("wp");
+    wp_rec(sig, axiom, cmd, post)
+}
+
+/// Recursive body of [`wp`], kept separate so the telemetry span covers one
+/// top-level call rather than nesting (and double-counting) per subcommand.
+fn wp_rec(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formula {
     match cmd {
         Cmd::Skip => post.clone(),
         Cmd::Abort => Formula::False,
@@ -60,11 +67,11 @@ pub fn wp(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formul
         Cmd::Seq(cmds) => {
             let mut q = post.clone();
             for c in cmds.iter().rev() {
-                q = wp(sig, axiom, c, &q);
+                q = wp_rec(sig, axiom, c, &q);
             }
             q
         }
-        Cmd::Choice(cmds) => Formula::and(cmds.iter().map(|c| wp(sig, axiom, c, post))),
+        Cmd::Choice(cmds) => Formula::and(cmds.iter().map(|c| wp_rec(sig, axiom, c, post))),
     }
 }
 
@@ -74,6 +81,7 @@ pub fn wp(sig: &Signature, axiom: &Formula, cmd: &Cmd, post: &Formula) -> Formul
 ///
 /// `resolve(wp_id(..)) == wp(..)` — checked by property tests.
 pub fn wp_id(sig: &Signature, axiom: FormulaId, cmd: &Cmd, post: FormulaId) -> FormulaId {
+    let _span = ivy_telemetry::Span::enter("wp");
     Interner::with(|it| wp_in(it, sig, axiom, cmd, post))
 }
 

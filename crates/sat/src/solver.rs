@@ -9,6 +9,7 @@
 //! the EPR grounding layer in `ivy-epr`) is our from-scratch substitute.
 
 use crate::lit::{LBool, Lit, Var};
+use std::time::Instant;
 
 /// Statistics about a solver's run, cumulative over all `solve` calls.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,6 +34,16 @@ pub enum SolveResult {
     /// Unsatisfiable under the assumptions; the subset of assumptions used
     /// in the refutation is available via [`Solver::unsat_core`].
     Unsat,
+}
+
+/// Why [`Solver::solve_budgeted`] gave up without an answer (see
+/// [`Solver::last_interrupt`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget was exhausted.
+    Conflicts,
+    /// The wall-clock deadline set via [`Solver::set_deadline`] passed.
+    Deadline,
 }
 
 #[derive(Clone, Debug)]
@@ -175,6 +186,17 @@ pub struct Solver {
     core: Vec<Lit>,
     model: Vec<LBool>,
     max_learnts: f64,
+    /// Problem (non-learnt) clauses submitted via `add_clause`, counted
+    /// before simplification; sizes the learnt-clause database.
+    problem_clauses: usize,
+    /// When true (the default), `max_learnts` is raised to a fraction of
+    /// the problem clause count at each solve, so large groundings do not
+    /// thrash the learnt database against the old fixed cap of 1000.
+    scale_learnts: bool,
+    /// Wall-clock deadline; search gives up (gracefully) once it passes.
+    deadline: Option<Instant>,
+    /// Why the most recent `solve_budgeted` returned `None`.
+    interrupt: Option<Interrupt>,
     stats: Stats,
 }
 
@@ -186,6 +208,7 @@ impl Solver {
             cla_inc: 1.0,
             ok: true,
             max_learnts: 1000.0,
+            scale_learnts: true,
             ..Solver::default()
         }
     }
@@ -251,6 +274,28 @@ impl Solver {
         self.stats
     }
 
+    /// Sets (or clears) the wall-clock deadline. Once it passes,
+    /// [`Solver::solve_budgeted`] returns `None` with
+    /// [`Solver::last_interrupt`] reporting [`Interrupt::Deadline`]. The
+    /// solver stays usable; clear the deadline to resume unbounded solving.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Why the most recent [`Solver::solve_budgeted`] call returned `None`
+    /// (cleared at the start of each solve).
+    pub fn last_interrupt(&self) -> Option<Interrupt> {
+        self.interrupt
+    }
+
+    /// Enables or disables sizing the learnt-clause database from the
+    /// problem clause count (on by default). With scaling off the database
+    /// starts at the historical fixed cap of 1000 regardless of problem
+    /// size — kept for ablation.
+    pub fn set_learnt_scaling(&mut self, enabled: bool) {
+        self.scale_learnts = enabled;
+    }
+
     /// Adds a clause. Returns `false` when the solver becomes trivially
     /// unsatisfiable (empty clause, or a unit contradicting level-0 facts).
     ///
@@ -265,6 +310,7 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        self.problem_clauses += 1;
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         for l in &lits {
             assert!(l.var().index() < self.num_vars(), "unknown variable {l}");
@@ -645,15 +691,22 @@ impl Solver {
     /// assumptions participating in the refutation is available via
     /// [`Solver::unsat_core`] (empty core = unsatisfiable even without
     /// assumptions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deadline set via [`Solver::set_deadline`] expires during
+    /// the solve — callers with a deadline must use
+    /// [`Solver::solve_budgeted`], which degrades gracefully.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.solve_budgeted(assumptions, u64::MAX)
-            .expect("unbounded solve always decides")
+            .expect("unbounded solve always decides (use solve_budgeted with a deadline)")
     }
 
     /// Like [`Solver::solve_with_assumptions`] but gives up (returning
     /// `None`) once roughly `max_conflicts` conflicts have been analyzed in
-    /// this call. The solver stays usable afterwards (learnt clauses are
-    /// kept).
+    /// this call, or once the deadline set via [`Solver::set_deadline`]
+    /// passes; [`Solver::last_interrupt`] tells the two apart. The solver
+    /// stays usable afterwards (learnt clauses are kept).
     pub fn solve_budgeted(
         &mut self,
         assumptions: &[Lit],
@@ -661,6 +714,7 @@ impl Solver {
     ) -> Option<SolveResult> {
         self.assumptions = assumptions.to_vec();
         self.core.clear();
+        self.interrupt = None;
         self.backtrack_to(0);
         if !self.ok {
             return Some(SolveResult::Unsat);
@@ -669,7 +723,16 @@ impl Solver {
             self.ok = false;
             return Some(SolveResult::Unsat);
         }
-        let deadline = self.stats.conflicts.saturating_add(max_conflicts);
+        if self.scale_learnts {
+            // Size the learnt database to the problem: a fixed cap of 1000
+            // thrashes on 100k+-clause groundings. Only ever raise it, so
+            // the usual 1.1x growth is preserved across incremental calls.
+            let target = (self.problem_clauses / 3).max(1000) as f64;
+            if self.max_learnts < target {
+                self.max_learnts = target;
+            }
+        }
+        let conflict_limit = self.stats.conflicts.saturating_add(max_conflicts);
         let mut restart = 0u64;
         loop {
             restart += 1;
@@ -682,7 +745,12 @@ impl Solver {
                 None => {
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
-                    if self.stats.conflicts >= deadline {
+                    if self.deadline_passed() {
+                        self.interrupt = Some(Interrupt::Deadline);
+                        return None;
+                    }
+                    if self.stats.conflicts >= conflict_limit {
+                        self.interrupt = Some(Interrupt::Conflicts);
                         return None;
                     }
                 }
@@ -690,10 +758,22 @@ impl Solver {
         }
     }
 
+    fn deadline_passed(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
     /// Runs CDCL search for at most `budget` conflicts; `None` = restart.
     fn search(&mut self, budget: u64) -> Option<SolveResult> {
         let mut conflicts_here = 0u64;
+        let mut steps = 0u32;
         loop {
+            // Poll the wall clock sparingly: a deadline overshoot of a few
+            // thousand propagation/decision steps is invisible next to the
+            // cost of checking `Instant::now` every iteration.
+            steps = steps.wrapping_add(1);
+            if steps & 0x0FFF == 0 && self.deadline_passed() {
+                return None; // surfaces as a restart; solve_budgeted stops
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
@@ -806,6 +886,74 @@ mod tests {
 
     fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
         (0..n).map(|_| s.new_var()).collect()
+    }
+
+    /// A hard UNSAT instance: `n` pigeons into `n - 1` holes.
+    fn pigeonhole(s: &mut Solver, n: usize) {
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(s, n - 1)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for (pa, pb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause([pa.neg(), pb.neg()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_interrupts_and_solver_recovers() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve_budgeted(&[], 1), None);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Conflicts));
+        // The solver (and its learnt clauses) stay usable: an unbudgeted
+        // call still reaches the correct verdict.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.last_interrupt(), None);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_budgeted_solve() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        s.set_deadline(Some(Instant::now()));
+        assert_eq!(s.solve_budgeted(&[], u64::MAX), None);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Deadline));
+        // Clearing the deadline restores a decisive answer.
+        s.set_deadline(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.last_interrupt(), None);
+    }
+
+    #[test]
+    fn learnt_cap_scales_with_problem_size() {
+        let build = || {
+            let mut s = Solver::new();
+            let mut prev = s.new_var();
+            // 6000 distinct implication clauses: a satisfiable problem big
+            // enough that `problem_clauses / 3` exceeds the fixed cap.
+            for _ in 0..6000 {
+                let v = s.new_var();
+                s.add_clause([prev.neg(), v.pos()]);
+                prev = v;
+            }
+            s
+        };
+        let mut scaled = build();
+        assert_eq!(scaled.solve(), SolveResult::Sat);
+        assert!(
+            scaled.max_learnts >= (scaled.problem_clauses / 3) as f64,
+            "scaling on: cap {} for {} clauses",
+            scaled.max_learnts,
+            scaled.problem_clauses
+        );
+        let mut fixed = build();
+        fixed.set_learnt_scaling(false);
+        assert_eq!(fixed.solve(), SolveResult::Sat);
+        assert_eq!(fixed.max_learnts, 1000.0, "scaling off keeps the old cap");
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Observability and resource governance for the Ivy pipeline.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * **Timing spans and counters** — [`Span::enter`] measures a phase
+//!   (`"wp"`, `"ground"`, `"sat"`, ...) on the monotonic clock and folds
+//!   the elapsed time into a process-global, thread-safe registry, so
+//!   the parallel query fan-out aggregates correctly. Recording is off
+//!   by default and gated by a single atomic load, so the instrumented
+//!   hot paths pay one branch when profiling is disabled.
+//!
+//! * **[`QueryReport`]** — a merged, machine-readable account of one or
+//!   more solver queries: wall time by phase, grounding sizes, clause /
+//!   conflict / restart / propagation counts, and cache hit rates. It
+//!   serializes itself to JSON by hand (`to_json`); the schema is
+//!   documented in DESIGN.md §4e.
+//!
+//! * **[`Budget`]** — a deadline plus conflict and instantiation caps
+//!   threaded through the EPR layer and the verification loops.
+//!   Exceeding the deadline degrades gracefully: queries report
+//!   `Unknown(`[`StopReason`]`)` with partial statistics instead of
+//!   running unbounded or panicking.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Global span/counter registry
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall time and call count for one named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    pub nanos: u128,
+    pub calls: u64,
+}
+
+impl PhaseStat {
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1.0e6
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PHASES: Mutex<Vec<(&'static str, PhaseStat)>> = Mutex::new(Vec::new());
+static COUNTERS: Mutex<Vec<(&'static str, u64)>> = Mutex::new(Vec::new());
+
+/// Turn global recording on or off. Disabled by default; spans and
+/// counter bumps are no-ops (one atomic load) while disabled.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear all recorded phases and counters (recording state unchanged).
+pub fn reset() {
+    PHASES.lock().unwrap().clear();
+    COUNTERS.lock().unwrap().clear();
+}
+
+/// Add `n` to the named global counter (no-op while disabled).
+pub fn counter_add(name: &'static str, n: u64) {
+    if n == 0 || !is_enabled() {
+        return;
+    }
+    let mut table = COUNTERS.lock().unwrap();
+    match table.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v += n,
+        None => table.push((name, n)),
+    }
+}
+
+/// Snapshot of every recorded phase, sorted by name.
+pub fn phase_snapshot() -> Vec<(String, PhaseStat)> {
+    let mut out: Vec<(String, PhaseStat)> = PHASES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Snapshot of every recorded counter, sorted by name.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = COUNTERS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// RAII timing span. [`Span::enter`] samples the monotonic clock; the
+/// drop folds the elapsed time into the global registry under `phase`.
+/// When recording is disabled the span holds no sample and the drop is
+/// free.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    phase: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub fn enter(phase: &'static str) -> Span {
+        let start = if is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span { phase, start }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos();
+        let mut table = PHASES.lock().unwrap();
+        match table.iter_mut().find(|(k, _)| *k == self.phase) {
+            Some((_, stat)) => {
+                stat.nanos += nanos;
+                stat.calls += 1;
+            }
+            None => table.push((self.phase, PhaseStat { nanos, calls: 1 })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budgets and stop reasons
+// ---------------------------------------------------------------------------
+
+/// Why a query stopped without reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The conflict budget was exhausted.
+    ConflictBudget,
+    /// The cumulative ground-instance budget was exhausted.
+    InstanceBudget,
+    /// Lazy equality repair hit its round limit.
+    RepairLimit,
+}
+
+impl StopReason {
+    /// Stable lower-case tag used in JSON output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StopReason::DeadlineExceeded => "deadline",
+            StopReason::ConflictBudget => "conflicts",
+            StopReason::InstanceBudget => "instances",
+            StopReason::RepairLimit => "repair_limit",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            StopReason::ConflictBudget => write!(f, "conflict budget exhausted"),
+            StopReason::InstanceBudget => write!(f, "instantiation budget exhausted"),
+            StopReason::RepairLimit => write!(f, "equality repair round limit reached"),
+        }
+    }
+}
+
+/// Resource limits for a query (or a whole verification run). All
+/// limits are optional; [`Budget::UNLIMITED`] imposes none.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Cap on SAT conflicts per query.
+    pub max_conflicts: Option<u64>,
+    /// Cap on cumulative ground instances per session.
+    pub max_instances: Option<u64>,
+}
+
+impl Budget {
+    pub const UNLIMITED: Budget = Budget {
+        deadline: None,
+        max_conflicts: None,
+        max_instances: None,
+    };
+
+    /// A budget whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    pub fn with_max_conflicts(mut self, max_conflicts: u64) -> Budget {
+        self.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    pub fn with_max_instances(mut self, max_instances: u64) -> Budget {
+        self.max_instances = Some(max_instances);
+        self
+    }
+
+    /// True if the deadline (if any) has already passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QueryReport
+// ---------------------------------------------------------------------------
+
+/// Machine-readable account of one query (or the merge of many).
+///
+/// Built by the single stats builder in `ivy-epr` so the per-check and
+/// per-session counters cannot diverge, then optionally merged across
+/// queries by callers. `to_json` emits the `ivy-profile-v1` object
+/// documented in DESIGN.md §4e.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryReport {
+    /// Number of queries merged into this report.
+    pub queries: u64,
+    /// Outcome tag of the *last* query: `sat`, `unsat`, or `unknown`.
+    pub outcome: String,
+    /// Why the last query stopped early, if it did.
+    pub stop: Option<StopReason>,
+    /// Total wall time across merged queries.
+    pub wall_nanos: u128,
+    // Grounding.
+    /// Herbrand universe size (max across merged queries).
+    pub universe: u64,
+    /// Cumulative ground instances.
+    pub instances: u64,
+    pub equality_rounds: u64,
+    pub equality_clauses: u64,
+    // SAT solver.
+    pub sat_vars: u64,
+    pub sat_clauses: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+    pub conflicts: u64,
+    pub restarts: u64,
+    pub deleted_clauses: u64,
+    // Caches.
+    pub intern_hits: u64,
+    pub intern_misses: u64,
+    pub atom_cache_hits: u64,
+    pub atom_cache_misses: u64,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl QueryReport {
+    pub fn new() -> QueryReport {
+        QueryReport::default()
+    }
+
+    /// Fold another report into this one: counters add, universe takes
+    /// the max, outcome/stop take the other's (latest wins).
+    pub fn merge(&mut self, other: &QueryReport) {
+        self.queries += other.queries.max(1);
+        if !other.outcome.is_empty() {
+            self.outcome = other.outcome.clone();
+        }
+        if other.stop.is_some() {
+            self.stop = other.stop;
+        }
+        self.wall_nanos += other.wall_nanos;
+        self.universe = self.universe.max(other.universe);
+        self.instances += other.instances;
+        self.equality_rounds += other.equality_rounds;
+        self.equality_clauses += other.equality_clauses;
+        self.sat_vars = self.sat_vars.max(other.sat_vars);
+        self.sat_clauses = self.sat_clauses.max(other.sat_clauses);
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.deleted_clauses += other.deleted_clauses;
+        self.intern_hits = self.intern_hits.max(other.intern_hits);
+        self.intern_misses = self.intern_misses.max(other.intern_misses);
+        self.atom_cache_hits += other.atom_cache_hits;
+        self.atom_cache_misses += other.atom_cache_misses;
+    }
+
+    /// Rebuilds a merged report from the global counter registry — the
+    /// publication target of the per-query builder in `ivy-epr`. Front
+    /// ends that drive whole verification loops (and never see the
+    /// individual per-query reports) use this to recover the cumulative
+    /// numbers; outcome, wall time, and cache-layer stats not published
+    /// as counters are left for the caller to fill in.
+    pub fn from_global_counters() -> QueryReport {
+        let counters = counter_snapshot();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        QueryReport {
+            queries: get("epr.queries"),
+            instances: get("epr.instances"),
+            decisions: get("sat.decisions"),
+            propagations: get("sat.propagations"),
+            conflicts: get("sat.conflicts"),
+            restarts: get("sat.restarts"),
+            deleted_clauses: get("sat.deleted_clauses"),
+            atom_cache_hits: get("cache.atom_hits"),
+            atom_cache_misses: get("cache.atom_misses"),
+            ..QueryReport::default()
+        }
+    }
+
+    pub fn intern_hit_rate(&self) -> f64 {
+        rate(self.intern_hits, self.intern_misses)
+    }
+
+    pub fn atom_cache_hit_rate(&self) -> f64 {
+        rate(self.atom_cache_hits, self.atom_cache_misses)
+    }
+
+    /// Serialize as a standalone `ivy-profile-v1` JSON object,
+    /// including the current global phase and counter snapshots.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`QueryReport::to_json`] with extra top-level string
+    /// fields (e.g. `protocol`, `command`, `verdict`) prepended.
+    pub fn to_json_with(&self, extra: &[(&str, &str)]) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"ivy-profile-v1\"");
+        for (k, v) in extra {
+            out.push_str(",\n  ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_str(&mut out, v);
+        }
+        out.push_str(&format!(
+            ",\n  \"queries\": {},\n  \"outcome\": ",
+            self.queries
+        ));
+        json_str(&mut out, &self.outcome);
+        out.push_str(",\n  \"stop\": ");
+        match self.stop {
+            Some(r) => json_str(&mut out, r.tag()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\n  \"wall_ms\": {:.3}",
+            self.wall_nanos as f64 / 1.0e6
+        ));
+        out.push_str(",\n  \"phases\": [");
+        let phases = phase_snapshot();
+        for (i, (name, stat)) in phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"phase\": ");
+            json_str(&mut out, name);
+            out.push_str(&format!(
+                ", \"calls\": {}, \"ms\": {:.3}}}",
+                stat.calls,
+                stat.millis()
+            ));
+        }
+        if !phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+        out.push_str(",\n  \"counters\": {");
+        let counters = counter_snapshot();
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        if !counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push('}');
+        out.push_str(&format!(
+            ",\n  \"grounding\": {{\"universe\": {}, \"instances\": {}, \
+             \"equality_rounds\": {}, \"equality_clauses\": {}}}",
+            self.universe, self.instances, self.equality_rounds, self.equality_clauses
+        ));
+        out.push_str(&format!(
+            ",\n  \"sat\": {{\"vars\": {}, \"clauses\": {}, \"decisions\": {}, \
+             \"propagations\": {}, \"conflicts\": {}, \"restarts\": {}, \
+             \"deleted_clauses\": {}}}",
+            self.sat_vars,
+            self.sat_clauses,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.deleted_clauses
+        ));
+        out.push_str(&format!(
+            ",\n  \"caches\": {{\"intern_hits\": {}, \"intern_misses\": {}, \
+             \"intern_hit_rate\": {:.4}, \"atom_hits\": {}, \"atom_misses\": {}, \
+             \"atom_hit_rate\": {:.4}}}",
+            self.intern_hits,
+            self.intern_misses,
+            self.intern_hit_rate(),
+            self.atom_cache_hits,
+            self.atom_cache_misses,
+            self.atom_cache_hit_rate()
+        ));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One sequential test: the registry and enabled flag are global, so
+    // splitting this into separate #[test] fns would race under the
+    // parallel test runner.
+    #[test]
+    fn global_registry_lifecycle() {
+        set_enabled(false);
+        reset();
+        {
+            let _s = Span::enter("test.disabled");
+        }
+        counter_add("test.disabled.counter", 3);
+        assert!(phase_snapshot().is_empty());
+        assert!(counter_snapshot().is_empty());
+
+        set_enabled(true);
+        {
+            let _s = Span::enter("test.phase");
+        }
+        {
+            let _s = Span::enter("test.phase");
+        }
+        counter_add("test.counter", 2);
+        counter_add("test.counter", 5);
+        let phases = phase_snapshot();
+        let phase = phases.iter().find(|(n, _)| n == "test.phase").unwrap();
+        assert_eq!(phase.1.calls, 2);
+        let counters = counter_snapshot();
+        let counter = counters.iter().find(|(n, _)| n == "test.counter").unwrap();
+        assert_eq!(counter.1, 7);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn budget_expiry() {
+        assert!(!Budget::UNLIMITED.expired());
+        let b = Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Budget::UNLIMITED
+        };
+        assert!(b.expired());
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn report_merge_and_json() {
+        let mut a = QueryReport {
+            queries: 1,
+            outcome: "unsat".into(),
+            universe: 10,
+            instances: 100,
+            conflicts: 5,
+            intern_hits: 3,
+            intern_misses: 1,
+            ..QueryReport::default()
+        };
+        let b = QueryReport {
+            queries: 1,
+            outcome: "unknown".into(),
+            stop: Some(StopReason::DeadlineExceeded),
+            universe: 7,
+            instances: 50,
+            conflicts: 2,
+            ..QueryReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.outcome, "unknown");
+        assert_eq!(a.stop, Some(StopReason::DeadlineExceeded));
+        assert_eq!(a.universe, 10);
+        assert_eq!(a.instances, 150);
+        assert_eq!(a.conflicts, 7);
+        let json = a.to_json_with(&[("protocol", "leader")]);
+        assert!(json.contains("\"schema\": \"ivy-profile-v1\""));
+        assert!(json.contains("\"protocol\": \"leader\""));
+        assert!(json.contains("\"stop\": \"deadline\""));
+        assert!(json.contains("\"outcome\": \"unknown\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut s = String::new();
+        json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}
