@@ -1,0 +1,116 @@
+//! Frame-cache benchmark for the unified solver oracle.
+//!
+//! For every bundled protocol, times each engine's query load twice:
+//! against a *fresh* oracle (`QueryStrategy::Fresh`, re-grounding every
+//! query) and against a *warm* oracle (`QueryStrategy::Session` whose
+//! frame-keyed pool was populated by a prior run, so the measured checks
+//! reuse grounded sessions across queries and engines). Writes
+//! machine-readable results to `BENCH_oracle.json` (or the path given as
+//! the first argument). `--smoke` runs one sample per case for CI.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ivy_bench::{harness::measure, protocols};
+use ivy_core::{houdini_with_oracle, Bmc, Oracle, QueryStrategy, Verifier};
+
+const BMC_DEPTH: usize = 2;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn oracle(strategy: QueryStrategy) -> Arc<Oracle> {
+    let mut o = Oracle::new();
+    o.set_strategy(strategy);
+    Arc::new(o)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let samples = if smoke { 1 } else { 3 };
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_oracle.json".to_string());
+    let mut rows = String::new();
+    for entry in protocols() {
+        let program = &entry.program;
+        let invariant = &entry.invariant;
+        let mut times: Vec<(&str, f64)> = Vec::new();
+        // The warm oracle persists across all measured iterations AND
+        // engines: the first (unmeasured) warm-up grounds every frame, the
+        // measured runs hit the pool.
+        let warm = oracle(QueryStrategy::Session);
+        for (key, o) in [
+            ("verify_fresh", oracle(QueryStrategy::Fresh)),
+            ("verify_warm", warm.clone()),
+        ] {
+            let sample = measure(samples, || {
+                let v = Verifier::with_oracle(program, o.clone());
+                let r = v.check(invariant).expect("check succeeds");
+                assert!(r.is_inductive(), "{}: invariant must verify", entry.name);
+            });
+            println!("{}/{key}: median {:?}", entry.name, sample.median);
+            times.push((key, secs(sample.median)));
+        }
+        for (key, o) in [
+            ("bmc_fresh", oracle(QueryStrategy::Fresh)),
+            ("bmc_warm", warm.clone()),
+        ] {
+            let sample = measure(samples, || {
+                let b = Bmc::with_oracle(program, o.clone());
+                let r = b.check_safety(BMC_DEPTH).expect("bmc succeeds");
+                assert!(
+                    r.is_none(),
+                    "{}: safety must hold to depth {BMC_DEPTH}",
+                    entry.name
+                );
+            });
+            println!("{}/{key}: median {:?}", entry.name, sample.median);
+            times.push((key, secs(sample.median)));
+        }
+        for (key, o) in [
+            ("houdini_fresh", oracle(QueryStrategy::Fresh)),
+            ("houdini_warm", warm.clone()),
+        ] {
+            let sample = measure(samples, || {
+                let r =
+                    houdini_with_oracle(program, invariant.clone(), &o).expect("houdini succeeds");
+                assert!(r.proves_safety, "{}: invariant proves safety", entry.name);
+            });
+            println!("{}/{key}: median {:?}", entry.name, sample.median);
+            times.push((key, secs(sample.median)));
+        }
+        let hit_rate = warm.rollup().frame_hit_rate();
+        let fields: Vec<String> = times
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.6}"))
+            .collect();
+        let speedup = |fresh: usize, warm: usize| times[fresh].1 / times[warm].1.max(1e-9);
+        let _ = writeln!(
+            rows,
+            "    {{\"protocol\": \"{}\", {},\n     \"frame_hit_rate\": {:.3}, \
+             \"verify_speedup\": {:.2}, \"bmc_speedup\": {:.2}, \"houdini_speedup\": {:.2}}},",
+            entry.name,
+            fields.join(", "),
+            hit_rate,
+            speedup(0, 1),
+            speedup(2, 3),
+            speedup(4, 5),
+        );
+    }
+    let json = format!(
+        "{{\n  \"samples\": {samples},\n  \"bmc_depth\": {BMC_DEPTH},\n  \"median_seconds\": [\n{}  ]\n}}\n",
+        rows.trim_end_matches(",\n").to_string() + "\n"
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+}

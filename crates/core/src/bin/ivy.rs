@@ -19,14 +19,27 @@
 //! * `--timeout SECS` — wall-clock budget. On expiry the run prints
 //!   `unknown (deadline exceeded)` and exits with code 3; it never
 //!   reports a wrong verdict or panics.
+//! * `--strategy fresh|session|parallel` — how the solver oracle
+//!   discharges queries: re-ground per query, reuse frame-cached
+//!   incremental sessions (the default), or fan out fresh queries over
+//!   worker threads.
+//! * `--jobs N` — worker threads for the parallel strategy (implies
+//!   `--strategy parallel` when given alone).
 //! * `--profile OUT.json` — write an `ivy-profile-v1` JSON report
 //!   (timing phases, query/grounding/SAT counters, cache hit rates; see
 //!   DESIGN.md §4e), including partial statistics on timeout.
+//!
+//! Every command routes its queries through ONE shared [`Oracle`]
+//! configured by these flags, so e.g. `prove` and the CTI minimization it
+//! may trigger reuse the same frame-keyed session cache.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ivy_core::{houdini_budgeted, Bmc, Conjecture, Inductiveness, Verifier};
+use ivy_core::{
+    houdini_with_oracle, Bmc, Conjecture, Inductiveness, Oracle, QueryStrategy, Verifier,
+};
 use ivy_epr::{Budget, EprError, QueryReport};
 use ivy_fol::parse_formula;
 use ivy_rml::{check_program, parse_program, Program};
@@ -45,12 +58,42 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let strategy_flag = take_flag(&mut args, "--strategy");
+    let jobs = match take_flag(&mut args, "--jobs").as_deref().map(str::parse) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => {
+            eprintln!("error: --jobs expects a positive integer");
+            return ExitCode::from(2);
+        }
+    };
+    let strategy = match strategy_flag.as_deref() {
+        None => match jobs {
+            Some(n) => QueryStrategy::Parallel(n),
+            None => QueryStrategy::Session,
+        },
+        Some("fresh") if jobs.is_none() => QueryStrategy::Fresh,
+        Some("session") if jobs.is_none() => QueryStrategy::Session,
+        Some("parallel") => QueryStrategy::Parallel(jobs.unwrap_or_else(default_jobs)),
+        Some(other @ ("fresh" | "session")) => {
+            eprintln!("error: --jobs is only meaningful with --strategy parallel, not `{other}`");
+            return ExitCode::from(2);
+        }
+        Some(other) => {
+            eprintln!("error: unknown --strategy `{other}` (expected fresh|session|parallel)");
+            return ExitCode::from(2);
+        }
+    };
+    let mut oracle = Oracle::new();
+    oracle.set_budget(budget);
+    oracle.set_strategy(strategy);
+    let oracle = Arc::new(oracle);
     if profile_path.is_some() {
         ivy_telemetry::reset();
         ivy_telemetry::set_enabled(true);
     }
     let started = Instant::now();
-    let result = run(&args, budget);
+    let result = run(&args, &oracle);
     let (code, verdict, stop) = match result {
         Ok((code, verdict)) => (code, verdict, None),
         Err(e) => match e.downcast_ref::<EprError>() {
@@ -71,6 +114,13 @@ fn main() -> ExitCode {
         }
     }
     code
+}
+
+/// Worker-thread default for `--strategy parallel` without `--jobs`.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Removes `flag VALUE` from `args`, returning the value when present.
@@ -111,7 +161,8 @@ fn write_profile(
 fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
         "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args] \
-         [--timeout SECS] [--profile OUT.json]\n\
+         [--timeout SECS] [--strategy fresh|session|parallel] [--jobs N] \
+         [--profile OUT.json]\n\
          see `crates/core/src/bin/ivy.rs` for details"
     );
     Ok((ExitCode::from(2), "usage"))
@@ -167,7 +218,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn run(
     args: &[String],
-    budget: Budget,
+    oracle: &Arc<Oracle>,
 ) -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
@@ -191,8 +242,7 @@ fn run(
         }
         "bmc" => {
             let k: usize = flag_value(rest, "-k").unwrap_or("3").parse()?;
-            let mut bmc = Bmc::new(&program);
-            bmc.set_budget(budget);
+            let bmc = Bmc::with_oracle(&program, oracle.clone());
             match bmc.check_safety(k)? {
                 None => {
                     println!("safe within {k} loop iterations (any domain size)");
@@ -212,8 +262,7 @@ fn run(
                 .find(|a| !a.starts_with('-') && flag_value(rest, "-k") != Some(a.as_str()))
                 .ok_or("kinv needs a formula argument")?;
             let phi = parse_formula(formula_src)?;
-            let mut bmc = Bmc::new(&program);
-            bmc.set_budget(budget);
+            let bmc = Bmc::with_oracle(&program, oracle.clone());
             match bmc.check_k_invariance(&phi, k)? {
                 None => {
                     println!("{k}-invariant");
@@ -227,8 +276,7 @@ fn run(
         }
         "prove" => {
             let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
-            let mut v = Verifier::new(&program);
-            v.set_budget(budget);
+            let v = Verifier::with_oracle(&program, oracle.clone());
             match v.check(&inv)? {
                 Inductiveness::Inductive => {
                     println!(
@@ -249,8 +297,7 @@ fn run(
         }
         "cti" | "dot" => {
             let inv = load_invariant(&program, rest.get(1).map(String::as_str))?;
-            let mut v = Verifier::new(&program);
-            v.set_budget(budget);
+            let v = Verifier::with_oracle(&program, oracle.clone());
             let measures: Vec<ivy_core::Measure> = program
                 .sig
                 .sorts()
@@ -286,12 +333,7 @@ fn run(
             let vars: usize = flag_value(rest, "--vars").unwrap_or("2").parse()?;
             let lits: usize = flag_value(rest, "--lits").unwrap_or("2").parse()?;
             let candidates = ivy_core::enumerate_candidates(&program.sig, vars, lits);
-            let result = houdini_budgeted(
-                &program,
-                candidates,
-                ivy_epr::DEFAULT_INSTANCE_LIMIT,
-                budget,
-            )?;
+            let result = houdini_with_oracle(&program, candidates, oracle)?;
             println!(
                 "{} clause(s) survive after {} CTI(s); proves safety: {}",
                 result.invariant.len(),

@@ -5,23 +5,15 @@
 //! size (Equation 3): a property found `k`-invariant holds in every state
 //! reachable by at most `k` iterations, over rings/networks of any size.
 
-use ivy_epr::{Budget, EprCheck, EprError, EprSession, DEFAULT_INSTANCE_LIMIT};
-use ivy_fol::intern::{self, FormulaId, Interner};
+use std::sync::Arc;
+
+use ivy_epr::{Budget, EprError};
+use ivy_fol::intern::{self, FormulaId};
 use ivy_fol::{Formula, Structure};
-use ivy_rml::{project_state, unroll, Program, SymMap, Unrolling};
+use ivy_rml::{project_state, unroll, Program, Unrolling};
 
-use crate::vc::sat_model;
-
-/// `¬(phi[map])`, built in id space: the rename is memoized per (formula,
-/// vocabulary), so re-checking the same property at another time point is a
-/// table lookup.
-fn not_renamed(phi: &Formula, map: &SymMap) -> FormulaId {
-    Interner::with(|it| {
-        let p = it.intern(phi);
-        let r = it.rename_symbols(p, map);
-        it.not(r)
-    })
-}
+use crate::oracle::{sat_model, Frame, FrameSession, Goal, Oracle, QueryStrategy};
+use crate::vc::not_renamed;
 
 /// A concrete counterexample trace: the loop-head states of an execution,
 /// labeled with the actions between them.
@@ -48,44 +40,54 @@ impl Trace {
 #[derive(Clone, Debug)]
 pub struct Bmc<'p> {
     program: &'p Program,
-    instance_limit: u64,
-    incremental: bool,
-    budget: Budget,
+    oracle: Arc<Oracle>,
 }
 
 impl<'p> Bmc<'p> {
-    /// Creates a BMC engine.
+    /// Creates a BMC engine with its own default [`Oracle`] (incremental
+    /// depth scanning via [`QueryStrategy::Session`]).
     pub fn new(program: &'p Program) -> Bmc<'p> {
-        Bmc {
-            program,
-            instance_limit: DEFAULT_INSTANCE_LIMIT,
-            incremental: true,
-            budget: Budget::UNLIMITED,
-        }
+        Bmc::with_oracle(program, Arc::new(Oracle::new()))
+    }
+
+    /// Creates a BMC engine issuing every query through `oracle` — sharing
+    /// it with other engines shares the frame-keyed session cache too.
+    pub fn with_oracle(program: &'p Program, oracle: Arc<Oracle>) -> Bmc<'p> {
+        Bmc { program, oracle }
+    }
+
+    /// The engine's oracle.
+    pub fn oracle(&self) -> &Arc<Oracle> {
+        &self.oracle
     }
 
     /// Installs a resource budget applied to every underlying EPR query;
     /// exceeding it surfaces as [`EprError::Inconclusive`], never as a
     /// spurious "no trace up to depth k".
     pub fn set_budget(&mut self, budget: Budget) {
-        self.budget = budget;
+        Arc::make_mut(&mut self.oracle).set_budget(budget);
     }
 
     /// Caps grounding size per query (see
     /// [`ivy_epr::EprCheck::set_instance_limit`]); cumulative per check call
     /// in incremental mode.
     pub fn set_instance_limit(&mut self, limit: u64) {
-        self.instance_limit = limit;
+        Arc::make_mut(&mut self.oracle).set_instance_limit(limit);
     }
 
     /// Toggles incremental solving (on by default). Incremental checks hold
-    /// one [`EprSession`] per call: the base frame is grounded once, each
+    /// one oracle session per call: the base frame is grounded once, each
     /// transition step joins it permanently as the scan deepens, and every
     /// per-depth violation runs as a retirable assumption group — so learnt
     /// clauses carry across the whole depth-by-depth scan. `false` re-solves
-    /// every depth from scratch (the reference behavior).
+    /// every depth from scratch (the reference behavior,
+    /// [`QueryStrategy::Fresh`]).
     pub fn set_incremental(&mut self, on: bool) {
-        self.incremental = on;
+        Arc::make_mut(&mut self.oracle).set_strategy(if on {
+            QueryStrategy::Session
+        } else {
+            QueryStrategy::Fresh
+        });
     }
 
     /// Checks whether `phi` is `k`-invariant: true in every state reachable
@@ -97,10 +99,10 @@ impl<'p> Bmc<'p> {
     /// Propagates [`EprError`] (fragment violations, resource limits).
     pub fn check_k_invariance(&self, phi: &Formula, k: usize) -> Result<Option<Trace>, EprError> {
         let u = unroll(self.program, k);
-        let mut session = self.maybe_session(&u)?;
+        let mut scan = self.open_scan(&u)?;
         for j in 0..=k {
             let bad = not_renamed(phi, &u.maps[j]);
-            if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
+            if let Some(model) = scan.solve_at(&u, j, ("violation", bad))? {
                 return Ok(Some(self.extract_trace(&u, j, &model, format!("~({phi})"))));
             }
         }
@@ -116,11 +118,11 @@ impl<'p> Bmc<'p> {
     /// Propagates [`EprError`].
     pub fn check_safety(&self, k: usize) -> Result<Option<Trace>, EprError> {
         let u = unroll(self.program, k);
-        let mut session = self.maybe_session(&u)?;
+        let mut scan = self.open_scan(&u)?;
         // Aborts during init (no steps involved; depth 0).
         let false_id = intern::false_id();
         if u.init_error != false_id {
-            if let Some(model) = self.solve_at(session.as_mut(), &u, 0, ("abort", u.init_error))? {
+            if let Some(model) = scan.solve_at(&u, 0, ("abort", u.init_error))? {
                 let mut trace = self.extract_trace(&u, 0, &model, String::new());
                 trace.violated = "abort during init".into();
                 return Ok(Some(trace));
@@ -130,7 +132,7 @@ impl<'p> Bmc<'p> {
             // Safety properties at state j.
             for (label, phi) in &self.program.safety {
                 let bad = not_renamed(phi, &u.maps[j]);
-                if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("violation", bad))? {
+                if let Some(model) = scan.solve_at(&u, j, ("violation", bad))? {
                     return Ok(Some(self.extract_trace(&u, j, &model, label.clone())));
                 }
             }
@@ -140,7 +142,7 @@ impl<'p> Bmc<'p> {
                     if *err == false_id {
                         continue;
                     }
-                    if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("abort", *err))? {
+                    if let Some(model) = scan.solve_at(&u, j, ("abort", *err))? {
                         return Ok(Some(self.extract_trace(
                             &u,
                             j,
@@ -153,7 +155,7 @@ impl<'p> Bmc<'p> {
             // Aborts in the finalization command from state j.
             if u.final_errors[j] != false_id {
                 let err = u.final_errors[j];
-                if let Some(model) = self.solve_at(session.as_mut(), &u, j, ("abort", err))? {
+                if let Some(model) = scan.solve_at(&u, j, ("abort", err))? {
                     return Ok(Some(self.extract_trace(
                         &u,
                         j,
@@ -166,65 +168,17 @@ impl<'p> Bmc<'p> {
         Ok(None)
     }
 
-    fn fresh_query(&self, u: &Unrolling) -> Result<EprCheck, EprError> {
-        let mut q = EprCheck::new(&u.sig)?;
-        q.set_instance_limit(self.instance_limit);
-        q.set_budget(self.budget);
-        Ok(q)
-    }
-
-    /// Opens the depth-scan session when incremental mode is on: the base
-    /// frame is asserted once; transition steps join permanently as the scan
-    /// deepens (see [`Bmc::solve_at`]).
-    fn maybe_session(&self, u: &Unrolling) -> Result<Option<ReachSession>, EprError> {
-        if !self.incremental {
-            return Ok(None);
-        }
-        let mut s = EprSession::new(&u.sig)?;
-        s.set_instance_limit(self.instance_limit);
-        s.set_budget(self.budget);
-        s.assert_id("base", u.base)?;
-        Ok(Some(ReachSession { s, steps_added: 0 }))
-    }
-
-    /// Solves `base ∧ steps[0..j] ∧ extra` through the session when one is
-    /// open (extending it with any not-yet-asserted steps — they are
-    /// permanent: deeper queries only ever add steps), or with a fresh query
-    /// otherwise.
-    fn solve_at(
-        &self,
-        session: Option<&mut ReachSession>,
-        u: &Unrolling,
-        j: usize,
-        extra: (&str, FormulaId),
-    ) -> Result<Option<Structure>, EprError> {
-        let Some(rs) = session else {
-            return self.solve_reach(u, j, extra);
-        };
-        while rs.steps_added < j {
-            rs.s.assert_id(format!("step{}", rs.steps_added), u.steps[rs.steps_added])?;
-            rs.steps_added += 1;
-        }
-        let group = rs.s.assert_id(extra.0, extra.1)?;
-        let outcome = rs.s.check()?;
-        rs.s.retire(group);
-        Ok(sat_model(outcome)?.map(|m| m.structure))
-    }
-
-    /// Solves `base ∧ steps[0..j] ∧ extra`; returns the model on SAT.
-    fn solve_reach(
-        &self,
-        u: &Unrolling,
-        j: usize,
-        extra: (&str, FormulaId),
-    ) -> Result<Option<Structure>, EprError> {
-        let mut q = self.fresh_query(u)?;
-        q.assert_id("base", u.base)?;
-        for (i, step) in u.steps.iter().take(j).enumerate() {
-            q.assert_id(format!("step{i}"), *step)?;
-        }
-        q.assert_id(extra.0, extra.1)?;
-        Ok(sat_model(q.check()?)?.map(|m| m.structure))
+    /// Opens the depth-scan handle: the frame is the unrolling base;
+    /// transition steps join as permanent groups as the scan deepens (see
+    /// [`ReachScan::solve_at`]). Under [`QueryStrategy::Fresh`] the handle
+    /// re-grounds per query — the reference behavior.
+    fn open_scan(&self, u: &Unrolling) -> Result<ReachScan<'_>, EprError> {
+        let mut frame = Frame::new(&u.sig);
+        frame.push("base", u.base);
+        Ok(ReachScan {
+            handle: self.oracle.open(&frame)?,
+            steps_added: 0,
+        })
     }
 
     /// Projects the model onto loop-head states 0..=j and labels steps by
@@ -251,11 +205,33 @@ impl<'p> Bmc<'p> {
     }
 }
 
-/// The incremental depth-scan state: one session plus how many transition
-/// steps have been permanently asserted so far.
-struct ReachSession {
-    s: EprSession,
+/// The depth-scan state: one oracle handle plus how many transition steps
+/// have been permanently asserted so far.
+struct ReachScan<'o> {
+    handle: FrameSession<'o>,
     steps_added: usize,
+}
+
+impl ReachScan<'_> {
+    /// Solves `base ∧ steps[0..j] ∧ extra`, extending the handle with any
+    /// not-yet-asserted steps — they are permanent: deeper queries only ever
+    /// add steps. Returns the model on SAT.
+    fn solve_at(
+        &mut self,
+        u: &Unrolling,
+        j: usize,
+        extra: (&str, FormulaId),
+    ) -> Result<Option<Structure>, EprError> {
+        while self.steps_added < j {
+            self.handle.assert(
+                format!("step{}", self.steps_added),
+                u.steps[self.steps_added],
+            )?;
+            self.steps_added += 1;
+        }
+        let outcome = self.handle.solve_goal(&Goal::new(extra.0, extra.1))?;
+        Ok(sat_model(outcome)?.map(|m| m.structure))
+    }
 }
 
 #[cfg(test)]
@@ -398,5 +374,19 @@ action mark { havoc n; marked.insert(n) }
         assert!(check_program(&p).is_empty());
         let bmc = Bmc::new(&p);
         assert!(bmc.check_safety(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_incremental_mode_agrees() {
+        let p = spread();
+        let mut bmc = Bmc::new(&p);
+        bmc.set_incremental(false);
+        let phi = parse_formula("forall X:node, Y:node. marked(X) & marked(Y) -> X = Y").unwrap();
+        let trace = bmc.check_k_invariance(&phi, 3).unwrap().unwrap();
+        assert_eq!(trace.steps(), 1);
+        assert!(bmc
+            .check_k_invariance(&parse_formula("marked(seed)").unwrap(), 3)
+            .unwrap()
+            .is_none());
     }
 }

@@ -14,14 +14,31 @@
 //!    deletion-based minimization;
 //! 3. re-verifies `ϕ(s_m)` (dropping facts also drops distinctness of
 //!    newly-inactive elements, which cores alone do not account for).
+//!
+//! Every embedding query goes through the engine's [`Oracle`]: the
+//! per-depth reachability frames are built once over one extended signature
+//! (a fresh constant per diagram element), so the dozens of subset queries
+//! issued during deletion minimization all hit the same pooled groundings —
+//! and fan out across worker threads under [`QueryStrategy::Parallel`].
+//!
+//! [`QueryStrategy::Parallel`]: crate::oracle::QueryStrategy::Parallel
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use ivy_epr::{EprCheck, EprError, EprOutcome};
+use ivy_epr::{EprError, EprOutcome};
+use ivy_fol::intern::{FormulaId, Interner};
 use ivy_fol::{conjecture, Elem, Fact, Formula, PartialStructure, Signature, Sym, Term};
 use ivy_rml::{rename_symbols, unroll, Program, SymMap, Unrolling};
 
 use crate::bmc::Trace;
+use crate::oracle::{Frame, Goal, Oracle};
+
+/// Interns a formula (embedding goals are built in formula space, queries
+/// run in id space).
+fn intern_formula(f: &Formula) -> FormulaId {
+    Interner::with(|it| it.intern(f))
+}
 
 /// The result of *BMC + Auto Generalize*.
 #[derive(Clone, Debug)]
@@ -43,30 +60,41 @@ pub enum AutoGen {
 #[derive(Clone, Debug)]
 pub struct Generalizer<'p> {
     program: &'p Program,
-    instance_limit: u64,
-    budget: ivy_epr::Budget,
+    oracle: Arc<Oracle>,
 }
 
 impl<'p> Generalizer<'p> {
-    /// Creates a generalizer.
+    /// Creates a generalizer with its own default [`Oracle`].
     pub fn new(program: &'p Program) -> Self {
-        Generalizer {
-            program,
-            instance_limit: ivy_epr::DEFAULT_INSTANCE_LIMIT,
-            budget: ivy_epr::Budget::UNLIMITED,
-        }
+        Generalizer::with_oracle(program, Arc::new(Oracle::new()))
+    }
+
+    /// Creates a generalizer issuing every query through `oracle` — sharing
+    /// it with other engines shares the frame-keyed session cache too.
+    pub fn with_oracle(program: &'p Program, oracle: Arc<Oracle>) -> Self {
+        Generalizer { program, oracle }
+    }
+
+    /// The engine's oracle.
+    pub fn oracle(&self) -> &Arc<Oracle> {
+        &self.oracle
+    }
+
+    /// Replaces the oracle (e.g. after reconfiguring a shared one).
+    pub fn set_oracle(&mut self, oracle: Arc<Oracle>) {
+        self.oracle = oracle;
     }
 
     /// Caps grounding size per query.
     pub fn set_instance_limit(&mut self, limit: u64) {
-        self.instance_limit = limit;
+        Arc::make_mut(&mut self.oracle).set_instance_limit(limit);
     }
 
     /// Installs a resource budget applied to every embedding query;
     /// exceeding it surfaces as [`EprError::Inconclusive`] rather than a
     /// wrong minimization step.
     pub fn set_budget(&mut self, budget: ivy_epr::Budget) {
-        self.budget = budget;
+        Arc::make_mut(&mut self.oracle).set_budget(budget);
     }
 
     /// Runs BMC + Auto Generalize on the upper bound `s_u` with bound `k`.
@@ -76,12 +104,42 @@ impl<'p> Generalizer<'p> {
     /// Propagates [`EprError`].
     pub fn auto_generalize(&self, s_u: &PartialStructure, k: usize) -> Result<AutoGen, EprError> {
         let u = unroll(self.program, k);
+        let facts: Vec<Fact> = s_u.facts().iter().cloned().collect();
+        // One extended signature with a fresh constant per element of ANY
+        // fact. Constants left unconstrained by a subset query never change
+        // EPR satisfiability, so every subset shares the signature — which
+        // keeps the per-depth frames (and their pooled groundings) stable
+        // across the whole minimization.
+        let mut sig = u.sig.clone();
+        let mut elem_const: BTreeMap<Elem, Sym> = BTreeMap::new();
+        for fact in &facts {
+            for e in fact.elements() {
+                if !elem_const.contains_key(e) {
+                    let name = ivy_fol::xform::fresh_constant_name(
+                        &sig,
+                        &format!("emb_{}{}", e.sort, e.idx),
+                    );
+                    sig.add_constant(name, e.sort).expect("fresh name");
+                    elem_const.insert(e.clone(), name);
+                }
+            }
+        }
+        // Per-depth frames: base plus the first j transition steps.
+        let mut frames: Vec<Frame> = Vec::with_capacity(k + 1);
+        let mut frame = Frame::new(&sig);
+        frame.push("base", u.base);
+        for j in 0..=k {
+            if j > 0 {
+                frame.push(format!("step{}", j - 1), u.steps[j - 1]);
+            }
+            frames.push(frame.clone());
+        }
         // Check k-invariance of ϕ(s_u) with per-fact labels, collecting the
         // union of UNSAT cores across depths.
-        let facts: Vec<Fact> = s_u.facts().iter().cloned().collect();
+        let all: Vec<usize> = (0..facts.len()).collect();
         let mut core_union: Vec<bool> = vec![false; facts.len()];
-        for j in 0..=k {
-            match self.query_embedding(&u, j, &facts, None)? {
+        for (j, frame) in frames.iter().enumerate() {
+            match self.query_embedding(frame, &u.maps[j], &facts, &all, &elem_const)? {
                 QueryResult::Sat(model) => {
                     // Reachable state contains s_u: report the trace.
                     let trace = self.trace_from(&u, j, &model);
@@ -98,18 +156,19 @@ impl<'p> Generalizer<'p> {
         }
         // Candidate from the cores.
         let seeded: Vec<usize> = (0..facts.len()).filter(|&i| core_union[i]).collect();
-        let mut kept: Vec<usize> =
-            if seeded.len() < facts.len() && self.invariant_with(&u, k, &facts, &seeded)? {
-                seeded
-            } else {
-                (0..facts.len()).collect()
-            };
+        let mut kept: Vec<usize> = if seeded.len() < facts.len()
+            && self.invariant_with(&frames, &u, &facts, &seeded, &elem_const)?
+        {
+            seeded
+        } else {
+            all
+        };
         // Deletion-based minimization on the remaining facts.
         let mut i = 0;
         while i < kept.len() {
             let mut candidate = kept.clone();
             candidate.remove(i);
-            if self.invariant_with(&u, k, &facts, &candidate)? {
+            if self.invariant_with(&frames, &u, &facts, &candidate, &elem_const)? {
                 kept = candidate;
             } else {
                 i += 1;
@@ -134,81 +193,44 @@ impl<'p> Generalizer<'p> {
     }
 
     /// Checks whether the conjecture of `s_u` restricted to the given fact
-    /// subset is `k`-invariant.
+    /// subset is `k`-invariant: no depth's frame embeds the subset. One
+    /// query family over the per-depth frames — fanned out in parallel
+    /// under [`crate::oracle::QueryStrategy::Parallel`].
     fn invariant_with(
         &self,
+        frames: &[Frame],
         u: &Unrolling,
-        k: usize,
         facts: &[Fact],
         subset: &[usize],
+        elem_const: &BTreeMap<Elem, Sym>,
     ) -> Result<bool, EprError> {
-        for j in 0..=k {
-            match self.query_embedding(u, j, facts, Some(subset))? {
-                QueryResult::Sat(_) => return Ok(false),
-                QueryResult::Unsat(_) => {}
-            }
-        }
-        Ok(true)
+        let found = self.oracle.first_sat_frames(
+            frames.len(),
+            |j| {
+                (
+                    &frames[j],
+                    embed_goal(facts, subset, elem_const, &u.maps[j]),
+                )
+            },
+            |_, _| (),
+        )?;
+        Ok(found.is_none())
     }
 
-    /// Solves: "some state reachable in exactly `j` steps embeds the given
-    /// facts of `s_u`". The diagram's existential element variables become
-    /// explicit fresh constants so each fact can be labeled individually
-    /// for UNSAT cores.
-    ///
-    /// With `subset = Some(is)`, only those facts are asserted (plus
-    /// distinctness over *their* active elements); with `None`, all facts
-    /// and full distinctness.
+    /// Solves: "some state reachable under `frame` embeds the given facts
+    /// of `s_u`" — the diagram's existential element variables are the
+    /// frame signature's embedding constants, so each fact carries its own
+    /// label for UNSAT cores.
     fn query_embedding(
         &self,
-        u: &Unrolling,
-        j: usize,
+        frame: &Frame,
+        map: &SymMap,
         facts: &[Fact],
-        subset: Option<&[usize]>,
+        selected: &[usize],
+        elem_const: &BTreeMap<Elem, Sym>,
     ) -> Result<QueryResult, EprError> {
-        let selected: Vec<usize> = match subset {
-            Some(is) => is.to_vec(),
-            None => (0..facts.len()).collect(),
-        };
-        // Fresh constants per active element.
-        let mut sig = u.sig.clone();
-        let mut elem_const: BTreeMap<Elem, Sym> = BTreeMap::new();
-        for &i in &selected {
-            for e in facts[i].elements() {
-                if !elem_const.contains_key(e) {
-                    let name = ivy_fol::xform::fresh_constant_name(
-                        &sig,
-                        &format!("emb_{}{}", e.sort, e.idx),
-                    );
-                    sig.add_constant(name, e.sort).expect("fresh name");
-                    elem_const.insert(e.clone(), name);
-                }
-            }
-        }
-        let mut q = EprCheck::new(&sig)?;
-        q.set_instance_limit(self.instance_limit);
-        q.set_budget(self.budget);
-        q.assert_id("base", u.base)?;
-        for (i, step) in u.steps.iter().take(j).enumerate() {
-            q.assert_id(format!("step{i}"), *step)?;
-        }
-        // Distinctness among same-sort active elements (kept hard: partial
-        // structures identify elements, not the facts about them).
-        let mut distinct_parts = Vec::new();
-        for (a, ca) in &elem_const {
-            for (b, cb) in &elem_const {
-                if a < b && a.sort == b.sort {
-                    distinct_parts.push(Formula::neq(Term::cst(*ca), Term::cst(*cb)));
-                }
-            }
-        }
-        q.assert_labeled("distinct", &Formula::and(distinct_parts))?;
-        // The facts, each individually labeled, at state j's vocabulary.
-        for &i in &selected {
-            let f = fact_formula(&facts[i], &elem_const, &u.maps[j]);
-            q.assert_labeled(format!("fact{i}"), &f)?;
-        }
-        match q.check()? {
+        let goal = embed_goal(facts, selected, elem_const, map);
+        match self.oracle.solve(frame, &goal)? {
             EprOutcome::Sat(model) => Ok(QueryResult::Sat(model.structure)),
             EprOutcome::Unsat(core) => {
                 let mut flags = vec![false; facts.len()];
@@ -257,6 +279,41 @@ enum QueryResult {
     Unsat(Vec<bool>),
 }
 
+/// The embedding goal for one fact subset at one state vocabulary:
+/// distinctness among the *selected* facts' active elements (kept hard:
+/// partial structures identify elements, not the facts about them), plus
+/// each selected fact individually labeled for UNSAT cores.
+fn embed_goal(
+    facts: &[Fact],
+    selected: &[usize],
+    elem_const: &BTreeMap<Elem, Sym>,
+    map: &SymMap,
+) -> Goal {
+    let mut active: Vec<(&Elem, &Sym)> = Vec::new();
+    for &i in selected {
+        for e in facts[i].elements() {
+            let c = &elem_const[e];
+            if !active.iter().any(|(a, _)| *a == e) {
+                active.push((e, c));
+            }
+        }
+    }
+    let mut distinct_parts = Vec::new();
+    for (ai, (a, ca)) in active.iter().enumerate() {
+        for (b, cb) in active.iter().skip(ai + 1) {
+            if a.sort == b.sort {
+                distinct_parts.push(Formula::neq(Term::cst(**ca), Term::cst(**cb)));
+            }
+        }
+    }
+    let mut goal = Goal::new("distinct", intern_formula(&Formula::and(distinct_parts)));
+    for &i in selected {
+        let f = fact_formula(&facts[i], elem_const, map);
+        goal.push(format!("fact{i}"), intern_formula(&f));
+    }
+    goal
+}
+
 /// Translates a partial-structure fact into a formula over embedding
 /// constants, renamed to a state vocabulary.
 fn fact_formula(fact: &Fact, elem_const: &BTreeMap<Elem, Sym>, map: &SymMap) -> Formula {
@@ -300,13 +357,14 @@ pub fn implied(
     hypotheses: &[Formula],
     phi: &Formula,
 ) -> Result<bool, EprError> {
-    let mut q = EprCheck::new(sig)?;
-    q.assert_labeled("axioms", axioms)?;
+    let oracle = Oracle::new();
+    let mut frame = Frame::new(sig);
+    frame.push("axioms", intern_formula(axioms));
     for (i, h) in hypotheses.iter().enumerate() {
-        q.assert_labeled(format!("h{i}"), h)?;
+        frame.push(format!("h{i}"), intern_formula(h));
     }
-    q.assert_labeled("neg", &Formula::not(phi.clone()))?;
-    match q.check()? {
+    let goal = Goal::new("neg", intern_formula(&Formula::not(phi.clone())));
+    match oracle.solve(&frame, &goal)? {
         EprOutcome::Sat(_) => Ok(false),
         EprOutcome::Unsat(_) => Ok(true),
         EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
@@ -393,6 +451,41 @@ action mark { havoc n; marked.insert(n) }
                 assert_eq!(conjecture.to_string(), "forall NODE1:node. ~blue(NODE1)");
             }
             AutoGen::TooStrong(_) => panic!("blue nodes are unreachable"),
+        }
+    }
+
+    #[test]
+    fn generalizer_strategies_agree() {
+        let p = spread();
+        use std::sync::Arc;
+        let mut s = ivy_fol::Structure::new(Arc::new(p.sig.clone()));
+        let a = s.add_element("node");
+        let b = s.add_element("node");
+        s.set_fun("seed", vec![], a.clone());
+        s.set_fun("n", vec![], a.clone());
+        s.set_rel("marked", vec![a.clone()], true);
+        s.set_rel("blue", vec![b.clone()], true);
+        let mut s_u = PartialStructure::empty_over(&s);
+        s_u.define_rel("blue", vec![b.clone()], true);
+        s_u.define_rel("marked", vec![a.clone()], true);
+        for strategy in [
+            crate::oracle::QueryStrategy::Fresh,
+            crate::oracle::QueryStrategy::Session,
+            crate::oracle::QueryStrategy::Parallel(3),
+        ] {
+            let mut oracle = Oracle::new();
+            oracle.set_strategy(strategy);
+            let g = Generalizer::with_oracle(&p, Arc::new(oracle));
+            match g.auto_generalize(&s_u, 2).unwrap() {
+                AutoGen::Generalized { conjecture, .. } => {
+                    assert_eq!(
+                        conjecture.to_string(),
+                        "forall NODE1:node. ~blue(NODE1)",
+                        "{strategy:?}"
+                    );
+                }
+                AutoGen::TooStrong(_) => panic!("{strategy:?}: blue nodes are unreachable"),
+            }
         }
     }
 

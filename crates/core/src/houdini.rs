@@ -9,10 +9,13 @@
 //! inductive. The result is the strongest inductive invariant within the
 //! candidate set; safety is then checked separately.
 
-use ivy_epr::{Budget, EprError, EprOutcome, EprSession, GroupId};
+use std::sync::Arc;
+
+use ivy_epr::{Budget, EprError, EprOutcome};
 use ivy_fol::{Binding, Formula, Signature, Sort, Term};
 use ivy_rml::{project_state, unroll, unroll_free, Program};
 
+use crate::oracle::{Frame, FrameGroup, Goal, Oracle};
 use crate::vc::{not_renamed, renamed_id, Conjecture, Verifier};
 
 /// Result of a Houdini run.
@@ -53,92 +56,97 @@ pub fn houdini_budgeted(
     instance_limit: u64,
     budget: Budget,
 ) -> Result<HoudiniResult, EprError> {
+    let mut oracle = Oracle::new();
+    oracle.set_instance_limit(instance_limit);
+    oracle.set_budget(budget);
+    houdini_with_oracle(program, candidates, &Arc::new(oracle))
+}
+
+/// [`houdini`] issuing every query through `oracle`: its strategy governs
+/// how candidate sweeps run (incrementally, fresh, or fanned out in
+/// parallel), and its frame-keyed session cache is shared with any other
+/// engine holding the same oracle — e.g. the final safety check reuses the
+/// one-step frame grounded during consecution filtering.
+///
+/// # Errors
+///
+/// Propagates [`EprError`].
+pub fn houdini_with_oracle(
+    program: &Program,
+    candidates: Vec<Conjecture>,
+    oracle: &Arc<Oracle>,
+) -> Result<HoudiniResult, EprError> {
     let mut set = candidates;
     let mut iterations = 0usize;
 
     // Initiation. Each query asks "can init violate this candidate?" — the
     // frame is just the init unrolling, independent of the candidate set, so
-    // one incremental session and a single pass suffice: a drop cannot
-    // invalidate an earlier UNSAT answer.
+    // a single pass over the family suffices: a drop cannot invalidate an
+    // earlier UNSAT answer. `done` counts the verified prefix; verified
+    // candidates always survive a batch-drop (the witnessing state is an
+    // init state, and their violations were just proven init-unsatisfiable),
+    // so the scan resumes in place after each CTI.
     {
         let u = unroll(program, 0);
-        let mut s = EprSession::new(&u.sig)?;
-        s.set_instance_limit(instance_limit);
-        s.set_budget(budget);
-        s.assert_id("base", u.base)?;
-        let mut i = 0;
-        while i < set.len() {
-            let bad = not_renamed(&set[i].formula, &u.maps[0]);
-            let group = s.assert_id("violation", bad)?;
-            let outcome = s.check()?;
-            s.retire(group);
-            match outcome {
-                EprOutcome::Unsat(_) => i += 1,
-                EprOutcome::Sat(model) => {
-                    iterations += 1;
-                    let state = project_state(&model.structure, &program.sig, &u.maps[0]);
-                    // Batch-drop everything false in the witnessing state
-                    // (including set[i] itself, whose violation was just
-                    // satisfied). Surviving earlier candidates stay valid,
-                    // so the scan resumes in place.
-                    set.retain(|c| state.eval_closed(&c.formula).unwrap_or(false));
-                }
-                EprOutcome::Unknown(r) => return Err(EprError::Inconclusive(r)),
-            }
+        let mut frame = Frame::new(&u.sig);
+        frame.push("base", u.base);
+        let mut done = 0;
+        while done < set.len() {
+            let found = oracle.first_sat(
+                &frame,
+                set.len() - done,
+                |i| Goal::new("violation", not_renamed(&set[done + i].formula, &u.maps[0])),
+                |i, model| (i, project_state(&model.structure, &program.sig, &u.maps[0])),
+            )?;
+            let Some((offset, state)) = found else {
+                break;
+            };
+            iterations += 1;
+            // Batch-drop everything false in the witnessing state (including
+            // the violated candidate itself).
+            set.retain(|c| state.eval_closed(&c.formula).unwrap_or(false));
+            done += offset;
         }
     }
 
-    // Consecution: one session across all drop-loop rounds. The base and
-    // the transition step are grounded once; each candidate contributes a
-    // hypothesis group at the pre-state (retired when the candidate drops)
-    // and, lazily, a violation group at the post-state (kept disabled
-    // between its own queries, so re-checks after a drop reuse its clauses
-    // and everything the solver learnt).
+    // Consecution: one oracle handle across all drop-loop rounds. The base
+    // and the transition step are grounded once; each candidate contributes
+    // a hypothesis group at the pre-state (retired when the candidate
+    // drops). Its post-state violation is probed as a per-query *goal*, not
+    // a persistent group: a violation is existential, so keeping N of them
+    // on the session would pile up N sets of Skolem constants and
+    // re-instantiate every hypothesis over all of them, whereas goal groups
+    // are retired immediately and the session recycles their Skolems — the
+    // ground universe stays the size of one violation, as under fresh
+    // grounding.
     {
         let u = unroll_free(program, 1);
-        let mut s = EprSession::new(&u.sig)?;
-        s.set_instance_limit(instance_limit);
-        s.set_budget(budget);
-        s.assert_id("base", u.base)?;
-        s.assert_id("step", u.steps[0])?;
-        let mut entries: Vec<(Conjecture, GroupId, Option<GroupId>)> = Vec::new();
+        let mut frame = Frame::new(&u.sig);
+        frame.push("base", u.base);
+        frame.push("step", u.steps[0]);
+        let mut h = oracle.open(&frame)?;
+        let mut entries: Vec<(Conjecture, FrameGroup)> = Vec::new();
         for c in set.drain(..) {
-            let hyp = s.assert_id(
+            let hyp = h.assert(
                 format!("inv:{}", c.name),
                 renamed_id(&c.formula, &u.maps[0]),
             )?;
-            entries.push((c, hyp, None));
+            entries.push((c, hyp));
         }
         let mut i = 0;
         while i < entries.len() {
-            let vio = match entries[i].2 {
-                Some(id) => {
-                    s.set_enabled(id, true);
-                    id
-                }
-                None => {
-                    let bad = not_renamed(&entries[i].0.formula, &u.maps[1]);
-                    let id = s.assert_id("violation", bad)?;
-                    entries[i].2 = Some(id);
-                    id
-                }
-            };
-            let outcome = s.check()?;
-            s.set_enabled(vio, false);
-            match outcome {
+            let bad = not_renamed(&entries[i].0.formula, &u.maps[1]);
+            match h.solve_goal(&Goal::new("violation", bad))? {
                 EprOutcome::Unsat(_) => i += 1,
                 EprOutcome::Sat(model) => {
                     iterations += 1;
                     let successor = project_state(&model.structure, &program.sig, &u.maps[1]);
                     let before = entries.len();
-                    entries.retain(|(c, hyp, vio)| {
+                    entries.retain(|(c, hyp)| {
                         if successor.eval_closed(&c.formula).unwrap_or(false) {
                             true
                         } else {
-                            s.retire(*hyp);
-                            if let Some(v) = *vio {
-                                s.retire(v);
-                            }
+                            h.retire(*hyp);
                             false
                         }
                     });
@@ -155,12 +163,10 @@ pub fn houdini_budgeted(
                 EprOutcome::Unknown(r) => return Err(EprError::Inconclusive(r)),
             }
         }
-        set = entries.into_iter().map(|(c, _, _)| c).collect();
+        set = entries.into_iter().map(|(c, _)| c).collect();
     }
 
-    let mut verifier = Verifier::new(program);
-    verifier.set_instance_limit(instance_limit);
-    verifier.set_budget(budget);
+    let verifier = Verifier::with_oracle(program, oracle.clone());
     let proves_safety = verifier.check_safety(&set)?.is_none();
     Ok(HoudiniResult {
         invariant: set,

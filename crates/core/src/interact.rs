@@ -9,6 +9,8 @@
 //! paper's Figures 7–9 session) and an oracle user (an ideal user guided by
 //! a known inductive invariant, used to reproduce Figure 14's G column).
 
+use std::sync::Arc;
+
 use ivy_epr::EprError;
 use ivy_fol::{conjecture, PartialStructure};
 use ivy_rml::Program;
@@ -16,6 +18,7 @@ use ivy_rml::Program;
 use crate::bmc::Trace;
 use crate::generalize::{AutoGen, Generalizer};
 use crate::minimize::Measure;
+use crate::oracle::Oracle;
 use crate::vc::{Conjecture, Cti, Verifier};
 
 /// Read-only view of the session handed to user callbacks.
@@ -142,9 +145,15 @@ pub struct SessionStats {
 }
 
 /// An interactive invariant-search session (the loop of Figure 5).
+///
+/// The verifier and the generalizer share one [`Oracle`]: the inductiveness
+/// frames grounded while finding a CTI stay pooled for the minimization
+/// descent, and the generalizer's reachability frames stay warm across the
+/// user's repeated generalization attempts.
 pub struct Session<'p> {
     verifier: Verifier<'p>,
     generalizer: Generalizer<'p>,
+    oracle: Arc<Oracle>,
     program: &'p Program,
     measures: Vec<Measure>,
     conjectures: Vec<Conjecture>,
@@ -160,10 +169,21 @@ impl<'p> Session<'p> {
         initial: Vec<Conjecture>,
         measures: Vec<Measure>,
     ) -> Session<'p> {
+        Session::with_oracle(program, initial, measures, Arc::new(Oracle::new()))
+    }
+
+    /// Starts a session whose engines issue every query through `oracle`.
+    pub fn with_oracle(
+        program: &'p Program,
+        initial: Vec<Conjecture>,
+        measures: Vec<Measure>,
+        oracle: Arc<Oracle>,
+    ) -> Session<'p> {
         let fresh_index = initial.len();
         Session {
-            verifier: Verifier::new(program),
-            generalizer: Generalizer::new(program),
+            verifier: Verifier::with_oracle(program, oracle.clone()),
+            generalizer: Generalizer::with_oracle(program, oracle.clone()),
+            oracle,
             program,
             measures,
             conjectures: initial,
@@ -172,10 +192,20 @@ impl<'p> Session<'p> {
         }
     }
 
-    /// Caps grounding size per query.
+    /// Caps grounding size per query. Rebuilds the shared oracle (cloning
+    /// an oracle clones configuration, not pooled sessions).
     pub fn set_instance_limit(&mut self, limit: u64) {
-        self.verifier.set_instance_limit(limit);
-        self.generalizer.set_instance_limit(limit);
+        let mut o = Oracle::clone(&self.oracle);
+        o.set_instance_limit(limit);
+        let o = Arc::new(o);
+        self.oracle = o.clone();
+        self.verifier.set_oracle(o.clone());
+        self.generalizer.set_oracle(o);
+    }
+
+    /// The session's shared oracle.
+    pub fn oracle(&self) -> &Arc<Oracle> {
+        &self.oracle
     }
 
     /// The current candidate invariant.

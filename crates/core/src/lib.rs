@@ -10,6 +10,7 @@ pub mod generalize;
 pub mod houdini;
 pub mod interact;
 pub mod minimize;
+pub mod oracle;
 pub mod users;
 pub mod vc;
 pub mod viz;
@@ -17,15 +18,17 @@ pub mod viz;
 pub use bmc::{Bmc, Trace};
 pub use generalize::{implied, AutoGen, Generalizer};
 pub use houdini::{
-    enumerate_candidates, houdini, houdini_budgeted, houdini_with_template, HoudiniResult,
+    enumerate_candidates, houdini, houdini_budgeted, houdini_with_oracle, houdini_with_template,
+    HoudiniResult,
 };
 pub use interact::{
     CtiDecision, Proposal, ProposalDecision, Session, SessionCtx, SessionOutcome, SessionStats,
     TooStrongDecision, User,
 };
 pub use minimize::Measure;
+pub use oracle::{Frame, FrameGroup, FrameSession, Goal, Oracle, QueryStrategy};
 pub use users::{violation_witness, OracleUser, ScriptedUser};
-pub use vc::{Conjecture, Cti, Inductiveness, QueryStrategy, Verifier, Violation};
+pub use vc::{Conjecture, Cti, Inductiveness, Verifier, Violation};
 pub use viz::{
     partial_to_dot, structure_to_dot, trace_to_dot, trace_to_text, Projection, VizOptions,
 };

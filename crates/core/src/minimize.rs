@@ -8,7 +8,7 @@
 use ivy_epr::EprError;
 use ivy_fol::{Binding, Formula, Sort, Sym, Term};
 
-use crate::vc::{Conjecture, Cti, QueryStrategy, Verifier};
+use crate::vc::{Conjecture, Cti, Verifier};
 
 /// A minimization measure (Section 4.3).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -137,14 +137,20 @@ impl<'p> Verifier<'p> {
         // (expensive) UNSAT query per measure instead of one per value.
         const ROUND_BUDGET: Option<usize> = Some(30);
         const MEASURE_BUDGET: std::time::Duration = std::time::Duration::from_secs(15);
-        // Under the incremental strategies, one session carries the whole
-        // descent: the violation's frame is grounded once and each candidate
-        // bound below runs as a retirable constraint group on the same
-        // solver. The violation kind and conjecture never change across the
-        // descent (only the witness shrinks), so the frame stays valid.
-        let mut session = match self.strategy() {
-            QueryStrategy::Fresh => None,
-            _ => self.violation_session(conjectures, &best.violation, ROUND_BUDGET)?,
+        // One oracle handle carries the whole descent: the violation's frame
+        // matches the inductiveness check that found it, and each candidate
+        // bound below runs as a retirable constraint group. The oracle owns
+        // the strategy — under `Fresh` the handle re-solves from scratch,
+        // under the incremental strategies it recycles the grounding — so
+        // minimization never branches on strategy. The violation kind and
+        // conjecture never change across the descent (only the witness
+        // shrinks), so the frame stays valid.
+        let Some(mut session) =
+            self.violation_session(conjectures, &best.violation, ROUND_BUDGET)?
+        else {
+            // The violation names no known safety case (cannot happen for a
+            // CTI we just produced); return it unminimized.
+            return Ok(Some(best));
         };
         for m in measures {
             let started = std::time::Instant::now();
@@ -159,16 +165,7 @@ impl<'p> Verifier<'p> {
                 let constraint = m.at_most(&self.program().sig, current - 1);
                 let mut candidate_extra = extra.clone();
                 candidate_extra.push(constraint);
-                let attempt = match session.as_mut() {
-                    Some(s) => s.solve(&candidate_extra),
-                    None => self.check_violation_constrained(
-                        conjectures,
-                        &best.violation.clone(),
-                        &candidate_extra,
-                        ROUND_BUDGET,
-                    ),
-                };
-                match attempt {
+                match session.solve(&candidate_extra) {
                     Ok(Some(cti)) => best = cti,
                     Ok(None) => break,
                     Err(EprError::RepairLimit { .. })

@@ -1,0 +1,946 @@
+//! The unified solver oracle: one frame-cached, strategy-aware query
+//! layer under every proof engine.
+//!
+//! Every engine in this crate — inductiveness checking ([`crate::vc`]),
+//! bounded verification ([`crate::bmc`]), Houdini ([`mod@crate::houdini`]),
+//! minimal-CTI search ([`crate::minimize`]), and BMC + Auto Generalize
+//! ([`crate::generalize`]) — is ultimately a stream of EPR queries against
+//! a shared *frame*: the axioms, the unrolling, and the background
+//! hypotheses that stay fixed while only a small per-query *goal* changes.
+//! This module factors that observation into three types:
+//!
+//! * [`Frame`]: a signature plus an ordered list of labeled, interned
+//!   assertions, content-fingerprinted via [`ivy_epr::frame_fingerprint`].
+//! * [`Goal`]: the per-query assertions, labeled for UNSAT cores.
+//! * [`Oracle`]: owns the [`QueryStrategy`], the resource [`Budget`],
+//!   instance/lazy-round limits, a telemetry rollup, and a
+//!   frame-fingerprint-keyed pool of grounded [`EprSession`]s, so engines
+//!   querying the same frame — even different engines, at different times —
+//!   reuse one grounding instead of re-grounding it per query family.
+//!
+//! # Cache invalidation rules
+//!
+//! A pooled session is keyed by its frame's fingerprint: the signature
+//! content plus the ordered `(label, FormulaId)` assertion list. Any change
+//! to the frame — one more hypothesis, a different unrolling depth, a grown
+//! signature — changes the fingerprint, so stale reuse is impossible by
+//! construction. Per-query state never enters the pool: a checked-out
+//! [`FrameSession`] retires all of its groups on drop, restoring the
+//! session to frame-only state before check-in. Budgets and limits are
+//! re-applied at checkout (a pooled session may carry stale deadlines).
+//! Sessions carry a *cumulative* instantiation budget; when a recycled
+//! session has too little left for a new group, the oracle transparently
+//! rebuilds it from the frame and replays the handle's groups, so verdicts
+//! match fresh grounding exactly. The pool holds at most
+//! [`MAX_POOLED_SESSIONS`] sessions (oldest evicted first).
+
+use std::fmt;
+use std::sync::Mutex;
+
+use ivy_epr::{
+    frame_fingerprint, Budget, EprCheck, EprError, EprOutcome, EprSession, GroupId, Model,
+    DEFAULT_INSTANCE_LIMIT,
+};
+use ivy_fol::intern::FormulaId;
+use ivy_fol::Signature;
+use ivy_telemetry::{counter_add, OracleRollup, QueryReport};
+
+/// Extracts the SAT model of an outcome, mapping a budget-exhausted
+/// [`EprOutcome::Unknown`] to [`EprError::Inconclusive`] so callers can
+/// never mistake "ran out of budget" for "no counterexample".
+pub(crate) fn sat_model(outcome: EprOutcome) -> Result<Option<Model>, EprError> {
+    match outcome {
+        EprOutcome::Sat(model) => Ok(Some(*model)),
+        EprOutcome::Unsat(_) => Ok(None),
+        EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
+    }
+}
+
+/// How an [`Oracle`] discharges its families of per-goal queries.
+///
+/// All three strategies return the same verdict and report the same
+/// first-found witness (the one with the lowest goal index); only the
+/// witnessing model may differ, as SAT models are not unique.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueryStrategy {
+    /// One fresh [`EprCheck`] per query: the frame is re-grounded and
+    /// re-encoded every time. The reference implementation.
+    Fresh,
+    /// Incremental [`EprSession`]s, pooled by frame fingerprint: the frame
+    /// is grounded once and each goal runs as an assumption-guarded group
+    /// on the same solver, reusing learnt clauses and repaired equality
+    /// axioms across queries — and across engines. The default.
+    #[default]
+    Session,
+    /// Fresh per-query checks fanned out over (up to) the given number of
+    /// worker threads, in waves. Deterministic: each wave's results are
+    /// inspected in goal order, so the lowest-index witness wins regardless
+    /// of thread timing.
+    Parallel(usize),
+}
+
+/// The persistent part of a query family: a signature plus an ordered list
+/// of labeled, interned assertions (axioms, unrolling, background
+/// hypotheses). Content-fingerprinted so oracles can pool grounded
+/// sessions per frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    sig: Signature,
+    asserts: Vec<(String, FormulaId)>,
+}
+
+impl Frame {
+    /// An empty frame over `sig`.
+    pub fn new(sig: &Signature) -> Frame {
+        Frame {
+            sig: sig.clone(),
+            asserts: Vec::new(),
+        }
+    }
+
+    /// Appends one labeled assertion.
+    pub fn push(&mut self, label: impl Into<String>, id: FormulaId) {
+        self.asserts.push((label.into(), id));
+    }
+
+    /// The frame's signature.
+    pub fn sig(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// The labeled assertions, in insertion order.
+    pub fn asserts(&self) -> &[(String, FormulaId)] {
+        &self.asserts
+    }
+
+    /// The frame's content fingerprint (process-local; see
+    /// [`ivy_epr::frame_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        frame_fingerprint(&self.sig, &self.asserts)
+    }
+}
+
+/// The per-query part: labeled assertions conjoined with a frame for one
+/// query, labeled individually so UNSAT cores can name them.
+#[derive(Clone, Debug, Default)]
+pub struct Goal {
+    asserts: Vec<(String, FormulaId)>,
+}
+
+impl Goal {
+    /// A goal with one labeled assertion.
+    pub fn new(label: impl Into<String>, id: FormulaId) -> Goal {
+        let mut g = Goal::default();
+        g.push(label, id);
+        g
+    }
+
+    /// Appends one labeled assertion.
+    pub fn push(&mut self, label: impl Into<String>, id: FormulaId) {
+        self.asserts.push((label.into(), id));
+    }
+
+    /// The labeled assertions, in insertion order.
+    pub fn asserts(&self) -> &[(String, FormulaId)] {
+        &self.asserts
+    }
+}
+
+/// Upper bound on pooled sessions per oracle; the oldest is evicted first.
+pub const MAX_POOLED_SESSIONS: usize = 8;
+
+/// A [`FrameSession`] that asserted more handle groups than this is *not*
+/// returned to the pool on drop. Retiring a group disables its assumption
+/// but keeps its clauses, so a handle with heavy group churn (Houdini's
+/// per-candidate hypothesis juggling, a long minimization descent) leaves a
+/// session whose dead clauses tax every later tenant — re-grounding the
+/// frame is cheaper than inheriting them. Goal asserts are not counted:
+/// they are one or two groups per query by construction.
+pub const MAX_POOLED_HANDLE_GROUPS: usize = 8;
+
+/// The solver oracle: every engine's single point of contact with the EPR
+/// layer (see the module docs).
+///
+/// Cloning an oracle clones its *configuration* (strategy, budget, limits)
+/// with an empty session pool and fresh telemetry — pooled sessions are
+/// not shareable solver state.
+pub struct Oracle {
+    strategy: QueryStrategy,
+    budget: Budget,
+    instance_limit: u64,
+    lazy_round_limit: Option<usize>,
+    pool: Mutex<Vec<(u64, EprSession)>>,
+    rollup: Mutex<OracleRollup>,
+}
+
+impl Clone for Oracle {
+    fn clone(&self) -> Oracle {
+        Oracle {
+            strategy: self.strategy,
+            budget: self.budget,
+            instance_limit: self.instance_limit,
+            lazy_round_limit: self.lazy_round_limit,
+            pool: Mutex::new(Vec::new()),
+            rollup: Mutex::new(OracleRollup::new()),
+        }
+    }
+}
+
+impl fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oracle")
+            .field("strategy", &self.strategy)
+            .field("budget", &self.budget)
+            .field("instance_limit", &self.instance_limit)
+            .field("lazy_round_limit", &self.lazy_round_limit)
+            .field("pooled_sessions", &self.pool.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    /// An oracle with the default strategy ([`QueryStrategy::Session`]),
+    /// no budget, and the default instance limit.
+    pub fn new() -> Oracle {
+        Oracle {
+            strategy: QueryStrategy::default(),
+            budget: Budget::UNLIMITED,
+            instance_limit: DEFAULT_INSTANCE_LIMIT,
+            lazy_round_limit: None,
+            pool: Mutex::new(Vec::new()),
+            rollup: Mutex::new(OracleRollup::new()),
+        }
+    }
+
+    /// Selects how query families are discharged.
+    pub fn set_strategy(&mut self, strategy: QueryStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The active query strategy.
+    pub fn strategy(&self) -> QueryStrategy {
+        self.strategy
+    }
+
+    /// Installs a resource budget applied to every query. Exceeding it
+    /// surfaces as [`EprError::Inconclusive`] rather than a wrong verdict.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The active resource budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Caps grounding size per query (cumulative per session under
+    /// [`QueryStrategy::Session`]; the oracle rebuilds exhausted recycled
+    /// sessions transparently).
+    pub fn set_instance_limit(&mut self, limit: u64) {
+        self.instance_limit = limit;
+    }
+
+    /// The active instance limit.
+    pub fn instance_limit(&self) -> u64 {
+        self.instance_limit
+    }
+
+    /// Bounds the lazy equality repair loop per query; exceeding it yields
+    /// [`EprError::RepairLimit`]. `None` (the default) never gives up.
+    pub fn set_lazy_round_limit(&mut self, limit: Option<usize>) {
+        self.lazy_round_limit = limit;
+    }
+
+    /// Discharges one `frame ∧ goal` query under the active strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn solve(&self, frame: &Frame, goal: &Goal) -> Result<EprOutcome, EprError> {
+        match self.strategy {
+            QueryStrategy::Session => self.open(frame)?.solve_goal(goal),
+            _ => self.fresh_goal(frame, goal),
+        }
+    }
+
+    /// Discharges the query family `frame ∧ goal(0..count)` and returns the
+    /// lowest-index satisfiable goal's witness, or `None` when every goal is
+    /// unsatisfiable. Under [`QueryStrategy::Parallel`] the goals fan out
+    /// over worker threads in waves; the result is deterministic (lowest
+    /// index wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`]; a budget-exhausted `Unknown` surfaces as
+    /// [`EprError::Inconclusive`].
+    pub fn first_sat<T, G, W>(
+        &self,
+        frame: &Frame,
+        count: usize,
+        goal: G,
+        witness: W,
+    ) -> Result<Option<T>, EprError>
+    where
+        T: Send,
+        G: Fn(usize) -> Goal + Sync,
+        W: Fn(usize, &Model) -> T + Sync,
+    {
+        match self.strategy {
+            QueryStrategy::Parallel(threads) => parallel_first(threads, count, |i| {
+                Ok(sat_model(self.fresh_goal(frame, &goal(i))?)?.map(|m| witness(i, &m)))
+            }),
+            QueryStrategy::Session => {
+                let mut h = self.open(frame)?;
+                for i in 0..count {
+                    if let Some(m) = sat_model(h.solve_goal(&goal(i))?)? {
+                        return Ok(Some(witness(i, &m)));
+                    }
+                }
+                Ok(None)
+            }
+            QueryStrategy::Fresh => {
+                for i in 0..count {
+                    if let Some(m) = sat_model(self.fresh_goal(frame, &goal(i))?)? {
+                        return Ok(Some(witness(i, &m)));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Like [`Oracle::first_sat`], but each query may probe a *different*
+    /// frame (e.g. one per unrolling depth). Under
+    /// [`QueryStrategy::Session`] each frame's session comes from the pool,
+    /// so repeated families over the same frames stay warm.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Oracle::first_sat`].
+    pub fn first_sat_frames<'f, T, P, W>(
+        &self,
+        count: usize,
+        probe: P,
+        witness: W,
+    ) -> Result<Option<T>, EprError>
+    where
+        T: Send,
+        P: Fn(usize) -> (&'f Frame, Goal) + Sync,
+        W: Fn(usize, &Model) -> T + Sync,
+    {
+        match self.strategy {
+            QueryStrategy::Parallel(threads) => parallel_first(threads, count, |i| {
+                let (frame, goal) = probe(i);
+                Ok(sat_model(self.fresh_goal(frame, &goal)?)?.map(|m| witness(i, &m)))
+            }),
+            _ => {
+                for i in 0..count {
+                    let (frame, goal) = probe(i);
+                    if let Some(m) = sat_model(self.solve(frame, &goal)?)? {
+                        return Ok(Some(witness(i, &m)));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Opens a handle for a *stateful* query family over one frame: the
+    /// caller asserts, toggles, and retires its own groups on top of the
+    /// frame (Houdini's hypothesis juggling, BMC's deepening step scan,
+    /// minimization's constraint descent). Under [`QueryStrategy::Fresh`]
+    /// the handle records groups and re-grounds per query; otherwise it
+    /// holds a live session (pooled on drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`] from grounding the frame.
+    pub fn open(&self, frame: &Frame) -> Result<FrameSession<'_>, EprError> {
+        let key = frame.fingerprint();
+        let live = match self.strategy {
+            QueryStrategy::Fresh => None,
+            _ => {
+                let (session, reused) = self.checkout(frame, key)?;
+                Some(LiveState {
+                    session,
+                    map: Vec::new(),
+                    reused,
+                })
+            }
+        };
+        Ok(FrameSession {
+            oracle: self,
+            frame: frame.clone(),
+            key,
+            round_limit: self.lazy_round_limit,
+            groups: Vec::new(),
+            live,
+        })
+    }
+
+    /// A snapshot of the oracle's aggregated telemetry.
+    pub fn rollup(&self) -> OracleRollup {
+        self.rollup.lock().unwrap().clone()
+    }
+
+    /// Drops every pooled session (configuration unchanged).
+    pub fn clear_cache(&self) {
+        self.pool.lock().unwrap().clear();
+    }
+
+    /// One fresh `EprCheck` for `frame ∧ goal` with the oracle's limits.
+    fn fresh_goal(&self, frame: &Frame, goal: &Goal) -> Result<EprOutcome, EprError> {
+        self.fresh_outcome(frame, &[], goal, self.lazy_round_limit)
+    }
+
+    /// One fresh `EprCheck` over the frame, a handle's live groups, and a
+    /// goal — the re-grounding reference path shared by
+    /// [`QueryStrategy::Fresh`] queries and fresh [`FrameSession`] handles.
+    fn fresh_outcome(
+        &self,
+        frame: &Frame,
+        groups: &[GroupRec],
+        goal: &Goal,
+        round_limit: Option<usize>,
+    ) -> Result<EprOutcome, EprError> {
+        let mut q = EprCheck::new(frame.sig())?;
+        q.set_instance_limit(self.instance_limit);
+        q.set_budget(self.budget);
+        q.set_lazy_round_limit(round_limit);
+        for (label, id) in frame.asserts() {
+            q.assert_id(label.clone(), *id)?;
+        }
+        for rec in groups {
+            if rec.retired || !rec.enabled {
+                continue;
+            }
+            for id in &rec.ids {
+                q.assert_id(rec.label.clone(), *id)?;
+            }
+        }
+        for (label, id) in goal.asserts() {
+            q.assert_id(label.clone(), *id)?;
+        }
+        let outcome = q.check()?;
+        self.record(q.report());
+        Ok(outcome)
+    }
+
+    /// Takes a session for `frame` from the pool, or grounds one. The
+    /// boolean is true when the session was recycled (its cumulative
+    /// instantiation budget may be partly spent).
+    fn checkout(&self, frame: &Frame, key: u64) -> Result<(EprSession, bool), EprError> {
+        let cached = {
+            let mut pool = self.pool.lock().unwrap();
+            pool.iter()
+                .rposition(|(k, _)| *k == key)
+                .map(|i| pool.remove(i).1)
+        };
+        match cached {
+            Some(mut s) => {
+                // Budgets and limits are configuration, not frame content:
+                // re-apply them, the pooled values may be stale.
+                s.set_budget(self.budget);
+                s.set_instance_limit(self.instance_limit);
+                s.set_lazy_round_limit(self.lazy_round_limit);
+                self.note_checkout(true);
+                Ok((s, true))
+            }
+            None => {
+                self.note_checkout(false);
+                Ok((
+                    self.build_session(frame, key, self.lazy_round_limit)?,
+                    false,
+                ))
+            }
+        }
+    }
+
+    /// Grounds a fresh session for `frame`.
+    fn build_session(
+        &self,
+        frame: &Frame,
+        key: u64,
+        round_limit: Option<usize>,
+    ) -> Result<EprSession, EprError> {
+        let mut s = EprSession::new(frame.sig())?;
+        s.set_frame_key(key);
+        s.set_instance_limit(self.instance_limit);
+        s.set_budget(self.budget);
+        s.set_lazy_round_limit(round_limit);
+        for (label, id) in frame.asserts() {
+            s.assert_id(label.clone(), *id)?;
+        }
+        self.rollup.lock().unwrap().record_session_built();
+        counter_add("oracle.sessions_built", 1);
+        Ok(s)
+    }
+
+    /// Returns a frame-only session to the pool.
+    fn checkin(&self, key: u64, session: EprSession) {
+        debug_assert_eq!(session.frame_key(), Some(key));
+        let mut pool = self.pool.lock().unwrap();
+        pool.push((key, session));
+        if pool.len() > MAX_POOLED_SESSIONS {
+            pool.remove(0);
+        }
+    }
+
+    fn record(&self, report: &QueryReport) {
+        self.rollup.lock().unwrap().record_query(report);
+    }
+
+    fn note_checkout(&self, hit: bool) {
+        self.rollup.lock().unwrap().record_checkout(hit);
+        counter_add(
+            if hit {
+                "oracle.frame_hits"
+            } else {
+                "oracle.frame_misses"
+            },
+            1,
+        );
+    }
+}
+
+/// One group asserted through a [`FrameSession`] handle, mirrored outside
+/// the live session so fresh handles (and session rebuilds) can replay it.
+struct GroupRec {
+    label: String,
+    ids: Vec<FormulaId>,
+    enabled: bool,
+    retired: bool,
+}
+
+/// The live half of a [`FrameSession`]: the checked-out session plus the
+/// per-handle group mapping.
+struct LiveState {
+    session: EprSession,
+    /// `map[i]` is the session group of handle group `i` (`None` once
+    /// retired).
+    map: Vec<Option<GroupId>>,
+    /// True when the session was recycled from the pool, so a
+    /// `TooManyInstances` on a new group may just mean "budget already
+    /// spent by earlier tenants" — rebuilt transparently.
+    reused: bool,
+}
+
+/// Handle to one group asserted via [`FrameSession::assert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameGroup(usize);
+
+/// A checked-out query handle over one [`Frame`] (see [`Oracle::open`]).
+/// Dropping the handle retires its groups and returns the session (if any)
+/// to the oracle's pool.
+pub struct FrameSession<'o> {
+    oracle: &'o Oracle,
+    frame: Frame,
+    key: u64,
+    round_limit: Option<usize>,
+    groups: Vec<GroupRec>,
+    live: Option<LiveState>,
+}
+
+impl FrameSession<'_> {
+    /// Asserts one labeled sentence as a retirable group on top of the
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`]; a rejected group leaves the handle
+    /// unchanged.
+    pub fn assert(
+        &mut self,
+        label: impl Into<String>,
+        id: FormulaId,
+    ) -> Result<FrameGroup, EprError> {
+        self.assert_ids(label, &[id])
+    }
+
+    /// Asserts the conjunction of `ids` as one retirable group.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FrameSession::assert`].
+    pub fn assert_ids(
+        &mut self,
+        label: impl Into<String>,
+        ids: &[FormulaId],
+    ) -> Result<FrameGroup, EprError> {
+        self.groups.push(GroupRec {
+            label: label.into(),
+            ids: ids.to_vec(),
+            enabled: true,
+            retired: false,
+        });
+        if let Err(e) = self.live_assert_last() {
+            self.groups.pop();
+            return Err(e);
+        }
+        Ok(FrameGroup(self.groups.len() - 1))
+    }
+
+    /// Enables or disables a group for subsequent queries.
+    pub fn set_enabled(&mut self, g: FrameGroup, on: bool) {
+        self.groups[g.0].enabled = on;
+        if let Some(live) = &mut self.live {
+            if let Some(gid) = live.map[g.0] {
+                live.session.set_enabled(gid, on);
+            }
+        }
+    }
+
+    /// Permanently drops a group.
+    pub fn retire(&mut self, g: FrameGroup) {
+        self.groups[g.0].retired = true;
+        if let Some(live) = &mut self.live {
+            if let Some(gid) = live.map[g.0].take() {
+                live.session.retire(gid);
+            }
+        }
+    }
+
+    /// Bounds the lazy equality repair loop per query on this handle
+    /// (overriding the oracle default; reset at check-in).
+    pub fn set_lazy_round_limit(&mut self, limit: Option<usize>) {
+        self.round_limit = limit;
+        if let Some(live) = &mut self.live {
+            live.session.set_lazy_round_limit(limit);
+        }
+    }
+
+    /// Solves the frame plus the enabled groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn check(&mut self) -> Result<EprOutcome, EprError> {
+        self.solve_goal(&Goal::default())
+    }
+
+    /// Solves the frame plus the enabled groups plus `goal` (asserted as
+    /// per-label groups so UNSAT cores can name them, retired afterwards —
+    /// also on errors, so the handle survives best-effort budgeted
+    /// queries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EprError`].
+    pub fn solve_goal(&mut self, goal: &Goal) -> Result<EprOutcome, EprError> {
+        if self.live.is_none() {
+            return self
+                .oracle
+                .fresh_outcome(&self.frame, &self.groups, goal, self.round_limit);
+        }
+        let reused = self.live.as_ref().is_some_and(|l| l.reused);
+        match self.try_goal_live(goal) {
+            Err(EprError::TooManyInstances { .. }) if reused => {
+                self.rebuild_live()?;
+                self.try_goal_live(goal)
+            }
+            other => other,
+        }
+    }
+
+    /// One query on the live session. Goal groups are always retired
+    /// before returning.
+    fn try_goal_live(&mut self, goal: &Goal) -> Result<EprOutcome, EprError> {
+        let oracle = self.oracle;
+        let live = self.live.as_mut().expect("live session");
+        let mut goal_groups = Vec::with_capacity(goal.asserts().len());
+        let mut failed = None;
+        for (label, id) in goal.asserts() {
+            match live.session.assert_id(label.clone(), *id) {
+                Ok(g) => goal_groups.push(g),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let result = match failed {
+            Some(e) => Err(e),
+            None => {
+                let r = live.session.check();
+                oracle.record(live.session.report());
+                r
+            }
+        };
+        for g in goal_groups {
+            live.session.retire(g);
+        }
+        result
+    }
+
+    /// Replaces an instantiation-exhausted recycled session with a fresh
+    /// grounding of the frame plus this handle's live groups. The candidate
+    /// is built before swapping, so a failure leaves the handle usable.
+    fn rebuild_live(&mut self) -> Result<(), EprError> {
+        let mut session = self
+            .oracle
+            .build_session(&self.frame, self.key, self.round_limit)?;
+        let mut map = Vec::with_capacity(self.groups.len());
+        for rec in &self.groups {
+            if rec.retired {
+                map.push(None);
+                continue;
+            }
+            let gid = session.assert_group_ids(rec.label.clone(), &rec.ids)?;
+            if !rec.enabled {
+                session.set_enabled(gid, false);
+            }
+            map.push(Some(gid));
+        }
+        // The old session is dropped, not pooled: its budget is spent.
+        self.live = Some(LiveState {
+            session,
+            map,
+            reused: false,
+        });
+        Ok(())
+    }
+
+    /// Mirrors the most recently pushed group into the live session, if
+    /// any. On an instantiation-budget rejection of a *recycled* session,
+    /// rebuilds it from the frame (which replays every live group,
+    /// including the new one).
+    fn live_assert_last(&mut self) -> Result<(), EprError> {
+        if self.live.is_none() {
+            return Ok(());
+        }
+        let rec = self.groups.last().expect("just pushed");
+        let (label, ids) = (rec.label.clone(), rec.ids.clone());
+        let reused = self.live.as_ref().is_some_and(|l| l.reused);
+        let live = self.live.as_mut().expect("checked above");
+        match live.session.assert_group_ids(label, &ids) {
+            Ok(gid) => {
+                live.map.push(Some(gid));
+                Ok(())
+            }
+            Err(EprError::TooManyInstances { .. }) if reused => self.rebuild_live(),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for FrameSession<'_> {
+    fn drop(&mut self) {
+        if let Some(mut live) = self.live.take() {
+            // A churn-heavy handle leaves too many dead clauses behind to be
+            // worth recycling (see [`MAX_POOLED_HANDLE_GROUPS`]).
+            if self.groups.len() > MAX_POOLED_HANDLE_GROUPS {
+                return;
+            }
+            // Restore frame-only state before pooling: retire every handle
+            // group and lift any handle-local round limit.
+            for gid in live.map.iter().filter_map(|g| *g) {
+                live.session.retire(gid);
+            }
+            live.session.set_lazy_round_limit(None);
+            self.oracle.checkin(self.key, live.session);
+        }
+    }
+}
+
+/// Runs `count` independent queries across up to `threads` scoped worker
+/// threads, in waves. Both results and errors are inspected in index order,
+/// so the outcome (the lowest-index witness, or the lowest-index error) is
+/// deterministic regardless of thread scheduling.
+fn parallel_first<T, F>(threads: usize, count: usize, query: F) -> Result<Option<T>, EprError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<Option<T>, EprError> + Sync,
+{
+    let threads = threads.max(1);
+    let mut start = 0;
+    while start < count {
+        let end = usize::min(start + threads, count);
+        let wave: Vec<Result<Option<T>, EprError>> = std::thread::scope(|scope| {
+            let query = &query;
+            let handles: Vec<_> = (start..end)
+                .map(|i| scope.spawn(move || query(i)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        for result in wave {
+            if let Some(found) = result? {
+                return Ok(Some(found));
+            }
+        }
+        start = end;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_fol::intern::Interner;
+    use ivy_fol::parse_formula;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig
+    }
+
+    fn fid(text: &str) -> FormulaId {
+        let f = parse_formula(text).unwrap();
+        Interner::with(|it| it.intern(&f))
+    }
+
+    #[test]
+    fn fingerprint_tracks_frame_content() {
+        let sig = sig();
+        let mut f1 = Frame::new(&sig);
+        f1.push("base", fid("forall X:s. r(X)"));
+        let mut f2 = Frame::new(&sig);
+        f2.push("base", fid("forall X:s. r(X)"));
+        assert_eq!(f1.fingerprint(), f2.fingerprint());
+        f2.push("extra", fid("r(a)"));
+        assert_ne!(f1.fingerprint(), f2.fingerprint());
+        // A different label alone changes the fingerprint too.
+        let mut f3 = Frame::new(&sig);
+        f3.push("other", fid("forall X:s. r(X)"));
+        assert_ne!(f1.fingerprint(), f3.fingerprint());
+    }
+
+    #[test]
+    fn strategies_agree_on_solve() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let sat_goal = Goal::new("g", fid("r(a)"));
+        let unsat_goal = Goal::new("g", fid("exists X:s. ~r(X)"));
+        for strategy in [
+            QueryStrategy::Fresh,
+            QueryStrategy::Session,
+            QueryStrategy::Parallel(2),
+        ] {
+            let mut oracle = Oracle::new();
+            oracle.set_strategy(strategy);
+            assert!(
+                oracle.solve(&frame, &sat_goal).unwrap().is_sat(),
+                "{strategy:?}"
+            );
+            assert!(
+                !oracle.solve(&frame, &unsat_goal).unwrap().is_sat(),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_pool_reuses_groundings() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let oracle = Oracle::new();
+        let goal = Goal::new("g", fid("r(a)"));
+        oracle.solve(&frame, &goal).unwrap();
+        oracle.solve(&frame, &goal).unwrap();
+        oracle.solve(&frame, &goal).unwrap();
+        let rollup = oracle.rollup();
+        assert_eq!(rollup.frame_misses, 1);
+        assert_eq!(rollup.frame_hits, 2);
+        assert_eq!(rollup.sessions_built, 1);
+        assert_eq!(rollup.report.queries, 3);
+        // A different frame grounds its own session.
+        let mut other = Frame::new(&sig);
+        other.push("base", fid("r(a)"));
+        oracle.solve(&other, &goal).unwrap();
+        assert_eq!(oracle.rollup().frame_misses, 2);
+    }
+
+    #[test]
+    fn frame_session_groups_toggle_and_retire() {
+        let sig = sig();
+        let frame = Frame::new(&sig);
+        for strategy in [QueryStrategy::Fresh, QueryStrategy::Session] {
+            let mut oracle = Oracle::new();
+            oracle.set_strategy(strategy);
+            let mut h = oracle.open(&frame).unwrap();
+            let all = h.assert("all", fid("forall X:s. r(X)")).unwrap();
+            let none = h.assert("none", fid("forall X:s. ~r(X)")).unwrap();
+            assert!(!h.check().unwrap().is_sat(), "{strategy:?}");
+            h.set_enabled(none, false);
+            assert!(h.check().unwrap().is_sat(), "{strategy:?}");
+            h.set_enabled(none, true);
+            h.retire(all);
+            assert!(h.check().unwrap().is_sat(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn churn_heavy_handles_are_not_pooled() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let oracle = Oracle::new();
+        {
+            let mut h = oracle.open(&frame).unwrap();
+            for i in 0..=MAX_POOLED_HANDLE_GROUPS {
+                let g = h.assert(format!("c{i}"), fid("r(a)")).unwrap();
+                h.retire(g);
+            }
+            assert!(h.check().unwrap().is_sat());
+        }
+        // The handle exceeded the churn bound, so its session was dropped:
+        // reopening the frame grounds a new one.
+        assert_eq!(oracle.rollup().sessions_built, 1);
+        drop(oracle.open(&frame).unwrap());
+        assert_eq!(oracle.rollup().sessions_built, 2);
+        // A light handle is pooled and reused.
+        drop(oracle.open(&frame).unwrap());
+        assert_eq!(oracle.rollup().sessions_built, 2);
+    }
+
+    #[test]
+    fn exhausted_recycled_session_is_rebuilt() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let mut oracle = Oracle::new();
+        // Ground once under a permissive limit, pool the session.
+        let goal = Goal::new("g", fid("exists X:s, Y:s. r(X) & r(Y) & X ~= Y"));
+        assert!(oracle.solve(&frame, &goal).unwrap().is_sat());
+        // Tighten the limit so the recycled session cannot afford the goal's
+        // delta re-instantiation, while a fresh grounding still can: the
+        // oracle must rebuild transparently and return the same verdict.
+        let spent = oracle.rollup().report.instances;
+        oracle.set_instance_limit(spent.max(4));
+        let before = oracle.rollup().sessions_built;
+        let outcome = oracle.solve(&frame, &goal);
+        match outcome {
+            Ok(o) => {
+                assert!(o.is_sat());
+                // Either the recycled session had room, or it was rebuilt.
+                assert!(oracle.rollup().sessions_built >= before);
+            }
+            Err(EprError::TooManyInstances { .. }) => {
+                // The goal exceeds the limit even fresh: acceptable, the
+                // point is that reuse never yields a *different* error or
+                // verdict than fresh grounding.
+                let mut fresh = Oracle::new();
+                fresh.set_strategy(QueryStrategy::Fresh);
+                fresh.set_instance_limit(spent.max(4));
+                assert!(matches!(
+                    fresh.solve(&frame, &goal),
+                    Err(EprError::TooManyInstances { .. })
+                ));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

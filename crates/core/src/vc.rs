@@ -5,13 +5,22 @@
 //! Checking is decidable (Theorem 3.3); on failure a finite CTI state is
 //! produced: a state satisfying the axioms and every conjecture that either
 //! violates safety, or steps to a state violating some conjecture.
+//!
+//! Every query goes through the crate's solver [`Oracle`]: the three
+//! inductiveness conditions are three query families — a frame (base,
+//! invariant hypotheses, transition step) plus one violation goal per
+//! conjecture or safety case — and the oracle decides how to discharge
+//! them (fresh, frame-cached session, or parallel fan-out).
 
 use std::fmt;
+use std::sync::Arc;
 
-use ivy_epr::{Budget, EprCheck, EprError, EprOutcome, EprSession, DEFAULT_INSTANCE_LIMIT};
+use ivy_epr::{Budget, EprError};
 use ivy_fol::intern::{self, FormulaId, Interner};
 use ivy_fol::{Formula, Structure};
 use ivy_rml::{project_state, unroll, unroll_free, Program, SymMap, Unrolling};
+
+use crate::oracle::{sat_model, Frame, FrameSession, Goal, Oracle, QueryStrategy};
 
 /// Interns `phi` renamed through `map` — the pervasive "conjecture at a
 /// vocabulary" operation. Renames are memoized in the interner, so repeated
@@ -30,17 +39,6 @@ pub(crate) fn not_renamed(phi: &Formula, map: &SymMap) -> FormulaId {
         let r = it.rename_symbols(f, map);
         it.not(r)
     })
-}
-
-/// Extracts the SAT model of an outcome, mapping a budget-exhausted
-/// [`EprOutcome::Unknown`] to [`EprError::Inconclusive`] so callers can
-/// never mistake "ran out of budget" for "no counterexample".
-pub(crate) fn sat_model(outcome: EprOutcome) -> Result<Option<ivy_epr::Model>, EprError> {
-    match outcome {
-        EprOutcome::Sat(model) => Ok(Some(*model)),
-        EprOutcome::Unsat(_) => Ok(None),
-        EprOutcome::Unknown(r) => Err(EprError::Inconclusive(r)),
-    }
 }
 
 /// A named conjecture of the candidate invariant.
@@ -136,48 +134,23 @@ impl Inductiveness {
     }
 }
 
-/// How a [`Verifier`] discharges its families of per-conjecture queries.
-///
-/// All three strategies return the same verdict and report the same
-/// violation (the one with the lowest conjecture/case index); only the
-/// witnessing model may differ, as SAT models are not unique.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum QueryStrategy {
-    /// One fresh [`EprCheck`] per query: the frame (axioms, unrolling,
-    /// invariant hypotheses) is re-grounded and re-encoded every time. The
-    /// reference implementation.
-    Fresh,
-    /// One incremental [`EprSession`] per check call: the frame is grounded
-    /// once and each conjecture's violation runs as an assumption-guarded
-    /// group on the same solver, reusing learnt clauses and repaired
-    /// equality axioms across queries. The default.
-    #[default]
-    Session,
-    /// Fresh per-query checks fanned out over (up to) the given number of
-    /// worker threads, in waves. Deterministic: each wave's results are
-    /// inspected in conjecture order, so the lowest-index CTI wins
-    /// regardless of thread timing.
-    Parallel(usize),
-}
-
 /// The inductiveness checker for one program.
 #[derive(Clone, Debug)]
 pub struct Verifier<'p> {
     program: &'p Program,
-    instance_limit: u64,
-    strategy: QueryStrategy,
-    budget: Budget,
+    oracle: Arc<Oracle>,
 }
 
 impl<'p> Verifier<'p> {
-    /// Creates a verifier.
+    /// Creates a verifier with its own default [`Oracle`].
     pub fn new(program: &'p Program) -> Verifier<'p> {
-        Verifier {
-            program,
-            instance_limit: DEFAULT_INSTANCE_LIMIT,
-            strategy: QueryStrategy::default(),
-            budget: Budget::UNLIMITED,
-        }
+        Verifier::with_oracle(program, Arc::new(Oracle::new()))
+    }
+
+    /// Creates a verifier issuing every query through `oracle` — sharing it
+    /// with other engines shares the frame-keyed session cache too.
+    pub fn with_oracle(program: &'p Program, oracle: Arc<Oracle>) -> Verifier<'p> {
+        Verifier { program, oracle }
     }
 
     /// The program under verification.
@@ -185,32 +158,42 @@ impl<'p> Verifier<'p> {
         self.program
     }
 
-    /// Caps grounding size per query (cumulative per check call under
+    /// The verifier's oracle.
+    pub fn oracle(&self) -> &Arc<Oracle> {
+        &self.oracle
+    }
+
+    /// Replaces the oracle (e.g. after reconfiguring a shared one).
+    pub fn set_oracle(&mut self, oracle: Arc<Oracle>) {
+        self.oracle = oracle;
+    }
+
+    /// Caps grounding size per query (cumulative per session under
     /// [`QueryStrategy::Session`]).
     pub fn set_instance_limit(&mut self, limit: u64) {
-        self.instance_limit = limit;
+        Arc::make_mut(&mut self.oracle).set_instance_limit(limit);
     }
 
     /// Selects how query families are discharged.
     pub fn set_strategy(&mut self, strategy: QueryStrategy) {
-        self.strategy = strategy;
+        Arc::make_mut(&mut self.oracle).set_strategy(strategy);
     }
 
     /// Installs a resource budget applied to every underlying EPR query.
     /// Exceeding it surfaces as [`EprError::Inconclusive`] rather than a
     /// wrong verdict.
     pub fn set_budget(&mut self, budget: Budget) {
-        self.budget = budget;
+        Arc::make_mut(&mut self.oracle).set_budget(budget);
     }
 
     /// The active resource budget.
     pub fn budget(&self) -> Budget {
-        self.budget
+        self.oracle.budget()
     }
 
     /// The active query strategy.
     pub fn strategy(&self) -> QueryStrategy {
-        self.strategy
+        self.oracle.strategy()
     }
 
     /// Checks whether the conjunction of `conjectures` is an inductive
@@ -242,56 +225,24 @@ impl<'p> Verifier<'p> {
     /// Propagates [`EprError`].
     pub fn check_initiation(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll(self.program, 0);
-        match self.strategy {
-            QueryStrategy::Fresh => {
-                for c in conjectures {
-                    if let Some(cti) = self.initiation_query(&u, c)? {
-                        return Ok(Some(cti));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Session => {
-                let mut s = self.session(&u.sig, None)?;
-                s.assert_id("base", u.base)?;
-                for c in conjectures {
-                    let bad = not_renamed(&c.formula, &u.maps[0]);
-                    let group = s.assert_id("violation", bad)?;
-                    let outcome = s.check()?;
-                    s.retire(group);
-                    if let Some(model) = sat_model(outcome)? {
-                        return Ok(Some(Cti {
-                            state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
-                            successor: None,
-                            violation: Violation::Initiation {
-                                conjecture: c.name.clone(),
-                            },
-                        }));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Parallel(threads) => parallel_first(threads, conjectures.len(), |i| {
-                self.initiation_query(&u, &conjectures[i])
-            }),
-        }
-    }
-
-    /// One fresh initiation query for a single conjecture.
-    fn initiation_query(&self, u: &Unrolling, c: &Conjecture) -> Result<Option<Cti>, EprError> {
-        let mut q = self.query(&u.sig)?;
-        q.assert_id("base", u.base)?;
-        q.assert_id("violation", not_renamed(&c.formula, &u.maps[0]))?;
-        if let Some(model) = sat_model(q.check()?)? {
-            return Ok(Some(Cti {
+        let frame = init_frame(&u);
+        self.oracle.first_sat(
+            &frame,
+            conjectures.len(),
+            |i| {
+                Goal::new(
+                    "violation",
+                    not_renamed(&conjectures[i].formula, &u.maps[0]),
+                )
+            },
+            |i, model| Cti {
                 state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
                 successor: None,
                 violation: Violation::Initiation {
-                    conjecture: c.name.clone(),
+                    conjecture: conjectures[i].name.clone(),
                 },
-            }));
-        }
-        Ok(None)
+            },
+        )
     }
 
     /// Checks that invariant states satisfy the safety properties and cannot
@@ -302,52 +253,20 @@ impl<'p> Verifier<'p> {
     /// Propagates [`EprError`].
     pub fn check_safety(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll_free(self.program, 1);
-        let state_map = u.maps[0].clone();
+        let frame = self.invariant_frame(&u, conjectures);
         let cases = safety_cases(self.program, &u);
-        match self.strategy {
-            QueryStrategy::Fresh => {
-                for (label, bad) in cases {
-                    if let Some(state) =
-                        self.solve_state(&u.sig, u.base, conjectures, &state_map, bad)?
-                    {
-                        return Ok(Some(Cti {
-                            state,
-                            successor: None,
-                            violation: Violation::Safety { property: label },
-                        }));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Session => {
-                let mut s = self.frame_session(&u, conjectures, None)?;
-                for (label, bad) in cases {
-                    let group = s.assert_id("violation", bad)?;
-                    let outcome = s.check()?;
-                    s.retire(group);
-                    if let Some(model) = sat_model(outcome)? {
-                        return Ok(Some(Cti {
-                            state: project_state(&model.structure, &self.program.sig, &state_map),
-                            successor: None,
-                            violation: Violation::Safety { property: label },
-                        }));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Parallel(threads) => parallel_first(threads, cases.len(), |i| {
-                let (label, bad) = &cases[i];
-                Ok(self
-                    .solve_state(&u.sig, u.base, conjectures, &state_map, *bad)?
-                    .map(|state| Cti {
-                        state,
-                        successor: None,
-                        violation: Violation::Safety {
-                            property: label.clone(),
-                        },
-                    }))
-            }),
-        }
+        self.oracle.first_sat(
+            &frame,
+            cases.len(),
+            |i| Goal::new("violation", cases[i].1),
+            |i, model| Cti {
+                state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
+                successor: None,
+                violation: Violation::Safety {
+                    property: cases[i].0.clone(),
+                },
+            },
+        )
     }
 
     /// Checks `A ∧ I ⇒ wp(C_body, ϕ)` for each conjecture `ϕ` of `I`.
@@ -357,55 +276,21 @@ impl<'p> Verifier<'p> {
     /// Propagates [`EprError`].
     pub fn check_consecution(&self, conjectures: &[Conjecture]) -> Result<Option<Cti>, EprError> {
         let u = unroll_free(self.program, 1);
-        match self.strategy {
-            QueryStrategy::Fresh => {
-                for c in conjectures {
-                    if let Some(cti) = self.consecution_query(&u, conjectures, c)? {
-                        return Ok(Some(cti));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Session => {
-                let mut s = self.frame_session(&u, conjectures, None)?;
-                // The transition step is shared by every conjecture's query:
-                // ground it once, as its own persistent group.
-                s.assert_id("step", u.steps[0])?;
-                for c in conjectures {
-                    let bad = not_renamed(&c.formula, &u.maps[1]);
-                    let group = s.assert_id("violation", bad)?;
-                    let outcome = s.check()?;
-                    s.retire(group);
-                    if let Some(model) = sat_model(outcome)? {
-                        return Ok(Some(self.consecution_cti(&u, c, &model.structure)));
-                    }
-                }
-                Ok(None)
-            }
-            QueryStrategy::Parallel(threads) => parallel_first(threads, conjectures.len(), |i| {
-                self.consecution_query(&u, conjectures, &conjectures[i])
-            }),
-        }
-    }
-
-    /// One fresh consecution query for a single conjecture.
-    fn consecution_query(
-        &self,
-        u: &Unrolling,
-        conjectures: &[Conjecture],
-        c: &Conjecture,
-    ) -> Result<Option<Cti>, EprError> {
-        let step = u.steps[0];
-        let bad = Interner::with(|it| {
-            let f = it.intern(&c.formula);
-            let r = it.rename_symbols(f, &u.maps[1]);
-            let n = it.not(r);
-            it.and([step, n])
-        });
-        if let Some(model) = self.solve_model(&u.sig, u.base, conjectures, &u.maps[0], bad)? {
-            return Ok(Some(self.consecution_cti(u, c, &model)));
-        }
-        Ok(None)
+        let mut frame = self.invariant_frame(&u, conjectures);
+        // The transition step is shared by every conjecture's query: it is
+        // frame, not goal.
+        frame.push("step", u.steps[0]);
+        self.oracle.first_sat(
+            &frame,
+            conjectures.len(),
+            |i| {
+                Goal::new(
+                    "violation",
+                    not_renamed(&conjectures[i].formula, &u.maps[1]),
+                )
+            },
+            |i, model| self.consecution_cti(&u, &conjectures[i], &model.structure),
+        )
     }
 
     /// Builds the two-state CTI for a consecution violation from a model of
@@ -427,132 +312,26 @@ impl<'p> Verifier<'p> {
         }
     }
 
-    /// Re-solves a specific violation with extra constraints conjoined at
-    /// the CTI state's vocabulary — the workhorse of minimal-CTI search
-    /// (Algorithm 1). `extra` formulas are over the *base* vocabulary.
-    pub(crate) fn check_violation_constrained(
-        &self,
-        conjectures: &[Conjecture],
-        violation: &Violation,
-        extra: &[Formula],
-        round_limit: Option<usize>,
-    ) -> Result<Option<Cti>, EprError> {
-        match violation {
-            Violation::Initiation { conjecture } => {
-                let u = unroll(self.program, 0);
-                let bad = Interner::with(|it| {
-                    let f = it.intern(&find_formula(conjectures, conjecture));
-                    let r = it.rename_symbols(f, &u.maps[0]);
-                    let mut parts = vec![it.not(r)];
-                    for e in extra {
-                        let e = it.intern(e);
-                        parts.push(it.rename_symbols(e, &u.maps[0]));
-                    }
-                    it.and(parts)
-                });
-                let mut q = self.query_limited(&u.sig, round_limit)?;
-                q.assert_id("base", u.base)?;
-                q.assert_id("violation", bad)?;
-                Ok(sat_model(q.check()?)?.map(|model| Cti {
-                    state: project_state(&model.structure, &self.program.sig, &u.maps[0]),
-                    successor: None,
-                    violation: violation.clone(),
-                }))
-            }
-            Violation::Safety { property } => {
-                let u = unroll_free(self.program, 1);
-                let state_map = u.maps[0].clone();
-                let Some((_, bad)) = safety_cases(self.program, &u)
-                    .into_iter()
-                    .find(|(label, _)| label == property)
-                else {
-                    return Ok(None);
-                };
-                let combined = Interner::with(|it| {
-                    let mut all = vec![bad];
-                    for e in extra {
-                        let e = it.intern(e);
-                        all.push(it.rename_symbols(e, &state_map));
-                    }
-                    it.and(all)
-                });
-                Ok(self
-                    .solve_state_limited(
-                        &u.sig,
-                        u.base,
-                        conjectures,
-                        &state_map,
-                        combined,
-                        round_limit,
-                    )?
-                    .map(|state| Cti {
-                        state,
-                        successor: None,
-                        violation: violation.clone(),
-                    }))
-            }
-            Violation::Consecution { conjecture, .. } => {
-                let u = unroll_free(self.program, 1);
-                let bad = Interner::with(|it| {
-                    let f = it.intern(&find_formula(conjectures, conjecture));
-                    let r = it.rename_symbols(f, &u.maps[1]);
-                    let mut parts = vec![u.steps[0], it.not(r)];
-                    for e in extra {
-                        let e = it.intern(e);
-                        parts.push(it.rename_symbols(e, &u.maps[0]));
-                    }
-                    it.and(parts)
-                });
-                if let Some(model) = self.solve_model_limited(
-                    &u.sig,
-                    u.base,
-                    conjectures,
-                    &u.maps[0],
-                    bad,
-                    round_limit,
-                )? {
-                    let action = u.step_paths[0]
-                        .iter()
-                        .find(|(_, f)| model.eval_closed(&intern::resolve(*f)).unwrap_or(false))
-                        .map(|(n, _)| n.clone())
-                        .unwrap_or_default();
-                    return Ok(Some(Cti {
-                        state: project_state(&model, &self.program.sig, &u.maps[0]),
-                        successor: Some(project_state(&model, &self.program.sig, &u.maps[1])),
-                        violation: Violation::Consecution {
-                            conjecture: conjecture.clone(),
-                            action,
-                        },
-                    }));
-                }
-                Ok(None)
-            }
-        }
-    }
-
-    /// Opens a persistent session for re-solving one specific violation
+    /// Opens a persistent handle for re-solving one specific violation
     /// under varying extra constraints — the workhorse of minimal-CTI search
-    /// (Algorithm 1). The frame (base, invariant hypotheses, transition
-    /// step, and the violation itself) is grounded once; each
-    /// [`ViolationSession::solve`] call only adds the candidate constraint
-    /// as a retirable group. Returns `None` when the violation does not name
-    /// a known safety case.
+    /// (Algorithm 1). The frame matches the corresponding inductiveness
+    /// check's frame (so under [`QueryStrategy::Session`] the descent
+    /// recycles the very grounding that found the CTI), and the violation
+    /// rides on top as a handle group; each [`ViolationSession::solve`]
+    /// call only adds the candidate constraint as a retirable group.
+    /// Returns `None` when the violation does not name a known safety case.
     pub(crate) fn violation_session(
         &self,
         conjectures: &[Conjecture],
         violation: &Violation,
         round_limit: Option<usize>,
-    ) -> Result<Option<ViolationSession<'p>>, EprError> {
-        let (u, session) = match violation {
+    ) -> Result<Option<ViolationSession<'p, '_>>, EprError> {
+        let (u, frame, bad) = match violation {
             Violation::Initiation { conjecture } => {
                 let u = unroll(self.program, 0);
-                let mut s = self.session(&u.sig, round_limit)?;
-                s.assert_id("base", u.base)?;
-                s.assert_id(
-                    "violation",
-                    not_renamed(&find_formula(conjectures, conjecture), &u.maps[0]),
-                )?;
-                (u, s)
+                let frame = init_frame(&u);
+                let bad = not_renamed(&find_formula(conjectures, conjecture), &u.maps[0]);
+                (u, frame, bad)
             }
             Violation::Safety { property } => {
                 let u = unroll_free(self.program, 1);
@@ -562,146 +341,63 @@ impl<'p> Verifier<'p> {
                 else {
                     return Ok(None);
                 };
-                let mut s = self.frame_session(&u, conjectures, round_limit)?;
-                s.assert_id("violation", bad)?;
-                (u, s)
+                let frame = self.invariant_frame(&u, conjectures);
+                (u, frame, bad)
             }
             Violation::Consecution { conjecture, .. } => {
                 let u = unroll_free(self.program, 1);
-                let mut s = self.frame_session(&u, conjectures, round_limit)?;
-                s.assert_id("step", u.steps[0])?;
-                s.assert_id(
-                    "violation",
-                    not_renamed(&find_formula(conjectures, conjecture), &u.maps[1]),
-                )?;
-                (u, s)
+                let mut frame = self.invariant_frame(&u, conjectures);
+                frame.push("step", u.steps[0]);
+                let bad = not_renamed(&find_formula(conjectures, conjecture), &u.maps[1]);
+                (u, frame, bad)
             }
         };
+        let mut handle = self.oracle.open(&frame)?;
+        handle.set_lazy_round_limit(round_limit);
+        handle.assert("violation", bad)?;
         Ok(Some(ViolationSession {
             program: self.program,
             u,
-            session,
+            handle,
             violation: violation.clone(),
         }))
     }
 
-    /// A fresh incremental session over `sig` with this verifier's limits.
-    fn session(
-        &self,
-        sig: &ivy_fol::Signature,
-        round_limit: Option<usize>,
-    ) -> Result<EprSession, EprError> {
-        let mut s = EprSession::new(sig)?;
-        s.set_instance_limit(self.instance_limit);
-        s.set_lazy_round_limit(round_limit);
-        s.set_budget(self.budget);
-        Ok(s)
-    }
-
-    /// A session pre-loaded with the shared one-step frame: the unrolling
-    /// base plus every invariant conjunct as a hypothesis at the pre-state
-    /// vocabulary.
-    fn frame_session(
-        &self,
-        u: &Unrolling,
-        conjectures: &[Conjecture],
-        round_limit: Option<usize>,
-    ) -> Result<EprSession, EprError> {
-        let mut s = self.session(&u.sig, round_limit)?;
-        s.assert_id("base", u.base)?;
+    /// The shared one-step frame: the unrolling base plus every invariant
+    /// conjunct as a hypothesis at the pre-state vocabulary.
+    fn invariant_frame(&self, u: &Unrolling, conjectures: &[Conjecture]) -> Frame {
+        let mut frame = Frame::new(&u.sig);
+        frame.push("base", u.base);
         for c in conjectures {
-            s.assert_id(
+            frame.push(
                 format!("inv:{}", c.name),
                 renamed_id(&c.formula, &u.maps[0]),
-            )?;
+            );
         }
-        Ok(s)
+        frame
     }
+}
 
-    fn query(&self, sig: &ivy_fol::Signature) -> Result<EprCheck, EprError> {
-        self.query_limited(sig, None)
-    }
-
-    fn query_limited(
-        &self,
-        sig: &ivy_fol::Signature,
-        round_limit: Option<usize>,
-    ) -> Result<EprCheck, EprError> {
-        let mut q = EprCheck::new(sig)?;
-        q.set_instance_limit(self.instance_limit);
-        q.set_lazy_round_limit(round_limit);
-        q.set_budget(self.budget);
-        Ok(q)
-    }
-
-    fn solve_state(
-        &self,
-        sig: &ivy_fol::Signature,
-        base: FormulaId,
-        conjectures: &[Conjecture],
-        state_map: &ivy_rml::SymMap,
-        bad: FormulaId,
-    ) -> Result<Option<Structure>, EprError> {
-        self.solve_state_limited(sig, base, conjectures, state_map, bad, None)
-    }
-
-    fn solve_state_limited(
-        &self,
-        sig: &ivy_fol::Signature,
-        base: FormulaId,
-        conjectures: &[Conjecture],
-        state_map: &ivy_rml::SymMap,
-        bad: FormulaId,
-        round_limit: Option<usize>,
-    ) -> Result<Option<Structure>, EprError> {
-        Ok(self
-            .solve_model_limited(sig, base, conjectures, state_map, bad, round_limit)?
-            .map(|m| project_state(&m, &self.program.sig, state_map)))
-    }
-
-    fn solve_model(
-        &self,
-        sig: &ivy_fol::Signature,
-        base: FormulaId,
-        conjectures: &[Conjecture],
-        state_map: &ivy_rml::SymMap,
-        bad: FormulaId,
-    ) -> Result<Option<Structure>, EprError> {
-        self.solve_model_limited(sig, base, conjectures, state_map, bad, None)
-    }
-
-    fn solve_model_limited(
-        &self,
-        sig: &ivy_fol::Signature,
-        base: FormulaId,
-        conjectures: &[Conjecture],
-        state_map: &ivy_rml::SymMap,
-        bad: FormulaId,
-        round_limit: Option<usize>,
-    ) -> Result<Option<Structure>, EprError> {
-        let mut q = self.query_limited(sig, round_limit)?;
-        q.assert_id("base", base)?;
-        for c in conjectures {
-            q.assert_id(format!("inv:{}", c.name), renamed_id(&c.formula, state_map))?;
-        }
-        q.assert_id("violation", bad)?;
-        Ok(sat_model(q.check()?)?.map(|model| model.structure))
-    }
+/// The initiation frame: just the depth-0 unrolling base.
+fn init_frame(u: &Unrolling) -> Frame {
+    let mut frame = Frame::new(&u.sig);
+    frame.push("base", u.base);
+    frame
 }
 
 /// An incremental re-solver for one fixed violation (see
 /// [`Verifier::violation_session`]).
-pub(crate) struct ViolationSession<'p> {
+pub(crate) struct ViolationSession<'p, 'o> {
     program: &'p Program,
     u: Unrolling,
-    session: EprSession,
+    handle: FrameSession<'o>,
     violation: Violation,
 }
 
-impl ViolationSession<'_> {
+impl ViolationSession<'_, '_> {
     /// Re-solves the violation with `extra` constraints (over the base
     /// vocabulary) conjoined at the CTI state. The constraint group is
-    /// retired afterwards — also on a repair-limit error, so the session
+    /// retired afterwards — also on a repair-limit error, so the handle
     /// survives best-effort budgeted queries.
     pub(crate) fn solve(&mut self, extra: &[Formula]) -> Result<Option<Cti>, EprError> {
         let state_map = &self.u.maps[0];
@@ -715,9 +411,9 @@ impl ViolationSession<'_> {
                 .collect();
             it.and(parts)
         });
-        let group = self.session.assert_id("constraint", constraint)?;
-        let outcome = self.session.check();
-        self.session.retire(group);
+        let group = self.handle.assert("constraint", constraint)?;
+        let outcome = self.handle.check();
+        self.handle.retire(group);
         match sat_model(outcome?)? {
             Some(model) => {
                 let m = &model.structure;
@@ -747,39 +443,6 @@ impl ViolationSession<'_> {
             None => Ok(None),
         }
     }
-}
-
-/// Runs `count` independent queries across up to `threads` scoped worker
-/// threads, in waves. Both results and errors are inspected in index order,
-/// so the outcome (the lowest-index CTI, or the lowest-index error) is
-/// deterministic regardless of thread scheduling.
-fn parallel_first<T, F>(threads: usize, count: usize, query: F) -> Result<Option<T>, EprError>
-where
-    T: Send,
-    F: Fn(usize) -> Result<Option<T>, EprError> + Sync,
-{
-    let threads = threads.max(1);
-    let mut start = 0;
-    while start < count {
-        let end = usize::min(start + threads, count);
-        let wave: Vec<Result<Option<T>, EprError>> = std::thread::scope(|scope| {
-            let query = &query;
-            let handles: Vec<_> = (start..end)
-                .map(|i| scope.spawn(move || query(i)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query thread panicked"))
-                .collect()
-        });
-        for result in wave {
-            if let Some(found) = result? {
-                return Ok(Some(found));
-            }
-        }
-        start = end;
-    }
-    Ok(None)
 }
 
 /// The violation cases checked as "safety" at an arbitrary invariant state:
@@ -1051,5 +714,24 @@ action bad { havoc n; assume marked(n); abort }
                 action: "mark".into()
             }
         );
+    }
+
+    #[test]
+    fn shared_oracle_reuses_frames_across_checks() {
+        let p = spread();
+        let oracle = Arc::new(Oracle::new());
+        let v = Verifier::with_oracle(&p, oracle.clone());
+        let inv = vec![Conjecture::new(
+            "C0",
+            parse_formula("marked(seed)").unwrap(),
+        )];
+        assert!(v.check(&inv).unwrap().is_inductive());
+        let cold = oracle.rollup();
+        assert!(cold.frame_misses >= 1);
+        // Re-checking the same candidate hits every frame in the cache.
+        assert!(v.check(&inv).unwrap().is_inductive());
+        let warm = oracle.rollup();
+        assert_eq!(warm.frame_misses, cold.frame_misses, "no new groundings");
+        assert!(warm.frame_hits > cold.frame_hits);
     }
 }

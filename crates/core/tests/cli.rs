@@ -108,6 +108,52 @@ fn kinv_detects_violations() {
 }
 
 #[test]
+fn strategy_and_jobs_flags_select_the_oracle_strategy() {
+    let model = write_temp("s.rml", MODEL);
+    let inv = write_temp("s.inv", INVARIANT);
+    let model = model.to_str().unwrap();
+    let inv = inv.to_str().unwrap();
+
+    // Every strategy proves the same invariant.
+    for extra in [
+        &["--strategy", "fresh"][..],
+        &["--strategy", "session"],
+        &["--strategy", "parallel"],
+        &["--strategy", "parallel", "--jobs", "2"],
+        // --jobs alone implies the parallel strategy.
+        &["--jobs", "2"],
+    ] {
+        let mut args = vec!["prove", model, inv];
+        args.extend_from_slice(extra);
+        let (code, text) = ivy_code(&args);
+        assert_eq!(code, 0, "{extra:?}: {text}");
+        assert!(text.contains("inductive"), "{extra:?}: {text}");
+    }
+    // The flags work on BMC too.
+    let (ok, text) = ivy(&["bmc", model, "-k", "2", "--strategy", "fresh"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("safe within 2"), "{text}");
+}
+
+#[test]
+fn bad_strategy_or_jobs_is_a_usage_error() {
+    let model = write_temp("u.rml", MODEL);
+    let model = model.to_str().unwrap();
+    for args in [
+        &["prove", model, "--strategy", "turbo"][..],
+        &["prove", model, "--jobs", "0"],
+        &["prove", model, "--jobs", "many"],
+        // --jobs contradicts a sequential strategy.
+        &["prove", model, "--strategy", "fresh", "--jobs", "2"],
+        &["prove", model, "--strategy", "session", "--jobs", "2"],
+    ] {
+        let (code, text) = ivy_code(args);
+        assert_eq!(code, 2, "{args:?}: {text}");
+        assert!(text.contains("error:"), "{args:?}: {text}");
+    }
+}
+
+#[test]
 fn profile_flag_writes_schema_valid_report() {
     let model = write_temp("p.rml", MODEL);
     let inv = write_temp("p.inv", INVARIANT);

@@ -38,4 +38,4 @@ pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model, DEFAULT_INST
 pub use encode::{Encoder, EqualityMode, LazyResult};
 pub use ground::{ensure_inhabited, GroundTerm, TermId, TermTable};
 pub use ivy_telemetry::{Budget, QueryReport, StopReason};
-pub use session::{EprSession, GroupId};
+pub use session::{frame_fingerprint, EprSession, GroupId};

@@ -43,6 +43,34 @@ use crate::check::{
 use crate::encode::{Encoder, LazyResult, Template};
 use crate::ground::{ensure_inhabited, TermTable};
 
+/// Content fingerprint of a query *frame*: a signature plus an ordered list
+/// of labeled, interned assertions. Two frames with the same fingerprint
+/// ground to the same universe and the same clause groups, so a session
+/// built for one can be reused for the other verbatim. This is the cache
+/// key of the solver-oracle layer in `ivy-core`; it is only meaningful
+/// within one process (interned ids and hashes are process-local).
+pub fn frame_fingerprint(sig: &Signature, asserts: &[(String, FormulaId)]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for s in sig.sorts() {
+        s.hash(&mut h);
+    }
+    for (r, args) in sig.relations() {
+        r.hash(&mut h);
+        args.hash(&mut h);
+    }
+    for (f, decl) in sig.functions() {
+        f.hash(&mut h);
+        decl.args.hash(&mut h);
+        decl.ret.hash(&mut h);
+    }
+    for (label, id) in asserts {
+        label.hash(&mut h);
+        id.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Handle to one assertion group of an [`EprSession`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GroupId(usize);
@@ -101,6 +129,9 @@ pub struct EprSession {
     budget: Budget,
     stats: GroundStats,
     report: QueryReport,
+    /// Fingerprint of the frame this session was grounded for, when the
+    /// session is managed by a frame cache (see [`frame_fingerprint`]).
+    frame_key: Option<u64>,
 }
 
 impl EprSession {
@@ -129,7 +160,19 @@ impl EprSession {
             budget: Budget::UNLIMITED,
             stats: GroundStats::default(),
             report: QueryReport::default(),
+            frame_key: None,
         })
+    }
+
+    /// Tags the session with the [`frame_fingerprint`] of the frame it was
+    /// grounded for, so a cache can re-key it on checkout/checkin.
+    pub fn set_frame_key(&mut self, key: u64) {
+        self.frame_key = Some(key);
+    }
+
+    /// The frame fingerprint set by [`EprSession::set_frame_key`], if any.
+    pub fn frame_key(&self) -> Option<u64> {
+        self.frame_key
     }
 
     /// Applies a resource [`Budget`]. A deadline or conflict cap that trips

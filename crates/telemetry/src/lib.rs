@@ -435,6 +435,74 @@ impl QueryReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// OracleRollup
+// ---------------------------------------------------------------------------
+
+/// Aggregated telemetry of one solver *oracle*: every query the oracle
+/// answered (merged into one [`QueryReport`]) plus the frame-cache
+/// behaviour that the per-query reports cannot see — how often a
+/// grounded session was reused versus rebuilt from scratch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OracleRollup {
+    /// Merge of every per-query report the oracle produced.
+    pub report: QueryReport,
+    /// Session checkouts served from the frame cache.
+    pub frame_hits: u64,
+    /// Session checkouts that had to ground a fresh session.
+    pub frame_misses: u64,
+    /// Sessions grounded over the oracle's lifetime (misses + rebuilds
+    /// after an exhausted session was discarded).
+    pub sessions_built: u64,
+}
+
+impl OracleRollup {
+    pub fn new() -> OracleRollup {
+        OracleRollup::default()
+    }
+
+    /// Fold one query's report into the rollup.
+    pub fn record_query(&mut self, report: &QueryReport) {
+        self.report.merge(report);
+    }
+
+    /// Record one session checkout: `hit` when an already-grounded
+    /// session was reused for the frame.
+    pub fn record_checkout(&mut self, hit: bool) {
+        if hit {
+            self.frame_hits += 1;
+        } else {
+            self.frame_misses += 1;
+        }
+    }
+
+    /// Record that a session was grounded from scratch.
+    pub fn record_session_built(&mut self) {
+        self.sessions_built += 1;
+    }
+
+    /// Fraction of checkouts served from the frame cache.
+    pub fn frame_hit_rate(&self) -> f64 {
+        rate(self.frame_hits, self.frame_misses)
+    }
+
+    /// Serialize the rollup as a small standalone JSON object (not the
+    /// full `ivy-profile-v1` schema; use `report.to_json` for that).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\": {}, \"wall_ms\": {:.3}, \"frame_hits\": {}, \
+             \"frame_misses\": {}, \"frame_hit_rate\": {:.4}, \
+             \"sessions_built\": {}}}",
+            self.report.queries,
+            self.report.wall_nanos as f64 / 1.0e6,
+            self.frame_hits,
+            self.frame_misses,
+            self.frame_hit_rate(),
+            self.sessions_built
+        )
+    }
+}
+
 /// Append `s` as a JSON string literal (quotes, backslashes, and
 /// control characters escaped).
 fn json_str(out: &mut String, s: &str) {
@@ -535,6 +603,37 @@ mod tests {
         assert!(json.contains("\"protocol\": \"leader\""));
         assert!(json.contains("\"stop\": \"deadline\""));
         assert!(json.contains("\"outcome\": \"unknown\""));
+    }
+
+    #[test]
+    fn oracle_rollup_accounting() {
+        let mut r = OracleRollup::new();
+        assert_eq!(r.frame_hit_rate(), 0.0);
+        r.record_checkout(false);
+        r.record_session_built();
+        r.record_checkout(true);
+        r.record_checkout(true);
+        r.record_query(&QueryReport {
+            queries: 1,
+            outcome: "unsat".into(),
+            instances: 40,
+            ..QueryReport::default()
+        });
+        r.record_query(&QueryReport {
+            queries: 1,
+            outcome: "sat".into(),
+            instances: 2,
+            ..QueryReport::default()
+        });
+        assert_eq!(r.frame_hits, 2);
+        assert_eq!(r.frame_misses, 1);
+        assert_eq!(r.sessions_built, 1);
+        assert!((r.frame_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.report.queries, 2);
+        assert_eq!(r.report.instances, 42);
+        let json = r.to_json();
+        assert!(json.contains("\"frame_hits\": 2"));
+        assert!(json.contains("\"sessions_built\": 1"));
     }
 
     #[test]
