@@ -1,10 +1,30 @@
-//! Ablation: the CDCL solver versus the reference DPLL solver, on the
-//! pigeonhole family (hard UNSAT) and satisfiable random 3-SAT — plus the
-//! learnt-clause-cap ablation (`max_learnts` scaled to `clauses / 3` versus
-//! the historical fixed 1000).
+//! Ablation of the flat-arena CDCL feature set (DESIGN.md §4g).
+//!
+//! Two tiers of measurement, both written as machine-readable JSON to
+//! `BENCH_solver.json` (or the path given as the first argument):
+//!
+//! * **features** — one row per CDCL feature. The arena row races the
+//!   frozen pre-refactor boxed-clause solver (`ivy_sat::legacy`) against
+//!   the arena solver under the seed-equivalent `SolverConfig::baseline()`
+//!   on SAT-level instances; the flat-CNF, LBD-reduction, minimization,
+//!   chronological backtracking, and portfolio rows each toggle one feature
+//!   on the learning-switch verification load (fresh strategy), the
+//!   headline workload named by the experiment plan.
+//! * **protocols** — all six evaluation protocols verified fresh under the
+//!   all-off baseline and the full default config, so regressions anywhere
+//!   in the suite are visible, with learning switch flagged as the
+//!   headline row.
+//!
+//! `--smoke` runs one sample per case for CI.
 
-use ivy_bench::harness::bench_case;
-use ivy_sat::{solve_dpll, Cnf, SolveResult, Var};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ivy_bench::{harness::measure, protocols};
+use ivy_core::{Oracle, QueryStrategy, Verifier};
+use ivy_epr::SolverConfig;
+use ivy_sat::{legacy, Cnf, SolveResult, Solver, Var};
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
     let mut cnf = Cnf::new();
@@ -24,27 +44,9 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
     cnf
 }
 
-fn random_3sat(vars: usize, clauses: usize, mut seed: u64) -> Cnf {
-    let mut cnf = Cnf::new();
-    let vs: Vec<Var> = (0..vars).map(|_| cnf.new_var()).collect();
-    let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        (seed >> 33) as usize
-    };
-    for _ in 0..clauses {
-        let lits: Vec<_> = (0..3)
-            .map(|_| vs[next() % vars].lit(next() % 2 == 0))
-            .collect();
-        cnf.add_clause(lits);
-    }
-    cnf
-}
-
-/// A hard UNSAT pigeonhole core buried in a large satisfiable problem (an
-/// implication chain over fresh variables) — the shape of EPR groundings,
-/// where the clause database dwarfs the refutation core. With the fixed cap
-/// the solver may keep at most 1000 learnts; scaling raises the cap to
-/// `problem_clauses / 3`.
+/// A hard UNSAT pigeonhole core buried in a large satisfiable implication
+/// chain — the shape of EPR groundings, where the clause database dwarfs
+/// the refutation core.
 fn padded_pigeonhole(n: usize, pad: usize) -> Cnf {
     let mut cnf = pigeonhole(n, n - 1);
     let mut prev = cnf.new_var();
@@ -56,42 +58,204 @@ fn padded_pigeonhole(n: usize, pad: usize) -> Cnf {
     cnf
 }
 
-fn main() {
-    for n in [6usize, 7, 8] {
-        let cnf = pigeonhole(n, n - 1);
-        bench_case(
-            "sat_cdcl_vs_dpll",
-            &format!("cdcl_pigeonhole/{n}"),
-            10,
-            || assert!(cnf.solve().is_none()),
-        );
-        if n <= 7 {
-            bench_case(
-                "sat_cdcl_vs_dpll",
-                &format!("dpll_pigeonhole/{n}"),
-                10,
-                || assert!(solve_dpll(&cnf).is_none()),
-            );
-        }
+fn arena_solver(cnf: &Cnf, config: SolverConfig) -> Solver {
+    let mut s = Solver::with_config(config);
+    for _ in 0..cnf.num_vars() {
+        s.new_var();
     }
-    let sat = random_3sat(60, 200, 42);
-    bench_case("sat_cdcl_vs_dpll", "cdcl_random3sat_60v", 10, || {
-        assert!(sat.solve().is_some())
+    for c in cnf.clauses() {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace(' ', "_")
+}
+
+/// One measured feature row: `off_s`/`on_s` are median seconds with the
+/// feature disabled/enabled, on `case`.
+struct FeatureRow {
+    feature: &'static str,
+    case: String,
+    off_s: f64,
+    on_s: f64,
+}
+
+impl FeatureRow {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"feature\": \"{}\", \"case\": \"{}\", \"off_s\": {:.6}, \
+             \"on_s\": {:.6}, \"speedup\": {:.2}}}",
+            self.feature,
+            self.case,
+            self.off_s,
+            self.on_s,
+            self.off_s / self.on_s.max(1e-9)
+        )
+    }
+}
+
+/// Median seconds to verify `entry`'s invariant through a fresh-strategy
+/// oracle whose solver runs `config`.
+fn verify_seconds(
+    entry: &ivy_bench::ProtocolEntry,
+    strategy: QueryStrategy,
+    config: SolverConfig,
+    samples: usize,
+) -> f64 {
+    let sample = measure(samples, || {
+        let mut o = Oracle::new();
+        o.set_strategy(strategy);
+        o.set_budget(ivy_epr::Budget::UNLIMITED);
+        o.set_solver_config(config);
+        let v = Verifier::with_oracle(&entry.program, Arc::new(o));
+        let r = v.check(&entry.invariant).expect("check succeeds");
+        assert!(r.is_inductive(), "{}: invariant must verify", entry.name);
     });
-    bench_case("sat_cdcl_vs_dpll", "dpll_random3sat_60v", 10, || {
-        assert!(solve_dpll(&sat).is_some())
+    secs(sample.median)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let samples = if smoke { 1 } else { 5 };
+    // `cargo bench` runs with the package directory as cwd, so the default
+    // output is anchored to the workspace root instead.
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").into());
+
+    let headline = protocols()
+        .into_iter()
+        .find(|e| e.name == "Learning switch")
+        .expect("learning switch is bundled");
+
+    let mut features: Vec<FeatureRow> = Vec::new();
+
+    // Arena vs boxed clauses: identical search policies (the baseline
+    // config reproduces the legacy solver's), so the delta is the clause
+    // memory layout.
+    let hole = pigeonhole(8, 7);
+    let padded = padded_pigeonhole(7, 8_000);
+    let legacy_s = measure(samples, || {
+        for cnf in [&hole, &padded] {
+            let mut s = legacy::Solver::new();
+            for _ in 0..cnf.num_vars() {
+                s.new_var();
+            }
+            for c in cnf.clauses() {
+                s.add_clause(c.iter().copied());
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        }
     });
-    let padded = padded_pigeonhole(8, 12_000);
-    for scaled in [true, false] {
-        let name = if scaled {
-            "scaled_clauses_div3"
-        } else {
-            "fixed_1000"
-        };
-        bench_case("sat_learnt_scaling", name, 5, || {
-            let mut s = padded.to_solver();
-            s.set_learnt_scaling(scaled);
-            assert!(matches!(s.solve(), SolveResult::Unsat));
+    let arena_s = measure(samples, || {
+        for cnf in [&hole, &padded] {
+            let mut s = arena_solver(cnf, SolverConfig::baseline());
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        }
+    });
+    features.push(FeatureRow {
+        feature: "arena",
+        case: "pigeonhole_8+padded_pigeonhole_7".to_string(),
+        off_s: secs(legacy_s.median),
+        on_s: secs(arena_s.median),
+    });
+
+    // Single-feature toggles on the headline workload: each row enables
+    // exactly one feature on top of the all-off baseline.
+    let all_off = SolverConfig::baseline();
+    let case = format!("{}_verify_fresh", slug(headline.name));
+    let off_s = verify_seconds(&headline, QueryStrategy::Fresh, all_off, samples);
+    for (feature, config) in [
+        ("flat_cnf", {
+            let mut c = all_off;
+            c.flat_cnf = true;
+            c
+        }),
+        ("lbd_reduction", {
+            let mut c = all_off;
+            c.lbd_reduction = true;
+            c
+        }),
+        ("minimization", {
+            let mut c = all_off;
+            c.recursive_minimization = true;
+            c
+        }),
+        ("chrono_backtrack", {
+            let mut c = all_off;
+            c.chrono_backtrack = true;
+            c
+        }),
+    ] {
+        let on_s = verify_seconds(&headline, QueryStrategy::Fresh, config, samples);
+        features.push(FeatureRow {
+            feature,
+            case: case.clone(),
+            off_s,
+            on_s,
         });
     }
+    // Portfolio: the full config raced over 4 diversified threads versus
+    // the same config sequential.
+    let full = SolverConfig::default();
+    let full_s = verify_seconds(&headline, QueryStrategy::Fresh, full, samples);
+    let race_s = verify_seconds(&headline, QueryStrategy::Portfolio(4), full, samples);
+    features.push(FeatureRow {
+        feature: "portfolio",
+        case: format!("{}_verify", slug(headline.name)),
+        off_s: full_s,
+        on_s: race_s,
+    });
+
+    for row in &features {
+        println!(
+            "feature/{}: off {:.4}s on {:.4}s ({:.2}x)",
+            row.feature,
+            row.off_s,
+            row.on_s,
+            row.off_s / row.on_s.max(1e-9)
+        );
+    }
+
+    // All-off vs full across the whole suite: the full config must carry
+    // its headline speedup without regressing any other protocol.
+    let mut protocol_rows = String::new();
+    for entry in protocols() {
+        let name = slug(entry.name);
+        let all_off_s = verify_seconds(&entry, QueryStrategy::Fresh, all_off, samples);
+        let full_s = verify_seconds(&entry, QueryStrategy::Fresh, full, samples);
+        let headline_row = entry.name == headline.name;
+        println!(
+            "protocol/{name}: all_off {all_off_s:.4}s full {full_s:.4}s ({:.2}x)",
+            all_off_s / full_s.max(1e-9)
+        );
+        let _ = writeln!(
+            protocol_rows,
+            "    {{\"protocol\": \"{name}\", \"headline\": {headline_row}, \
+             \"all_off_s\": {all_off_s:.6}, \"full_s\": {full_s:.6}, \"speedup\": {:.2}}},",
+            all_off_s / full_s.max(1e-9)
+        );
+    }
+
+    let feature_rows: Vec<String> = features.iter().map(FeatureRow::json).collect();
+    let json = format!(
+        "{{\n  \"samples\": {samples},\n  \"features\": [\n{}\n  ],\n  \"protocols\": [\n{}  ]\n}}\n",
+        feature_rows.join(",\n"),
+        protocol_rows.trim_end_matches(",\n").to_string() + "\n"
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("wrote {out_path}");
 }

@@ -19,11 +19,12 @@
 //! * `--timeout SECS` — wall-clock budget. On expiry the run prints
 //!   `unknown (deadline exceeded)` and exits with code 3; it never
 //!   reports a wrong verdict or panics.
-//! * `--strategy fresh|session|parallel` — how the solver oracle
-//!   discharges queries: re-ground per query, reuse frame-cached
-//!   incremental sessions (the default), or fan out fresh queries over
-//!   worker threads.
-//! * `--jobs N` — worker threads for the parallel strategy (implies
+//! * `--strategy fresh|session|parallel|portfolio` — how the solver
+//!   oracle discharges queries: re-ground per query, reuse frame-cached
+//!   incremental sessions (the default), fan out fresh queries over
+//!   worker threads, or race diversified SAT solvers inside each query.
+//! * `--jobs N` — worker threads for the parallel strategy, or racing
+//!   solver threads for the portfolio strategy (implies
 //!   `--strategy parallel` when given alone).
 //! * `--profile OUT.json` — write an `ivy-profile-v1` JSON report
 //!   (timing phases, query/grounding/SAT counters, cache hit rates; see
@@ -75,12 +76,17 @@ fn main() -> ExitCode {
         Some("fresh") if jobs.is_none() => QueryStrategy::Fresh,
         Some("session") if jobs.is_none() => QueryStrategy::Session,
         Some("parallel") => QueryStrategy::Parallel(jobs.unwrap_or_else(default_jobs)),
+        Some("portfolio") => QueryStrategy::Portfolio(jobs.unwrap_or_else(default_jobs).max(2)),
         Some(other @ ("fresh" | "session")) => {
-            eprintln!("error: --jobs is only meaningful with --strategy parallel, not `{other}`");
+            eprintln!(
+                "error: --jobs is only meaningful with --strategy parallel or portfolio,                  not `{other}`"
+            );
             return ExitCode::from(2);
         }
         Some(other) => {
-            eprintln!("error: unknown --strategy `{other}` (expected fresh|session|parallel)");
+            eprintln!(
+                "error: unknown --strategy `{other}` (expected fresh|session|parallel|portfolio)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -116,7 +122,8 @@ fn main() -> ExitCode {
     code
 }
 
-/// Worker-thread default for `--strategy parallel` without `--jobs`.
+/// Worker-thread default for `--strategy parallel|portfolio` without
+/// `--jobs`.
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -161,7 +168,7 @@ fn write_profile(
 fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
         "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args] \
-         [--timeout SECS] [--strategy fresh|session|parallel] [--jobs N] \
+         [--timeout SECS] [--strategy fresh|session|parallel|portfolio] [--jobs N] \
          [--profile OUT.json]\n\
          see `crates/core/src/bin/ivy.rs` for details"
     );

@@ -39,7 +39,7 @@ use std::sync::Mutex;
 
 use ivy_epr::{
     frame_fingerprint, Budget, EprCheck, EprError, EprOutcome, EprSession, GroupId, Model,
-    DEFAULT_INSTANCE_LIMIT,
+    SolverConfig, DEFAULT_INSTANCE_LIMIT,
 };
 use ivy_fol::intern::FormulaId;
 use ivy_fol::Signature;
@@ -77,6 +77,13 @@ pub enum QueryStrategy {
     /// inspected in goal order, so the lowest-index witness wins regardless
     /// of thread timing.
     Parallel(usize),
+    /// Pooled incremental sessions (like [`QueryStrategy::Session`]) whose
+    /// SAT queries each race the given number of diversified solver threads
+    /// *inside* the query, sharing glue clauses (see
+    /// [`ivy_epr::SolverConfig::portfolio`]). Verdicts are identical to the
+    /// sequential strategies; only witnesses/cores may differ, within their
+    /// usual nondeterminism.
+    Portfolio(usize),
 }
 
 /// The persistent part of a query family: a signature plus an ordered list
@@ -169,6 +176,7 @@ pub struct Oracle {
     budget: Budget,
     instance_limit: u64,
     lazy_round_limit: Option<usize>,
+    solver_config: SolverConfig,
     pool: Mutex<Vec<(u64, EprSession)>>,
     rollup: Mutex<OracleRollup>,
 }
@@ -180,6 +188,7 @@ impl Clone for Oracle {
             budget: self.budget,
             instance_limit: self.instance_limit,
             lazy_round_limit: self.lazy_round_limit,
+            solver_config: self.solver_config,
             pool: Mutex::new(Vec::new()),
             rollup: Mutex::new(OracleRollup::new()),
         }
@@ -213,6 +222,7 @@ impl Oracle {
             budget: Budget::UNLIMITED,
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             lazy_round_limit: None,
+            solver_config: SolverConfig::default(),
             pool: Mutex::new(Vec::new()),
             rollup: Mutex::new(OracleRollup::new()),
         }
@@ -257,6 +267,33 @@ impl Oracle {
         self.lazy_round_limit = limit;
     }
 
+    /// Sets the SAT solver configuration (CDCL feature toggles) applied to
+    /// every query. The portfolio fan-out is governed by the strategy:
+    /// [`QueryStrategy::Portfolio`] overrides
+    /// [`ivy_epr::SolverConfig::portfolio`] with its thread count, and every
+    /// other strategy forces it to 0 (sequential).
+    pub fn set_solver_config(&mut self, config: SolverConfig) {
+        self.solver_config = config;
+    }
+
+    /// The configured solver feature toggles (before the strategy's
+    /// portfolio override).
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver_config
+    }
+
+    /// The solver configuration actually handed to sessions and checks:
+    /// the configured toggles with the portfolio fan-out derived from the
+    /// strategy.
+    fn effective_solver_config(&self) -> SolverConfig {
+        let mut config = self.solver_config;
+        config.portfolio = match self.strategy {
+            QueryStrategy::Portfolio(n) => n.max(2),
+            _ => 0,
+        };
+        config
+    }
+
     /// Discharges one `frame ∧ goal` query under the active strategy.
     ///
     /// # Errors
@@ -264,7 +301,9 @@ impl Oracle {
     /// Propagates [`EprError`].
     pub fn solve(&self, frame: &Frame, goal: &Goal) -> Result<EprOutcome, EprError> {
         match self.strategy {
-            QueryStrategy::Session => self.open(frame)?.solve_goal(goal),
+            QueryStrategy::Session | QueryStrategy::Portfolio(_) => {
+                self.open(frame)?.solve_goal(goal)
+            }
             _ => self.fresh_goal(frame, goal),
         }
     }
@@ -295,7 +334,7 @@ impl Oracle {
             QueryStrategy::Parallel(threads) => parallel_first(threads, count, |i| {
                 Ok(sat_model(self.fresh_goal(frame, &goal(i))?)?.map(|m| witness(i, &m)))
             }),
-            QueryStrategy::Session => {
+            QueryStrategy::Session | QueryStrategy::Portfolio(_) => {
                 let mut h = self.open(frame)?;
                 for i in 0..count {
                     if let Some(m) = sat_model(h.solve_goal(&goal(i))?)? {
@@ -413,6 +452,7 @@ impl Oracle {
         q.set_instance_limit(self.instance_limit);
         q.set_budget(self.budget);
         q.set_lazy_round_limit(round_limit);
+        q.set_solver_config(self.effective_solver_config());
         for (label, id) in frame.asserts() {
             q.assert_id(label.clone(), *id)?;
         }
@@ -449,6 +489,7 @@ impl Oracle {
                 s.set_budget(self.budget);
                 s.set_instance_limit(self.instance_limit);
                 s.set_lazy_round_limit(self.lazy_round_limit);
+                s.set_solver_config(self.effective_solver_config());
                 self.note_checkout(true);
                 Ok((s, true))
             }
@@ -474,6 +515,7 @@ impl Oracle {
         s.set_instance_limit(self.instance_limit);
         s.set_budget(self.budget);
         s.set_lazy_round_limit(round_limit);
+        s.set_solver_config(self.effective_solver_config());
         for (label, id) in frame.asserts() {
             s.assert_id(label.clone(), *id)?;
         }
@@ -827,6 +869,7 @@ mod tests {
             QueryStrategy::Fresh,
             QueryStrategy::Session,
             QueryStrategy::Parallel(2),
+            QueryStrategy::Portfolio(2),
         ] {
             let mut oracle = Oracle::new();
             oracle.set_strategy(strategy);
@@ -904,6 +947,32 @@ mod tests {
         // A light handle is pooled and reused.
         drop(oracle.open(&frame).unwrap());
         assert_eq!(oracle.rollup().sessions_built, 2);
+    }
+
+    #[test]
+    fn portfolio_strategy_pools_sessions_and_overrides_fanout() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let mut oracle = Oracle::new();
+        oracle.set_strategy(QueryStrategy::Portfolio(3));
+        assert_eq!(oracle.effective_solver_config().portfolio, 3);
+        // Any sequential strategy forces the fan-out back to 0, even when
+        // the configured toggles request one.
+        let mut config = oracle.solver_config();
+        config.portfolio = 8;
+        oracle.set_solver_config(config);
+        oracle.set_strategy(QueryStrategy::Session);
+        assert_eq!(oracle.effective_solver_config().portfolio, 0);
+        oracle.set_strategy(QueryStrategy::Portfolio(4));
+        assert_eq!(oracle.effective_solver_config().portfolio, 4);
+        // Portfolio pools sessions by frame fingerprint, like Session.
+        let goal = Goal::new("g", fid("r(a)"));
+        oracle.solve(&frame, &goal).unwrap();
+        oracle.solve(&frame, &goal).unwrap();
+        let rollup = oracle.rollup();
+        assert_eq!(rollup.sessions_built, 1);
+        assert_eq!(rollup.frame_hits, 1);
     }
 
     #[test]

@@ -120,6 +120,8 @@ fn strategy_and_jobs_flags_select_the_oracle_strategy() {
         &["--strategy", "session"],
         &["--strategy", "parallel"],
         &["--strategy", "parallel", "--jobs", "2"],
+        &["--strategy", "portfolio"],
+        &["--strategy", "portfolio", "--jobs", "2"],
         // --jobs alone implies the parallel strategy.
         &["--jobs", "2"],
     ] {
@@ -143,6 +145,9 @@ fn bad_strategy_or_jobs_is_a_usage_error() {
         &["prove", model, "--strategy", "turbo"][..],
         &["prove", model, "--jobs", "0"],
         &["prove", model, "--jobs", "many"],
+        &["prove", model, "--strategy", "portfolio", "--jobs", "0"],
+        &["prove", model, "--strategy", "portfolio", "--jobs", "-3"],
+        &["prove", model, "--strategy", "portfolio", "--jobs", "many"],
         // --jobs contradicts a sequential strategy.
         &["prove", model, "--strategy", "fresh", "--jobs", "2"],
         &["prove", model, "--strategy", "session", "--jobs", "2"],

@@ -14,7 +14,7 @@ use ivy_fol::xform::Block;
 use ivy_fol::{
     Binding, Elem, Formula, SigError, Signature, SkolemError, Sort, SortError, Structure, Sym,
 };
-use ivy_sat::{Lit, SolveResult, Stats};
+use ivy_sat::{Lit, SolveResult, SolverConfig, Stats};
 use ivy_telemetry::{counter_add, Budget, QueryReport, Span, StopReason};
 
 use crate::encode::{Encoder, EqualityMode, LazyResult, Template};
@@ -204,23 +204,25 @@ impl GroundStats {
             stop,
             wall_nanos,
             universe: self.universe as u64,
-            instances: self.instances - prev.instances.min(self.instances),
+            instances: self.instances.saturating_sub(prev.instances),
             // Equality repair numbers are already per-call (the caller
             // passes this check's round count), so no delta.
             equality_rounds: self.equality_rounds as u64,
             equality_clauses: self.equality_clauses as u64,
             sat_vars: self.sat_vars as u64,
             sat_clauses: self.sat_clauses as u64,
-            decisions: self.sat.decisions - prev.sat.decisions.min(self.sat.decisions),
-            propagations: self.sat.propagations - prev.sat.propagations.min(self.sat.propagations),
-            conflicts: self.sat.conflicts - prev.sat.conflicts.min(self.sat.conflicts),
-            restarts: self.sat.restarts - prev.sat.restarts.min(self.sat.restarts),
-            deleted_clauses: self.sat.deleted_clauses
-                - prev.sat.deleted_clauses.min(self.sat.deleted_clauses),
+            decisions: self.sat.decisions.saturating_sub(prev.sat.decisions),
+            propagations: self.sat.propagations.saturating_sub(prev.sat.propagations),
+            conflicts: self.sat.conflicts.saturating_sub(prev.sat.conflicts),
+            restarts: self.sat.restarts.saturating_sub(prev.sat.restarts),
+            deleted_clauses: self
+                .sat
+                .deleted_clauses
+                .saturating_sub(prev.sat.deleted_clauses),
             intern_hits,
             intern_misses,
-            atom_cache_hits: self.atom_hits - prev.atom_hits.min(self.atom_hits),
-            atom_cache_misses: self.atom_misses - prev.atom_misses.min(self.atom_misses),
+            atom_cache_hits: self.atom_hits.saturating_sub(prev.atom_hits),
+            atom_cache_misses: self.atom_misses.saturating_sub(prev.atom_misses),
         };
         counter_add("epr.queries", 1);
         counter_add("epr.instances", report.instances);
@@ -229,6 +231,24 @@ impl GroundStats {
         counter_add("sat.conflicts", report.conflicts);
         counter_add("sat.restarts", report.restarts);
         counter_add("sat.deleted_clauses", report.deleted_clauses);
+        counter_add(
+            "sat.lbd_reductions",
+            self.sat
+                .lbd_reductions
+                .saturating_sub(prev.sat.lbd_reductions),
+        );
+        counter_add(
+            "sat.minimized_lits",
+            self.sat
+                .minimized_lits
+                .saturating_sub(prev.sat.minimized_lits),
+        );
+        counter_add(
+            "sat.portfolio_winner",
+            self.sat
+                .portfolio_winner
+                .saturating_sub(prev.sat.portfolio_winner),
+        );
         counter_add("cache.atom_hits", report.atom_cache_hits);
         counter_add("cache.atom_misses", report.atom_cache_misses);
         report
@@ -260,6 +280,7 @@ pub struct EprCheck {
     equality_mode: EqualityMode,
     lazy_round_limit: Option<usize>,
     budget: Budget,
+    solver_config: SolverConfig,
     stats: GroundStats,
     report: QueryReport,
 }
@@ -280,9 +301,16 @@ impl EprCheck {
             equality_mode: EqualityMode::default(),
             lazy_round_limit: None,
             budget: Budget::UNLIMITED,
+            solver_config: SolverConfig::default(),
             stats: GroundStats::default(),
             report: QueryReport::default(),
         })
+    }
+
+    /// Sets the SAT solver configuration (feature toggles, portfolio
+    /// fan-out) applied to the solver of every subsequent [`EprCheck::check`].
+    pub fn set_solver_config(&mut self, config: SolverConfig) {
+        self.solver_config = config;
     }
 
     /// Bounds the lazy equality repair loop; exceeding it yields
@@ -389,6 +417,7 @@ impl EprCheck {
         }
         let (work_sig, mut enc, guards) = self.grounded()?;
         let assumptions: Vec<Lit> = guards.iter().map(|(g, _)| *g).collect();
+        enc.solver_mut().set_config(self.solver_config);
         enc.solver_mut().set_deadline(self.budget.deadline);
         let sat_span = Span::enter("sat");
         let result = match self.equality_mode {
@@ -563,6 +592,9 @@ impl EprCheck {
         drop(ground_span);
         let encode_span = Span::enter("encode");
         let mut enc = Encoder::new(table);
+        // The config must be live *during* encoding (`flat_cnf` gates the
+        // clausal fast path), not just at solve time.
+        enc.solver_mut().set_config(self.solver_config);
         // One assumption guard per assertion (for UNSAT cores).
         let mut guards: Vec<(Lit, String)> = Vec::new();
         for (label, jobs) in &ground_jobs {
@@ -698,8 +730,7 @@ pub(crate) fn instantiate_delta(enc: &mut Encoder, guard: Lit, job: &GroundJob, 
     ) {
         if env.len() == job.bindings.len() {
             if any_new || min_term == 0 {
-                let root = enc.encode_template(&job.template, env);
-                enc.add_clause([!guard, root]);
+                enc.assert_template(&job.template, env, guard);
             }
             return;
         }

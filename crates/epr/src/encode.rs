@@ -116,6 +116,138 @@ pub(crate) enum TNode {
     Iff(Box<TNode>, Box<TNode>),
 }
 
+/// One literal of a pre-flattened clausal matrix (see [`Template::compile`]):
+/// an atom over step indices plus a sign.
+#[derive(Clone, Debug)]
+pub(crate) enum CLit {
+    /// `sym(steps…)`, negated when `neg`.
+    Rel {
+        /// Negate the atom.
+        neg: bool,
+        /// Relation symbol.
+        sym: Sym,
+        /// Argument step indices.
+        args: Vec<usize>,
+    },
+    /// `steps[a] = steps[b]`, negated when `neg`.
+    Eq {
+        /// Negate the equality.
+        neg: bool,
+        /// Left step index.
+        a: usize,
+        /// Right step index.
+        b: usize,
+    },
+}
+
+/// A conjunction of disjunctions of [`CLit`]s — a matrix pre-flattened to
+/// CNF at template-compile time.
+type FlatCnf = Vec<Vec<CLit>>;
+
+/// Clause-count cap for [`flatten_cnf`]: matrices whose distributed CNF
+/// exceeds this many clauses fall back to Tseitin gates, so distribution
+/// can never blow up (it is quadratic in the cap, run once per template).
+const FLAT_CNF_MAX_CLAUSES: usize = 16;
+/// Total-literal cap for [`flatten_cnf`] (same fallback).
+const FLAT_CNF_MAX_LITS: usize = 96;
+
+/// `∨` of two CNFs by distribution: every clause of `a` joined with every
+/// clause of `b`. `None` when the product exceeds the flattening caps.
+fn cnf_or(a: FlatCnf, b: FlatCnf) -> Option<FlatCnf> {
+    if a.len() * b.len() > FLAT_CNF_MAX_CLAUSES {
+        return None;
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ca in &a {
+        for cb in &b {
+            let mut c = ca.clone();
+            c.extend(cb.iter().cloned());
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Flattens `n` (negated when `neg`) into CNF by pushing negations inward
+/// and distributing `∨` over `∧`, without auxiliary variables. Returns
+/// `None` when the result would exceed [`FLAT_CNF_MAX_CLAUSES`] clauses or
+/// [`FLAT_CNF_MAX_LITS`] literals — those matrices (rare, deeply mixed
+/// connectives) keep the Tseitin gate encoding instead.
+fn flatten_cnf(n: &TNode, neg: bool) -> Option<FlatCnf> {
+    let out = match n {
+        // ⊤ is the empty conjunction; ⊥ the empty clause.
+        TNode::True => {
+            if neg {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            }
+        }
+        TNode::False => {
+            if neg {
+                Vec::new()
+            } else {
+                vec![Vec::new()]
+            }
+        }
+        TNode::Rel(r, args) => vec![vec![CLit::Rel {
+            neg,
+            sym: *r,
+            args: args.clone(),
+        }]],
+        TNode::Eq(a, b) => vec![vec![CLit::Eq { neg, a: *a, b: *b }]],
+        TNode::Not(g) => flatten_cnf(g, !neg)?,
+        TNode::And(fs) if !neg => {
+            let mut acc = Vec::new();
+            for g in fs {
+                acc.extend(flatten_cnf(g, false)?);
+            }
+            acc
+        }
+        // ¬(∧ fs) = ∨ ¬fs — distribute; dually for a positive ∨.
+        TNode::And(fs) => {
+            let mut acc = vec![Vec::new()];
+            for g in fs {
+                acc = cnf_or(acc, flatten_cnf(g, true)?)?;
+            }
+            acc
+        }
+        TNode::Or(fs) if !neg => {
+            let mut acc = vec![Vec::new()];
+            for g in fs {
+                acc = cnf_or(acc, flatten_cnf(g, false)?)?;
+            }
+            acc
+        }
+        TNode::Or(fs) => {
+            let mut acc = Vec::new();
+            for g in fs {
+                acc.extend(flatten_cnf(g, true)?);
+            }
+            acc
+        }
+        TNode::Implies(a, b) if !neg => cnf_or(flatten_cnf(a, true)?, flatten_cnf(b, false)?)?,
+        TNode::Implies(a, b) => {
+            let mut acc = flatten_cnf(a, false)?;
+            acc.extend(flatten_cnf(b, true)?);
+            acc
+        }
+        // a ↔ b = (a → b) ∧ (b → a); ¬(a ↔ b) = (a ∨ b) ∧ (¬a ∨ ¬b).
+        TNode::Iff(a, b) if !neg => {
+            let mut acc = cnf_or(flatten_cnf(a, true)?, flatten_cnf(b, false)?)?;
+            acc.extend(cnf_or(flatten_cnf(b, true)?, flatten_cnf(a, false)?)?);
+            acc
+        }
+        TNode::Iff(a, b) => {
+            let mut acc = cnf_or(flatten_cnf(a, false)?, flatten_cnf(b, false)?)?;
+            acc.extend(cnf_or(flatten_cnf(a, true)?, flatten_cnf(b, true)?)?);
+            acc
+        }
+    };
+    let lits: usize = out.iter().map(Vec::len).sum();
+    (out.len() <= FLAT_CNF_MAX_CLAUSES && lits <= FLAT_CNF_MAX_LITS).then_some(out)
+}
+
 /// A pre-compiled instantiation plan for one universal grounding job.
 ///
 /// Compiled once per job from the hash-consed matrix: the term structure is
@@ -134,6 +266,14 @@ pub(crate) enum TNode {
 pub(crate) struct Template {
     steps: Vec<TStep>,
     root: TNode,
+    /// The matrix flattened into a small CNF over its own atoms, when the
+    /// bounded distribution of [`flatten_cnf`] succeeds (it does for nearly
+    /// every invariant, axiom, and frame condition). Flat templates are
+    /// asserted clause-by-clause with no Tseitin gates at all
+    /// ([`Encoder::assert_template`]), so the SAT variable count stays
+    /// proportional to the number of distinct ground atoms rather than
+    /// ground instantiations.
+    cnf: Option<FlatCnf>,
 }
 
 impl Template {
@@ -153,7 +293,8 @@ impl Template {
         let mut steps = Vec::new();
         let mut seen: HashMap<FolTermId, usize> = HashMap::new();
         let root = compile_node(it, matrix, &var_pos, &mut steps, &mut seen);
-        Template { steps, root }
+        let cnf = flatten_cnf(&root, false);
+        Template { steps, root, cnf }
     }
 }
 
@@ -234,6 +375,102 @@ fn compile_node(
     }
 }
 
+/// Flat open-addressing hash index over ground atoms, the fast-path
+/// counterpart of the canonical `rel_atoms`/`eq_vars` `BTreeMap`s.
+///
+/// Keys are a symbol's dense id plus an argument run stored in one flat
+/// arena, probed by borrowed slice — the template-replay hot loop (millions
+/// of `cache.atom_hits` per check) performs no allocation and no SipHash.
+/// Equality atoms index here too, under the reserved [`EQ_SYM`] id. The
+/// `BTreeMap`s remain the canonical stores: every deterministic iteration
+/// (equality repair, congruence bucketing, model extraction) still walks
+/// them in order.
+#[derive(Clone, Debug, Default)]
+struct AtomIndex {
+    /// Power-of-two slot table holding entry index + 1 (0 = empty slot).
+    slots: Vec<u32>,
+    /// Per-entry key: (symbol id, arg start, arg len) into `args`.
+    keys: Vec<(u32, u32, u32)>,
+    /// Per-entry SAT variable.
+    vars: Vec<Var>,
+    /// Flat argument arena; each key owns one contiguous run.
+    args: Vec<TermId>,
+}
+
+/// Reserved [`AtomIndex`] symbol id for equality atoms (`a = b` keyed as
+/// `EQ_SYM(min, max)`); relation ids are dense and never reach it.
+const EQ_SYM: u32 = u32::MAX;
+
+impl AtomIndex {
+    /// Multiply-xor key hash (splitmix-style finalizer per word).
+    fn hash(sym: u32, args: &[TermId]) -> u64 {
+        let mut h = (u64::from(sym) ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        for &a in args {
+            h = (h ^ a as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+        }
+        h
+    }
+
+    fn entry_matches(&self, e: u32, sym: u32, args: &[TermId]) -> bool {
+        let (s, start, len) = self.keys[e as usize - 1];
+        s == sym
+            && len as usize == args.len()
+            && self.args[start as usize..start as usize + len as usize] == *args
+    }
+
+    fn get(&self, sym: u32, args: &[TermId]) -> Option<Var> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(sym, args) as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                e => {
+                    if self.entry_matches(e, sym, args) {
+                        return Some(self.vars[e as usize - 1]);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a key the caller knows is absent.
+    fn insert(&mut self, sym: u32, args: &[TermId], v: Var) {
+        if (self.keys.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let start = u32::try_from(self.args.len()).expect("atom argument arena overflow");
+        self.args.extend_from_slice(args);
+        self.keys.push((sym, start, args.len() as u32));
+        self.vars.push(v);
+        let e = self.keys.len() as u32;
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(sym, args) as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = e;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(1024);
+        self.slots = vec![0; cap];
+        let mask = cap - 1;
+        for (idx, &(sym, start, len)) in self.keys.iter().enumerate() {
+            let args = &self.args[start as usize..(start + len) as usize];
+            let mut i = Self::hash(sym, args) as usize & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32 + 1;
+        }
+    }
+}
+
 /// Tseitin encoder over a ground-term universe, with lazy atom allocation
 /// and relevant-pairs equality.
 ///
@@ -246,12 +483,9 @@ pub struct Encoder {
     table: TermTable,
     true_lit: Lit,
     rel_atoms: BTreeMap<(Sym, Vec<TermId>), Var>,
-    /// Hash index over `rel_atoms` for the template replay path: symbols
-    /// hash by dense id, so a probe is O(1) instead of a `BTreeMap` descent
-    /// whose `Sym` comparisons are by name. The `BTreeMap` remains the
-    /// canonical store — every deterministic iteration (equality repair,
-    /// congruence bucketing, model extraction) still walks it in order.
-    rel_index: HashMap<(Sym, Vec<TermId>), Var>,
+    /// Flat hash index over `rel_atoms` and `eq_vars` for the template
+    /// replay path (see [`AtomIndex`]).
+    atom_index: AtomIndex,
     eq_vars: BTreeMap<(TermId, TermId), Var>,
     /// Pairs that received an equality variable from the matrix (pre-closure).
     seed_pairs: Vec<(TermId, TermId)>,
@@ -261,6 +495,10 @@ pub struct Encoder {
     /// Reused step-value buffer for template replay (one live replay at a
     /// time; reuse keeps the per-tuple loop allocation-free).
     scratch_vals: Vec<TermId>,
+    /// Reused atom-argument buffer for the `TNode::Rel` probe.
+    scratch_args: Vec<TermId>,
+    /// Reused literal buffer for the clausal template fast path.
+    scratch_clause: Vec<Lit>,
     /// Ground-atom (Tseitin) cache hits: `rel_var`/`eq_lit` calls answered
     /// from the atom maps instead of allocating a fresh SAT variable.
     atom_hits: u64,
@@ -302,12 +540,14 @@ impl Encoder {
             table,
             true_lit: t.pos(),
             rel_atoms: BTreeMap::new(),
-            rel_index: HashMap::new(),
+            atom_index: AtomIndex::default(),
             eq_vars: BTreeMap::new(),
             seed_pairs: Vec::new(),
             finalized: false,
             lazy_added: std::collections::HashSet::new(),
             scratch_vals: Vec::new(),
+            scratch_args: Vec::new(),
+            scratch_clause: Vec::new(),
             atom_hits: 0,
             atom_misses: 0,
         }
@@ -351,29 +591,14 @@ impl Encoder {
 
     /// The propositional variable of the ground atom `sym(args)`.
     pub fn rel_var(&mut self, sym: &Sym, args: &[TermId]) -> Var {
-        if let Some(&v) = self.rel_atoms.get(&(*sym, args.to_vec())) {
+        if let Some(v) = self.atom_index.get(sym.id(), args) {
             self.atom_hits += 1;
             return v;
         }
         self.atom_misses += 1;
         let v = self.solver.new_var();
         self.rel_atoms.insert((*sym, args.to_vec()), v);
-        self.rel_index.insert((*sym, args.to_vec()), v);
-        v
-    }
-
-    /// Like [`Encoder::rel_var`] but takes the key by value and probes the
-    /// hash index: one O(1) lookup, no allocation beyond the caller's.
-    fn rel_var_owned(&mut self, sym: Sym, args: Vec<TermId>) -> Var {
-        let key = (sym, args);
-        if let Some(&v) = self.rel_index.get(&key) {
-            self.atom_hits += 1;
-            return v;
-        }
-        self.atom_misses += 1;
-        let v = self.solver.new_var();
-        self.rel_atoms.insert(key.clone(), v);
-        self.rel_index.insert(key, v);
+        self.atom_index.insert(sym.id(), args, v);
         v
     }
 
@@ -388,7 +613,7 @@ impl Encoder {
             "cross-sort equality is ill-sorted"
         );
         let key = (a.min(b), a.max(b));
-        if let Some(&v) = self.eq_vars.get(&key) {
+        if let Some(v) = self.atom_index.get(EQ_SYM, &[key.0, key.1]) {
             self.atom_hits += 1;
             return v.pos();
         }
@@ -400,6 +625,7 @@ impl Encoder {
         // axiomatizes enormous congruence buckets.
         self.solver.pin_phase(v, false);
         self.eq_vars.insert(key, v);
+        self.atom_index.insert(EQ_SYM, &[key.0, key.1], v);
         if !self.finalized {
             self.seed_pairs.push(key);
         }
@@ -493,6 +719,20 @@ impl Encoder {
     /// invariant).
     pub(crate) fn encode_template(&mut self, tpl: &Template, env: &[TermId]) -> Lit {
         let mut vals = std::mem::take(&mut self.scratch_vals);
+        self.eval_steps(tpl, env, &mut vals);
+        let out = self.encode_tnode(&tpl.root, &vals, Polarity::Pos);
+        self.scratch_vals = vals;
+        out
+    }
+
+    /// Evaluates the template's ground-term step list under `env` into
+    /// `vals` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on applications outside the closed universe (an internal
+    /// invariant).
+    fn eval_steps(&self, tpl: &Template, env: &[TermId], vals: &mut Vec<TermId>) {
         vals.clear();
         vals.reserve(tpl.steps.len());
         for step in &tpl.steps {
@@ -507,9 +747,58 @@ impl Encoder {
             };
             vals.push(v);
         }
-        let out = self.encode_tnode(&tpl.root, &vals, Polarity::Pos);
+    }
+
+    /// Asserts `guard → matrix[env]` for one ground tuple.
+    ///
+    /// Matrices whose bounded CNF flattening succeeded at compile time —
+    /// nearly all invariants, axioms, and frame conditions — are emitted
+    /// clause-by-clause as `¬guard ∨ lits` with no Tseitin gates at all,
+    /// which keeps the SAT variable count proportional to the number of
+    /// distinct ground *atoms* rather than ground *instantiations*.
+    /// Everything else falls back to [`Encoder::encode_template`] plus a
+    /// two-literal root clause.
+    pub(crate) fn assert_template(&mut self, tpl: &Template, env: &[TermId], guard: Lit) {
+        let Some(cnf) = tpl.cnf.as_ref().filter(|_| self.solver.config().flat_cnf) else {
+            let root = self.encode_template(tpl, env);
+            self.add_clause([!guard, root]);
+            return;
+        };
+        let mut vals = std::mem::take(&mut self.scratch_vals);
+        self.eval_steps(tpl, env, &mut vals);
+        let mut lits = std::mem::take(&mut self.scratch_clause);
+        for clause in cnf {
+            lits.clear();
+            lits.push(!guard);
+            for cl in clause {
+                let l = match cl {
+                    CLit::Rel { neg, sym, args } => {
+                        let mut buf = std::mem::take(&mut self.scratch_args);
+                        buf.clear();
+                        buf.extend(args.iter().map(|&a| vals[a]));
+                        let v = self.rel_var(sym, &buf);
+                        self.scratch_args = buf;
+                        if *neg {
+                            v.neg()
+                        } else {
+                            v.pos()
+                        }
+                    }
+                    CLit::Eq { neg, a, b } => {
+                        let l = self.eq_lit(vals[*a], vals[*b]);
+                        if *neg {
+                            !l
+                        } else {
+                            l
+                        }
+                    }
+                };
+                lits.push(l);
+            }
+            self.solver.add_clause(lits.iter().copied());
+        }
+        self.scratch_clause = lits;
         self.scratch_vals = vals;
-        out
     }
 
     fn encode_tnode(&mut self, n: &TNode, vals: &[TermId], pol: Polarity) -> Lit {
@@ -517,8 +806,12 @@ impl Encoder {
             TNode::True => self.true_lit,
             TNode::False => !self.true_lit,
             TNode::Rel(r, args) => {
-                let args: Vec<TermId> = args.iter().map(|&a| vals[a]).collect();
-                self.rel_var_owned(*r, args).pos()
+                let mut buf = std::mem::take(&mut self.scratch_args);
+                buf.clear();
+                buf.extend(args.iter().map(|&a| vals[a]));
+                let v = self.rel_var(r, &buf);
+                self.scratch_args = buf;
+                v.pos()
             }
             TNode::Eq(a, b) => self.eq_lit(vals[*a], vals[*b]),
             TNode::Not(g) => !self.encode_tnode(g, vals, pol.flip()),

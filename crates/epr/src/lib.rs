@@ -37,5 +37,6 @@ pub mod session;
 pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model, DEFAULT_INSTANCE_LIMIT};
 pub use encode::{Encoder, EqualityMode, LazyResult};
 pub use ground::{ensure_inhabited, GroundTerm, TermId, TermTable};
+pub use ivy_sat::SolverConfig;
 pub use ivy_telemetry::{Budget, QueryReport, StopReason};
 pub use session::{frame_fingerprint, EprSession, GroupId};

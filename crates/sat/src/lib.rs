@@ -30,6 +30,7 @@
 pub mod cnf;
 pub mod dimacs;
 pub mod dpll;
+pub mod legacy;
 pub mod lit;
 pub mod solver;
 
@@ -37,4 +38,4 @@ pub use cnf::Cnf;
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsError};
 pub use dpll::{solve_brute_force, solve_dpll};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{Interrupt, SolveResult, Solver, Stats};
+pub use solver::{Interrupt, SolveResult, Solver, SolverConfig, Stats};

@@ -1,14 +1,33 @@
-//! A CDCL SAT solver in the MiniSat lineage.
+//! A CDCL SAT solver on a flat clause arena, in the MiniSat/Glucose lineage.
 //!
-//! Features: two-watched-literal propagation, first-UIP conflict analysis,
-//! VSIDS decision heuristic with phase saving, Luby restarts, activity-based
-//! learnt-clause deletion, and assumption-based incremental solving with
-//! UNSAT cores (`analyze_final`).
+//! Clauses live in one contiguous `Vec<u32>` (header words followed by the
+//! literal run), addressed by `ClauseRef` word offsets — the same u32-id
+//! trick as the interned-term arena in `ivy-fol`. Deletion marks a header
+//! bit and counts wasted words; a compacting GC rewrites the arena through
+//! forwarding pointers once a quarter of it is garbage. On top of the
+//! arena the solver layers the competition-era CDCL features, each behind a
+//! [`SolverConfig`] toggle so the `solver_ablation` bench can measure it in
+//! isolation:
 //!
-//! The paper's Ivy uses Z3 as its satisfiability back end; this solver (plus
-//! the EPR grounding layer in `ivy-epr`) is our from-scratch substitute.
+//! * **LBD (glue) reduction** — every learnt clause records its literal
+//!   block distance; the learnt database is periodically halved keeping
+//!   low-LBD / high-activity clauses, replacing the blunt `max_learnts` cap.
+//! * **Recursive conflict-clause minimization** — MiniSat's `litRedundant`
+//!   walk over the implication graph, dropping dominated literals.
+//! * **Chronological backtracking** — when analysis would jump far past the
+//!   conflict level, back up one level instead and assert there.
+//! * **Portfolio racing** — N diversified clones of the solver race on the
+//!   same clause database with bounded sharing of glue clauses; first
+//!   decisive answer wins and the winner's state is adopted.
+//!
+//! The paper's Ivy uses Z3 as its satisfiability back end; this solver
+//! (plus the EPR grounding layer in `ivy-epr`) is our from-scratch
+//! substitute. The pre-arena solver is frozen in [`crate::legacy`] as a
+//! differential-testing baseline.
 
 use crate::lit::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Statistics about a solver's run, cumulative over all `solve` calls.
@@ -24,6 +43,14 @@ pub struct Stats {
     pub restarts: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of LBD-based learnt-database reductions performed.
+    pub lbd_reductions: u64,
+    /// Literals removed from learnt clauses by conflict-clause minimization.
+    pub minimized_lits: u64,
+    /// Portfolio races run (calls that fanned out to diversified workers).
+    pub portfolio_races: u64,
+    /// Portfolio races won by a diversified (non-baseline) worker.
+    pub portfolio_winner: u64,
 }
 
 /// The result of [`Solver::solve_with_assumptions`].
@@ -44,20 +71,213 @@ pub enum Interrupt {
     Conflicts,
     /// The wall-clock deadline set via [`Solver::set_deadline`] passed.
     Deadline,
+    /// A portfolio sibling answered first and asked this worker to stop.
+    /// Never observed through [`Solver::last_interrupt`] on the adopted
+    /// winner: a stopped worker only loses the race to a decisive answer.
+    Stopped,
 }
 
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
+/// Feature toggles and tuning knobs for the CDCL search.
+///
+/// [`SolverConfig::default`] enables every feature; [`SolverConfig::baseline`]
+/// reproduces the pre-arena solver's policies (activity-capped learnt
+/// database, one-level minimization, pure backjumping) for ablation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Reduce the learnt database by LBD (glue) instead of the
+    /// `max_learnts` activity cap.
+    pub lbd_reduction: bool,
+    /// Use recursive (full implication-graph) conflict-clause minimization
+    /// instead of the one-level check.
+    pub recursive_minimization: bool,
+    /// Backtrack chronologically (one level) when analysis would jump more
+    /// than [`SolverConfig::chrono_threshold`] levels.
+    pub chrono_backtrack: bool,
+    /// Minimum backjump distance before chronological backtracking kicks in.
+    pub chrono_threshold: u32,
+    /// Base conflict budget per Luby restart (the pre-arena solver used 100).
+    pub restart_unit: u64,
+    /// VSIDS variable-activity decay factor (activity increment grows by
+    /// `1 / var_decay` per conflict).
+    pub var_decay: f64,
+    /// Number of diversified solver threads to race per query; values below
+    /// 2 solve sequentially.
+    pub portfolio: usize,
+    /// Emit flat CNF (no Tseitin gates) for matrices that distribute into a
+    /// small clause set. An *encoder-level* feature — the SAT core itself
+    /// ignores it — carried here so the whole per-query feature set has a
+    /// single ablation surface.
+    pub flat_cnf: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            lbd_reduction: true,
+            recursive_minimization: true,
+            chrono_backtrack: true,
+            chrono_threshold: 100,
+            restart_unit: 100,
+            var_decay: 0.95,
+            portfolio: 0,
+            flat_cnf: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The all-features-off configuration: identical search policies to the
+    /// frozen pre-arena solver in [`crate::legacy`], so ablations can
+    /// isolate the arena layout itself.
+    pub fn baseline() -> SolverConfig {
+        SolverConfig {
+            lbd_reduction: false,
+            recursive_minimization: false,
+            chrono_backtrack: false,
+            chrono_threshold: 100,
+            restart_unit: 100,
+            var_decay: 0.95,
+            portfolio: 0,
+            flat_cnf: false,
+        }
+    }
+}
+
+/// Word offset of a clause inside the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+const HEADER_WORDS: usize = 3;
+/// Header word 0, bit 0: clause is learnt.
+const LEARNT_BIT: u32 = 1 << 0;
+/// Header word 0, bit 1: clause is deleted (space reclaimed by the next GC).
+const DELETED_BIT: u32 = 1 << 1;
+/// Header word 0, bit 2: clause was already exported to (or imported from)
+/// the portfolio share pool.
+const EXPORTED_BIT: u32 = 1 << 2;
+/// Clause size is stored in header word 0 above the flag bits.
+const SIZE_SHIFT: u32 = 3;
+
+/// Flat clause storage: `[header, activity, lbd, lit0, lit1, ...]*`.
+///
+/// Word 1 holds the clause activity as `f32` bits; during GC it doubles as
+/// the forwarding pointer to the clause's new offset. Word 2 is the LBD.
+#[derive(Clone, Debug, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
+    /// Words occupied by deleted clauses; drives GC scheduling.
+    wasted: u32,
+}
+
+impl ClauseArena {
+    fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        debug_assert!(self.data.len() + HEADER_WORDS + lits.len() < u32::MAX as usize);
+        let cref = ClauseRef(self.data.len() as u32);
+        let mut header = (lits.len() as u32) << SIZE_SHIFT;
+        if learnt {
+            header |= LEARNT_BIT;
+        }
+        self.data.push(header);
+        self.data.push(0f32.to_bits());
+        self.data.push(lbd);
+        self.data.extend(lits.iter().map(|l| l.0));
+        cref
+    }
+
+    #[inline]
+    fn header(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize]
+    }
+
+    #[inline]
+    fn len(&self, c: ClauseRef) -> usize {
+        (self.header(c) >> SIZE_SHIFT) as usize
+    }
+
+    #[inline]
+    fn base(&self, c: ClauseRef) -> usize {
+        c.0 as usize + HEADER_WORDS
+    }
+
+    #[inline]
+    fn lit(&self, c: ClauseRef, k: usize) -> Lit {
+        Lit(self.data[self.base(c) + k])
+    }
+
+    #[inline]
+    fn swap_lits(&mut self, c: ClauseRef, a: usize, b: usize) {
+        let base = self.base(c);
+        self.data.swap(base + a, base + b);
+    }
+
+    #[inline]
+    fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.header(c) & DELETED_BIT != 0
+    }
+
+    #[inline]
+    fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.header(c) & LEARNT_BIT != 0
+    }
+
+    #[inline]
+    fn is_exported(&self, c: ClauseRef) -> bool {
+        self.header(c) & EXPORTED_BIT != 0
+    }
+
+    fn set_exported(&mut self, c: ClauseRef) {
+        self.data[c.0 as usize] |= EXPORTED_BIT;
+    }
+
+    fn delete(&mut self, c: ClauseRef) {
+        if !self.is_deleted(c) {
+            self.wasted += (HEADER_WORDS + self.len(c)) as u32;
+            self.data[c.0 as usize] |= DELETED_BIT;
+        }
+    }
+
+    #[inline]
+    fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c.0 as usize + 1])
+    }
+
+    fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c.0 as usize + 1] = a.to_bits();
+    }
+
+    #[inline]
+    fn lbd(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize + 2]
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Watch {
-    cref: u32,
+    cref: ClauseRef,
     blocker: Lit,
+}
+
+/// Tag bit on [`Watch::cref`] marking a binary clause. For a binary clause
+/// the blocker *is* the entire rest of the clause, so propagation can
+/// decide skip/enqueue/conflict from the watch entry alone — the arena is
+/// only touched on an actual enqueue (to put the propagated literal at
+/// position 0, the reason-clause invariant `analyze` relies on). EPR
+/// groundings are dominated by binary gate clauses, making this the hot
+/// path of [`Solver::propagate`].
+const BINARY_TAG: u32 = 1 << 31;
+
+impl Watch {
+    /// The untagged clause reference.
+    #[inline]
+    fn clause(self) -> ClauseRef {
+        ClauseRef(self.cref.0 & !BINARY_TAG)
+    }
+
+    #[inline]
+    fn is_binary(self) -> bool {
+        self.cref.0 & BINARY_TAG != 0
+    }
 }
 
 /// Indexed max-heap over variable activities (the VSIDS order).
@@ -145,6 +365,36 @@ impl VarHeap {
     }
 }
 
+/// Clauses exported by portfolio workers: `(lbd, literals)` pairs appended
+/// under the pool mutex; each worker keeps a private cursor into the vec.
+type SharePool = Arc<Mutex<Vec<(u32, Vec<Lit>)>>>;
+
+/// A worker's connection to the portfolio share pool.
+#[derive(Clone, Debug)]
+struct ShareLink {
+    pool: SharePool,
+    /// Pool entries before this index were already imported.
+    cursor: usize,
+}
+
+/// The winning worker of a portfolio race: `(index, solver, result)`.
+type WinnerSlot = Mutex<Option<(usize, Box<Solver>, Option<SolveResult>)>>;
+
+/// Per-exchange cap on clauses a worker pushes to the share pool.
+const SHARE_EXPORT_PER_ROUND: usize = 16;
+/// Only clauses this short or with LBD at most [`SHARE_MAX_LBD`] are shared.
+const SHARE_MAX_LEN: usize = 2;
+/// LBD ceiling for sharing (and the "glue" protection bound in reduction).
+const SHARE_MAX_LBD: u32 = 2;
+/// Total share-pool size cap across all workers of one race.
+const SHARE_POOL_CAP: usize = 512;
+/// Upper bound on portfolio fan-out regardless of configuration.
+const MAX_PORTFOLIO_WORKERS: usize = 8;
+/// Conflicts before the first LBD-based reduction.
+const REDUCE_BASE: u64 = 2000;
+/// Extra conflicts added to the reduction interval per reduction done.
+const REDUCE_INTERVAL_GROWTH: u64 = 300;
+
 /// A CDCL SAT solver.
 ///
 /// # Examples
@@ -162,8 +412,10 @@ impl VarHeap {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    learnt_refs: Vec<u32>,
+    arena: ClauseArena,
+    /// Live problem (non-learnt) clauses attached to watches.
+    attached_problem: usize,
+    learnt_refs: Vec<ClauseRef>,
     watches: Vec<Vec<Watch>>,
     assign: Vec<LBool>,
     polarity: Vec<bool>,
@@ -176,16 +428,23 @@ pub struct Solver {
     order: VarHeap,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
-    reason: Vec<Option<u32>>,
+    reason: Vec<Option<ClauseRef>>,
     level: Vec<u32>,
     qhead: usize,
     /// False once the clause set is unconditionally unsatisfiable.
     ok: bool,
     seen: Vec<bool>,
+    /// Per-decision-level stamp used by LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
     assumptions: Vec<Lit>,
     core: Vec<Lit>,
     model: Vec<LBool>,
     max_learnts: f64,
+    /// Conflict count that triggers the next LBD reduction.
+    next_reduce: u64,
+    /// LBD reductions done so far (grows the reduction interval).
+    reduce_count: u64,
     /// Problem (non-learnt) clauses submitted via `add_clause`, counted
     /// before simplification; sizes the learnt-clause database.
     problem_clauses: usize,
@@ -193,24 +452,60 @@ pub struct Solver {
     /// the problem clause count at each solve, so large groundings do not
     /// thrash the learnt database against the old fixed cap of 1000.
     scale_learnts: bool,
+    config: SolverConfig,
     /// Wall-clock deadline; search gives up (gracefully) once it passes.
     deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared across a portfolio race.
+    stop: Option<Arc<AtomicBool>>,
+    /// Link to the portfolio clause-share pool, if racing.
+    share: Option<ShareLink>,
     /// Why the most recent `solve_budgeted` returned `None`.
     interrupt: Option<Interrupt>,
+    /// Reused literal buffer for `add_clause` simplification — EPR
+    /// groundings add millions of clauses, so the per-call allocation is
+    /// measurable.
+    scratch_add: Vec<Lit>,
     stats: Stats,
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default (all features on)
+    /// configuration.
     pub fn new() -> Solver {
         Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
             max_learnts: 1000.0,
+            next_reduce: REDUCE_BASE,
             scale_learnts: true,
+            config: SolverConfig::default(),
             ..Solver::default()
         }
+    }
+
+    /// Creates an empty solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            ..Solver::new()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Replaces the configuration. Takes effect on the next solve; safe to
+    /// call between incremental queries.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// Sets the portfolio fan-out (see [`SolverConfig::portfolio`]).
+    pub fn set_portfolio(&mut self, workers: usize) {
+        self.config.portfolio = workers;
     }
 
     /// Allocates a fresh variable.
@@ -260,13 +555,10 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of problem (non-learnt) clauses added, including those
-    /// simplified away.
+    /// Number of problem (non-learnt) clauses currently attached (clauses
+    /// simplified away at add time are not counted).
     pub fn num_clauses(&self) -> usize {
-        self.clauses
-            .iter()
-            .filter(|c| !c.learnt && !c.deleted)
-            .count()
+        self.attached_problem
     }
 
     /// Cumulative statistics.
@@ -311,56 +603,84 @@ impl Solver {
             return false;
         }
         self.problem_clauses += 1;
-        let mut lits: Vec<Lit> = lits.into_iter().collect();
-        for l in &lits {
+        let mut buf = std::mem::take(&mut self.scratch_add);
+        buf.clear();
+        buf.extend(lits);
+        for l in &buf {
             assert!(l.var().index() < self.num_vars(), "unknown variable {l}");
         }
-        // Simplify: sort, dedupe, drop false literals, detect tautology.
-        lits.sort();
-        lits.dedup();
-        let mut simplified = Vec::with_capacity(lits.len());
-        for (i, &l) in lits.iter().enumerate() {
-            if i + 1 < lits.len() && lits[i + 1] == !l {
-                return true; // tautology: contains l and ~l
+        // Simplify in place: sort, dedupe, drop false literals, detect
+        // tautology. The buffer is a reused field — `add_clause` runs
+        // millions of times during grounding, so it must not allocate.
+        buf.sort_unstable();
+        buf.dedup();
+        let mut kept = 0;
+        let mut trivial = false;
+        for i in 0..buf.len() {
+            let l = buf[i];
+            if i + 1 < buf.len() && buf[i + 1] == !l {
+                trivial = true; // tautology: contains l and ~l
+                break;
             }
             match self.value(l) {
-                LBool::True => return true, // satisfied at level 0
-                LBool::False => {}          // drop
-                LBool::Undef => simplified.push(l),
+                LBool::True => {
+                    trivial = true; // satisfied at level 0
+                    break;
+                }
+                LBool::False => {} // drop
+                LBool::Undef => {
+                    buf[kept] = l;
+                    kept += 1;
+                }
             }
         }
-        match simplified.len() {
-            0 => {
-                self.ok = false;
-                false
+        let result = if trivial {
+            true
+        } else {
+            buf.truncate(kept);
+            match buf.len() {
+                0 => {
+                    self.ok = false;
+                    false
+                }
+                1 => {
+                    self.unchecked_enqueue(buf[0], None);
+                    self.ok = self.propagate().is_none();
+                    self.ok
+                }
+                _ => {
+                    self.attach_clause(&buf, false, 0);
+                    true
+                }
             }
-            1 => {
-                self.unchecked_enqueue(simplified[0], None);
-                self.ok = self.propagate().is_none();
-                self.ok
-            }
-            _ => {
-                self.attach_new_clause(simplified, false);
-                true
-            }
-        }
+        };
+        self.scratch_add = buf;
+        result
     }
 
-    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
-        let (w0, w1) = (lits[0], lits[1]);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-        });
+        let cref = self.arena.alloc(lits, learnt, lbd);
         if learnt {
             self.learnt_refs.push(cref);
+        } else {
+            self.attached_problem += 1;
         }
-        self.watches[w0.index()].push(Watch { cref, blocker: w1 });
-        self.watches[w1.index()].push(Watch { cref, blocker: w0 });
+        let (w0, w1) = (lits[0], lits[1]);
+        debug_assert_eq!(cref.0 & BINARY_TAG, 0, "arena outgrew the watch tag bit");
+        let tagged = if lits.len() == 2 {
+            ClauseRef(cref.0 | BINARY_TAG)
+        } else {
+            cref
+        };
+        self.watches[w0.index()].push(Watch {
+            cref: tagged,
+            blocker: w1,
+        });
+        self.watches[w1.index()].push(Watch {
+            cref: tagged,
+            blocker: w0,
+        });
         cref
     }
 
@@ -372,7 +692,7 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.value(l), LBool::Undef);
         let v = l.var().index();
         self.assign[v] = LBool::from_bool(l.is_pos());
@@ -383,7 +703,7 @@ impl Solver {
 
     /// Propagates pending assignments; returns the conflicting clause
     /// reference, if any.
-    fn propagate(&mut self) -> Option<u32> {
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -394,34 +714,52 @@ impl Solver {
             let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
             let mut conflict = None;
             while i < watch_list.len() {
-                let Watch { cref, blocker } = watch_list[i];
+                let w = watch_list[i];
+                let blocker = w.blocker;
                 if self.value(blocker) == LBool::True {
                     i += 1;
                     continue;
                 }
-                let clause = &mut self.clauses[cref as usize];
-                if clause.deleted {
+                if w.is_binary() {
+                    // Binary clauses are never deleted (the reduction passes
+                    // skip `len <= 2`), so the watch entry is authoritative.
+                    let cref = w.clause();
+                    debug_assert!(!self.arena.is_deleted(cref));
+                    if self.value(blocker) == LBool::False {
+                        conflict = Some(cref);
+                        self.qhead = self.trail.len();
+                        break;
+                    }
+                    if self.arena.lit(cref, 0) != blocker {
+                        self.arena.swap_lits(cref, 0, 1);
+                    }
+                    self.unchecked_enqueue(blocker, Some(cref));
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.arena.is_deleted(cref) {
                     watch_list.swap_remove(i);
                     continue;
                 }
                 // Normalize: the false watch goes to position 1.
-                if clause.lits[0] == false_lit {
-                    clause.lits.swap(0, 1);
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                debug_assert_eq!(clause.lits[1], false_lit);
-                let first = clause.lits[0];
-                if first != blocker && self.assign[first.var().index()].under(first) == LBool::True
-                {
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
+                if first != blocker && self.value(first) == LBool::True {
                     watch_list[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Find a new literal to watch.
+                let len = self.arena.len(cref);
                 let mut moved = false;
-                for k in 2..clause.lits.len() {
-                    let cand = clause.lits[k];
-                    if self.assign[cand.var().index()].under(cand) != LBool::False {
-                        clause.lits.swap(1, k);
+                for k in 2..len {
+                    let cand = self.arena.lit(cref, k);
+                    if self.value(cand) != LBool::False {
+                        self.arena.swap_lits(cref, 1, k);
                         self.watches[cand.index()].push(Watch {
                             cref,
                             blocker: first,
@@ -489,20 +827,41 @@ impl Solver {
         self.order.decrease_key_bumped(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let bumped = self.arena.activity(cref) + self.cla_inc as f32;
+        self.arena.set_activity(cref, bumped);
+        if bumped > 1e20 {
             for &r in &self.learnt_refs {
-                self.clauses[r as usize].activity *= 1e-20;
+                let scaled = self.arena.activity(r) * 1e-20;
+                self.arena.set_activity(r, scaled);
             }
             self.cla_inc *= 1e-20;
         }
     }
 
+    /// Literal block distance: distinct nonzero decision levels among `lits`.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if lev == 0 {
+                continue;
+            }
+            if lev >= self.lbd_stamp.len() {
+                self.lbd_stamp.resize(lev + 1, 0);
+            }
+            if self.lbd_stamp[lev] != self.lbd_gen {
+                self.lbd_stamp[lev] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backtrack level.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -510,10 +869,11 @@ impl Solver {
         let mut confl = confl;
         loop {
             self.bump_clause(confl);
-            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
-            // Skip lits[0] when it is the literal we just resolved on.
+            // Skip position 0 when it is the literal we just resolved on.
             let skip = usize::from(p.is_some());
-            for &q in &lits[skip..] {
+            let len = self.arena.len(confl);
+            for k in skip..len {
+                let q = self.arena.lit(confl, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -544,19 +904,30 @@ impl Solver {
         }
         learnt[0] = !p.expect("loop sets p");
 
-        // Simple self-subsumption minimization: drop literals whose reason
-        // clause is entirely covered by the remaining `seen` set.
-        let keep: Vec<bool> = learnt
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
-            .collect();
+        // Conflict-clause minimization: drop literals implied by the rest of
+        // the clause, either through their immediate reason (one-level) or
+        // the whole implication graph (recursive).
+        let mut to_clear: Vec<Var> = Vec::new();
+        let mut keep = vec![true; learnt.len()];
+        if self.config.recursive_minimization {
+            let abstract_levels = learnt[1..].iter().fold(0u32, |acc, l| {
+                acc | Self::abstract_level(self.level[l.var().index()])
+            });
+            for i in 1..learnt.len() {
+                keep[i] = !self.lit_redundant_recursive(learnt[i], abstract_levels, &mut to_clear);
+            }
+        } else {
+            for i in 1..learnt.len() {
+                keep[i] = !self.literal_redundant(learnt[i]);
+            }
+        }
         let mut minimized = Vec::with_capacity(learnt.len());
         for (i, &l) in learnt.iter().enumerate() {
             if keep[i] {
                 minimized.push(l);
             }
         }
+        self.stats.minimized_lits += (learnt.len() - minimized.len()) as u64;
 
         // Compute backtrack level: second highest level in the clause.
         let bt = if minimized.len() == 1 {
@@ -580,6 +951,9 @@ impl Solver {
         for &l in &learnt {
             self.seen[l.var().index()] = false;
         }
+        for &v in &to_clear {
+            self.seen[v.index()] = false;
+        }
         (minimized, bt)
     }
 
@@ -588,10 +962,60 @@ impl Solver {
     fn literal_redundant(&self, l: Lit) -> bool {
         match self.reason[l.var().index()] {
             None => false,
-            Some(r) => self.clauses[r as usize].lits.iter().all(|&q| {
+            Some(r) => (0..self.arena.len(r)).all(|k| {
+                let q = self.arena.lit(r, k);
                 q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0
             }),
         }
+    }
+
+    /// Bitmask fingerprint of a decision level (MiniSat's `abstractLevel`).
+    fn abstract_level(level: u32) -> u32 {
+        1 << (level & 31)
+    }
+
+    /// MiniSat's `litRedundant`: whether `l` is implied by `seen` literals
+    /// through any depth of the implication graph. Vars proven redundant
+    /// along the way stay marked in `seen` (memoization) and are recorded in
+    /// `to_clear` for the caller to unmark; on failure the vars marked by
+    /// this call are rolled back.
+    fn lit_redundant_recursive(
+        &mut self,
+        l: Lit,
+        abstract_levels: u32,
+        to_clear: &mut Vec<Var>,
+    ) -> bool {
+        if self.reason[l.var().index()].is_none() {
+            return false;
+        }
+        let mut stack = vec![l.var()];
+        let undo_from = to_clear.len();
+        while let Some(v) = stack.pop() {
+            let r = self.reason[v.index()].expect("stacked vars have reasons");
+            // Position 0 holds the propagated literal itself; its antecedents
+            // are the rest.
+            for k in 1..self.arena.len(r) {
+                let q = self.arena.lit(r, k);
+                let qv = q.var();
+                if self.seen[qv.index()] || self.level[qv.index()] == 0 {
+                    continue;
+                }
+                if self.reason[qv.index()].is_some()
+                    && (Self::abstract_level(self.level[qv.index()]) & abstract_levels) != 0
+                {
+                    self.seen[qv.index()] = true;
+                    to_clear.push(qv);
+                    stack.push(qv);
+                } else {
+                    for &u in &to_clear[undo_from..] {
+                        self.seen[u.index()] = false;
+                    }
+                    to_clear.truncate(undo_from);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Produces the subset of assumptions responsible for falsifying the
@@ -615,7 +1039,8 @@ impl Solver {
                 // `!failed` it is the contradictory twin assumption.)
                 None => core.push(q),
                 Some(r) => {
-                    for &x in &self.clauses[r as usize].lits[1..] {
+                    for k in 1..self.arena.len(r) {
+                        let x = self.arena.lit(r, k);
                         if self.level[x.var().index()] > 0 {
                             self.seen[x.var().index()] = true;
                         }
@@ -628,15 +1053,23 @@ impl Solver {
         core
     }
 
+    /// Whether `r` is the reason of its first literal's assignment (locked
+    /// clauses must never be deleted).
+    fn is_locked(&self, r: ClauseRef) -> bool {
+        self.reason[self.arena.lit(r, 0).var().index()] == Some(r)
+    }
+
+    /// Activity-based reduction (the pre-arena policy): sort learnt clauses
+    /// by activity, delete the weaker half (skipping binary and locked
+    /// clauses).
     fn reduce_db(&mut self) {
-        // Sort learnt clauses by activity, delete the weaker half (skipping
-        // binary and locked clauses).
         let mut refs = self.learnt_refs.clone();
-        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        let arena = &self.arena;
+        refs.retain(|&r| !arena.is_deleted(r));
         refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
+            arena
+                .activity(a)
+                .partial_cmp(&arena.activity(b))
                 .expect("activities are finite")
         });
         let target = refs.len() / 2;
@@ -645,18 +1078,102 @@ impl Solver {
             if deleted >= target {
                 break;
             }
-            let locked = {
-                let c = &self.clauses[r as usize];
-                c.lits.len() <= 2 || self.reason[c.lits[0].var().index()] == Some(r)
-            };
+            let locked = self.arena.len(r) <= 2 || self.is_locked(r);
             if !locked {
-                self.clauses[r as usize].deleted = true;
+                self.arena.delete(r);
                 deleted += 1;
                 self.stats.deleted_clauses += 1;
             }
         }
-        self.learnt_refs
-            .retain(|&r| !self.clauses[r as usize].deleted);
+        let arena = &self.arena;
+        self.learnt_refs.retain(|&r| !arena.is_deleted(r));
+        self.maybe_collect_garbage();
+    }
+
+    /// LBD-based reduction (Glucose's policy): sort deletion candidates by
+    /// LBD descending then activity ascending, delete the worst half.
+    /// Binary clauses, glue clauses (LBD ≤ 2), and locked clauses are kept.
+    fn reduce_db_lbd(&mut self) {
+        let mut cands: Vec<ClauseRef> = Vec::with_capacity(self.learnt_refs.len());
+        for &r in &self.learnt_refs {
+            debug_assert!(self.arena.is_deleted(r) || self.arena.is_learnt(r));
+            if !self.arena.is_deleted(r)
+                && self.arena.len(r) > 2
+                && self.arena.lbd(r) > SHARE_MAX_LBD
+                && !self.is_locked(r)
+            {
+                cands.push(r);
+            }
+        }
+        let arena = &self.arena;
+        cands.sort_by(|&a, &b| {
+            arena.lbd(b).cmp(&arena.lbd(a)).then(
+                arena
+                    .activity(a)
+                    .partial_cmp(&arena.activity(b))
+                    .expect("activities are finite"),
+            )
+        });
+        let target = cands.len() / 2;
+        for &r in &cands[..target] {
+            self.arena.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+        self.stats.lbd_reductions += 1;
+        let arena = &self.arena;
+        self.learnt_refs.retain(|&r| !arena.is_deleted(r));
+        self.maybe_collect_garbage();
+    }
+
+    fn maybe_collect_garbage(&mut self) {
+        if (self.arena.wasted as usize) * 4 > self.arena.data.len() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Compacts the arena: copies live clauses front-to-back, writing each
+    /// clause's new offset into its activity word (word 1) as a forwarding
+    /// pointer, then remaps every `ClauseRef` in watches, reasons, and the
+    /// learnt list.
+    fn collect_garbage(&mut self) {
+        let mut old = std::mem::take(&mut self.arena.data);
+        let mut new_data = Vec::with_capacity(old.len().saturating_sub(self.arena.wasted as usize));
+        let mut off = 0usize;
+        while off < old.len() {
+            let header = old[off];
+            let total = HEADER_WORDS + (header >> SIZE_SHIFT) as usize;
+            if header & DELETED_BIT == 0 {
+                let new_off = new_data.len() as u32;
+                new_data.extend_from_slice(&old[off..off + total]);
+                old[off + 1] = new_off; // forwarding pointer
+            }
+            off += total;
+        }
+        let fwd = |c: ClauseRef| -> ClauseRef {
+            debug_assert_eq!(
+                old[c.0 as usize] & DELETED_BIT,
+                0,
+                "deleted clause survived"
+            );
+            ClauseRef(old[c.0 as usize + 1])
+        };
+        for wl in &mut self.watches {
+            // Watches of deleted clauses are purged lazily by propagation;
+            // drop any stragglers now so every remaining cref forwards.
+            wl.retain(|w| old[w.clause().0 as usize] & DELETED_BIT == 0);
+            for w in wl.iter_mut() {
+                let tag = w.cref.0 & BINARY_TAG;
+                w.cref = ClauseRef(fwd(w.clause()).0 | tag);
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = fwd(*r);
+        }
+        for r in &mut self.learnt_refs {
+            *r = fwd(*r);
+        }
+        self.arena.data = new_data;
+        self.arena.wasted = 0;
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -707,7 +1224,25 @@ impl Solver {
     /// this call, or once the deadline set via [`Solver::set_deadline`]
     /// passes; [`Solver::last_interrupt`] tells the two apart. The solver
     /// stays usable afterwards (learnt clauses are kept).
+    ///
+    /// With [`SolverConfig::portfolio`] ≥ 2 the call races that many
+    /// diversified clones of the solver and adopts the winner's state; the
+    /// verdict is identical to a sequential solve (both are sound and
+    /// complete on the same clause set), though models and failed-assumption
+    /// cores may differ within their usual nondeterminism.
     pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        if self.config.portfolio >= 2 && self.stop.is_none() && self.share.is_none() {
+            self.solve_portfolio(assumptions, max_conflicts)
+        } else {
+            self.solve_budgeted_seq(assumptions, max_conflicts)
+        }
+    }
+
+    fn solve_budgeted_seq(
         &mut self,
         assumptions: &[Lit],
         max_conflicts: u64,
@@ -736,7 +1271,11 @@ impl Solver {
         let mut restart = 0u64;
         loop {
             restart += 1;
-            let budget = 100 * Self::luby(restart);
+            let budget = self
+                .config
+                .restart_unit
+                .max(1)
+                .saturating_mul(Self::luby(restart));
             match self.search(budget) {
                 Some(result) => {
                     self.backtrack_to(0);
@@ -745,6 +1284,14 @@ impl Solver {
                 None => {
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
+                    self.exchange_shared_clauses();
+                    if !self.ok {
+                        return Some(SolveResult::Unsat);
+                    }
+                    if self.stop_requested() {
+                        self.interrupt = Some(Interrupt::Stopped);
+                        return None;
+                    }
                     if self.deadline_passed() {
                         self.interrupt = Some(Interrupt::Deadline);
                         return None;
@@ -762,16 +1309,21 @@ impl Solver {
         matches!(self.deadline, Some(d) if Instant::now() >= d)
     }
 
+    fn stop_requested(&self) -> bool {
+        matches!(&self.stop, Some(f) if f.load(Ordering::Relaxed))
+    }
+
     /// Runs CDCL search for at most `budget` conflicts; `None` = restart.
     fn search(&mut self, budget: u64) -> Option<SolveResult> {
         let mut conflicts_here = 0u64;
         let mut steps = 0u32;
         loop {
-            // Poll the wall clock sparingly: a deadline overshoot of a few
-            // thousand propagation/decision steps is invisible next to the
-            // cost of checking `Instant::now` every iteration.
+            // Poll the wall clock (and the portfolio stop flag) sparingly: an
+            // overshoot of a few thousand propagation/decision steps is
+            // invisible next to the cost of checking `Instant::now` every
+            // iteration.
             steps = steps.wrapping_add(1);
-            if steps & 0x0FFF == 0 && self.deadline_passed() {
+            if steps & 0x0FFF == 0 && (self.deadline_passed() || self.stop_requested()) {
                 return None; // surfaces as a restart; solve_budgeted stops
             }
             if let Some(confl) = self.propagate() {
@@ -782,23 +1334,46 @@ impl Solver {
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, bt) = self.analyze(confl);
-                self.backtrack_to(bt);
+                // LBD is computed against pre-backtrack levels.
+                let lbd = self.compute_lbd(&learnt);
+                // Chronological backtracking: on a long backjump, step back a
+                // single level and assert there instead, keeping most of the
+                // trail. Unit learnt clauses always go to level 0 (a reason-
+                // less literal above level 0 would corrupt final-conflict
+                // analysis).
+                let target = if self.config.chrono_backtrack
+                    && learnt.len() > 1
+                    && self.decision_level() > bt.saturating_add(self.config.chrono_threshold)
+                {
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
+                self.backtrack_to(target);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(asserting, None);
                 } else {
-                    let cref = self.attach_new_clause(learnt, true);
+                    let cref = self.attach_clause(&learnt, true, lbd);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
-                self.var_inc /= 0.95;
+                self.var_inc /= self.config.var_decay;
                 self.cla_inc /= 0.999;
                 continue;
             }
             if conflicts_here >= budget {
                 return None; // restart
             }
-            if self.learnt_refs.len() as f64 > self.max_learnts + self.trail.len() as f64 {
+            if self.config.lbd_reduction {
+                if self.stats.conflicts >= self.next_reduce {
+                    self.reduce_db_lbd();
+                    self.reduce_count += 1;
+                    self.next_reduce = self.stats.conflicts
+                        + REDUCE_BASE
+                        + REDUCE_INTERVAL_GROWTH * self.reduce_count;
+                }
+            } else if self.learnt_refs.len() as f64 > self.max_learnts + self.trail.len() as f64 {
                 self.reduce_db();
                 self.max_learnts *= 1.1;
             }
@@ -865,9 +1440,7 @@ impl Solver {
     /// stored clause is `¬act ∨ lits`, a tautological no-op unless `act` is
     /// assumed. Returns `false` if the solver is already unsatisfiable.
     pub fn add_clause_in_group(&mut self, act: Lit, lits: impl IntoIterator<Item = Lit>) -> bool {
-        let mut clause: Vec<Lit> = lits.into_iter().collect();
-        clause.push(!act);
-        self.add_clause(clause)
+        self.add_clause(lits.into_iter().chain([!act]))
     }
 
     /// Permanently disables the clause group guarded by `act` by asserting
@@ -877,6 +1450,207 @@ impl Solver {
     /// was) unsatisfiable.
     pub fn retire_group(&mut self, act: Lit) -> bool {
         self.add_clause([!act])
+    }
+
+    // ---- Portfolio -------------------------------------------------------
+
+    /// Races `config.portfolio` diversified clones of this solver on the
+    /// current clause set. First decisive answer wins; the winner's entire
+    /// state (learnt clauses, model/core, stats) is adopted back into
+    /// `self`. Learnt clauses are consequences of the clause database alone
+    /// (assumptions enter them as ordinary literals), so sharing and
+    /// adoption never change satisfiability.
+    fn solve_portfolio(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        // Decide trivial queries without fanning out, mirroring the
+        // sequential prologue.
+        self.assumptions = assumptions.to_vec();
+        self.core.clear();
+        self.interrupt = None;
+        self.backtrack_to(0);
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Some(SolveResult::Unsat);
+        }
+        let workers = self.config.portfolio.min(MAX_PORTFOLIO_WORKERS);
+        let stop = Arc::new(AtomicBool::new(false));
+        let pool: SharePool = Arc::new(Mutex::new(Vec::new()));
+        let winner: WinnerSlot = Mutex::new(None);
+        let mut solvers = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let mut w = self.clone();
+            w.config.portfolio = 0;
+            w.stop = Some(stop.clone());
+            w.share = Some(ShareLink {
+                pool: pool.clone(),
+                cursor: 0,
+            });
+            w.diversify(i);
+            solvers.push(w);
+        }
+        let assumptions = &self.assumptions;
+        std::thread::scope(|scope| {
+            for (i, mut w) in solvers.into_iter().enumerate() {
+                let winner = &winner;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let result = w.solve_budgeted_seq(assumptions, max_conflicts);
+                    let mut slot = winner.lock().expect("winner slot lock");
+                    let better =
+                        matches!((&*slot, &result), (None, _) | (Some((_, _, None)), Some(_)));
+                    if better {
+                        if result.is_some() {
+                            // Decisive: tell the other workers to stop. Set
+                            // inside the lock so no later decisive worker can
+                            // be displaced by an indecisive one.
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        *slot = Some((i, Box::new(w), result));
+                    }
+                });
+            }
+        });
+        let (idx, w, result) = winner
+            .into_inner()
+            .expect("winner slot poisoned")
+            .expect("every worker reports to the winner slot");
+        let races = self.stats.portfolio_races + 1;
+        let wins = self.stats.portfolio_winner + u64::from(result.is_some() && idx > 0);
+        let config = self.config;
+        *self = *w;
+        self.config = config;
+        self.stop = None;
+        self.share = None;
+        self.stats.portfolio_races = races;
+        self.stats.portfolio_winner = wins;
+        result
+    }
+
+    /// Differentiates portfolio worker `i`'s search trajectory. Worker 0
+    /// mirrors the sequential configuration so the race can only improve on
+    /// it; the others vary restart cadence, activity decay, backtracking,
+    /// reduction policy, and (unpinned) starting phases.
+    fn diversify(&mut self, worker: usize) {
+        if worker == 0 {
+            return;
+        }
+        let mut flip_phases = false;
+        match worker % 4 {
+            1 => {
+                self.config.restart_unit = self.config.restart_unit.saturating_mul(4);
+                self.config.var_decay = 0.99;
+            }
+            2 => {
+                self.config.restart_unit = (self.config.restart_unit / 2).max(10);
+                self.config.var_decay = 0.85;
+                flip_phases = true;
+            }
+            3 => {
+                self.config.chrono_backtrack = !self.config.chrono_backtrack;
+                self.config.var_decay = 0.75;
+            }
+            _ => {
+                self.config.lbd_reduction = !self.config.lbd_reduction;
+                self.config.restart_unit = self.config.restart_unit.saturating_mul(8);
+                flip_phases = true;
+            }
+        }
+        if worker >= 4 {
+            self.config.chrono_threshold = 20 + 10 * worker as u32;
+        }
+        if flip_phases {
+            self.flip_unpinned_phases();
+        }
+    }
+
+    fn flip_unpinned_phases(&mut self) {
+        for (i, p) in self.polarity.iter_mut().enumerate() {
+            if !self.phase_pinned[i] {
+                *p = !*p;
+            }
+        }
+    }
+
+    /// At a restart boundary (decision level 0): pushes fresh glue clauses
+    /// to the share pool and imports everything siblings published since the
+    /// last exchange. No-op outside portfolio races.
+    fn exchange_shared_clauses(&mut self) {
+        let Some(mut link) = self.share.take() else {
+            return;
+        };
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut outgoing: Vec<(u32, Vec<Lit>)> = Vec::new();
+        for &r in &self.learnt_refs {
+            if outgoing.len() >= SHARE_EXPORT_PER_ROUND {
+                break;
+            }
+            if self.arena.is_deleted(r) || !self.arena.is_learnt(r) || self.arena.is_exported(r) {
+                continue;
+            }
+            let len = self.arena.len(r);
+            let lbd = self.arena.lbd(r);
+            if len <= SHARE_MAX_LEN || lbd <= SHARE_MAX_LBD {
+                let lits: Vec<Lit> = (0..len).map(|k| self.arena.lit(r, k)).collect();
+                outgoing.push((lbd, lits));
+                self.arena.set_exported(r);
+            }
+        }
+        let mut incoming: Vec<(u32, Vec<Lit>)> = Vec::new();
+        {
+            let mut pool = link.pool.lock().expect("share pool lock");
+            // Import first, then publish, so a worker never re-imports its
+            // own exports.
+            if link.cursor < pool.len() {
+                incoming.extend_from_slice(&pool[link.cursor..]);
+            }
+            if !outgoing.is_empty() && pool.len() < SHARE_POOL_CAP {
+                let room = SHARE_POOL_CAP - pool.len();
+                pool.extend(outgoing.into_iter().take(room));
+            }
+            link.cursor = pool.len();
+        }
+        self.share = Some(link);
+        for (lbd, lits) in incoming {
+            if !self.ok {
+                break;
+            }
+            self.import_learnt(&lits, lbd);
+        }
+    }
+
+    /// Installs a clause received from a portfolio sibling. The clause is a
+    /// consequence of the shared problem clauses, so it is attached as a
+    /// learnt clause (already marked exported) without touching the problem
+    /// counters.
+    fn import_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort();
+        lits.dedup();
+        let mut simplified = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            if l.var().index() >= self.num_vars() {
+                return; // foreign variable: cannot happen within one race
+            }
+            match self.value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False => {}     // drop
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+            }
+            _ => {
+                let cref = self.attach_clause(&simplified, true, lbd);
+                self.arena.set_exported(cref);
+            }
+        }
     }
 }
 
@@ -1008,21 +1782,8 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_unsat() {
-        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
         let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
-        for row in &p {
-            s.add_clause(row.iter().map(|v| v.pos()));
-        }
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..2 {
-            for a in 0..3 {
-                for b in (a + 1)..3 {
-                    let (x, y) = (p[a][j], p[b][j]);
-                    s.add_clause([x.neg(), y.neg()]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 3);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
@@ -1149,9 +1910,6 @@ mod tests {
 
     #[test]
     fn groups_reuse_learnt_clauses_across_queries() {
-        // A pigeonhole core shared by two violation groups: solving under
-        // the first group trains the solver; the second query still answers
-        // correctly with the learnt clauses in place.
         let mut s = Solver::new();
         let n = 5;
         let p: Vec<Vec<Var>> = (0..n)
@@ -1181,5 +1939,209 @@ mod tests {
         assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Unsat);
         assert_eq!(s.num_clauses(), clauses);
         assert!(s.stats().conflicts >= conflicts_first);
+    }
+
+    // ---- Arena / config-specific tests ----------------------------------
+
+    /// Every configuration corner must agree on verdicts.
+    fn all_configs() -> Vec<SolverConfig> {
+        let mut configs = vec![SolverConfig::default(), SolverConfig::baseline()];
+        for i in 0..3 {
+            let mut c = SolverConfig::baseline();
+            match i {
+                0 => c.lbd_reduction = true,
+                1 => c.recursive_minimization = true,
+                _ => c.chrono_backtrack = true,
+            }
+            configs.push(c);
+        }
+        configs.push(SolverConfig {
+            chrono_threshold: 0,
+            ..SolverConfig::default()
+        });
+        configs
+    }
+
+    #[test]
+    fn feature_toggles_preserve_verdicts() {
+        for config in all_configs() {
+            let mut s = Solver::with_config(config);
+            pigeonhole(&mut s, 6);
+            assert_eq!(s.solve(), SolveResult::Unsat, "config {config:?}");
+
+            let mut s = Solver::with_config(config);
+            let v = vars(&mut s, 4);
+            s.add_clause([v[0].pos(), v[1].pos()]);
+            s.add_clause([v[0].neg(), v[2].pos()]);
+            s.add_clause([v[2].neg(), v[3].pos()]);
+            assert_eq!(s.solve(), SolveResult::Sat, "config {config:?}");
+            // The reported model must satisfy every clause.
+            let val = |l: Lit| s.model_value(l.var()).unwrap() == l.is_pos();
+            assert!(val(v[0].pos()) || val(v[1].pos()));
+            assert!(val(v[0].neg()) || val(v[2].pos()));
+            assert!(val(v[2].neg()) || val(v[3].pos()));
+        }
+    }
+
+    #[test]
+    fn feature_toggles_preserve_assumption_cores() {
+        for config in all_configs() {
+            let mut s = Solver::with_config(config);
+            pigeonhole(&mut s, 5);
+            let extra = s.new_var();
+            assert_eq!(
+                s.solve_with_assumptions(&[extra.pos()]),
+                SolveResult::Unsat,
+                "config {config:?}"
+            );
+            assert!(
+                !s.unsat_core().contains(&extra.pos()),
+                "irrelevant assumption in core under {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lbd_reduction_fires_and_keeps_verdicts() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        // Pull the first reduction forward so the test does not need
+        // thousands of conflicts.
+        s.next_reduce = 50;
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.lbd_reductions > 0, "no LBD reduction ran: {st:?}");
+        assert!(st.deleted_clauses > 0, "reduction deleted nothing: {st:?}");
+    }
+
+    #[test]
+    fn arena_gc_compacts_and_solver_stays_usable() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        s.next_reduce = 20;
+        let first = s.solve_budgeted(&[], 2_000);
+        assert!(matches!(first, None | Some(SolveResult::Unsat)));
+        assert!(s.stats().deleted_clauses > 0);
+        // The GC invariant: never more than a quarter of the arena wasted
+        // once a reduction has run.
+        assert!(
+            (s.arena.wasted as usize) * 4 <= s.arena.data.len(),
+            "wasted {} of {}",
+            s.arena.wasted,
+            s.arena.data.len()
+        );
+        // The compacted solver still answers correctly, incrementally.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn recursive_minimization_strips_literals() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().minimized_lits > 0,
+            "recursive minimization never removed a literal: {:?}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn portfolio_matches_sequential_verdicts() {
+        let build_unsat = |portfolio: usize| {
+            let mut s = Solver::new();
+            s.set_portfolio(portfolio);
+            pigeonhole(&mut s, 6);
+            s
+        };
+        assert_eq!(build_unsat(0).solve(), SolveResult::Unsat);
+        let mut racing = build_unsat(3);
+        assert_eq!(racing.solve(), SolveResult::Unsat);
+        assert_eq!(racing.stats().portfolio_races, 1);
+
+        let mut s = Solver::new();
+        s.set_portfolio(3);
+        let v = vars(&mut s, 6);
+        let clauses = [
+            [v[0].pos(), v[1].pos()],
+            [v[1].neg(), v[2].pos()],
+            [v[3].pos(), v[4].neg()],
+            [v[4].pos(), v[5].pos()],
+        ];
+        for c in &clauses {
+            s.add_clause(*c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter()
+                    .any(|l| s.model_value(l.var()).unwrap() == l.is_pos()),
+                "model violates {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_cores_remain_valid() {
+        let mut s = Solver::new();
+        s.set_portfolio(4);
+        let v = vars(&mut s, 4);
+        s.add_clause([v[0].neg(), v[1].neg()]);
+        let assumptions = [v[2].pos(), v[0].pos(), v[3].pos(), v[1].pos()];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(assumptions.contains(l), "core lit {l} not assumed");
+        }
+        assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+        // The adopted winner stays usable for further incremental queries.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn portfolio_keeps_configured_fanout_across_calls() {
+        // Guard the pigeonhole behind an activation literal so UNSAT answers
+        // don't poison the solver (`ok` stays true) and every call races.
+        let mut s = Solver::new();
+        s.set_portfolio(2);
+        let g = s.new_activation();
+        let n = 5;
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause_in_group(g, row.iter().map(|v| v.pos()));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for (pa, pb) in p[a].iter().zip(&p[b]) {
+                    s.add_clause([pa.neg(), pb.neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Unsat);
+        // Adoption must restore the caller-facing configuration (portfolio
+        // fan-out included), not the worker's zeroed copy.
+        assert_eq!(s.config().portfolio, 2);
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Unsat);
+        assert_eq!(s.stats().portfolio_races, 2);
+    }
+
+    #[test]
+    fn portfolio_respects_conflict_budget() {
+        let mut s = Solver::new();
+        s.set_portfolio(2);
+        pigeonhole(&mut s, 8);
+        assert_eq!(s.solve_budgeted(&[], 1), None);
+        assert!(matches!(
+            s.last_interrupt(),
+            Some(Interrupt::Conflicts | Interrupt::Deadline)
+        ));
+        // Still answers decisively afterwards.
+        let mut easy = Solver::new();
+        easy.set_portfolio(2);
+        pigeonhole(&mut easy, 5);
+        assert_eq!(easy.solve(), SolveResult::Unsat);
     }
 }

@@ -1,0 +1,201 @@
+//! Differential test: the flat-arena CDCL solver against the frozen
+//! pre-refactor (boxed-clause) solver on randomized CNFs.
+//!
+//! Every instance is round-tripped through the DIMACS writer/parser first,
+//! so the corpus doubles as an interop check, then solved by:
+//!
+//! * the legacy solver (`ivy_sat::legacy::Solver`),
+//! * the arena solver under every `SolverConfig` corner,
+//! * the arena solver in portfolio mode,
+//! * the DPLL reference oracle (on the smaller instances).
+//!
+//! Verdicts must agree everywhere; SAT models are checked against the CNF.
+
+use ivy_sat::{
+    legacy, parse_dimacs, solve_dpll, write_dimacs, Cnf, SolveResult, Solver, SolverConfig,
+};
+
+/// Deterministic LCG (same multiplier as the bench suite's generator).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random k-SAT instance with `vars` variables and `clauses` clauses of
+/// width 1..=4 (width skewed toward 3).
+fn random_cnf(vars: usize, clauses: usize, seed: u64) -> Cnf {
+    let mut rng = Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
+    let mut cnf = Cnf::new();
+    cnf.ensure_vars(vars);
+    let all: Vec<_> = (0..vars as u32).map(ivy_sat::Var).collect();
+    for _ in 0..clauses {
+        let width = match rng.below(6) {
+            0 => 2,
+            5 => 4,
+            _ => 3,
+        };
+        let lits: Vec<_> = (0..width)
+            .map(|_| {
+                let v = all[rng.below(vars as u64) as usize];
+                v.lit(rng.below(2) == 0)
+            })
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+fn configs() -> Vec<(&'static str, SolverConfig)> {
+    let mut lbd_only = SolverConfig::baseline();
+    lbd_only.lbd_reduction = true;
+    let mut min_only = SolverConfig::baseline();
+    min_only.recursive_minimization = true;
+    let mut chrono_only = SolverConfig::baseline();
+    chrono_only.chrono_backtrack = true;
+    let chrono_eager = SolverConfig {
+        chrono_threshold: 0,
+        ..SolverConfig::default()
+    };
+    vec![
+        ("default", SolverConfig::default()),
+        ("baseline", SolverConfig::baseline()),
+        ("lbd_only", lbd_only),
+        ("min_only", min_only),
+        ("chrono_only", chrono_only),
+        ("chrono_eager", chrono_eager),
+    ]
+}
+
+fn arena_solver(cnf: &Cnf, config: SolverConfig) -> Solver {
+    let mut s = Solver::with_config(config);
+    for _ in 0..cnf.num_vars() {
+        s.new_var();
+    }
+    for c in cnf.clauses() {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+fn legacy_verdict(cnf: &Cnf) -> SolveResult {
+    let mut s = legacy::Solver::new();
+    for _ in 0..cnf.num_vars() {
+        s.new_var();
+    }
+    for c in cnf.clauses() {
+        s.add_clause(c.iter().copied());
+    }
+    let r = s.solve();
+    if r == SolveResult::Sat {
+        let assignment: Vec<bool> = (0..cnf.num_vars())
+            .map(|i| s.model_value(ivy_sat::Var(i as u32)).unwrap())
+            .collect();
+        assert!(cnf.eval(&assignment), "legacy model violates the CNF");
+    }
+    r
+}
+
+fn check_instance(cnf: &Cnf, label: &str, with_dpll: bool) {
+    // DIMACS round-trip: the parsed instance is what everyone solves.
+    let cnf = parse_dimacs(&write_dimacs(cnf)).expect("round-trip parse");
+    let expected = legacy_verdict(&cnf);
+    if with_dpll {
+        let dpll = match solve_dpll(&cnf) {
+            Some(_) => SolveResult::Sat,
+            None => SolveResult::Unsat,
+        };
+        assert_eq!(dpll, expected, "{label}: dpll disagrees with legacy");
+    }
+    for (name, config) in configs() {
+        let mut s = arena_solver(&cnf, config);
+        let got = s.solve();
+        assert_eq!(
+            got, expected,
+            "{label}: arena[{name}] disagrees with legacy"
+        );
+        if got == SolveResult::Sat {
+            let assignment: Vec<bool> = (0..cnf.num_vars())
+                .map(|i| s.model_value(ivy_sat::Var(i as u32)).unwrap())
+                .collect();
+            assert!(
+                cnf.eval(&assignment),
+                "{label}: arena[{name}] model violates the CNF"
+            );
+        }
+    }
+    let mut racing = arena_solver(&cnf, SolverConfig::default());
+    racing.set_portfolio(3);
+    assert_eq!(
+        racing.solve(),
+        expected,
+        "{label}: portfolio disagrees with legacy"
+    );
+}
+
+#[test]
+fn randomized_cnfs_small_with_dpll_oracle() {
+    for seed in 0..40u64 {
+        let vars = 4 + (seed % 7) as usize;
+        let clauses = vars * 3 + (seed % 11) as usize;
+        let cnf = random_cnf(vars, clauses, seed);
+        check_instance(&cnf, &format!("small seed {seed}"), true);
+    }
+}
+
+#[test]
+fn randomized_cnfs_medium_against_legacy() {
+    for seed in 0..15u64 {
+        // Around the 3-SAT phase transition (ratio ~4.3) so both verdicts
+        // occur and search actually branches.
+        let vars = 30 + (seed % 20) as usize;
+        let clauses = (vars as f64 * 4.3) as usize;
+        let cnf = random_cnf(vars, clauses, 1000 + seed);
+        check_instance(&cnf, &format!("medium seed {seed}"), false);
+    }
+}
+
+#[test]
+fn randomized_cnfs_incremental_assumptions_agree() {
+    for seed in 0..10u64 {
+        let vars = 20;
+        let clauses = 70;
+        let cnf = random_cnf(vars, clauses, 5000 + seed);
+        let cnf = parse_dimacs(&write_dimacs(&cnf)).expect("round-trip parse");
+
+        let mut old = legacy::Solver::new();
+        let mut new = Solver::new();
+        for _ in 0..cnf.num_vars() {
+            old.new_var();
+            new.new_var();
+        }
+        for c in cnf.clauses() {
+            old.add_clause(c.iter().copied());
+            new.add_clause(c.iter().copied());
+        }
+        // A fixed probe sequence of assumption pairs; verdicts must agree
+        // call by call on the same incremental solver.
+        let mut rng = Rng(seed + 99);
+        for probe in 0..6 {
+            let a = ivy_sat::Var(rng.below(vars as u64) as u32);
+            let b = ivy_sat::Var(rng.below(vars as u64) as u32);
+            let assumptions = [a.lit(rng.below(2) == 0), b.lit(rng.below(2) == 0)];
+            let expected = old.solve_with_assumptions(&assumptions);
+            let got = new.solve_with_assumptions(&assumptions);
+            assert_eq!(
+                got, expected,
+                "seed {seed} probe {probe}: incremental verdict mismatch"
+            );
+        }
+    }
+}

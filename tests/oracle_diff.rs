@@ -120,7 +120,11 @@ fn houdini_verdicts_match_fresh_baseline() {
         let reference =
             houdini_with_oracle(&program, candidates.clone(), &oracle(QueryStrategy::Fresh))
                 .unwrap();
-        for strategy in [QueryStrategy::Session, QueryStrategy::Parallel(4)] {
+        for strategy in [
+            QueryStrategy::Session,
+            QueryStrategy::Parallel(4),
+            QueryStrategy::Portfolio(4),
+        ] {
             let got = houdini_with_oracle(&program, candidates.clone(), &oracle(strategy)).unwrap();
             let ref_names: Vec<&str> = reference
                 .invariant
@@ -140,6 +144,58 @@ fn houdini_verdicts_match_fresh_baseline() {
         // The bundled invariant is inductive, so Houdini keeps all of it.
         assert_eq!(reference.invariant.len(), invariant.len(), "{name}");
         assert!(reference.proves_safety, "{name}");
+    }
+}
+
+/// The in-query portfolio strategy returns verdicts identical to the
+/// fresh-grounding baseline on every protocol, for both inductiveness
+/// checking and BMC. Racing diversified solver threads inside a query may
+/// change which model or core is found, but never whether one exists.
+#[test]
+fn portfolio_verdicts_match_fresh_baseline() {
+    for (name, program, invariant) in protocols() {
+        let mut weakened = invariant.clone();
+        weakened.pop();
+        let fresh = oracle(QueryStrategy::Fresh);
+        let racing = oracle(QueryStrategy::Portfolio(4));
+        for inv in [&invariant, &weakened] {
+            let baseline = Verifier::with_oracle(&program, fresh.clone())
+                .check(inv)
+                .unwrap();
+            let got = Verifier::with_oracle(&program, racing.clone())
+                .check(inv)
+                .unwrap();
+            assert_eq!(
+                baseline.is_inductive(),
+                got.is_inductive(),
+                "{name}: portfolio verifier verdict differs on {} conjectures",
+                inv.len()
+            );
+            // Witness shape: when both report a CTI it names a violation of
+            // the same conjecture set, even if the models differ.
+            if let (Inductiveness::Cti(a), Inductiveness::Cti(b)) = (&baseline, &got) {
+                assert_eq!(
+                    std::mem::discriminant(&a.violation),
+                    std::mem::discriminant(&b.violation),
+                    "{name}: portfolio CTI violates a different check kind"
+                );
+            }
+        }
+        let k = 2;
+        let f = Bmc::with_oracle(&program, fresh.clone())
+            .check_safety(k)
+            .unwrap();
+        let c = Bmc::with_oracle(&program, racing.clone())
+            .check_safety(k)
+            .unwrap();
+        match (&f, &c) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.violated, b.violated, "{name}");
+                assert_eq!(a.steps(), b.steps(), "{name}: trace depth differs");
+            }
+            _ => panic!("{name}: portfolio BMC disagrees with fresh at k={k}"),
+        }
     }
 }
 
@@ -182,5 +238,19 @@ fn generalizer_verdicts_match_fresh_baseline() {
                 "{name}: {strategy:?} generalization differs"
             );
         }
+        // Portfolio cores are winner-dependent, so the minimized conjecture
+        // may legitimately differ; the TooStrong-vs-Generalized variant (the
+        // verdict) must not.
+        let variant = |d: &str| d.split(&['@', ':'][..]).next().unwrap().to_string();
+        let got = describe(
+            &Generalizer::with_oracle(&program, oracle(QueryStrategy::Portfolio(4)))
+                .auto_generalize(&s_u, 1)
+                .unwrap(),
+        );
+        assert_eq!(
+            variant(&reference),
+            variant(&got),
+            "{name}: portfolio generalization verdict differs"
+        );
     }
 }
