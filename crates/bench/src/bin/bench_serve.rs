@@ -1,0 +1,368 @@
+//! Load generator for the `ivy-serve` daemon.
+//!
+//! Replays verify requests for all six bundled protocols against a
+//! server at configurable concurrency and compares three things:
+//!
+//! * **correctness** — every server verdict must equal the verdict of a
+//!   direct in-process run of the same check (zero divergence);
+//! * **warm vs cold** — p50 latency of a warm server (frame pool
+//!   populated) against a cold one-shot process (fresh oracle per
+//!   request, what a CLI invocation pays);
+//! * **cache efficacy** — the frame-cache hit rate the server reports
+//!   per response.
+//!
+//! By default an in-process server is started on an ephemeral TCP port
+//! (so the measured path includes real sockets); `--connect ADDR`
+//! targets an externally started daemon instead. Results go to
+//! `BENCH_serve.json` (or the path given as the first positional
+//! argument). `--smoke` shrinks the workload for CI.
+//!
+//! The binary exits non-zero if any acceptance property fails: verdict
+//! divergence, a busy refusal at the configured concurrency, a warm p50
+//! not beating the cold one-shot p50 on any protocol, or a frame-cache
+//! hit rate below 70%.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ivy_bench::protocols;
+use ivy_core::{Inductiveness, Oracle, Verifier};
+use ivy_fol::parse_formula;
+use ivy_serve::{Client, Endpoint, Json, Listener, ServeConfig, Server};
+
+/// One measured request.
+struct Obs {
+    protocol: usize,
+    latency_secs: f64,
+    verdict: String,
+    frame_hits: u64,
+    frame_misses: u64,
+    busy: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let take = |args: &mut Vec<String>, flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        let v = args.get(i + 1).cloned();
+        args.drain(i..(i + 2).min(args.len()));
+        v
+    };
+    let concurrency: usize = take(&mut args, "--concurrency")
+        .map(|s| s.parse().expect("--concurrency N"))
+        .unwrap_or(8);
+    let rounds: usize = take(&mut args, "--rounds")
+        .map(|s| s.parse().expect("--rounds N"))
+        .unwrap_or(if smoke { 2 } else { 6 });
+    let connect = take(&mut args, "--connect");
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let cold_samples = if smoke { 1 } else { 3 };
+
+    let entries = protocols();
+
+    // Wire requests: inline model source + the known invariant, shipped
+    // as the array form. Verify locally that every conjecture's printed
+    // form parses back to itself — divergence from a bad roundtrip would
+    // be a bench bug, not a server bug.
+    let mut requests: Vec<String> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let mut inv_items = Vec::new();
+        for c in &e.invariant {
+            let printed = c.formula.to_string();
+            let reparsed = parse_formula(&printed)
+                .unwrap_or_else(|err| panic!("{}: `{printed}` does not reparse: {err}", e.name));
+            assert_eq!(
+                reparsed.to_string(),
+                printed,
+                "{}: formula printing must roundtrip",
+                e.name
+            );
+            inv_items.push(Json::obj([
+                ("name", Json::str(c.name.clone())),
+                ("formula", Json::str(printed)),
+            ]));
+        }
+        requests.push(
+            Json::obj([
+                ("id", Json::num(i as f64)),
+                ("cmd", Json::str("verify")),
+                ("model", Json::str(e.source)),
+                ("invariant", Json::Arr(inv_items)),
+            ])
+            .to_string(),
+        );
+    }
+
+    // Reference verdicts from direct in-process runs (what the one-shot
+    // CLI computes); the acceptance bar is zero divergence from these.
+    let direct: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let v = Verifier::with_oracle(&e.program, Arc::new(Oracle::new()));
+            match v.check(&e.invariant).expect("direct check succeeds") {
+                Inductiveness::Inductive => "inductive".to_string(),
+                Inductiveness::Cti(_) => "cti".to_string(),
+            }
+        })
+        .collect();
+
+    // Cold one-shot baseline: a fresh server (fresh oracle, empty pool)
+    // per request, like a CLI process that exits afterwards.
+    let mut cold_p50 = Vec::new();
+    for (i, req) in requests.iter().enumerate() {
+        let mut samples = Vec::new();
+        for _ in 0..cold_samples {
+            let server = Server::new(ServeConfig::default());
+            let started = Instant::now();
+            let handled = server.handle_line(req);
+            samples.push(started.elapsed().as_secs_f64());
+            let resp = Json::parse(handled.response.trim()).expect("response parses");
+            assert_eq!(
+                resp.get("verdict").and_then(Json::as_str),
+                Some(direct[i].as_str()),
+                "{}: cold verdict diverges: {}",
+                entries[i].name,
+                handled.response
+            );
+        }
+        samples.sort_by(f64::total_cmp);
+        cold_p50.push(percentile(&samples, 0.5));
+        eprintln!("cold {}: p50 {:.1} ms", entries[i].name, cold_p50[i] * 1e3);
+    }
+
+    // The server under load: external, or in-process on an ephemeral port
+    // so the measured path still crosses real sockets.
+    let (endpoint, local) = match connect {
+        Some(addr) => (Endpoint::parse(&addr), None),
+        None => {
+            let config = ServeConfig {
+                workers: concurrency.max(1),
+                queue: concurrency * 4,
+                pool_capacity: (concurrency * 32).max(256),
+                ..ServeConfig::default()
+            };
+            let server = Arc::new(Server::new(config));
+            let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+            let addr = listener.describe();
+            let handle = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.serve_listener(listener).expect("serve"))
+            };
+            (Endpoint::parse(&addr), Some((server, handle)))
+        }
+    };
+
+    let run_client = |tid: usize, rounds: usize, measured: bool| -> Vec<Obs> {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            for k in 0..requests.len() {
+                // Shift each thread's starting protocol so distinct frames
+                // contend for the pool at the same moment.
+                let i = (k + tid + round) % requests.len();
+                let started = Instant::now();
+                let line = client.roundtrip(&requests[i]).expect("roundtrip");
+                let latency = started.elapsed().as_secs_f64();
+                if !measured {
+                    continue;
+                }
+                let resp = Json::parse(&line).expect("response parses");
+                let verdict = resp
+                    .get("verdict")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let busy = resp
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    == Some("busy");
+                let cache = resp.get("cache");
+                let get = |k: &str| {
+                    cache
+                        .and_then(|c| c.get(k))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0)
+                };
+                out.push(Obs {
+                    protocol: i,
+                    latency_secs: latency,
+                    verdict,
+                    frame_hits: get("frame_hits"),
+                    frame_misses: get("frame_misses"),
+                    busy,
+                });
+            }
+        }
+        out
+    };
+
+    // Warm-up at full concurrency (unmeasured): populates the shared
+    // pool with every frame each worker thread will need.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|tid| scope.spawn(move || run_client(tid, 1, false)))
+            .collect();
+        for h in handles {
+            h.join().expect("warm-up client");
+        }
+    });
+
+    // Measured phase.
+    let observations = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let observations = &observations;
+        let handles: Vec<_> = (0..concurrency)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let obs = run_client(tid, rounds, true);
+                    observations.lock().unwrap().extend(obs);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("load client");
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let observations = observations.into_inner().unwrap();
+
+    // Warm-latency phase: one idle client against the (still warm)
+    // server. This is the number a cold one-shot run competes with — the
+    // concurrent phase above measures saturated-throughput latency, which
+    // includes CPU contention both setups would share.
+    let warm_solo = run_client(0, cold_samples.max(3), true);
+
+    if let Some((server, handle)) = local {
+        server.request_stop();
+        handle.join().expect("server thread");
+    }
+
+    // Aggregate.
+    let total = observations.len();
+    let busy = observations.iter().filter(|o| o.busy).count();
+    let mut divergence = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        let mut lat: Vec<f64> = observations
+            .iter()
+            .filter(|o| o.protocol == i)
+            .map(|o| o.latency_secs)
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        let n = lat.len();
+        let load_p50 = percentile(&lat, 0.5);
+        let load_p99 = percentile(&lat, 0.99);
+        let mut solo: Vec<f64> = warm_solo
+            .iter()
+            .filter(|o| o.protocol == i)
+            .map(|o| o.latency_secs)
+            .collect();
+        solo.sort_by(f64::total_cmp);
+        let warm_p50 = percentile(&solo, 0.5);
+        let all = || {
+            observations
+                .iter()
+                .chain(warm_solo.iter())
+                .filter(|o| o.protocol == i)
+        };
+        let hits: u64 = all().map(|o| o.frame_hits).sum();
+        let misses: u64 = all().map(|o| o.frame_misses).sum();
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let wrong = all().filter(|o| o.verdict != direct[i]).count();
+        divergence += wrong;
+        let speedup = cold_p50[i] / warm_p50;
+        eprintln!(
+            "warm {}: p50 {:.1} ms ({:.1}x vs cold), loaded p50 {:.1} ms / p99 {:.1} ms, \
+             hit rate {:.0}% ({n} loaded reqs)",
+            e.name,
+            warm_p50 * 1e3,
+            speedup,
+            load_p50 * 1e3,
+            load_p99 * 1e3,
+            hit_rate * 100.0,
+        );
+        if warm_p50 >= cold_p50[i] {
+            failures.push(format!(
+                "{}: warm p50 {:.2} ms does not beat cold p50 {:.2} ms",
+                e.name,
+                warm_p50 * 1e3,
+                cold_p50[i] * 1e3
+            ));
+        }
+        if hit_rate < 0.7 {
+            failures.push(format!(
+                "{}: frame-cache hit rate {:.0}% below 70%",
+                e.name,
+                hit_rate * 100.0
+            ));
+        }
+        let _ = write!(
+            rows,
+            "{}    {{\"name\": {:?}, \"loaded_requests\": {n}, \"verdict\": {:?}, \
+             \"cold_p50_ms\": {:.3}, \"warm_p50_ms\": {:.3}, \"loaded_p50_ms\": {:.3}, \
+             \"loaded_p99_ms\": {:.3}, \"speedup\": {:.2}, \"frame_cache_hit_rate\": {:.4}}}",
+            if i == 0 { "" } else { ",\n" },
+            e.name,
+            direct[i],
+            cold_p50[i] * 1e3,
+            warm_p50 * 1e3,
+            load_p50 * 1e3,
+            load_p99 * 1e3,
+            speedup,
+            hit_rate
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"ivy-bench-serve-v1\",\n  \"concurrency\": {concurrency},\n  \
+         \"rounds\": {rounds},\n  \"requests\": {total},\n  \"wall_secs\": {wall:.3},\n  \
+         \"throughput_rps\": {:.1},\n  \"busy\": {busy},\n  \"divergence\": {divergence},\n  \
+         \"protocols\": [\n{rows}\n  ]\n}}\n",
+        total as f64 / wall
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    eprintln!(
+        "{total} requests in {wall:.2}s ({:.1} req/s) at concurrency {concurrency} -> {out_path}",
+        total as f64 / wall
+    );
+
+    if divergence > 0 {
+        failures.push(format!("{divergence} verdict(s) diverged from direct runs"));
+    }
+    if busy > 0 {
+        failures.push(format!(
+            "{busy} busy refusal(s) at the configured concurrency"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

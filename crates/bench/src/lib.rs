@@ -19,6 +19,8 @@ pub struct ProtocolEntry {
     pub name: &'static str,
     /// The model.
     pub program: Program,
+    /// The model's RML source, for clients that ship it over a wire.
+    pub source: &'static str,
     /// A known-correct universal inductive invariant (target for the oracle
     /// user). The first clauses are the safety properties.
     pub invariant: Vec<Conjecture>,
@@ -37,6 +39,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Leader election in ring",
             program: p::leader::program(),
+            source: p::leader::SOURCE,
             invariant: p::leader::invariant(),
             measures: p::leader::measures(),
             oracle_bound: 3,
@@ -45,6 +48,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Lock server",
             program: p::lock_server::program(),
+            source: p::lock_server::SOURCE,
             invariant: p::lock_server::invariant(),
             measures: p::lock_server::measures(),
             oracle_bound: 2,
@@ -53,6 +57,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Distributed lock protocol",
             program: p::distributed_lock::program(),
+            source: p::distributed_lock::SOURCE,
             invariant: p::distributed_lock::invariant(),
             measures: p::distributed_lock::measures(),
             oracle_bound: 2,
@@ -61,6 +66,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Learning switch",
             program: p::learning_switch::program(),
+            source: p::learning_switch::SOURCE,
             invariant: p::learning_switch::invariant(),
             measures: p::learning_switch::measures(),
             oracle_bound: 1,
@@ -69,6 +75,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Database chain replication",
             program: p::db_chain::program(),
+            source: p::db_chain::SOURCE,
             invariant: p::db_chain::invariant(),
             measures: p::db_chain::measures(),
             oracle_bound: 1,
@@ -77,6 +84,7 @@ pub fn protocols() -> Vec<ProtocolEntry> {
         ProtocolEntry {
             name: "Chord ring maintenance",
             program: p::chord::program(),
+            source: p::chord::SOURCE,
             invariant: p::chord::invariant(),
             measures: p::chord::measures(),
             oracle_bound: 2,

@@ -8,6 +8,8 @@
 //! ivy cti    MODEL.rml [INV.inv]            show a (minimal) CTI
 //! ivy dot    MODEL.rml [INV.inv]            render a CTI state as DOT
 //! ivy houdini MODEL.rml [--vars V --lits L] infer an invariant by template
+//! ivy serve   --listen ADDR | --socket PATH  run the verification daemon
+//! ivy client  --connect ADDR CMD [args]      drive a running daemon
 //! ```
 //!
 //! Invariant files (`.inv`) contain one conjecture per line:
@@ -44,28 +46,42 @@ use ivy_core::{
 use ivy_epr::{Budget, EprError, QueryReport};
 use ivy_fol::parse_formula;
 use ivy_rml::{check_program, parse_program, Program};
+use ivy_serve::{Client, Endpoint, Json, Listener, ServeConfig, Server};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let profile_path = take_flag(&mut args, "--profile");
-    let timeout = take_flag(&mut args, "--timeout");
-    let budget = match timeout.as_deref().map(str::parse::<f64>) {
-        None => Budget::UNLIMITED,
-        Some(Ok(secs)) if secs >= 0.0 && secs.is_finite() => {
-            Budget::with_timeout(Duration::from_secs_f64(secs))
-        }
+    let profile_path = match take_flag(&mut args, "--profile") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let timeout = match take_flag(&mut args, "--timeout") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let timeout_secs = match timeout.as_deref().map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(secs)) if secs >= 0.0 && secs.is_finite() => Some(secs),
         Some(_) => {
-            eprintln!("error: --timeout expects a non-negative number of seconds");
-            return ExitCode::from(2);
+            return usage_error("--timeout expects a non-negative number of seconds");
         }
     };
-    let strategy_flag = take_flag(&mut args, "--strategy");
-    let jobs = match take_flag(&mut args, "--jobs").as_deref().map(str::parse) {
+    let budget = match timeout_secs {
+        None => Budget::UNLIMITED,
+        Some(secs) => Budget::with_timeout(Duration::from_secs_f64(secs)),
+    };
+    let strategy_flag = match take_flag(&mut args, "--strategy") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let jobs_flag = match take_flag(&mut args, "--jobs") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let jobs = match jobs_flag.as_deref().map(str::parse) {
         None => None,
         Some(Ok(n)) if n >= 1 => Some(n),
         Some(_) => {
-            eprintln!("error: --jobs expects a positive integer");
-            return ExitCode::from(2);
+            return usage_error("--jobs expects a positive integer");
         }
     };
     let strategy = match strategy_flag.as_deref() {
@@ -90,6 +106,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The daemon and its thin driver bypass the one-shot oracle path:
+    // `serve` owns a long-lived shared oracle, `client` owns none.
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            if profile_path.is_some() {
+                return usage_error(
+                    "--profile is not supported with `serve`; every response carries a profile",
+                );
+            }
+            let default_timeout = timeout_secs.map(Duration::from_secs_f64);
+            return cmd_serve(&args[1..], strategy, default_timeout);
+        }
+        Some("client") => {
+            if profile_path.is_some() {
+                return usage_error(
+                    "--profile is not supported with `client`; every response carries a profile",
+                );
+            }
+            let timeout_ms = timeout_secs.map(|s| (s * 1e3).ceil() as u64);
+            return cmd_client(&args[1..], timeout_ms);
+        }
+        _ => {}
+    }
     let mut oracle = Oracle::new();
     oracle.set_budget(budget);
     oracle.set_strategy(strategy);
@@ -131,14 +170,28 @@ fn default_jobs() -> usize {
 }
 
 /// Removes `flag VALUE` from `args`, returning the value when present.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
+/// A repeated flag or a flag missing its value is a usage error — silently
+/// picking one value (or reparsing the flag as a positional argument)
+/// masks caller typos.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
     if i + 1 >= args.len() {
-        return None;
+        return Err(format!("{flag} expects a value"));
     }
     let value = args.remove(i + 1);
     args.remove(i);
-    Some(value)
+    if args.iter().any(|a| a == flag) {
+        return Err(format!("{flag} given more than once"));
+    }
+    Ok(Some(value))
+}
+
+/// Prints a usage error and yields exit code 2.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
 }
 
 /// Writes the `ivy-profile-v1` report: the cumulative query counters
@@ -167,10 +220,14 @@ fn write_profile(
 
 fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
-        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini> MODEL.rml [args] \
+        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini|serve|client> MODEL.rml [args] \
          [--timeout SECS] [--strategy fresh|session|parallel|portfolio] [--jobs N] \
          [--profile OUT.json]\n\
-         see `crates/core/src/bin/ivy.rs` for details"
+         ivy serve  --listen ADDR | --socket PATH [--workers N] [--queue N] \
+         [--max-timeout SECS] [--max-instances N]\n\
+         ivy client --connect ADDR|unix:PATH <prove|bmc|houdini|generalize|status|shutdown> \
+         [MODEL.rml] [INV.inv] [--raw]\n\
+         see `crates/core/src/bin/ivy.rs` and docs/serve-protocol.md for details"
     );
     Ok((ExitCode::from(2), "usage"))
 }
@@ -231,6 +288,12 @@ fn run(
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+    // A repeated flag is ambiguous; refuse rather than silently pick one.
+    for (i, a) in rest.iter().enumerate() {
+        if a.len() > 1 && a.starts_with('-') && rest[i + 1..].contains(a) {
+            return Err(format!("{a} given more than once").into());
+        }
+    }
     let Some(model_path) = rest.first() else {
         return usage();
     };
@@ -357,5 +420,260 @@ fn run(
             })
         }
         _ => usage(),
+    }
+}
+
+/// `ivy serve`: run the verification daemon (see `docs/serve-protocol.md`).
+///
+/// The global `--timeout` flag becomes the server's *default* per-request
+/// budget; `--max-timeout` caps what clients may ask for. `--strategy`
+/// configures the shared oracle.
+fn cmd_serve(
+    rest: &[String],
+    strategy: QueryStrategy,
+    default_timeout: Option<Duration>,
+) -> ExitCode {
+    match serve_inner(rest, strategy, default_timeout) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn serve_inner(
+    rest: &[String],
+    strategy: QueryStrategy,
+    default_timeout: Option<Duration>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut rest = rest.to_vec();
+    let listen = take_flag(&mut rest, "--listen")?;
+    let socket = take_flag(&mut rest, "--socket")?;
+    let workers = take_flag(&mut rest, "--workers")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?;
+    let queue = take_flag(&mut rest, "--queue")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?;
+    let max_timeout = take_flag(&mut rest, "--max-timeout")?
+        .map(|s| s.parse::<f64>())
+        .transpose()?;
+    let max_instances = take_flag(&mut rest, "--max-instances")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    if !rest.is_empty() {
+        return Err(format!("serve: unexpected arguments: {}", rest.join(" ")).into());
+    }
+    let mut config = ServeConfig {
+        strategy,
+        default_timeout,
+        ..ServeConfig::default()
+    };
+    if let Some(w) = workers {
+        if w == 0 {
+            return Err("--workers expects a positive integer".into());
+        }
+        config.workers = w;
+        config.queue = w * 4;
+        config.pool_capacity = (w * 24).max(64);
+    }
+    if let Some(q) = queue {
+        config.queue = q;
+    }
+    if let Some(secs) = max_timeout {
+        if !(secs > 0.0 && secs.is_finite()) {
+            return Err("--max-timeout expects a positive number of seconds".into());
+        }
+        config.max_timeout = Some(Duration::from_secs_f64(secs));
+    }
+    config.instance_cap = max_instances;
+    let listener = match (&listen, &socket) {
+        (Some(addr), None) => Listener::bind_tcp(addr.as_str())?,
+        (None, Some(path)) => {
+            #[cfg(unix)]
+            {
+                Listener::bind_unix(std::path::Path::new(path))?
+            }
+            #[cfg(not(unix))]
+            {
+                return Err("--socket is only available on Unix platforms".into());
+            }
+        }
+        _ => return Err("serve needs exactly one of --listen ADDR or --socket PATH".into()),
+    };
+    // The address line is a contract: tests and scripts bind port 0 and
+    // parse the ephemeral port from here.
+    println!("ivy-serve listening on {}", listener.describe());
+    let server = Arc::new(Server::new(config));
+    server.serve_listener(listener)?;
+    println!("ivy-serve: shutdown complete");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ivy client`: one request against a running daemon, CLI-shaped.
+///
+/// The model file is read locally and sent inline, so the server needs no
+/// shared filesystem. Exit codes mirror the one-shot CLI: 0 for
+/// favorable verdicts, 1 for counterexamples, 3 for budget exhaustion,
+/// 2 for everything else.
+fn cmd_client(rest: &[String], timeout_ms: Option<u64>) -> ExitCode {
+    match client_inner(rest, timeout_ms) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn client_inner(
+    rest: &[String],
+    timeout_ms: Option<u64>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut rest = rest.to_vec();
+    let connect = take_flag(&mut rest, "--connect")?
+        .ok_or("client needs --connect HOST:PORT or --connect unix:PATH")?;
+    let raw = match rest.iter().position(|a| a == "--raw") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let k = take_flag(&mut rest, "-k")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let vars = take_flag(&mut rest, "--vars")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let lits = take_flag(&mut rest, "--lits")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let max_instances = take_flag(&mut rest, "--max-instances")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let (cmd, cargs) = rest
+        .split_first()
+        .ok_or("client needs a command: prove|bmc|houdini|generalize|status|shutdown")?;
+    let wire_cmd = match cmd.as_str() {
+        "prove" | "verify" => "verify",
+        "bmc" => "bmc",
+        "houdini" => "houdini",
+        "generalize" => "generalize",
+        "status" => "status",
+        "shutdown" => "shutdown",
+        other => return Err(format!("client: unknown command `{other}`").into()),
+    };
+
+    let mut fields: Vec<(&'static str, Json)> =
+        vec![("id", Json::str("cli")), ("cmd", Json::str(wire_cmd))];
+    if !matches!(wire_cmd, "status" | "shutdown") {
+        let model_path = cargs
+            .first()
+            .ok_or_else(|| format!("client {cmd}: needs a MODEL.rml argument"))?;
+        fields.push(("model", Json::str(std::fs::read_to_string(model_path)?)));
+        if matches!(wire_cmd, "verify" | "generalize" | "houdini") {
+            if let Some(inv_path) = cargs.get(1) {
+                fields.push(("invariant", Json::str(std::fs::read_to_string(inv_path)?)));
+            }
+        }
+    }
+    if let Some(k) = k {
+        fields.push(("depth", Json::num(k as f64)));
+    }
+    if let Some(v) = vars {
+        fields.push(("vars", Json::num(v as f64)));
+    }
+    if let Some(l) = lits {
+        fields.push(("lits", Json::num(l as f64)));
+    }
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms", Json::num(ms as f64)));
+    }
+    if let Some(mi) = max_instances {
+        fields.push(("max_instances", Json::num(mi as f64)));
+    }
+
+    let mut client = Client::connect(&Endpoint::parse(&connect))?;
+    let response = client.roundtrip(&Json::obj(fields).to_string())?;
+    if raw {
+        println!("{response}");
+    }
+    let parsed = Json::parse(&response)
+        .map_err(|e| format!("malformed server response: {e}: {response}"))?;
+    let ok = parsed.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let verdict = parsed.get("verdict").and_then(Json::as_str).unwrap_or("");
+    if !raw {
+        print_client_response(&parsed, ok, verdict);
+    }
+    Ok(if ok {
+        match verdict {
+            "inductive" | "safe" | "ok" | "generalized" => ExitCode::SUCCESS,
+            _ => ExitCode::FAILURE,
+        }
+    } else {
+        let code = parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        if code == "budget" {
+            ExitCode::from(3)
+        } else {
+            ExitCode::from(2)
+        }
+    })
+}
+
+/// Human-readable rendering of a server response.
+fn print_client_response(parsed: &Json, ok: bool, verdict: &str) {
+    if !ok {
+        let msg = parsed
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error");
+        println!("error: {msg}");
+    }
+    if !verdict.is_empty() {
+        println!("verdict: {verdict}");
+    }
+    for key in [
+        "violation",
+        "state",
+        "successor",
+        "trace",
+        "conjecture",
+        "iterations",
+        "depth",
+        "facts",
+    ] {
+        if let Some(v) = parsed.get(key) {
+            match v.as_str() {
+                Some(s) if s.contains('\n') => println!("{key}:\n{s}"),
+                Some(s) => println!("{key}: {s}"),
+                None => println!("{key}: {v}"),
+            }
+        }
+    }
+    if let Some(survivors) = parsed.get("survivors").and_then(Json::as_arr) {
+        println!("survivors: {}", survivors.len());
+        for s in survivors {
+            if let Some(s) = s.as_str() {
+                println!("  {s}");
+            }
+        }
+    }
+    if let Some(cache) = parsed.get("cache") {
+        let hits = cache.get("frame_hits").and_then(Json::as_u64).unwrap_or(0);
+        let misses = cache
+            .get("frame_misses")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        println!("cache: {hits} frame hit(s), {misses} miss(es)");
+    }
+    if let Some(ms) = parsed.get("wall_ms").and_then(Json::as_f64) {
+        println!("wall: {ms:.1} ms");
     }
 }

@@ -192,8 +192,9 @@ impl<'p> Session<'p> {
         }
     }
 
-    /// Caps grounding size per query. Rebuilds the shared oracle (cloning
-    /// an oracle clones configuration, not pooled sessions).
+    /// Caps grounding size per query. Derives a reconfigured view of the
+    /// shared oracle (cloning shares the session pool, so warm groundings
+    /// survive the change).
     pub fn set_instance_limit(&mut self, limit: u64) {
         let mut o = Oracle::clone(&self.oracle);
         o.set_instance_limit(limit);

@@ -32,10 +32,24 @@
 //! session has too little left for a new group, the oracle transparently
 //! rebuilds it from the frame and replays the handle's groups, so verdicts
 //! match fresh grounding exactly. The pool holds at most
-//! [`MAX_POOLED_SESSIONS`] sessions (oldest evicted first).
+//! [`MAX_POOLED_SESSIONS`] sessions by default (oldest evicted first;
+//! see [`Oracle::set_pool_capacity`]).
+//!
+//! # Sharing across threads and tenants
+//!
+//! An `Oracle` is `Sync`: `solve`/`first_sat`/`open` take `&self`, and the
+//! pool hands each checked-out session to exactly one [`FrameSession`] (a
+//! checkout *removes* the session, so double-handing is impossible by
+//! ownership). Cloning produces a *view* sharing the pool and rollup with
+//! per-view configuration — the `ivy serve` daemon derives one view per
+//! request to enforce per-request budgets while all clients warm one
+//! cache. Concurrent checkouts of the same frame simply miss and ground
+//! extra sessions, all of which are pooled on check-in; under a steady
+//! concurrent load the pool converges to about one session per worker per
+//! hot frame.
 
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use ivy_epr::{
     frame_fingerprint, Budget, EprCheck, EprError, EprOutcome, EprSession, GroupId, Model,
@@ -153,7 +167,10 @@ impl Goal {
     }
 }
 
-/// Upper bound on pooled sessions per oracle; the oldest is evicted first.
+/// Default bound on pooled sessions per oracle; the oldest is evicted
+/// first. Long-running multi-tenant processes (the `ivy serve` daemon)
+/// raise it via [`Oracle::set_pool_capacity`] so concurrent clients over
+/// many frames do not thrash the cache.
 pub const MAX_POOLED_SESSIONS: usize = 8;
 
 /// A [`FrameSession`] that asserted more handle groups than this is *not*
@@ -165,20 +182,44 @@ pub const MAX_POOLED_SESSIONS: usize = 8;
 /// they are one or two groups per query by construction.
 pub const MAX_POOLED_HANDLE_GROUPS: usize = 8;
 
+/// The shared half of an oracle: the session pool and the telemetry
+/// rollup, common to every view cloned from the same root oracle.
+struct OracleShared {
+    pool: Mutex<Vec<(u64, EprSession)>>,
+    pool_capacity: Mutex<usize>,
+    rollup: Mutex<OracleRollup>,
+}
+
+impl OracleShared {
+    fn new() -> OracleShared {
+        OracleShared {
+            pool: Mutex::new(Vec::new()),
+            pool_capacity: Mutex::new(MAX_POOLED_SESSIONS),
+            rollup: Mutex::new(OracleRollup::new()),
+        }
+    }
+}
+
 /// The solver oracle: every engine's single point of contact with the EPR
 /// layer (see the module docs).
 ///
-/// Cloning an oracle clones its *configuration* (strategy, budget, limits)
-/// with an empty session pool and fresh telemetry — pooled sessions are
-/// not shareable solver state.
+/// Cloning an oracle produces a *view*: an independent copy of the
+/// configuration (strategy, budget, limits) that shares the original's
+/// session pool and telemetry rollup. This is the seam a multi-tenant
+/// server needs — each request derives a view with its own admission
+/// budget, while every view warms (and is warmed by) the same
+/// frame-keyed cache. Checked-out sessions are owned by exactly one
+/// [`FrameSession`] at a time (the pool *removes* on checkout), so views
+/// on different threads can never hand one solver to two requests. Use
+/// [`Oracle::detached`] for the old semantics: a configuration copy with
+/// an empty pool and fresh telemetry.
 pub struct Oracle {
     strategy: QueryStrategy,
     budget: Budget,
     instance_limit: u64,
     lazy_round_limit: Option<usize>,
     solver_config: SolverConfig,
-    pool: Mutex<Vec<(u64, EprSession)>>,
-    rollup: Mutex<OracleRollup>,
+    shared: Arc<OracleShared>,
 }
 
 impl Clone for Oracle {
@@ -189,8 +230,7 @@ impl Clone for Oracle {
             instance_limit: self.instance_limit,
             lazy_round_limit: self.lazy_round_limit,
             solver_config: self.solver_config,
-            pool: Mutex::new(Vec::new()),
-            rollup: Mutex::new(OracleRollup::new()),
+            shared: Arc::clone(&self.shared),
         }
     }
 }
@@ -202,7 +242,7 @@ impl fmt::Debug for Oracle {
             .field("budget", &self.budget)
             .field("instance_limit", &self.instance_limit)
             .field("lazy_round_limit", &self.lazy_round_limit)
-            .field("pooled_sessions", &self.pool.lock().unwrap().len())
+            .field("pooled_sessions", &self.shared.pool.lock().unwrap().len())
             .finish()
     }
 }
@@ -223,9 +263,44 @@ impl Oracle {
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             lazy_round_limit: None,
             solver_config: SolverConfig::default(),
-            pool: Mutex::new(Vec::new()),
-            rollup: Mutex::new(OracleRollup::new()),
+            shared: Arc::new(OracleShared::new()),
         }
+    }
+
+    /// A *view* of this oracle: an independent configuration copy sharing
+    /// the session pool and telemetry rollup (an explicit name for what
+    /// [`Clone`] does). A server derives one per request to apply
+    /// per-request budgets while every request hits the same frame cache.
+    pub fn view(&self) -> Oracle {
+        self.clone()
+    }
+
+    /// An oracle with this oracle's configuration but an *empty* session
+    /// pool and fresh telemetry — a fully independent instance.
+    pub fn detached(&self) -> Oracle {
+        Oracle {
+            shared: Arc::new(OracleShared::new()),
+            ..self.clone()
+        }
+    }
+
+    /// Bounds the shared session pool (shared by every view; excess
+    /// oldest sessions are evicted immediately). The default is
+    /// [`MAX_POOLED_SESSIONS`], sized for one CLI run; a daemon serving
+    /// many concurrent clients over many frames should scale this to
+    /// roughly `workers × live frames` to avoid cache thrash.
+    pub fn set_pool_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        *self.shared.pool_capacity.lock().unwrap() = capacity;
+        let mut pool = self.shared.pool.lock().unwrap();
+        while pool.len() > capacity {
+            pool.remove(0);
+        }
+    }
+
+    /// The shared session pool's current capacity.
+    pub fn pool_capacity(&self) -> usize {
+        *self.shared.pool_capacity.lock().unwrap()
     }
 
     /// Selects how query families are discharged.
@@ -423,14 +498,16 @@ impl Oracle {
         })
     }
 
-    /// A snapshot of the oracle's aggregated telemetry.
+    /// A snapshot of the oracle's aggregated telemetry (shared across
+    /// views).
     pub fn rollup(&self) -> OracleRollup {
-        self.rollup.lock().unwrap().clone()
+        self.shared.rollup.lock().unwrap().clone()
     }
 
-    /// Drops every pooled session (configuration unchanged).
+    /// Drops every pooled session (configuration unchanged; affects all
+    /// views).
     pub fn clear_cache(&self) {
-        self.pool.lock().unwrap().clear();
+        self.shared.pool.lock().unwrap().clear();
     }
 
     /// One fresh `EprCheck` for `frame ∧ goal` with the oracle's limits.
@@ -477,7 +554,7 @@ impl Oracle {
     /// instantiation budget may be partly spent).
     fn checkout(&self, frame: &Frame, key: u64) -> Result<(EprSession, bool), EprError> {
         let cached = {
-            let mut pool = self.pool.lock().unwrap();
+            let mut pool = self.shared.pool.lock().unwrap();
             pool.iter()
                 .rposition(|(k, _)| *k == key)
                 .map(|i| pool.remove(i).1)
@@ -519,7 +596,8 @@ impl Oracle {
         for (label, id) in frame.asserts() {
             s.assert_id(label.clone(), *id)?;
         }
-        self.rollup.lock().unwrap().record_session_built();
+        self.shared.rollup.lock().unwrap().record_session_built();
+        ivy_telemetry::local_record_session_built();
         counter_add("oracle.sessions_built", 1);
         Ok(s)
     }
@@ -527,19 +605,22 @@ impl Oracle {
     /// Returns a frame-only session to the pool.
     fn checkin(&self, key: u64, session: EprSession) {
         debug_assert_eq!(session.frame_key(), Some(key));
-        let mut pool = self.pool.lock().unwrap();
+        let capacity = *self.shared.pool_capacity.lock().unwrap();
+        let mut pool = self.shared.pool.lock().unwrap();
         pool.push((key, session));
-        if pool.len() > MAX_POOLED_SESSIONS {
+        while pool.len() > capacity {
             pool.remove(0);
         }
     }
 
     fn record(&self, report: &QueryReport) {
-        self.rollup.lock().unwrap().record_query(report);
+        self.shared.rollup.lock().unwrap().record_query(report);
+        ivy_telemetry::local_record_query(report);
     }
 
     fn note_checkout(&self, hit: bool) {
-        self.rollup.lock().unwrap().record_checkout(hit);
+        self.shared.rollup.lock().unwrap().record_checkout(hit);
+        ivy_telemetry::local_record_checkout(hit);
         counter_add(
             if hit {
                 "oracle.frame_hits"

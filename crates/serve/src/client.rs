@@ -1,0 +1,95 @@
+//! A minimal blocking client for the line protocol.
+//!
+//! One request per call: write a newline-terminated JSON line, read the
+//! single response line. Used by `ivy client` and the load generator.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where a server is listening.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// A TCP address such as `127.0.0.1:7877`.
+    Tcp(String),
+    /// A Unix-socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:PATH` or a TCP `HOST:PORT` spec.
+    pub fn parse(spec: &str) -> Endpoint {
+        #[cfg(unix)]
+        if let Some(path) = spec.strip_prefix("unix:") {
+            return Endpoint::Unix(PathBuf::from(path));
+        }
+        Endpoint::Tcp(spec.to_string())
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A connected client holding one persistent connection, so consecutive
+/// requests from the same client reuse the server's warm state.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects to a server endpoint.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true).ok();
+                let reader = stream.try_clone()?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(reader)),
+                    writer: Box::new(stream),
+                })
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                let reader = stream.try_clone()?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(reader)),
+                    writer: Box::new(stream),
+                })
+            }
+        }
+    }
+
+    /// Sends one request line and reads the one response line
+    /// (newline-terminated on the wire, stripped in the return value).
+    pub fn roundtrip(&mut self, request: &str) -> io::Result<String> {
+        let line = request.trim_end_matches(['\r', '\n']);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        while response.ends_with(['\r', '\n']) {
+            response.pop();
+        }
+        Ok(response)
+    }
+}

@@ -204,3 +204,116 @@ fn zero_timeout_degrades_to_unknown_with_partial_profile() {
     assert!(json.contains("deadline"), "{json}");
     std::fs::remove_file(&profile).ok();
 }
+
+#[test]
+fn repeated_or_valueless_flags_are_usage_errors() {
+    let model = write_temp("dup.rml", MODEL);
+    let model = model.to_str().unwrap();
+    for args in [
+        // A repeated global flag must not silently pick one value.
+        &["prove", model, "--timeout", "5", "--timeout", "10"][..],
+        &[
+            "prove",
+            model,
+            "--strategy",
+            "session",
+            "--strategy",
+            "fresh",
+        ],
+        &["prove", model, "--jobs", "2", "--jobs", "4"],
+        // A repeated subcommand flag is just as ambiguous.
+        &["bmc", model, "-k", "2", "-k", "3"],
+        &["houdini", model, "--vars", "1", "--vars", "2"],
+        // A flag with no value must not be reparsed as a positional arg.
+        &["prove", model, "--timeout"],
+        &["prove", model, "--strategy"],
+    ] {
+        let (code, text) = ivy_code(args);
+        assert_eq!(code, 2, "{args:?}: {text}");
+        assert!(text.contains("error:"), "{args:?}: {text}");
+    }
+}
+
+#[test]
+fn usage_mentions_serve_and_client() {
+    let (code, text) = ivy_code(&[]);
+    assert_eq!(code, 2);
+    assert!(text.contains("serve"), "{text}");
+    assert!(text.contains("client"), "{text}");
+}
+
+#[test]
+fn serve_and_client_roundtrip_over_tcp() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Stdio};
+
+    let model = write_temp("srv.rml", MODEL);
+    let inv = write_temp("srv.inv", INVARIANT);
+    let model = model.to_str().unwrap();
+    let inv = inv.to_str().unwrap();
+
+    // Start the daemon on an ephemeral port; the first stdout line is the
+    // address contract.
+    let mut server: Child = Command::new(env!("CARGO_BIN_EXE_ivy"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ivy serve");
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("ivy-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+
+    // Thin-driver verdicts and exit codes mirror the one-shot CLI.
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "prove", model, inv]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("verdict: inductive"), "{text}");
+    assert!(text.contains("cache:"), "{text}");
+
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "prove", model]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("verdict: cti"), "{text}");
+
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "bmc", model, "-k", "2"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("verdict: safe"), "{text}");
+
+    // A second identical prove is served from the warm frame cache.
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "prove", model, inv, "--raw"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("\"frame_hits\""), "{text}");
+    assert!(text.contains("\"frame_misses\":0"), "{text}");
+
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "status"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("verdict: ok"), "{text}");
+
+    // Budget exhaustion over the wire: exit 3, like the one-shot CLI.
+    let (code, text) = ivy_code(&[
+        "client",
+        "--connect",
+        &addr,
+        "prove",
+        model,
+        inv,
+        "--timeout",
+        "0",
+    ]);
+    assert_eq!(code, 3, "{text}");
+
+    // Clean shutdown via the protocol; the server process exits 0.
+    let (code, text) = ivy_code(&["client", "--connect", &addr, "shutdown"]);
+    assert_eq!(code, 0, "{text}");
+    let status = server.wait().expect("server wait");
+    assert_eq!(status.code(), Some(0));
+
+    // Usage errors in the client itself.
+    let (code, text) = ivy_code(&["client", "prove", model]);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("--connect"), "{text}");
+}

@@ -20,6 +20,12 @@
 //!   Exceeding the deadline degrades gracefully: queries report
 //!   `Unknown(`[`StopReason`]`)` with partial statistics instead of
 //!   running unbounded or panicking.
+//!
+//! * **Per-thread rollup scopes** — [`local_rollup_begin`] collects an
+//!   [`OracleRollup`] for just the work recorded on the current thread
+//!   while the scope is active. This is what lets a multi-tenant server
+//!   report per-request telemetry while many requests share one process
+//!   (the global registry cannot distinguish them).
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -503,6 +509,89 @@ impl OracleRollup {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-thread rollup scopes
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Stack of active per-thread rollup scopes (usually 0 or 1 deep).
+    static LOCAL_ROLLUPS: std::cell::RefCell<Vec<OracleRollup>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A per-thread telemetry collection scope (see [`local_rollup_begin`]).
+///
+/// Not `Send`: the scope must finish on the thread that began it.
+#[must_use = "a scope collects until finished; an unfinished scope is discarded on drop"]
+pub struct LocalRollupScope {
+    finished: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Begins collecting an [`OracleRollup`] for the *current thread*: until
+/// the returned scope is [`finished`](LocalRollupScope::finish), every
+/// query report, session checkout, and session build recorded on this
+/// thread via [`local_record_query`] / [`local_record_checkout`] /
+/// [`local_record_session_built`] is folded into the scope's rollup.
+///
+/// This is how a server attributes solver work to one request without
+/// touching the process-global registry: the request handler wraps the
+/// engine call in a scope and embeds the finished rollup in the response.
+/// Work an engine fans out to *other* threads (the parallel query
+/// strategy) is not captured; the session-backed strategies — the ones a
+/// server shares — run on the calling thread and are.
+pub fn local_rollup_begin() -> LocalRollupScope {
+    LOCAL_ROLLUPS.with(|s| s.borrow_mut().push(OracleRollup::new()));
+    LocalRollupScope {
+        finished: false,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl LocalRollupScope {
+    /// Ends the scope and returns everything recorded during it.
+    pub fn finish(mut self) -> OracleRollup {
+        self.finished = true;
+        LOCAL_ROLLUPS.with(|s| s.borrow_mut().pop().expect("scope was begun"))
+    }
+}
+
+impl Drop for LocalRollupScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            LOCAL_ROLLUPS.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Folds `f` into the innermost active scope on this thread, if any.
+fn with_local_scope(f: impl FnOnce(&mut OracleRollup)) {
+    LOCAL_ROLLUPS.with(|s| {
+        if let Some(rollup) = s.borrow_mut().last_mut() {
+            f(rollup);
+        }
+    });
+}
+
+/// Records one query report into the current thread's scope (no-op
+/// without an active scope). Called by the solver oracle next to its own
+/// rollup accounting.
+pub fn local_record_query(report: &QueryReport) {
+    with_local_scope(|r| r.record_query(report));
+}
+
+/// Records one session checkout into the current thread's scope.
+pub fn local_record_checkout(hit: bool) {
+    with_local_scope(|r| r.record_checkout(hit));
+}
+
+/// Records one session build into the current thread's scope.
+pub fn local_record_session_built() {
+    with_local_scope(|r| r.record_session_built());
+}
+
 /// Append `s` as a JSON string literal (quotes, backslashes, and
 /// control characters escaped).
 fn json_str(out: &mut String, s: &str) {
@@ -634,6 +723,55 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"frame_hits\": 2"));
         assert!(json.contains("\"sessions_built\": 1"));
+    }
+
+    #[test]
+    fn local_rollup_scope_collects_thread_locally() {
+        // No scope: records are dropped silently.
+        local_record_checkout(true);
+        local_record_session_built();
+
+        let scope = local_rollup_begin();
+        local_record_checkout(true);
+        local_record_checkout(false);
+        local_record_session_built();
+        local_record_query(&QueryReport {
+            queries: 1,
+            instances: 7,
+            ..QueryReport::default()
+        });
+        // Another thread's records do not leak into this scope.
+        std::thread::spawn(|| {
+            local_record_checkout(true);
+            local_record_query(&QueryReport {
+                queries: 1,
+                ..QueryReport::default()
+            });
+        })
+        .join()
+        .unwrap();
+        let rollup = scope.finish();
+        assert_eq!(rollup.frame_hits, 1);
+        assert_eq!(rollup.frame_misses, 1);
+        assert_eq!(rollup.sessions_built, 1);
+        assert_eq!(rollup.report.queries, 1);
+        assert_eq!(rollup.report.instances, 7);
+
+        // Nested scopes: the inner scope shadows the outer one.
+        let outer = local_rollup_begin();
+        let inner = local_rollup_begin();
+        local_record_checkout(true);
+        assert_eq!(inner.finish().frame_hits, 1);
+        local_record_checkout(false);
+        let outer = outer.finish();
+        assert_eq!(outer.frame_hits, 0);
+        assert_eq!(outer.frame_misses, 1);
+
+        // An unfinished scope unwinds cleanly on drop.
+        {
+            let _abandoned = local_rollup_begin();
+        }
+        local_record_checkout(true); // no active scope: dropped, no panic
     }
 
     #[test]
