@@ -1,0 +1,164 @@
+//! Runs `ivy_core::infer` — automatic invariant synthesis from the safety
+//! properties alone — on the six Figure-14 protocols and writes a
+//! machine-readable `ivy-infer-bench-v1` JSON document (default
+//! `BENCH_infer.json`) recording time-to-invariant and oracle query
+//! throughput per protocol.
+//!
+//! Every proved invariant is independently re-verified inductive with a
+//! fresh [`ivy_core::Verifier`], so regressions in *correctness* fail the
+//! bench too. The run fails (exit 1) when fewer than four protocols are
+//! proved — the ROADMAP success metric for the synthesis loop.
+//!
+//! ```text
+//! bench_infer [--out PATH] [--timeout SECS] [--smoke]
+//! ```
+//!
+//! `--smoke` restricts the sweep to leader election and the lock server
+//! (with a proved-count gate of 2), keeping CI wall-clock small.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ivy_bench::protocols;
+use ivy_core::{infer, InferOptions, InferStatus, Oracle, Verifier};
+use ivy_epr::{Budget, EprError};
+
+fn options_for(name: &str) -> InferOptions {
+    let mut opts = InferOptions::default();
+    // Chord's signature carries the three ring-anchor constants, which
+    // multiply the template by an order of magnitude; the paper's
+    // Section 5.1 seed is relation-only, and CTI-guided blocking
+    // supplies the anchor-specific facts.
+    if name == "Chord ring maintenance" {
+        opts.include_constants = false;
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or("BENCH_infer.json")
+        .to_string();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let timeout = match flag_value(&args, "--timeout").map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(secs)) if secs >= 0.0 && secs.is_finite() => Some(secs),
+        Some(_) => {
+            eprintln!("error: --timeout expects a non-negative number of seconds");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut proved = 0usize;
+    let mut total = 0usize;
+    for entry in protocols() {
+        if smoke && !matches!(entry.name, "Leader election in ring" | "Lock server") {
+            continue;
+        }
+        total += 1;
+        let mut oracle = Oracle::new();
+        // The deadline clock starts at construction, so each protocol gets
+        // a fresh budget — a slow protocol must not starve the next one.
+        let budget = match timeout {
+            Some(secs) => Budget::with_timeout(Duration::from_secs_f64(secs)),
+            None => Budget::UNLIMITED,
+        };
+        oracle.set_budget(budget);
+        let oracle = Arc::new(oracle);
+        let mut opts = options_for(entry.name);
+        // Minimize CTIs with the measures a user of this protocol would
+        // pick (Section 4.3) — small CTIs keep blocking clauses narrow.
+        opts.measures = entry.measures.clone();
+        let started = Instant::now();
+        let (status, report) = match infer(&entry.program, &oracle, &opts) {
+            Ok(report) => (report.status.tag(), Some(report)),
+            Err(EprError::Inconclusive(reason)) => {
+                eprintln!("{}: inconclusive ({reason})", entry.name);
+                ("unknown", None)
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", entry.name);
+                std::process::exit(2);
+            }
+        };
+        let secs = started.elapsed().as_secs_f64();
+        let (queries, invariant_size, generated, blocked, enlargements, houdini_runs) = report
+            .as_ref()
+            .map(|r| {
+                (
+                    r.queries,
+                    r.invariant.len(),
+                    r.generated,
+                    r.blocked,
+                    r.enlargements,
+                    r.houdini_runs,
+                )
+            })
+            .unwrap_or_default();
+        if let Some(r) = &report {
+            if r.status == InferStatus::Proved {
+                // Independent re-verification: the inferred invariant must
+                // be inductive and include the safety properties.
+                let v = Verifier::new(&entry.program);
+                let inductive = v
+                    .check(&r.invariant)
+                    .map(|x| x.is_inductive())
+                    .unwrap_or(false);
+                if !inductive {
+                    eprintln!("{}: inferred invariant failed re-verification", entry.name);
+                    std::process::exit(1);
+                }
+                proved += 1;
+            }
+        }
+        let qps = if secs > 0.0 {
+            queries as f64 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:<28} {:<14} {:>7.2}s  {:>6} queries ({:>7.1}/s)  {:>5} generated  {:>2} blocked",
+            entry.name, status, secs, queries, qps, generated, blocked
+        );
+        rows.push(format!(
+            "{{\"protocol\": \"{}\", \"status\": \"{}\", \"secs\": {:.3}, \
+             \"queries\": {}, \"queries_per_sec\": {:.1}, \"generated\": {}, \
+             \"blocked\": {}, \"enlargements\": {}, \"houdini_runs\": {}, \
+             \"invariant_clauses\": {}}}",
+            entry.name,
+            status,
+            secs,
+            queries,
+            qps,
+            generated,
+            blocked,
+            enlargements,
+            houdini_runs,
+            invariant_size
+        ));
+    }
+
+    let required = if smoke { 2 } else { 4 };
+    let doc = format!(
+        "{{\n\"schema\": \"ivy-infer-bench-v1\",\n\"proved\": {proved},\n\"total\": {total},\n\"protocols\": [\n{}\n]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path} ({proved}/{total} proved)");
+    if proved < required {
+        eprintln!("error: only {proved}/{total} protocols proved (need {required})");
+        std::process::exit(1);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

@@ -8,6 +8,8 @@
 //! ivy cti    MODEL.rml [INV.inv]            show a (minimal) CTI
 //! ivy dot    MODEL.rml [INV.inv]            render a CTI state as DOT
 //! ivy houdini MODEL.rml [--vars V --lits L] infer an invariant by template
+//! ivy infer   MODEL.rml [--vars V --lits L]  synthesize an inductive
+//!             [--no-constants]               invariant from safety alone
 //! ivy serve   --listen ADDR | --socket PATH  run the verification daemon
 //! ivy client  --connect ADDR CMD [args]      drive a running daemon
 //! ```
@@ -220,12 +222,12 @@ fn write_profile(
 
 fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
-        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini|serve|client> MODEL.rml [args] \
+        "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini|infer|serve|client> MODEL.rml [args] \
          [--timeout SECS] [--strategy fresh|session|parallel|portfolio] [--jobs N] \
          [--profile OUT.json]\n\
          ivy serve  --listen ADDR | --socket PATH [--workers N] [--queue N] \
          [--max-timeout SECS] [--max-instances N]\n\
-         ivy client --connect ADDR|unix:PATH <prove|bmc|houdini|generalize|status|shutdown> \
+         ivy client --connect ADDR|unix:PATH <prove|bmc|houdini|infer|generalize|status|shutdown> \
          [MODEL.rml] [INV.inv] [--raw]\n\
          see `crates/core/src/bin/ivy.rs` and docs/serve-protocol.md for details"
     );
@@ -419,6 +421,41 @@ fn run(
                 (ExitCode::FAILURE, "not_proved")
             })
         }
+        "infer" => {
+            let vars: usize = flag_value(rest, "--vars").unwrap_or("2").parse()?;
+            let lits: usize = flag_value(rest, "--literals")
+                .or_else(|| flag_value(rest, "--lits"))
+                .unwrap_or("2")
+                .parse()?;
+            let opts = ivy_core::InferOptions {
+                vars_per_sort: vars,
+                max_literals: lits,
+                include_constants: !rest.iter().any(|a| a == "--no-constants"),
+                ..ivy_core::InferOptions::default()
+            };
+            let report = ivy_core::infer(&program, oracle, &opts)?;
+            println!(
+                "{}: {} clause(s) ({} generated, {} blocked from CTIs, \
+                 {} enlargement(s), {} Houdini run(s), {} queries)",
+                report.status.tag(),
+                report.invariant.len(),
+                report.generated,
+                report.blocked,
+                report.enlargements,
+                report.houdini_runs,
+                report.queries
+            );
+            for c in &report.invariant {
+                println!("  {c}");
+            }
+            Ok(match report.status {
+                ivy_core::InferStatus::Proved => (ExitCode::SUCCESS, "proved"),
+                ivy_core::InferStatus::ReachableCounterexample => {
+                    (ExitCode::FAILURE, "reachable_cex")
+                }
+                ivy_core::InferStatus::Exhausted => (ExitCode::FAILURE, "not_proved"),
+            })
+        }
         _ => usage(),
     }
 }
@@ -555,11 +592,12 @@ fn client_inner(
         .transpose()?;
     let (cmd, cargs) = rest
         .split_first()
-        .ok_or("client needs a command: prove|bmc|houdini|generalize|status|shutdown")?;
+        .ok_or("client needs a command: prove|bmc|houdini|infer|generalize|status|shutdown")?;
     let wire_cmd = match cmd.as_str() {
         "prove" | "verify" => "verify",
         "bmc" => "bmc",
         "houdini" => "houdini",
+        "infer" => "infer",
         "generalize" => "generalize",
         "status" => "status",
         "shutdown" => "shutdown",

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use ivy_epr::{Budget, EprError, EprOutcome};
-use ivy_fol::{Binding, Formula, Signature, Sort, Term};
+use ivy_fol::Signature;
 use ivy_rml::{project_state, unroll, unroll_free, Program};
 
 use crate::oracle::{Frame, FrameGroup, Goal, Oracle};
@@ -141,19 +141,7 @@ pub fn houdini_with_oracle(
                 EprOutcome::Sat(model) => {
                     iterations += 1;
                     let successor = project_state(&model.structure, &program.sig, &u.maps[1]);
-                    let before = entries.len();
-                    entries.retain(|(c, hyp)| {
-                        if successor.eval_closed(&c.formula).unwrap_or(false) {
-                            true
-                        } else {
-                            h.retire(*hyp);
-                            false
-                        }
-                    });
-                    assert!(
-                        entries.len() < before,
-                        "consecution CTI must falsify some candidate"
-                    );
+                    drop_nonpreserved(&mut entries, &successor, |hyp| h.retire(*hyp))?;
                     // Weaker hypotheses can newly admit CTIs for candidates
                     // already checked, so restart the pass (the fresh
                     // fixpoint does the same). Reaching the end therefore
@@ -175,134 +163,57 @@ pub fn houdini_with_oracle(
     })
 }
 
+/// Batch-drops every candidate falsified by `successor` (the projected
+/// post-state of a consecution CTI), retiring its hypothesis group. The CTI
+/// must falsify at least one candidate for the drop loop to make progress;
+/// when the projection to the program vocabulary loses the interpretations
+/// that witnessed the violation (so nothing evaluates to false), inference
+/// cannot continue and degrades to an inconclusive verdict rather than
+/// looping or reporting a partial set as strongest.
+fn drop_nonpreserved<G>(
+    entries: &mut Vec<(Conjecture, G)>,
+    successor: &ivy_fol::Structure,
+    mut retire: impl FnMut(&G),
+) -> Result<(), EprError> {
+    let before = entries.len();
+    entries.retain(|(c, hyp)| {
+        if successor.eval_closed(&c.formula).unwrap_or(false) {
+            true
+        } else {
+            retire(hyp);
+            false
+        }
+    });
+    if entries.len() == before {
+        return Err(EprError::Inconclusive(ivy_epr::StopReason::ProjectionLoss));
+    }
+    Ok(())
+}
+
 /// Enumerates candidate universal clauses over a template: all disjunctions
 /// of at most `max_literals` literals whose atoms use the given variables
 /// (a fixed number per sort), relation symbols, equalities, and depth-1
 /// function applications.
 ///
+/// Template variables are named `V_SORT0`, `V_SORT1`, … (see
+/// [`ivy_fol::template_var`]) — deliberately disjoint from the `NODE0`-style
+/// names [`ivy_fol::diagram_var`] gives diagram variables — and clauses
+/// that are alpha-variants of one another (equal up to permuting same-sort
+/// variables) are emitted once.
+///
 /// The candidate count grows combinatorially; keep `vars_per_sort` and
-/// `max_literals` small (2–3).
+/// `max_literals` small (2–3). The richer, incremental generator behind
+/// `ivy infer` is [`crate::infer::generate_clauses`]; this entry point
+/// keeps the original vocabulary (no constants, no nullary relations).
 pub fn enumerate_candidates(
     sig: &Signature,
     vars_per_sort: usize,
     max_literals: usize,
 ) -> Vec<Conjecture> {
-    // Typed variables per sort.
-    let mut bindings: Vec<Binding> = Vec::new();
-    for sort in sig.sorts() {
-        for i in 0..vars_per_sort {
-            bindings.push(Binding::new(
-                format!("{}{}", sort.name().to_ascii_uppercase(), i),
-                *sort,
-            ));
-        }
-    }
-    let vars_of = |sort: &Sort| -> Vec<Term> {
-        bindings
-            .iter()
-            .filter(|b| &b.sort == sort)
-            .map(|b| Term::Var(b.var))
-            .collect()
-    };
-    // Terms per sort: variables plus unary function applications to
-    // variables (depth 1).
-    let mut terms: std::collections::BTreeMap<Sort, Vec<Term>> = std::collections::BTreeMap::new();
-    for sort in sig.sorts() {
-        terms.insert(*sort, vars_of(sort));
-    }
-    for (fun, decl) in sig.functions() {
-        if decl.arity() == 1 {
-            let apps: Vec<Term> = vars_of(&decl.args[0])
-                .into_iter()
-                .map(|v| Term::app(*fun, [v]))
-                .collect();
-            terms.get_mut(&decl.ret).expect("sort known").extend(apps);
-        }
-    }
-    // Atoms: relation applications over the term pools, plus equalities
-    // between distinct variables of the same sort.
-    let mut atoms: Vec<Formula> = Vec::new();
-    for (rel, arg_sorts) in sig.relations() {
-        let mut tuples: Vec<Vec<Term>> = vec![Vec::new()];
-        for s in arg_sorts {
-            let pool = terms.get(s).cloned().unwrap_or_default();
-            let mut next = Vec::new();
-            for prefix in &tuples {
-                for t in &pool {
-                    let mut row = prefix.clone();
-                    row.push(t.clone());
-                    next.push(row);
-                }
-            }
-            tuples = next;
-        }
-        for tuple in tuples {
-            atoms.push(Formula::rel(*rel, tuple));
-        }
-    }
-    for sort in sig.sorts() {
-        let vars = vars_of(sort);
-        for i in 0..vars.len() {
-            for j in (i + 1)..vars.len() {
-                atoms.push(Formula::eq(vars[i].clone(), vars[j].clone()));
-            }
-        }
-    }
-    // Literals and clauses.
-    let literals: Vec<Formula> = atoms
-        .iter()
-        .flat_map(|a| [a.clone(), Formula::not(a.clone())])
-        .collect();
-    let mut out = Vec::new();
-    let mut index = 0usize;
-    let mut combo: Vec<usize> = Vec::new();
-    fn emit(
-        literals: &[Formula],
-        bindings: &[Binding],
-        combo: &mut Vec<usize>,
-        start: usize,
-        left: usize,
-        out: &mut Vec<Conjecture>,
-        index: &mut usize,
-    ) {
-        if !combo.is_empty() {
-            let parts: Vec<Formula> = combo.iter().map(|&i| literals[i].clone()).collect();
-            // Skip tautologies (l and ~l in one clause).
-            let tautology = combo
-                .iter()
-                .any(|&i| combo.contains(&(i ^ 1)) && i % 2 == 0);
-            if !tautology {
-                let body = Formula::or(parts);
-                let fv = body.free_vars();
-                let needed: Vec<Binding> = bindings
-                    .iter()
-                    .filter(|b| fv.contains(&b.var))
-                    .cloned()
-                    .collect();
-                let clause = Formula::forall(needed, body);
-                out.push(Conjecture::new(format!("H{index}"), clause));
-                *index += 1;
-            }
-        }
-        if left == 0 {
-            return;
-        }
-        for i in start..literals.len() {
-            combo.push(i);
-            emit(literals, bindings, combo, i + 1, left - 1, out, index);
-            combo.pop();
-        }
-    }
-    emit(
-        &literals,
-        &bindings,
-        &mut combo,
-        0,
-        max_literals,
-        &mut out,
-        &mut index,
-    );
-    out
+    crate::infer::generate_clauses(
+        sig,
+        &crate::infer::TemplateSpec::legacy(vars_per_sort, max_literals),
+    )
 }
 
 /// Convenience: enumerate candidates and run Houdini.
@@ -391,6 +302,36 @@ action mark { havoc n; marked.insert(n) }
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn lossy_projection_is_inconclusive_not_a_panic() {
+        // Regression: the consecution drop pass used to `assert!` that the
+        // projected successor falsifies some candidate and panicked when
+        // the projection lost the interpretations witnessing the violation
+        // (every candidate evaluating true, or erroring asymmetrically).
+        // Simulate that partial-projection outcome directly: a successor
+        // state in which the single candidate still evaluates to true.
+        let p = parse_program(SPREAD).unwrap();
+        let mut state = ivy_fol::Structure::new(std::sync::Arc::new(p.sig.clone()));
+        let n0 = state.add_element("node");
+        state.set_rel(ivy_fol::Sym::new("marked"), vec![n0.clone()], true);
+        state.set_fun(ivy_fol::Sym::new("seed"), vec![], n0.clone());
+        state.set_fun(ivy_fol::Sym::new("n"), vec![], n0);
+        let mut entries = vec![(
+            Conjecture::new("good1", ivy_fol::parse_formula("marked(seed)").unwrap()),
+            (),
+        )];
+        let err = drop_nonpreserved(&mut entries, &state, |_| {}).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EprError::Inconclusive(ivy_epr::StopReason::ProjectionLoss)
+            ),
+            "{err}"
+        );
+        // The candidate set is left intact for the caller to report.
+        assert_eq!(entries.len(), 1);
     }
 
     #[test]

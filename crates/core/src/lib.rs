@@ -8,6 +8,7 @@
 pub mod bmc;
 pub mod generalize;
 pub mod houdini;
+pub mod infer;
 pub mod interact;
 pub mod minimize;
 pub mod oracle;
@@ -20,6 +21,10 @@ pub use generalize::{implied, AutoGen, Generalizer};
 pub use houdini::{
     enumerate_candidates, houdini, houdini_budgeted, houdini_with_oracle, houdini_with_template,
     HoudiniResult,
+};
+pub use infer::{
+    generate_clauses, generate_clauses_into, infer, InferOptions, InferReport, InferStatus,
+    TemplateSpec,
 };
 pub use interact::{
     CtiDecision, Proposal, ProposalDecision, Session, SessionCtx, SessionOutcome, SessionStats,

@@ -1,0 +1,168 @@
+//! Canonical forms for template clauses.
+//!
+//! Clause templates (Section 5.1's Houdini seed) quantify over a fixed pool
+//! of variables per sort, so two enumerated clauses can be alpha-variants of
+//! one another: `∀X,Y. r(X,Y)` and `∀X,Y. r(Y,X)` differ only by permuting
+//! same-sort variables. This module computes a canonical key for a clause —
+//! the lexicographically least sorted literal-id vector over all per-sort
+//! variable permutations — so enumeration can emit each equivalence class
+//! once.
+//!
+//! It also owns [`template_var`], the naming scheme for template variables.
+//! Diagram and conjecture variables are named by [`crate::diagram_var`]
+//! (`NODE0`, `NODE1`, …); template variables deliberately use a distinct
+//! `V_` prefix (`V_NODE0`, …) so conjoining a template clause with a
+//! diagram-derived conjecture can never silently identify variables that
+//! were meant to be distinct.
+
+use std::collections::BTreeMap;
+
+use crate::formula::Binding;
+use crate::intern::{FormulaId, Interner, TermId};
+use crate::sym::{Sort, Sym};
+
+/// The `i`-th template variable of `sort`: `V_` + uppercased sort name +
+/// index, e.g. `V_NODE0`. The `V_` prefix keeps template variables disjoint
+/// from [`crate::diagram_var`] names (`NODE0`, …), which share the
+/// uppercase-sort-plus-index tail.
+pub fn template_var(sort: &Sort, i: usize) -> Sym {
+    Sym::new(format!("V_{}{}", sort.name().to_ascii_uppercase(), i))
+}
+
+/// All simultaneous renamings of `bindings` that permute variables within
+/// each sort (the Cartesian product of per-sort permutations), as
+/// substitution maps suitable for [`Interner::subst_vars`]. The first map is
+/// always the identity.
+///
+/// The map count is `Π_sort (vars_of_sort)!` — callers should keep the
+/// per-sort pool small (≤ 4), as templates do.
+pub fn sort_permutations(bindings: &[Binding]) -> Vec<BTreeMap<Sym, TermId>> {
+    // Group variable names by sort, preserving binding order.
+    let mut groups: Vec<(Sort, Vec<Sym>)> = Vec::new();
+    for b in bindings {
+        match groups.iter_mut().find(|(s, _)| *s == b.sort) {
+            Some((_, names)) => names.push(b.var),
+            None => groups.push((b.sort, vec![b.var])),
+        }
+    }
+    let mut perms: Vec<BTreeMap<Sym, TermId>> = vec![BTreeMap::new()];
+    Interner::with(|it| {
+        for (_, names) in &groups {
+            let orderings = permutations(names);
+            let mut next = Vec::with_capacity(perms.len() * orderings.len());
+            for base in &perms {
+                for ordering in &orderings {
+                    let mut map = base.clone();
+                    for (from, to) in names.iter().zip(ordering) {
+                        if from != to {
+                            map.insert(*from, it.var(*to));
+                        }
+                    }
+                    next.push(map);
+                }
+            }
+            perms = next;
+        }
+    });
+    perms
+}
+
+/// The canonical key of the clause whose literals are `literals`: for each
+/// renaming in `perms`, rename every literal, sort and dedup the resulting
+/// ids, and return the lexicographically least vector. Two clauses that
+/// differ only by a renaming in `perms` (or by literal order / duplicate
+/// literals) share a key.
+pub fn canonical_clause(literals: &[FormulaId], perms: &[BTreeMap<Sym, TermId>]) -> Vec<FormulaId> {
+    Interner::with(|it| {
+        let mut best: Option<Vec<FormulaId>> = None;
+        for perm in perms {
+            let mut row: Vec<FormulaId> = literals
+                .iter()
+                .map(|&l| {
+                    if perm.is_empty() {
+                        l
+                    } else {
+                        it.subst_vars(l, perm)
+                    }
+                })
+                .collect();
+            row.sort();
+            row.dedup();
+            match &best {
+                Some(b) if *b <= row => {}
+                _ => best = Some(row),
+            }
+        }
+        best.unwrap_or_default()
+    })
+}
+
+fn permutations(items: &[Sym]) -> Vec<Vec<Sym>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, head) in items.iter().enumerate() {
+        let mut rest: Vec<Sym> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, *head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::intern;
+    use crate::parser::parse_formula;
+
+    fn lit(src: &str) -> FormulaId {
+        intern(&parse_formula(src).unwrap())
+    }
+
+    fn bindings() -> Vec<Binding> {
+        let node = Sort::new("node");
+        vec![
+            Binding::new(template_var(&node, 0), node),
+            Binding::new(template_var(&node, 1), node),
+        ]
+    }
+
+    #[test]
+    fn template_vars_are_disjoint_from_diagram_vars() {
+        let node = Sort::new("node");
+        for i in 0..4 {
+            let t = template_var(&node, i);
+            assert!(t.as_str().starts_with("V_"), "{t}");
+            assert_ne!(t.as_str(), format!("NODE{i}"));
+        }
+    }
+
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let perms = sort_permutations(&bindings());
+        assert_eq!(perms.len(), 2);
+        let a = vec![lit("edge(V_NODE0, V_NODE1)")];
+        let b = vec![lit("edge(V_NODE1, V_NODE0)")];
+        assert_eq!(canonical_clause(&a, &perms), canonical_clause(&b, &perms));
+    }
+
+    #[test]
+    fn distinct_clauses_keep_distinct_keys() {
+        let perms = sort_permutations(&bindings());
+        let a = vec![lit("edge(V_NODE0, V_NODE0)")];
+        let b = vec![lit("edge(V_NODE0, V_NODE1)")];
+        assert_ne!(canonical_clause(&a, &perms), canonical_clause(&b, &perms));
+    }
+
+    #[test]
+    fn literal_order_and_duplicates_are_normalized() {
+        let perms = sort_permutations(&bindings());
+        let a = vec![lit("p(V_NODE0)"), lit("q(V_NODE1)")];
+        let b = vec![lit("q(V_NODE1)"), lit("p(V_NODE0)"), lit("p(V_NODE0)")];
+        assert_eq!(canonical_clause(&a, &perms), canonical_clause(&b, &perms));
+    }
+}

@@ -33,6 +33,7 @@
 
 mod sym;
 
+pub mod canon;
 pub mod diagram;
 pub mod formula;
 pub mod intern;
@@ -45,6 +46,7 @@ pub mod subst;
 pub mod term;
 pub mod xform;
 
+pub use crate::canon::{canonical_clause, sort_permutations, template_var};
 pub use crate::diagram::{conjecture, diagram, diagram_var};
 pub use formula::{Binding, Formula, SortError};
 pub use intern::{FormulaId, FormulaNode, Interner, PrenexI, SkolemizedI, TermId, TermNode};

@@ -84,6 +84,8 @@ pub enum Command {
     Bmc,
     /// Houdini invariant inference.
     Houdini,
+    /// Automatic invariant synthesis from the safety properties alone.
+    Infer,
     /// Find a minimal CTI and auto-generalize it.
     Generalize,
     /// Server health and counters.
@@ -98,6 +100,7 @@ impl Command {
             "verify" => Command::Verify,
             "bmc" => Command::Bmc,
             "houdini" => Command::Houdini,
+            "infer" => Command::Infer,
             "generalize" => Command::Generalize,
             "status" => Command::Status,
             "shutdown" => Command::Shutdown,
@@ -243,7 +246,7 @@ fn parse_request_fields(value: &Json, id: Json) -> Result<Request, WireError> {
             ErrorCode::Protocol,
             format!(
                 "unknown command `{cmd_tag}` \
-                 (expected verify|bmc|houdini|generalize|status|shutdown)"
+                 (expected verify|bmc|houdini|infer|generalize|status|shutdown)"
             ),
         )
     })?;

@@ -22,8 +22,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ivy_core::{
-    enumerate_candidates, houdini_with_oracle, trace_to_text, AutoGen, Bmc, Conjecture,
-    Generalizer, Inductiveness, Measure, Oracle, QueryStrategy, Verifier,
+    enumerate_candidates, houdini_with_oracle, infer, trace_to_text, AutoGen, Bmc, Conjecture,
+    Generalizer, Inductiveness, InferOptions, Measure, Oracle, QueryStrategy, Verifier,
 };
 use ivy_epr::{Budget, EprError};
 use ivy_fol::{parse_formula, PartialStructure};
@@ -453,6 +453,29 @@ impl Server {
                     ],
                 ))
             }
+            Command::Infer => {
+                let opts = InferOptions {
+                    vars_per_sort: req.vars.unwrap_or(2),
+                    max_literals: req.lits.unwrap_or(2),
+                    ..InferOptions::default()
+                };
+                let report = infer(&program, &oracle, &opts).map_err(engine_error)?;
+                let invariant: Vec<Json> = report
+                    .invariant
+                    .iter()
+                    .map(|c| Json::str(format!("{}: {}", c.name, c.formula)))
+                    .collect();
+                Ok((
+                    report.status.tag(),
+                    vec![
+                        ("survivors", Json::Arr(invariant)),
+                        ("generated", Json::num(report.generated as f64)),
+                        ("blocked", Json::num(report.blocked as f64)),
+                        ("enlargements", Json::num(report.enlargements as f64)),
+                        ("iterations", Json::num(report.houdini_runs as f64)),
+                    ],
+                ))
+            }
             Command::Generalize => {
                 let inv = conjectures(&program, req)?;
                 let measures: Vec<Measure> = program
@@ -776,6 +799,7 @@ fn cmd_tag(cmd: Command) -> &'static str {
         Command::Verify => "verify",
         Command::Bmc => "bmc",
         Command::Houdini => "houdini",
+        Command::Infer => "infer",
         Command::Generalize => "generalize",
         Command::Status => "status",
         Command::Shutdown => "shutdown",

@@ -156,6 +156,11 @@ pub enum StopReason {
     InstanceBudget,
     /// Lazy equality repair hit its round limit.
     RepairLimit,
+    /// A counterexample survived projection to the program vocabulary
+    /// without falsifying any candidate, so candidate elimination cannot
+    /// make progress (e.g. the projection lost the interpretations that
+    /// witnessed the violation).
+    ProjectionLoss,
 }
 
 impl StopReason {
@@ -166,6 +171,7 @@ impl StopReason {
             StopReason::ConflictBudget => "conflicts",
             StopReason::InstanceBudget => "instances",
             StopReason::RepairLimit => "repair_limit",
+            StopReason::ProjectionLoss => "projection_loss",
         }
     }
 }
@@ -177,6 +183,9 @@ impl fmt::Display for StopReason {
             StopReason::ConflictBudget => write!(f, "conflict budget exhausted"),
             StopReason::InstanceBudget => write!(f, "instantiation budget exhausted"),
             StopReason::RepairLimit => write!(f, "equality repair round limit reached"),
+            StopReason::ProjectionLoss => {
+                write!(f, "counterexample projection falsified no candidate")
+            }
         }
     }
 }
