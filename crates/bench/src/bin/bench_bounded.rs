@@ -1,0 +1,108 @@
+//! Bounded-vs-full instantiation benchmark.
+//!
+//! For every bundled EPR protocol, verifies the known-good invariant
+//! under full instantiation and under `InstantiationMode::Bounded` at a
+//! sufficient depth, asserting the verdicts agree (zero divergence is
+//! the acceptance bar — for a stratified signature the bounded clause
+//! set at sufficient depth *is* the full clause set) and recording the
+//! bounded/full overhead. Then proves the non-EPR `two_phase` protocol,
+//! which full mode refuses, under its documented bound. Writes
+//! machine-readable results to `BENCH_bounded.json` (or the path given
+//! as the first argument). `--smoke` runs one sample per case for CI.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ivy_bench::{harness::measure, protocols};
+use ivy_core::{Oracle, Verifier};
+use ivy_epr::InstantiationMode;
+use ivy_protocols::two_phase;
+
+/// Deep enough that every stratified protocol's term universe closes
+/// below the bound (matches `crates/protocols/tests/bounded_diff.rs`).
+const SUFFICIENT_DEPTH: usize = 4;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn oracle(mode: InstantiationMode) -> Arc<Oracle> {
+    let mut o = Oracle::new();
+    o.set_mode(mode);
+    Arc::new(o)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let samples = if smoke { 1 } else { 3 };
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_bounded.json".to_string());
+
+    // Any disagreement panics, so a written file always has zero
+    // divergences — the field is the acceptance bar, not a tally.
+    let mut rows = String::new();
+    for entry in protocols() {
+        let program = &entry.program;
+        let invariant = &entry.invariant;
+        let mut times: Vec<(&str, f64)> = Vec::new();
+        for (key, mode) in [
+            ("full", InstantiationMode::Full),
+            ("bounded", InstantiationMode::Bounded(SUFFICIENT_DEPTH)),
+        ] {
+            let sample = measure(samples, || {
+                let v = Verifier::with_oracle(program, oracle(mode));
+                let r = v.check(invariant).expect("check succeeds");
+                assert!(
+                    r.is_inductive(),
+                    "{} [{mode:?}]: invariant must verify",
+                    entry.name
+                );
+            });
+            println!("{}/{key}: median {:?}", entry.name, sample.median);
+            times.push((key, secs(sample.median)));
+        }
+        let overhead = times[1].1 / times[0].1.max(1e-9);
+        let _ = writeln!(
+            rows,
+            "    {{\"protocol\": \"{}\", \"full_s\": {:.6}, \"bounded_s\": {:.6}, \
+             \"bounded_overhead\": {:.2}, \"verdicts_agree\": true}},",
+            entry.name, times[0].1, times[1].1, overhead,
+        );
+    }
+
+    // The non-EPR protocol: full mode must refuse it (that is the wall
+    // the bounded dial replaces), bounded mode must prove it.
+    let program = two_phase::program();
+    let invariant = two_phase::invariant();
+    let refused = Verifier::with_oracle(&program, oracle(InstantiationMode::Full))
+        .check(&invariant)
+        .is_err();
+    assert!(refused, "two_phase: full mode must refuse a non-EPR model");
+    let bound = two_phase::PROVE_BOUND;
+    let sample = measure(samples, || {
+        let v = Verifier::with_oracle(&program, oracle(InstantiationMode::Bounded(bound)));
+        let r = v.check(&invariant).expect("bounded check succeeds");
+        assert!(r.is_inductive(), "two_phase: bounded mode must prove");
+    });
+    println!("two_phase/bounded({bound}): median {:?}", sample.median);
+
+    let json = format!(
+        "{{\n  \"samples\": {samples},\n  \"sufficient_depth\": {SUFFICIENT_DEPTH},\n  \
+         \"divergences\": 0,\n  \"median_seconds\": [\n{}  ],\n  \
+         \"two_phase\": {{\"rejected_by_full\": {refused}, \"prove_bound\": {bound}, \
+         \"bounded_prove_s\": {:.6}}}\n}}\n",
+        rows.trim_end_matches(",\n").to_string() + "\n",
+        secs(sample.median),
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+}

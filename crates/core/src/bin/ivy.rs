@@ -30,6 +30,15 @@
 //! * `--jobs N` — worker threads for the parallel strategy, or racing
 //!   solver threads for the portfolio strategy (implies
 //!   `--strategy parallel` when given alone).
+//! * `--bound N` — bounded quantifier instantiation: ground terms are
+//!   built only to nesting depth N, which admits models *outside* the
+//!   EPR fragment (unstratified functions, `∀∃` alternations). UNSAT
+//!   results — `inductive`, `safe` — remain verdicts (the bounded
+//!   clause set is a subset of the full instantiation); a SAT answer
+//!   that leaned on the bound degrades to `unknown (instantiation
+//!   bound reached)` with exit code 3, never a wrong verdict. For
+//!   `serve` this sets the server-wide default bound; for `client` it
+//!   is forwarded as the request's `bound` field.
 //! * `--profile OUT.json` — write an `ivy-profile-v1` JSON report
 //!   (timing phases, query/grounding/SAT counters, cache hit rates; see
 //!   DESIGN.md §4e), including partial statistics on timeout.
@@ -45,9 +54,9 @@ use std::time::{Duration, Instant};
 use ivy_core::{
     houdini_with_oracle, Bmc, Conjecture, Inductiveness, Oracle, QueryStrategy, Verifier,
 };
-use ivy_epr::{Budget, EprError, QueryReport};
+use ivy_epr::{Budget, EprError, InstantiationMode, QueryReport};
 use ivy_fol::parse_formula;
-use ivy_rml::{check_program, parse_program, Program};
+use ivy_rml::{check_program, parse_program, CheckError, Program};
 use ivy_serve::{Client, Endpoint, Json, Listener, ServeConfig, Server};
 
 fn main() -> ExitCode {
@@ -86,6 +95,17 @@ fn main() -> ExitCode {
             return usage_error("--jobs expects a positive integer");
         }
     };
+    let bound_flag = match take_flag(&mut args, "--bound") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let bound = match bound_flag.as_deref().map(str::parse::<usize>) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => {
+            return usage_error("--bound expects a positive instantiation depth");
+        }
+    };
     let strategy = match strategy_flag.as_deref() {
         None => match jobs {
             Some(n) => QueryStrategy::Parallel(n),
@@ -118,7 +138,7 @@ fn main() -> ExitCode {
                 );
             }
             let default_timeout = timeout_secs.map(Duration::from_secs_f64);
-            return cmd_serve(&args[1..], strategy, default_timeout);
+            return cmd_serve(&args[1..], strategy, default_timeout, bound);
         }
         Some("client") => {
             if profile_path.is_some() {
@@ -127,20 +147,23 @@ fn main() -> ExitCode {
                 );
             }
             let timeout_ms = timeout_secs.map(|s| (s * 1e3).ceil() as u64);
-            return cmd_client(&args[1..], timeout_ms);
+            return cmd_client(&args[1..], timeout_ms, bound);
         }
         _ => {}
     }
     let mut oracle = Oracle::new();
     oracle.set_budget(budget);
     oracle.set_strategy(strategy);
+    if let Some(depth) = bound {
+        oracle.set_mode(InstantiationMode::Bounded(depth));
+    }
     let oracle = Arc::new(oracle);
     if profile_path.is_some() {
         ivy_telemetry::reset();
         ivy_telemetry::set_enabled(true);
     }
     let started = Instant::now();
-    let result = run(&args, &oracle);
+    let result = run(&args, &oracle, bound);
     let (code, verdict, stop) = match result {
         Ok((code, verdict)) => (code, verdict, None),
         Err(e) => match e.downcast_ref::<EprError>() {
@@ -224,7 +247,7 @@ fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     eprintln!(
         "usage: ivy <check|bmc|kinv|prove|cti|dot|houdini|infer|serve|client> MODEL.rml [args] \
          [--timeout SECS] [--strategy fresh|session|parallel|portfolio] [--jobs N] \
-         [--profile OUT.json]\n\
+         [--bound N] [--profile OUT.json]\n\
          ivy serve  --listen ADDR | --socket PATH [--workers N] [--queue N] \
          [--max-timeout SECS] [--max-instances N]\n\
          ivy client --connect ADDR|unix:PATH <prove|bmc|houdini|infer|generalize|status|shutdown> \
@@ -234,17 +257,58 @@ fn usage() -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     Ok((ExitCode::from(2), "usage"))
 }
 
-fn load(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
+/// Loads and validates a model, returning the program together with its
+/// *fragment* problems (unstratified functions, `∀∃`/`∃∀` alternations —
+/// exactly what `--bound N` tolerates). Hard problems — unknown symbols,
+/// sort errors, malformed updates — still refuse the model outright.
+fn load(path: &str) -> Result<(Program, Vec<CheckError>), Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(path)?;
     let program = parse_program(&src)?;
-    let problems = check_program(&program);
-    if !problems.is_empty() {
-        for p in &problems {
+    let (fragment, hard): (Vec<CheckError>, Vec<CheckError>) = check_program(&program)
+        .into_iter()
+        .partition(CheckError::is_fragment);
+    if !hard.is_empty() {
+        for p in &hard {
             eprintln!("validation: {p}");
         }
-        return Err(format!("{} validation problem(s)", problems.len()).into());
+        return Err(format!("{} validation problem(s)", hard.len()).into());
     }
-    Ok(program)
+    Ok((program, fragment))
+}
+
+/// `ivy check`'s fragment verdict: names the alternation cycle (via the
+/// stratification analysis, which identifies the function edges closing
+/// it) and any quantifier-alternation violations, without running a
+/// single query.
+fn print_fragment_report(program: &Program, fragment: &[CheckError], bound: Option<usize>) {
+    let strat = program.sig.analyze_stratification();
+    if strat.is_stratified() && fragment.is_empty() {
+        println!("fragment: EPR (stratified functions; full instantiation decides all queries)");
+        return;
+    }
+    if !strat.is_stratified() {
+        let cycle: Vec<String> = strat.cycle.iter().map(ToString::to_string).collect();
+        let edges: Vec<String> = strat.edges.iter().map(ToString::to_string).collect();
+        println!(
+            "fragment: outside EPR — sort cycle {} ({})",
+            cycle.join(" -> "),
+            edges.join("; ")
+        );
+    }
+    for p in fragment {
+        // The stratification line above already names the cycle in more
+        // detail than the validation problem restating it.
+        if !matches!(p, CheckError::NotStratified(_)) {
+            println!("fragment: {p}");
+        }
+    }
+    match bound {
+        Some(depth) => println!(
+            "fragment: bounded instantiation at depth {depth} applies \
+             (UNSAT-backed verdicts remain sound)"
+        ),
+        None => println!("fragment: use --bound N for bounded (sound-for-UNSAT) checking"),
+    }
 }
 
 fn load_invariant(
@@ -285,6 +349,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn run(
     args: &[String],
     oracle: &Arc<Oracle>,
+    bound: Option<usize>,
 ) -> Result<(ExitCode, &'static str), Box<dyn std::error::Error>> {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
@@ -299,7 +364,30 @@ fn run(
     let Some(model_path) = rest.first() else {
         return usage();
     };
-    let program = load(model_path)?;
+    let (program, fragment) = load(model_path)?;
+    // `check` is pure analysis — it reports fragment membership instead
+    // of refusing. Every querying command needs the fragment problems
+    // resolved: admitted under a bound (as notes), refused otherwise.
+    if cmd != "check" && !fragment.is_empty() {
+        match bound {
+            Some(depth) => {
+                for p in &fragment {
+                    eprintln!("note: outside EPR (admitted by --bound {depth}): {p}");
+                }
+            }
+            None => {
+                for p in &fragment {
+                    eprintln!("validation: {p}");
+                }
+                return Err(format!(
+                    "{} fragment violation(s); bounded instantiation \
+                     (--bound N) can still check this model",
+                    fragment.len()
+                )
+                .into());
+            }
+        }
+    }
     match cmd {
         "check" => {
             println!(
@@ -310,6 +398,7 @@ fn run(
                 program.axioms.len(),
                 program.safety.len()
             );
+            print_fragment_report(&program, &fragment, bound);
             Ok((ExitCode::SUCCESS, "ok"))
         }
         "bmc" => {
@@ -469,8 +558,9 @@ fn cmd_serve(
     rest: &[String],
     strategy: QueryStrategy,
     default_timeout: Option<Duration>,
+    default_bound: Option<usize>,
 ) -> ExitCode {
-    match serve_inner(rest, strategy, default_timeout) {
+    match serve_inner(rest, strategy, default_timeout, default_bound) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -483,6 +573,7 @@ fn serve_inner(
     rest: &[String],
     strategy: QueryStrategy,
     default_timeout: Option<Duration>,
+    default_bound: Option<usize>,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut rest = rest.to_vec();
     let listen = take_flag(&mut rest, "--listen")?;
@@ -505,6 +596,7 @@ fn serve_inner(
     let mut config = ServeConfig {
         strategy,
         default_timeout,
+        default_bound,
         ..ServeConfig::default()
     };
     if let Some(w) = workers {
@@ -554,8 +646,8 @@ fn serve_inner(
 /// shared filesystem. Exit codes mirror the one-shot CLI: 0 for
 /// favorable verdicts, 1 for counterexamples, 3 for budget exhaustion,
 /// 2 for everything else.
-fn cmd_client(rest: &[String], timeout_ms: Option<u64>) -> ExitCode {
-    match client_inner(rest, timeout_ms) {
+fn cmd_client(rest: &[String], timeout_ms: Option<u64>, bound: Option<usize>) -> ExitCode {
+    match client_inner(rest, timeout_ms, bound) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -567,6 +659,7 @@ fn cmd_client(rest: &[String], timeout_ms: Option<u64>) -> ExitCode {
 fn client_inner(
     rest: &[String],
     timeout_ms: Option<u64>,
+    bound: Option<usize>,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut rest = rest.to_vec();
     let connect = take_flag(&mut rest, "--connect")?
@@ -631,6 +724,9 @@ fn client_inner(
     }
     if let Some(mi) = max_instances {
         fields.push(("max_instances", Json::num(mi as f64)));
+    }
+    if let Some(depth) = bound {
+        fields.push(("bound", Json::num(depth as f64)));
     }
 
     let mut client = Client::connect(&Endpoint::parse(&connect))?;

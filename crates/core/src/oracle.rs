@@ -52,12 +52,12 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use ivy_epr::{
-    frame_fingerprint, Budget, EprCheck, EprError, EprOutcome, EprSession, GroupId, Model,
-    SolverConfig, DEFAULT_INSTANCE_LIMIT,
+    frame_fingerprint, frame_fingerprint_with_mode, Budget, EprCheck, EprError, EprOutcome,
+    EprSession, GroupId, InstantiationMode, Model, SolverConfig, DEFAULT_INSTANCE_LIMIT,
 };
 use ivy_fol::intern::FormulaId;
 use ivy_fol::Signature;
-use ivy_telemetry::{counter_add, OracleRollup, QueryReport};
+use ivy_telemetry::{counter_add, OracleRollup, QueryReport, StopReason};
 
 /// Extracts the SAT model of an outcome, mapping a budget-exhausted
 /// [`EprOutcome::Unknown`] to [`EprError::Inconclusive`] so callers can
@@ -139,6 +139,14 @@ impl Frame {
     pub fn fingerprint(&self) -> u64 {
         frame_fingerprint(&self.sig, &self.asserts)
     }
+
+    /// The fingerprint keyed additionally by an [`InstantiationMode`]:
+    /// bounded and full groundings of the same frame (and bounded
+    /// groundings at different depths) are distinct cache entries, so
+    /// pooled sessions are never shared across modes.
+    pub fn fingerprint_with_mode(&self, mode: InstantiationMode) -> u64 {
+        frame_fingerprint_with_mode(&self.sig, &self.asserts, mode)
+    }
 }
 
 /// The per-query part: labeled assertions conjoined with a frame for one
@@ -215,6 +223,7 @@ impl OracleShared {
 /// an empty pool and fresh telemetry.
 pub struct Oracle {
     strategy: QueryStrategy,
+    mode: InstantiationMode,
     budget: Budget,
     instance_limit: u64,
     lazy_round_limit: Option<usize>,
@@ -226,6 +235,7 @@ impl Clone for Oracle {
     fn clone(&self) -> Oracle {
         Oracle {
             strategy: self.strategy,
+            mode: self.mode,
             budget: self.budget,
             instance_limit: self.instance_limit,
             lazy_round_limit: self.lazy_round_limit,
@@ -259,6 +269,7 @@ impl Oracle {
     pub fn new() -> Oracle {
         Oracle {
             strategy: QueryStrategy::default(),
+            mode: InstantiationMode::default(),
             budget: Budget::UNLIMITED,
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             lazy_round_limit: None,
@@ -311,6 +322,22 @@ impl Oracle {
     /// The active query strategy.
     pub fn strategy(&self) -> QueryStrategy {
         self.strategy
+    }
+
+    /// Selects the [`InstantiationMode`] of every query.
+    /// [`InstantiationMode::Bounded`] admits unstratified signatures and
+    /// `∀∃` assertions; verdicts whose soundness depended on the bound
+    /// surface as [`EprError::Inconclusive`] with
+    /// [`StopReason::BoundReached`], never as a wrong answer. The mode is
+    /// part of the session-pool key, so bounded and full queries over the
+    /// same frame never share pooled state.
+    pub fn set_mode(&mut self, mode: InstantiationMode) {
+        self.mode = mode;
+    }
+
+    /// The active instantiation mode.
+    pub fn mode(&self) -> InstantiationMode {
+        self.mode
     }
 
     /// Installs a resource budget applied to every query. Exceeding it
@@ -375,11 +402,29 @@ impl Oracle {
     ///
     /// Propagates [`EprError`].
     pub fn solve(&self, frame: &Frame, goal: &Goal) -> Result<EprOutcome, EprError> {
-        match self.strategy {
+        let result = match self.strategy {
             QueryStrategy::Session | QueryStrategy::Portfolio(_) => {
                 self.open(frame)?.solve_goal(goal)
             }
             _ => self.fresh_goal(frame, goal),
+        };
+        result.map_err(|e| self.soften(e))
+    }
+
+    /// In bounded mode every resource refusal is best-effort by contract:
+    /// an instantiation-budget overflow degrades to
+    /// [`EprError::Inconclusive`] (with [`StopReason::InstanceBudget`])
+    /// like any other exhausted bound, instead of surfacing as a hard
+    /// error. Full mode keeps [`EprError::TooManyInstances`] as an error —
+    /// the query should be restructured. Applied at the oracle's *public*
+    /// boundaries only: the internal recycled-session rebuild logic needs
+    /// to see the raw error.
+    fn soften(&self, e: EprError) -> EprError {
+        match e {
+            EprError::TooManyInstances { .. } if self.mode.is_bounded() => {
+                EprError::Inconclusive(StopReason::InstanceBudget)
+            }
+            e => e,
         }
     }
 
@@ -405,11 +450,11 @@ impl Oracle {
         G: Fn(usize) -> Goal + Sync,
         W: Fn(usize, &Model) -> T + Sync,
     {
-        match self.strategy {
+        let result = match self.strategy {
             QueryStrategy::Parallel(threads) => parallel_first(threads, count, |i| {
                 Ok(sat_model(self.fresh_goal(frame, &goal(i))?)?.map(|m| witness(i, &m)))
             }),
-            QueryStrategy::Session | QueryStrategy::Portfolio(_) => {
+            QueryStrategy::Session | QueryStrategy::Portfolio(_) => (|| {
                 let mut h = self.open(frame)?;
                 for i in 0..count {
                     if let Some(m) = sat_model(h.solve_goal(&goal(i))?)? {
@@ -417,16 +462,17 @@ impl Oracle {
                     }
                 }
                 Ok(None)
-            }
-            QueryStrategy::Fresh => {
+            })(),
+            QueryStrategy::Fresh => (|| {
                 for i in 0..count {
                     if let Some(m) = sat_model(self.fresh_goal(frame, &goal(i))?)? {
                         return Ok(Some(witness(i, &m)));
                     }
                 }
                 Ok(None)
-            }
-        }
+            })(),
+        };
+        result.map_err(|e| self.soften(e))
     }
 
     /// Like [`Oracle::first_sat`], but each query may probe a *different*
@@ -448,12 +494,12 @@ impl Oracle {
         P: Fn(usize) -> (&'f Frame, Goal) + Sync,
         W: Fn(usize, &Model) -> T + Sync,
     {
-        match self.strategy {
+        let result = match self.strategy {
             QueryStrategy::Parallel(threads) => parallel_first(threads, count, |i| {
                 let (frame, goal) = probe(i);
                 Ok(sat_model(self.fresh_goal(frame, &goal)?)?.map(|m| witness(i, &m)))
             }),
-            _ => {
+            _ => (|| {
                 for i in 0..count {
                     let (frame, goal) = probe(i);
                     if let Some(m) = sat_model(self.solve(frame, &goal)?)? {
@@ -461,8 +507,9 @@ impl Oracle {
                     }
                 }
                 Ok(None)
-            }
-        }
+            })(),
+        };
+        result.map_err(|e| self.soften(e))
     }
 
     /// Opens a handle for a *stateful* query family over one frame: the
@@ -476,11 +523,11 @@ impl Oracle {
     ///
     /// Propagates [`EprError`] from grounding the frame.
     pub fn open(&self, frame: &Frame) -> Result<FrameSession<'_>, EprError> {
-        let key = frame.fingerprint();
+        let key = frame.fingerprint_with_mode(self.mode);
         let live = match self.strategy {
             QueryStrategy::Fresh => None,
             _ => {
-                let (session, reused) = self.checkout(frame, key)?;
+                let (session, reused) = self.checkout(frame, key).map_err(|e| self.soften(e))?;
                 Some(LiveState {
                     session,
                     map: Vec::new(),
@@ -525,7 +572,7 @@ impl Oracle {
         goal: &Goal,
         round_limit: Option<usize>,
     ) -> Result<EprOutcome, EprError> {
-        let mut q = EprCheck::new(frame.sig())?;
+        let mut q = EprCheck::with_mode(frame.sig(), self.mode)?;
         q.set_instance_limit(self.instance_limit);
         q.set_budget(self.budget);
         q.set_lazy_round_limit(round_limit);
@@ -587,7 +634,7 @@ impl Oracle {
         key: u64,
         round_limit: Option<usize>,
     ) -> Result<EprSession, EprError> {
-        let mut s = EprSession::new(frame.sig())?;
+        let mut s = EprSession::with_mode(frame.sig(), self.mode)?;
         s.set_frame_key(key);
         s.set_instance_limit(self.instance_limit);
         s.set_budget(self.budget);
@@ -704,7 +751,7 @@ impl FrameSession<'_> {
         });
         if let Err(e) = self.live_assert_last() {
             self.groups.pop();
-            return Err(e);
+            return Err(self.oracle.soften(e));
         }
         Ok(FrameGroup(self.groups.len() - 1))
     }
@@ -756,19 +803,19 @@ impl FrameSession<'_> {
     ///
     /// Propagates [`EprError`].
     pub fn solve_goal(&mut self, goal: &Goal) -> Result<EprOutcome, EprError> {
-        if self.live.is_none() {
-            return self
-                .oracle
-                .fresh_outcome(&self.frame, &self.groups, goal, self.round_limit);
-        }
-        let reused = self.live.as_ref().is_some_and(|l| l.reused);
-        match self.try_goal_live(goal) {
-            Err(EprError::TooManyInstances { .. }) if reused => {
-                self.rebuild_live()?;
-                self.try_goal_live(goal)
+        let result = if self.live.is_none() {
+            self.oracle
+                .fresh_outcome(&self.frame, &self.groups, goal, self.round_limit)
+        } else {
+            let reused = self.live.as_ref().is_some_and(|l| l.reused);
+            match self.try_goal_live(goal) {
+                Err(EprError::TooManyInstances { .. }) if reused => {
+                    self.rebuild_live().and_then(|()| self.try_goal_live(goal))
+                }
+                other => other,
             }
-            other => other,
-        }
+        };
+        result.map_err(|e| self.oracle.soften(e))
     }
 
     /// One query on the live session. Goal groups are always retired
@@ -1054,6 +1101,97 @@ mod tests {
         let rollup = oracle.rollup();
         assert_eq!(rollup.sessions_built, 1);
         assert_eq!(rollup.frame_hits, 1);
+    }
+
+    #[test]
+    fn bounded_and_full_modes_never_share_pooled_sessions() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        assert_ne!(
+            frame.fingerprint(),
+            frame.fingerprint_with_mode(InstantiationMode::Bounded(2))
+        );
+        let goal = Goal::new("g", fid("r(a)"));
+        let oracle = Oracle::new();
+        oracle.solve(&frame, &goal).unwrap();
+        // A bounded view over the same shared pool must ground its own
+        // session rather than reuse the full-mode one.
+        let mut bounded = oracle.view();
+        bounded.set_mode(InstantiationMode::Bounded(3));
+        bounded.solve(&frame, &goal).unwrap();
+        let rollup = oracle.rollup();
+        assert_eq!(rollup.sessions_built, 2);
+        assert_eq!(rollup.frame_misses, 2);
+        // Each mode reuses its *own* pooled session on the next query.
+        oracle.solve(&frame, &goal).unwrap();
+        bounded.solve(&frame, &goal).unwrap();
+        assert_eq!(oracle.rollup().sessions_built, 2);
+    }
+
+    #[test]
+    fn bounded_mode_solves_unstratified_frames() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s. r(X)"));
+        let mut oracle = Oracle::new();
+        // Full mode refuses the signature outright.
+        assert!(matches!(
+            oracle.solve(&frame, &Goal::new("g", fid("r(a)"))),
+            Err(EprError::Sig(_))
+        ));
+        oracle.set_mode(InstantiationMode::Bounded(2));
+        for strategy in [QueryStrategy::Fresh, QueryStrategy::Session] {
+            oracle.set_strategy(strategy);
+            // UNSAT is a verdict even under a live (truncating) bound.
+            let unsat = oracle
+                .solve(&frame, &Goal::new("g", fid("exists X:s. ~r(X)")))
+                .unwrap();
+            assert!(matches!(unsat, EprOutcome::Unsat(_)), "{strategy:?}");
+            // SAT degrades to Unknown(BoundReached): the `next` closure is
+            // infinite, so the bound is always load-bearing here.
+            let sat = oracle.solve(&frame, &Goal::new("g", fid("r(a)"))).unwrap();
+            assert!(
+                matches!(sat, EprOutcome::Unknown(StopReason::BoundReached)),
+                "{strategy:?}: {}",
+                sat.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_mode_softens_instance_overflow_to_inconclusive() {
+        let sig = sig();
+        let mut frame = Frame::new(&sig);
+        frame.push("base", fid("forall X:s, Y:s, Z:s. r(X) | r(Y) | r(Z)"));
+        let goal = Goal::new("g", fid("exists X:s, Y:s. r(X) & r(Y) & X ~= Y"));
+        for strategy in [QueryStrategy::Fresh, QueryStrategy::Session] {
+            let mut oracle = Oracle::new();
+            oracle.set_strategy(strategy);
+            oracle.set_instance_limit(1);
+            // Full mode: a hard error the caller must restructure around.
+            assert!(
+                matches!(
+                    oracle.solve(&frame, &goal),
+                    Err(EprError::TooManyInstances { .. })
+                ),
+                "{strategy:?}"
+            );
+            // Bounded mode: best-effort by contract, so the overflow is
+            // inconclusive like any other exhausted bound.
+            oracle.set_mode(InstantiationMode::Bounded(2));
+            assert!(
+                matches!(
+                    oracle.solve(&frame, &goal),
+                    Err(EprError::Inconclusive(StopReason::InstanceBudget))
+                ),
+                "{strategy:?}"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,59 @@ use crate::ground::{ensure_inhabited, TermTable};
 /// query's grounding explodes.
 pub const DEFAULT_INSTANCE_LIMIT: u64 = 4_000_000;
 
+/// How universal quantifiers are instantiated over the ground universe.
+///
+/// [`Full`](InstantiationMode::Full) is the classical EPR pipeline: the
+/// signature must be stratified and every assertion `∃*∀*`, the term
+/// universe is the (finite) closure under all functions, and both SAT and
+/// UNSAT are verdicts.
+///
+/// [`Bounded`](InstantiationMode::Bounded) relaxes both preconditions:
+/// unstratified signatures and `∀∃` alternations (Skolemized to genuine
+/// functions) are admitted, but ground terms are only built up to the given
+/// nesting depth and instantiations that would mention deeper terms are
+/// skipped. The bounded clause set is a *subset* of the full ground
+/// instantiation, so by Herbrand's theorem UNSAT answers remain verdicts;
+/// a SAT answer while the bound was load-bearing (the universe was
+/// truncated or any instantiation was skipped) degrades to
+/// [`EprOutcome::Unknown`] with [`StopReason::BoundReached`]. When the
+/// closure happens to fit entirely under the bound, nothing was cut and
+/// SAT is genuine too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstantiationMode {
+    /// Complete instantiation over the closed universe (requires the
+    /// stratified `∃*∀*` fragment). The default.
+    #[default]
+    Full,
+    /// Instantiate only ground terms of function-nesting depth at most the
+    /// given bound. Admits non-stratified signatures and `∀∃` assertions.
+    Bounded(usize),
+}
+
+impl InstantiationMode {
+    /// The depth bound, if any.
+    pub fn depth(&self) -> Option<usize> {
+        match self {
+            InstantiationMode::Full => None,
+            InstantiationMode::Bounded(d) => Some(*d),
+        }
+    }
+
+    /// Whether this is a bounded mode.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, InstantiationMode::Bounded(_))
+    }
+}
+
+impl fmt::Display for InstantiationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiationMode::Full => write!(f, "full"),
+            InstantiationMode::Bounded(d) => write!(f, "bounded({d})"),
+        }
+    }
+}
+
 /// Errors from the EPR check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EprError {
@@ -275,6 +328,7 @@ impl GroundStats {
 #[derive(Clone, Debug)]
 pub struct EprCheck {
     sig: Signature,
+    mode: InstantiationMode,
     assertions: Vec<(String, FormulaId)>,
     instance_limit: u64,
     equality_mode: EqualityMode,
@@ -286,16 +340,35 @@ pub struct EprCheck {
 }
 
 impl EprCheck {
-    /// Creates a query over `sig`.
+    /// Creates a query over `sig` in [`InstantiationMode::Full`].
     ///
     /// # Errors
     ///
     /// Returns [`EprError::Sig`] if the signature's functions are not
-    /// stratified — the decidability precondition of Section 3.3.
+    /// stratified — the decidability precondition of Section 3.3. The error
+    /// names the offending sort cycle and the function edges inducing it;
+    /// [`EprCheck::with_mode`] with [`InstantiationMode::Bounded`] admits
+    /// such signatures.
     pub fn new(sig: &Signature) -> Result<EprCheck, EprError> {
-        sig.stratification()?;
+        EprCheck::with_mode(sig, InstantiationMode::Full)
+    }
+
+    /// Creates a query over `sig` with an explicit [`InstantiationMode`].
+    ///
+    /// # Errors
+    ///
+    /// In [`InstantiationMode::Full`], returns [`EprError::Sig`] for
+    /// unstratified signatures. [`InstantiationMode::Bounded`] accepts any
+    /// signature — fragment membership becomes a per-query analysis that
+    /// decides how much the bound ends up mattering, not a constructor
+    /// error.
+    pub fn with_mode(sig: &Signature, mode: InstantiationMode) -> Result<EprCheck, EprError> {
+        if !mode.is_bounded() {
+            sig.stratification()?;
+        }
         Ok(EprCheck {
             sig: sig.clone(),
+            mode,
             assertions: Vec::new(),
             instance_limit: DEFAULT_INSTANCE_LIMIT,
             equality_mode: EqualityMode::default(),
@@ -305,6 +378,11 @@ impl EprCheck {
             stats: GroundStats::default(),
             report: QueryReport::default(),
         })
+    }
+
+    /// The instantiation mode this query runs under.
+    pub fn mode(&self) -> InstantiationMode {
+        self.mode
     }
 
     /// Sets the SAT solver configuration (feature toggles, portfolio
@@ -455,6 +533,15 @@ impl EprCheck {
         drop(sat_span);
         let outcome = match result {
             Err(reason) => EprOutcome::Unknown(reason),
+            // A bounded SAT is only a verdict when nothing was cut: if the
+            // universe was truncated or an instantiation skipped, the model
+            // satisfies a strict subset of the full ground problem and may
+            // not extend — degrade to Unknown. (UNSAT always stands: the
+            // bounded clauses are a subset of the full instantiation.)
+            // `extract_structure` also relies on the closure being complete.
+            Ok(SolveResult::Sat) if enc.table().truncated() || enc.skipped_instances() > 0 => {
+                EprOutcome::Unknown(StopReason::BoundReached)
+            }
             Ok(SolveResult::Sat) => {
                 let structure = extract_structure(&enc, &work_sig);
                 EprOutcome::Sat(Box::new(Model { structure }))
@@ -534,7 +621,16 @@ impl EprCheck {
                 );
                 let mut jobs = Vec::new();
                 for piece in pieces {
-                    let sk = it.skolemize(piece, &mut work_sig)?;
+                    // Bounded mode tolerates ∀∃ nesting: existentials under
+                    // universals Skolemize to genuine functions, whose
+                    // applications the bounded universe only unrolls up to
+                    // the depth bound.
+                    let sk = match self.mode {
+                        InstantiationMode::Full => it.skolemize(piece, &mut work_sig)?,
+                        InstantiationMode::Bounded(_) => {
+                            it.skolemize_bounded(piece, &mut work_sig)?
+                        }
+                    };
                     let bindings: Vec<Binding> = sk
                         .universal
                         .prefix
@@ -566,7 +662,10 @@ impl EprCheck {
             Ok(())
         })?;
         ensure_inhabited(&mut work_sig);
-        let table = TermTable::build(&work_sig);
+        let table = match self.mode {
+            InstantiationMode::Full => TermTable::build(&work_sig),
+            InstantiationMode::Bounded(depth) => TermTable::build_bounded(&work_sig, depth),
+        };
         // Estimate and enforce the instantiation budget.
         let mut estimated: u64 = 0;
         for (_, jobs) in &ground_jobs {
@@ -592,6 +691,7 @@ impl EprCheck {
         drop(ground_span);
         let encode_span = Span::enter("encode");
         let mut enc = Encoder::new(table);
+        enc.set_bound(self.mode.depth());
         // The config must be live *during* encoding (`flat_cnf` gates the
         // clausal fast path), not just at solve time.
         enc.solver_mut().set_config(self.solver_config);
@@ -968,6 +1068,92 @@ mod tests {
         sig.add_sort("s").unwrap();
         sig.add_function("next", ["s"], "s").unwrap();
         assert!(matches!(EprCheck::new(&sig), Err(EprError::Sig(_))));
+    }
+
+    #[test]
+    fn bounded_mode_admits_unstratified_signature() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        // Full mode refuses at construction; bounded mode proceeds, and an
+        // UNSAT answer is a verdict even though the universe is truncated.
+        assert!(EprCheck::new(&sig).is_err());
+        let mut q = EprCheck::with_mode(&sig, InstantiationMode::Bounded(2)).unwrap();
+        q.assert_labeled("absurd", &parse_formula("exists X:s. X ~= X").unwrap())
+            .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Unsat(core) => assert_eq!(core, vec!["absurd".to_string()]),
+            other => panic!("expected unsat, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn bounded_mode_degrades_sat_under_live_bound() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        // `next` makes the closure infinite, so any bound truncates; a SAT
+        // answer is then only about a strict subset of the ground problem.
+        let mut q = EprCheck::with_mode(&sig, InstantiationMode::Bounded(2)).unwrap();
+        q.assert_labeled("trivial", &parse_formula("exists X:s. X = X").unwrap())
+            .unwrap();
+        assert!(matches!(
+            q.check().unwrap(),
+            EprOutcome::Unknown(StopReason::BoundReached)
+        ));
+    }
+
+    #[test]
+    fn bounded_mode_keeps_genuine_sat_when_closure_fits() {
+        // A stratified signature whose closure fits under the bound: nothing
+        // is cut, so SAT stays a verdict with a real model.
+        let sig = order_sig();
+        let mut q = EprCheck::with_mode(&sig, InstantiationMode::Bounded(4)).unwrap();
+        q.assert_labeled(
+            "pair",
+            &parse_formula("exists X:id, Y:id. le(X, Y) & X ~= Y").unwrap(),
+        )
+        .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Sat(model) => {
+                assert!(model.structure.domain_size(&Sort::new("id")) >= 2);
+            }
+            other => panic!("expected sat, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn bounded_mode_proves_ae_contradiction() {
+        // ∀∃ assertion Skolemizes to a function sk : id -> id; together with
+        // an ∃∀ witness of an le-maximal element it is UNSAT, and depth 1
+        // already holds the witnessing term sk(c).
+        let sig = order_sig();
+        let mut full = EprCheck::new(&sig).unwrap();
+        full.assert_labeled(
+            "succ",
+            &parse_formula("forall X:id. exists Y:id. le(X, Y) & X ~= Y").unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(full.check(), Err(EprError::Skolem(_))));
+
+        let mut q = EprCheck::with_mode(&sig, InstantiationMode::Bounded(1)).unwrap();
+        q.assert_labeled(
+            "succ",
+            &parse_formula("forall X:id. exists Y:id. le(X, Y) & X ~= Y").unwrap(),
+        )
+        .unwrap();
+        q.assert_labeled(
+            "max",
+            &parse_formula("exists X:id. forall Y:id. le(X, Y) -> X = Y").unwrap(),
+        )
+        .unwrap();
+        match q.check().unwrap() {
+            EprOutcome::Unsat(core) => {
+                assert!(core.contains(&"succ".to_string()), "core: {core:?}");
+                assert!(core.contains(&"max".to_string()), "core: {core:?}");
+            }
+            other => panic!("expected unsat, got {}", other.tag()),
+        }
     }
 
     #[test]

@@ -255,7 +255,7 @@ fn flatten_cnf(n: &TNode, neg: bool) -> Option<FlatCnf> {
 /// subterm shared five times across the matrix is evaluated once per ground
 /// tuple instead of five times — and the boolean skeleton becomes a
 /// [`TNode`] tree mirroring the matrix exactly. Replaying a template
-/// ([`Encoder::encode_template`]) makes the *same* `rel_var`/`eq_lit`/gate
+/// ([`Encoder::assert_template`]) makes the *same* `rel_var`/`eq_lit`/gate
 /// *variable* allocations in the same DFS order as the tree encoder, so
 /// atom and gate numbering is unchanged; gate *clauses* are the
 /// Plaisted–Greenbaum subset for the gate's static polarity (roots are
@@ -504,6 +504,15 @@ pub struct Encoder {
     atom_hits: u64,
     /// Ground-atom cache misses (fresh variable allocations).
     atom_misses: u64,
+    /// Instantiation depth bound, when the encoder runs in bounded mode.
+    /// `None` (full mode) keeps the closed-universe invariant: applications
+    /// outside the universe are pipeline bugs and panic. `Some(d)` makes
+    /// them expected — the whole ground instance is skipped and counted.
+    bound: Option<usize>,
+    /// Ground instances skipped because a term fell outside the bounded
+    /// universe (bounded mode only). Nonzero means the bound was
+    /// load-bearing for instantiation.
+    skipped: u64,
 }
 
 /// Outcome of [`Encoder::solve_lazy_with`], distinguishing the ways the
@@ -550,7 +559,30 @@ impl Encoder {
             scratch_clause: Vec::new(),
             atom_hits: 0,
             atom_misses: 0,
+            bound: None,
+            skipped: 0,
         }
+    }
+
+    /// Puts the encoder in bounded-instantiation mode with the given term
+    /// depth (or back in full mode with `None`). In bounded mode a template
+    /// instance whose terms fall outside the (truncated) universe is skipped
+    /// atomically — no partial clauses — and counted in
+    /// [`Encoder::skipped_instances`]; universe extensions go through
+    /// [`TermTable::extend_bounded`].
+    pub fn set_bound(&mut self, bound: Option<usize>) {
+        self.bound = bound;
+    }
+
+    /// The depth bound set by [`Encoder::set_bound`], if any.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Ground instances skipped because the depth bound truncated the
+    /// universe (cumulative; always 0 in full mode).
+    pub fn skipped_instances(&self) -> u64 {
+        self.skipped
     }
 
     /// `(hits, misses)` of the ground-atom/equality-variable caches,
@@ -569,9 +601,13 @@ impl Encoder {
     /// term count before the extension. Existing term ids, atoms, equality
     /// variables and clauses are unaffected — incremental sessions use the
     /// returned watermark to instantiate persistent universals over the
-    /// delta only.
+    /// delta only. In bounded mode the closure is cut at the depth bound
+    /// (see [`TermTable::extend_bounded`]).
     pub fn extend_universe(&mut self, sig: &Signature) -> usize {
-        self.table.extend(sig)
+        match self.bound {
+            Some(d) => self.table.extend_bounded(sig, d),
+            None => self.table.extend(sig),
+        }
     }
 
     /// A literal that is always true.
@@ -713,26 +749,17 @@ impl Encoder {
     /// polarity-pruned Plaisted–Greenbaum subset (the template root is used
     /// positively, under a guard).
     ///
-    /// # Panics
-    ///
-    /// Panics on applications outside the closed universe (an internal
-    /// invariant).
-    pub(crate) fn encode_template(&mut self, tpl: &Template, env: &[TermId]) -> Lit {
-        let mut vals = std::mem::take(&mut self.scratch_vals);
-        self.eval_steps(tpl, env, &mut vals);
-        let out = self.encode_tnode(&tpl.root, &vals, Polarity::Pos);
-        self.scratch_vals = vals;
-        out
-    }
-
     /// Evaluates the template's ground-term step list under `env` into
-    /// `vals` (cleared first).
+    /// `vals` (cleared first). Returns `false` when an application falls
+    /// outside the universe in bounded mode — the caller must then skip the
+    /// instance (nothing has been emitted; step evaluation allocates no
+    /// solver state).
     ///
     /// # Panics
     ///
-    /// Panics on applications outside the closed universe (an internal
-    /// invariant).
-    fn eval_steps(&self, tpl: &Template, env: &[TermId], vals: &mut Vec<TermId>) {
+    /// In full mode, panics on applications outside the closed universe (an
+    /// internal invariant).
+    fn eval_steps(&self, tpl: &Template, env: &[TermId], vals: &mut Vec<TermId>) -> bool {
         vals.clear();
         vals.reserve(tpl.steps.len());
         for step in &tpl.steps {
@@ -740,13 +767,16 @@ impl Encoder {
                 TStep::Var(i) => env[*i],
                 TStep::App(f, args) => {
                     let a: Vec<TermId> = args.iter().map(|&j| vals[j]).collect();
-                    self.table
-                        .get_owned(*f, a)
-                        .unwrap_or_else(|| panic!("application of {f} outside closed universe"))
+                    match self.table.get_owned(*f, a) {
+                        Some(id) => id,
+                        None if self.bound.is_some() => return false,
+                        None => panic!("application of {f} outside closed universe"),
+                    }
                 }
             };
             vals.push(v);
         }
+        true
     }
 
     /// Asserts `guard → matrix[env]` for one ground tuple.
@@ -756,16 +786,26 @@ impl Encoder {
     /// clause-by-clause as `¬guard ∨ lits` with no Tseitin gates at all,
     /// which keeps the SAT variable count proportional to the number of
     /// distinct ground *atoms* rather than ground *instantiations*.
-    /// Everything else falls back to [`Encoder::encode_template`] plus a
+    /// Everything else gets a Plaisted–Greenbaum gate tree plus a
     /// two-literal root clause.
+    ///
+    /// In bounded mode, an instance whose terms fall outside the truncated
+    /// universe is skipped *atomically* — all steps are evaluated before any
+    /// clause or variable is emitted — and counted in
+    /// [`Encoder::skipped_instances`].
     pub(crate) fn assert_template(&mut self, tpl: &Template, env: &[TermId], guard: Lit) {
+        let mut vals = std::mem::take(&mut self.scratch_vals);
+        if !self.eval_steps(tpl, env, &mut vals) {
+            self.scratch_vals = vals;
+            self.skipped += 1;
+            return;
+        }
         let Some(cnf) = tpl.cnf.as_ref().filter(|_| self.solver.config().flat_cnf) else {
-            let root = self.encode_template(tpl, env);
+            let root = self.encode_tnode(&tpl.root, &vals, Polarity::Pos);
+            self.scratch_vals = vals;
             self.add_clause([!guard, root]);
             return;
         };
-        let mut vals = std::mem::take(&mut self.scratch_vals);
-        self.eval_steps(tpl, env, &mut vals);
         let mut lits = std::mem::take(&mut self.scratch_clause);
         for clause in cnf {
             lits.clear();

@@ -25,12 +25,23 @@ pub struct GroundTerm {
 
 /// The finite Herbrand universe of a signature: every ground term, grouped
 /// by sort.
+///
+/// With an unstratified signature the full universe is infinite; the
+/// bounded constructors ([`TermTable::build_bounded`] /
+/// [`TermTable::extend_bounded`]) cut the closure at a term-depth bound
+/// and record that truncation happened ([`TermTable::truncated`]), which
+/// the bounded-instantiation pipeline uses to tell genuine SAT models from
+/// artifacts of the bound.
 #[derive(Clone, Debug, Default)]
 pub struct TermTable {
     terms: Vec<GroundTerm>,
     sorts: Vec<Sort>,
+    /// Term depth per id: constants are 0, applications `1 + max(args)`.
+    depths: Vec<usize>,
     index: HashMap<GroundTerm, TermId>,
     by_sort: BTreeMap<Sort, Vec<TermId>>,
+    /// Whether some ground term was skipped for exceeding a depth bound.
+    truncated: bool,
 }
 
 impl TermTable {
@@ -51,6 +62,17 @@ impl TermTable {
         table
     }
 
+    /// Builds the ground-term universe of `sig` cut at term depth `depth`
+    /// (constants are depth 0, so `depth = 0` admits only constants). The
+    /// signature need *not* be stratified: the depth bound makes the
+    /// closure finite regardless. [`TermTable::truncated`] reports whether
+    /// any term was left out.
+    pub fn build_bounded(sig: &Signature, depth: usize) -> TermTable {
+        let mut table = TermTable::default();
+        table.extend_bounded(sig, depth);
+        table
+    }
+
     /// Extends the universe in place with every ground term of `sig` not yet
     /// present: newly declared constants (typically Skolem constants from a
     /// later query of an incremental session) and the function closure over
@@ -65,6 +87,15 @@ impl TermTable {
     pub fn extend(&mut self, sig: &Signature) -> usize {
         sig.stratification()
             .expect("TermTable requires a stratified signature");
+        self.extend_bounded(sig, usize::MAX)
+    }
+
+    /// [`TermTable::extend`] with the function closure cut at term depth
+    /// `depth`; sets the [`TermTable::truncated`] flag when any application
+    /// is skipped for exceeding the bound. Terminates for *any* signature:
+    /// with finitely many symbols there are finitely many terms of bounded
+    /// depth.
+    pub fn extend_bounded(&mut self, sig: &Signature, depth: usize) -> usize {
         let old_len = self.terms.len();
         // Seed with constants.
         for (name, sort) in sig.constants() {
@@ -74,6 +105,7 @@ impl TermTable {
                     args: Vec::new(),
                 },
                 *sort,
+                0,
             );
         }
         // Close under functions: repeat until no new terms appear. Each pass
@@ -99,9 +131,19 @@ impl TermTable {
                     tuples = next;
                 }
                 for args in tuples {
+                    let d = args
+                        .iter()
+                        .map(|&a| self.depths[a])
+                        .max()
+                        .unwrap_or(0)
+                        .saturating_add(1);
+                    if d > depth {
+                        self.truncated = true;
+                        continue;
+                    }
                     let gt = GroundTerm { sym: *name, args };
                     if !self.index.contains_key(&gt) {
-                        self.intern(gt, decl.ret);
+                        self.intern(gt, decl.ret, d);
                         added = true;
                     }
                 }
@@ -113,13 +155,21 @@ impl TermTable {
         old_len
     }
 
-    fn intern(&mut self, gt: GroundTerm, sort: Sort) -> TermId {
+    /// Whether some ground term was skipped for exceeding a depth bound —
+    /// i.e. whether the bound was *load-bearing* for universe construction.
+    /// Sticky across extensions.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    fn intern(&mut self, gt: GroundTerm, sort: Sort, depth: usize) -> TermId {
         if let Some(&id) = self.index.get(&gt) {
             return id;
         }
         let id = self.terms.len();
         self.terms.push(gt.clone());
         self.sorts.push(sort);
+        self.depths.push(depth);
         self.index.insert(gt, id);
         self.by_sort.entry(sort).or_default().push(id);
         id
@@ -211,10 +261,14 @@ pub fn ensure_inhabited(sig: &mut Signature) -> Vec<(Sym, Sort)> {
         // Seed one still-empty sort (if any) and re-propagate. Prefer the
         // *largest* sort in the stratification order: functions map larger
         // sorts to smaller ones, so seeding high lets propagation fill the
-        // sorts below without redundant constants.
+        // sorts below without redundant constants. Unstratified signatures
+        // (bounded mode) have no such order; declaration order works — the
+        // heuristic only saves redundant constants, inhabitation itself
+        // needs any still-empty sort seeded.
         let order = sig
-            .stratification()
-            .expect("caller validated stratification");
+            .analyze_stratification()
+            .order
+            .unwrap_or_else(|| sig.sorts().to_vec());
         let Some(sort) = order.into_iter().rev().find(|s| !inhabited[s]) else {
             break;
         };
@@ -304,6 +358,48 @@ mod tests {
     fn ensure_inhabited_noop_when_populated() {
         let mut sig = leader_sig();
         assert!(ensure_inhabited(&mut sig).is_empty());
+    }
+
+    #[test]
+    fn bounded_universe_cuts_unstratified_closure() {
+        // next : s -> s is unstratified; the full closure would diverge.
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        sig.add_constant("zero", "s").unwrap();
+        let table = TermTable::build_bounded(&sig, 2);
+        // zero, next(zero), next(next(zero)).
+        assert_eq!(table.len(), 3);
+        assert!(table.truncated());
+        let zero = table.get(&Sym::new("zero"), &[]).unwrap();
+        let one = table.get(&Sym::new("next"), &[zero]).unwrap();
+        assert!(table.get(&Sym::new("next"), &[one]).is_some());
+        // Depth 0 admits constants only.
+        let table = TermTable::build_bounded(&sig, 0);
+        assert_eq!(table.len(), 1);
+        assert!(table.truncated());
+    }
+
+    #[test]
+    fn bounded_universe_not_truncated_when_closure_fits() {
+        // Stratified signature whose closure sits within the bound: the
+        // bounded build must match the full build and report no truncation.
+        let sig = leader_sig();
+        let full = TermTable::build(&sig);
+        let bounded = TermTable::build_bounded(&sig, 8);
+        assert_eq!(bounded.len(), full.len());
+        assert!(!bounded.truncated());
+        assert!(!full.truncated());
+    }
+
+    #[test]
+    fn ensure_inhabited_tolerates_unstratified_signatures() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_sort("t").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        let added = ensure_inhabited(&mut sig);
+        assert_eq!(added.len(), 2, "both empty sorts get seeded");
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! UNSAT core over assertion labels, which powers Ivy's
 //! *BMC + Auto Generalize*.
 //!
+//! Fragment membership is a *dial*, not a wall: [`InstantiationMode::Bounded`]
+//! admits unstratified signatures and `∀∃` alternations (Skolemized to real
+//! functions) by building ground terms only up to a nesting depth. The
+//! bounded clause set is a subset of the full instantiation, so UNSAT stays
+//! a verdict; SAT while the bound was load-bearing degrades to
+//! [`EprOutcome::Unknown`] with [`StopReason::BoundReached`].
+//!
 //! # Example
 //!
 //! ```
@@ -34,9 +41,11 @@ pub mod encode;
 pub mod ground;
 pub mod session;
 
-pub use check::{EprCheck, EprError, EprOutcome, GroundStats, Model, DEFAULT_INSTANCE_LIMIT};
+pub use check::{
+    EprCheck, EprError, EprOutcome, GroundStats, InstantiationMode, Model, DEFAULT_INSTANCE_LIMIT,
+};
 pub use encode::{Encoder, EqualityMode, LazyResult};
 pub use ground::{ensure_inhabited, GroundTerm, TermId, TermTable};
 pub use ivy_sat::SolverConfig;
 pub use ivy_telemetry::{Budget, QueryReport, StopReason};
-pub use session::{frame_fingerprint, EprSession, GroupId};
+pub use session::{frame_fingerprint, frame_fingerprint_with_mode, EprSession, GroupId};

@@ -38,7 +38,7 @@ use ivy_telemetry::{Budget, QueryReport, Span, StopReason};
 
 use crate::check::{
     extract_structure, instantiate_delta, split_for_grounding, EprError, EprOutcome, GroundJob,
-    GroundStats, Model, DEFAULT_INSTANCE_LIMIT,
+    GroundStats, InstantiationMode, Model, DEFAULT_INSTANCE_LIMIT,
 };
 use crate::encode::{Encoder, LazyResult, Template};
 use crate::ground::{ensure_inhabited, TermTable};
@@ -50,8 +50,21 @@ use crate::ground::{ensure_inhabited, TermTable};
 /// key of the solver-oracle layer in `ivy-core`; it is only meaningful
 /// within one process (interned ids and hashes are process-local).
 pub fn frame_fingerprint(sig: &Signature, asserts: &[(String, FormulaId)]) -> u64 {
+    frame_fingerprint_with_mode(sig, asserts, InstantiationMode::Full)
+}
+
+/// [`frame_fingerprint`] keyed additionally by the [`InstantiationMode`]:
+/// a bounded session grounds a different (smaller) universe and clause set
+/// than a full one, and two bounded sessions at different depths differ
+/// too, so pooled sessions must never be shared across modes.
+pub fn frame_fingerprint_with_mode(
+    sig: &Signature,
+    asserts: &[(String, FormulaId)],
+    mode: InstantiationMode,
+) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
+    mode.hash(&mut h);
     for s in sig.sorts() {
         s.hash(&mut h);
     }
@@ -113,6 +126,7 @@ struct Group {
 /// ```
 pub struct EprSession {
     work_sig: Signature,
+    mode: InstantiationMode,
     enc: Encoder,
     guard_counter: usize,
     groups: Vec<Group>,
@@ -135,22 +149,44 @@ pub struct EprSession {
 }
 
 impl EprSession {
-    /// Opens a session over `sig`.
+    /// Opens a session over `sig` in [`InstantiationMode::Full`].
     ///
     /// # Errors
     ///
     /// Returns [`EprError::Sig`] if the signature's functions are not
-    /// stratified.
+    /// stratified. [`EprSession::with_mode`] with
+    /// [`InstantiationMode::Bounded`] admits such signatures.
     pub fn new(sig: &Signature) -> Result<EprSession, EprError> {
-        sig.stratification()?;
+        EprSession::with_mode(sig, InstantiationMode::Full)
+    }
+
+    /// Opens a session over `sig` with an explicit [`InstantiationMode`].
+    ///
+    /// # Errors
+    ///
+    /// In [`InstantiationMode::Full`], returns [`EprError::Sig`] for
+    /// unstratified signatures; [`InstantiationMode::Bounded`] accepts any
+    /// signature and any `∀∃` alternation in later groups, at the price of
+    /// SAT answers degrading to [`EprOutcome::Unknown`] whenever the bound
+    /// actually cut something.
+    pub fn with_mode(sig: &Signature, mode: InstantiationMode) -> Result<EprSession, EprError> {
+        if !mode.is_bounded() {
+            sig.stratification()?;
+        }
         let mut work_sig = sig.clone();
         // Inhabit every sort up front; later Skolem constants only grow
         // domains, which preserves EPR satisfiability.
         ensure_inhabited(&mut work_sig);
-        let table = TermTable::build(&work_sig);
+        let table = match mode {
+            InstantiationMode::Full => TermTable::build(&work_sig),
+            InstantiationMode::Bounded(depth) => TermTable::build_bounded(&work_sig, depth),
+        };
+        let mut enc = Encoder::new(table);
+        enc.set_bound(mode.depth());
         Ok(EprSession {
             work_sig,
-            enc: Encoder::new(table),
+            mode,
+            enc,
             guard_counter: 0,
             groups: Vec::new(),
             instance_limit: DEFAULT_INSTANCE_LIMIT,
@@ -173,6 +209,11 @@ impl EprSession {
     /// The frame fingerprint set by [`EprSession::set_frame_key`], if any.
     pub fn frame_key(&self) -> Option<u64> {
         self.frame_key
+    }
+
+    /// The instantiation mode this session runs under.
+    pub fn mode(&self) -> InstantiationMode {
+        self.mode
     }
 
     /// Applies a resource [`Budget`]. A deadline or conflict cap that trips
@@ -335,8 +376,23 @@ impl EprSession {
                 );
                 for piece in pieces {
                     let mut scratch = staged_sig.clone();
-                    let sk = it.skolemize(piece, &mut scratch)?;
+                    let sk = match self.mode {
+                        InstantiationMode::Full => it.skolemize(piece, &mut scratch)?,
+                        InstantiationMode::Bounded(_) => {
+                            it.skolemize_bounded(piece, &mut scratch)?
+                        }
+                    };
                     let mut matrix = sk.universal.matrix;
+                    // Skolem *functions* (∀∃ nesting, bounded mode only) are
+                    // never pooled: unlike a retired constant, a function's
+                    // interpretation is constrained per argument tuple, and
+                    // reusing its name under a different matrix would alias
+                    // unrelated witnesses. They simply join the signature.
+                    for (name, args, ret) in &sk.functions {
+                        staged_sig
+                            .add_function(*name, args.clone(), *ret)
+                            .expect("skolemize_bounded picked a fresh name");
+                    }
                     for (name, sort) in sk.constants {
                         match self.skolem_pool.get_mut(&sort).and_then(Vec::pop) {
                             Some(pooled) => {
@@ -391,7 +447,10 @@ impl EprSession {
         // until the group is admitted: the new group in full, plus every
         // live group's delta.
         let mut preview = self.enc.table().clone();
-        let watermark = preview.extend(&staged_sig);
+        let watermark = match self.mode {
+            InstantiationMode::Full => preview.extend(&staged_sig),
+            InstantiationMode::Bounded(depth) => preview.extend_bounded(&staged_sig, depth),
+        };
         let mut estimated = self.instances;
         for job in &jobs {
             estimated = estimated.saturating_add(count_tuples(&preview, job, 0));
@@ -528,6 +587,14 @@ impl EprSession {
             }
             LazyResult::Deadline => EprOutcome::Unknown(StopReason::DeadlineExceeded),
             LazyResult::Conflicts => EprOutcome::Unknown(StopReason::ConflictBudget),
+            // A bounded SAT only stands when the bound never cut anything
+            // over the whole session (truncation is sticky and skips are
+            // cumulative): the assignment satisfies a subset of the full
+            // ground problem, and `extract_structure`'s closed-universe
+            // invariant would not hold either.
+            LazyResult::Sat if self.enc.table().truncated() || self.enc.skipped_instances() > 0 => {
+                EprOutcome::Unknown(StopReason::BoundReached)
+            }
             LazyResult::Sat => {
                 let structure = extract_structure(&self.enc, &self.work_sig);
                 EprOutcome::Sat(Box::new(Model { structure }))
@@ -772,6 +839,118 @@ mod tests {
     fn empty_session_is_sat() {
         let mut session = EprSession::new(&sig_rs()).unwrap();
         assert!(session.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn bounded_session_admits_unstratified_signature() {
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("r", ["s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        sig.add_function("next", ["s"], "s").unwrap();
+        assert!(EprSession::new(&sig).is_err());
+        let mut session = EprSession::with_mode(&sig, InstantiationMode::Bounded(2)).unwrap();
+        // SAT under a live bound (the `next` closure is infinite, so any
+        // bound truncates) degrades to Unknown.
+        session
+            .assert_labeled("some_r", &parse_formula("r(a)").unwrap())
+            .unwrap();
+        match session.check().unwrap() {
+            EprOutcome::Unknown(StopReason::BoundReached) => {}
+            other => panic!("expected BoundReached, got {}", other.tag()),
+        }
+        // UNSAT is still a verdict on the very same session.
+        session
+            .assert_labeled("no_r", &parse_formula("~r(a)").unwrap())
+            .unwrap();
+        match session.check().unwrap() {
+            EprOutcome::Unsat(core) => {
+                assert!(core.contains(&"some_r".to_string()), "{core:?}");
+                assert!(core.contains(&"no_r".to_string()), "{core:?}");
+            }
+            other => panic!("expected unsat, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn bounded_session_handles_ae_groups() {
+        // ∀∃ in a group Skolemizes to a function; the frame's universal
+        // must still refute a later contradictory witness.
+        let mut sig = Signature::new();
+        sig.add_sort("s").unwrap();
+        sig.add_relation("le", ["s", "s"]).unwrap();
+        sig.add_constant("a", "s").unwrap();
+        let mut session = EprSession::with_mode(&sig, InstantiationMode::Bounded(2)).unwrap();
+        session
+            .assert_labeled(
+                "succ",
+                &parse_formula("forall X:s. exists Y:s. le(X, Y) & X ~= Y").unwrap(),
+            )
+            .unwrap();
+        let g = session
+            .assert_labeled(
+                "max",
+                &parse_formula("exists X:s. forall Y:s. le(X, Y) -> X = Y").unwrap(),
+            )
+            .unwrap();
+        match session.check().unwrap() {
+            EprOutcome::Unsat(core) => {
+                assert!(core.contains(&"succ".to_string()), "{core:?}");
+                assert!(core.contains(&"max".to_string()), "{core:?}");
+            }
+            other => panic!("expected unsat, got {}", other.tag()),
+        }
+        // Retiring the witness leaves a satisfiable-but-truncated frame:
+        // Unknown, never a spurious verdict.
+        session.retire(g);
+        match session.check().unwrap() {
+            EprOutcome::Unknown(StopReason::BoundReached) => {}
+            other => panic!("expected BoundReached, got {}", other.tag()),
+        }
+    }
+
+    #[test]
+    fn bounded_session_matches_full_when_closure_fits() {
+        // A function-free frame: the bounded universe equals the full one,
+        // so the bound is never load-bearing and verdicts are identical.
+        let sig = sig_rs();
+        let frame = parse_formula("forall X:s. r(X) | X = a").unwrap();
+        let queries = ["exists X:s. ~r(X) & X ~= a", "exists X:s. ~r(X)"];
+        let mut bounded = EprSession::with_mode(&sig, InstantiationMode::Bounded(3)).unwrap();
+        let mut full = EprSession::new(&sig).unwrap();
+        bounded.assert_labeled("frame", &frame).unwrap();
+        full.assert_labeled("frame", &frame).unwrap();
+        for q in queries {
+            let f = parse_formula(q).unwrap();
+            let gb = bounded.assert_labeled("violation", &f).unwrap();
+            let gf = full.assert_labeled("violation", &f).unwrap();
+            let (b, r) = (bounded.check().unwrap(), full.check().unwrap());
+            assert_eq!(b.is_sat(), r.is_sat(), "query `{q}`");
+            assert_eq!(b.tag(), r.tag(), "query `{q}`");
+            bounded.retire(gb);
+            full.retire(gf);
+        }
+    }
+
+    #[test]
+    fn fingerprint_keyed_by_mode() {
+        let sig = sig_rs();
+        let asserts: Vec<(String, FormulaId)> = vec![(
+            "inv".to_string(),
+            Interner::with(|it| it.intern(&parse_formula("forall X:s. r(X)").unwrap())),
+        )];
+        let full = frame_fingerprint(&sig, &asserts);
+        let b2 = frame_fingerprint_with_mode(&sig, &asserts, InstantiationMode::Bounded(2));
+        let b3 = frame_fingerprint_with_mode(&sig, &asserts, InstantiationMode::Bounded(3));
+        assert_ne!(
+            full, b2,
+            "bounded and full frames must never share sessions"
+        );
+        assert_ne!(b2, b3, "different depths ground different clause sets");
+        assert_eq!(
+            full,
+            frame_fingerprint_with_mode(&sig, &asserts, InstantiationMode::Full)
+        );
     }
 
     /// A session loaded with a ground pigeonhole instance (`n` pigeons into

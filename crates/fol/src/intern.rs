@@ -128,6 +128,13 @@ pub struct SkolemizedI {
     pub universal: PrenexI,
     /// Fresh Skolem constants introduced, with their sorts.
     pub constants: Vec<(Sym, Sort)>,
+    /// Fresh Skolem *functions* introduced for existentials under
+    /// universals, as `(name, argument sorts, result sort)`. Always empty
+    /// for [`Interner::skolemize`]; only
+    /// [`Interner::skolemize_bounded`] emits them (they generally break
+    /// stratification, which is exactly what the bounded-instantiation
+    /// pipeline tolerates).
+    pub functions: Vec<(Sym, Vec<Sort>, Sort)>,
 }
 
 struct TermData {
@@ -1933,7 +1940,15 @@ impl Interner {
             return Err(SkolemError::OpenFormula(*v));
         }
         if !self.is_ea_sentence(f) {
-            return Err(SkolemError::NotEA);
+            // Cold path: materialize the tree once to name the offending
+            // quantifier pair in the diagnostic.
+            let tree = self.resolve(f);
+            let (universal, existential) = crate::xform::ae_alternation(&tree)
+                .expect("non-EA sentence has an alternation witness");
+            return Err(SkolemError::NotEA {
+                universal,
+                existential,
+            });
         }
         let p = self.prenex(f);
         debug_assert!(p.is_ea(), "∃-first merge must realize the EA prefix");
@@ -1963,6 +1978,75 @@ impl Interner {
                 matrix,
             },
             constants,
+            functions: Vec::new(),
+        })
+    }
+
+    /// Skolemizes a closed sentence of *any* quantifier prefix: outermost
+    /// existentials become constants as in [`Interner::skolemize`], while an
+    /// existential under `n` universals becomes a fresh Skolem *function* of
+    /// those `n` universally bound variables, registered into `sig`. The
+    /// resulting signature is generally **not** stratified (e.g. `∀X:s. ∃Y:s`
+    /// yields `sk : s -> s`), so the result is only usable by the
+    /// bounded-instantiation pipeline, which grounds function applications up
+    /// to a depth bound instead of relying on a finite closed universe.
+    ///
+    /// # Errors
+    ///
+    /// [`SkolemError::OpenFormula`] if the sentence has free variables. The
+    /// `NotEA` case cannot occur.
+    pub fn skolemize_bounded(
+        &mut self,
+        f: FormulaId,
+        sig: &mut Signature,
+    ) -> Result<SkolemizedI, SkolemError> {
+        if let Some(v) = self.formulas[f.index()].free.iter().next() {
+            return Err(SkolemError::OpenFormula(*v));
+        }
+        let p = self.prenex(f);
+        let mut constants = Vec::new();
+        let mut functions = Vec::new();
+        let mut matrix = p.matrix;
+        let mut universal_prefix = Vec::new();
+        let mut universals: Vec<Binding> = Vec::new();
+        for block in p.prefix {
+            match block {
+                Block::Exists(bs) => {
+                    let mut map = BTreeMap::new();
+                    for b in bs {
+                        let name = fresh_constant_name(sig, b.var.as_str());
+                        if universals.is_empty() {
+                            sig.add_constant(name, b.sort)
+                                .expect("fresh name cannot clash");
+                            let c = self.cst(name);
+                            map.insert(b.var, c);
+                            constants.push((name, b.sort));
+                        } else {
+                            let arg_sorts: Vec<Sort> = universals.iter().map(|u| u.sort).collect();
+                            sig.add_function(name, arg_sorts.clone(), b.sort)
+                                .expect("fresh name cannot clash");
+                            let args: Vec<TermId> =
+                                universals.iter().map(|u| self.var(u.var)).collect();
+                            let t = self.app(name, args);
+                            map.insert(b.var, t);
+                            functions.push((name, arg_sorts, b.sort));
+                        }
+                    }
+                    matrix = self.subst_vars(matrix, &map);
+                }
+                Block::Forall(bs) => {
+                    universals.extend(bs.iter().cloned());
+                    universal_prefix.push(Block::Forall(bs));
+                }
+            }
+        }
+        Ok(SkolemizedI {
+            universal: PrenexI {
+                prefix: universal_prefix,
+                matrix,
+            },
+            constants,
+            functions,
         })
     }
 }

@@ -52,11 +52,11 @@ pub use formula::{Binding, Formula, SortError};
 pub use intern::{FormulaId, FormulaNode, Interner, PrenexI, SkolemizedI, TermId, TermNode};
 pub use parser::{parse_formula, parse_formula_prefix, parse_term, parse_term_prefix, ParseError};
 pub use partial::{Fact, PartialStructure};
-pub use sig::{FuncDecl, SigError, Signature};
+pub use sig::{FuncDecl, SigError, Signature, StratEdge, Stratification};
 pub use structure::{Elem, EvalError, Structure};
 pub use sym::{Sort, Sym};
 pub use term::Term;
 pub use xform::{
-    eliminate_ite, is_ae_sentence, is_ea_sentence, nnf, prenex, skolemize, Block, Prenex,
-    SkolemError, Skolemized,
+    ae_alternation, eliminate_ite, is_ae_sentence, is_ea_sentence, nnf, prenex, skolemize, Block,
+    Prenex, SkolemError, Skolemized,
 };

@@ -33,6 +33,48 @@ impl FuncDecl {
     }
 }
 
+/// One function edge of the stratification graph: `function` forces
+/// `ret` strictly below `arg`. A cycle of such edges is what breaks
+/// stratification, and naming the edges (not just the sorts) tells the
+/// user *which declarations* to change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StratEdge {
+    /// The function symbol inducing the constraint.
+    pub function: Sym,
+    /// The argument sort the result must sit strictly below.
+    pub arg: Sort,
+    /// The result sort.
+    pub ret: Sort,
+}
+
+impl fmt::Display for StratEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` forces {} < {}", self.function, self.ret, self.arg)
+    }
+}
+
+/// Result of the stratification *analysis* (as opposed to the pass/fail
+/// check of [`Signature::stratification`]): either a witnessing sort order,
+/// or the offending cycle together with the function edges that close it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stratification {
+    /// A witnessing total order (smallest first) when stratified.
+    pub order: Option<Vec<Sort>>,
+    /// A sort cycle witnessing the violation (first sort repeated at the
+    /// end), empty when stratified.
+    pub cycle: Vec<Sort>,
+    /// For each consecutive cycle pair `(a, b)`, one function edge forcing
+    /// `a < b`; empty when stratified.
+    pub edges: Vec<StratEdge>,
+}
+
+impl Stratification {
+    /// Whether the signature is stratified.
+    pub fn is_stratified(&self) -> bool {
+        self.order.is_some()
+    }
+}
+
 /// Errors raised while building or validating a [`Signature`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SigError {
@@ -44,8 +86,14 @@ pub enum SigError {
     UnknownSort(Sort),
     /// The function symbols cannot be stratified (Section 3.1): the
     /// "result sort strictly below argument sorts" requirement is cyclic.
-    /// Carries one cycle of sorts witnessing the violation.
-    NotStratified(Vec<Sort>),
+    /// Carries one cycle of sorts witnessing the violation plus the
+    /// function edges that close it.
+    NotStratified {
+        /// The offending sort cycle (first sort repeated at the end).
+        cycle: Vec<Sort>,
+        /// One witnessing function edge per consecutive cycle pair.
+        edges: Vec<StratEdge>,
+    },
 }
 
 impl fmt::Display for SigError {
@@ -54,13 +102,23 @@ impl fmt::Display for SigError {
             SigError::DuplicateSort(s) => write!(f, "duplicate sort `{s}`"),
             SigError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
             SigError::UnknownSort(s) => write!(f, "unknown sort `{s}`"),
-            SigError::NotStratified(cycle) => {
+            SigError::NotStratified { cycle, edges } => {
                 write!(f, "function symbols are not stratified; sort cycle: ")?;
                 for (i, s) in cycle.iter().enumerate() {
                     if i > 0 {
                         write!(f, " -> ")?;
                     }
                     write!(f, "{s}")?;
+                }
+                if !edges.is_empty() {
+                    write!(f, " (")?;
+                    for (i, e) in edges.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
                 }
                 Ok(())
             }
@@ -243,6 +301,22 @@ impl Signature {
     /// exists (e.g. a function from `node` to `id` and another from `id` to
     /// `node`, or any function whose result sort appears among its arguments).
     pub fn stratification(&self) -> Result<Vec<Sort>, SigError> {
+        let analysis = self.analyze_stratification();
+        match analysis.order {
+            Some(order) => Ok(order),
+            None => Err(SigError::NotStratified {
+                cycle: analysis.cycle,
+                edges: analysis.edges,
+            }),
+        }
+    }
+
+    /// Stratification as an *analysis result* rather than a pass/fail error:
+    /// always returns, carrying either a witnessing order or the offending
+    /// sort cycle plus the function edges that close it. This is what lets
+    /// the bounded-instantiation pipeline treat fragment membership as data
+    /// (report it, route around it) instead of a constructor-time wall.
+    pub fn analyze_stratification(&self) -> Stratification {
         // Edge s -> t means "s must be strictly below t": for f : ...t... -> s.
         let mut below: BTreeMap<&Sort, BTreeSet<&Sort>> = BTreeMap::new();
         for s in &self.sorts {
@@ -285,9 +359,13 @@ impl Signature {
             }
         }
         if order.len() == self.sorts.len() {
-            return Ok(order);
+            return Stratification {
+                order: Some(order),
+                cycle: Vec::new(),
+                edges: Vec::new(),
+            };
         }
-        // Find a cycle among unprocessed sorts for the error message.
+        // Find a cycle among unprocessed sorts for the diagnostic.
         let remaining: BTreeSet<&Sort> = indegree
             .iter()
             .filter(|(_, d)| **d > 0)
@@ -308,7 +386,35 @@ impl Signature {
             cycle.push(*(*next));
             cur = next;
         }
-        Err(SigError::NotStratified(cycle))
+        // Trim the lead-in: the walk may enter the cycle after a few steps;
+        // keep only the looping suffix so every consecutive pair is a real
+        // edge of the cycle.
+        let back = *cycle.last().expect("cycle is nonempty");
+        if let Some(pos) = cycle.iter().position(|s| *s == back) {
+            cycle.drain(..pos);
+        }
+        // Name a witnessing function per cycle edge (a, b): some `f` with
+        // result sort `a` taking an argument of sort `b`.
+        let edges = cycle
+            .windows(2)
+            .filter_map(|w| {
+                let (a, b) = (w[0], w[1]);
+                self.funs.iter().find_map(|(name, decl)| {
+                    (!decl.is_constant() && decl.ret == a && decl.args.contains(&b)).then_some(
+                        StratEdge {
+                            function: *name,
+                            arg: b,
+                            ret: a,
+                        },
+                    )
+                })
+            })
+            .collect();
+        Stratification {
+            order: None,
+            cycle,
+            edges,
+        }
     }
 }
 
@@ -346,7 +452,13 @@ mod tests {
         sig.add_function("f", ["a"], "b").unwrap();
         sig.add_function("g", ["b"], "a").unwrap();
         match sig.stratification() {
-            Err(SigError::NotStratified(cycle)) => assert!(cycle.len() >= 2),
+            Err(SigError::NotStratified { cycle, edges }) => {
+                assert!(cycle.len() >= 2);
+                // Every cycle edge names a witnessing function.
+                assert_eq!(edges.len(), cycle.len() - 1);
+                let names: Vec<&str> = edges.iter().map(|e| e.function.as_str()).collect();
+                assert!(names.contains(&"f") && names.contains(&"g"), "{names:?}");
+            }
             other => panic!("expected stratification failure, got {other:?}"),
         }
     }
@@ -356,10 +468,31 @@ mod tests {
         let mut sig = Signature::new();
         sig.add_sort("s").unwrap();
         sig.add_function("next", ["s"], "s").unwrap();
-        assert!(matches!(
-            sig.stratification(),
-            Err(SigError::NotStratified(_))
-        ));
+        match sig.stratification() {
+            Err(e @ SigError::NotStratified { .. }) => {
+                let msg = e.to_string();
+                assert!(msg.contains("next"), "diagnostic must name the edge: {msg}");
+                assert!(msg.contains("s -> s"), "{msg}");
+            }
+            other => panic!("expected stratification failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analysis_reports_order_or_cycle() {
+        let sig = leader_sig();
+        let a = sig.analyze_stratification();
+        assert!(a.is_stratified());
+        assert!(a.cycle.is_empty() && a.edges.is_empty());
+
+        let mut bad = Signature::new();
+        bad.add_sort("epoch").unwrap();
+        bad.add_function("next", ["epoch"], "epoch").unwrap();
+        let a = bad.analyze_stratification();
+        assert!(!a.is_stratified());
+        assert_eq!(a.cycle.first(), a.cycle.last());
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].function.as_str(), "next");
     }
 
     #[test]

@@ -308,23 +308,62 @@ pub fn is_ae_sentence(f: &Formula) -> bool {
     is_ea_sentence(&Formula::not(f.clone()))
 }
 
+/// Finds one ∀∃ alternation witness in `f` (after NNF): an existential
+/// binding in the scope of a universal binding. `None` iff `f` is in the
+/// `∃*∀*` fragment — this is [`is_ea_sentence`] upgraded from a boolean to
+/// a diagnostic, naming the exact quantifier pair Skolemization would have
+/// to turn into a function symbol.
+pub fn ae_alternation(f: &Formula) -> Option<(Binding, Binding)> {
+    fn walk(f: &Formula, outer: Option<&Binding>) -> Option<(Binding, Binding)> {
+        match f {
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().find_map(|g| walk(g, outer)),
+            Formula::Forall(bs, g) => walk(g, bs.first().or(outer)),
+            Formula::Exists(bs, g) => match outer {
+                Some(u) => {
+                    let e = bs.first().expect("quantifier blocks are nonempty");
+                    Some((u.clone(), e.clone()))
+                }
+                None => walk(g, None),
+            },
+            _ => None,
+        }
+    }
+    walk(&nnf(f), None)
+}
+
 /// Errors from Skolemization.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SkolemError {
     /// The formula has a free logical variable; only sentences Skolemize.
     OpenFormula(Sym),
     /// An `exists` occurs under a `forall`; Skolemization would need a
-    /// function symbol, leaving the decidable fragment.
-    NotEA,
+    /// function symbol, leaving the decidable fragment. Carries the
+    /// witnessing quantifier pair.
+    NotEA {
+        /// The governing universal binding.
+        universal: Binding,
+        /// The existential binding in its scope.
+        existential: Binding,
+    },
 }
 
 impl std::fmt::Display for SkolemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SkolemError::OpenFormula(v) => write!(f, "cannot Skolemize open formula (free `{v}`)"),
-            SkolemError::NotEA => write!(
+            SkolemError::NotEA {
+                universal,
+                existential,
+            } => write!(
                 f,
-                "formula is not in the ∃*∀* fragment; Skolemization would need function symbols"
+                "formula is not in the ∃*∀* fragment: `exists {}:{}` under `forall {}:{}` \
+                 would Skolemize to a function {} -> {}",
+                existential.var,
+                existential.sort,
+                universal.var,
+                universal.sort,
+                universal.sort,
+                existential.sort
             ),
         }
     }
@@ -353,8 +392,11 @@ pub fn skolemize(f: &Formula, sig: &mut Signature) -> Result<Skolemized, SkolemE
     if let Some(v) = f.free_vars().into_iter().next() {
         return Err(SkolemError::OpenFormula(v));
     }
-    if !is_ea_sentence(f) {
-        return Err(SkolemError::NotEA);
+    if let Some((universal, existential)) = ae_alternation(f) {
+        return Err(SkolemError::NotEA {
+            universal,
+            existential,
+        });
     }
     let p = prenex(f);
     debug_assert!(p.is_ea(), "∃-first merge must realize the EA prefix");
@@ -566,7 +608,29 @@ mod tests {
         sig.add_sort("s").unwrap();
         sig.add_relation("r", ["s", "s"]).unwrap();
         let f = parse_formula("forall X:s. exists Y:s. r(X, Y)").unwrap();
-        assert_eq!(skolemize(&f, &mut sig).unwrap_err(), SkolemError::NotEA);
+        match skolemize(&f, &mut sig).unwrap_err() {
+            SkolemError::NotEA {
+                universal,
+                existential,
+            } => {
+                assert_eq!(universal.var.as_str(), "X");
+                assert_eq!(existential.var.as_str(), "Y");
+            }
+            other => panic!("expected NotEA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ae_alternation_names_the_pair() {
+        // Alternation hidden under negation: ~(exists X. forall Y. ...) is
+        // ∀∃ after NNF.
+        let f = parse_formula("~(exists X:s. forall Y:s. r(X, Y))").unwrap();
+        let (u, e) = ae_alternation(&f).expect("alternation after NNF");
+        assert_eq!(u.var.as_str(), "X");
+        assert_eq!(e.var.as_str(), "Y");
+        // EA sentences have no witness.
+        let ok = parse_formula("exists X:s. forall Y:s. r(X, Y)").unwrap();
+        assert!(ae_alternation(&ok).is_none());
     }
 
     #[test]

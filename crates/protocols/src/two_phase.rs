@@ -1,0 +1,150 @@
+//! Epoch-based two-phase commit — a deliberately *non-EPR* protocol.
+//!
+//! `next : epoch -> epoch` breaks stratification (the sort cycle is
+//! `epoch -> epoch`, closed by `next` itself), and the invariant's
+//! abort-witness clause `C3` is a genuine `∀∃` formula. Full
+//! instantiation refuses the model with a cycle-naming diagnostic;
+//! bounded instantiation ([`ivy_epr::InstantiationMode::Bounded`])
+//! proves the invariant inductive at depth 2 — every inductiveness
+//! query is refuted within a shallow term universe, and refutations
+//! under a bound are sound (the bounded clause set is a subset of the
+//! full instantiation).
+
+use ivy_core::Conjecture;
+use ivy_fol::parse_formula;
+use ivy_rml::{check_program, parse_program, Program};
+
+/// The RML source text.
+pub const SOURCE: &str = include_str!("../rml/two_phase.rml");
+
+/// Parses the protocol model. Unlike the EPR protocols, validation is
+/// expected to report *fragment* problems (the `next` stratification
+/// cycle) — those are tolerated; anything harder is a build bug.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse or has non-fragment
+/// validation problems (a build bug).
+pub fn program() -> Program {
+    let p = parse_program(SOURCE).expect("two_phase.rml parses");
+    let hard: Vec<_> = check_program(&p)
+        .into_iter()
+        .filter(|e| !e.is_fragment())
+        .collect();
+    assert!(hard.is_empty(), "two_phase.rml validates: {hard:?}");
+    p
+}
+
+/// Clauses of the inductive invariant (machine-checked under bounded
+/// instantiation): `C0` is safety; `C1` makes votes and refusals
+/// exclusive; `C2`–`C4` tie decisions to the ballot; `C5`–`C6` justify
+/// applied decisions. `C3` is the `∀∃` clause — every aborted round has
+/// a refusing witness — and it is load-bearing: `decide_commit` has no
+/// `~abort(cur)` guard, so `C4`'s preservation needs the witness.
+pub const CLAUSES: &[(&str, &str)] = &[
+    (
+        "C0",
+        "forall N1:node, N2:node, E:epoch. ~(committed(N1, E) & aborted(N2, E))",
+    ),
+    (
+        "C1",
+        "forall N:node, E:epoch. ~(voted(N, E) & refused(N, E))",
+    ),
+    ("C2", "forall N:node, E:epoch. ~(go(E) & refused(N, E))"),
+    (
+        "C3",
+        "forall E:epoch. cancel(E) -> (exists N:node. refused(N, E))",
+    ),
+    ("C4", "forall E:epoch. ~(go(E) & cancel(E))"),
+    ("C5", "forall N:node, E:epoch. committed(N, E) -> go(E)"),
+    ("C6", "forall N:node, E:epoch. aborted(N, E) -> cancel(E)"),
+];
+
+/// The invariant as [`Conjecture`]s.
+///
+/// # Panics
+///
+/// Panics if an embedded formula fails to parse (a build bug).
+pub fn invariant() -> Vec<Conjecture> {
+    CLAUSES
+        .iter()
+        .map(|(name, src)| Conjecture::new(*name, parse_formula(src).expect("clause parses")))
+        .collect()
+}
+
+/// The instantiation depth at which the invariant proves: deep enough
+/// for the Skolem witness `sk(E)` of `C3` and one `next` application.
+pub const PROVE_BOUND: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivy_core::{Oracle, Verifier};
+    use ivy_epr::{EprError, InstantiationMode, StopReason};
+    use std::sync::Arc;
+
+    fn bounded_oracle(depth: usize) -> Arc<Oracle> {
+        let mut oracle = Oracle::new();
+        oracle.set_mode(InstantiationMode::Bounded(depth));
+        Arc::new(oracle)
+    }
+
+    #[test]
+    fn model_is_outside_epr_but_only_by_fragment_problems() {
+        let p = program();
+        let problems = check_program(&p);
+        assert!(
+            !problems.is_empty(),
+            "two_phase is supposed to sit outside EPR"
+        );
+        assert!(problems.iter().all(|e| e.is_fragment()));
+        // The diagnostic names the cycle-closing function.
+        let strat = p.sig.analyze_stratification();
+        assert!(!strat.is_stratified());
+        assert!(strat.edges.iter().any(|e| e.function.as_str() == "next"));
+    }
+
+    #[test]
+    fn full_mode_refuses_with_a_cycle_naming_diagnostic() {
+        let p = program();
+        let v = Verifier::new(&p);
+        let err = v.check(&invariant()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not stratified") && msg.contains("epoch"),
+            "expected a cycle-naming stratification error, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn invariant_is_inductive_under_bounded_instantiation() {
+        let p = program();
+        let v = Verifier::with_oracle(&p, bounded_oracle(PROVE_BOUND));
+        let result = v.check(&invariant()).unwrap();
+        if let ivy_core::Inductiveness::Cti(cti) = &result {
+            panic!("CTI: {}\nstate: {}", cti.violation, cti.state);
+        }
+    }
+
+    #[test]
+    fn deeper_bound_cross_checks_the_verdict() {
+        let p = program();
+        let v = Verifier::with_oracle(&p, bounded_oracle(PROVE_BOUND + 1));
+        assert!(v.check(&invariant()).unwrap().is_inductive());
+    }
+
+    #[test]
+    fn dropping_the_witness_clause_degrades_to_unknown_not_a_verdict() {
+        // Without C3 the bounded check cannot refute a commit of an
+        // aborted round; the residual SAT answer leaned on the bound
+        // (the epoch universe is truncated by `next`), so the engine
+        // must answer Inconclusive — not "inductive", and not a CTI.
+        let p = program();
+        let inv: Vec<Conjecture> = invariant().into_iter().filter(|c| c.name != "C3").collect();
+        let v = Verifier::with_oracle(&p, bounded_oracle(PROVE_BOUND));
+        match v.check(&inv) {
+            Err(EprError::Inconclusive(StopReason::BoundReached)) => {}
+            other => panic!("expected Inconclusive(BoundReached), got {other:?}"),
+        }
+    }
+}

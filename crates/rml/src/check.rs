@@ -64,6 +64,22 @@ pub enum CheckError {
     UnknownSymbol(Sym),
 }
 
+impl CheckError {
+    /// Whether this problem is purely a *fragment* violation — the program
+    /// is well-formed but falls outside decidable EPR (unstratified
+    /// functions, `∀∃` axioms/assumes, `∃∀` safety). Fragment problems are
+    /// exactly what bounded instantiation (`--bound N`) tolerates: they
+    /// change which verdicts are reachable, not what the program means.
+    /// Everything else (sort errors, malformed updates, …) stays a hard
+    /// error in every mode.
+    pub fn is_fragment(&self) -> bool {
+        matches!(
+            self,
+            CheckError::NotStratified(_) | CheckError::NotEA { .. } | CheckError::NotAE { .. }
+        )
+    }
+}
+
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -320,6 +336,24 @@ mod tests {
         sig.add_relation("leader", ["node"]).unwrap();
         sig.add_constant("n", "node").unwrap();
         Program::new(sig)
+    }
+
+    #[test]
+    fn fragment_problems_are_exactly_what_bounds_tolerate() {
+        // Fragment: the shape of the logic, fixable by a depth bound.
+        assert!(CheckError::NotStratified("cycle".into()).is_fragment());
+        assert!(CheckError::NotEA {
+            context: "axiom a".into()
+        }
+        .is_fragment());
+        assert!(CheckError::NotAE { label: "s".into() }.is_fragment());
+        // Hard: the model itself is broken; no bound helps.
+        assert!(!CheckError::UnknownSymbol(Sym::new("ghost")).is_fragment());
+        assert!(!CheckError::Open {
+            context: "axiom a".into(),
+            var: Sym::new("X"),
+        }
+        .is_fragment());
     }
 
     #[test]

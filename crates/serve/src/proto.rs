@@ -140,6 +140,11 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Per-request cap on ground instances (`max_instances`).
     pub max_instances: Option<u64>,
+    /// Instantiation depth bound (`bound`): admits non-EPR models via
+    /// bounded instantiation. UNSAT-backed verdicts remain verdicts; a
+    /// result that leaned on the bound is `unknown` with a `budget`
+    /// error, never wrong.
+    pub bound: Option<usize>,
 }
 
 fn field_usize(obj: &Json, key: &str) -> Result<Option<usize>, WireError> {
@@ -261,6 +266,7 @@ fn parse_request_fields(value: &Json, id: Json) -> Result<Request, WireError> {
         lits: field_usize(value, "lits")?,
         timeout_ms: field_u64(value, "timeout_ms")?,
         max_instances: field_u64(value, "max_instances")?,
+        bound: field_usize(value, "bound")?,
     };
     if req.cmd.is_query() && req.model.is_none() && req.model_path.is_none() {
         return Err(WireError::new(
@@ -320,6 +326,21 @@ mod tests {
         assert_eq!(req.id, Json::Num(7.0));
         assert_eq!(req.model.as_deref(), Some("sort s"));
         assert_eq!(req.timeout_ms, Some(500));
+    }
+
+    #[test]
+    fn parses_the_bound_field() {
+        let req = parse_request(r#"{"cmd": "verify", "model": "m", "bound": 3}"#).unwrap();
+        assert_eq!(req.bound, Some(3));
+        let req = parse_request(r#"{"cmd": "verify", "model": "m"}"#).unwrap();
+        assert_eq!(req.bound, None);
+        assert_eq!(
+            parse_request(r#"{"cmd": "verify", "model": "m", "bound": "deep"}"#)
+                .unwrap_err()
+                .1
+                .code,
+            ErrorCode::Protocol
+        );
     }
 
     #[test]

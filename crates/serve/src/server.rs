@@ -25,7 +25,7 @@ use ivy_core::{
     enumerate_candidates, houdini_with_oracle, infer, trace_to_text, AutoGen, Bmc, Conjecture,
     Generalizer, Inductiveness, InferOptions, Measure, Oracle, QueryStrategy, Verifier,
 };
-use ivy_epr::{Budget, EprError};
+use ivy_epr::{Budget, EprError, InstantiationMode};
 use ivy_fol::{parse_formula, PartialStructure};
 use ivy_rml::{check_program, parse_program, Program};
 use ivy_telemetry::local_rollup_begin;
@@ -51,6 +51,10 @@ pub struct ServeConfig {
     pub max_timeout: Option<Duration>,
     /// Server-side cap on per-request `max_instances` (clamped likewise).
     pub instance_cap: Option<u64>,
+    /// Default instantiation bound when the request names none: requests
+    /// without a `bound` field run bounded at this depth (admitting
+    /// non-EPR models server-wide). A request's own `bound` wins.
+    pub default_bound: Option<usize>,
     /// Longest accepted request line in bytes; longer lines get an
     /// `oversized` error and the connection is closed (a partially read
     /// line cannot be resynchronized).
@@ -75,6 +79,7 @@ impl Default for ServeConfig {
             default_timeout: None,
             max_timeout: None,
             instance_cap: None,
+            default_bound: None,
             max_line_bytes: 8 << 20,
             strategy: QueryStrategy::Session,
             pool_capacity: (workers * 24).max(64),
@@ -382,7 +387,16 @@ impl Server {
         } else if let Some(cap) = self.config.instance_cap {
             view.set_instance_limit(view.instance_limit().min(cap));
         }
+        if let Some(depth) = self.effective_bound(req) {
+            view.set_mode(InstantiationMode::Bounded(depth));
+        }
         Arc::new(view)
+    }
+
+    /// The request's instantiation bound: its own `bound` field, or the
+    /// server-wide default.
+    fn effective_bound(&self, req: &Request) -> Option<usize> {
+        req.bound.or(self.config.default_bound)
     }
 
     /// Runs the engine for one admitted request.
@@ -527,12 +541,21 @@ impl Server {
         let program = parse_program(&source)
             .map_err(|e| WireError::new(ErrorCode::Model, format!("model: {e}")))?;
         let problems = check_program(&program);
-        if !problems.is_empty() {
-            let list: Vec<String> = problems.iter().map(|p| p.to_string()).collect();
-            return Err(WireError::new(
-                ErrorCode::Model,
-                format!("model validation: {}", list.join("; ")),
-            ));
+        // Fragment violations (unstratified functions, ∀∃ alternations)
+        // are exactly what bounded instantiation tolerates; with `bound`
+        // set they are admitted, everything else still refuses the model.
+        let bounded = self.effective_bound(req).is_some();
+        let hard: Vec<String> = problems
+            .iter()
+            .filter(|p| !bounded || !p.is_fragment())
+            .map(|p| p.to_string())
+            .collect();
+        if !hard.is_empty() {
+            let mut msg = format!("model validation: {}", hard.join("; "));
+            if !bounded && problems.iter().any(|p| p.is_fragment()) {
+                msg.push_str(" (fragment violations can be admitted with `bound`)");
+            }
+            return Err(WireError::new(ErrorCode::Model, msg));
         }
         Ok(program)
     }

@@ -430,3 +430,99 @@ fn unix_socket_transport_roundtrips() {
     handle.join().unwrap();
     std::fs::remove_file(&path).ok();
 }
+
+/// A deliberately non-EPR model: `f : t -> t` breaks stratification, so
+/// full instantiation refuses it and only a `bound` admits it.
+const OPEN_MODEL: &str = r#"
+sort t
+function f : t -> t
+relation p : t
+local x : t
+safety all_p: forall X:t. p(X)
+init { p(X0) := true }
+action grow { havoc x; p.insert(x) }
+"#;
+
+#[test]
+fn non_epr_model_without_bound_is_refused_with_a_hint() {
+    let s = server();
+    let req = request(&[
+        ("cmd", "\"verify\""),
+        ("model", &Json::str(OPEN_MODEL).to_string()),
+    ]);
+    let resp = check_envelope(&s.handle_line(&req).response);
+    assert_eq!(error_code(&resp), "model");
+    let msg = json_field(&resp, "error")
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(
+        msg.contains("not stratified") && msg.contains("bound"),
+        "expected a cycle diagnostic plus a bound hint, got: {msg}"
+    );
+}
+
+#[test]
+fn bound_field_admits_and_proves_a_non_epr_model() {
+    // Safety alone is inductive here (p only grows): every query is a
+    // refutation, and refutations under a bound are sound verdicts.
+    let s = server();
+    let req = request(&[
+        ("cmd", "\"verify\""),
+        ("model", &Json::str(OPEN_MODEL).to_string()),
+        ("bound", "2"),
+    ]);
+    let resp = check_envelope(&s.handle_line(&req).response);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    assert_eq!(
+        resp.get("verdict").and_then(Json::as_str),
+        Some("inductive")
+    );
+}
+
+#[test]
+fn bound_leaning_sat_degrades_to_budget_error_not_a_cti() {
+    // Flip the action to *remove* facts: the CTI query is satisfiable,
+    // but its model leans on the truncated universe, so the honest
+    // answer is `unknown` with a `budget` error — never a CTI.
+    let model = OPEN_MODEL.replace("p.insert(x)", "p.remove(x)");
+    let s = server();
+    let req = request(&[
+        ("cmd", "\"verify\""),
+        ("model", &Json::str(&model).to_string()),
+        ("bound", "2"),
+    ]);
+    let resp = check_envelope(&s.handle_line(&req).response);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_code(&resp), "budget");
+    assert_eq!(resp.get("verdict").and_then(Json::as_str), Some("unknown"));
+    let msg = json_field(&resp, "error")
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(
+        msg.contains("bound"),
+        "stop reason should name the bound: {msg}"
+    );
+}
+
+#[test]
+fn server_default_bound_applies_when_the_request_names_none() {
+    let config = ServeConfig {
+        default_bound: Some(2),
+        ..ServeConfig::default()
+    };
+    let s = Server::new(config);
+    let req = request(&[
+        ("cmd", "\"verify\""),
+        ("model", &Json::str(OPEN_MODEL).to_string()),
+    ]);
+    let resp = check_envelope(&s.handle_line(&req).response);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    assert_eq!(
+        resp.get("verdict").and_then(Json::as_str),
+        Some("inductive")
+    );
+}

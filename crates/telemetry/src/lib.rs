@@ -161,6 +161,10 @@ pub enum StopReason {
     /// make progress (e.g. the projection lost the interpretations that
     /// witnessed the violation).
     ProjectionLoss,
+    /// The instantiation depth bound was load-bearing: the ground universe
+    /// (or the instance set over it) was truncated, so a SAT answer may be
+    /// an artifact of the bound rather than a genuine model.
+    BoundReached,
 }
 
 impl StopReason {
@@ -172,6 +176,7 @@ impl StopReason {
             StopReason::InstanceBudget => "instances",
             StopReason::RepairLimit => "repair_limit",
             StopReason::ProjectionLoss => "projection_loss",
+            StopReason::BoundReached => "bound",
         }
     }
 }
@@ -186,6 +191,7 @@ impl fmt::Display for StopReason {
             StopReason::ProjectionLoss => {
                 write!(f, "counterexample projection falsified no candidate")
             }
+            StopReason::BoundReached => write!(f, "instantiation depth bound reached"),
         }
     }
 }
